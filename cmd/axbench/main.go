@@ -1,0 +1,60 @@
+// Command axbench regenerates the experiment tables of EXPERIMENTS.md:
+// deterministic, step-counted reconstructions of every figure-level and
+// claim-level artifact of "Asynchronous Exceptions in Haskell"
+// (PLDI 2001). Wall-clock numbers live in the Go benchmarks
+// (go test -bench=.); this command reports scheduler-step counts, which
+// are exact and machine-independent.
+//
+// Usage:
+//
+//	axbench            # run every experiment
+//	axbench -run E9    # run one experiment by ID (E1, E6, E7, E8, E9, T1, T2, F4, C1)
+//	axbench -seeds 500 # widen the lock-race schedule sweep
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"asyncexc/internal/bench"
+)
+
+func main() {
+	run := flag.String("run", "", "experiment ID to run (default: all)")
+	seeds := flag.Int("seeds", 300, "random schedules for the lock-race experiment")
+	flag.Parse()
+
+	experiments := []struct {
+		id    string
+		build func() *bench.Table
+	}{
+		{"E1", func() *bench.Table { return bench.LockRace(*seeds) }},
+		{"E6", func() *bench.Table { return bench.TimeoutNesting(8) }},
+		{"E7", func() *bench.Table { return bench.MaskFrames([]int{10, 100, 1000, 10000}) }},
+		{"E8", func() *bench.Table { return bench.ThrowToDesigns([]int{0, 100, 1000, 10000}) }},
+		{"E9", func() *bench.Table { return bench.PollingVsAsync([]int{1, 2, 4, 8, 16, 64}, 2000, 4, 1000) }},
+		{"T1", func() *bench.Table { return bench.MVarOps(10000) }},
+		{"T2", func() *bench.Table { return bench.ForkCost([]int{100, 1000, 10000}) }},
+		{"F4", func() *bench.Table { return bench.RuleCoverage() }},
+		{"V1", func() *bench.Table { return bench.EitherVerification() }},
+		{"C1", func() *bench.Table { return bench.Conformance(25) }},
+	}
+
+	matched := false
+	for _, e := range experiments {
+		if *run != "" && !strings.EqualFold(*run, e.id) && !strings.EqualFold(*run, "E2") {
+			continue
+		}
+		if *run != "" && strings.EqualFold(*run, "E2") && e.id != "E1" {
+			continue
+		}
+		matched = true
+		e.build().Fprint(os.Stdout)
+	}
+	if !matched {
+		fmt.Fprintf(os.Stderr, "axbench: unknown experiment %q\n", *run)
+		os.Exit(2)
+	}
+}

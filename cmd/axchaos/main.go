@@ -1,0 +1,64 @@
+// Command axchaos soak-tests the runtime: it runs the fault-injection
+// scenario of internal/chaos across many seeds and reports any
+// invariant violation as a reproducible counterexample (scenarios are
+// deterministic per seed).
+//
+//	axchaos -n 1000            # 1000 seeds of the default scenario
+//	axchaos -kills 30 -n 200   # a more violent scenario
+//	axchaos -seed 42 -v        # re-run one seed with the full report
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"asyncexc/internal/chaos"
+)
+
+func main() {
+	n := flag.Int("n", 200, "number of seeds to run")
+	start := flag.Int64("seed", 0, "first seed (with -v: the only seed)")
+	verbose := flag.Bool("v", false, "print the full report for every seed")
+	workers := flag.Int("workers", 4, "locked-account workers")
+	kills := flag.Int("kills", 8, "chaos exceptions per scenario")
+	flag.Parse()
+
+	runs := *n
+	if *verbose && *n == 200 {
+		runs = 1
+	}
+	failures := 0
+	var totalKills, totalSteps uint64
+	for i := 0; i < runs; i++ {
+		seed := *start + int64(i)
+		cfg := chaos.DefaultConfig(seed)
+		cfg.Workers = *workers
+		cfg.Kills = *kills
+		rep, err := chaos.Run(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "seed %d: scenario error: %v\n", seed, err)
+			failures++
+			continue
+		}
+		totalKills += rep.KillsDelivered
+		totalSteps += rep.Steps
+		if rep.Failed() {
+			failures++
+			fmt.Printf("seed %d: INVARIANT VIOLATIONS:\n", seed)
+			for _, v := range rep.Violations {
+				fmt.Printf("  - %s\n", v)
+			}
+		}
+		if *verbose {
+			fmt.Printf("seed %d: account=%d tokens=%d jobs=%d/%d kills=%d steps=%d\n",
+				seed, rep.AccountValue, rep.TokensReceived,
+				rep.JobsFinished, rep.JobsStarted, rep.KillsDelivered, rep.Steps)
+		}
+	}
+	fmt.Printf("axchaos: %d scenarios, %d exceptions delivered, %d total steps, %d failure(s)\n",
+		runs, totalKills, totalSteps, failures)
+	if failures > 0 {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,99 @@
+// Command axhttpd is the paper's §11 demonstration: a fault-tolerant
+// HTTP server built on the asyncexc runtime, making heavy use of
+// timeouts, green threads, and asynchronous exceptions. Slow or silent
+// clients are reaped by composable Timeouts; handler failures become
+// 500s; Ctrl-C converts the OS signal into an asynchronous
+// ThreadKilled at the accept loop, which shuts the server down through
+// its Finally.
+//
+// Routes:
+//
+//	/            — banner
+//	/hello       — trivial response
+//	/delay?ms=N  — sleeps N green-milliseconds then responds (the
+//	               request timeout reaps it if N is too large)
+//	/spin        — never responds (always reaped)
+//	/race        — §7.2 EitherIO of a fast and a slow computation
+//	/stats       — live counters
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"time"
+
+	"asyncexc/internal/core"
+	"asyncexc/internal/httpd"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8080", "listen address")
+	timeout := flag.Duration("timeout", 2*time.Second, "per-request timeout")
+	maxConns := flag.Int("maxconns", 256, "maximum concurrent connections")
+	flag.Parse()
+
+	srv := httpd.New(httpd.Config{Addr: *addr, RequestTimeout: *timeout, MaxConns: *maxConns})
+	srv.Use(httpd.Logged(func(line string) { log.Print(line) }))
+	srv.Use(httpd.WithHeader("Server", "asyncexc-axhttpd"))
+
+	srv.Handle("/", func(r httpd.Request) core.IO[httpd.Response] {
+		return core.Return(httpd.Text(200,
+			"asyncexc demo server (PLDI 2001, §11)\n"+
+				"try /hello /delay?ms=100 /spin /race /stats\n"))
+	})
+	srv.Handle("/hello", func(r httpd.Request) core.IO[httpd.Response] {
+		return core.Return(httpd.Text(200, "hello, "+r.Remote+"\n"))
+	})
+	srv.Handle("/delay", func(r httpd.Request) core.IO[httpd.Response] {
+		ms := 100
+		if i := strings.Index(r.Path, "ms="); i >= 0 {
+			if v, err := strconv.Atoi(r.Path[i+3:]); err == nil {
+				ms = v
+			}
+		}
+		return core.Then(core.Sleep(time.Duration(ms)*time.Millisecond),
+			core.Return(httpd.Text(200, fmt.Sprintf("slept %dms\n", ms))))
+	})
+	srv.Handle("/spin", func(r httpd.Request) core.IO[httpd.Response] {
+		return core.Then(core.Sleep(24*time.Hour), core.Return(httpd.Text(200, "unreachable\n")))
+	})
+	srv.Handle("/race", func(r httpd.Request) core.IO[httpd.Response] {
+		fast := core.Then(core.Sleep(10*time.Millisecond), core.Return("fast"))
+		slow := core.Then(core.Sleep(10*time.Second), core.Return("slow"))
+		return core.Bind(core.EitherIO(fast, slow), func(res core.Either[string, string]) core.IO[httpd.Response] {
+			winner := res.Right
+			if res.IsLeft {
+				winner = res.Left
+			}
+			return core.Return(httpd.Text(200, "winner: "+winner+"\n"))
+		})
+	})
+	srv.Handle("/stats", func(r httpd.Request) core.IO[httpd.Response] {
+		s := &srv.Stats
+		return core.Return(httpd.Text(200, fmt.Sprintf(
+			"accepted=%d served=%d timedOut=%d errors=%d notFound=%d rejected=%d handlerExceptions=%d\n",
+			s.Accepted.Load(), s.Served.Load(), s.TimedOut.Load(), s.Errors.Load(),
+			s.NotFound.Load(), s.Rejected.Load(), s.HandlerEx.Load())))
+	})
+
+	run, err := srv.Start()
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("axhttpd listening on http://%s (request timeout %v)", run.Addr, *timeout)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	log.Printf("interrupt: shutting down via asynchronous exception")
+	if err := run.Stop(); err != nil {
+		log.Fatalf("shutdown: %v", err)
+	}
+	log.Printf("bye: accepted=%d served=%d timedOut=%d",
+		srv.Stats.Accepted.Load(), srv.Stats.Served.Load(), srv.Stats.TimedOut.Load())
+}

@@ -1,0 +1,223 @@
+// Command axsem runs programs of the paper's term language (Figure 1)
+// under the executable operational semantics (Figures 2–5): parse a
+// program, run it with a chosen scheduler printing the rule-labelled
+// trace, or exhaustively explore every interleaving and print the set
+// of observable outcomes.
+//
+// Usage:
+//
+//	axsem -e 'putChar (chr 104) >> putChar (chr 105)'
+//	axsem -f prog.hs -trace
+//	axsem -f prog.hs -explore
+//	axsem -f prog.hs -random 7
+//	axsem -f prog.hs -coverage
+//	axsem -f prog.hs -runtime          # execute on the runtime instead
+//	axsem -e P -equiv Q                # outcome-set equivalence P ≡ Q
+//	axsem -e P -equiv Q -adversaries 2 # ... under async-exception adversaries
+//	axsem -e P -committed b            # every outcome performs 'b'
+//
+// Program input (for getChar) comes from -input.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"asyncexc/internal/conformance"
+	"asyncexc/internal/lambda"
+	"asyncexc/internal/machine"
+)
+
+func main() {
+	expr := flag.String("e", "", "program text")
+	file := flag.String("f", "", "program file")
+	input := flag.String("input", "", "console input for getChar")
+	trace := flag.Bool("trace", false, "print the rule-labelled trace")
+	explore := flag.Bool("explore", false, "exhaustively explore interleavings")
+	coverage := flag.Bool("coverage", false, "print rule coverage of the run/exploration")
+	random := flag.Int64("random", -1, "use a random scheduler with this seed")
+	steps := flag.Int("steps", 100000, "maximum transitions for a scheduled run")
+	envStall := flag.Bool("envstall", false, "model the environment stalling putChar/getChar/sleep (full Figure 5 nondeterminism)")
+	runtime := flag.Bool("runtime", false, "compile and execute on the runtime instead of the semantics")
+	equiv := flag.String("equiv", "", "second program: check outcome-set equivalence with the first")
+	adversaries := flag.Int("adversaries", 0, "async-exception adversaries for -equiv/-committed")
+	committed := flag.String("committed", "", "check every outcome's output contains this marker")
+	interactive := flag.Bool("i", false, "interactive stepper: choose each transition by hand")
+	prelude := flag.Bool("prelude", false, "put the §7 combinators (finally, bracket, either, timeout) in scope")
+	dot := flag.Bool("dot", false, "explore and emit the state graph in Graphviz DOT format")
+	flag.Parse()
+
+	src := *expr
+	if *file != "" {
+		data, err := os.ReadFile(*file)
+		if err != nil {
+			fatal(err)
+		}
+		src = string(data)
+	}
+	if src == "" {
+		fmt.Fprintln(os.Stderr, "axsem: provide a program with -e or -f")
+		os.Exit(2)
+	}
+	if *prelude {
+		src = lambda.Prelude + "\n" + src
+	}
+
+	if *equiv != "" {
+		eq, diff, err := machine.EquivalentUnderAdversaries(src, *equiv, *input, *adversaries)
+		if err != nil {
+			fatal(err)
+		}
+		if eq {
+			fmt.Printf("EQUIVALENT (outcome sets agree, 0..%d adversaries)\n", *adversaries)
+			return
+		}
+		fmt.Printf("NOT EQUIVALENT: %s\n", diff)
+		os.Exit(1)
+	}
+
+	if *committed != "" {
+		st, err := machine.NewWithAdversaries(src, *input, *adversaries)
+		if err != nil {
+			fatal(err)
+		}
+		ok, violations, err := machine.CommittedToState(st, *committed)
+		if err != nil {
+			fatal(err)
+		}
+		if ok {
+			fmt.Printf("COMMITTED: every outcome performs %q (with %d adversaries)\n", *committed, *adversaries)
+			return
+		}
+		fmt.Printf("NOT COMMITTED: %d outcome(s) omit %q:\n", len(violations), *committed)
+		for _, v := range violations {
+			fmt.Printf("  %v\n", v)
+		}
+		os.Exit(1)
+	}
+
+	if *runtime {
+		got, err := conformance.RunRuntime(src, *input, conformance.RuntimeSchedule{
+			Random: *random >= 0, Seed: max64(*random, 0),
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("runtime outcome: %v\n", got)
+		return
+	}
+
+	st, err := machine.NewFromSource(src, *input)
+	if err != nil {
+		fatal(err)
+	}
+	opts := machine.Options{EnvMayStall: *envStall}
+
+	if *dot {
+		graph, res := machine.ExploreGraph(st, opts, machine.Limits{})
+		fmt.Print(graph)
+		fmt.Fprintf(os.Stderr, "axsem: %d states, %d outcomes (cutoff: %v)\n",
+			res.States, len(res.Outcomes), res.Cutoff)
+		return
+	}
+
+	if *explore {
+		res := machine.Explore(st, opts, machine.Limits{})
+		fmt.Printf("states explored: %d (cutoff: %v)\n", res.States, res.Cutoff)
+		fmt.Println("observable outcomes:")
+		for _, o := range res.OutcomeList() {
+			fmt.Printf("  %v\n", o)
+		}
+		if *coverage {
+			fmt.Println("rule coverage:")
+			fmt.Print(machine.CoverageReport(res.Coverage))
+		}
+		return
+	}
+
+	if *interactive {
+		stepInteractively(st, opts)
+		return
+	}
+
+	var sched machine.Scheduler
+	if *random >= 0 {
+		sched = machine.RandomScheduler(*random)
+	} else {
+		sched = machine.RoundRobin()
+	}
+	res := machine.Run(st, opts, sched, *steps)
+	if *trace {
+		for _, e := range res.Trace {
+			fmt.Println(e)
+		}
+	}
+	fmt.Printf("outcome: %v\n", res.Outcome)
+	fmt.Printf("final state:\n%s", res.Final)
+	if *coverage {
+		fmt.Println("rule coverage:")
+		fmt.Print(machine.CoverageReport(res.Coverage))
+	}
+}
+
+// stepInteractively lets the user pick each transition: the hands-on
+// way to find (or understand) a race, e.g. driving the §5.1 program
+// into its lost-lock state by hand.
+func stepInteractively(st *machine.State, opts machine.Options) {
+	in := bufio.NewScanner(os.Stdin)
+	for step := 1; ; step++ {
+		fmt.Printf("--- step %d ---\n%s", step, st)
+		if st.Done {
+			fmt.Println("program finished.")
+			return
+		}
+		ts := machine.Transitions(st, opts)
+		if len(ts) == 0 {
+			fmt.Println("no transitions: the program is wedged (deadlock).")
+			return
+		}
+		for i, tr := range ts {
+			note := ""
+			if tr.Note != "" {
+				note = " (" + tr.Note + ")"
+			}
+			fmt.Printf("  [%d] %-14s thread %d%s\n", i, tr.Rule, tr.Thread, note)
+		}
+		fmt.Print("choose transition (enter = 0, q = quit): ")
+		if !in.Scan() {
+			fmt.Println()
+			return
+		}
+		text := strings.TrimSpace(in.Text())
+		if text == "q" || text == "quit" {
+			return
+		}
+		pick := 0
+		if text != "" {
+			n, err := strconv.Atoi(text)
+			if err != nil || n < 0 || n >= len(ts) {
+				fmt.Printf("invalid choice %q\n", text)
+				step--
+				continue
+			}
+			pick = n
+		}
+		st = ts[pick].Next
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "axsem:", err)
+	os.Exit(1)
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,31 @@
+// Package asyncexc is a Go reproduction of "Asynchronous Exceptions in
+// Haskell" (Marlow, Peyton Jones, Moran, Reppy; PLDI 2001).
+//
+// Go's goroutines cannot be killed, masked, or interrupted from the
+// outside, so the paper's design is rebuilt from scratch on a
+// user-level green-thread runtime where asynchronous exceptions are
+// real:
+//
+//   - internal/core — the public API: IO[A], Fork, MVars, Throw/Catch,
+//     ThrowTo, the scoped Block/Unblock combinators, the interruptible-
+//     operations rule, and the §7 combinator library (Finally, Bracket,
+//     EitherIO, BothIO, Timeout, SafePoint);
+//   - internal/sched — the runtime system of §8: continuation stacks
+//     with bind/catch/mask frames, per-thread pending-exception queues,
+//     the §8.1 frame-cancellation rule, deterministic and randomized
+//     preemptive scheduling, virtual and real clocks;
+//   - internal/lambda + internal/machine — the paper's Figures 1–5 as
+//     an executable operational semantics with exhaustive interleaving
+//     exploration;
+//   - internal/compile + internal/conformance — a translator from
+//     semantics terms to runtime actions and a differential-testing
+//     harness showing the runtime refines the semantics;
+//   - internal/conc, internal/iomgr, internal/httpd, internal/poll —
+//     derived concurrency structures, an I/O manager for real sockets,
+//     the §11 fault-tolerant HTTP server, and the semi-asynchronous
+//     (polling) baseline the paper argues against.
+//
+// See README.md for a guide, DESIGN.md for the system inventory, and
+// EXPERIMENTS.md for the reproduced experiments. The benchmarks in
+// bench_test.go regenerate every experiment's wall-clock counterpart.
+package asyncexc

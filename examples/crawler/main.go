@@ -1,0 +1,97 @@
+// Crawler is the integration example: a concurrent HTTP fetcher built
+// entirely from the paper's machinery, run against the §11 demo server
+// (started in-process). Each fetch is a green thread with its own
+// composable Timeout; the fan-out uses structured concurrency
+// (MapConcurrently), so nothing leaks even when fetches are reaped.
+//
+//	go run ./examples/crawler
+package main
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"asyncexc/internal/conc"
+	"asyncexc/internal/core"
+	"asyncexc/internal/httpd"
+	"asyncexc/internal/iomgr"
+)
+
+// fetch performs one HTTP/1.0 GET on a fresh connection and returns
+// the first line of the response.
+func fetch(addr, path string) core.IO[string] {
+	return core.Bracket(
+		iomgr.Dial("tcp", addr),
+		func(c *iomgr.Conn) core.IO[string] {
+			return core.Then(
+				core.Void(c.WriteString("GET "+path+" HTTP/1.0\r\n\r\n")),
+				c.ReadLine())
+		},
+		func(c *iomgr.Conn) core.IO[core.Unit] { return core.Void(c.Close()) })
+}
+
+// fetchWithBudget wraps fetch in a timeout and renders the outcome.
+func fetchWithBudget(addr, path string, budget time.Duration) core.IO[string] {
+	return core.Bind(
+		core.Timeout(budget, core.Try(fetch(addr, path))),
+		func(r core.Maybe[core.Attempt[string]]) core.IO[string] {
+			switch {
+			case !r.IsJust:
+				return core.Return(fmt.Sprintf("%-12s TIMED OUT after %v", path, budget))
+			case r.Value.Failed():
+				return core.Return(fmt.Sprintf("%-12s error: %s", path, r.Value.Exc))
+			default:
+				return core.Return(fmt.Sprintf("%-12s %s", path, r.Value.Value))
+			}
+		})
+}
+
+func main() {
+	// The server under test: the §11 fault-tolerant server with a
+	// generous request budget (the CLIENT's timeouts do the reaping
+	// in this demo).
+	srv := httpd.New(httpd.Config{RequestTimeout: 10 * time.Second})
+	srv.Handle("/fast", func(r httpd.Request) core.IO[httpd.Response] {
+		return core.Return(httpd.Text(200, "fast\n"))
+	})
+	srv.Handle("/medium", func(r httpd.Request) core.IO[httpd.Response] {
+		return core.Then(core.Sleep(80*time.Millisecond), core.Return(httpd.Text(200, "medium\n")))
+	})
+	srv.Handle("/slow", func(r httpd.Request) core.IO[httpd.Response] {
+		return core.Then(core.Sleep(5*time.Second), core.Return(httpd.Text(200, "slow\n")))
+	})
+	run, err := srv.Start()
+	if err != nil {
+		panic(err)
+	}
+	defer run.Stop() //nolint:errcheck // demo teardown
+	fmt.Println("server on", run.Addr)
+
+	paths := []string{"/fast", "/medium", "/slow", "/fast", "/missing", "/medium"}
+	const budget = 300 * time.Millisecond
+
+	// The crawler runs on its own runtime (real clock: real sockets).
+	crawl := conc.MapConcurrently(paths, func(p string) core.IO[string] {
+		return fetchWithBudget(run.Addr, p, budget)
+	})
+
+	start := time.Now()
+	results, e, err := core.RunWith(core.RealTimeOptions(), crawl)
+	if err != nil || e != nil {
+		panic(fmt.Sprint(err, e))
+	}
+	fmt.Printf("crawled %d URLs concurrently in %v (budget %v each):\n",
+		len(paths), time.Since(start).Round(time.Millisecond), budget)
+	for _, line := range results {
+		fmt.Println("  " + line)
+	}
+	timedOut := 0
+	for _, line := range results {
+		if strings.Contains(line, "TIMED OUT") {
+			timedOut++
+		}
+	}
+	fmt.Printf("\n%d fetches reaped by their timeout; the rest completed —\n", timedOut)
+	fmt.Println("no instrumentation in fetch(), no leaked threads or sockets.")
+}

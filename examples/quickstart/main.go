@@ -1,0 +1,124 @@
+// Quickstart: a tour of the asyncexc public API — the primitives of
+// "Asynchronous Exceptions in Haskell" (PLDI 2001) in Go.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"asyncexc/internal/core"
+	"asyncexc/internal/exc"
+)
+
+func main() {
+	// An IO[A] is a description of a computation; core.Run performs it
+	// on a fresh green-thread runtime with a virtual clock.
+	program :=
+		// 1. Fork a child and communicate through an MVar (§4).
+		core.Bind(core.NewEmptyMVar[string](), func(box core.MVar[string]) core.IO[core.Unit] {
+			child := core.Then(
+				core.Sleep(100*time.Millisecond), // virtual time: free
+				core.Put(box, "hello from a green thread"))
+			return core.Seq(
+				core.Void(core.Fork(child)),
+				core.Bind(core.Take(box), func(msg string) core.IO[core.Unit] {
+					return core.PutStrLn("1. mvar: " + msg)
+				}),
+
+				// 2. Synchronous exceptions: throw and catch (§4).
+				core.Bind(
+					core.Catch(
+						core.Throw[string](exc.ErrorCall{Msg: "boom"}),
+						func(e core.Exception) core.IO[string] {
+							return core.Return("caught " + e.String())
+						}),
+					func(s string) core.IO[core.Unit] { return core.PutStrLn("2. catch: " + s) }),
+
+				// 3. Asynchronous exceptions: kill a sleeping thread (§5).
+				killDemo(),
+
+				// 4. Masking: Block defers delivery; the §5.3 rule keeps
+				//    a waiting Take interruptible even inside Block.
+				maskDemo(),
+
+				// 5. The composable timeout of §7.3.
+				core.Bind(core.Timeout(50*time.Millisecond,
+					core.Then(core.Sleep(time.Hour), core.Return(42))),
+					func(r core.Maybe[int]) core.IO[core.Unit] {
+						return core.PutStrLn("5. timeout: " + r.String())
+					}),
+
+				// 6. Speculation: EitherIO races two computations and
+				//    kills the loser (§7.2).
+				core.Bind(core.EitherIO(
+					core.Then(core.Sleep(10*time.Millisecond), core.Return("fast")),
+					core.Then(core.Sleep(10*time.Second), core.Return("slow"))),
+					func(r core.Either[string, string]) core.IO[core.Unit] {
+						return core.PutStrLn("6. either: " + r.String())
+					}),
+			)
+		})
+
+	sys := core.NewSystem(core.DefaultOptions())
+	if _, e, err := core.RunSystem(sys, program); err != nil || e != nil {
+		fmt.Println("failed:", err, e)
+		return
+	}
+	fmt.Print(sys.Output())
+	st := sys.Stats()
+	fmt.Printf("runtime: %d steps, %d forks, %d mvar ops, %d exceptions delivered\n",
+		st.Steps, st.Forks, st.MVarTakes+st.MVarPuts, st.Delivered)
+}
+
+// killDemo forks a thread that sleeps for an hour and kills it; the
+// handler reports the asynchronous ThreadKilled.
+func killDemo() core.IO[core.Unit] {
+	return core.Bind(core.NewEmptyMVar[string](), func(done core.MVar[string]) core.IO[core.Unit] {
+		sleeper := core.Catch(
+			core.Then(core.Sleep(time.Hour), core.Put(done, "overslept?!")),
+			func(e core.Exception) core.IO[core.Unit] {
+				return core.Put(done, "killed while sleeping ("+e.ExceptionName()+")")
+			})
+		return core.Bind(core.Fork(sleeper), func(tid core.ThreadID) core.IO[core.Unit] {
+			return core.Seq(
+				core.Sleep(time.Millisecond),
+				core.KillThread(tid),
+				core.Bind(core.Take(done), func(s string) core.IO[core.Unit] {
+					return core.PutStrLn("3. throwTo: " + s)
+				}),
+			)
+		})
+	})
+}
+
+// maskDemo shows Block deferring an exception until the scope ends.
+func maskDemo() core.IO[core.Unit] {
+	return core.Bind(core.NewEmptyMVar[core.Unit](), func(ready core.MVar[core.Unit]) core.IO[core.Unit] {
+		return core.Bind(core.NewEmptyMVar[string](), func(done core.MVar[string]) core.IO[core.Unit] {
+			worker := core.Catch(
+				core.Then(
+					core.Block(core.Seq(
+						core.Put(ready, core.UnitValue),
+						core.Void(core.ReplicateM_(5000, core.Return(core.UnitValue))),
+						core.Put(done, "critical section finished intact"),
+					)),
+					core.Put(done, "unreachable: pending exception fires first")),
+				func(core.Exception) core.IO[core.Unit] {
+					return core.Put(done, "then the exception arrived")
+				})
+			return core.Bind(core.Fork(worker), func(tid core.ThreadID) core.IO[core.Unit] {
+				return core.Seq(
+					core.Void(core.Take(ready)),
+					core.ThrowTo(tid, exc.Dyn{Tag: "Interrupt"}),
+					core.Bind(core.Take(done), func(a string) core.IO[core.Unit] {
+						return core.Bind(core.Take(done), func(b string) core.IO[core.Unit] {
+							return core.PutStrLn("4. block: " + a + "; " + b)
+						})
+					}),
+				)
+			})
+		})
+	})
+}

@@ -1,0 +1,125 @@
+// Safelocking reproduces the §5.1–§5.3 story of the paper as a running
+// demonstration: a bank account guarded by an MVar is updated by
+// workers while a killer thread throws asynchronous exceptions at
+// them. Three locking disciplines are compared across hundreds of
+// random schedules:
+//
+//  1. naive      — no handler at all: an exception during the update
+//     loses the lock (and sometimes the money);
+//  2. unsafe§5.1 — handler installed after takeMVar: the classic race,
+//     an exception in the window between take and catch
+//     still loses the lock;
+//  3. safe §5.2  — block + unblock + interruptible take: the lock is
+//     never lost, the state never corrupted.
+//
+// go run ./examples/safelocking
+package main
+
+import (
+	"fmt"
+
+	"asyncexc/internal/core"
+	"asyncexc/internal/exc"
+)
+
+const (
+	schedules = 400
+	deposit   = 10
+)
+
+type outcome int
+
+const (
+	outCompleted outcome = iota // update went through
+	outRestored                 // update aborted, old balance intact
+	outLockLost                 // MVar left empty: deadlock
+	outCorrupted                // balance neither old nor new
+)
+
+func (o outcome) String() string {
+	switch o {
+	case outCompleted:
+		return "completed"
+	case outRestored:
+		return "restored"
+	case outLockLost:
+		return "LOCK LOST"
+	default:
+		return "CORRUPTED"
+	}
+}
+
+// update builds one account update under the chosen discipline.
+func update(style string, account core.MVar[int]) core.IO[core.Unit] {
+	compute := func(v int) core.IO[int] {
+		// A deliberately slow computation of the new balance.
+		return core.Then(
+			core.Void(core.ReplicateM_(20, core.Return(core.UnitValue))),
+			core.Return(v+deposit))
+	}
+	switch style {
+	case "naive":
+		// take ... compute ... put, no protection at all
+		return core.Bind(core.Take(account), func(v int) core.IO[core.Unit] {
+			return core.Bind(compute(v), func(nv int) core.IO[core.Unit] {
+				return core.Put(account, nv)
+			})
+		})
+	case "unsafe":
+		return core.UnsafeModifyMVar(account, compute)
+	default: // safe
+		return core.ModifyMVar(account, compute)
+	}
+}
+
+// scenario runs one schedule: worker updates, killer throws, then the
+// account is inspected.
+func scenario(style string, seed int64) outcome {
+	opts := core.DefaultOptions()
+	opts.TimeSlice = 1
+	opts.RandomSched = true
+	opts.Seed = seed
+	prog := core.Bind(core.NewMVar(100), func(account core.MVar[int]) core.IO[outcome] {
+		return core.Bind(core.NewEmptyMVar[core.Unit](), func(ready core.MVar[core.Unit]) core.IO[outcome] {
+			worker := core.Then(core.Put(ready, core.UnitValue), update(style, account))
+			return core.Bind(core.Fork(worker), func(tid core.ThreadID) core.IO[outcome] {
+				return core.Then(core.Seq(
+					core.Void(core.Take(ready)),
+					core.ThrowTo(tid, exc.Dyn{Tag: "AuditInterrupt"}),
+				), core.Bind(core.Try(core.Take(account)), func(r core.Attempt[int]) core.IO[outcome] {
+					switch {
+					case r.Failed():
+						return core.Return(outLockLost)
+					case r.Value == 100:
+						return core.Return(outRestored)
+					case r.Value == 100+deposit:
+						return core.Return(outCompleted)
+					default:
+						return core.Return(outCorrupted)
+					}
+				}))
+			})
+		})
+	})
+	v, e, err := core.RunWith(opts, prog)
+	if err != nil || e != nil {
+		panic(fmt.Sprint(err, e))
+	}
+	return v
+}
+
+func main() {
+	fmt.Printf("%d random schedules per discipline, exception thrown mid-update\n\n", schedules)
+	fmt.Printf("%-12s %10s %10s %10s %10s\n", "discipline", "completed", "restored", "lock lost", "corrupted")
+	for _, style := range []string{"naive", "unsafe", "safe"} {
+		var counts [4]int
+		for seed := int64(0); seed < schedules; seed++ {
+			counts[scenario(style, seed)]++
+		}
+		fmt.Printf("%-12s %10d %10d %10d %10d\n",
+			style, counts[outCompleted], counts[outRestored], counts[outLockLost], counts[outCorrupted])
+	}
+	fmt.Println("\nnaive loses the lock almost always; unsafe (§5.1) still loses it in the")
+	fmt.Println("take-to-catch window; safe (§5.2 + the §5.3 interruptible-take rule)")
+	fmt.Println("never loses it: every schedule either completes or restores.")
+}

@@ -1,0 +1,97 @@
+// Semantics demonstrates the formal side of the library: the paper's
+// operational semantics (Figures 1–5) running as an executable
+// artifact. It parses the §5.1 locking programs in the paper's own
+// term language, shows a rule-labelled trace, exhaustively explores
+// every interleaving to exhibit the race (and prove its absence in the
+// safe version), and checks one §11 commitment property.
+//
+//	go run ./examples/semantics
+package main
+
+import (
+	"fmt"
+
+	"asyncexc/internal/machine"
+)
+
+const unsafeLock = `
+do { m <- newEmptyMVar ;
+     putMVar m 100 ;
+     t <- forkIO (do { a <- takeMVar m ;
+                       b <- catch (return (a + 1))
+                                  (\e -> putMVar m a >> throw e) ;
+                       putMVar m b }) ;
+     throwTo t #KillThread ;
+     takeMVar m }`
+
+const safeLock = `
+do { m <- newEmptyMVar ;
+     putMVar m 100 ;
+     t <- forkIO (block (do { a <- takeMVar m ;
+                              b <- catch (unblock (return (a + 1)))
+                                         (\e -> putMVar m a >> throw e) ;
+                              putMVar m b })) ;
+     throwTo t #KillThread ;
+     takeMVar m }`
+
+func main() {
+	fmt.Println("== a rule-labelled run of the unsafe §5.1 program ==")
+	st, err := machine.NewFromSource(unsafeLock, "")
+	if err != nil {
+		panic(err)
+	}
+	res := machine.Run(st, machine.Options{}, machine.RoundRobin(), 0)
+	for _, e := range res.Trace {
+		fmt.Println(" ", e)
+	}
+	fmt.Printf("outcome under round-robin: %v\n\n", res.Outcome)
+
+	explore := func(name, src string) machine.ExploreResult {
+		st, err := machine.NewFromSource(src, "")
+		if err != nil {
+			panic(err)
+		}
+		r := machine.Explore(st, machine.Options{}, machine.Limits{})
+		fmt.Printf("== exhaustive exploration: %s ==\n", name)
+		fmt.Printf("distinct states: %d\n", r.States)
+		for _, o := range r.OutcomeList() {
+			fmt.Printf("  possible outcome: %v\n", o)
+		}
+		fmt.Println()
+		return r
+	}
+
+	u := explore("unsafe locking (§5.1)", unsafeLock)
+	s := explore("safe locking (§5.2 + §5.3)", safeLock)
+
+	switch {
+	case !u.HasDeadlock():
+		fmt.Println("!! expected the unsafe version to be able to lose the lock")
+	case s.HasDeadlock():
+		fmt.Println("!! the safe version lost the lock — §5.2 violated")
+	default:
+		fmt.Println("the race exists in the unsafe program and is PROVED ABSENT")
+		fmt.Println("(by exhaustion) in the safe one — the paper's §5 story, checked.")
+	}
+	fmt.Println()
+
+	// The §11 commitment conjecture for finally, checked by exhaustion:
+	// every interleaving of finally-under-an-adversary performs the
+	// cleanup ('b').
+	finally := `block (catch (unblock (putChar 'a')) (\e -> putChar 'b' >>= \_ -> throw e) >>= \r -> putChar 'b' >>= \_ -> return r)`
+	adv, err := machine.NewWithAdversaries(finally, "", 1)
+	if err != nil {
+		panic(err)
+	}
+	ok, violations, err := machine.CommittedToState(adv, "b")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("== §11 commitment: finally a b always performs b ==")
+	if ok {
+		fmt.Println("checked over every interleaving with an exception-throwing")
+		fmt.Println("adversary: the cleanup is unavoidable.")
+	} else {
+		fmt.Printf("!! violated in %d outcomes: %v\n", len(violations), violations)
+	}
+}

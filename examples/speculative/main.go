@@ -1,0 +1,104 @@
+// Speculative reproduces the §2/§7 motivation: speculative computation
+// controlled by asynchronous exceptions. Three mirrors of a "search
+// service" with different latencies are raced with EitherIO (the
+// paper's `either`); losers are killed, not leaked. BothIO gathers two
+// results in parallel, and nested Timeouts (§7.3) impose a global and
+// a per-query budget without modifying the queried code.
+//
+//	go run ./examples/speculative
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"asyncexc/internal/core"
+	"asyncexc/internal/exc"
+)
+
+// mirror simulates a backend with the given latency; started counts
+// launches and finished natural completions, so we can show that
+// losing mirrors were killed, not completed.
+func mirror(name string, latency time.Duration, started, finished *int) core.IO[string] {
+	return core.Then(core.Seq(
+		core.Lift(func() core.Unit { *started++; return core.UnitValue }),
+		core.Sleep(latency),
+		core.Lift(func() core.Unit { *finished++; return core.UnitValue }),
+	), core.Return(name))
+}
+
+// race3 races three computations with nested EitherIO and flattens the
+// winner.
+func race3(a, b, c core.IO[string]) core.IO[string] {
+	return core.Bind(core.EitherIO(a, core.EitherIO(b, c)), func(r core.Either[string, core.Either[string, string]]) core.IO[string] {
+		if r.IsLeft {
+			return core.Return(r.Left)
+		}
+		if r.Right.IsLeft {
+			return core.Return(r.Right.Left)
+		}
+		return core.Return(r.Right.Right)
+	})
+}
+
+func main() {
+	var started, finished int
+	program := core.Bind(
+		race3(
+			mirror("eu-mirror (40ms)", 40*time.Millisecond, &started, &finished),
+			mirror("us-mirror (15ms)", 15*time.Millisecond, &started, &finished),
+			mirror("ap-mirror (90ms)", 90*time.Millisecond, &started, &finished),
+		),
+		func(winner string) core.IO[core.Unit] {
+			return core.PutStrLn("winner: " + winner)
+		})
+
+	sys := core.NewSystem(core.DefaultOptions())
+	if _, e, err := core.RunSystem(sys, program); err != nil || e != nil {
+		fmt.Println("failed:", err, e)
+		return
+	}
+	fmt.Print(sys.Output())
+	fmt.Printf("mirrors started: %d, completed naturally: %d (losers killed mid-flight)\n\n",
+		started, finished)
+
+	// BothIO: gather two results, but a failure on either side kills
+	// the other and propagates.
+	both := core.BothIO(
+		core.Then(core.Sleep(20*time.Millisecond), core.Return("metadata")),
+		core.Then(core.Sleep(35*time.Millisecond), core.Return(12345)))
+	pair, e, err := core.Run(both)
+	if err != nil || e != nil {
+		fmt.Println("both failed:", err, e)
+		return
+	}
+	fmt.Printf("both: gathered %q and %d in parallel\n\n", pair.Fst, pair.Snd)
+
+	// Nested timeouts: a global 50ms budget around a per-query 200ms
+	// budget around a 120ms query. The inner timeout alone would let
+	// the query finish; the outer one wins. Neither required any
+	// change to the query code — the paper's composability claim.
+	query := core.Then(core.Sleep(120*time.Millisecond), core.Return("rows"))
+	inner := core.Timeout(200*time.Millisecond, query)
+	outer := core.Timeout(50*time.Millisecond, inner)
+	r, e, err := core.Run(outer)
+	if err != nil || e != nil {
+		fmt.Println("timeout demo failed:", err, e)
+		return
+	}
+	fmt.Printf("nested timeouts: outer(50ms, inner(200ms, 120ms-query)) = %v\n", r)
+
+	// The same with a generous outer budget: the inner result flows out.
+	outer2 := core.Timeout(time.Second, core.Timeout(200*time.Millisecond, query))
+	r2, _, _ := core.Run(outer2)
+	fmt.Printf("nested timeouts: outer(1s, inner(200ms, 120ms-query)) = %v\n", r2)
+
+	// Speculation with failure: the fast side fails, the slow side
+	// wins — EitherIO of the paper propagates a child exception only
+	// if it arrives before any result.
+	failFast := core.Then(core.Sleep(5*time.Millisecond),
+		core.Throw[string](exc.ErrorCall{Msg: "mirror down"}))
+	slowOK := core.Then(core.Sleep(25*time.Millisecond), core.Return("slow but alive"))
+	res, e, err := core.Run(core.EitherIO(failFast, slowOK))
+	fmt.Printf("failure race: result=%v exc=%v err=%v\n", res, e, err)
+}

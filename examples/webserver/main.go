@@ -1,0 +1,82 @@
+// Webserver is a self-contained demonstration of the §11 fault-tolerant
+// HTTP server: it starts the server, drives healthy traffic, a
+// too-slow handler, and a slow-loris client against it, prints what
+// happened, and shuts the server down with an asynchronous exception.
+//
+//	go run ./examples/webserver
+package main
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"time"
+
+	"asyncexc/internal/core"
+	"asyncexc/internal/httpd"
+)
+
+func main() {
+	srv := httpd.New(httpd.Config{RequestTimeout: 300 * time.Millisecond})
+	srv.Handle("/ok", func(r httpd.Request) core.IO[httpd.Response] {
+		return core.Return(httpd.Text(200, "fine\n"))
+	})
+	srv.Handle("/slow", func(r httpd.Request) core.IO[httpd.Response] {
+		// Takes far longer than the request budget: the composable
+		// Timeout kills this handler; no cooperation needed here.
+		return core.Then(core.Sleep(time.Hour), core.Return(httpd.Text(200, "never\n")))
+	})
+
+	run, err := srv.Start()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("server on", run.Addr, "(request budget 300ms)")
+
+	get := func(path string) {
+		start := time.Now()
+		resp, err := http.Get("http://" + run.Addr + path)
+		if err != nil {
+			fmt.Printf("  GET %-6s -> error after %v: %v\n", path, time.Since(start).Round(time.Millisecond), err)
+			return
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		fmt.Printf("  GET %-6s -> %d %q after %v\n",
+			path, resp.StatusCode, string(body), time.Since(start).Round(time.Millisecond))
+	}
+
+	fmt.Println("healthy request:")
+	get("/ok")
+
+	fmt.Println("handler over budget (reaped by Timeout):")
+	get("/slow")
+
+	fmt.Println("slow loris (connects, sends nothing):")
+	loris, err := net.Dial("tcp", run.Addr)
+	if err != nil {
+		panic(err)
+	}
+	start := time.Now()
+	buf := make([]byte, 256)
+	loris.SetReadDeadline(time.Now().Add(5 * time.Second)) //nolint:errcheck
+	n, _ := loris.Read(buf)
+	fmt.Printf("  server replied/closed after %v: %q\n",
+		time.Since(start).Round(time.Millisecond), string(buf[:n]))
+	loris.Close()
+
+	fmt.Println("healthy traffic still flows during the attack:")
+	for i := 0; i < 3; i++ {
+		c, _ := net.Dial("tcp", run.Addr) // more silent connections
+		defer c.Close()
+	}
+	get("/ok")
+
+	if err := run.Stop(); err != nil {
+		panic(err)
+	}
+	s := &srv.Stats
+	fmt.Printf("\nshutdown clean; stats: accepted=%d served=%d timedOut=%d\n",
+		s.Accepted.Load(), s.Served.Load(), s.TimedOut.Load())
+}

@@ -1,0 +1,3 @@
+module asyncexc
+
+go 1.22

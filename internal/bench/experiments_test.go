@@ -1,0 +1,169 @@
+package bench_test
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"asyncexc/internal/bench"
+)
+
+// These tests pin the experiment tables' qualitative shapes — the
+// "who wins, by roughly what factor" claims of EXPERIMENTS.md — so a
+// regression in any mechanism breaks CI, not just the docs.
+
+func cell(t *testing.T, tb *bench.Table, row, col int) string {
+	t.Helper()
+	if row >= len(tb.Rows) || col >= len(tb.Rows[row]) {
+		t.Fatalf("table %s has no cell (%d,%d):\n%s", tb.ID, row, col, tb)
+	}
+	return tb.Rows[row][col]
+}
+
+func cellInt(t *testing.T, tb *bench.Table, row, col int) int {
+	t.Helper()
+	v, err := strconv.Atoi(cell(t, tb, row, col))
+	if err != nil {
+		t.Fatalf("table %s cell (%d,%d) = %q is not an int", tb.ID, row, col, cell(t, tb, row, col))
+	}
+	return v
+}
+
+func cellFloat(t *testing.T, tb *bench.Table, row, col int) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(cell(t, tb, row, col), 64)
+	if err != nil {
+		t.Fatalf("table %s cell (%d,%d) = %q is not a float", tb.ID, row, col, cell(t, tb, row, col))
+	}
+	return v
+}
+
+func TestMaskFramesShape(t *testing.T) {
+	tb := bench.MaskFrames([]int{10, 1000})
+	// Cancellation on: constant (1 frame) at every depth.
+	if cellInt(t, tb, 0, 1) != 1 || cellInt(t, tb, 1, 1) != 1 {
+		t.Fatalf("E7: cancellation should give constant stack:\n%s", tb)
+	}
+	// Ablated: exactly 2 frames per recursion level.
+	if cellInt(t, tb, 0, 2) != 20 || cellInt(t, tb, 1, 2) != 2000 {
+		t.Fatalf("E7: ablation should grow 2 frames/level:\n%s", tb)
+	}
+}
+
+func TestThrowToDesignsShape(t *testing.T) {
+	tb := bench.ThrowToDesigns([]int{1000})
+	// Row 0: async; row 1: sync (for the single workload).
+	asyncReturn := cellInt(t, tb, 0, 2)
+	syncReturn := cellInt(t, tb, 1, 2)
+	if asyncReturn >= 100 {
+		t.Fatalf("E8: async throwTo should return in O(1) steps, got %d:\n%s", asyncReturn, tb)
+	}
+	if syncReturn < 10*asyncReturn {
+		t.Fatalf("E8: sync throwTo should scale with the masked region (async %d, sync %d):\n%s",
+			asyncReturn, syncReturn, tb)
+	}
+}
+
+func TestPollingVsAsyncShape(t *testing.T) {
+	tb := bench.PollingVsAsync([]int{1, 16}, 400, 4, 200)
+	// polling p=1: high overhead, low latency; p=16: lower overhead,
+	// higher latency; async: zero overhead, low latency.
+	over1 := cellFloat(t, tb, 0, 2)
+	lat1 := cellInt(t, tb, 0, 3)
+	over16 := cellFloat(t, tb, 1, 2)
+	lat16 := cellInt(t, tb, 1, 3)
+	overAsync := cellFloat(t, tb, 2, 2)
+	latAsync := cellInt(t, tb, 2, 3)
+	if !(over1 > over16) {
+		t.Fatalf("E9: overhead should fall with poll period:\n%s", tb)
+	}
+	if !(lat16 >= lat1) {
+		t.Fatalf("E9: latency should grow with poll period:\n%s", tb)
+	}
+	if overAsync != 0 {
+		t.Fatalf("E9: async overhead must be zero:\n%s", tb)
+	}
+	if latAsync > lat1+2 {
+		t.Fatalf("E9: async latency should match the tightest polling:\n%s", tb)
+	}
+}
+
+func TestLockRaceShape(t *testing.T) {
+	tb := bench.LockRace(150)
+	unsafeLost := cellInt(t, tb, 0, 2)
+	safeLost := cellInt(t, tb, 1, 2)
+	if unsafeLost == 0 {
+		t.Fatalf("E1: the unsafe pattern should lose the lock sometimes:\n%s", tb)
+	}
+	if safeLost != 0 {
+		t.Fatalf("E2: the safe pattern must never lose the lock:\n%s", tb)
+	}
+}
+
+func TestTimeoutNestingLinear(t *testing.T) {
+	tb := bench.TimeoutNesting(4)
+	s1 := cellInt(t, tb, 1, 1)
+	s2 := cellInt(t, tb, 2, 1)
+	s4 := cellInt(t, tb, 4, 1)
+	perLevel := s2 - s1
+	if perLevel <= 0 {
+		t.Fatalf("E6: nesting should cost steps:\n%s", tb)
+	}
+	// Linearity: depth 4 ≈ depth 2 + 2*perLevel (±25%).
+	predicted := s2 + 2*perLevel
+	if diff := s4 - predicted; diff > predicted/4 || diff < -predicted/4 {
+		t.Fatalf("E6: nesting cost should be linear (got %d, predicted %d):\n%s", s4, predicted, tb)
+	}
+}
+
+func TestMVarOpsShape(t *testing.T) {
+	tb := bench.MVarOps(2000)
+	uncPair := cellFloat(t, tb, 0, 3)
+	pingPair := cellFloat(t, tb, 1, 3)
+	if uncPair <= 0 || pingPair <= uncPair {
+		t.Fatalf("T1: contended handoff should cost more than uncontended:\n%s", tb)
+	}
+}
+
+func TestForkCostConstant(t *testing.T) {
+	tb := bench.ForkCost([]int{100, 2000})
+	per1 := cellFloat(t, tb, 0, 2)
+	per2 := cellFloat(t, tb, 1, 2)
+	if per1 <= 0 || per2 <= 0 {
+		t.Fatalf("T2: fork must cost steps:\n%s", tb)
+	}
+	if per2 > per1*1.5 || per1 > per2*1.5 {
+		t.Fatalf("T2: per-fork cost should be constant (%v vs %v):\n%s", per1, per2, tb)
+	}
+}
+
+func TestRuleCoverageAllNonZero(t *testing.T) {
+	tb := bench.RuleCoverage()
+	for _, row := range tb.Rows {
+		n, err := strconv.Atoi(row[1])
+		if err != nil || n == 0 {
+			t.Fatalf("F4/F5: rule %s has zero coverage:\n%s", row[0], tb)
+		}
+	}
+}
+
+func TestConformanceNoViolations(t *testing.T) {
+	tb := bench.Conformance(10)
+	for _, row := range tb.Rows {
+		if row[len(row)-1] != "0" {
+			t.Fatalf("C1: violations in %s:\n%s", row[0], tb)
+		}
+	}
+}
+
+func TestTableFormatting(t *testing.T) {
+	tb := &bench.Table{ID: "X", Title: "t", Columns: []string{"a", "bb"}}
+	tb.AddRow(1, 2.5)
+	tb.Notes = append(tb.Notes, "n")
+	s := tb.String()
+	for _, want := range []string{"X — t", "a", "bb", "1", "2.50", "note: n"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("formatted table missing %q:\n%s", want, s)
+		}
+	}
+}

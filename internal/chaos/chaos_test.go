@@ -1,0 +1,62 @@
+package chaos_test
+
+import (
+	"testing"
+
+	"asyncexc/internal/chaos"
+)
+
+// TestChaosInvariantsHold runs the fault-injection scenario across
+// many seeds: whatever the chaos thread kills, the library's
+// abstractions must keep their invariants.
+func TestChaosInvariantsHold(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		rep, err := chaos.Run(chaos.DefaultConfig(seed))
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if rep.Failed() {
+			t.Fatalf("seed %d: invariants violated: %v\nreport: %+v", seed, rep.Violations, rep)
+		}
+	}
+}
+
+// TestChaosActuallyKills checks the harness is not vacuous: across the
+// seeds, exceptions are delivered and some work is disrupted.
+func TestChaosActuallyKills(t *testing.T) {
+	var totalKills uint64
+	disrupted := false
+	for seed := int64(0); seed < 20; seed++ {
+		cfg := chaos.DefaultConfig(seed)
+		rep, err := chaos.Run(cfg)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		totalKills += rep.KillsDelivered
+		if rep.AccountValue < cfg.Workers*cfg.Increments {
+			disrupted = true // some increments were aborted
+		}
+	}
+	if totalKills == 0 {
+		t.Fatal("chaos thread never delivered an exception")
+	}
+	if !disrupted {
+		t.Fatal("chaos never disrupted the workload; the harness is too gentle")
+	}
+}
+
+// TestChaosDeterministicPerSeed: same seed, same report.
+func TestChaosDeterministicPerSeed(t *testing.T) {
+	a, err := chaos.Run(chaos.DefaultConfig(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := chaos.Run(chaos.DefaultConfig(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.AccountValue != b.AccountValue || a.TokensReceived != b.TokensReceived ||
+		a.Steps != b.Steps || a.JobsStarted != b.JobsStarted {
+		t.Fatalf("nondeterministic chaos:\n%+v\n%+v", a, b)
+	}
+}

@@ -1,0 +1,233 @@
+// Package compile translates Figure 1 terms into runtime IO actions,
+// linking the paper's semantics (package machine) to its implementation
+// (package sched). The translation is a staged elaborator:
+//
+//   - the universal value type flowing through the runtime is
+//     lambda.Term, so call-by-name laziness is preserved exactly — a
+//     `return M` carries M unevaluated, and forcing uses the same inner
+//     evaluator as the machine;
+//   - each monadic operation maps onto the corresponding runtime
+//     primitive, so masking, interruptibility and exception delivery
+//     are the runtime's — which is precisely what the conformance
+//     suite then checks against the machine's transition relation;
+//   - one inner evaluation (rule Eval/Raise) is one runtime step: the
+//     elaborator wraps each elaboration in a Delay node.
+package compile
+
+import (
+	"fmt"
+	"time"
+
+	"asyncexc/internal/exc"
+	"asyncexc/internal/lambda"
+	"asyncexc/internal/sched"
+)
+
+// Ctx is one compilation/execution context: it owns the mapping from
+// the term language's MVar names to runtime MVars. A Ctx must be used
+// with exactly one runtime instance.
+type Ctx struct {
+	// Fuel bounds each pure evaluation step (0 = default).
+	Fuel int
+	// SleepUnit is the duration of one unit of the term language's
+	// sleep (the paper uses microseconds). Defaults to one
+	// microsecond.
+	SleepUnit time.Duration
+
+	mvars    map[string]*sched.MVar
+	nextMVar int
+}
+
+// NewCtx creates a compilation context.
+func NewCtx() *Ctx {
+	return &Ctx{mvars: map[string]*sched.MVar{}}
+}
+
+// CompileProgram parses src and elaborates it into a runtime action.
+func CompileProgram(src string) (*Ctx, sched.Node, error) {
+	t, err := lambda.ParseProgram(src)
+	if err != nil {
+		return nil, nil, err
+	}
+	c := NewCtx()
+	return c, c.IONode(t), nil
+}
+
+// IONode elaborates term t into a runtime action. Elaboration is
+// deferred to execution time (Delay), so recursive terms elaborate
+// lazily.
+func (c *Ctx) IONode(t lambda.Term) sched.Node {
+	return sched.Delay(func() sched.Node { return c.step(t) })
+}
+
+// step performs one elaboration step: evaluate the term to an IO value
+// (rules Eval/Raise) and dispatch on the operation.
+func (c *Ctx) step(t lambda.Term) sched.Node {
+	if !t.IsValue() {
+		ev := &lambda.Evaluator{Fuel: c.fuel()}
+		v, e, err := ev.Eval(t)
+		switch {
+		case err != nil:
+			return sched.Throw(exc.ErrorCall{Msg: "compile: " + err.Error()})
+		case e != nil:
+			return sched.Throw(e)
+		default:
+			t = v
+		}
+	}
+	mop, ok := t.(lambda.MOp)
+	if !ok {
+		return sched.Throw(exc.ErrorCall{Msg: fmt.Sprintf("compile: %s is not an IO action", t)})
+	}
+
+	switch mop.Kind {
+	case lambda.OpReturn:
+		// The payload stays unevaluated: call-by-name return.
+		return sched.Return(mop.Args[0])
+
+	case lambda.OpBind:
+		k := mop.Args[1]
+		return sched.Bind(c.IONode(mop.Args[0]), func(v any) sched.Node {
+			return c.step(lambda.A(k, v.(lambda.Term)))
+		})
+
+	case lambda.OpThrow:
+		return sched.Throw(excConst(mop.Args[0]))
+
+	case lambda.OpCatch:
+		h := mop.Args[1]
+		return sched.Catch(c.IONode(mop.Args[0]), func(e exc.Exception) sched.Node {
+			return c.step(lambda.A(h, lambda.Exc(e)))
+		})
+
+	case lambda.OpBlock:
+		return sched.Block(c.IONode(mop.Args[0]))
+
+	case lambda.OpUnblock:
+		return sched.Unblock(c.IONode(mop.Args[0]))
+
+	case lambda.OpPutChar:
+		return sched.Then(sched.PutChar(charConst(mop.Args[0])), retUnit())
+
+	case lambda.OpGetChar:
+		return sched.Bind(sched.GetChar(), func(v any) sched.Node {
+			return sched.Return(lambda.Term(lambda.Char(v.(rune))))
+		})
+
+	case lambda.OpSleep:
+		d := intConst(mop.Args[0])
+		return sched.Then(sched.Sleep(time.Duration(d)*c.sleepUnit()), retUnit())
+
+	case lambda.OpNewEmptyMVar:
+		return sched.Bind(sched.NewEmptyMVar(), func(v any) sched.Node {
+			c.nextMVar++
+			name := fmt.Sprintf("m%d", c.nextMVar)
+			c.mvars[name] = v.(*sched.MVar)
+			return sched.Return(lambda.Term(lambda.MVarName(name)))
+		})
+
+	case lambda.OpTakeMVar:
+		mv, err := c.lookupMVar(mop.Args[0])
+		if err != nil {
+			return sched.Throw(err)
+		}
+		return sched.Bind(sched.TakeMVar(mv), func(v any) sched.Node {
+			return sched.Return(v)
+		})
+
+	case lambda.OpPutMVar:
+		mv, err := c.lookupMVar(mop.Args[0])
+		if err != nil {
+			return sched.Throw(err)
+		}
+		return sched.Then(sched.PutMVar(mv, mop.Args[1]), retUnit())
+
+	case lambda.OpForkIO:
+		child := c.IONode(mop.Args[0])
+		return sched.Bind(sched.Fork(child), func(v any) sched.Node {
+			return sched.Return(lambda.Term(lambda.TidName(int64(v.(sched.ThreadID)))))
+		})
+
+	case lambda.OpMyThreadID:
+		return sched.Bind(sched.MyThreadID(), func(v any) sched.Node {
+			return sched.Return(lambda.Term(lambda.TidName(int64(v.(sched.ThreadID)))))
+		})
+
+	case lambda.OpThrowTo:
+		tid := tidConst(mop.Args[0])
+		return sched.Then(sched.ThrowTo(sched.ThreadID(tid), excConst(mop.Args[1])), retUnit())
+
+	default:
+		return sched.Throw(exc.ErrorCall{Msg: fmt.Sprintf("compile: unhandled operation %s", mop.Info().Name)})
+	}
+}
+
+func (c *Ctx) fuel() int {
+	if c.Fuel > 0 {
+		return c.Fuel
+	}
+	return 100000
+}
+
+func (c *Ctx) sleepUnit() time.Duration {
+	if c.SleepUnit > 0 {
+		return c.SleepUnit
+	}
+	return time.Microsecond
+}
+
+func (c *Ctx) lookupMVar(t lambda.Term) (*sched.MVar, exc.Exception) {
+	name := mvarConst(t)
+	mv := c.mvars[name]
+	if mv == nil {
+		return nil, exc.ErrorCall{Msg: fmt.Sprintf("compile: unknown MVar %s", t)}
+	}
+	return mv, nil
+}
+
+func retUnit() sched.Node { return sched.Return(lambda.Term(lambda.Unit())) }
+
+func excConst(t lambda.Term) exc.Exception {
+	if l, ok := t.(lambda.Lit); ok {
+		if c, ok := l.C.(lambda.CExc); ok {
+			return c.E
+		}
+	}
+	return exc.ErrorCall{Msg: "compile: non-exception thrown"}
+}
+
+func charConst(t lambda.Term) rune {
+	if l, ok := t.(lambda.Lit); ok {
+		if c, ok := l.C.(lambda.CChar); ok {
+			return rune(c)
+		}
+	}
+	return '?'
+}
+
+func intConst(t lambda.Term) int64 {
+	if l, ok := t.(lambda.Lit); ok {
+		if c, ok := l.C.(lambda.CInt); ok {
+			return int64(c)
+		}
+	}
+	return 0
+}
+
+func mvarConst(t lambda.Term) string {
+	if l, ok := t.(lambda.Lit); ok {
+		if c, ok := l.C.(lambda.CMVar); ok {
+			return string(c)
+		}
+	}
+	return ""
+}
+
+func tidConst(t lambda.Term) int64 {
+	if l, ok := t.(lambda.Lit); ok {
+		if c, ok := l.C.(lambda.CTid); ok {
+			return int64(c)
+		}
+	}
+	return 0
+}

@@ -1,0 +1,183 @@
+package compile_test
+
+import (
+	"testing"
+
+	"asyncexc/internal/compile"
+	"asyncexc/internal/exc"
+	"asyncexc/internal/lambda"
+	"asyncexc/internal/sched"
+)
+
+// exec compiles src and runs it on a default runtime with the given
+// input, returning the result, the console output and the runtime.
+func exec(t *testing.T, src, input string) (sched.Result, string) {
+	t.Helper()
+	_, node, err := compile.CompileProgram(src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	opts := sched.DefaultOptions()
+	opts.Stdin = input
+	rt := sched.NewRT(opts)
+	rt.CloseInput()
+	res, err := rt.RunMain(node)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return res, rt.Output()
+}
+
+// force evaluates a result term to its printed value.
+func force(t *testing.T, v any) string {
+	t.Helper()
+	term, ok := v.(lambda.Term)
+	if !ok {
+		t.Fatalf("result is %T, want lambda.Term", v)
+	}
+	ev := lambda.NewEvaluator()
+	val, e, err := ev.Eval(term)
+	if err != nil {
+		t.Fatalf("force: %v", err)
+	}
+	if e != nil {
+		return "raise:" + e.ExceptionName()
+	}
+	return val.String()
+}
+
+func TestCompileHello(t *testing.T) {
+	res, out := exec(t, `putChar 'h' >> putChar 'i'`, "")
+	if res.Exc != nil || out != "hi" {
+		t.Fatalf("res %+v out %q", res, out)
+	}
+}
+
+func TestCompilePureArithmetic(t *testing.T) {
+	res, _ := exec(t, `return (6 * 7)`, "")
+	if got := force(t, res.Value); got != "42" {
+		t.Fatalf("got %s", got)
+	}
+}
+
+func TestCompileLazinessPreserved(t *testing.T) {
+	// return (raise #Boom) succeeds; the raise is latent in the
+	// payload, exactly as in the call-by-name semantics.
+	res, _ := exec(t, `return (raise #Boom)`, "")
+	if res.Exc != nil {
+		t.Fatalf("main should not raise: %v", res.Exc)
+	}
+	if got := force(t, res.Value); got != "raise:Dyn:Boom" {
+		t.Fatalf("payload forced to %s", got)
+	}
+}
+
+func TestCompileUnusedDivergentArg(t *testing.T) {
+	// Call-by-name: a divergent unused argument is never evaluated.
+	res, _ := exec(t, `return ((\x -> 3) (rec loop -> loop))`, "")
+	if got := force(t, res.Value); got != "3" {
+		t.Fatalf("got %s", got)
+	}
+}
+
+func TestCompileMVarRoundTrip(t *testing.T) {
+	res, _ := exec(t, `do { m <- newEmptyMVar ; forkIO (putMVar m (40 + 2)) ; takeMVar m }`, "")
+	if got := force(t, res.Value); got != "42" {
+		t.Fatalf("got %s", got)
+	}
+}
+
+func TestCompileCatchRestoresMask(t *testing.T) {
+	res, _ := exec(t, `catch (block (unblock (throw #X))) (\e -> return 9)`, "")
+	if got := force(t, res.Value); got != "9" {
+		t.Fatalf("got %s", got)
+	}
+}
+
+func TestCompileGetChar(t *testing.T) {
+	res, out := exec(t, `do { c <- getChar ; putChar c ; return c }`, "q")
+	if out != "q" {
+		t.Fatalf("out %q", out)
+	}
+	if got := force(t, res.Value); got != "'q'" {
+		t.Fatalf("got %s", got)
+	}
+}
+
+func TestCompileThrowToKillsChild(t *testing.T) {
+	res, _ := exec(t, `
+		do { done <- newEmptyMVar ;
+		     m <- newEmptyMVar ;
+		     t <- forkIO (catch (takeMVar m >>= \x -> return ())
+		                        (\e -> putMVar done 1)) ;
+		     throwTo t #KillThread ;
+		     takeMVar done }`, "")
+	if res.Exc != nil {
+		t.Fatalf("exc %v", res.Exc)
+	}
+	if got := force(t, res.Value); got != "1" {
+		t.Fatalf("got %s", got)
+	}
+}
+
+func TestCompileUncaughtExceptionReachesMain(t *testing.T) {
+	res, _ := exec(t, `putChar 'a' >> throw #Die`, "")
+	if res.Exc == nil || !res.Exc.Eq(exc.Dyn{Tag: "Die"}) {
+		t.Fatalf("res %+v", res)
+	}
+}
+
+func TestCompileEvalErrorBecomesErrorCall(t *testing.T) {
+	// Applying a non-function is an elaboration failure, surfaced as a
+	// synchronous ErrorCall rather than a Go panic.
+	res, _ := exec(t, `return 1 >>= \f -> f 2`, "")
+	if res.Exc == nil || res.Exc.ExceptionName() != "ErrorCall" {
+		t.Fatalf("res %+v", res)
+	}
+}
+
+func TestCompileUnknownMVar(t *testing.T) {
+	// An MVar name from nowhere (type-incorrect program) raises
+	// ErrorCall instead of crashing.
+	_, node, err := compile.CompileProgram(`takeMVar x`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := sched.NewRT(sched.DefaultOptions())
+	res, err := rt.RunMain(node)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Exc == nil {
+		t.Fatalf("expected an exception, got %+v", res)
+	}
+}
+
+func TestCompileParseErrorPropagates(t *testing.T) {
+	if _, _, err := compile.CompileProgram(`do {`); err == nil {
+		t.Fatal("expected parse error")
+	}
+}
+
+func TestCompileSleepVirtualClock(t *testing.T) {
+	res, _ := exec(t, `sleep 1000 >> return 5`, "")
+	if got := force(t, res.Value); got != "5" {
+		t.Fatalf("got %s", got)
+	}
+}
+
+func TestCompileRecursionThroughBind(t *testing.T) {
+	res, _ := exec(t, `
+		(rec go -> \n -> if n == 0 then return 0
+		                 else go (n - 1) >>= \r -> return (r + n)) 100`, "")
+	if got := force(t, res.Value); got != "5050" {
+		t.Fatalf("got %s", got)
+	}
+}
+
+func TestCompileCaseInIO(t *testing.T) {
+	res, _ := exec(t, `case Just 3 of { Just x -> return (x * 2) ; Nothing -> throw #No }`, "")
+	if got := force(t, res.Value); got != "6" {
+		t.Fatalf("got %s", got)
+	}
+}

@@ -1,0 +1,71 @@
+package conc
+
+import "asyncexc/internal/core"
+
+// Barrier is a cyclic synchronization barrier for n parties built from
+// MVars: Await blocks until n threads have arrived, then releases them
+// all and resets for the next round. An arriving thread that is killed
+// while waiting retracts its arrival, so the barrier never releases on
+// a phantom party — the same exception-safety discipline as QSem.
+type Barrier struct {
+	n     int
+	state core.MVar[barrierState]
+}
+
+type barrierState struct {
+	arrived int
+	// gen numbers the current round; a waiter releases when its round
+	// completes.
+	gen int
+	// release is a fresh one-shot broadcast MVar per round: the last
+	// arriver puts the round number, and each released waiter re-puts
+	// it for the next reader (an MVar broadcast chain).
+	release core.MVar[int]
+}
+
+// NewBarrier creates a barrier for n parties (n >= 1).
+func NewBarrier(n int) core.IO[Barrier] {
+	if n < 1 {
+		n = 1
+	}
+	return core.Bind(core.NewEmptyMVar[int](), func(rel core.MVar[int]) core.IO[Barrier] {
+		return core.Bind(core.NewMVar(barrierState{release: rel}), func(st core.MVar[barrierState]) core.IO[Barrier] {
+			return core.Return(Barrier{n: n, state: st})
+		})
+	})
+}
+
+// Await arrives at the barrier and waits for the round to fill. It
+// returns the round number that was completed.
+func (b Barrier) Await() core.IO[int] {
+	return core.Block(core.Bind(core.Take(b.state), func(st barrierState) core.IO[int] {
+		st.arrived++
+		myGen := st.gen
+		myRelease := st.release
+		if st.arrived == b.n {
+			// Last arriver: start a new round and release this one.
+			return core.Bind(core.NewEmptyMVar[int](), func(nextRel core.MVar[int]) core.IO[int] {
+				fresh := barrierState{gen: myGen + 1, release: nextRel}
+				return core.Then(core.Seq(
+					core.Put(b.state, fresh),
+					// Broadcast: each waiter takes and re-puts.
+					core.Put(myRelease, myGen),
+				), core.Return(myGen))
+			})
+		}
+		waitRelease := core.Bind(core.Take(myRelease), func(g int) core.IO[int] {
+			// Pass the release on to the next waiter of this round.
+			return core.Then(core.Put(myRelease, g), core.Return(g))
+		})
+		retract := core.ModifyMVar(b.state, func(st2 barrierState) core.IO[barrierState] {
+			if st2.gen == myGen && st2.arrived > 0 {
+				st2.arrived--
+			}
+			return core.Return(st2)
+		})
+		return core.Then(core.Put(b.state, st),
+			core.Catch(waitRelease, func(e core.Exception) core.IO[int] {
+				return core.Then(retract, core.Throw[int](e))
+			}))
+	}))
+}

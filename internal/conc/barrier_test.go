@@ -1,0 +1,101 @@
+package conc_test
+
+import (
+	"testing"
+	"time"
+
+	"asyncexc/internal/conc"
+	"asyncexc/internal/core"
+)
+
+func TestBarrierReleasesAllTogether(t *testing.T) {
+	const parties = 4
+	arrivedBefore := 0
+	afterBarrier := 0
+	bad := false
+	m := core.Bind(conc.NewBarrier(parties), func(b conc.Barrier) core.IO[bool] {
+		return core.Bind(conc.NewQSemN(0), func(done conc.QSemN) core.IO[bool] {
+			party := func(delay time.Duration) core.IO[core.Unit] {
+				return core.Seq(
+					core.Sleep(delay),
+					core.Lift(func() core.Unit { arrivedBefore++; return core.UnitValue }),
+					core.Void(b.Await()),
+					core.Lift(func() core.Unit {
+						// Nobody may pass before all have arrived.
+						if arrivedBefore != parties {
+							bad = true
+						}
+						afterBarrier++
+						return core.UnitValue
+					}),
+					done.Signal(1),
+				)
+			}
+			forks := core.Return(core.UnitValue)
+			for i := 0; i < parties; i++ {
+				forks = core.Then(forks, core.Void(core.Fork(party(time.Duration(i+1)*time.Millisecond))))
+			}
+			return core.Then(forks, core.Then(done.Wait(parties),
+				core.Lift(func() bool { return !bad && afterBarrier == parties })))
+		})
+	})
+	run(t, m, true)
+}
+
+func TestBarrierIsCyclic(t *testing.T) {
+	const parties, rounds = 3, 4
+	m := core.Bind(conc.NewBarrier(parties), func(b conc.Barrier) core.IO[int] {
+		return core.Bind(conc.NewQSemN(0), func(done conc.QSemN) core.IO[int] {
+			lastGen := -1
+			party := core.ForM_(make([]struct{}, rounds), func(struct{}) core.IO[core.Unit] {
+				return core.Bind(b.Await(), func(gen int) core.IO[core.Unit] {
+					return core.Lift(func() core.Unit {
+						if gen > lastGen {
+							lastGen = gen
+						}
+						return core.UnitValue
+					})
+				})
+			})
+			forks := core.Return(core.UnitValue)
+			for i := 0; i < parties; i++ {
+				forks = core.Then(forks, core.Void(core.Fork(core.Then(party, done.Signal(1)))))
+			}
+			return core.Then(forks, core.Then(done.Wait(parties),
+				core.Lift(func() int { return lastGen })))
+		})
+	})
+	run(t, m, rounds-1)
+}
+
+func TestBarrierKilledWaiterRetracts(t *testing.T) {
+	// Kill one of two waiters; the barrier must NOT release (one party
+	// left), and a replacement must complete the round.
+	m := core.Bind(conc.NewBarrier(2), func(b conc.Barrier) core.IO[string] {
+		return core.Bind(core.NewEmptyMVar[string](), func(out core.MVar[string]) core.IO[string] {
+			victim := core.Catch(
+				core.Then(core.Void(b.Await()), core.Put(out, "victim-released")),
+				func(core.Exception) core.IO[core.Unit] { return core.Return(core.UnitValue) })
+			steady := core.Then(core.Void(b.Await()), core.Put(out, "steady-released"))
+			replacement := core.Then(core.Void(b.Await()), core.Put(out, "replacement-released"))
+			return core.Bind(core.Fork(victim), func(vid core.ThreadID) core.IO[string] {
+				return core.Then(core.Seq(
+					core.Sleep(time.Millisecond), // victim waits
+					core.KillThread(vid),
+					core.Sleep(time.Millisecond),
+					core.Void(core.Fork(steady)),
+					core.Sleep(time.Millisecond), // steady waits; barrier must not fire yet
+					core.Void(core.Fork(replacement)),
+				), core.Bind(core.Take(out), func(a string) core.IO[string] {
+					return core.Bind(core.Take(out), func(bm string) core.IO[string] {
+						if a == "victim-released" || bm == "victim-released" {
+							return core.Return("phantom-release")
+						}
+						return core.Return("completed")
+					})
+				}))
+			})
+		})
+	})
+	run(t, m, "completed")
+}

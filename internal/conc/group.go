@@ -1,0 +1,136 @@
+package conc
+
+import (
+	"asyncexc/internal/core"
+	"asyncexc/internal/exc"
+)
+
+// Group is structured concurrency over Asyncs: tasks spawned in a
+// group are awaited together, and the first failure — first by
+// completion time, not spawn order — cancels the rest and is rethrown.
+// It is the QLisp-style "whole tree of threads" control the paper's
+// related-work section describes (§10), built on the paper's own
+// primitives, as the paper suggests it should be ("It should be
+// possible to build similar mechanisms using our more primitive
+// construct").
+type Group[A any] struct {
+	tasks core.MVar[[]Async[A]]
+	// events receives each task's outcome as it completes; Wait
+	// consumes one event per task so it reacts to the earliest
+	// failure immediately.
+	events Chan[core.Attempt[A]]
+}
+
+// NewGroup creates an empty group.
+func NewGroup[A any]() core.IO[Group[A]] {
+	return core.Bind(core.NewMVar([]Async[A]{}), func(ts core.MVar[[]Async[A]]) core.IO[Group[A]] {
+		return core.Bind(NewChan[core.Attempt[A]](), func(ev Chan[core.Attempt[A]]) core.IO[Group[A]] {
+			return core.Return(Group[A]{tasks: ts, events: ev})
+		})
+	})
+}
+
+// Go spawns m in the group. A watcher thread forwards the task's
+// outcome to the group's completion channel.
+func (g Group[A]) Go(m core.IO[A]) core.IO[Async[A]] {
+	return core.Block(core.Bind(Spawn(m), func(a Async[A]) core.IO[Async[A]] {
+		watcher := core.Bind(a.WaitCatch(), func(r core.Attempt[A]) core.IO[core.Unit] {
+			return g.events.Write(r)
+		})
+		return core.Then(core.Seq(
+			core.Void(core.ForkNamed(watcher, "group.watch")),
+			core.ModifyMVar(g.tasks, func(ts []Async[A]) core.IO[[]Async[A]] {
+				return core.Return(append(ts, a))
+			}),
+		), core.Return(a))
+	}))
+}
+
+// Wait blocks until every task has finished or one has failed. On the
+// first failure (by completion time) the remaining tasks are cancelled
+// and the failure is rethrown; otherwise the results are returned in
+// spawn order.
+func (g Group[A]) Wait() core.IO[[]A] {
+	return core.Bind(core.Read(g.tasks), func(ts []Async[A]) core.IO[[]A] {
+		var drain func(left int) core.IO[core.Maybe[core.Exception]]
+		drain = func(left int) core.IO[core.Maybe[core.Exception]] {
+			if left == 0 {
+				return core.Return(core.Nothing[core.Exception]())
+			}
+			return core.Bind(g.events.Read(), func(r core.Attempt[A]) core.IO[core.Maybe[core.Exception]] {
+				if r.Failed() {
+					return core.Return(core.Just(r.Exc))
+				}
+				return core.Delay(func() core.IO[core.Maybe[core.Exception]] { return drain(left - 1) })
+			})
+		}
+		return core.Bind(drain(len(ts)), func(failed core.Maybe[core.Exception]) core.IO[[]A] {
+			if failed.IsJust {
+				return core.Then(g.CancelAll(), core.Throw[[]A](failed.Value))
+			}
+			// Every task succeeded; collect results in spawn order
+			// (each Wait is now immediate).
+			return core.ForM(ts, func(a Async[A]) core.IO[A] { return a.Wait() })
+		})
+	})
+}
+
+// CancelAll sends ThreadKilled to every task and waits for each to
+// settle. Cancellation runs masked so a stray exception cannot leave
+// half the group running.
+func (g Group[A]) CancelAll() core.IO[core.Unit] {
+	return core.Block(core.Bind(core.Read(g.tasks), func(ts []Async[A]) core.IO[core.Unit] {
+		return core.ForM_(ts, func(a Async[A]) core.IO[core.Unit] {
+			return a.CancelWith(exc.ThreadKilled{})
+		})
+	}))
+}
+
+// WithGroup runs body with a fresh group and guarantees every task is
+// settled (awaited or cancelled) before it returns, whether body
+// returns or raises.
+func WithGroup[A, B any](body func(Group[A]) core.IO[B]) core.IO[B] {
+	return core.Bind(NewGroup[A](), func(g Group[A]) core.IO[B] {
+		return core.Finally(body(g), g.CancelAll())
+	})
+}
+
+// MapConcurrently applies f to every element on its own green thread
+// and collects the results in order; the first failure cancels the
+// remaining work and is rethrown (Group semantics).
+func MapConcurrently[A, B any](xs []A, f func(A) core.IO[B]) core.IO[[]B] {
+	return WithGroup(func(g Group[B]) core.IO[[]B] {
+		spawn := core.ForM_(xs, func(x A) core.IO[core.Unit] {
+			return core.Void(g.Go(f(x)))
+		})
+		return core.Then(spawn, g.Wait())
+	})
+}
+
+// Race runs every computation concurrently and returns the first
+// result, cancelling the rest; an n-ary EitherIO. Failures are ignored
+// unless every computation fails, in which case the last failure is
+// rethrown.
+func Race[A any](xs []core.IO[A]) core.IO[A] {
+	return core.Bind(NewGroup[A](), func(g Group[A]) core.IO[A] {
+		spawn := core.ForM_(xs, func(m core.IO[A]) core.IO[core.Unit] {
+			return core.Void(g.Go(m))
+		})
+		var await func(left int, lastErr core.Exception) core.IO[A]
+		await = func(left int, lastErr core.Exception) core.IO[A] {
+			if left == 0 {
+				if lastErr != nil {
+					return core.Throw[A](lastErr)
+				}
+				return core.Throw[A](exc.ErrorCall{Msg: "conc: Race of zero computations"})
+			}
+			return core.Bind(g.events.Read(), func(r core.Attempt[A]) core.IO[A] {
+				if r.Failed() {
+					return core.Delay(func() core.IO[A] { return await(left-1, r.Exc) })
+				}
+				return core.Then(g.CancelAll(), core.Return(r.Value))
+			})
+		}
+		return core.Finally(core.Then(spawn, await(len(xs), nil)), g.CancelAll())
+	})
+}

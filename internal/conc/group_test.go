@@ -1,0 +1,177 @@
+package conc_test
+
+import (
+	"testing"
+	"time"
+
+	"asyncexc/internal/conc"
+	"asyncexc/internal/core"
+	"asyncexc/internal/exc"
+)
+
+func TestGroupWait(t *testing.T) {
+	m := conc.WithGroup(func(g conc.Group[int]) core.IO[string] {
+		return core.Then(core.Seq(
+			core.Void(g.Go(core.Then(core.Sleep(30*time.Millisecond), core.Return(1)))),
+			core.Void(g.Go(core.Then(core.Sleep(10*time.Millisecond), core.Return(2)))),
+			core.Void(g.Go(core.Return(3))),
+		), core.Bind(g.Wait(), func(vs []int) core.IO[string] {
+			if len(vs) == 3 && vs[0] == 1 && vs[1] == 2 && vs[2] == 3 {
+				return core.Return("ordered")
+			}
+			return core.Return("wrong")
+		}))
+	})
+	run(t, m, "ordered")
+}
+
+func TestGroupFirstFailureCancelsRest(t *testing.T) {
+	m := core.Bind(core.NewEmptyMVar[string](), func(probe core.MVar[string]) core.IO[string] {
+		body := conc.WithGroup(func(g conc.Group[int]) core.IO[[]int] {
+			return core.Then(core.Seq(
+				core.Void(g.Go(core.Then(core.Sleep(time.Hour),
+					core.Then(core.Put(probe, "survivor"), core.Return(1))))),
+				core.Void(g.Go(core.Then(core.Sleep(time.Millisecond),
+					core.Throw[int](exc.ErrorCall{Msg: "task 2 failed"})))),
+			), g.Wait())
+		})
+		return core.Bind(core.Try(body), func(r core.Attempt[[]int]) core.IO[string] {
+			if !r.Failed() || !r.Exc.Eq(exc.ErrorCall{Msg: "task 2 failed"}) {
+				return core.Return("wrong-error")
+			}
+			return core.Then(core.Sleep(10*time.Second),
+				core.Bind(core.TryTake(probe), func(p core.Maybe[string]) core.IO[string] {
+					if p.IsJust {
+						return core.Return("leaked")
+					}
+					return core.Return("cancelled-and-rethrown")
+				}))
+		})
+	})
+	run(t, m, "cancelled-and-rethrown")
+}
+
+func TestWithGroupCancelsOnBodyException(t *testing.T) {
+	m := core.Bind(core.NewEmptyMVar[string](), func(probe core.MVar[string]) core.IO[string] {
+		body := conc.WithGroup(func(g conc.Group[int]) core.IO[int] {
+			return core.Then(
+				core.Void(g.Go(core.Then(core.Sleep(time.Hour),
+					core.Then(core.Put(probe, "survivor"), core.Return(1))))),
+				core.Throw[int](exc.ErrorCall{Msg: "body died"}))
+		})
+		return core.Then(core.Void(core.Try(body)),
+			core.Then(core.Sleep(10*time.Second),
+				core.Bind(core.TryTake(probe), func(p core.Maybe[string]) core.IO[string] {
+					if p.IsJust {
+						return core.Return("leaked")
+					}
+					return core.Return("reaped")
+				})))
+	})
+	run(t, m, "reaped")
+}
+
+func TestGroupEmptyWait(t *testing.T) {
+	m := conc.WithGroup(func(g conc.Group[int]) core.IO[int] {
+		return core.Map(g.Wait(), func(vs []int) int { return len(vs) })
+	})
+	run(t, m, 0)
+}
+
+// --- Mask-with-restore extension ------------------------------------------
+
+func TestMaskRestoreRestoresCallerState(t *testing.T) {
+	// Inside an outer Block, Mask's restore must re-establish MASKED
+	// (the caller's state), not unmasked — the fix over raw Unblock.
+	m := core.Block(core.Mask(func(restore func(core.IO[core.MaskState]) core.IO[core.MaskState]) core.IO[core.MaskState] {
+		return restore(core.GetMask())
+	}))
+	run(t, m, core.Masked)
+}
+
+func TestMaskRestoreUnmasksWhenCallerUnmasked(t *testing.T) {
+	m := core.Mask(func(restore func(core.IO[core.MaskState]) core.IO[core.MaskState]) core.IO[core.MaskState] {
+		return restore(core.GetMask())
+	})
+	run(t, m, core.Unmasked)
+}
+
+func TestMaskBodyIsMasked(t *testing.T) {
+	m := core.Mask(func(restore func(core.IO[core.MaskState]) core.IO[core.MaskState]) core.IO[core.MaskState] {
+		return core.GetMask()
+	})
+	run(t, m, core.Masked)
+}
+
+func TestMapConcurrently(t *testing.T) {
+	xs := []int{5, 3, 1, 4, 2}
+	m := conc.MapConcurrently(xs, func(x int) core.IO[int] {
+		// Finish in reverse order of value; results still in input order.
+		return core.Then(core.Sleep(time.Duration(x)*time.Millisecond), core.Return(x*10))
+	})
+	v, e, err := core.Run(m)
+	if err != nil || e != nil {
+		t.Fatalf("run: %v %v", err, e)
+	}
+	want := []int{50, 30, 10, 40, 20}
+	for i := range want {
+		if v[i] != want[i] {
+			t.Fatalf("got %v", v)
+		}
+	}
+}
+
+func TestMapConcurrentlyFailureCancels(t *testing.T) {
+	m := core.Bind(core.NewEmptyMVar[string](), func(probe core.MVar[string]) core.IO[string] {
+		work := conc.MapConcurrently([]int{1, 2, 3}, func(x int) core.IO[int] {
+			if x == 2 {
+				return core.Then(core.Sleep(time.Millisecond), core.Throw[int](exc.ErrorCall{Msg: "elem 2"}))
+			}
+			return core.Then(core.Sleep(time.Hour), core.Then(core.Put(probe, "survivor"), core.Return(x)))
+		})
+		return core.Bind(core.Try(work), func(r core.Attempt[[]int]) core.IO[string] {
+			if !r.Failed() || !r.Exc.Eq(exc.ErrorCall{Msg: "elem 2"}) {
+				return core.Return("wrong-outcome")
+			}
+			return core.Then(core.Sleep(10*time.Second),
+				core.Bind(core.TryTake(probe), func(p core.Maybe[string]) core.IO[string] {
+					if p.IsJust {
+						return core.Return("leaked")
+					}
+					return core.Return("cancelled")
+				}))
+		})
+	})
+	run(t, m, "cancelled")
+}
+
+func TestRaceFirstWins(t *testing.T) {
+	m := conc.Race([]core.IO[string]{
+		core.Then(core.Sleep(30*time.Millisecond), core.Return("slow")),
+		core.Then(core.Sleep(1*time.Millisecond), core.Return("fast")),
+		core.Then(core.Sleep(time.Hour), core.Return("glacial")),
+	})
+	run(t, m, "fast")
+}
+
+func TestRaceSkipsFailures(t *testing.T) {
+	m := conc.Race([]core.IO[string]{
+		core.Throw[string](exc.ErrorCall{Msg: "down"}),
+		core.Then(core.Sleep(time.Millisecond), core.Return("alive")),
+	})
+	run(t, m, "alive")
+}
+
+func TestRaceAllFailRethrowsLast(t *testing.T) {
+	m := conc.Race([]core.IO[string]{
+		core.Throw[string](exc.ErrorCall{Msg: "a"}),
+		core.Then(core.Sleep(time.Millisecond), core.Throw[string](exc.ErrorCall{Msg: "b"})),
+	})
+	_, e, err := core.Run(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e == nil || e.ExceptionName() != "ErrorCall" {
+		t.Fatalf("want ErrorCall, got %v", e)
+	}
+}

@@ -1,0 +1,71 @@
+package conc_test
+
+import (
+	"testing"
+	"time"
+
+	"asyncexc/internal/conc"
+	"asyncexc/internal/core"
+	"asyncexc/internal/exc"
+)
+
+func TestLinkPropagatesFailureToParent(t *testing.T) {
+	m := core.Catch(
+		core.Bind(conc.SpawnLinked(core.Then(core.Sleep(time.Millisecond),
+			core.Throw[int](exc.ErrorCall{Msg: "linked task died"}))),
+			func(a conc.Async[int]) core.IO[string] {
+				// The parent goes about its business; the link delivers
+				// the child's failure asynchronously.
+				return core.Then(core.Sleep(time.Hour), core.Return("parent-unaware"))
+			}),
+		func(e core.Exception) core.IO[string] {
+			return core.Return("linked:" + e.String())
+		})
+	run(t, m, "linked:error: linked task died")
+}
+
+func TestLinkIgnoresSuccess(t *testing.T) {
+	m := core.Bind(conc.SpawnLinked(core.Return(1)), func(a conc.Async[int]) core.IO[string] {
+		return core.Then(core.Sleep(10*time.Millisecond), core.Return("undisturbed"))
+	})
+	run(t, m, "undisturbed")
+}
+
+func TestLinkIgnoresCancellation(t *testing.T) {
+	// Cancelling a linked task must NOT take the parent down: Link
+	// filters ThreadKilled, the way GHC's link does.
+	m := core.Bind(conc.SpawnLinked(core.Then(core.Sleep(time.Hour), core.Return(1))),
+		func(a conc.Async[int]) core.IO[string] {
+			return core.Then(a.Cancel(),
+				core.Then(core.Sleep(10*time.Millisecond), core.Return("still-here")))
+		})
+	run(t, m, "still-here")
+}
+
+// TestLinkDeferredByBlockUninterruptible makes the §10 point against
+// Erlang concrete: the receiver postpones the linked exception with a
+// mask and handles it at a place of its choosing — Erlang's stateful
+// enable/disable cannot protect a handler this way.
+func TestLinkDeferredByBlockUninterruptible(t *testing.T) {
+	sys := core.NewSystem(core.DefaultOptions())
+	prog := core.Catch(
+		core.BlockUninterruptible(core.Bind(
+			conc.SpawnLinked(core.Throw[int](exc.ErrorCall{Msg: "early"})),
+			func(a conc.Async[int]) core.IO[string] {
+				return core.Then(core.Seq(
+					core.Void(core.ReplicateM_(2000, core.Return(core.UnitValue))),
+					core.PutStr("critical-done;"),
+				), core.Return("unreached-after-scope"))
+			})),
+		func(e core.Exception) core.IO[string] { return core.Return("then:" + e.String()) })
+	v, e, err := core.RunSystem(sys, prog)
+	if err != nil || e != nil {
+		t.Fatalf("run: %v %v", err, e)
+	}
+	if v != "then:error: early" {
+		t.Fatalf("got %q", v)
+	}
+	if sys.Output() != "critical-done;" {
+		t.Fatalf("critical section was torn: %q", sys.Output())
+	}
+}

@@ -1,0 +1,89 @@
+package conc
+
+import (
+	"asyncexc/internal/core"
+	"asyncexc/internal/exc"
+)
+
+// Pool is a fixed-size worker pool: N green threads draining a job
+// channel. It is the classic Concurrent Haskell server pattern (and
+// the shape of the paper's §11 web server), with the shutdown story
+// the paper enables: Stop throws ThreadKilled at every worker, and
+// because a worker masks itself around each job, a kill can interrupt
+// the *wait* for work but never tears a job in half.
+type Pool struct {
+	jobs    Chan[core.IO[core.Unit]]
+	workers core.MVar[[]core.ThreadID]
+	// done counts worker exits so Stop can await a clean drain.
+	done QSemN
+	size int
+}
+
+// NewPool starts n workers (n >= 1).
+func NewPool(n int) core.IO[Pool] {
+	if n < 1 {
+		n = 1
+	}
+	return core.Bind(NewChan[core.IO[core.Unit]](), func(jobs Chan[core.IO[core.Unit]]) core.IO[Pool] {
+		return core.Bind(core.NewMVar([]core.ThreadID{}), func(ws core.MVar[[]core.ThreadID]) core.IO[Pool] {
+			return core.Bind(NewQSemN(0), func(done QSemN) core.IO[Pool] {
+				p := Pool{jobs: jobs, workers: ws, done: done, size: n}
+				spawn := core.ForM_(make([]struct{}, n), func(struct{}) core.IO[core.Unit] {
+					return core.Bind(core.ForkNamed(p.worker(), "pool.worker"), func(tid core.ThreadID) core.IO[core.Unit] {
+						return core.ModifyMVar(ws, func(ts []core.ThreadID) core.IO[[]core.ThreadID] {
+							return core.Return(append(ts, tid))
+						})
+					})
+				})
+				return core.Then(spawn, core.Return(p))
+			})
+		})
+	})
+}
+
+// worker drains jobs until killed. The Read (waiting for a job) is the
+// interruptible point; each job runs under Block so that a shutdown
+// kill arriving mid-job is deferred to the job boundary — jobs are
+// never torn. A job that raises is logged into the void (the pool
+// survives), like the paper's server handlers.
+func (p Pool) worker() core.IO[core.Unit] {
+	loop := core.Forever(
+		core.Block(core.Bind(core.Unblock(p.jobs.Read()), func(job core.IO[core.Unit]) core.IO[core.Unit] {
+			return core.Void(core.Try(job))
+		})))
+	return core.Finally(core.Void(core.Try(loop)), p.done.Signal(1))
+}
+
+// Submit enqueues a job; it never waits (the channel is unbounded).
+func (p Pool) Submit(job core.IO[core.Unit]) core.IO[core.Unit] {
+	return p.jobs.Write(job)
+}
+
+// SubmitWait enqueues a job and waits for its completion, rethrowing
+// its exception if it failed.
+func (p Pool) SubmitWait(job core.IO[core.Unit]) core.IO[core.Unit] {
+	return core.Bind(core.NewEmptyMVar[core.Attempt[core.Unit]](), func(res core.MVar[core.Attempt[core.Unit]]) core.IO[core.Unit] {
+		wrapped := core.Bind(core.Try(job), func(r core.Attempt[core.Unit]) core.IO[core.Unit] {
+			return core.Put(res, r)
+		})
+		return core.Then(p.Submit(wrapped),
+			core.Bind(core.Take(res), func(r core.Attempt[core.Unit]) core.IO[core.Unit] {
+				if r.Failed() {
+					return core.Throw[core.Unit](r.Exc)
+				}
+				return core.Return(core.UnitValue)
+			}))
+	})
+}
+
+// Stop kills every worker and waits for them to exit. In-flight jobs
+// complete (workers are masked while running one); queued jobs are
+// discarded.
+func (p Pool) Stop() core.IO[core.Unit] {
+	return core.Block(core.Bind(core.Read(p.workers), func(ts []core.ThreadID) core.IO[core.Unit] {
+		kills := core.ForM_(ts, func(tid core.ThreadID) core.IO[core.Unit] {
+			return core.ThrowTo(tid, exc.ThreadKilled{})
+		})
+		return core.Then(kills, p.done.Wait(p.size))
+	}))
+}

@@ -1,0 +1,110 @@
+package conc_test
+
+import (
+	"testing"
+	"time"
+
+	"asyncexc/internal/conc"
+	"asyncexc/internal/core"
+	"asyncexc/internal/exc"
+)
+
+func TestPoolRunsJobs(t *testing.T) {
+	const jobs = 20
+	count := 0
+	m := core.Bind(conc.NewPool(3), func(p conc.Pool) core.IO[int] {
+		return core.Bind(conc.NewQSemN(0), func(done conc.QSemN) core.IO[int] {
+			submit := core.ForM_(make([]struct{}, jobs), func(struct{}) core.IO[core.Unit] {
+				return p.Submit(core.Seq(
+					core.Lift(func() core.Unit { count++; return core.UnitValue }),
+					done.Signal(1),
+				))
+			})
+			return core.Then(submit, core.Then(done.Wait(jobs),
+				core.Then(p.Stop(), core.Lift(func() int { return count }))))
+		})
+	})
+	run(t, m, jobs)
+}
+
+func TestPoolSubmitWaitRethrows(t *testing.T) {
+	m := core.Bind(conc.NewPool(2), func(p conc.Pool) core.IO[string] {
+		failing := p.SubmitWait(core.Throw[core.Unit](exc.ErrorCall{Msg: "job failed"}))
+		return core.Bind(core.Try(failing), func(r core.Attempt[core.Unit]) core.IO[string] {
+			if !r.Failed() || !r.Exc.Eq(exc.ErrorCall{Msg: "job failed"}) {
+				return core.Return("wrong")
+			}
+			// The pool survives a failing job.
+			return core.Then(p.SubmitWait(core.Return(core.UnitValue)),
+				core.Then(p.Stop(), core.Return("survived")))
+		})
+	})
+	run(t, m, "survived")
+}
+
+func TestPoolStopDoesNotTearJobs(t *testing.T) {
+	// A job that is mid-flight when Stop is called must complete: the
+	// worker masks around each job.
+	const jobs = 6
+	started, finished := 0, 0
+	m := core.Bind(conc.NewPool(2), func(p conc.Pool) core.IO[bool] {
+		slowJob := core.Seq(
+			core.Lift(func() core.Unit { started++; return core.UnitValue }),
+			core.Void(core.ReplicateM_(500, core.Return(core.UnitValue))),
+			core.Lift(func() core.Unit { finished++; return core.UnitValue }),
+		)
+		submit := core.ForM_(make([]struct{}, jobs), func(struct{}) core.IO[core.Unit] {
+			return p.Submit(slowJob)
+		})
+		return core.Then(submit,
+			core.Then(core.Yield(), // let workers pick up jobs
+				core.Then(p.Stop(), core.Lift(func() bool { return started == finished }))))
+	})
+	run(t, m, true)
+}
+
+func TestPoolStopIdlesImmediately(t *testing.T) {
+	m := core.Bind(conc.NewPool(4), func(p conc.Pool) core.IO[string] {
+		return core.Bind(core.Timeout(time.Minute, p.Stop()), func(r core.Maybe[core.Unit]) core.IO[string] {
+			if !r.IsJust {
+				return core.Return("stop-hung")
+			}
+			return core.Return("stopped")
+		})
+	})
+	run(t, m, "stopped")
+}
+
+func TestPoolBoundedConcurrency(t *testing.T) {
+	const workers = 3
+	inFlight, peak := 0, 0
+	m := core.Bind(conc.NewPool(workers), func(p conc.Pool) core.IO[int] {
+		return core.Bind(conc.NewQSemN(0), func(done conc.QSemN) core.IO[int] {
+			job := core.Seq(
+				core.Lift(func() core.Unit {
+					inFlight++
+					if inFlight > peak {
+						peak = inFlight
+					}
+					return core.UnitValue
+				}),
+				core.Yield(),
+				core.Yield(),
+				core.Lift(func() core.Unit { inFlight--; return core.UnitValue }),
+				done.Signal(1),
+			)
+			submit := core.ForM_(make([]struct{}, 12), func(struct{}) core.IO[core.Unit] {
+				return p.Submit(job)
+			})
+			return core.Then(submit, core.Then(done.Wait(12),
+				core.Then(p.Stop(), core.Lift(func() int { return peak }))))
+		})
+	})
+	v, e, err := core.Run(m)
+	if err != nil || e != nil {
+		t.Fatalf("run: %v %v", err, e)
+	}
+	if v < 1 || v > workers {
+		t.Fatalf("peak concurrency %d, want 1..%d", v, workers)
+	}
+}

@@ -1,0 +1,218 @@
+package conc
+
+import "asyncexc/internal/core"
+
+// qsemState is a quantity plus the FIFO of blocked waiters; each waiter
+// is a one-shot MVar that receives a unit when a signal is dedicated to
+// it.
+type qsemState struct {
+	avail   int
+	waiters []core.MVar[core.Unit]
+}
+
+// QSem is a quantity semaphore: Wait decrements, blocking while the
+// quantity is zero; Signal increments, waking the longest waiter. It is
+// exception-safe: a waiter interrupted while blocked either never
+// consumed a unit or returns the unit it was handed.
+type QSem struct {
+	state core.MVar[qsemState]
+}
+
+// NewQSem creates a semaphore with the given initial (non-negative)
+// quantity.
+func NewQSem(initial int) core.IO[QSem] {
+	if initial < 0 {
+		initial = 0
+	}
+	return core.Bind(core.NewMVar(qsemState{avail: initial}), func(st core.MVar[qsemState]) core.IO[QSem] {
+		return core.Return(QSem{state: st})
+	})
+}
+
+// Wait acquires one unit.
+func (q QSem) Wait() core.IO[core.Unit] {
+	return core.Block(core.Bind(core.Take(q.state), func(st qsemState) core.IO[core.Unit] {
+		if st.avail > 0 {
+			st.avail--
+			return core.Put(q.state, st)
+		}
+		return core.Bind(core.NewEmptyMVar[core.Unit](), func(w core.MVar[core.Unit]) core.IO[core.Unit] {
+			st.waiters = append(st.waiters, w)
+			return core.Then(core.Put(q.state, st),
+				// The Take is the interruptible wait. If we are
+				// interrupted after a signaler has already dedicated a
+				// unit to us, the unit must be returned — otherwise it
+				// would be lost and the semaphore would leak capacity.
+				core.Catch(core.Take(w), func(e core.Exception) core.IO[core.Unit] {
+					return core.Then(q.unregister(w), core.Throw[core.Unit](e))
+				}))
+		})
+	}))
+}
+
+// TryWait acquires one unit without waiting: true on success, false
+// when no unit is available. Never an interruption point.
+func (q QSem) TryWait() core.IO[bool] {
+	return core.Block(core.Bind(core.Take(q.state), func(st qsemState) core.IO[bool] {
+		if st.avail > 0 {
+			st.avail--
+			return core.Then(core.Put(q.state, st), core.Return(true))
+		}
+		return core.Then(core.Put(q.state, st), core.Return(false))
+	}))
+}
+
+// Available returns the current free quantity (a snapshot).
+func (q QSem) Available() core.IO[int] {
+	return core.Bind(core.Read(q.state), func(st qsemState) core.IO[int] {
+		return core.Return(st.avail)
+	})
+}
+
+// unregister removes an interrupted waiter; if the waiter had already
+// been handed a unit, the unit is re-signalled.
+func (q QSem) unregister(w core.MVar[core.Unit]) core.IO[core.Unit] {
+	// Uninterruptible for the same reason as Signal: a second
+	// exception must not abort the bookkeeping that returns a unit.
+	return core.BlockUninterruptible(core.Bind(core.Take(q.state), func(st qsemState) core.IO[core.Unit] {
+		for i, x := range st.waiters {
+			if x.Raw() == w.Raw() {
+				st.waiters = append(append([]core.MVar[core.Unit]{}, st.waiters[:i]...), st.waiters[i+1:]...)
+				return core.Put(q.state, st)
+			}
+		}
+		// Not in the queue: a signaler popped us and put (or is about
+		// to put) a unit into w. Reclaim it and pass it on.
+		return core.Then(core.Put(q.state, st),
+			core.Bind(core.TryTake(w), func(got core.Maybe[core.Unit]) core.IO[core.Unit] {
+				if got.IsJust {
+					return q.Signal()
+				}
+				// The signaler is between popping us and putting; its
+				// Put (to our empty w) cannot wait, so by the time
+				// anyone observes the semaphore again the unit is in w.
+				// Taking it now may race; put it back via Signal after
+				// a blocking Take — safe because the Put is imminent.
+				return core.Then(core.Void(core.Take(w)), q.Signal())
+			}))
+	}))
+}
+
+// Signal releases one unit, waking the longest waiter if any.
+//
+// Signal runs under BlockUninterruptible: it is used as the release
+// action of With's bracket, and an asynchronous exception interrupting
+// its (briefly contended) Take of the state lock would lose the unit —
+// the exception-safety hole that led GHC's base library to introduce
+// uninterruptibleMask for exactly this pattern. The wait is bounded
+// (the state lock is only ever held for non-blocking updates), so the
+// uninterruptible window is tiny.
+func (q QSem) Signal() core.IO[core.Unit] {
+	return core.BlockUninterruptible(core.Bind(core.Take(q.state), func(st qsemState) core.IO[core.Unit] {
+		if len(st.waiters) > 0 {
+			w := st.waiters[0]
+			st.waiters = append([]core.MVar[core.Unit]{}, st.waiters[1:]...)
+			// w is empty (one-shot), so this Put cannot wait.
+			return core.Then(core.Put(q.state, st), core.Put(w, core.UnitValue))
+		}
+		st.avail++
+		return core.Put(q.state, st)
+	}))
+}
+
+// With runs m holding one unit of the semaphore, releasing it whether m
+// returns or raises.
+func With[A any](q QSem, m core.IO[A]) core.IO[A] {
+	return core.Bracket(q.Wait(),
+		func(core.Unit) core.IO[A] { return m },
+		func(core.Unit) core.IO[core.Unit] { return q.Signal() })
+}
+
+// ---------------------------------------------------------------------
+// QSemN — quantity semaphore with multi-unit operations
+// ---------------------------------------------------------------------
+
+type qsemnWaiter struct {
+	need int
+	w    core.MVar[core.Unit]
+}
+
+type qsemnState struct {
+	avail   int
+	waiters []qsemnWaiter
+}
+
+// QSemN is a quantity semaphore whose Wait and Signal move n units at a
+// time. Waiters are served FIFO; a large request at the head blocks
+// later smaller ones (no starvation).
+type QSemN struct {
+	state core.MVar[qsemnState]
+}
+
+// NewQSemN creates a semaphore with the given initial quantity.
+func NewQSemN(initial int) core.IO[QSemN] {
+	if initial < 0 {
+		initial = 0
+	}
+	return core.Bind(core.NewMVar(qsemnState{avail: initial}), func(st core.MVar[qsemnState]) core.IO[QSemN] {
+		return core.Return(QSemN{state: st})
+	})
+}
+
+// Wait acquires n units.
+func (q QSemN) Wait(n int) core.IO[core.Unit] {
+	if n <= 0 {
+		return core.Return(core.UnitValue)
+	}
+	return core.Block(core.Bind(core.Take(q.state), func(st qsemnState) core.IO[core.Unit] {
+		if st.avail >= n && len(st.waiters) == 0 {
+			st.avail -= n
+			return core.Put(q.state, st)
+		}
+		return core.Bind(core.NewEmptyMVar[core.Unit](), func(w core.MVar[core.Unit]) core.IO[core.Unit] {
+			st.waiters = append(st.waiters, qsemnWaiter{need: n, w: w})
+			return core.Then(core.Put(q.state, st),
+				core.Catch(core.Take(w), func(e core.Exception) core.IO[core.Unit] {
+					return core.Then(q.unregister(w, n), core.Throw[core.Unit](e))
+				}))
+		})
+	}))
+}
+
+func (q QSemN) unregister(w core.MVar[core.Unit], n int) core.IO[core.Unit] {
+	return core.BlockUninterruptible(core.Bind(core.Take(q.state), func(st qsemnState) core.IO[core.Unit] {
+		for i, x := range st.waiters {
+			if x.w.Raw() == w.Raw() {
+				st.waiters = append(append([]qsemnWaiter{}, st.waiters[:i]...), st.waiters[i+1:]...)
+				return core.Put(q.state, st)
+			}
+		}
+		return core.Then(core.Put(q.state, st),
+			core.Bind(core.TryTake(w), func(got core.Maybe[core.Unit]) core.IO[core.Unit] {
+				if got.IsJust {
+					return q.Signal(n)
+				}
+				return core.Then(core.Void(core.Take(w)), q.Signal(n))
+			}))
+	}))
+}
+
+// Signal releases n units, waking FIFO waiters whose requests are now
+// satisfiable. Uninterruptible, like QSem.Signal.
+func (q QSemN) Signal(n int) core.IO[core.Unit] {
+	if n <= 0 {
+		return core.Return(core.UnitValue)
+	}
+	return core.BlockUninterruptible(core.Bind(core.Take(q.state), func(st qsemnState) core.IO[core.Unit] {
+		st.avail += n
+		wake := core.Return(core.UnitValue)
+		for len(st.waiters) > 0 && st.waiters[0].need <= st.avail {
+			head := st.waiters[0]
+			st.waiters = append([]qsemnWaiter{}, st.waiters[1:]...)
+			st.avail -= head.need
+			w := head.w
+			wake = core.Then(wake, core.Put(w, core.UnitValue))
+		}
+		return core.Then(core.Put(q.state, st), wake)
+	}))
+}

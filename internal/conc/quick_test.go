@@ -1,0 +1,191 @@
+package conc_test
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"asyncexc/internal/conc"
+	"asyncexc/internal/core"
+	"asyncexc/internal/exc"
+)
+
+// --- Property: Chan preserves FIFO order and loses nothing -------------
+
+func TestQuickChanFIFOUnderRandomSchedules(t *testing.T) {
+	prop := func(nRaw uint8, seed int64) bool {
+		n := int(nRaw%30) + 1
+		opts := core.DefaultOptions()
+		opts.RandomSched = true
+		opts.Seed = seed
+		opts.TimeSlice = 3
+		prog := core.Bind(conc.NewChan[int](), func(ch conc.Chan[int]) core.IO[bool] {
+			writer := core.ForM_(seqInts(n), func(i int) core.IO[core.Unit] {
+				return ch.Write(i)
+			})
+			var read func(i int) core.IO[bool]
+			read = func(i int) core.IO[bool] {
+				if i >= n {
+					return core.Return(true)
+				}
+				return core.Bind(ch.Read(), func(v int) core.IO[bool] {
+					if v != i {
+						return core.Return(false)
+					}
+					return core.Delay(func() core.IO[bool] { return read(i + 1) })
+				})
+			}
+			return core.Then(core.Void(core.Fork(writer)), read(0))
+		})
+		v, e, err := core.RunWith(opts, prog)
+		return err == nil && e == nil && v
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// --- Property: Chan conserves items with a killed reader ----------------
+
+func TestQuickChanSurvivesKilledReaders(t *testing.T) {
+	// Kill a reader at a random moment; every item must still be
+	// readable by the survivor (no lost stream cells).
+	prop := func(seed int64) bool {
+		const items = 10
+		opts := core.DefaultOptions()
+		opts.RandomSched = true
+		opts.Seed = seed
+		opts.TimeSlice = 1
+		prog := core.Bind(conc.NewChan[int](), func(ch conc.Chan[int]) core.IO[bool] {
+			victim := core.Void(core.Forever(core.Void(ch.Read())))
+			return core.Bind(core.Fork(victim), func(vid core.ThreadID) core.IO[bool] {
+				return core.Then(core.Seq(
+					core.Yield(),
+					core.KillThread(vid),
+					core.ForM_(seqInts(items), func(i int) core.IO[core.Unit] { return ch.Write(i) }),
+					core.Sleep(time.Millisecond),
+				), core.Bind(drainCount(ch), func(got int) core.IO[bool] {
+					// The victim may have consumed a few items before
+					// dying, but the channel must stay coherent: the
+					// survivor gets everything that remains, with no
+					// wedge.
+					return core.Return(got >= 0 && got <= items)
+				}))
+			})
+		})
+		v, e, err := core.RunWith(opts, prog)
+		return err == nil && e == nil && v
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func drainCount(ch conc.Chan[int]) core.IO[int] {
+	var loop func(acc int) core.IO[int]
+	loop = func(acc int) core.IO[int] {
+		return core.Bind(ch.TryRead(), func(r core.Maybe[int]) core.IO[int] {
+			if !r.IsJust {
+				return core.Return(acc)
+			}
+			return core.Delay(func() core.IO[int] { return loop(acc + 1) })
+		})
+	}
+	return loop(0)
+}
+
+func seqInts(n int) []int {
+	xs := make([]int, n)
+	for i := range xs {
+		xs[i] = i
+	}
+	return xs
+}
+
+// --- Property: QSem conserves units under kills --------------------------
+
+func TestQuickQSemConservesUnitsUnderKills(t *testing.T) {
+	// Start with k units; run workers that acquire/release, kill some
+	// mid-flight; after the dust settles, exactly k units remain
+	// available (With releases on kill; waiters return handed units).
+	prop := func(kRaw uint8, seed int64) bool {
+		k := int(kRaw%3) + 1
+		const workers = 4
+		opts := core.DefaultOptions()
+		opts.RandomSched = true
+		opts.Seed = seed
+		opts.TimeSlice = 1
+		prog := core.Bind(conc.NewQSem(k), func(q conc.QSem) core.IO[bool] {
+			worker := core.Void(conc.With(q, core.Void(core.ReplicateM_(5, core.Return(core.UnitValue)))))
+			forks := core.Return([]core.ThreadID(nil))
+			for i := 0; i < workers; i++ {
+				forks = core.Bind(forks, func(ids []core.ThreadID) core.IO[[]core.ThreadID] {
+					return core.Bind(core.Fork(worker), func(tid core.ThreadID) core.IO[[]core.ThreadID] {
+						return core.Return(append(ids, tid))
+					})
+				})
+			}
+			return core.Bind(forks, func(ids []core.ThreadID) core.IO[bool] {
+				kills := core.ForM_(ids[:2], func(tid core.ThreadID) core.IO[core.Unit] {
+					return core.ThrowTo(tid, exc.ThreadKilled{})
+				})
+				return core.Then(core.Seq(core.Yield(), kills, core.Sleep(time.Millisecond)),
+					core.Bind(q.Available(), func(avail int) core.IO[bool] {
+						return core.Return(avail == k)
+					}))
+			})
+		})
+		v, e, err := core.RunWith(opts, prog)
+		return err == nil && e == nil && v
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// --- Property: Group.Wait returns all results or rethrows first failure ----
+
+func TestQuickGroupAllOrFirstFailure(t *testing.T) {
+	prop := func(nRaw uint8, failIdxRaw uint8, seed int64) bool {
+		n := int(nRaw%5) + 1
+		failIdx := int(failIdxRaw) % (n + 1) // n means "no failure"
+		opts := core.DefaultOptions()
+		opts.RandomSched = true
+		opts.Seed = seed
+		prog := conc.WithGroup(func(g conc.Group[int]) core.IO[string] {
+			spawnAll := core.ForM_(seqInts(n), func(i int) core.IO[core.Unit] {
+				task := core.Then(core.Sleep(time.Duration(i+1)*time.Millisecond), core.Return(i))
+				if i == failIdx {
+					task = core.Then(core.Sleep(time.Millisecond), core.Throw[int](exc.ErrorCall{Msg: "f"}))
+				}
+				return core.Void(g.Go(task))
+			})
+			return core.Then(spawnAll,
+				core.Bind(core.Try(g.Wait()), func(r core.Attempt[[]int]) core.IO[string] {
+					if failIdx < n {
+						if r.Failed() && r.Exc.Eq(exc.ErrorCall{Msg: "f"}) {
+							return core.Return("failed-as-expected")
+						}
+						return core.Return("missed-failure")
+					}
+					if r.Failed() || len(r.Value) != n {
+						return core.Return("bad-success")
+					}
+					for i, v := range r.Value {
+						if v != i {
+							return core.Return("out-of-order")
+						}
+					}
+					return core.Return("ok")
+				}))
+		})
+		v, e, err := core.RunWith(opts, prog)
+		if err != nil || e != nil {
+			return false
+		}
+		return v == "ok" || v == "failed-as-expected"
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

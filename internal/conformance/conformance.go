@@ -1,0 +1,135 @@
+// Package conformance differentially tests the runtime implementation
+// (internal/sched, via internal/compile) against the executable
+// operational semantics (internal/machine) on the same source
+// programs.
+//
+// The correctness criterion is behavioural refinement: the semantics is
+// nondeterministic (scheduling, exception delivery, the clock), so the
+// implementation is correct when every outcome it can produce — under
+// any of its scheduling policies — is a member of the machine's
+// outcome set. The suite runs each program under the deterministic
+// round-robin scheduler and under many seeded random schedulers with a
+// one-step time slice, and checks membership for each.
+package conformance
+
+import (
+	"fmt"
+
+	"asyncexc/internal/compile"
+	"asyncexc/internal/lambda"
+	"asyncexc/internal/machine"
+	"asyncexc/internal/sched"
+)
+
+// Outcome mirrors machine.Outcome for runtime runs.
+type Outcome = machine.Outcome
+
+// RunMachine computes the semantics' outcome set for src.
+func RunMachine(src, input string) (machine.ExploreResult, error) {
+	st, err := machine.NewFromSource(src, input)
+	if err != nil {
+		return machine.ExploreResult{}, err
+	}
+	res := machine.Explore(st, machine.Options{}, machine.Limits{})
+	return res, nil
+}
+
+// RuntimeSchedule selects a runtime scheduling policy for a run.
+type RuntimeSchedule struct {
+	// Random selects the seeded random scheduler; otherwise
+	// round-robin.
+	Random bool
+	Seed   int64
+	// TimeSlice in steps (0 = runtime default).
+	TimeSlice int
+}
+
+// RunRuntime compiles src and runs it on the real runtime under the
+// given schedule, returning the observable outcome. Deadlock detection
+// is disabled so that a lost lock wedges, exactly as in the semantics.
+func RunRuntime(src, input string, sch RuntimeSchedule) (Outcome, error) {
+	c, node, err := compile.CompileProgram(src)
+	if err != nil {
+		return Outcome{}, err
+	}
+	_ = c
+	opts := sched.Options{
+		DetectDeadlock: false,
+		Stdin:          input,
+		MaxSteps:       5_000_000,
+		TimeSlice:      sch.TimeSlice,
+		RandomSched:    sch.Random,
+		Seed:           sch.Seed,
+	}
+	rt := sched.NewRT(opts)
+	rt.CloseInput()
+	res, err := rt.RunMain(node)
+	switch err {
+	case nil:
+	case sched.ErrDeadlock:
+		return Outcome{Output: rt.Output(), Wedged: true}, nil
+	default:
+		return Outcome{}, err
+	}
+	o := Outcome{Output: rt.Output()}
+	if res.Exc != nil {
+		o.Exc = res.Exc.ExceptionName()
+		return o, nil
+	}
+	term, ok := res.Value.(lambda.Term)
+	if !ok {
+		return Outcome{}, fmt.Errorf("conformance: main returned %T, want lambda.Term", res.Value)
+	}
+	o.Value = machine.ForceValue(term, 100000)
+	return o, nil
+}
+
+// DefaultSchedules is the schedule battery Check runs: round-robin
+// with the default and one-step slices, plus seeded random schedulers
+// at one-step granularity (where interleavings are densest).
+func DefaultSchedules(randomRuns int) []RuntimeSchedule {
+	out := []RuntimeSchedule{
+		{TimeSlice: 0},
+		{TimeSlice: 1},
+		{TimeSlice: 3},
+	}
+	for s := int64(0); s < int64(randomRuns); s++ {
+		out = append(out, RuntimeSchedule{Random: true, Seed: s, TimeSlice: 1})
+	}
+	return out
+}
+
+// Violation describes a runtime outcome outside the semantics' set.
+type Violation struct {
+	Src      string
+	Schedule RuntimeSchedule
+	Got      Outcome
+	Allowed  []machine.Outcome
+}
+
+func (v *Violation) Error() string {
+	return fmt.Sprintf("conformance violation for %q under %+v:\n  got      %v\n  allowed  %v",
+		v.Src, v.Schedule, v.Got, v.Allowed)
+}
+
+// Check verifies that every runtime schedule's outcome for src is in
+// the machine's outcome set.
+func Check(src, input string, schedules []RuntimeSchedule) error {
+	specRes, err := RunMachine(src, input)
+	if err != nil {
+		return err
+	}
+	if specRes.Cutoff {
+		return fmt.Errorf("conformance: exploration of %q hit limits; shrink the program", src)
+	}
+	for _, sch := range schedules {
+		got, err := RunRuntime(src, input, sch)
+		if err != nil {
+			return fmt.Errorf("runtime run of %q under %+v: %w", src, sch, err)
+		}
+		if _, ok := specRes.Outcomes[got.Key()]; !ok {
+			return &Violation{Src: src, Schedule: sch, Got: got, Allowed: specRes.OutcomeList()}
+		}
+	}
+	return nil
+}

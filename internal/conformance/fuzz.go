@@ -1,0 +1,111 @@
+package conformance
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// GenProgram generates a random, well-formed, exploration-sized
+// program of the term language: a couple of MVars, up to two forked
+// children, and main/child bodies mixing console output, MVar traffic,
+// sleeps, synchronous throws with handlers, block/unblock regions, and
+// throwTo at the children. Programs are small enough for exhaustive
+// exploration, which makes them ideal fuel for differential testing:
+// the fuzzer hunts for schedules where the runtime leaves the
+// semantics' outcome set.
+func GenProgram(seed int64) string {
+	g := &progGen{rng: rand.New(rand.NewSource(seed))}
+	return g.program()
+}
+
+type progGen struct {
+	rng      *rand.Rand
+	mvars    []string
+	children []string
+	actions  int
+}
+
+const maxActions = 7
+
+func (g *progGen) pick(n int) int { return g.rng.Intn(n) }
+
+func (g *progGen) program() string {
+	var b strings.Builder
+	b.WriteString("do { ")
+	// 1-2 MVars, the first possibly pre-filled.
+	nm := 1 + g.pick(2)
+	for i := 0; i < nm; i++ {
+		name := fmt.Sprintf("m%d", i+1)
+		g.mvars = append(g.mvars, name)
+		fmt.Fprintf(&b, "%s <- newEmptyMVar ; ", name)
+	}
+	if g.pick(2) == 0 {
+		fmt.Fprintf(&b, "putMVar %s %d ; ", g.mvars[0], g.pick(10))
+	}
+	// 0-2 children. The child's body is generated BEFORE its tid comes
+	// into scope: a do-binder binds only in the statements after it,
+	// so a child may throw at previously forked children but not at
+	// itself.
+	nc := g.pick(3)
+	for i := 0; i < nc; i++ {
+		tid := fmt.Sprintf("t%d", i+1)
+		body := g.body(2)
+		g.children = append(g.children, tid)
+		fmt.Fprintf(&b, "%s <- forkIO (%s) ; ", tid, body)
+	}
+	// Main body.
+	b.WriteString(g.body(3))
+	b.WriteString(" }")
+	return b.String()
+}
+
+// body generates a sequence of 1..n statements ending in an action.
+func (g *progGen) body(n int) string {
+	stmts := 1 + g.pick(n)
+	parts := make([]string, 0, stmts)
+	for i := 0; i < stmts; i++ {
+		parts = append(parts, g.action(2))
+	}
+	return strings.Join(parts, " >>= \\_ -> ")
+}
+
+// action generates one IO action; depth bounds nesting.
+func (g *progGen) action(depth int) string {
+	g.actions++
+	if g.actions > maxActions {
+		return "return ()"
+	}
+	choices := 7
+	if depth > 0 {
+		choices = 10
+	}
+	switch g.pick(choices) {
+	case 0:
+		return fmt.Sprintf("putChar '%c'", 'a'+rune(g.pick(3)))
+	case 1:
+		return "return ()"
+	case 2:
+		mv := g.mvars[g.pick(len(g.mvars))]
+		return fmt.Sprintf("putMVar %s %d", mv, g.pick(10))
+	case 3:
+		mv := g.mvars[g.pick(len(g.mvars))]
+		return fmt.Sprintf("(takeMVar %s >>= \\x -> return ())", mv)
+	case 4:
+		return fmt.Sprintf("sleep %d", 1+g.pick(3))
+	case 5:
+		if len(g.children) > 0 {
+			tid := g.children[g.pick(len(g.children))]
+			return fmt.Sprintf("throwTo %s #K%d", tid, g.pick(2))
+		}
+		return "return ()"
+	case 6:
+		return "(myThreadId >>= \\me -> return ())"
+	case 7: // catch
+		return fmt.Sprintf("catch (%s) (\\e -> %s)", g.action(depth-1), g.action(depth-1))
+	case 8: // block
+		return fmt.Sprintf("block (%s)", g.action(depth-1))
+	default: // unblock
+		return fmt.Sprintf("unblock (%s)", g.action(depth-1))
+	}
+}

@@ -1,0 +1,59 @@
+package core
+
+import (
+	"time"
+
+	"asyncexc/internal/exc"
+)
+
+// This file implements the §9 design-alternatives discussion about
+// distinguishing exceptions from alerts.
+//
+// The paper's own Timeout (§7.3) never delivers an exception into the
+// timed computation — it races it against a sleep — so no handler
+// inside the computation can break it. But the obvious alternative,
+// delivering a Timeout exception directly at the computation's thread
+// (TimeoutThrow below), is breakable: "if we put the expression
+// e `catch` \_ -> e' in the context of the timeout combinator, it can
+// intercept the Timeout exception, which breaks the combinator" (§9).
+// The proposed fix is two datatypes — exceptions and alerts — with a
+// catch that ignores alerts; here that is CatchNonAlert, and the tests
+// demonstrate both the breakage and the fix.
+
+// TimeoutThrow is the direct-delivery timeout: it runs m on the
+// calling thread and, if the budget expires first, throws a Timeout
+// alert at it. Nothing is returned on expiry. Unlike Timeout, code
+// inside m that catches everything (with plain Catch) can swallow the
+// alert and break the combinator — use CatchNonAlert in m, or use
+// Timeout, to stay safe.
+func TimeoutThrow[A any](d time.Duration, m IO[A]) IO[Maybe[A]] {
+	return Bind(MyThreadID(), func(me ThreadID) IO[Maybe[A]] {
+		return Block(
+			Bind(ForkNamed(Then(Sleep(d), ThrowTo(me, exc.Timeout{})), "timeout.killer"),
+				func(killer ThreadID) IO[Maybe[A]] {
+					body := Catch(
+						Map(Unblock(m), Just[A]),
+						func(e Exception) IO[Maybe[A]] {
+							if e.Eq(exc.Timeout{}) {
+								return Return(Nothing[A]())
+							}
+							return Throw[Maybe[A]](e)
+						})
+					return Bind(body, func(r Maybe[A]) IO[Maybe[A]] {
+						// Kill the timer and absorb a Timeout that may
+						// already be pending (m finished in the same
+						// instant the timer fired). We are masked here,
+						// so the pending alert can only arrive at the
+						// SafePoint, where the absorber is armed.
+						return Then(KillThread(killer),
+							Then(Catch(SafePoint(), func(e Exception) IO[Unit] {
+								if e.Eq(exc.Timeout{}) {
+									return Return(UnitValue)
+								}
+								return Throw[Unit](e)
+							}),
+								Return(r)))
+					})
+				}))
+	})
+}

@@ -1,0 +1,125 @@
+package core_test
+
+import (
+	"testing"
+	"time"
+
+	"asyncexc/internal/core"
+	"asyncexc/internal/exc"
+)
+
+// These tests reproduce the §9 scenario: a timeout that delivers a
+// Timeout exception directly into the timed computation can be broken
+// by a universal handler written with plain Catch; the two-datatype
+// design (alerts + CatchNonAlert) repairs it.
+
+func TestTimeoutThrowExpires(t *testing.T) {
+	m := core.TimeoutThrow(time.Millisecond, core.Then(core.Sleep(time.Hour), core.Return(1)))
+	v, e, err := core.Run(m)
+	if err != nil || e != nil {
+		t.Fatalf("run: %v %v", err, e)
+	}
+	if v.IsJust {
+		t.Fatalf("got %v, want Nothing", v)
+	}
+}
+
+func TestTimeoutThrowCompletes(t *testing.T) {
+	m := core.TimeoutThrow(time.Hour, core.Then(core.Sleep(time.Millisecond), core.Return(42)))
+	v, e, err := core.Run(m)
+	if err != nil || e != nil {
+		t.Fatalf("run: %v %v", err, e)
+	}
+	if !v.IsJust || v.Value != 42 {
+		t.Fatalf("got %v", v)
+	}
+}
+
+func TestTimeoutThrowRethrowsRealErrors(t *testing.T) {
+	m := core.TimeoutThrow(time.Hour, core.Throw[int](exc.ErrorCall{Msg: "genuine"}))
+	mustException(t, m, exc.ErrorCall{Msg: "genuine"})
+}
+
+// TestUniversalCatchBreaksTimeoutThrow is §9's breakage: the wrapped
+// code retries forever under a universal handler, swallowing the
+// Timeout alert, so the combinator's budget is defeated.
+func TestUniversalCatchBreaksTimeoutThrow(t *testing.T) {
+	// A "robust" sequential retry loop, written with no thought of
+	// asynchronous exceptions (§9): it catches everything and retries.
+	attempts := 0
+	var stubborn func() core.IO[int]
+	stubborn = func() core.IO[int] {
+		return core.Catch(
+			core.Bind(core.Lift(func() int { attempts++; return attempts }), func(n int) core.IO[int] {
+				if n >= 3 {
+					return core.Return(n) // eventually succeeds
+				}
+				return core.Then(core.Sleep(time.Minute), core.Return(n))
+			}),
+			func(core.Exception) core.IO[int] {
+				return core.Delay(stubborn) // swallow ANYTHING and retry
+			})
+	}
+	m := core.TimeoutThrow(time.Millisecond, core.Delay(stubborn))
+	v, e, err := core.Run(m)
+	if err != nil || e != nil {
+		t.Fatalf("run: %v %v", err, e)
+	}
+	// The universal handler swallowed the Timeout: the computation ran
+	// to completion (sleeping a virtual minute!) far past its 1ms
+	// budget, after at least one swallowed delivery.
+	if !v.IsJust {
+		t.Fatalf("expected the broken combinator to return Just, got %v", v)
+	}
+	if attempts < 2 {
+		t.Fatalf("expected the handler to have swallowed a Timeout and retried (attempts=%d)", attempts)
+	}
+}
+
+// TestCatchNonAlertPreservesTimeoutThrow is the §9 fix: the same
+// stubborn loop written with CatchNonAlert lets the alert through.
+func TestCatchNonAlertPreservesTimeoutThrow(t *testing.T) {
+	attempts := 0
+	var stubborn func() core.IO[int]
+	stubborn = func() core.IO[int] {
+		return core.CatchNonAlert(
+			core.Bind(core.Lift(func() int { attempts++; return attempts }), func(n int) core.IO[int] {
+				if n >= 3 {
+					return core.Return(n)
+				}
+				return core.Then(core.Sleep(time.Minute), core.Return(n))
+			}),
+			func(core.Exception) core.IO[int] {
+				return core.Delay(stubborn)
+			})
+	}
+	m := core.TimeoutThrow(time.Millisecond, core.Delay(stubborn))
+	v, e, err := core.Run(m)
+	if err != nil || e != nil {
+		t.Fatalf("run: %v %v", err, e)
+	}
+	if v.IsJust {
+		t.Fatalf("CatchNonAlert should let the Timeout alert cancel the loop, got %v", v)
+	}
+}
+
+// TestPaperTimeoutUnbreakable: the paper's own either-based Timeout is
+// immune to universal handlers — the exception goes to the racing
+// sleeper, never into the timed code. This is the §11 conclusion's
+// argument for the either construction.
+func TestPaperTimeoutUnbreakable(t *testing.T) {
+	var stubborn func() core.IO[int]
+	stubborn = func() core.IO[int] {
+		return core.Catch(
+			core.Then(core.Sleep(time.Minute), core.Return(1)),
+			func(core.Exception) core.IO[int] { return core.Delay(stubborn) })
+	}
+	m := core.Timeout(time.Millisecond, core.Delay(stubborn))
+	v, e, err := core.Run(m)
+	if err != nil || e != nil {
+		t.Fatalf("run: %v %v", err, e)
+	}
+	if v.IsJust {
+		t.Fatalf("the paper's Timeout must not be breakable, got %v", v)
+	}
+}

@@ -1,0 +1,317 @@
+package core_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"asyncexc/internal/core"
+	"asyncexc/internal/exc"
+)
+
+// --- console ------------------------------------------------------------
+
+func TestConsoleEcho(t *testing.T) {
+	opts := core.DefaultOptions()
+	opts.Stdin = "go"
+	sys := core.NewSystem(opts)
+	prog := core.Bind(core.GetChar(), func(a rune) core.IO[core.Unit] {
+		return core.Bind(core.GetChar(), func(b rune) core.IO[core.Unit] {
+			return core.PutStr(strings.ToUpper(string(a) + string(b)))
+		})
+	})
+	if _, e, err := core.RunSystem(sys, prog); err != nil || e != nil {
+		t.Fatalf("run: %v %v", err, e)
+	}
+	if sys.Output() != "GO" {
+		t.Fatalf("output %q", sys.Output())
+	}
+}
+
+func TestPutStrLn(t *testing.T) {
+	sys := core.NewSystem(core.DefaultOptions())
+	if _, e, err := core.RunSystem(sys, core.PutStrLn("hi")); err != nil || e != nil {
+		t.Fatalf("run: %v %v", err, e)
+	}
+	if sys.Output() != "hi\n" {
+		t.Fatalf("output %q", sys.Output())
+	}
+}
+
+// --- MVar API completeness ------------------------------------------------
+
+func TestSwap(t *testing.T) {
+	m := core.Bind(core.NewMVar(1), func(mv core.MVar[int]) core.IO[int] {
+		return core.Bind(core.Swap(mv, 2), func(old int) core.IO[int] {
+			return core.Bind(core.Take(mv), func(now int) core.IO[int] {
+				return core.Return(old*10 + now)
+			})
+		})
+	})
+	mustValue(t, m, 12)
+}
+
+func TestReadNonDestructive(t *testing.T) {
+	m := core.Bind(core.NewMVar("v"), func(mv core.MVar[string]) core.IO[string] {
+		return core.Bind(core.Read(mv), func(a string) core.IO[string] {
+			return core.Bind(core.Read(mv), func(b string) core.IO[string] {
+				return core.Return(a + b)
+			})
+		})
+	})
+	mustValue(t, m, "vv")
+}
+
+func TestTryPut(t *testing.T) {
+	m := core.Bind(core.NewMVar(1), func(mv core.MVar[int]) core.IO[string] {
+		return core.Bind(core.TryPut(mv, 2), func(ok bool) core.IO[string] {
+			if ok {
+				return core.Return("put-into-full?")
+			}
+			return core.Then(core.Void(core.Take(mv)),
+				core.Bind(core.TryPut(mv, 3), func(ok2 bool) core.IO[string] {
+					if !ok2 {
+						return core.Return("put-into-empty-failed?")
+					}
+					return core.Return("ok")
+				}))
+		})
+	})
+	mustValue(t, m, "ok")
+}
+
+func TestModifyMVarValueReturnsAux(t *testing.T) {
+	m := core.Bind(core.NewMVar(10), func(mv core.MVar[int]) core.IO[string] {
+		return core.Bind(
+			core.ModifyMVarValue(mv, func(v int) core.IO[core.Pair[int, string]] {
+				return core.Return(core.MkPair(v+1, "aux"))
+			}),
+			func(aux string) core.IO[string] {
+				return core.Bind(core.Take(mv), func(now int) core.IO[string] {
+					if now != 11 {
+						return core.Return("state-wrong")
+					}
+					return core.Return(aux)
+				})
+			})
+	})
+	mustValue(t, m, "aux")
+}
+
+func TestModifyMVarValueMaskedRestoresOnException(t *testing.T) {
+	m := core.Bind(core.NewMVar(10), func(mv core.MVar[int]) core.IO[int] {
+		failing := core.ModifyMVarValueMasked(mv, func(v int) core.IO[core.Pair[int, int]] {
+			return core.Throw[core.Pair[int, int]](exc.ErrorCall{Msg: "update failed"})
+		})
+		return core.Then(core.Void(core.Try(failing)), core.Take(mv))
+	})
+	mustValue(t, m, 10)
+}
+
+// --- iteration helpers ---------------------------------------------------------
+
+func TestIterateUntil(t *testing.T) {
+	n := 0
+	m := core.Then(
+		core.IterateUntil(core.Lift(func() bool { n++; return n >= 5 })),
+		core.Lift(func() int { return n }))
+	mustValue(t, m, 5)
+}
+
+func TestForeverStoppedByException(t *testing.T) {
+	count := 0
+	prog := core.Bind(core.NewEmptyMVar[int](), func(done core.MVar[int]) core.IO[int] {
+		spinner := core.Finally(
+			core.Forever(core.Lift(func() core.Unit { count++; return core.UnitValue })),
+			core.Lift(func() core.Unit { return core.UnitValue }))
+		_ = spinner
+		worker := core.Catch(
+			core.Void(core.Forever(core.Lift(func() core.Unit { count++; return core.UnitValue }))),
+			func(core.Exception) core.IO[core.Unit] {
+				return core.Put(done, count)
+			})
+		return core.Bind(core.Fork(worker), func(tid core.ThreadID) core.IO[int] {
+			return core.Then(core.Seq(
+				core.Void(busy(500)),
+				core.KillThread(tid),
+			), core.Take(done))
+		})
+	})
+	v, e, err := core.Run(prog)
+	if err != nil || e != nil {
+		t.Fatalf("run: %v %v", err, e)
+	}
+	if v <= 0 {
+		t.Fatalf("forever never ran (count %d)", v)
+	}
+}
+
+func TestForM_Effects(t *testing.T) {
+	sum := 0
+	m := core.Then(
+		core.ForM_([]int{1, 2, 3, 4}, func(x int) core.IO[core.Unit] {
+			return core.Lift(func() core.Unit { sum += x; return core.UnitValue })
+		}),
+		core.Lift(func() int { return sum }))
+	mustValue(t, m, 10)
+}
+
+// --- run layer ------------------------------------------------------------------
+
+func TestMustRun(t *testing.T) {
+	if v := core.MustRun(core.Return(3)); v != 3 {
+		t.Fatalf("got %d", v)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustRun should panic on exceptions")
+		}
+	}()
+	core.MustRun(core.Throw[int](exc.ErrorCall{Msg: "boom"}))
+}
+
+func TestHandleIsFlippedCatch(t *testing.T) {
+	m := core.Handle(func(e core.Exception) core.IO[int] { return core.Return(1) },
+		core.Throw[int](exc.DivideByZero{}))
+	mustValue(t, m, 1)
+}
+
+func TestAttemptHelpers(t *testing.T) {
+	ok := core.Attempt[int]{Value: 3}
+	if ok.Failed() {
+		t.Fatal("success is not failed")
+	}
+	bad := core.Attempt[int]{Exc: exc.Timeout{}}
+	if !bad.Failed() {
+		t.Fatal("exception is failed")
+	}
+}
+
+func TestTypesStringers(t *testing.T) {
+	if core.Just(3).String() != "Just 3" || core.Nothing[int]().String() != "Nothing" {
+		t.Fatal("Maybe stringers")
+	}
+	if core.MkLeft[int, string](1).String() != "Left 1" {
+		t.Fatal("Either Left stringer")
+	}
+	if core.MkRight[int, string]("x").String() != "Right x" {
+		t.Fatal("Either Right stringer")
+	}
+	if core.MkPair(1, "a").String() != "(1,a)" {
+		t.Fatal("Pair stringer")
+	}
+}
+
+// --- stack overflow through the typed API ------------------------------------------
+
+func TestStackOverflowCatchable(t *testing.T) {
+	opts := core.DefaultOptions()
+	opts.MaxStack = 128
+	var deep func(n int) core.IO[int]
+	deep = func(n int) core.IO[int] {
+		return core.Bind(core.Delay(func() core.IO[int] { return deep(n + 1) }),
+			func(v int) core.IO[int] { return core.Return(v + 1) })
+	}
+	m := core.Catch(deep(0), func(e core.Exception) core.IO[int] {
+		if e.Eq(exc.StackOverflow{}) {
+			return core.Return(-1)
+		}
+		return core.Throw[int](e)
+	})
+	v, e, err := core.RunWith(opts, m)
+	if err != nil || e != nil {
+		t.Fatalf("run: %v %v", err, e)
+	}
+	if v != -1 {
+		t.Fatalf("got %d", v)
+	}
+}
+
+// --- timeslice / yield fairness -----------------------------------------------------
+
+func TestYieldInterleavesOutput(t *testing.T) {
+	sys := core.NewSystem(core.DefaultOptions())
+	mark := func(c rune) core.IO[core.Unit] {
+		return core.Then(core.PutChar(c), core.Yield())
+	}
+	prog := core.Bind(core.NewEmptyMVar[core.Unit](), func(done core.MVar[core.Unit]) core.IO[core.Unit] {
+		a := core.Then(core.Seq(mark('a'), mark('a'), mark('a')), core.Put(done, core.UnitValue))
+		b := core.Then(core.Seq(mark('b'), mark('b'), mark('b')), core.Put(done, core.UnitValue))
+		return core.Seq(
+			core.Void(core.Fork(a)),
+			core.Void(core.Fork(b)),
+			core.Void(core.Take(done)),
+			core.Void(core.Take(done)),
+		)
+	})
+	if _, e, err := core.RunSystem(sys, prog); err != nil || e != nil {
+		t.Fatalf("run: %v %v", err, e)
+	}
+	out := sys.Output()
+	if out == "aaabbb" || out == "bbbaaa" {
+		t.Fatalf("yield did not interleave: %q", out)
+	}
+}
+
+// --- either corner: both children racing to put -------------------------------------
+
+func TestEitherSimultaneousFinishers(t *testing.T) {
+	// Equal sleeps: either may win, but exactly one result is
+	// returned, no deadlock, no exception.
+	for seed := int64(0); seed < 30; seed++ {
+		opts := core.DefaultOptions()
+		opts.RandomSched = true
+		opts.Seed = seed
+		m := core.EitherIO(
+			core.Then(core.Sleep(time.Millisecond), core.Return("l")),
+			core.Then(core.Sleep(time.Millisecond), core.Return("r")))
+		v, e, err := core.RunWith(opts, m)
+		if err != nil || e != nil {
+			t.Fatalf("seed %d: %v %v", seed, err, e)
+		}
+		if v.IsLeft && v.Left != "l" {
+			t.Fatalf("seed %d: bad left %v", seed, v)
+		}
+		if !v.IsLeft && v.Right != "r" {
+			t.Fatalf("seed %d: bad right %v", seed, v)
+		}
+	}
+}
+
+// --- GetMask through combinator stacks -----------------------------------------------
+
+func TestMaskStateThroughCombinators(t *testing.T) {
+	// Finally's cleanup runs masked (§7.1: "the second argument to
+	// finally is executed inside a block").
+	var cleanupMask core.MaskState
+	m := core.Finally(core.Return(1),
+		core.Bind(core.GetMask(), func(ms core.MaskState) core.IO[core.Unit] {
+			cleanupMask = ms
+			return core.Return(core.UnitValue)
+		}))
+	mustValue(t, m, 1)
+	if cleanupMask != core.Masked {
+		t.Fatalf("cleanup ran %v, want masked", cleanupMask)
+	}
+
+	// Bracket's body runs unmasked, its release masked.
+	var bodyMask, releaseMask core.MaskState
+	m2 := core.Bracket(
+		core.Return(0),
+		func(int) core.IO[int] {
+			return core.Bind(core.GetMask(), func(ms core.MaskState) core.IO[int] {
+				bodyMask = ms
+				return core.Return(1)
+			})
+		},
+		func(int) core.IO[core.Unit] {
+			return core.Bind(core.GetMask(), func(ms core.MaskState) core.IO[core.Unit] {
+				releaseMask = ms
+				return core.Return(core.UnitValue)
+			})
+		})
+	mustValue(t, m2, 1)
+	if bodyMask != core.Unmasked || releaseMask != core.Masked {
+		t.Fatalf("body %v release %v", bodyMask, releaseMask)
+	}
+}

@@ -1,0 +1,414 @@
+package core_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"asyncexc/internal/core"
+	"asyncexc/internal/exc"
+)
+
+// killX is the exception most tests throw asynchronously.
+var killX = exc.Dyn{Tag: "X"}
+
+// --- throwTo basics (§5) ----------------------------------------------
+
+func TestThrowToInterruptsSleep(t *testing.T) {
+	// A sleeping thread is stuck; rule (Interrupt) wakes it with the
+	// exception immediately, in any context.
+	prog := core.Bind(core.NewEmptyMVar[string](), func(done core.MVar[string]) core.IO[string] {
+		child := core.Catch(
+			core.Then(core.Sleep(time.Hour), core.Put(done, "overslept")),
+			func(e core.Exception) core.IO[core.Unit] {
+				return core.Put(done, "caught:"+e.ExceptionName())
+			})
+		return core.Bind(core.Fork(child), func(tid core.ThreadID) core.IO[string] {
+			return core.Then(core.Seq(
+				core.Sleep(time.Millisecond), // let the child park
+				core.KillThread(tid),
+			), core.Take(done))
+		})
+	})
+	mustValue(t, prog, "caught:ThreadKilled")
+}
+
+func TestThrowToDeadThreadSucceeds(t *testing.T) {
+	// "If the thread has already died or completed, then throwTo
+	// trivially succeeds" (§5).
+	prog := core.Bind(core.Fork(core.Return(1)), func(tid core.ThreadID) core.IO[int] {
+		return core.Then(core.Seq(
+			core.Sleep(time.Millisecond), // let the child finish
+			core.ThrowTo(tid, killX),     // must not raise or park
+		), core.Return(42))
+	})
+	mustValue(t, prog, 42)
+}
+
+func TestThrowToRunnableUnmaskedDelivers(t *testing.T) {
+	// An unmasked running thread receives a pending exception at its
+	// next step boundary (rule Receive).
+	prog := core.Bind(core.NewEmptyMVar[string](), func(done core.MVar[string]) core.IO[string] {
+		return core.Bind(core.NewEmptyMVar[core.Unit](), func(ready core.MVar[core.Unit]) core.IO[string] {
+			child := core.Catch(
+				core.Seq(core.Put(ready, core.UnitValue), core.Void(busy(100000)), core.Put(done, "finished")),
+				func(e core.Exception) core.IO[core.Unit] {
+					return core.Put(done, "killed")
+				})
+			return core.Bind(core.Fork(child), func(tid core.ThreadID) core.IO[string] {
+				return core.Then(core.Seq(
+					core.Void(core.Take(ready)),
+					core.ThrowTo(tid, killX),
+				), core.Take(done))
+			})
+		})
+	})
+	mustValue(t, prog, "killed")
+}
+
+func TestThrowToSelfUnmasked(t *testing.T) {
+	// Asynchronous design: the exception goes in flight against the
+	// caller and is received at the next step boundary.
+	prog := core.Bind(core.MyThreadID(), func(me core.ThreadID) core.IO[int] {
+		return core.Catch(
+			core.Then(core.ThrowTo(me, killX), core.Return(0)),
+			func(e core.Exception) core.IO[int] { return core.Return(7) })
+	})
+	mustValue(t, prog, 7)
+}
+
+func TestThrowToSelfMaskedStaysPending(t *testing.T) {
+	// Paper semantics (not GHC): rule (Receive) needs an unblocked
+	// context, so a masked self-throw keeps running until Unblock.
+	prog := core.Bind(core.MyThreadID(), func(me core.ThreadID) core.IO[string] {
+		return core.Catch(
+			core.Block(core.Then(core.Seq(
+				core.ThrowTo(me, killX),
+				core.Void(busy(50)),
+				core.PutStr("still-alive;"),
+				core.Void(core.Unblock(core.Return(core.UnitValue))), // SafePoint
+				core.PutStr("unreached"),
+			), core.Return("no-exception"))),
+			func(e core.Exception) core.IO[string] { return core.Return("caught-after-unblock") })
+	})
+	sys := core.NewSystem(core.DefaultOptions())
+	v, e, err := core.RunSystem(sys, prog)
+	if err != nil || e != nil {
+		t.Fatalf("run: %v %v", err, e)
+	}
+	if v != "caught-after-unblock" {
+		t.Fatalf("got %q", v)
+	}
+	if out := sys.Output(); out != "still-alive;" {
+		t.Fatalf("output %q, want %q", out, "still-alive;")
+	}
+}
+
+// --- Masking (§5.2) ----------------------------------------------------
+
+func TestBlockDefersDelivery(t *testing.T) {
+	// The child runs a long masked computation; an exception thrown
+	// meanwhile is delivered only when the Block scope ends.
+	prog := core.Bind(core.NewEmptyMVar[core.Unit](), func(ready core.MVar[core.Unit]) core.IO[string] {
+		return core.Bind(core.NewEmptyMVar[string](), func(done core.MVar[string]) core.IO[string] {
+			child := core.Catch(
+				core.Then(
+					core.Block(core.Seq(
+						core.Put(ready, core.UnitValue),
+						core.Void(busy(100000)),
+						core.Put(done, "block-completed"),
+					)),
+					// Block scope over: pending exception delivered at
+					// the next boundary; this never runs.
+					core.Put(done, "after-block"),
+				),
+				func(e core.Exception) core.IO[core.Unit] {
+					return core.Put(done, "caught")
+				})
+			return core.Bind(core.Fork(child), func(tid core.ThreadID) core.IO[string] {
+				return core.Then(core.Seq(
+					core.Void(core.Take(ready)),
+					core.ThrowTo(tid, killX),
+				), core.Bind(core.Take(done), func(first string) core.IO[string] {
+					return core.Bind(core.Take(done), func(second string) core.IO[string] {
+						return core.Return(first + "," + second)
+					})
+				}))
+			})
+		})
+	})
+	mustValue(t, prog, "block-completed,caught")
+}
+
+func TestNestedBlocksDoNotCount(t *testing.T) {
+	// "Two nested blocks behave the same as a single block... unblock
+	// always unblocks asynchronous exceptions, regardless of the
+	// context" (§5.2).
+	prog := core.Block(core.Block(core.Unblock(core.GetMask())))
+	mustValue(t, prog, core.Unmasked)
+}
+
+func TestMaskRestoredOnExit(t *testing.T) {
+	prog := core.Bind(core.Block(core.GetMask()), func(inside core.MaskState) core.IO[string] {
+		return core.Bind(core.GetMask(), func(after core.MaskState) core.IO[string] {
+			return core.Return(inside.String() + "/" + after.String())
+		})
+	})
+	mustValue(t, prog, "masked/unmasked")
+}
+
+func TestMaskRestoredOnException(t *testing.T) {
+	// Leaving a Block scope by an exception also restores the state
+	// (rules Block Throw / Unblock Throw).
+	prog := core.Bind(
+		core.Catch(
+			core.Block(core.Throw[core.MaskState](killX)),
+			func(core.Exception) core.IO[core.MaskState] { return core.GetMask() }),
+		func(ms core.MaskState) core.IO[string] { return core.Return(ms.String()) })
+	mustValue(t, prog, "unmasked")
+}
+
+func TestHandlerRunsAtCatchMaskState(t *testing.T) {
+	// §8: the catch frame records the mask state when pushed; the
+	// handler runs with that state restored. In the safe-locking
+	// pattern the catch is inside Block and the raise comes from
+	// inside Unblock — the handler must run masked.
+	prog := core.Block(
+		core.Catch(
+			core.Unblock(core.Throw[core.MaskState](killX)),
+			func(core.Exception) core.IO[core.MaskState] { return core.GetMask() }))
+	mustValue(t, prog, core.Masked)
+}
+
+// --- Interruptible operations (§5.3) -----------------------------------
+
+func TestTakeMVarInterruptibleInsideBlock(t *testing.T) {
+	// A takeMVar that waits receives asynchronous exceptions even
+	// within an enclosing Block.
+	prog := core.Bind(core.NewEmptyMVar[int](), func(never core.MVar[int]) core.IO[string] {
+		return core.Bind(core.NewEmptyMVar[string](), func(done core.MVar[string]) core.IO[string] {
+			child := core.Catch(
+				core.Block(core.Then(core.Take(never), core.Return(core.UnitValue))),
+				func(e core.Exception) core.IO[core.Unit] {
+					return core.Put(done, "interrupted:"+e.ExceptionName())
+				})
+			return core.Bind(core.Fork(child), func(tid core.ThreadID) core.IO[string] {
+				return core.Then(core.Seq(
+					core.Sleep(time.Millisecond), // let the child park
+					core.KillThread(tid),
+				), core.Take(done))
+			})
+		})
+	})
+	mustValue(t, prog, "interrupted:ThreadKilled")
+}
+
+func TestPutMVarToEmptyNotInterruptible(t *testing.T) {
+	// §5.3: "the putMVar is non-interruptible because we can be sure
+	// the MVar is always empty". The child, masked with a pending
+	// exception, performs a Put into an empty MVar: it must succeed.
+	// The subsequent Take on an empty MVar must be interrupted.
+	prog := core.Bind(core.NewEmptyMVar[string](), func(out core.MVar[string]) core.IO[string] {
+		return core.Bind(core.NewEmptyMVar[int](), func(never core.MVar[int]) core.IO[string] {
+			return core.Bind(core.NewEmptyMVar[core.Unit](), func(ready core.MVar[core.Unit]) core.IO[string] {
+				return core.Bind(core.NewEmptyMVar[string](), func(done core.MVar[string]) core.IO[string] {
+					child := core.Catch(
+						core.Block(core.Seq(
+							core.Put(ready, core.UnitValue),
+							core.Void(busy(100000)), // exception becomes pending here
+							core.Put(out, "put-succeeded"),
+							core.Void(core.Take(never)), // parks empty -> interrupted
+							core.Put(out, "unreachable"),
+						)),
+						func(e core.Exception) core.IO[core.Unit] {
+							return core.Put(done, "interrupted")
+						})
+					return core.Bind(core.Fork(child), func(tid core.ThreadID) core.IO[string] {
+						return core.Then(core.Seq(
+							core.Void(core.Take(ready)),
+							core.ThrowTo(tid, killX),
+						),
+							core.Bind(core.Take(done), func(d string) core.IO[string] {
+								return core.Bind(core.Take(out), func(o string) core.IO[string] {
+									return core.Return(o + "," + d)
+								})
+							}))
+					})
+				})
+			})
+		})
+	})
+	mustValue(t, prog, "put-succeeded,interrupted")
+}
+
+func TestBlockUninterruptibleExtension(t *testing.T) {
+	// Extension: inside BlockUninterruptible even a waiting Take is
+	// not interrupted; the exception arrives after the scope ends.
+	prog := core.Bind(core.NewEmptyMVar[int](), func(mv core.MVar[int]) core.IO[string] {
+		return core.Bind(core.NewEmptyMVar[core.Unit](), func(ready core.MVar[core.Unit]) core.IO[string] {
+			return core.Bind(core.NewEmptyMVar[string](), func(done core.MVar[string]) core.IO[string] {
+				child := core.Catch(
+					core.BlockUninterruptible(core.Seq(
+						core.Put(ready, core.UnitValue),
+						// The throwTo arrives while we are parked on this
+						// Take, but the uninterruptible state defers it:
+						core.Bind(core.Take(mv), func(v int) core.IO[core.Unit] {
+							return core.Put(done, "took-value")
+						}),
+					)),
+					// Leaving the scope unmasks; the deferred exception
+					// fires and the handler records it.
+					func(e core.Exception) core.IO[core.Unit] {
+						return core.Put(done, "then-interrupted")
+					})
+				return core.Bind(core.Fork(child), func(tid core.ThreadID) core.IO[string] {
+					return core.Then(core.Seq(
+						core.Void(core.Take(ready)),
+						core.Sleep(time.Millisecond), // child parks on Take(mv)
+						core.ThrowTo(tid, killX),     // must NOT interrupt the take
+						core.Sleep(time.Millisecond),
+						core.Put(mv, 5), // child completes the take
+					),
+						core.Bind(core.Take(done), func(first string) core.IO[string] {
+							return core.Bind(core.Take(done), func(second string) core.IO[string] {
+								return core.Return(first + "," + second)
+							})
+						}))
+				})
+			})
+		})
+	})
+	mustValue(t, prog, "took-value,then-interrupted")
+}
+
+// --- §8.1 constant-stack block/unblock ---------------------------------
+
+func TestConstantStackBlockUnblock(t *testing.T) {
+	// f = block (unblock f): adjacent mask frames cancel, so the
+	// recursion runs in constant stack space (§8.1).
+	var f func(n int) core.IO[int]
+	f = func(n int) core.IO[int] {
+		if n == 0 {
+			return frameDepth()
+		}
+		return core.Block(core.Unblock(core.Delay(func() core.IO[int] { return f(n - 1) })))
+	}
+	v, e, err := core.Run(f(10000))
+	if err != nil || e != nil {
+		t.Fatalf("run: %v %v", err, e)
+	}
+	if v > 3 {
+		t.Fatalf("frame depth %d after 10000 block/unblock recursions; want constant", v)
+	}
+}
+
+func TestFrameCancellationAblation(t *testing.T) {
+	// With cancellation disabled the same program grows two frames per
+	// recursion — the stack growth §8.1's step 3 exists to avoid.
+	var f func(n int) core.IO[int]
+	f = func(n int) core.IO[int] {
+		if n == 0 {
+			return frameDepth()
+		}
+		return core.Block(core.Unblock(core.Delay(func() core.IO[int] { return f(n - 1) })))
+	}
+	opts := core.DefaultOptions()
+	opts.DisableFrameCancellation = true
+	v, e, err := core.RunWith(opts, f(1000))
+	if err != nil || e != nil {
+		t.Fatalf("run: %v %v", err, e)
+	}
+	if v < 2000 {
+		t.Fatalf("frame depth %d with cancellation disabled; want ~2 per recursion", v)
+	}
+}
+
+// --- Deadlock detection -------------------------------------------------
+
+func TestDeadlockDetection(t *testing.T) {
+	prog := core.Bind(core.NewEmptyMVar[int](), func(mv core.MVar[int]) core.IO[int] {
+		return core.Take(mv)
+	})
+	mustException(t, prog, exc.BlockedIndefinitely{})
+}
+
+func TestDeadlockDetectionDisabled(t *testing.T) {
+	opts := core.DefaultOptions()
+	opts.DetectDeadlock = false
+	prog := core.Bind(core.NewEmptyMVar[int](), func(mv core.MVar[int]) core.IO[int] {
+		return core.Take(mv)
+	})
+	_, _, err := core.RunWith(opts, prog)
+	if err == nil {
+		t.Fatal("expected ErrDeadlock")
+	}
+}
+
+// --- Synchronous throwTo design (§9) ------------------------------------
+
+func TestSyncThrowToWaitsForDelivery(t *testing.T) {
+	opts := core.DefaultOptions()
+	opts.SyncThrowTo = true
+	prog := core.Bind(core.NewEmptyMVar[core.Unit](), func(ready core.MVar[core.Unit]) core.IO[string] {
+		child := core.Catch(
+			core.Block(core.Seq(
+				core.Put(ready, core.UnitValue),
+				core.Void(busy(2000)),
+				core.PutStr("masked-done;"),
+				core.Void(core.Unblock(core.Return(core.UnitValue))),
+			)),
+			func(e core.Exception) core.IO[core.Unit] { return core.PutStr("child-caught;") })
+		return core.Bind(core.Fork(child), func(tid core.ThreadID) core.IO[string] {
+			return core.Then(core.Seq(
+				core.Void(core.Take(ready)),
+				core.ThrowTo(tid, killX), // parks until the child unmasks
+				core.PutStr("throwTo-returned"),
+			), core.Return("ok"))
+		})
+	})
+	sys := core.NewSystem(opts)
+	v, e, err := core.RunSystem(sys, prog)
+	if err != nil || e != nil {
+		t.Fatalf("run: %v %v", err, e)
+	}
+	if v != "ok" {
+		t.Fatalf("got %q", v)
+	}
+	out := sys.Output()
+	// The sync thrower may only return after the child has received
+	// the exception, i.e. after "masked-done;".
+	if !strings.HasPrefix(out, "masked-done;") {
+		t.Fatalf("throwTo returned before delivery: output %q", out)
+	}
+	if !strings.Contains(out, "throwTo-returned") || !strings.Contains(out, "child-caught;") {
+		t.Fatalf("missing events in output %q", out)
+	}
+	if strings.Index(out, "child-caught;") > strings.Index(out, "throwTo-returned") {
+		// Delivery (the raise) happens before the thrower resumes; the
+		// handler itself may run either side, but with round-robin the
+		// child runs first. Accept both orders; only delivery-before-
+		// return is guaranteed, which the masked-done prefix checks.
+		t.Logf("note: thrower resumed before handler finished (allowed)")
+	}
+	if e != nil {
+		t.Fatalf("unexpected exception %v", e)
+	}
+}
+
+func TestAsyncThrowToReturnsImmediately(t *testing.T) {
+	// Default design: the caller continues immediately even though the
+	// target is masked and cannot yet receive (rule ThrowTo).
+	prog := core.Bind(core.NewEmptyMVar[core.Unit](), func(ready core.MVar[core.Unit]) core.IO[string] {
+		child := core.Block(core.Seq(
+			core.Put(ready, core.UnitValue),
+			core.Void(busy(100000)),
+		))
+		return core.Bind(core.Fork(child), func(tid core.ThreadID) core.IO[string] {
+			return core.Then(core.Seq(
+				core.Void(core.Take(ready)),
+				core.ThrowTo(tid, killX),
+			), core.Return("returned-immediately"))
+		})
+	})
+	mustValue(t, prog, "returned-immediately")
+}

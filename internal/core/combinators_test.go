@@ -1,0 +1,465 @@
+package core_test
+
+import (
+	"testing"
+	"time"
+
+	"asyncexc/internal/core"
+	"asyncexc/internal/exc"
+)
+
+// --- Finally / Bracket (§7.1) -------------------------------------------
+
+func TestFinallyRunsOnSuccess(t *testing.T) {
+	n := 0
+	m := core.Finally(core.Return(42), core.Lift(func() core.Unit { n++; return core.UnitValue }))
+	mustValue(t, m, 42)
+	if n != 1 {
+		t.Fatalf("finalizer ran %d times", n)
+	}
+}
+
+func TestFinallyRunsOnThrow(t *testing.T) {
+	n := 0
+	m := core.Finally(core.Throw[int](exc.ErrorCall{Msg: "x"}),
+		core.Lift(func() core.Unit { n++; return core.UnitValue }))
+	mustException(t, m, exc.ErrorCall{Msg: "x"})
+	if n != 1 {
+		t.Fatalf("finalizer ran %d times", n)
+	}
+}
+
+func TestFinallyRunsWhenKilledDuringBody(t *testing.T) {
+	// The body is interrupted asynchronously; the finalizer must still
+	// run, exactly once, and the child then dies with the exception.
+	prog := core.Bind(core.NewEmptyMVar[string](), func(done core.MVar[string]) core.IO[string] {
+		return core.Bind(core.NewEmptyMVar[core.Unit](), func(ready core.MVar[core.Unit]) core.IO[string] {
+			body := core.Seq(core.Put(ready, core.UnitValue), core.Void(busy(100000)))
+			child := core.Finally(body, core.Put(done, "finalized"))
+			return core.Bind(core.Fork(child), func(tid core.ThreadID) core.IO[string] {
+				return core.Then(core.Seq(
+					core.Void(core.Take(ready)),
+					core.ThrowTo(tid, killX),
+				), core.Take(done))
+			})
+		})
+	})
+	mustValue(t, prog, "finalized")
+}
+
+func TestLater(t *testing.T) {
+	n := 0
+	m := core.Later(core.Lift(func() core.Unit { n++; return core.UnitValue }), core.Return(5))
+	mustValue(t, m, 5)
+	if n != 1 {
+		t.Fatalf("later action ran %d times", n)
+	}
+}
+
+func TestBracketReleasesOnSuccessAndFailure(t *testing.T) {
+	acquired, released := 0, 0
+	acquire := core.Lift(func() int { acquired++; return acquired })
+	release := func(int) core.IO[core.Unit] {
+		return core.Lift(func() core.Unit { released++; return core.UnitValue })
+	}
+	m := core.Bracket(acquire, func(h int) core.IO[int] { return core.Return(h * 10) }, release)
+	mustValue(t, m, 10)
+	m2 := core.Bracket(acquire, func(h int) core.IO[int] {
+		return core.Throw[int](exc.ErrorCall{Msg: "work failed"})
+	}, release)
+	mustException(t, m2, exc.ErrorCall{Msg: "work failed"})
+	if acquired != 2 || released != 2 {
+		t.Fatalf("acquired=%d released=%d, want 2/2", acquired, released)
+	}
+}
+
+func TestBracketAcquireFailureSkipsRelease(t *testing.T) {
+	released := 0
+	m := core.Bracket(
+		core.Throw[int](exc.IOError{Op: "open", Msg: "no such file"}),
+		func(h int) core.IO[int] { return core.Return(0) },
+		func(int) core.IO[core.Unit] {
+			return core.Lift(func() core.Unit { released++; return core.UnitValue })
+		})
+	mustException(t, m, exc.IOError{Op: "open", Msg: "no such file"})
+	if released != 0 {
+		t.Fatalf("release ran %d times after failed acquire", released)
+	}
+}
+
+func TestOnExceptionOnlyOnFailure(t *testing.T) {
+	n := 0
+	cleanup := core.Lift(func() core.Unit { n++; return core.UnitValue })
+	mustValue(t, core.OnException(core.Return(1), cleanup), 1)
+	if n != 0 {
+		t.Fatalf("cleanup ran on success")
+	}
+	mustException(t, core.OnException(core.Throw[int](killX), cleanup), killX)
+	if n != 1 {
+		t.Fatalf("cleanup ran %d times on failure", n)
+	}
+}
+
+// --- EitherIO / BothIO (§7.2) ---------------------------------------------
+
+func TestEitherFirstWins(t *testing.T) {
+	m := core.EitherIO(core.Return("fast"), core.Then(core.Sleep(time.Hour), core.Return(1)))
+	v, e, err := core.Run(m)
+	if err != nil || e != nil {
+		t.Fatalf("run: %v %v", err, e)
+	}
+	if !v.IsLeft || v.Left != "fast" {
+		t.Fatalf("got %v, want Left fast", v)
+	}
+}
+
+func TestEitherSecondWins(t *testing.T) {
+	m := core.EitherIO(core.Then(core.Sleep(time.Hour), core.Return("slow")), core.Return(9))
+	v, e, err := core.Run(m)
+	if err != nil || e != nil {
+		t.Fatalf("run: %v %v", err, e)
+	}
+	if v.IsLeft || v.Right != 9 {
+		t.Fatalf("got %v, want Right 9", v)
+	}
+}
+
+func TestEitherLoserIsKilled(t *testing.T) {
+	// The losing side must be killed: if it survived, it would fill
+	// the probe MVar, which we check stays empty.
+	prog := core.Bind(core.NewEmptyMVar[string](), func(probe core.MVar[string]) core.IO[string] {
+		loser := core.Then(core.Sleep(time.Second), core.Then(core.Put(probe, "survived"), core.Return(1)))
+		return core.Then(
+			core.Void(core.EitherIO(core.Return("win"), loser)),
+			core.Then(
+				core.Sleep(10*time.Second), // give a surviving loser time
+				core.Bind(core.TryTake(probe), func(r core.Maybe[string]) core.IO[string] {
+					if r.IsJust {
+						return core.Return("loser-survived")
+					}
+					return core.Return("loser-killed")
+				})))
+	})
+	mustValue(t, prog, "loser-killed")
+}
+
+func TestEitherChildExceptionPropagates(t *testing.T) {
+	m := core.EitherIO(
+		core.Then(core.Sleep(time.Second), core.Return(1)),
+		core.Then(core.Void(busy(10)), core.Throw[string](exc.ErrorCall{Msg: "child died"})))
+	mustException(t, m, exc.ErrorCall{Msg: "child died"})
+}
+
+func TestEitherPropagatesAsyncExceptionToChildren(t *testing.T) {
+	// An exception thrown at the either-caller is propagated to both
+	// children; the caller keeps waiting and eventually rethrows or
+	// returns. Here both children catch the propagated exception and
+	// the first reports it as its result.
+	prog := core.Bind(core.NewEmptyMVar[core.Unit](), func(ready core.MVar[core.Unit]) core.IO[string] {
+		childBody := func(tag string) core.IO[string] {
+			return core.Catch(
+				core.Then(core.Put(ready, core.UnitValue), core.Then(core.Sleep(time.Hour), core.Return("slept"))),
+				func(e core.Exception) core.IO[string] { return core.Return(tag + ":" + e.ExceptionName()) })
+		}
+		racer := core.Bind(core.EitherIO(childBody("a"), childBody("b")), func(r core.Either[string, string]) core.IO[string] {
+			if r.IsLeft {
+				return core.Return(r.Left)
+			}
+			return core.Return(r.Right)
+		})
+		return core.Bind(core.Fork(racer), func(rid core.ThreadID) core.IO[string] {
+			// Wait for a child to be up, then hit the either-caller.
+			return core.Then(core.Seq(
+				core.Void(core.Take(ready)),
+				core.Sleep(time.Millisecond),
+				core.ThrowTo(rid, exc.Dyn{Tag: "Cancel"}),
+				core.Sleep(time.Hour), // wait until everything settles
+			), core.Return("main-done"))
+		})
+	})
+	// The forked racer dies (its loop rethrows after children exit) or
+	// returns; either way main's sleep finishes once the system is
+	// idle (virtual clock jumps). We only require no deadlock and a
+	// clean finish.
+	mustValue(t, prog, "main-done")
+}
+
+func TestBothCollectsBoth(t *testing.T) {
+	m := core.BothIO(
+		core.Then(core.Sleep(time.Second), core.Return("a")),
+		core.Return(2))
+	v, e, err := core.Run(m)
+	if err != nil || e != nil {
+		t.Fatalf("run: %v %v", err, e)
+	}
+	if v.Fst != "a" || v.Snd != 2 {
+		t.Fatalf("got %v", v)
+	}
+}
+
+func TestBothChildExceptionKillsOther(t *testing.T) {
+	prog := core.Bind(core.NewEmptyMVar[string](), func(probe core.MVar[string]) core.IO[string] {
+		slow := core.Then(core.Sleep(time.Second), core.Then(core.Put(probe, "survived"), core.Return(1)))
+		failing := core.Throw[string](exc.ErrorCall{Msg: "b failed"})
+		return core.Bind(core.Try(core.BothIO(slow, failing)), func(r core.Attempt[core.Pair[int, string]]) core.IO[string] {
+			if !r.Failed() || !r.Exc.Eq(exc.ErrorCall{Msg: "b failed"}) {
+				return core.Return("wrong-outcome")
+			}
+			return core.Then(core.Sleep(10*time.Second),
+				core.Bind(core.TryTake(probe), func(p core.Maybe[string]) core.IO[string] {
+					if p.IsJust {
+						return core.Return("other-survived")
+					}
+					return core.Return("other-killed")
+				}))
+		})
+	})
+	mustValue(t, prog, "other-killed")
+}
+
+// --- Timeout (§7.3) --------------------------------------------------------
+
+func TestTimeoutExpires(t *testing.T) {
+	m := core.Timeout(time.Millisecond, core.Then(core.Sleep(time.Hour), core.Return(1)))
+	v, e, err := core.Run(m)
+	if err != nil || e != nil {
+		t.Fatalf("run: %v %v", err, e)
+	}
+	if v.IsJust {
+		t.Fatalf("got %v, want Nothing", v)
+	}
+}
+
+func TestTimeoutCompletes(t *testing.T) {
+	m := core.Timeout(time.Hour, core.Then(core.Sleep(time.Millisecond), core.Return(42)))
+	v, e, err := core.Run(m)
+	if err != nil || e != nil {
+		t.Fatalf("run: %v %v", err, e)
+	}
+	if !v.IsJust || v.Value != 42 {
+		t.Fatalf("got %v, want Just 42", v)
+	}
+}
+
+// TestTimeoutNesting is the composability claim of §7.3: "timeouts may
+// be arbitrarily nested, and the semantics of either ensure that they
+// cannot interfere with each other."
+func TestTimeoutNesting(t *testing.T) {
+	type tc struct {
+		name         string
+		inner, outer time.Duration
+		work         time.Duration
+		wantOuter    bool // outer Nothing
+		wantInner    bool // inner Nothing (when outer Just)
+		wantValue    bool // value delivered
+	}
+	cases := []tc{
+		{"work-beats-both", time.Hour, 2 * time.Hour, time.Second, false, false, true},
+		{"inner-expires", time.Second, time.Hour, time.Minute, false, true, false},
+		{"outer-expires-first", time.Hour, time.Second, time.Minute, true, false, false},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			inner := core.Timeout(c.inner, core.Then(core.Sleep(c.work), core.Return(7)))
+			outer := core.Timeout(c.outer, inner)
+			v, e, err := core.Run(outer)
+			if err != nil || e != nil {
+				t.Fatalf("run: %v %v", err, e)
+			}
+			switch {
+			case c.wantOuter:
+				if v.IsJust {
+					t.Fatalf("outer should have expired: %v", v)
+				}
+			case c.wantInner:
+				if !v.IsJust || v.Value.IsJust {
+					t.Fatalf("inner should have expired: %v", v)
+				}
+			case c.wantValue:
+				if !v.IsJust || !v.Value.IsJust || v.Value.Value != 7 {
+					t.Fatalf("want Just (Just 7), got %v", v)
+				}
+			}
+		})
+	}
+}
+
+func TestTimeoutDeepNesting(t *testing.T) {
+	// Ten nested timeouts with descending budgets: the innermost
+	// expires first and the outer ones stay intact.
+	inner := core.Then(core.Sleep(time.Hour), core.Return(1))
+	m := core.Timeout(time.Second, inner)
+	for i := 2; i <= 10; i++ {
+		m = core.Map(core.Timeout(time.Duration(i)*time.Second, m), func(r core.Maybe[core.Maybe[int]]) core.Maybe[int] {
+			if !r.IsJust {
+				return core.Nothing[int]()
+			}
+			return r.Value
+		})
+	}
+	v, e, err := core.Run(m)
+	if err != nil || e != nil {
+		t.Fatalf("run: %v %v", err, e)
+	}
+	if v.IsJust {
+		t.Fatalf("innermost timeout should have produced Nothing, got %v", v)
+	}
+}
+
+// --- SafePoint (§7.4) --------------------------------------------------------
+
+func TestSafePointDeliversInsideBlock(t *testing.T) {
+	prog := core.Bind(core.NewEmptyMVar[core.Unit](), func(ready core.MVar[core.Unit]) core.IO[string] {
+		return core.Bind(core.NewEmptyMVar[string](), func(done core.MVar[string]) core.IO[string] {
+			child := core.Catch(
+				core.Block(core.Seq(
+					core.Put(ready, core.UnitValue),
+					core.Void(busy(100000)), // exception becomes pending
+					core.SafePoint(),        // delivered here
+					core.Put(done, "passed-safepoint"),
+				)),
+				func(e core.Exception) core.IO[core.Unit] {
+					return core.Put(done, "interrupted-at-safepoint")
+				})
+			return core.Bind(core.Fork(child), func(tid core.ThreadID) core.IO[string] {
+				return core.Then(core.Seq(
+					core.Void(core.Take(ready)),
+					core.ThrowTo(tid, killX),
+				), core.Take(done))
+			})
+		})
+	})
+	mustValue(t, prog, "interrupted-at-safepoint")
+}
+
+// --- Safe locking (§5.1–5.3, experiments E1/E2) ------------------------------
+
+// lockScenario builds the §5.1 experiment: a worker updates shared
+// state guarded by an MVar while the main thread throws an
+// asynchronous exception at it under a randomized single-step
+// scheduler. It returns "lock-lost" when the MVar ends up empty
+// forever and "lock-available" otherwise.
+func lockScenario(t *testing.T, seed int64, modify func(lock core.MVar[int]) core.IO[core.Unit]) string {
+	t.Helper()
+	opts := core.DefaultOptions()
+	opts.TimeSlice = 1 // interleave at every transition, like the semantics
+	opts.RandomSched = true
+	opts.Seed = seed
+	prog := core.Bind(core.NewMVar(100), func(lock core.MVar[int]) core.IO[string] {
+		return core.Bind(core.NewEmptyMVar[core.Unit](), func(ready core.MVar[core.Unit]) core.IO[string] {
+			worker := core.Then(core.Put(ready, core.UnitValue), modify(lock))
+			return core.Bind(core.Fork(worker), func(tid core.ThreadID) core.IO[string] {
+				return core.Then(core.Seq(
+					core.Void(core.Take(ready)),
+					core.ThrowTo(tid, killX),
+				), core.Bind(core.Try(core.Take(lock)), func(r core.Attempt[int]) core.IO[string] {
+					if r.Failed() && r.Exc.Eq(exc.BlockedIndefinitely{}) {
+						return core.Return("lock-lost")
+					}
+					if r.Failed() {
+						return core.Return("unexpected:" + r.Exc.ExceptionName())
+					}
+					// 100 = update aborted and state restored;
+					// 101 = update completed before the exception.
+					if r.Value != 100 && r.Value != 101 {
+						return core.Return("corrupted-state")
+					}
+					return core.Return("lock-available")
+				}))
+			})
+		})
+	})
+	v, e, err := core.RunWith(opts, prog)
+	if err != nil {
+		t.Fatalf("seed %d: runtime error: %v", seed, err)
+	}
+	if e != nil {
+		t.Fatalf("seed %d: uncaught exception: %v", seed, exc.Format(e))
+	}
+	return v
+}
+
+const lockSeeds = 300
+
+// TestLockRaceUnsafeLosesLock reproduces the §5.1 race: without Block,
+// an exception delivered between takeMVar and catch leaves the MVar
+// empty forever. Across many random interleavings some schedule must
+// hit the one-transition window — that is the paper's point that the
+// race is real.
+func TestLockRaceUnsafeLosesLock(t *testing.T) {
+	update := func(lock core.MVar[int]) core.IO[core.Unit] {
+		return core.UnsafeModifyMVar(lock, func(v int) core.IO[int] {
+			return core.Then(core.Void(busy(3)), core.Return(v+1))
+		})
+	}
+	lost := 0
+	for seed := int64(0); seed < lockSeeds; seed++ {
+		if lockScenario(t, seed, update) == "lock-lost" {
+			lost++
+		}
+	}
+	if lost == 0 {
+		t.Fatalf("no interleaving out of %d lost the lock; the §5.1 race should be reachable", lockSeeds)
+	}
+	t.Logf("unsafe locking lost the lock in %d/%d interleavings", lost, lockSeeds)
+}
+
+// TestLockSafeSurvives is the §5.2/§5.3 safe version of the same
+// scenario: under every interleaving ModifyMVar either aborts and
+// restores the old value or completes; the lock is never lost.
+func TestLockSafeSurvives(t *testing.T) {
+	update := func(lock core.MVar[int]) core.IO[core.Unit] {
+		return core.ModifyMVar(lock, func(v int) core.IO[int] {
+			return core.Then(core.Void(busy(3)), core.Return(v+1))
+		})
+	}
+	for seed := int64(0); seed < lockSeeds; seed++ {
+		if got := lockScenario(t, seed, update); got != "lock-available" {
+			t.Fatalf("seed %d: %s; safe locking must never lose the lock", seed, got)
+		}
+	}
+}
+
+// TestWithMVarRestores checks the WithMVar variant of the pattern.
+func TestWithMVarRestores(t *testing.T) {
+	prog := core.Bind(core.NewMVar("state"), func(lock core.MVar[string]) core.IO[string] {
+		use := core.WithMVar(lock, func(s string) core.IO[int] {
+			return core.Throw[int](exc.ErrorCall{Msg: "op failed"})
+		})
+		return core.Then(core.Void(core.Try(use)), core.Take(lock))
+	})
+	mustValue(t, prog, "state")
+}
+
+// --- CatchNonAlert (§9 two-datatype design) ----------------------------------
+
+func TestCatchNonAlertPassesAlerts(t *testing.T) {
+	// A universal handler written with CatchNonAlert cannot swallow a
+	// ThreadKilled alert — the scenario §9 gives for breaking the
+	// timeout combinator with e `catch` \_ -> e'.
+	prog := core.Bind(core.NewEmptyMVar[string](), func(done core.MVar[string]) core.IO[string] {
+		body := core.CatchNonAlert(
+			core.Then(core.Sleep(time.Hour), core.Return(core.UnitValue)),
+			func(e core.Exception) core.IO[core.Unit] {
+				return core.Return(core.UnitValue) // swallow (but not alerts)
+			})
+		child := core.Catch(
+			core.Then(body, core.Put(done, "survived")),
+			func(e core.Exception) core.IO[core.Unit] {
+				return core.Put(done, "killed:"+e.ExceptionName())
+			})
+		return core.Bind(core.Fork(child), func(tid core.ThreadID) core.IO[string] {
+			return core.Then(core.Seq(
+				core.Sleep(time.Millisecond),
+				core.KillThread(tid),
+			), core.Take(done))
+		})
+	})
+	mustValue(t, prog, "killed:ThreadKilled")
+}
+
+func TestCatchNonAlertCatchesOrdinary(t *testing.T) {
+	m := core.CatchNonAlert(core.Throw[int](exc.ErrorCall{Msg: "x"}),
+		func(e core.Exception) core.IO[int] { return core.Return(3) })
+	mustValue(t, m, 3)
+}

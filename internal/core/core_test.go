@@ -1,0 +1,214 @@
+package core_test
+
+import (
+	"testing"
+	"time"
+
+	"asyncexc/internal/core"
+	"asyncexc/internal/exc"
+	"asyncexc/internal/sched"
+)
+
+// busy returns an action that burns roughly n scheduler steps without
+// parking, so tests can hold a thread in a running (not stuck) state.
+func busy(n int) core.IO[core.Unit] {
+	return core.ReplicateM_(n, core.Return(core.UnitValue))
+}
+
+// frameDepth exposes the continuation-stack depth for §8.1 tests.
+func frameDepth() core.IO[int] { return core.FromNode[int](sched.FrameDepth()) }
+
+func mustValue[A comparable](t *testing.T, m core.IO[A], want A) {
+	t.Helper()
+	v, e, err := core.Run(m)
+	if err != nil {
+		t.Fatalf("runtime error: %v", err)
+	}
+	if e != nil {
+		t.Fatalf("uncaught exception: %v", exc.Format(e))
+	}
+	if v != want {
+		t.Fatalf("got %v, want %v", v, want)
+	}
+}
+
+func mustException[A any](t *testing.T, m core.IO[A], want exc.Exception) {
+	t.Helper()
+	_, e, err := core.Run(m)
+	if err != nil {
+		t.Fatalf("runtime error: %v", err)
+	}
+	if e == nil {
+		t.Fatalf("expected uncaught exception %v, got success", exc.Format(want))
+	}
+	if !e.Eq(want) {
+		t.Fatalf("got exception %v, want %v", exc.Format(e), exc.Format(want))
+	}
+}
+
+// --- Monadic basics --------------------------------------------------
+
+func TestReturnBind(t *testing.T) {
+	m := core.Bind(core.Return(20), func(x int) core.IO[int] {
+		return core.Return(x + 22)
+	})
+	mustValue(t, m, 42)
+}
+
+func TestLift(t *testing.T) {
+	calls := 0
+	m := core.Then(core.Lift(func() int { calls++; return calls }),
+		core.Lift(func() int { calls++; return calls }))
+	mustValue(t, m, 2)
+	if calls != 2 {
+		t.Fatalf("lift ran %d times, want 2", calls)
+	}
+}
+
+func TestMapSeqReplicate(t *testing.T) {
+	mustValue(t, core.Map(core.Return(21), func(x int) int { return 2 * x }), 42)
+	n := 0
+	m := core.Then(core.ReplicateM_(5, core.Lift(func() core.Unit { n++; return core.UnitValue })),
+		core.Lift(func() int { return n }))
+	mustValue(t, m, 5)
+}
+
+func TestForM(t *testing.T) {
+	m := core.ForM([]int{1, 2, 3}, func(x int) core.IO[int] { return core.Return(x * x) })
+	v, e, err := core.Run(m)
+	if err != nil || e != nil {
+		t.Fatalf("run: %v %v", err, e)
+	}
+	if len(v) != 3 || v[0] != 1 || v[1] != 4 || v[2] != 9 {
+		t.Fatalf("got %v", v)
+	}
+}
+
+// --- Synchronous exceptions (§4) -------------------------------------
+
+func TestThrowCatch(t *testing.T) {
+	m := core.Catch(core.Throw[int](exc.ErrorCall{Msg: "boom"}), func(e core.Exception) core.IO[int] {
+		if !e.Eq(exc.ErrorCall{Msg: "boom"}) {
+			return core.Return(-1)
+		}
+		return core.Return(42)
+	})
+	mustValue(t, m, 42)
+}
+
+func TestUncaughtExceptionTerminatesMain(t *testing.T) {
+	mustException(t, core.Throw[int](exc.ErrorCall{Msg: "die"}), exc.ErrorCall{Msg: "die"})
+}
+
+func TestCatchPropagate(t *testing.T) {
+	// throw e >>= M  ->  throw e   (rule Propagate)
+	m := core.Catch(
+		core.Bind(core.Throw[int](exc.DivideByZero{}), func(x int) core.IO[int] {
+			return core.Return(x + 1) // must not run
+		}),
+		func(e core.Exception) core.IO[int] { return core.Return(7) },
+	)
+	mustValue(t, m, 7)
+}
+
+func TestNestedCatchInnerWins(t *testing.T) {
+	m := core.Catch(
+		core.Catch(core.Throw[int](exc.ErrorCall{Msg: "x"}),
+			func(e core.Exception) core.IO[int] { return core.Return(1) }),
+		func(e core.Exception) core.IO[int] { return core.Return(2) },
+	)
+	mustValue(t, m, 1)
+}
+
+func TestHandlerRethrow(t *testing.T) {
+	m := core.Catch(
+		core.Catch(core.Throw[int](exc.ErrorCall{Msg: "x"}),
+			func(e core.Exception) core.IO[int] { return core.Throw[int](e) }),
+		func(e core.Exception) core.IO[int] { return core.Return(2) },
+	)
+	mustValue(t, m, 2)
+}
+
+func TestCatchSuccessIsTransparent(t *testing.T) {
+	// rule (Handle): catch (return M) H -> return M
+	m := core.Catch(core.Return(9), func(core.Exception) core.IO[int] { return core.Return(-1) })
+	mustValue(t, m, 9)
+}
+
+func TestTry(t *testing.T) {
+	m := core.Bind(core.Try(core.Throw[int](exc.DivideByZero{})), func(r core.Attempt[int]) core.IO[bool] {
+		return core.Return(r.Failed() && r.Exc.Eq(exc.DivideByZero{}))
+	})
+	mustValue(t, m, true)
+}
+
+// --- MVars (§4) -------------------------------------------------------
+
+func TestMVarPingPong(t *testing.T) {
+	m := core.Bind(core.NewEmptyMVar[int](), func(mv core.MVar[int]) core.IO[int] {
+		return core.Then(
+			core.Fork(core.Put(mv, 42)),
+			core.Take(mv),
+		)
+	})
+	mustValue(t, m, 42)
+}
+
+func TestMVarTakeBlocksUntilPut(t *testing.T) {
+	// Main parks on Take; the child puts after a (virtual) sleep.
+	m := core.Bind(core.NewEmptyMVar[string](), func(mv core.MVar[string]) core.IO[string] {
+		return core.Then(
+			core.Fork(core.Then(core.Sleep(time.Second), core.Put(mv, "late"))),
+			core.Take(mv),
+		)
+	})
+	mustValue(t, m, "late")
+}
+
+func TestMVarPutBlocksWhenFull(t *testing.T) {
+	// putMVar on a full MVar waits (§4 footnote 3).
+	m := core.Bind(core.NewMVar(1), func(mv core.MVar[int]) core.IO[int] {
+		return core.Then(
+			core.Fork(core.Put(mv, 2)), // parks: mv full
+			core.Bind(core.Take(mv), func(first int) core.IO[int] {
+				// The parked putter deposits when we take.
+				return core.Bind(core.Take(mv), func(second int) core.IO[int] {
+					return core.Return(first*10 + second)
+				})
+			}),
+		)
+	})
+	mustValue(t, m, 12)
+}
+
+func TestMVarFIFOFairness(t *testing.T) {
+	// Three takers park in order; three puts wake them in the same
+	// order (direct handoff to the longest waiter).
+	prog := core.Bind(core.NewEmptyMVar[int](), func(mv core.MVar[int]) core.IO[string] {
+		return core.Bind(core.NewEmptyMVar[rune](), func(out core.MVar[rune]) core.IO[string] {
+			taker := func(name rune) core.IO[core.Unit] {
+				return core.Then(core.Void(core.Take(mv)), core.Put(out, name))
+			}
+			collect := core.Bind(core.Take(out), func(a rune) core.IO[string] {
+				return core.Bind(core.Take(out), func(b rune) core.IO[string] {
+					return core.Bind(core.Take(out), func(c rune) core.IO[string] {
+						return core.Return(string([]rune{a, b, c}))
+					})
+				})
+			})
+			setup := core.Seq(
+				core.Void(core.ForkNamed(taker('a'), "a")),
+				core.Sleep(time.Millisecond), // let a park
+				core.Void(core.ForkNamed(taker('b'), "b")),
+				core.Sleep(time.Millisecond),
+				core.Void(core.ForkNamed(taker('c'), "c")),
+				core.Sleep(time.Millisecond),
+				core.Put(mv, 1),
+				core.Put(mv, 2),
+				core.Put(mv, 3),
+			)
+			return core.Then(setup, collect)
+		})
+	})
+	mustValue(t, prog, "abc")
+}

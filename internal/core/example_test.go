@@ -1,0 +1,122 @@
+package core_test
+
+import (
+	"fmt"
+	"time"
+
+	"asyncexc/internal/core"
+	"asyncexc/internal/exc"
+)
+
+// The canonical first program: fork a thread, communicate through an
+// MVar.
+func ExampleFork() {
+	prog := core.Bind(core.NewEmptyMVar[string](), func(box core.MVar[string]) core.IO[string] {
+		return core.Then(
+			core.Void(core.Fork(core.Put(box, "hello"))),
+			core.Take(box))
+	})
+	v, _, _ := core.Run(prog)
+	fmt.Println(v)
+	// Output: hello
+}
+
+// ThrowTo interrupts a sleeping thread immediately (rule Interrupt):
+// the sleeper's handler reports the asynchronous exception.
+func ExampleThrowTo() {
+	prog := core.Bind(core.NewEmptyMVar[string](), func(done core.MVar[string]) core.IO[string] {
+		sleeper := core.Catch(
+			core.Then(core.Sleep(time.Hour), core.Put(done, "overslept")),
+			func(e core.Exception) core.IO[core.Unit] {
+				return core.Put(done, "woken by "+e.ExceptionName())
+			})
+		return core.Bind(core.Fork(sleeper), func(tid core.ThreadID) core.IO[string] {
+			return core.Then(core.Seq(
+				core.Sleep(time.Millisecond),
+				core.ThrowTo(tid, exc.UserInterrupt{}),
+			), core.Take(done))
+		})
+	})
+	v, _, _ := core.Run(prog)
+	fmt.Println(v)
+	// Output: woken by UserInterrupt
+}
+
+// Block postpones asynchronous exceptions; the critical section always
+// completes before the kill is delivered.
+func ExampleBlock() {
+	prog := core.Bind(core.NewEmptyMVar[core.Unit](), func(ready core.MVar[core.Unit]) core.IO[string] {
+		return core.Bind(core.NewEmptyMVar[string](), func(out core.MVar[string]) core.IO[string] {
+			worker := core.Catch(
+				core.Block(core.Seq(
+					core.Put(ready, core.UnitValue),
+					core.Void(core.ReplicateM_(10000, core.Return(core.UnitValue))),
+					core.Put(out, "critical section intact"),
+				)),
+				func(core.Exception) core.IO[core.Unit] { return core.Return(core.UnitValue) })
+			return core.Bind(core.Fork(worker), func(tid core.ThreadID) core.IO[string] {
+				return core.Then(core.Seq(
+					core.Void(core.Take(ready)),
+					core.KillThread(tid),
+				), core.Take(out))
+			})
+		})
+	})
+	v, _, _ := core.Run(prog)
+	fmt.Println(v)
+	// Output: critical section intact
+}
+
+// Timeout bounds a computation without modifying it (§7.3).
+func ExampleTimeout() {
+	fast, _, _ := core.Run(core.Timeout(time.Hour,
+		core.Then(core.Sleep(time.Millisecond), core.Return("finished"))))
+	slow, _, _ := core.Run(core.Timeout(time.Millisecond,
+		core.Then(core.Sleep(time.Hour), core.Return("finished"))))
+	fmt.Println(fast)
+	fmt.Println(slow)
+	// Output:
+	// Just finished
+	// Nothing
+}
+
+// EitherIO races two computations and kills the loser (§7.2).
+func ExampleEitherIO() {
+	prog := core.EitherIO(
+		core.Then(core.Sleep(10*time.Millisecond), core.Return("tortoise")),
+		core.Then(core.Sleep(1*time.Millisecond), core.Return("hare")))
+	v, _, _ := core.Run(prog)
+	fmt.Println(v)
+	// Output: Right hare
+}
+
+// Bracket frees the resource on success, failure, and asynchronous
+// interruption alike (§7.1).
+func ExampleBracket() {
+	prog := core.Bracket(
+		core.Lift(func() string { fmt.Println("acquire"); return "res" }),
+		func(r string) core.IO[int] { return core.Throw[int](exc.ErrorCall{Msg: "use failed"}) },
+		func(r string) core.IO[core.Unit] {
+			return core.Lift(func() core.Unit { fmt.Println("release"); return core.UnitValue })
+		})
+	_, e, _ := core.Run(prog)
+	fmt.Println(e)
+	// Output:
+	// acquire
+	// release
+	// error: use failed
+}
+
+// ModifyMVar is the paper's §5.2 safe-locking pattern: the old state
+// is restored if the update raises.
+func ExampleModifyMVar() {
+	prog := core.Bind(core.NewMVar(100), func(account core.MVar[int]) core.IO[int] {
+		failing := core.ModifyMVar(account, func(v int) core.IO[int] {
+			return core.Throw[int](exc.ErrorCall{Msg: "audit failed"})
+		})
+		return core.Then(core.Void(core.Try(failing)), core.Take(account))
+	})
+	v, _, _ := core.Run(prog)
+	fmt.Println(v)
+	// Output: 100
+}

@@ -1,0 +1,110 @@
+package core_test
+
+import (
+	"testing"
+	"time"
+
+	"asyncexc/internal/core"
+	"asyncexc/internal/exc"
+	"asyncexc/internal/sched"
+)
+
+func TestPureIsReturn(t *testing.T) {
+	mustValue(t, core.Pure(11), 11)
+}
+
+func TestLiftErr(t *testing.T) {
+	ok := core.LiftErr(func() (int, core.Exception) { return 4, nil })
+	mustValue(t, ok, 4)
+	bad := core.LiftErr(func() (int, core.Exception) {
+		return 0, exc.IOError{Op: "probe", Msg: "nope"}
+	})
+	mustException(t, bad, exc.IOError{Op: "probe", Msg: "nope"})
+}
+
+func TestBracketOnError(t *testing.T) {
+	released := 0
+	release := func(int) core.IO[core.Unit] {
+		return core.Lift(func() core.Unit { released++; return core.UnitValue })
+	}
+	// Success: release does NOT run.
+	mustValue(t, core.BracketOnError(core.Return(1),
+		func(int) core.IO[int] { return core.Return(2) }, release), 2)
+	if released != 0 {
+		t.Fatalf("released %d after success", released)
+	}
+	// Failure: release runs, exception propagates.
+	mustException(t, core.BracketOnError(core.Return(1),
+		func(int) core.IO[int] { return core.Throw[int](exc.ErrorCall{Msg: "x"}) }, release),
+		exc.ErrorCall{Msg: "x"})
+	if released != 1 {
+		t.Fatalf("released %d after failure", released)
+	}
+}
+
+func TestMaskUnit(t *testing.T) {
+	m := core.MaskUnit(func(restore func(core.IO[core.Unit]) core.IO[core.Unit]) core.IO[core.Unit] {
+		return restore(core.Return(core.UnitValue))
+	})
+	mustValue(t, m, core.UnitValue)
+}
+
+func TestMVarFromRaw(t *testing.T) {
+	m := core.Bind(core.NewMVar(7), func(mv core.MVar[int]) core.IO[int] {
+		rewrapped := core.MVarFromRaw[int](mv.Raw())
+		return core.Take(rewrapped)
+	})
+	mustValue(t, m, 7)
+}
+
+func TestSystemInterruptMain(t *testing.T) {
+	opts := core.RealTimeOptions()
+	sys := core.NewSystem(opts)
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		sys.InterruptMain(exc.UserInterrupt{})
+	}()
+	prog := core.Catch(
+		core.Then(core.Sleep(time.Hour), core.Return("overslept")),
+		func(e core.Exception) core.IO[string] {
+			return core.Return(e.ExceptionName())
+		})
+	v, e, err := core.RunSystem(sys, prog)
+	if err != nil || e != nil {
+		t.Fatalf("run: %v %v", err, e)
+	}
+	if v != "UserInterrupt" {
+		t.Fatalf("got %q", v)
+	}
+}
+
+func TestSystemKillMain(t *testing.T) {
+	sys := core.NewSystem(core.RealTimeOptions())
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		sys.KillMain()
+	}()
+	_, e, err := core.RunSystem(sys, core.Sleep(time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e == nil || !e.Eq(exc.ThreadKilled{}) {
+		t.Fatalf("want ThreadKilled, got %v", e)
+	}
+}
+
+func TestRunSystemTypeMismatch(t *testing.T) {
+	sys := core.NewSystem(core.DefaultOptions())
+	// Launder an IO[int] into an IO[string] through the node layer.
+	bogus := core.FromNode[string](core.Return(1).Node())
+	_, _, err := core.RunSystem(sys, bogus)
+	if err == nil {
+		t.Fatal("expected a type-mismatch error")
+	}
+}
+
+func TestMaskToNode(t *testing.T) {
+	// sched.MaskTo reaches the third state directly.
+	m := core.FromNode[core.MaskState](sched.MaskTo(sched.GetMask(), sched.MaskedUninterruptible))
+	mustValue(t, m, core.MaskedUninterruptible)
+}

@@ -1,0 +1,294 @@
+package core_test
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"asyncexc/internal/core"
+	"asyncexc/internal/exc"
+)
+
+// --- Property: mask nesting is a stack discipline, not a counter ------
+
+// nestMask builds Block/Unblock nesting following dirs (true = Block,
+// false = Unblock) and reads the mask state at the innermost point.
+func nestMask(dirs []bool) core.IO[core.MaskState] {
+	m := core.GetMask()
+	for i := len(dirs) - 1; i >= 0; i-- {
+		if dirs[i] {
+			m = core.Block(m)
+		} else {
+			m = core.Unblock(m)
+		}
+	}
+	return m
+}
+
+func TestQuickMaskNestingInnermostWins(t *testing.T) {
+	// §5.2: the innermost block/unblock decides; no counting.
+	prop := func(dirs []bool) bool {
+		want := core.Unmasked
+		if len(dirs) > 0 && dirs[len(dirs)-1] {
+			want = core.Masked
+		}
+		got, e, err := core.Run(nestMask(dirs))
+		return err == nil && e == nil && got == want
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickMaskAlwaysRestoredAfterNesting(t *testing.T) {
+	// Whatever the nesting, the state after the whole expression is
+	// back to unmasked (scoped combinators, §5.2).
+	prop := func(dirs []bool) bool {
+		m := core.Then(nestMask(dirs), core.GetMask())
+		got, e, err := core.Run(m)
+		return err == nil && e == nil && got == core.Unmasked
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickMaskRestoredAfterExceptionInNesting(t *testing.T) {
+	// Throwing from the innermost point of any nesting still restores
+	// the caller's state (rules Block Throw / Unblock Throw).
+	prop := func(dirs []bool) bool {
+		inner := core.Throw[core.MaskState](exc.ErrorCall{Msg: "quick"})
+		m := inner
+		for i := len(dirs) - 1; i >= 0; i-- {
+			if dirs[i] {
+				m = core.Block(m)
+			} else {
+				m = core.Unblock(m)
+			}
+		}
+		prog := core.Then(
+			core.Catch(m, func(core.Exception) core.IO[core.MaskState] { return core.Return(core.Unmasked) }),
+			core.GetMask())
+		got, e, err := core.Run(prog)
+		return err == nil && e == nil && got == core.Unmasked
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// --- Property: §8.1 frame cancellation is semantics-preserving --------
+
+func TestQuickFrameCancellationEquivalence(t *testing.T) {
+	// The ablation switch must not change observable results: for a
+	// random nesting with a throw-or-return at the bottom, both
+	// configurations agree on the outcome and final mask state.
+	prop := func(dirs []bool, throwInner bool) bool {
+		build := func() core.IO[string] {
+			var inner core.IO[string]
+			if throwInner {
+				inner = core.Throw[string](exc.ErrorCall{Msg: "q"})
+			} else {
+				inner = core.Return("v")
+			}
+			m := inner
+			for i := len(dirs) - 1; i >= 0; i-- {
+				if dirs[i] {
+					m = core.Block(m)
+				} else {
+					m = core.Unblock(m)
+				}
+			}
+			return core.Bind(
+				core.Catch(m, func(core.Exception) core.IO[string] { return core.Return("caught") }),
+				func(r string) core.IO[string] {
+					return core.Bind(core.GetMask(), func(ms core.MaskState) core.IO[string] {
+						return core.Return(r + "/" + ms.String())
+					})
+				})
+		}
+		optsOn := core.DefaultOptions()
+		optsOff := core.DefaultOptions()
+		optsOff.DisableFrameCancellation = true
+		a, ea, erra := core.RunWith(optsOn, build())
+		b, eb, errb := core.RunWith(optsOff, build())
+		return erra == nil && errb == nil && ea == nil && eb == nil && a == b
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// --- Property: bracket always releases, under async fire --------------
+
+func TestQuickBracketAlwaysReleases(t *testing.T) {
+	// For any body length and any schedule seed, after the dust
+	// settles every acquire has a matching release, whether the body
+	// finished or was interrupted.
+	prop := func(bodySteps uint8, seed int64) bool {
+		acquired, released := 0, 0
+		opts := core.DefaultOptions()
+		opts.TimeSlice = 1
+		opts.RandomSched = true
+		opts.Seed = seed
+		prog := core.Bind(core.NewEmptyMVar[core.Unit](), func(ready core.MVar[core.Unit]) core.IO[core.Unit] {
+			// ready is signalled from inside the body, so the acquire
+			// has definitely happened before the exception is thrown.
+			worker := core.Void(core.Bracket(
+				core.Lift(func() int { acquired++; return acquired }),
+				func(int) core.IO[core.Unit] {
+					return core.Then(core.Put(ready, core.UnitValue), core.Void(busy(int(bodySteps))))
+				},
+				func(int) core.IO[core.Unit] {
+					return core.Lift(func() core.Unit { released++; return core.UnitValue })
+				}))
+			return core.Bind(core.Fork(worker), func(tid core.ThreadID) core.IO[core.Unit] {
+				return core.Seq(
+					core.Void(core.Take(ready)),
+					core.ThrowTo(tid, killX),
+					// Wait for the worker to die or finish: an hour of
+					// virtual sleep completes only when nothing else runs.
+					core.Sleep(time.Hour),
+				)
+			})
+		})
+		_, e, err := core.RunWith(opts, prog)
+		return err == nil && e == nil && acquired == released && acquired == 1
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// --- Property: finally runs exactly once under async fire --------------
+
+func TestQuickFinallyExactlyOnce(t *testing.T) {
+	prop := func(bodySteps uint8, seed int64) bool {
+		finals := 0
+		opts := core.DefaultOptions()
+		opts.TimeSlice = 1
+		opts.RandomSched = true
+		opts.Seed = seed
+		prog := core.Bind(core.NewEmptyMVar[core.Unit](), func(ready core.MVar[core.Unit]) core.IO[core.Unit] {
+			// ready is signalled from inside the protected body, so the
+			// Finally is definitely armed before the exception flies.
+			worker := core.Void(core.Finally(
+				core.Then(core.Put(ready, core.UnitValue), core.Void(busy(int(bodySteps)))),
+				core.Lift(func() core.Unit { finals++; return core.UnitValue })))
+			return core.Bind(core.Fork(worker), func(tid core.ThreadID) core.IO[core.Unit] {
+				return core.Seq(
+					core.Void(core.Take(ready)),
+					core.ThrowTo(tid, killX),
+					core.Sleep(time.Hour),
+				)
+			})
+		})
+		_, e, err := core.RunWith(opts, prog)
+		return err == nil && e == nil && finals == 1
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// --- Property: MVar token conservation ---------------------------------
+
+func TestQuickMVarConservation(t *testing.T) {
+	// n producers put k tokens each; one consumer drains n*k: the sum
+	// received equals the sum sent, under any seed.
+	prop := func(nRaw, kRaw uint8, seed int64) bool {
+		n := int(nRaw%4) + 1
+		k := int(kRaw%5) + 1
+		opts := core.DefaultOptions()
+		opts.RandomSched = true
+		opts.Seed = seed
+		prog := core.Bind(core.NewEmptyMVar[int](), func(mv core.MVar[int]) core.IO[int] {
+			producer := func(base int) core.IO[core.Unit] {
+				return core.ForM_(seqInts(k), func(i int) core.IO[core.Unit] {
+					return core.Put(mv, base+i)
+				})
+			}
+			forks := core.Return(core.UnitValue)
+			want := 0
+			for p := 0; p < n; p++ {
+				base := (p + 1) * 1000
+				for i := 0; i < k; i++ {
+					want += base + i
+				}
+				forks = core.Then(forks, core.Void(core.Fork(producer(base))))
+			}
+			var drain func(left, acc int) core.IO[int]
+			drain = func(left, acc int) core.IO[int] {
+				if left == 0 {
+					return core.Return(acc)
+				}
+				return core.Bind(core.Take(mv), func(v int) core.IO[int] {
+					return core.Delay(func() core.IO[int] { return drain(left-1, acc+v) })
+				})
+			}
+			return core.Bind(core.Then(forks, drain(n*k, 0)), func(sum int) core.IO[int] {
+				return core.Return(sum - want) // 0 iff conserved
+			})
+		})
+		v, e, err := core.RunWith(opts, prog)
+		return err == nil && e == nil && v == 0
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func seqInts(n int) []int {
+	xs := make([]int, n)
+	for i := range xs {
+		xs[i] = i
+	}
+	return xs
+}
+
+// --- Property: timeout agrees with the virtual clock --------------------
+
+func TestQuickTimeoutThreshold(t *testing.T) {
+	// Timeout(d, Sleep(w) >> v) yields Just v iff w < d on the virtual
+	// clock (ties go to the sleeper forked first inside EitherIO, so we
+	// exclude w == d).
+	prop := func(dRaw, wRaw uint16) bool {
+		d := time.Duration(dRaw%1000+1) * time.Millisecond
+		w := time.Duration(wRaw%1000+1) * time.Millisecond
+		if d == w {
+			return true
+		}
+		m := core.Timeout(d, core.Then(core.Sleep(w), core.Return(1)))
+		v, e, err := core.Run(m)
+		if err != nil || e != nil {
+			return false
+		}
+		return v.IsJust == (w < d)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// --- Property: EitherIO returns the faster side --------------------------
+
+func TestQuickEitherFasterSideWins(t *testing.T) {
+	prop := func(aRaw, bRaw uint16) bool {
+		a := time.Duration(aRaw%1000+1) * time.Millisecond
+		b := time.Duration(bRaw%1000+1) * time.Millisecond
+		if a == b {
+			return true
+		}
+		m := core.EitherIO(
+			core.Then(core.Sleep(a), core.Return("a")),
+			core.Then(core.Sleep(b), core.Return("b")))
+		v, e, err := core.Run(m)
+		if err != nil || e != nil {
+			return false
+		}
+		return v.IsLeft == (a < b)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,68 @@
+package core_test
+
+import (
+	"testing"
+	"time"
+
+	"asyncexc/internal/core"
+)
+
+// TestTenThousandThreads is the scalability smoke test: fork 10k green
+// threads that all funnel increments through one MVar; everything
+// completes and the count is exact.
+func TestTenThousandThreads(t *testing.T) {
+	const n = 10000
+	prog := core.Bind(core.NewMVar(0), func(counter core.MVar[int]) core.IO[int] {
+		spawn := core.ReplicateM_(n, core.Void(core.Fork(
+			core.ModifyMVar(counter, func(v int) core.IO[int] { return core.Return(v + 1) }))))
+		var wait func() core.IO[int]
+		wait = func() core.IO[int] {
+			return core.Bind(core.Read(counter), func(v int) core.IO[int] {
+				if v == n {
+					return core.Return(v)
+				}
+				return core.Then(core.Sleep(time.Millisecond), core.Delay(wait))
+			})
+		}
+		return core.Then(spawn, wait())
+	})
+	mustValue(t, prog, n)
+}
+
+// TestMassKill forks 2k sleepers and kills them all; the runtime must
+// reap every one.
+func TestMassKill(t *testing.T) {
+	const n = 2000
+	killed := 0
+	prog := core.Bind(
+		core.ForM(make([]struct{}, n), func(struct{}) core.IO[core.ThreadID] {
+			return core.Fork(core.Catch(
+				core.Void(core.Sleep(time.Hour)),
+				func(core.Exception) core.IO[core.Unit] {
+					return core.Lift(func() core.Unit { killed++; return core.UnitValue })
+				}))
+		}),
+		func(tids []core.ThreadID) core.IO[int] {
+			kills := core.ForM_(tids, core.KillThread)
+			return core.Then(core.Sleep(time.Millisecond),
+				core.Then(kills,
+					core.Then(core.Sleep(time.Millisecond),
+						core.Lift(func() int { return killed }))))
+		})
+	mustValue(t, prog, n)
+}
+
+// TestDeepBindChain: a 100k-deep right-nested bind chain runs in
+// bounded stack (the trampoline property).
+func TestDeepBindChain(t *testing.T) {
+	var chain func(i int) core.IO[int]
+	chain = func(i int) core.IO[int] {
+		if i == 0 {
+			return core.Return(0)
+		}
+		return core.Bind(core.Return(i), func(v int) core.IO[int] {
+			return core.Delay(func() core.IO[int] { return chain(i - 1) })
+		})
+	}
+	mustValue(t, chain(100000), 0)
+}

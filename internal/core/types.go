@@ -1,0 +1,66 @@
+package core
+
+import "fmt"
+
+// Maybe is an optional value (Haskell's Maybe), the result type of
+// Timeout and TryTake.
+type Maybe[A any] struct {
+	// IsJust reports whether Value is present.
+	IsJust bool
+	// Value is meaningful only when IsJust.
+	Value A
+}
+
+// Just wraps a present value.
+func Just[A any](v A) Maybe[A] { return Maybe[A]{IsJust: true, Value: v} }
+
+// Nothing is the absent value.
+func Nothing[A any]() Maybe[A] { return Maybe[A]{} }
+
+// String renders the Maybe.
+func (m Maybe[A]) String() string {
+	if !m.IsJust {
+		return "Nothing"
+	}
+	return fmt.Sprintf("Just %v", m.Value)
+}
+
+// Either is a disjoint sum (Haskell's Either), the result type of the
+// EitherIO combinator: Left carries the first computation's result,
+// Right the second's.
+type Either[A, B any] struct {
+	// IsLeft selects which side is present.
+	IsLeft bool
+	// Left is meaningful when IsLeft.
+	Left A
+	// Right is meaningful when !IsLeft.
+	Right B
+}
+
+// MkLeft injects into the left side.
+func MkLeft[A, B any](v A) Either[A, B] { return Either[A, B]{IsLeft: true, Left: v} }
+
+// MkRight injects into the right side.
+func MkRight[A, B any](v B) Either[A, B] { return Either[A, B]{Right: v} }
+
+// String renders the Either.
+func (e Either[A, B]) String() string {
+	if e.IsLeft {
+		return fmt.Sprintf("Left %v", e.Left)
+	}
+	return fmt.Sprintf("Right %v", e.Right)
+}
+
+// Pair is a two-tuple, the result type of BothIO.
+type Pair[A, B any] struct {
+	// Fst is the first component.
+	Fst A
+	// Snd is the second component.
+	Snd B
+}
+
+// MkPair constructs a Pair.
+func MkPair[A, B any](a A, b B) Pair[A, B] { return Pair[A, B]{Fst: a, Snd: b} }
+
+// String renders the Pair.
+func (p Pair[A, B]) String() string { return fmt.Sprintf("(%v,%v)", p.Fst, p.Snd) }

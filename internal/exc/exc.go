@@ -1,0 +1,314 @@
+// Package exc defines the Exception values thrown and caught by the
+// asyncexc runtime.
+//
+// The paper (§4, §9) uses a single datatype Exception for both
+// synchronous and asynchronous exceptions; we mirror that with a small
+// interface implemented by a family of concrete exception values.
+// Exceptions support equality (needed by tests and by the semantics,
+// where catch handlers may compare exceptions) and satisfy Go's error
+// interface so they interoperate with ordinary Go code at the runtime
+// boundary.
+//
+// §9 also sketches a design that distinguishes exceptions from "alerts"
+// (asynchronous-only signals) so that universal handlers cannot swallow
+// a Timeout. That design is available here too: values implementing
+// Alert are classified as alerts, and the runtime's CatchNonAlert
+// combinator ignores them.
+package exc
+
+import "fmt"
+
+// Exception is the type of values raised by throw, throwTo and raise.
+//
+// Implementations must be comparable by Eq; two exceptions are the same
+// for the purposes of handler logic iff Eq reports true. All exceptions
+// render via String (and Error, for Go interop).
+type Exception interface {
+	// ExceptionName returns a stable, human-readable constructor name,
+	// e.g. "ThreadKilled" or "ErrorCall".
+	ExceptionName() string
+	// Eq reports whether the receiver and other denote the same exception.
+	Eq(other Exception) bool
+	// String renders the exception for traces and error messages.
+	String() string
+}
+
+// Alert marks an exception as asynchronous-only in the two-datatype
+// design of §9. Handlers installed with the non-alert catch variants do
+// not intercept alerts, so combinators such as Timeout cannot be broken
+// by universal handlers in the code they wrap.
+type Alert interface {
+	Exception
+	// IsAlert is a marker; implementations return true.
+	IsAlert() bool
+}
+
+// ---------------------------------------------------------------------
+// Standard exceptions
+// ---------------------------------------------------------------------
+
+// ThreadKilled is the exception sent by KillThread, following the
+// KillThread exception used by the paper's either combinator (§7.2).
+type ThreadKilled struct{}
+
+// ExceptionName implements Exception.
+func (ThreadKilled) ExceptionName() string { return "ThreadKilled" }
+
+// Eq implements Exception.
+func (ThreadKilled) Eq(o Exception) bool { _, ok := o.(ThreadKilled); return ok }
+
+func (ThreadKilled) String() string { return "thread killed" }
+
+// Error implements error.
+func (e ThreadKilled) Error() string { return e.String() }
+
+// IsAlert classifies ThreadKilled as an alert in the §9 two-datatype
+// design: it is only ever delivered asynchronously.
+func (ThreadKilled) IsAlert() bool { return true }
+
+// Timeout is raised in a computation whose time budget has expired.
+// The paper's timeout combinator (§7.3) uses either+sleep and never
+// lets this exception reach the wrapped computation, but the §9
+// discussion considers timeout-style alerts delivered directly, and the
+// httpd substrate uses this form to reap stuck request handlers.
+type Timeout struct{}
+
+// ExceptionName implements Exception.
+func (Timeout) ExceptionName() string { return "Timeout" }
+
+// Eq implements Exception.
+func (Timeout) Eq(o Exception) bool { _, ok := o.(Timeout); return ok }
+
+func (Timeout) String() string { return "timeout" }
+
+// Error implements error.
+func (e Timeout) Error() string { return e.String() }
+
+// IsAlert classifies Timeout as an alert (§9).
+func (Timeout) IsAlert() bool { return true }
+
+// ErrorCall is a synchronous user exception carrying a message, the
+// analogue of Haskell's ErrorCall raised by error/raise in pure code.
+type ErrorCall struct {
+	// Msg is the error message supplied at the raise site.
+	Msg string
+}
+
+// ExceptionName implements Exception.
+func (ErrorCall) ExceptionName() string { return "ErrorCall" }
+
+// Eq implements Exception.
+func (e ErrorCall) Eq(o Exception) bool {
+	oe, ok := o.(ErrorCall)
+	return ok && oe.Msg == e.Msg
+}
+
+func (e ErrorCall) String() string { return "error: " + e.Msg }
+
+// Error implements error.
+func (e ErrorCall) Error() string { return e.String() }
+
+// PatternMatchFail is the synchronous exception raised when the inner
+// semantics' case analysis has no applicable alternative — one of the
+// paper's canonical examples of a synchronous exception (§2).
+type PatternMatchFail struct {
+	// Loc describes the failing match site.
+	Loc string
+}
+
+// ExceptionName implements Exception.
+func (PatternMatchFail) ExceptionName() string { return "PatternMatchFail" }
+
+// Eq implements Exception.
+func (e PatternMatchFail) Eq(o Exception) bool {
+	oe, ok := o.(PatternMatchFail)
+	return ok && oe.Loc == e.Loc
+}
+
+func (e PatternMatchFail) String() string { return "pattern match failure: " + e.Loc }
+
+// Error implements error.
+func (e PatternMatchFail) Error() string { return e.String() }
+
+// DivideByZero is the synchronous exception for division by zero,
+// another canonical synchronous exception from §2.
+type DivideByZero struct{}
+
+// ExceptionName implements Exception.
+func (DivideByZero) ExceptionName() string { return "DivideByZero" }
+
+// Eq implements Exception.
+func (DivideByZero) Eq(o Exception) bool { _, ok := o.(DivideByZero); return ok }
+
+func (DivideByZero) String() string { return "divide by zero" }
+
+// Error implements error.
+func (e DivideByZero) Error() string { return e.String() }
+
+// BlockedIndefinitely is raised by the runtime's deadlock detector in a
+// thread that is stuck on an MVar no other live thread can ever fill or
+// empty. The paper's semantics simply leaves such threads stuck forever
+// (§6.2: "no transition can take place; this is how a stuck thread is
+// modeled"); the detector is an extension mirroring GHC and is
+// switchable off to recover the paper's exact behaviour.
+type BlockedIndefinitely struct{}
+
+// ExceptionName implements Exception.
+func (BlockedIndefinitely) ExceptionName() string { return "BlockedIndefinitelyOnMVar" }
+
+// Eq implements Exception.
+func (BlockedIndefinitely) Eq(o Exception) bool { _, ok := o.(BlockedIndefinitely); return ok }
+
+func (BlockedIndefinitely) String() string { return "thread blocked indefinitely on an MVar" }
+
+// Error implements error.
+func (e BlockedIndefinitely) Error() string { return e.String() }
+
+// IsAlert classifies BlockedIndefinitely as an alert: it is delivered
+// asynchronously by the runtime, never thrown by user code flow.
+func (BlockedIndefinitely) IsAlert() bool { return true }
+
+// StackOverflow models the resource-exhaustion motivation of §2: the
+// runtime raises it when a thread's continuation stack exceeds its
+// configured bound.
+type StackOverflow struct{}
+
+// ExceptionName implements Exception.
+func (StackOverflow) ExceptionName() string { return "StackOverflow" }
+
+// Eq implements Exception.
+func (StackOverflow) Eq(o Exception) bool { _, ok := o.(StackOverflow); return ok }
+
+func (StackOverflow) String() string { return "stack overflow" }
+
+// Error implements error.
+func (e StackOverflow) Error() string { return e.String() }
+
+// UserInterrupt models the user-interrupt motivation of §2 (the "stop"
+// button): an asynchronous interrupt from the environment converted
+// into an asynchronous exception by the programmer (§5).
+type UserInterrupt struct{}
+
+// ExceptionName implements Exception.
+func (UserInterrupt) ExceptionName() string { return "UserInterrupt" }
+
+// Eq implements Exception.
+func (UserInterrupt) Eq(o Exception) bool { _, ok := o.(UserInterrupt); return ok }
+
+func (UserInterrupt) String() string { return "user interrupt" }
+
+// Error implements error.
+func (e UserInterrupt) Error() string { return e.String() }
+
+// IsAlert classifies UserInterrupt as an alert (§9).
+func (UserInterrupt) IsAlert() bool { return true }
+
+// IOError is a synchronous I/O failure (file not found, connection
+// reset, ...), the Haskell 98 IOError enlarged into Exception (§4).
+type IOError struct {
+	// Op is the failing operation ("read", "accept", ...).
+	Op string
+	// Msg describes the failure.
+	Msg string
+}
+
+// ExceptionName implements Exception.
+func (IOError) ExceptionName() string { return "IOError" }
+
+// Eq implements Exception.
+func (e IOError) Eq(o Exception) bool {
+	oe, ok := o.(IOError)
+	return ok && oe == e
+}
+
+func (e IOError) String() string { return "I/O error: " + e.Op + ": " + e.Msg }
+
+// Error implements error.
+func (e IOError) Error() string { return e.String() }
+
+// Dyn is a user-defined exception distinguished by an arbitrary tag and
+// payload, giving programs an open-ended exception space like Haskell's
+// dynamic exceptions. Two Dyn values are equal when their tags and
+// payload strings agree.
+type Dyn struct {
+	// Tag names the user exception kind.
+	Tag string
+	// Payload carries optional data, compared textually.
+	Payload string
+}
+
+// ExceptionName implements Exception.
+func (e Dyn) ExceptionName() string { return "Dyn:" + e.Tag }
+
+// Eq implements Exception.
+func (e Dyn) Eq(o Exception) bool {
+	oe, ok := o.(Dyn)
+	return ok && oe == e
+}
+
+func (e Dyn) String() string {
+	if e.Payload == "" {
+		return e.Tag
+	}
+	return e.Tag + ": " + e.Payload
+}
+
+// Error implements error.
+func (e Dyn) Error() string { return e.String() }
+
+// ---------------------------------------------------------------------
+// Helpers
+// ---------------------------------------------------------------------
+
+// IsAlertException reports whether e is classified as an alert under
+// the §9 two-datatype design.
+func IsAlertException(e Exception) bool {
+	a, ok := e.(Alert)
+	return ok && a.IsAlert()
+}
+
+// Equal is a nil-tolerant equality helper for exceptions.
+func Equal(a, b Exception) bool {
+	if a == nil || b == nil {
+		return a == nil && b == nil
+	}
+	return a.Eq(b)
+}
+
+// AsError converts an Exception into a Go error (nil stays nil). The
+// concrete exception value is preserved when it already implements
+// error; otherwise it is wrapped.
+func AsError(e Exception) error {
+	if e == nil {
+		return nil
+	}
+	if err, ok := e.(error); ok {
+		return err
+	}
+	return wrapped{e}
+}
+
+type wrapped struct{ e Exception }
+
+func (w wrapped) Error() string { return w.e.String() }
+
+// FromError converts a Go error into an Exception. Exceptions pass
+// through unchanged; other errors become IOErrors tagged with op.
+func FromError(op string, err error) Exception {
+	if err == nil {
+		return nil
+	}
+	if e, ok := err.(Exception); ok {
+		return e
+	}
+	return IOError{Op: op, Msg: err.Error()}
+}
+
+// Format renders an exception with its constructor name, used by
+// machine traces: e.g. "ThreadKilled(thread killed)".
+func Format(e Exception) string {
+	if e == nil {
+		return "<nil exception>"
+	}
+	return fmt.Sprintf("%s(%s)", e.ExceptionName(), e.String())
+}

@@ -1,0 +1,123 @@
+package exc_test
+
+import (
+	"errors"
+	"testing"
+
+	"asyncexc/internal/exc"
+)
+
+func TestEqMatrix(t *testing.T) {
+	values := []exc.Exception{
+		exc.ThreadKilled{},
+		exc.Timeout{},
+		exc.ErrorCall{Msg: "a"},
+		exc.ErrorCall{Msg: "b"},
+		exc.PatternMatchFail{Loc: "x"},
+		exc.DivideByZero{},
+		exc.BlockedIndefinitely{},
+		exc.StackOverflow{},
+		exc.UserInterrupt{},
+		exc.IOError{Op: "read", Msg: "eof"},
+		exc.IOError{Op: "read", Msg: "reset"},
+		exc.Dyn{Tag: "T"},
+		exc.Dyn{Tag: "T", Payload: "p"},
+	}
+	for i, a := range values {
+		for j, b := range values {
+			got := a.Eq(b)
+			want := i == j
+			if got != want {
+				t.Errorf("Eq(%v, %v) = %v, want %v", a, b, got, want)
+			}
+		}
+	}
+}
+
+func TestAlertClassification(t *testing.T) {
+	alerts := []exc.Exception{
+		exc.ThreadKilled{}, exc.Timeout{}, exc.BlockedIndefinitely{}, exc.UserInterrupt{},
+	}
+	nonAlerts := []exc.Exception{
+		exc.ErrorCall{Msg: "x"}, exc.DivideByZero{}, exc.PatternMatchFail{},
+		exc.StackOverflow{}, exc.IOError{}, exc.Dyn{Tag: "u"},
+	}
+	for _, e := range alerts {
+		if !exc.IsAlertException(e) {
+			t.Errorf("%v should be an alert", e)
+		}
+	}
+	for _, e := range nonAlerts {
+		if exc.IsAlertException(e) {
+			t.Errorf("%v should not be an alert", e)
+		}
+	}
+}
+
+func TestEqualNilTolerant(t *testing.T) {
+	if !exc.Equal(nil, nil) {
+		t.Error("nil == nil")
+	}
+	if exc.Equal(nil, exc.Timeout{}) || exc.Equal(exc.Timeout{}, nil) {
+		t.Error("nil != non-nil")
+	}
+	if !exc.Equal(exc.Timeout{}, exc.Timeout{}) {
+		t.Error("Timeout == Timeout")
+	}
+}
+
+func TestAsErrorRoundTrip(t *testing.T) {
+	if exc.AsError(nil) != nil {
+		t.Error("AsError(nil) should be nil")
+	}
+	err := exc.AsError(exc.ErrorCall{Msg: "m"})
+	if err == nil || err.Error() != "error: m" {
+		t.Errorf("AsError: %v", err)
+	}
+	// FromError passes exceptions through unchanged.
+	e := exc.FromError("op", exc.Timeout{})
+	if !e.Eq(exc.Timeout{}) {
+		t.Errorf("FromError exception passthrough: %v", e)
+	}
+	// Plain errors become IOErrors tagged with the op.
+	e2 := exc.FromError("connect", errors.New("refused"))
+	io, ok := e2.(exc.IOError)
+	if !ok || io.Op != "connect" || io.Msg != "refused" {
+		t.Errorf("FromError wrap: %v", e2)
+	}
+	if exc.FromError("op", nil) != nil {
+		t.Error("FromError(nil) should be nil")
+	}
+}
+
+func TestFormat(t *testing.T) {
+	if got := exc.Format(exc.ThreadKilled{}); got != "ThreadKilled(thread killed)" {
+		t.Errorf("Format: %q", got)
+	}
+	if got := exc.Format(nil); got != "<nil exception>" {
+		t.Errorf("Format nil: %q", got)
+	}
+}
+
+func TestErrorInterfaces(t *testing.T) {
+	// Every standard exception doubles as a Go error.
+	for _, e := range []error{
+		exc.ThreadKilled{}, exc.Timeout{}, exc.ErrorCall{Msg: "x"},
+		exc.PatternMatchFail{Loc: "l"}, exc.DivideByZero{},
+		exc.BlockedIndefinitely{}, exc.StackOverflow{}, exc.UserInterrupt{},
+		exc.IOError{Op: "o", Msg: "m"}, exc.Dyn{Tag: "t"},
+	} {
+		if e.Error() == "" {
+			t.Errorf("%T has empty Error()", e)
+		}
+	}
+}
+
+func TestDynPayloadInString(t *testing.T) {
+	if got := (exc.Dyn{Tag: "Cancel"}).String(); got != "Cancel" {
+		t.Errorf("got %q", got)
+	}
+	if got := (exc.Dyn{Tag: "Cancel", Payload: "why"}).String(); got != "Cancel: why" {
+		t.Errorf("got %q", got)
+	}
+}

@@ -1,0 +1,85 @@
+package httpd_test
+
+import (
+	"net/http"
+	"testing"
+	"time"
+
+	"asyncexc/internal/core"
+	"asyncexc/internal/httpd"
+)
+
+func TestGracefulStopDrainsInFlightRequests(t *testing.T) {
+	s := httpd.New(httpd.Config{RequestTimeout: 5 * time.Second, DrainTimeout: 5 * time.Second})
+	s.Handle("/work", func(r httpd.Request) core.IO[httpd.Response] {
+		return core.Then(core.Sleep(200*time.Millisecond), core.Return(httpd.Text(200, "done\n")))
+	})
+	run, err := s.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	type result struct {
+		code int
+		err  error
+	}
+	resCh := make(chan result, 1)
+	go func() {
+		resp, err := http.Get("http://" + run.Addr + "/work")
+		if err != nil {
+			resCh <- result{err: err}
+			return
+		}
+		resp.Body.Close()
+		resCh <- result{code: resp.StatusCode}
+	}()
+	// Let the request reach the handler, then stop gracefully.
+	deadline := time.Now().Add(2 * time.Second)
+	for s.Stats.Active.Load() == 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if s.Stats.Active.Load() == 0 {
+		t.Fatal("request never became active")
+	}
+	if err := run.Stop(); err != nil {
+		t.Fatalf("stop: %v", err)
+	}
+	select {
+	case r := <-resCh:
+		if r.err != nil || r.code != 200 {
+			t.Fatalf("in-flight request not drained: %+v", r)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no response")
+	}
+}
+
+func TestGracefulStopForceAfterDrainTimeout(t *testing.T) {
+	s := httpd.New(httpd.Config{
+		RequestTimeout: time.Hour, // never reaped by the request budget
+		DrainTimeout:   100 * time.Millisecond,
+	})
+	s.Handle("/stuck", func(r httpd.Request) core.IO[httpd.Response] {
+		return core.Then(core.Sleep(24*time.Hour), core.Return(httpd.Text(200, "never\n")))
+	})
+	run, err := s.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		resp, err := http.Get("http://" + run.Addr + "/stuck")
+		if err == nil {
+			resp.Body.Close()
+		}
+	}()
+	deadline := time.Now().Add(2 * time.Second)
+	for s.Stats.Active.Load() == 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	start := time.Now()
+	if err := run.Stop(); err != nil {
+		t.Fatalf("stop: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Fatalf("force-stop took %v; the drain timeout must bound it", elapsed)
+	}
+}

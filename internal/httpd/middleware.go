@@ -1,0 +1,81 @@
+package httpd
+
+import (
+	"fmt"
+	"time"
+
+	"asyncexc/internal/core"
+)
+
+// Middleware wraps a Handler; registered middleware applies to every
+// route (outermost first).
+type Middleware func(Handler) Handler
+
+// Use registers middleware; call before Start.
+func (s *Server) Use(mw Middleware) { s.middleware = append(s.middleware, mw) }
+
+// wrap applies the registered middleware chain.
+func (s *Server) wrap(h Handler) Handler {
+	for i := len(s.middleware) - 1; i >= 0; i-- {
+		h = s.middleware[i](h)
+	}
+	return h
+}
+
+// Logged logs one line per request — method, path, status, and the
+// handler's wall-clock duration — through logf, which must be safe to
+// call from the scheduler goroutine. A handler that raises logs before
+// the exception continues (OnException-style), so reaped requests
+// still appear.
+func Logged(logf func(string)) Middleware {
+	return func(next Handler) Handler {
+		return func(r Request) core.IO[Response] {
+			return core.Bind(core.Lift(time.Now), func(start time.Time) core.IO[Response] {
+				work := core.Bind(next(r), func(resp Response) core.IO[Response] {
+					return core.Then(core.Lift(func() core.Unit {
+						logf(fmt.Sprintf("%s %s -> %d (%v)",
+							r.Method, r.Path, resp.Status, time.Since(start).Round(time.Millisecond)))
+						return core.UnitValue
+					}), core.Return(resp))
+				})
+				return core.OnException(work, core.Lift(func() core.Unit {
+					logf(fmt.Sprintf("%s %s -> interrupted (%v)",
+						r.Method, r.Path, time.Since(start).Round(time.Millisecond)))
+					return core.UnitValue
+				}))
+			})
+		}
+	}
+}
+
+// WithHeader adds a fixed response header to every reply.
+func WithHeader(key, value string) Middleware {
+	return func(next Handler) Handler {
+		return func(r Request) core.IO[Response] {
+			return core.Map(next(r), func(resp Response) Response {
+				if resp.Headers == nil {
+					resp.Headers = map[string]string{}
+				}
+				resp.Headers[key] = value
+				return resp
+			})
+		}
+	}
+}
+
+// HandlerTimeout bounds one route's handler more tightly than the
+// server-wide request budget, answering 503 on expiry — per-route
+// composable timeouts, nested inside the global one exactly as §7.3
+// promises they can be.
+func HandlerTimeout(d time.Duration) Middleware {
+	return func(next Handler) Handler {
+		return func(r Request) core.IO[Response] {
+			return core.Bind(core.Timeout(d, next(r)), func(res core.Maybe[Response]) core.IO[Response] {
+				if res.IsJust {
+					return core.Return(res.Value)
+				}
+				return core.Return(Text(503, "handler timed out\n"))
+			})
+		}
+	}
+}

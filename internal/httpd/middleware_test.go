@@ -1,0 +1,89 @@
+package httpd_test
+
+import (
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"asyncexc/internal/core"
+	"asyncexc/internal/httpd"
+)
+
+func TestLoggedMiddleware(t *testing.T) {
+	var mu sync.Mutex
+	var lines []string
+	s := httpd.New(httpd.Config{RequestTimeout: 2 * time.Second})
+	s.Use(httpd.Logged(func(line string) {
+		mu.Lock()
+		lines = append(lines, line)
+		mu.Unlock()
+	}))
+	s.Use(httpd.WithHeader("X-Served-By", "asyncexc"))
+	s.Handle("/a", func(r httpd.Request) core.IO[httpd.Response] {
+		return core.Return(httpd.Text(200, "a\n"))
+	})
+	run, err := s.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer run.Stop() //nolint:errcheck
+
+	code, _ := get(t, run.Addr, "/a")
+	if code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(lines) != 1 || !strings.HasPrefix(lines[0], "GET /a -> 200") {
+		t.Fatalf("log lines %v", lines)
+	}
+}
+
+func TestWithHeaderMiddleware(t *testing.T) {
+	s := httpd.New(httpd.Config{RequestTimeout: 2 * time.Second})
+	s.Use(httpd.WithHeader("X-Flavor", "paper"))
+	s.Handle("/a", func(r httpd.Request) core.IO[httpd.Response] {
+		return core.Return(httpd.Text(200, "a\n"))
+	})
+	run, err := s.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer run.Stop() //nolint:errcheck
+	resp, err := httpGet(run.Addr, "/a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Header.Get("X-Flavor") != "paper" {
+		t.Fatalf("header missing: %v", resp.Header)
+	}
+	resp.Body.Close()
+}
+
+func TestHandlerTimeoutMiddleware(t *testing.T) {
+	s := httpd.New(httpd.Config{RequestTimeout: 10 * time.Second})
+	s.Use(httpd.HandlerTimeout(80 * time.Millisecond))
+	s.Handle("/slow", func(r httpd.Request) core.IO[httpd.Response] {
+		return core.Then(core.Sleep(time.Hour), core.Return(httpd.Text(200, "never\n")))
+	})
+	s.Handle("/fast", func(r httpd.Request) core.IO[httpd.Response] {
+		return core.Return(httpd.Text(200, "ok\n"))
+	})
+	run, err := s.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer run.Stop() //nolint:errcheck
+	if code, _ := get(t, run.Addr, "/fast"); code != 200 {
+		t.Fatalf("fast: %d", code)
+	}
+	if code, body := get(t, run.Addr, "/slow"); code != 503 || !strings.Contains(body, "handler timed out") {
+		t.Fatalf("slow: %d %q", code, body)
+	}
+}
+
+func httpGet(addr, path string) (*http.Response, error) {
+	return http.Get("http://" + addr + path)
+}

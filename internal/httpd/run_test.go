@@ -1,0 +1,75 @@
+package httpd_test
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"asyncexc/internal/core"
+	"asyncexc/internal/exc"
+	"asyncexc/internal/httpd"
+)
+
+// TestRunOpensOwnListener exercises Server.Run (the variant that opens
+// its own listener from config) end to end, shut down by KillMain.
+func TestRunOpensOwnListener(t *testing.T) {
+	// Grab a free port first so the config can name it.
+	probe, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := probe.Addr().String()
+	probe.Close()
+
+	s := httpd.New(httpd.Config{Addr: addr, RequestTimeout: time.Second, DrainTimeout: time.Second})
+	s.Handle("/ping", func(r httpd.Request) core.IO[httpd.Response] {
+		return core.Return(httpd.Text(200, "pong\n"))
+	})
+	sys := core.NewSystem(core.RealTimeOptions())
+	done := make(chan error, 1)
+	go func() {
+		_, e, err := core.RunSystem(sys, s.Run())
+		if err != nil {
+			done <- err
+			return
+		}
+		if e != nil && !e.Eq(exc.ThreadKilled{}) {
+			done <- exc.AsError(e)
+			return
+		}
+		done <- nil
+	}()
+	// Wait until it accepts.
+	deadline := time.Now().Add(3 * time.Second)
+	var conn net.Conn
+	for time.Now().Before(deadline) {
+		conn, err = net.DialTimeout("tcp", addr, 100*time.Millisecond)
+		if err == nil {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err != nil {
+		t.Fatalf("server never came up on %s: %v", addr, err)
+	}
+	if _, err := conn.Write([]byte("GET /ping HTTP/1.0\r\n\r\n")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 256)
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second)) //nolint:errcheck
+	n, _ := conn.Read(buf)
+	if n == 0 || string(buf[:9]) != "HTTP/1.0 " {
+		t.Fatalf("reply %q", string(buf[:n]))
+	}
+	conn.Close()
+
+	sys.KillMain()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("server exit: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("server did not shut down")
+	}
+}

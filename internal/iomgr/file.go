@@ -1,0 +1,73 @@
+package iomgr
+
+import (
+	"io"
+	"os"
+
+	"asyncexc/internal/core"
+)
+
+// File wraps an os.File for use from green threads. File operations
+// run through the I/O manager, so a thread stuck in a read is
+// interruptible like any paper operation that waits on the world.
+type File struct{ F *os.File }
+
+// OpenFile opens a file for reading.
+func OpenFile(path string) core.IO[*File] {
+	return Do("open", func() (*File, error) {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		return &File{F: f}, nil
+	})
+}
+
+// CreateFile creates or truncates a file for writing.
+func CreateFile(path string) core.IO[*File] {
+	return Do("create", func() (*File, error) {
+		f, err := os.Create(path)
+		if err != nil {
+			return nil, err
+		}
+		return &File{F: f}, nil
+	})
+}
+
+// ReadAll reads the remaining contents.
+func (f *File) ReadAll() core.IO[[]byte] {
+	return Do("read", func() ([]byte, error) { return io.ReadAll(f.F) })
+}
+
+// WriteString appends s.
+func (f *File) WriteString(s string) core.IO[int] {
+	return Do("write", func() (int, error) { return f.F.WriteString(s) })
+}
+
+// Close closes the file; idempotent.
+func (f *File) Close() core.IO[core.Unit] {
+	return Do("close", func() (core.Unit, error) {
+		f.F.Close() //nolint:errcheck // idempotent close
+		return core.UnitValue, nil
+	})
+}
+
+// WithFile is the paper's §7.1 bracket example made concrete:
+//
+//	bracket (openFile "file.imp")
+//	        (\h -> workOnFile h)
+//	        (\h -> hClose h)
+//
+// The file is always closed, whether work returns, raises, or is
+// killed asynchronously; and the open is atomic — either the handle is
+// owned (and will be closed) or the open's exception propagates.
+func WithFile[A any](path string, work func(*File) core.IO[A]) core.IO[A] {
+	return core.Bracket(OpenFile(path), work,
+		func(f *File) core.IO[core.Unit] { return f.Close() })
+}
+
+// WithCreateFile is WithFile for writing.
+func WithCreateFile[A any](path string, work func(*File) core.IO[A]) core.IO[A] {
+	return core.Bracket(CreateFile(path), work,
+		func(f *File) core.IO[core.Unit] { return f.Close() })
+}

@@ -1,0 +1,82 @@
+package iomgr_test
+
+import (
+	"testing"
+	"time"
+
+	"asyncexc/internal/core"
+	"asyncexc/internal/iomgr"
+)
+
+func TestConnReadBytes(t *testing.T) {
+	m := core.Bind(iomgr.Listen("tcp", "127.0.0.1:0"), func(l *iomgr.Listener) core.IO[string] {
+		addr := l.Addr().String()
+		server := core.Bind(l.Accept(), func(c *iomgr.Conn) core.IO[core.Unit] {
+			return core.Then(core.Void(c.Write([]byte("payload"))), core.Void(c.Close()))
+		})
+		client := core.Bind(iomgr.Dial("tcp", addr), func(c *iomgr.Conn) core.IO[string] {
+			return core.Bind(c.Read(64), func(buf []byte) core.IO[string] {
+				return core.Then(core.Void(c.Close()), core.Return(string(buf)))
+			})
+		})
+		return core.Then(core.Void(core.Fork(server)),
+			core.Bind(client, func(got string) core.IO[string] {
+				return core.Then(core.Void(l.Close()), core.Return(got))
+			}))
+	})
+	v, e, err := core.RunWith(realOpts(), m)
+	if err != nil || e != nil {
+		t.Fatalf("run: %v %v", err, e)
+	}
+	if v != "payload" {
+		t.Fatalf("got %q", v)
+	}
+}
+
+func TestDialFailureRaisesIOError(t *testing.T) {
+	// Dial to a port nothing listens on (we grab one and close it).
+	m := core.Bind(iomgr.Listen("tcp", "127.0.0.1:0"), func(l *iomgr.Listener) core.IO[string] {
+		addr := l.Addr().String()
+		return core.Then(core.Void(l.Close()),
+			core.Bind(core.Try(iomgr.Dial("tcp", addr)), func(r core.Attempt[*iomgr.Conn]) core.IO[string] {
+				if !r.Failed() {
+					return core.Return("connected-to-closed-port")
+				}
+				return core.Return(r.Exc.ExceptionName())
+			}))
+	})
+	v, e, err := core.RunWith(realOpts(), m)
+	if err != nil || e != nil {
+		t.Fatalf("run: %v %v", err, e)
+	}
+	if v != "IOError" {
+		t.Fatalf("got %q", v)
+	}
+}
+
+func TestInterruptedAcceptClosesListener(t *testing.T) {
+	m := core.Bind(iomgr.Listen("tcp", "127.0.0.1:0"), func(l *iomgr.Listener) core.IO[string] {
+		acceptor := core.Catch(
+			core.Then(core.Void(l.Accept()), core.Return(core.UnitValue)),
+			func(core.Exception) core.IO[core.Unit] { return core.Return(core.UnitValue) })
+		return core.Bind(core.Fork(acceptor), func(tid core.ThreadID) core.IO[string] {
+			return core.Then(core.Seq(
+				core.Sleep(20*time.Millisecond), // let Accept park
+				core.KillThread(tid),
+				core.Sleep(20*time.Millisecond),
+			), core.Bind(core.Try(iomgr.Dial("tcp", l.Addr().String())), func(r core.Attempt[*iomgr.Conn]) core.IO[string] {
+				if r.Failed() {
+					return core.Return("listener-closed")
+				}
+				return core.Then(core.Void(r.Value.Close()), core.Return("still-listening"))
+			}))
+		})
+	})
+	v, e, err := core.RunWith(realOpts(), m)
+	if err != nil || e != nil {
+		t.Fatalf("run: %v %v", err, e)
+	}
+	if v != "listener-closed" {
+		t.Fatalf("got %q: interrupting Accept should close the listener", v)
+	}
+}

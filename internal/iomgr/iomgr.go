@@ -1,0 +1,183 @@
+// Package iomgr is the I/O manager: it bridges blocking Go calls onto
+// the green-thread scheduler so that real input/output behaves like the
+// paper's operations — a thread waiting for the outside world is stuck
+// and interruptible (rules Stuck GetChar / Interrupt), while the rest
+// of the system keeps running.
+//
+// Each blocking call runs on its own goroutine; completion is posted
+// back into the scheduler as an external event. An interrupted await
+// optionally runs a cancel hook (to unblock the goroutine, e.g. by
+// closing a socket) and a cleanup hook for results that arrive after
+// the waiter has gone (to avoid leaking accepted connections).
+//
+// Programs doing real I/O should run on a RealClock runtime: the
+// virtual clock only advances when no external work is outstanding.
+package iomgr
+
+import (
+	"bufio"
+	"net"
+
+	"asyncexc/internal/core"
+	"asyncexc/internal/exc"
+	"asyncexc/internal/sched"
+)
+
+// Do runs f on a goroutine and parks the calling green thread until it
+// completes; a non-nil error is raised as an IOError tagged with name.
+// The wait is interruptible, but the underlying Go call is not
+// cancelled — use DoCancel when there is a way to unblock it.
+func Do[A any](name string, f func() (A, error)) core.IO[A] {
+	return DoCancel(name, f, nil, nil)
+}
+
+// DoCancel is Do with hooks: cancel (may be nil) is invoked when the
+// waiting thread is interrupted and should unblock f; dropped (may be
+// nil) receives f's result if it arrives after the waiter has gone.
+func DoCancel[A any](name string, f func() (A, error), cancel func(), dropped func(A)) core.IO[A] {
+	start := func(complete func(v any, e exc.Exception)) func() {
+		go func() {
+			v, err := f()
+			complete(v, exc.FromError(name, err))
+		}()
+		return cancel
+	}
+	drop := func(v any, e exc.Exception) {
+		if dropped == nil || e != nil {
+			return
+		}
+		if a, ok := v.(A); ok {
+			dropped(a)
+		}
+	}
+	return core.FromNode[A](sched.AwaitCleanup(name, start, drop))
+}
+
+// ---------------------------------------------------------------------
+// Sockets
+// ---------------------------------------------------------------------
+
+// Listener wraps a net.Listener for use from green threads.
+type Listener struct{ L net.Listener }
+
+// Listen opens a TCP listener.
+func Listen(network, addr string) core.IO[*Listener] {
+	return Do("listen", func() (*Listener, error) {
+		l, err := net.Listen(network, addr)
+		if err != nil {
+			return nil, err
+		}
+		return &Listener{L: l}, nil
+	})
+}
+
+// Addr returns the listener's address.
+func (l *Listener) Addr() net.Addr { return l.L.Addr() }
+
+// Accept waits for a connection. Interrupting the accepting thread
+// closes the listener (the standard way to unblock Accept); a
+// connection that arrives after the waiter has gone is closed rather
+// than leaked.
+func (l *Listener) Accept() core.IO[*Conn] {
+	return DoCancel("accept",
+		func() (*Conn, error) {
+			c, err := l.L.Accept()
+			if err != nil {
+				return nil, err
+			}
+			return NewConn(c), nil
+		},
+		func() { l.L.Close() }, //nolint:errcheck // best-effort unblock
+		func(c *Conn) { c.C.Close() },
+	)
+}
+
+// Close closes the listener; idempotent (a second close is a no-op,
+// which matters because interrupting an Accept also closes it).
+func (l *Listener) Close() core.IO[core.Unit] {
+	return Do("close", func() (core.Unit, error) {
+		l.L.Close() //nolint:errcheck // idempotent close
+		return core.UnitValue, nil
+	})
+}
+
+// Conn wraps a net.Conn with a buffered reader for line-oriented
+// protocols.
+type Conn struct {
+	C net.Conn
+	R *bufio.Reader
+}
+
+// NewConn wraps an accepted or dialed connection.
+func NewConn(c net.Conn) *Conn { return &Conn{C: c, R: bufio.NewReader(c)} }
+
+// Dial opens a TCP connection.
+func Dial(network, addr string) core.IO[*Conn] {
+	return Do("dial", func() (*Conn, error) {
+		c, err := net.Dial(network, addr)
+		if err != nil {
+			return nil, err
+		}
+		return NewConn(c), nil
+	})
+}
+
+// ReadLine reads one newline-terminated line (without the terminator).
+// Interrupting the reader closes the connection, which is the reaping
+// behaviour the timeout-driven server wants.
+func (c *Conn) ReadLine() core.IO[string] {
+	return DoCancel("readLine",
+		func() (string, error) {
+			s, err := c.R.ReadString('\n')
+			if err != nil {
+				return "", err
+			}
+			return trimEOL(s), nil
+		},
+		func() { c.C.Close() }, //nolint:errcheck // unblock the read
+		nil,
+	)
+}
+
+// Read reads up to len(buf) bytes into a fresh buffer.
+func (c *Conn) Read(n int) core.IO[[]byte] {
+	return DoCancel("read",
+		func() ([]byte, error) {
+			buf := make([]byte, n)
+			k, err := c.R.Read(buf)
+			if err != nil {
+				return nil, err
+			}
+			return buf[:k], nil
+		},
+		func() { c.C.Close() },
+		nil,
+	)
+}
+
+// Write writes all of data.
+func (c *Conn) Write(data []byte) core.IO[int] {
+	return DoCancel("write",
+		func() (int, error) { return c.C.Write(data) },
+		func() { c.C.Close() },
+		nil,
+	)
+}
+
+// WriteString writes a string.
+func (c *Conn) WriteString(s string) core.IO[int] { return c.Write([]byte(s)) }
+
+// Close closes the connection; safe to call twice.
+func (c *Conn) Close() core.IO[core.Unit] {
+	return Do("close", func() (core.Unit, error) {
+		c.C.Close() //nolint:errcheck // idempotent close
+		return core.UnitValue, nil
+	})
+}
+
+func trimEOL(s string) string {
+	for len(s) > 0 && (s[len(s)-1] == '\n' || s[len(s)-1] == '\r') {
+		s = s[:len(s)-1]
+	}
+	return s
+}

@@ -1,0 +1,180 @@
+package iomgr_test
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"asyncexc/internal/core"
+	"asyncexc/internal/exc"
+	"asyncexc/internal/iomgr"
+)
+
+func realOpts() core.Options {
+	opts := core.DefaultOptions()
+	opts.Clock = core.RealClock
+	return opts
+}
+
+func TestDoRunsBlockingCall(t *testing.T) {
+	m := iomgr.Do("compute", func() (int, error) {
+		time.Sleep(5 * time.Millisecond)
+		return 42, nil
+	})
+	v, e, err := core.RunWith(realOpts(), m)
+	if err != nil || e != nil {
+		t.Fatalf("run: %v %v", err, e)
+	}
+	if v != 42 {
+		t.Fatalf("got %d", v)
+	}
+}
+
+func TestDoErrorBecomesIOError(t *testing.T) {
+	m := iomgr.Do("fail", func() (int, error) {
+		return 0, net.ErrClosed
+	})
+	_, e, err := core.RunWith(realOpts(), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e == nil || e.ExceptionName() != "IOError" {
+		t.Fatalf("want IOError, got %v", e)
+	}
+}
+
+func TestOtherThreadsRunDuringBlockingCall(t *testing.T) {
+	// While one green thread blocks in a Go call, another keeps
+	// making progress — the whole point of the I/O manager.
+	release := make(chan struct{})
+	progressed := false
+	m := core.Bind(core.NewEmptyMVar[int](), func(done core.MVar[int]) core.IO[int] {
+		blocking := iomgr.Do("wait", func() (int, error) {
+			<-release
+			return 1, nil
+		})
+		side := core.Then(
+			core.Lift(func() core.Unit { progressed = true; return core.UnitValue }),
+			core.Lift(func() core.Unit { close(release); return core.UnitValue }))
+		return core.Then(core.Void(core.Fork(side)), blocking)
+	})
+	v, e, err := core.RunWith(realOpts(), m)
+	if err != nil || e != nil {
+		t.Fatalf("run: %v %v", err, e)
+	}
+	if v != 1 || !progressed {
+		t.Fatalf("v=%d progressed=%v", v, progressed)
+	}
+}
+
+func TestAwaitIsInterruptible(t *testing.T) {
+	// A green thread stuck in an await is interruptible, like any
+	// paper operation waiting on the outside world.
+	block := make(chan struct{})
+	defer close(block)
+	m := core.Bind(core.NewEmptyMVar[string](), func(done core.MVar[string]) core.IO[string] {
+		child := core.Catch(
+			core.Then(iomgr.Do("forever", func() (int, error) { <-block; return 0, nil }),
+				core.Put(done, "finished")),
+			func(e core.Exception) core.IO[core.Unit] {
+				return core.Put(done, "interrupted:"+e.ExceptionName())
+			})
+		return core.Bind(core.Fork(child), func(tid core.ThreadID) core.IO[string] {
+			return core.Then(core.Seq(
+				core.Sleep(10*time.Millisecond),
+				core.KillThread(tid),
+			), core.Take(done))
+		})
+	})
+	v, e, err := core.RunWith(realOpts(), m)
+	if err != nil || e != nil {
+		t.Fatalf("run: %v %v", err, e)
+	}
+	if v != "interrupted:ThreadKilled" {
+		t.Fatalf("got %q", v)
+	}
+}
+
+func TestCancelHookRuns(t *testing.T) {
+	cancelled := make(chan struct{})
+	block := make(chan struct{})
+	m := core.Bind(core.Fork(core.Void(iomgr.DoCancel("c",
+		func() (int, error) { <-block; return 0, nil },
+		func() { close(cancelled); close(block) },
+		nil))), func(tid core.ThreadID) core.IO[core.Unit] {
+		return core.Seq(
+			core.Sleep(10*time.Millisecond),
+			core.KillThread(tid),
+			core.Sleep(20*time.Millisecond),
+		)
+	})
+	_, e, err := core.RunWith(realOpts(), m)
+	if err != nil || e != nil {
+		t.Fatalf("run: %v %v", err, e)
+	}
+	select {
+	case <-cancelled:
+	case <-time.After(time.Second):
+		t.Fatal("cancel hook never ran")
+	}
+}
+
+func TestTCPRoundTrip(t *testing.T) {
+	m := core.Bind(iomgr.Listen("tcp", "127.0.0.1:0"), func(l *iomgr.Listener) core.IO[string] {
+		addr := l.Addr().String()
+		server := core.Bind(l.Accept(), func(c *iomgr.Conn) core.IO[core.Unit] {
+			return core.Bind(c.ReadLine(), func(line string) core.IO[core.Unit] {
+				return core.Then(core.Void(c.WriteString("echo:"+line+"\n")), core.Void(c.Close()))
+			})
+		})
+		client := core.Bind(iomgr.Dial("tcp", addr), func(c *iomgr.Conn) core.IO[string] {
+			return core.Then(core.Void(c.WriteString("hello\n")),
+				core.Bind(c.ReadLine(), func(resp string) core.IO[string] {
+					return core.Then(core.Void(c.Close()), core.Return(resp))
+				}))
+		})
+		return core.Then(core.Void(core.Fork(server)),
+			core.Bind(client, func(resp string) core.IO[string] {
+				return core.Then(core.Void(l.Close()), core.Return(resp))
+			}))
+	})
+	v, e, err := core.RunWith(realOpts(), m)
+	if err != nil || e != nil {
+		t.Fatalf("run: %v %v", err, e)
+	}
+	if v != "echo:hello" {
+		t.Fatalf("got %q", v)
+	}
+}
+
+func TestTimeoutReapsSlowRead(t *testing.T) {
+	// The composable Timeout combinator kills a handler stuck reading
+	// from a silent client — the §11 fault-tolerant-server behaviour.
+	m := core.Bind(iomgr.Listen("tcp", "127.0.0.1:0"), func(l *iomgr.Listener) core.IO[string] {
+		addr := l.Addr().String()
+		server := core.Bind(l.Accept(), func(c *iomgr.Conn) core.IO[string] {
+			return core.Bind(core.Timeout(30*time.Millisecond, c.ReadLine()), func(r core.Maybe[string]) core.IO[string] {
+				if r.IsJust {
+					return core.Return("read:" + r.Value)
+				}
+				return core.Then(core.Void(c.Close()), core.Return("timed-out"))
+			})
+		})
+		// The client connects and stays silent (slow loris).
+		client := core.Bind(iomgr.Dial("tcp", addr), func(c *iomgr.Conn) core.IO[core.Unit] {
+			return core.Then(core.Sleep(time.Second), core.Void(c.Close()))
+		})
+		return core.Then(core.Void(core.Fork(client)),
+			core.Bind(server, func(out string) core.IO[string] {
+				return core.Then(core.Void(l.Close()), core.Return(out))
+			}))
+	})
+	v, e, err := core.RunWith(realOpts(), m)
+	if err != nil || e != nil {
+		t.Fatalf("run: %v %v", err, e)
+	}
+	if v != "timed-out" {
+		t.Fatalf("got %q", v)
+	}
+	_ = exc.Timeout{}
+}

@@ -1,0 +1,388 @@
+package lambda
+
+import (
+	"fmt"
+
+	"asyncexc/internal/exc"
+)
+
+// The inner semantics of §6.2: call-by-name evaluation of closed terms,
+// defining the two relations
+//
+//	M ⇓ V   (convergence)        — Eval returns (V, nil, nil)
+//	M ⇓ e   (exceptional conv.)  — Eval returns (nil, e, nil)
+//
+// which are mutually exclusive: no term both converges and raises.
+// Convergence is deterministic; exceptional convergence is imprecise
+// ([15]): a term may be able to raise several different exceptions, and
+// which one an evaluation raises is decided at run time. The Oracle
+// models that run-time choice; RaisableSet enumerates the full set.
+
+// EvalError reports a failure of evaluation itself (as opposed to an
+// exceptional convergence).
+type EvalError struct{ Msg string }
+
+func (e *EvalError) Error() string { return "lambda: " + e.Msg }
+
+// ErrFuel is returned when evaluation exceeds its step budget (the
+// evaluator's stand-in for divergence, which big-step semantics cannot
+// observe).
+var ErrFuel = &EvalError{Msg: "evaluation fuel exhausted (divergent term?)"}
+
+// Oracle decides imprecise-exception choices: when the evaluator
+// reaches a strict position where more than one argument order is
+// legal, it asks the oracle which argument to evaluate first. site
+// identifies the choice point (a running counter), n the number of
+// alternatives; the result must be in [0, n).
+type Oracle func(site, n int) int
+
+// LeftmostOracle is the deterministic default: always evaluate the
+// leftmost strict argument first.
+func LeftmostOracle(site, n int) int { return 0 }
+
+// Evaluator evaluates closed terms under a fuel budget.
+type Evaluator struct {
+	// Fuel bounds the number of evaluation steps (0 means a generous
+	// default).
+	Fuel int
+	// Oracle picks imprecise-exception argument orders; nil means
+	// LeftmostOracle.
+	Oracle Oracle
+
+	steps int
+	site  int
+}
+
+// NewEvaluator returns an evaluator with the default fuel budget.
+func NewEvaluator() *Evaluator { return &Evaluator{} }
+
+// Eval evaluates t: (value, nil, nil) for M ⇓ V, (nil, e, nil) for
+// M ⇓ e, and (nil, nil, err) when evaluation fails (unbound variable,
+// ill-typed primitive, fuel exhaustion).
+func (ev *Evaluator) Eval(t Term) (Term, exc.Exception, error) {
+	if ev.Fuel <= 0 {
+		ev.Fuel = 100000
+	}
+	ev.steps = 0
+	ev.site = 0
+	return ev.eval(t)
+}
+
+func (ev *Evaluator) oracle(n int) int {
+	ev.site++
+	o := ev.Oracle
+	if o == nil {
+		o = LeftmostOracle
+	}
+	k := o(ev.site, n)
+	if k < 0 || k >= n {
+		k = 0
+	}
+	return k
+}
+
+func (ev *Evaluator) eval(t Term) (Term, exc.Exception, error) {
+	ev.steps++
+	if ev.steps > ev.Fuel {
+		return nil, nil, ErrFuel
+	}
+	switch n := t.(type) {
+	case Var:
+		return nil, nil, &EvalError{Msg: "unbound variable " + n.Name}
+
+	case Lam, Lit, Con:
+		return t, nil, nil
+
+	case App:
+		f, e, err := ev.eval(n.Fun)
+		if e != nil || err != nil {
+			return nil, e, err
+		}
+		lam, ok := f.(Lam)
+		if !ok {
+			return nil, nil, &EvalError{Msg: fmt.Sprintf("application of non-function %s", f)}
+		}
+		return ev.eval(Subst(lam.Body, lam.Param, n.Arg))
+
+	case If:
+		c, e, err := ev.eval(n.Cond)
+		if e != nil || err != nil {
+			return nil, e, err
+		}
+		b, ok := constOf(c).(CBool)
+		if !ok {
+			return nil, nil, &EvalError{Msg: fmt.Sprintf("if condition is not a boolean: %s", c)}
+		}
+		if bool(b) {
+			return ev.eval(n.Then)
+		}
+		return ev.eval(n.Else)
+
+	case Case:
+		s, e, err := ev.eval(n.Scrut)
+		if e != nil || err != nil {
+			return nil, e, err
+		}
+		return ev.evalCase(n, s)
+
+	case Let:
+		return ev.eval(Subst(n.Body, n.Name, n.Bound))
+
+	case Rec:
+		// Unroll one level: rec x -> M  evaluates  M[rec x -> M / x].
+		return ev.eval(Subst(n.Body, n.Name, n))
+
+	case Prim:
+		return ev.evalPrim(n)
+
+	case Raise:
+		v, e, err := ev.eval(n.Exc)
+		if e != nil || err != nil {
+			return nil, e, err
+		}
+		ce, ok := constOf(v).(CExc)
+		if !ok {
+			return nil, nil, &EvalError{Msg: fmt.Sprintf("raise of non-exception %s", v)}
+		}
+		return nil, ce.E, nil
+
+	case MOp:
+		// Evaluate strict arguments ("as if putChar is a strict data
+		// constructor"). When several strict arguments remain
+		// unevaluated, the order — and hence which exception an
+		// erroneous term raises — is imprecise; the oracle decides.
+		info := n.Info()
+		args := append([]Term{}, n.Args...)
+		for {
+			var pendingIdx []int
+			for _, i := range info.Strict {
+				if !args[i].IsValue() {
+					pendingIdx = append(pendingIdx, i)
+				}
+			}
+			if len(pendingIdx) == 0 {
+				return MOp{n.Kind, args}, nil, nil
+			}
+			pick := pendingIdx[0]
+			if len(pendingIdx) > 1 {
+				pick = pendingIdx[ev.oracle(len(pendingIdx))]
+			}
+			v, e, err := ev.eval(args[pick])
+			if e != nil || err != nil {
+				return nil, e, err
+			}
+			args[pick] = v
+		}
+
+	default:
+		return nil, nil, &EvalError{Msg: fmt.Sprintf("unknown term %T", t)}
+	}
+}
+
+func (ev *Evaluator) evalCase(n Case, scrut Term) (Term, exc.Exception, error) {
+	name, args := conView(scrut)
+	for _, alt := range n.Alts {
+		if alt.Con == "_" {
+			body := alt.Body
+			if len(alt.Vars) == 1 {
+				body = Subst(body, alt.Vars[0], scrut)
+			}
+			return ev.eval(body)
+		}
+		if alt.Con == name {
+			if len(alt.Vars) != len(args) {
+				return nil, nil, &EvalError{Msg: fmt.Sprintf("case: %s arity mismatch", name)}
+			}
+			body := alt.Body
+			for i, v := range alt.Vars {
+				body = Subst(body, v, args[i])
+			}
+			return ev.eval(body)
+		}
+	}
+	// No alternative applies: the canonical synchronous exception.
+	return nil, exc.PatternMatchFail{Loc: n.Scrut.String()}, nil
+}
+
+// conView treats constructor applications and the constructor-like
+// literals (True/False/()) uniformly for case analysis.
+func conView(t Term) (string, []Term) {
+	switch v := t.(type) {
+	case Con:
+		return v.Name, v.Args
+	case Lit:
+		switch c := v.C.(type) {
+		case CBool:
+			if bool(c) {
+				return "True", nil
+			}
+			return "False", nil
+		case CUnit:
+			return "()", nil
+		}
+	}
+	return "", nil
+}
+
+// evalPrim evaluates all arguments strictly (oracle-ordered when more
+// than one is unevaluated) and applies the primitive.
+func (ev *Evaluator) evalPrim(p Prim) (Term, exc.Exception, error) {
+	args := append([]Term{}, p.Args...)
+	for {
+		var pendingIdx []int
+		for i := range args {
+			if !args[i].IsValue() {
+				pendingIdx = append(pendingIdx, i)
+			}
+		}
+		if len(pendingIdx) == 0 {
+			break
+		}
+		pick := pendingIdx[0]
+		if len(pendingIdx) > 1 {
+			pick = pendingIdx[ev.oracle(len(pendingIdx))]
+		}
+		v, e, err := ev.eval(args[pick])
+		if e != nil || err != nil {
+			return nil, e, err
+		}
+		args[pick] = v
+	}
+	return applyPrim(p.Op, args)
+}
+
+func applyPrim(op string, args []Term) (Term, exc.Exception, error) {
+	badType := func() (Term, exc.Exception, error) {
+		return nil, nil, &EvalError{Msg: fmt.Sprintf("primitive %s applied to %v", op, args)}
+	}
+	intArg := func(i int) (int64, bool) {
+		c, ok := constOf(args[i]).(CInt)
+		return int64(c), ok
+	}
+	switch op {
+	case "+", "-", "*", "div", "mod", "==", "/=", "<", "<=", ">", ">=":
+		a, ok1 := intArg(0)
+		b, ok2 := intArg(1)
+		if !ok1 || !ok2 {
+			// == and /= also compare characters and booleans.
+			if op == "==" || op == "/=" {
+				eq := args[0].String() == args[1].String()
+				if op == "/=" {
+					eq = !eq
+				}
+				return Bool(eq), nil, nil
+			}
+			return badType()
+		}
+		switch op {
+		case "+":
+			return Int(a + b), nil, nil
+		case "-":
+			return Int(a - b), nil, nil
+		case "*":
+			return Int(a * b), nil, nil
+		case "div":
+			if b == 0 {
+				return nil, exc.DivideByZero{}, nil
+			}
+			return Int(a / b), nil, nil
+		case "mod":
+			if b == 0 {
+				return nil, exc.DivideByZero{}, nil
+			}
+			return Int(a % b), nil, nil
+		case "==":
+			return Bool(a == b), nil, nil
+		case "/=":
+			return Bool(a != b), nil, nil
+		case "<":
+			return Bool(a < b), nil, nil
+		case "<=":
+			return Bool(a <= b), nil, nil
+		case ">":
+			return Bool(a > b), nil, nil
+		case ">=":
+			return Bool(a >= b), nil, nil
+		}
+	case "not":
+		b, ok := constOf(args[0]).(CBool)
+		if !ok {
+			return badType()
+		}
+		return Bool(!bool(b)), nil, nil
+	case "chr":
+		n, ok := intArg(0)
+		if !ok {
+			return badType()
+		}
+		return Char(rune(n)), nil, nil
+	case "ord":
+		c, ok := constOf(args[0]).(CChar)
+		if !ok {
+			return badType()
+		}
+		return Int(int64(rune(c))), nil, nil
+	case "seq":
+		// Both arguments already evaluated by strictness; yield the
+		// second.
+		return args[1], nil, nil
+	}
+	return nil, nil, &EvalError{Msg: "unknown primitive " + op}
+}
+
+func constOf(t Term) Const {
+	if l, ok := t.(Lit); ok {
+		return l.C
+	}
+	return nil
+}
+
+// RaisableSet enumerates the exceptions t may raise, by exploring every
+// oracle decision tree up to the fuel budget. It returns the set keyed
+// by exception name, plus whether some path converges (which, by the
+// mutual-exclusion property, should imply the set is empty — the
+// function exists so tests can check exactly that).
+func RaisableSet(t Term, fuel int) (map[string]exc.Exception, bool, error) {
+	set := map[string]exc.Exception{}
+	converged := false
+
+	// Each path through the oracle is a finite sequence of choices;
+	// enumerate depth-first. A run whose prefix is exhausted defaults
+	// every later site to 0 and reports the width of the first
+	// unexplored site so the caller can branch there.
+	var explore func(prefix []int) error
+	explore = func(prefix []int) error {
+		width := 0 // branching factor at position len(prefix), if reached
+		ev := &Evaluator{Fuel: fuel, Oracle: func(site, n int) int {
+			if site-1 < len(prefix) {
+				return prefix[site-1]
+			}
+			if site-1 == len(prefix) {
+				width = n
+			}
+			return 0
+		}}
+		v, e, err := ev.Eval(t)
+		if err != nil {
+			return err
+		}
+		if e != nil {
+			set[e.ExceptionName()] = e
+		} else if v != nil {
+			converged = true
+		}
+		if width > 0 {
+			// Recurse on every branch at the first unexplored site
+			// (including branch 0, whose own deeper sites still need
+			// exploration; the duplicate outcome is harmless).
+			for k := 0; k < width; k++ {
+				if err := explore(append(append([]int{}, prefix...), k)); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	err := explore(nil)
+	return set, converged, err
+}

@@ -1,0 +1,302 @@
+package lambda_test
+
+import (
+	"testing"
+
+	"asyncexc/internal/exc"
+	"asyncexc/internal/lambda"
+)
+
+func evalOK(t *testing.T, src, want string) {
+	t.Helper()
+	term := lambda.MustParse(src)
+	v, e, err := lambda.NewEvaluator().Eval(term)
+	if err != nil {
+		t.Fatalf("eval %q: %v", src, err)
+	}
+	if e != nil {
+		t.Fatalf("eval %q raised %v", src, exc.Format(e))
+	}
+	if v.String() != want {
+		t.Fatalf("eval %q = %s, want %s", src, v, want)
+	}
+}
+
+func evalRaises(t *testing.T, src string, want exc.Exception) {
+	t.Helper()
+	term := lambda.MustParse(src)
+	v, e, err := lambda.NewEvaluator().Eval(term)
+	if err != nil {
+		t.Fatalf("eval %q: %v", src, err)
+	}
+	if e == nil {
+		t.Fatalf("eval %q converged to %s, want exception %v", src, v, exc.Format(want))
+	}
+	if !e.Eq(want) {
+		t.Fatalf("eval %q raised %v, want %v", src, exc.Format(e), exc.Format(want))
+	}
+}
+
+// --- Figure 1 value predicate ------------------------------------------
+
+func TestValuePredicate(t *testing.T) {
+	cases := []struct {
+		src   string
+		value bool
+	}{
+		{`\x -> x`, true},
+		{`42`, true},
+		{`'c'`, true},
+		{`()`, true},
+		{`True`, true},
+		{`Just 3`, true},            // lazy constructor
+		{`Just (1 + 2)`, true},      // still a value: constructors are lazy
+		{`(\x -> x) 1`, false},      // application is not a value
+		{`1 + 2`, false},            // primitive application
+		{`return (1 + 2)`, true},    // return M is a value for any M
+		{`putChar 'A'`, true},       // putChar ch is a value
+		{`putChar (chr 65)`, false}, // strict argument unevaluated (Figure 1)
+		{`getChar`, true},
+		{`getChar >>= \c -> putChar c`, true}, // M >>= N is a value
+		{`throw #Boom`, true},
+		{`catch getChar (\e -> getChar)`, true},
+		{`block getChar`, true},
+		{`unblock getChar`, true},
+		{`sleep 3`, true},
+		{`sleep (1 + 2)`, false},
+		{`takeMVar x`, false}, // x is a variable, not yet an MVar name
+	}
+	for _, c := range cases {
+		term := lambda.MustParse(c.src)
+		if got := term.IsValue(); got != c.value {
+			t.Errorf("IsValue(%q) = %v, want %v", c.src, got, c.value)
+		}
+	}
+}
+
+// --- Inner evaluation ------------------------------------------------------
+
+func TestEvalArithmetic(t *testing.T) {
+	evalOK(t, `1 + 2 * 3`, `7`)
+	evalOK(t, `(10 - 4) * 2`, `12`)
+	evalOK(t, `div 7 2`, `3`)
+	evalOK(t, `mod 7 2`, `1`)
+	evalOK(t, `1 < 2`, `True`)
+	evalOK(t, `3 == 3`, `True`)
+	evalOK(t, `3 /= 3`, `False`)
+	evalOK(t, `chr 65`, `'A'`)
+	evalOK(t, `ord 'A'`, `65`)
+	evalOK(t, `not True`, `False`)
+}
+
+func TestEvalLambdaCalculus(t *testing.T) {
+	evalOK(t, `(\x -> x + 1) 41`, `42`)
+	evalOK(t, `(\f x -> f (f x)) (\y -> y * 2) 3`, `12`)
+	evalOK(t, `let x = 5 in x * x`, `25`)
+	// call-by-name: the unused divergent argument is never evaluated
+	evalOK(t, `(\x -> 7) (rec loop -> loop)`, `7`)
+	// shadowing and capture-avoidance
+	evalOK(t, `(\x -> (\x -> x) 2) 1`, `2`)
+	evalOK(t, `let y = 1 in (\x -> \y -> x) y 99`, `1`)
+}
+
+func TestEvalRecursion(t *testing.T) {
+	evalOK(t, `(rec fact -> \n -> if n == 0 then 1 else n * fact (n - 1)) 5`, `120`)
+	evalOK(t, `(rec fib -> \n -> if n < 2 then n else fib (n - 1) + fib (n - 2)) 10`, `55`)
+}
+
+func TestEvalCase(t *testing.T) {
+	evalOK(t, `case Just 3 of { Just x -> x + 1 ; Nothing -> 0 }`, `4`)
+	evalOK(t, `case Nothing of { Just x -> x + 1 ; Nothing -> 0 }`, `0`)
+	evalOK(t, `case Pair 1 2 of { Pair a b -> a + b }`, `3`)
+	evalOK(t, `case True of { True -> 1 ; False -> 2 }`, `1`)
+	evalOK(t, `case Left 9 of { Left a -> a ; Right b -> 0 }`, `9`)
+	evalOK(t, `case Foo of { _ -> 42 }`, `42`)
+}
+
+func TestEvalCaseMatchFailure(t *testing.T) {
+	term := lambda.MustParse(`case Just 1 of { Nothing -> 0 }`)
+	_, e, err := lambda.NewEvaluator().Eval(term)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e == nil || e.ExceptionName() != "PatternMatchFail" {
+		t.Fatalf("want PatternMatchFail, got %v", e)
+	}
+}
+
+func TestEvalRaise(t *testing.T) {
+	evalRaises(t, `raise #Boom`, exc.Dyn{Tag: "Boom"})
+	evalRaises(t, `1 + raise #Boom`, exc.Dyn{Tag: "Boom"})
+	evalRaises(t, `div 1 0`, exc.DivideByZero{})
+	// call-by-name: raise in an unused argument is not triggered
+	evalOK(t, `(\x -> 3) (raise #Boom)`, `3`)
+	// ... but return keeps it latent inside the monadic value
+	evalOK(t, `return (raise #Boom)`, `(return (raise #Boom))`)
+}
+
+func TestEvalStrictMOpArgs(t *testing.T) {
+	evalOK(t, `putChar (chr 65)`, `(putChar 'A')`)
+	evalOK(t, `sleep (2 * 3)`, `(sleep 6)`)
+	evalRaises(t, `putChar (raise #Boom)`, exc.Dyn{Tag: "Boom"})
+	evalRaises(t, `throw (raise #Inner)`, exc.Dyn{Tag: "Inner"})
+}
+
+func TestEvalFuelDetectsDivergence(t *testing.T) {
+	term := lambda.MustParse(`rec loop -> loop`)
+	ev := &lambda.Evaluator{Fuel: 1000}
+	_, _, err := ev.Eval(term)
+	if err != lambda.ErrFuel {
+		t.Fatalf("want ErrFuel, got %v", err)
+	}
+}
+
+// --- Imprecise exceptions ([15], §6.2) ---------------------------------------
+
+func TestImpreciseExceptionsRaisableSet(t *testing.T) {
+	// 'throwTo' is strict in both arguments; when both raise, which
+	// exception the term raises is imprecise.
+	term := lambda.MustParse(`throwTo (raise #E1) (raise #E2)`)
+	set, converged, err := lambda.RaisableSet(term, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if converged {
+		t.Fatal("term should never converge")
+	}
+	if len(set) != 2 {
+		t.Fatalf("raisable set %v, want {E1, E2}", set)
+	}
+	if _, ok := set["Dyn:E1"]; !ok {
+		t.Fatalf("missing E1 in %v", set)
+	}
+	if _, ok := set["Dyn:E2"]; !ok {
+		t.Fatalf("missing E2 in %v", set)
+	}
+}
+
+func TestConvergenceAndRaiseMutuallyExclusive(t *testing.T) {
+	// A crucial property of the inner semantics: no term both
+	// converges and raises (§6.2).
+	for _, src := range []string{
+		`1 + 2`,
+		`raise #X`,
+		`div 5 0`,
+		`putChar (chr 66)`,
+		`throwTo (raise #E1) (raise #E2)`,
+		`(\x -> 7) (raise #Hidden)`,
+	} {
+		set, converged, err := lambda.RaisableSet(lambda.MustParse(src), 10000)
+		if err != nil {
+			t.Fatalf("%q: %v", src, err)
+		}
+		if converged && len(set) > 0 {
+			t.Fatalf("%q both converges and raises %v", src, set)
+		}
+	}
+}
+
+func TestOracleSelectsException(t *testing.T) {
+	term := lambda.MustParse(`throwTo (raise #E1) (raise #E2)`)
+	right := &lambda.Evaluator{Oracle: func(site, n int) int { return n - 1 }}
+	_, e, err := right.Eval(term)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !e.Eq(exc.Dyn{Tag: "E2"}) {
+		t.Fatalf("right-biased oracle raised %v, want E2", e)
+	}
+	left := lambda.NewEvaluator()
+	_, e, err = left.Eval(term)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !e.Eq(exc.Dyn{Tag: "E1"}) {
+		t.Fatalf("left-biased oracle raised %v, want E1", e)
+	}
+}
+
+// --- Parser round-trips -------------------------------------------------------
+
+func TestParsePrintParse(t *testing.T) {
+	srcs := []string{
+		`do { c <- getChar ; putChar c }`,
+		`block (do { a <- takeMVar m ; b <- catch (unblock (compute a)) (\e -> do { putMVar m a ; throw e }) ; putMVar m b })`,
+		`forkIO (putChar 'x') >>= \t -> throwTo t #KillThread`,
+		`if 1 < 2 then return () else throw #Impossible`,
+		`case x of { Left a -> return a ; Right b -> throw b }`,
+		`let f = \x -> x + 1 in return (f 1)`,
+		`rec loop -> catch (takeMVar m) (\e -> loop)`,
+		`sleep 1000 >> putChar 'd'`,
+	}
+	for _, src := range srcs {
+		t1, err := lambda.Parse(src)
+		if err != nil {
+			t.Fatalf("parse %q: %v", src, err)
+		}
+		t2, err := lambda.Parse(t1.String())
+		if err != nil {
+			t.Fatalf("reparse of %q -> %q: %v", src, t1.String(), err)
+		}
+		if t1.String() != t2.String() {
+			t.Fatalf("print/parse not idempotent:\n  %s\n  %s", t1, t2)
+		}
+	}
+}
+
+func TestParseDoDesugaring(t *testing.T) {
+	t1 := lambda.MustParse(`do { c <- getChar ; putChar c }`)
+	t2 := lambda.MustParse(`getChar >>= \c -> putChar c`)
+	if t1.String() != t2.String() {
+		t.Fatalf("do-desugaring mismatch:\n  %s\n  %s", t1, t2)
+	}
+	t3 := lambda.MustParse(`do { getChar ; putChar 'x' }`)
+	t4 := lambda.MustParse(`getChar >>= \_ -> putChar 'x'`)
+	if t3.String() != t4.String() {
+		t.Fatalf("do-then mismatch:\n  %s\n  %s", t3, t4)
+	}
+	t5 := lambda.MustParse(`do { let x = 1 ; return x }`)
+	t6 := lambda.MustParse(`let x = 1 in return x`)
+	if t5.String() != t6.String() {
+		t.Fatalf("do-let mismatch:\n  %s\n  %s", t5, t6)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, src := range []string{
+		``,
+		`\ -> x`,
+		`let = 3 in x`,
+		`if x then y`,
+		`do { }`,
+		`case x of { }`,
+		`(unclosed`,
+		`putMVar m`, // under-saturated operation
+		`'ab'`,
+	} {
+		if _, err := lambda.Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestSubstCaptureAvoidance(t *testing.T) {
+	// (\y -> x) with x := y  must not capture
+	body := lambda.L("y", lambda.V("x"))
+	got := lambda.Subst(body, "x", lambda.V("y"))
+	lam := got.(lambda.Lam)
+	if lam.Param == "y" {
+		t.Fatalf("capture: %s", got)
+	}
+	if v, ok := lam.Body.(lambda.Var); !ok || v.Name != "y" {
+		t.Fatalf("substitution wrong: %s", got)
+	}
+}
+
+func TestFreeVars(t *testing.T) {
+	term := lambda.MustParse(`\x -> x + y * z`)
+	fv := lambda.FreeVars(term)
+	if len(fv) != 2 || fv[0] != "y" || fv[1] != "z" {
+		t.Fatalf("free vars %v, want [y z]", fv)
+	}
+}

@@ -1,0 +1,145 @@
+package lambda
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokKind classifies lexer tokens.
+type tokKind uint8
+
+const (
+	tokEOF   tokKind = iota
+	tokLower         // lower-case identifier or keyword
+	tokUpper         // upper-case (constructor) identifier
+	tokInt
+	tokChar
+	tokExcName // #Name
+	tokSym     // punctuation/operator: ( ) { } ; \ -> <- = >>= >> == /= < <= > >= + - * _
+)
+
+type token struct {
+	kind tokKind
+	text string
+	n    int64
+	ch   rune
+	pos  int // byte offset, for errors
+	line int
+}
+
+// ParseError reports a syntax error with position information.
+type ParseError struct {
+	Line int
+	Msg  string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("lambda: parse error at line %d: %s", e.Line, e.Msg)
+}
+
+// lex tokenizes src. Line comments start with "--".
+func lex(src string) ([]token, error) {
+	var toks []token
+	line := 1
+	i := 0
+	n := len(src)
+	rs := []rune(src)
+	n = len(rs)
+	for i < n {
+		c := rs[i]
+		switch {
+		case c == '\n':
+			line++
+			i++
+		case unicode.IsSpace(c):
+			i++
+		case c == '-' && i+1 < n && rs[i+1] == '-':
+			for i < n && rs[i] != '\n' {
+				i++
+			}
+		case unicode.IsLower(c) || c == '_':
+			j := i
+			for j < n && (unicode.IsLetter(rs[j]) || unicode.IsDigit(rs[j]) || rs[j] == '_' || rs[j] == '\'') {
+				j++
+			}
+			text := string(rs[i:j])
+			if text == "_" {
+				toks = append(toks, token{kind: tokSym, text: "_", pos: i, line: line})
+			} else {
+				toks = append(toks, token{kind: tokLower, text: text, pos: i, line: line})
+			}
+			i = j
+		case unicode.IsUpper(c):
+			j := i
+			for j < n && (unicode.IsLetter(rs[j]) || unicode.IsDigit(rs[j]) || rs[j] == '_' || rs[j] == '\'') {
+				j++
+			}
+			toks = append(toks, token{kind: tokUpper, text: string(rs[i:j]), pos: i, line: line})
+			i = j
+		case unicode.IsDigit(c):
+			j := i
+			var v int64
+			for j < n && unicode.IsDigit(rs[j]) {
+				v = v*10 + int64(rs[j]-'0')
+				j++
+			}
+			toks = append(toks, token{kind: tokInt, n: v, pos: i, line: line})
+			i = j
+		case c == '\'':
+			// character literal with \n \t \\ \' escapes
+			if i+2 < n && rs[i+1] == '\\' {
+				var ch rune
+				switch rs[i+2] {
+				case 'n':
+					ch = '\n'
+				case 't':
+					ch = '\t'
+				case '\\':
+					ch = '\\'
+				case '\'':
+					ch = '\''
+				default:
+					return nil, &ParseError{Line: line, Msg: "bad escape in character literal"}
+				}
+				if i+3 >= n || rs[i+3] != '\'' {
+					return nil, &ParseError{Line: line, Msg: "unterminated character literal"}
+				}
+				toks = append(toks, token{kind: tokChar, ch: ch, pos: i, line: line})
+				i += 4
+			} else if i+2 < n && rs[i+2] == '\'' {
+				toks = append(toks, token{kind: tokChar, ch: rs[i+1], pos: i, line: line})
+				i += 3
+			} else {
+				return nil, &ParseError{Line: line, Msg: "unterminated character literal"}
+			}
+		case c == '#':
+			j := i + 1
+			for j < n && (unicode.IsLetter(rs[j]) || unicode.IsDigit(rs[j])) {
+				j++
+			}
+			if j == i+1 {
+				return nil, &ParseError{Line: line, Msg: "expected exception name after #"}
+			}
+			toks = append(toks, token{kind: tokExcName, text: string(rs[i+1 : j]), pos: i, line: line})
+			i = j
+		default:
+			// multi-char operators, longest first
+			rest := string(rs[i:])
+			matched := ""
+			for _, op := range []string{">>=", ">>", "->", "<-", "==", "/=", "<=", ">=", "(", ")", "{", "}", ";", "\\", "=", "<", ">", "+", "-", "*"} {
+				if strings.HasPrefix(rest, op) {
+					matched = op
+					break
+				}
+			}
+			if matched == "" {
+				return nil, &ParseError{Line: line, Msg: fmt.Sprintf("unexpected character %q", string(c))}
+			}
+			toks = append(toks, token{kind: tokSym, text: matched, pos: i, line: line})
+			i += len([]rune(matched))
+		}
+	}
+	toks = append(toks, token{kind: tokEOF, line: line})
+	return toks, nil
+}

@@ -1,0 +1,603 @@
+package lambda
+
+import (
+	"fmt"
+
+	"asyncexc/internal/exc"
+)
+
+// Parse parses a term in the concrete syntax of Figure 1 with the
+// usual Haskell conveniences:
+//
+//	\x -> M                       lambda (multiple binders allowed)
+//	let x = M in N                non-recursive let
+//	rec f -> M                    recursive binding (f in scope in M)
+//	if M then N1 else N2
+//	case M of { C x y -> N ; _ -> N' }
+//	do { x <- M ; let y = N ; M' ; M'' }   desugars to >>= chains
+//	M >>= N, M >> N               monadic sequencing
+//	return, throw, catch, block, unblock, forkIO, myThreadId,
+//	throwTo, putChar, getChar, putMVar, takeMVar, newEmptyMVar,
+//	sleep                          the Figure 1/5 operations (saturated)
+//	raise M                        pure-code raise
+//	+ - * div mod == /= < <= > >= not chr ord seq   primitives
+//	#Name                          exception literals (#ThreadKilled,
+//	                               #Timeout, ...; unknown names make
+//	                               user-defined exceptions)
+//	integers, 'c' characters, (), True, False, constructors (Just, ...)
+//	-- line comments
+func Parse(src string) (Term, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	t, err := p.parseTerm()
+	if err != nil {
+		return nil, err
+	}
+	if p.peek().kind != tokEOF {
+		return nil, p.errf("unexpected %s after term", p.describe(p.peek()))
+	}
+	return t, nil
+}
+
+// MustParse is Parse, panicking on error; for tests and tables of
+// example programs.
+func MustParse(src string) Term {
+	t, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+func (p *parser) save() int   { return p.pos }
+func (p *parser) reset(m int) { p.pos = m }
+func (p *parser) errf(format string, args ...any) error {
+	return &ParseError{Line: p.peek().line, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) describe(t token) string {
+	switch t.kind {
+	case tokEOF:
+		return "end of input"
+	case tokInt:
+		return fmt.Sprintf("integer %d", t.n)
+	case tokChar:
+		return fmt.Sprintf("character %q", string(t.ch))
+	case tokExcName:
+		return "#" + t.text
+	default:
+		return fmt.Sprintf("%q", t.text)
+	}
+}
+
+func (p *parser) expectSym(s string) error {
+	t := p.next()
+	if t.kind != tokSym || t.text != s {
+		p.pos--
+		return p.errf("expected %q, found %s", s, p.describe(t))
+	}
+	return nil
+}
+
+func (p *parser) expectKw(kw string) error {
+	t := p.next()
+	if t.kind != tokLower || t.text != kw {
+		p.pos--
+		return p.errf("expected %q, found %s", kw, p.describe(t))
+	}
+	return nil
+}
+
+func (p *parser) atSym(s string) bool {
+	t := p.peek()
+	return t.kind == tokSym && t.text == s
+}
+
+func (p *parser) atKw(kw string) bool {
+	t := p.peek()
+	return t.kind == tokLower && t.text == kw
+}
+
+// mopByName maps keyword to operation for saturated monadic ops.
+var mopByName = map[string]MOpKind{
+	"return":       OpReturn,
+	"throw":        OpThrow,
+	"catch":        OpCatch,
+	"putChar":      OpPutChar,
+	"getChar":      OpGetChar,
+	"putMVar":      OpPutMVar,
+	"takeMVar":     OpTakeMVar,
+	"newEmptyMVar": OpNewEmptyMVar,
+	"sleep":        OpSleep,
+	"forkIO":       OpForkIO,
+	"myThreadId":   OpMyThreadID,
+	"throwTo":      OpThrowTo,
+	"block":        OpBlock,
+	"unblock":      OpUnblock,
+}
+
+// primArity gives the arity of prefix primitives.
+var primArity = map[string]int{
+	"div": 2, "mod": 2, "not": 1, "chr": 1, "ord": 1, "seq": 2,
+}
+
+var keywords = map[string]bool{
+	"let": true, "in": true, "rec": true, "if": true, "then": true,
+	"else": true, "case": true, "of": true, "do": true, "raise": true,
+}
+
+func (p *parser) parseTerm() (Term, error) {
+	switch {
+	case p.atSym("\\"):
+		p.next()
+		var params []string
+		for p.peek().kind == tokLower && !keywords[p.peek().text] || p.atSym("_") {
+			t := p.next()
+			if t.kind == tokSym {
+				params = append(params, "_")
+			} else {
+				params = append(params, t.text)
+			}
+		}
+		if len(params) == 0 {
+			return nil, p.errf("expected parameters after \\")
+		}
+		if err := p.expectSym("->"); err != nil {
+			return nil, err
+		}
+		body, err := p.parseTerm()
+		if err != nil {
+			return nil, err
+		}
+		for i := len(params) - 1; i >= 0; i-- {
+			body = Lam{params[i], body}
+		}
+		return body, nil
+
+	case p.atKw("let"):
+		p.next()
+		name := p.next()
+		if name.kind != tokLower {
+			return nil, p.errf("expected variable after let")
+		}
+		if err := p.expectSym("="); err != nil {
+			return nil, err
+		}
+		bound, err := p.parseTerm()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKw("in"); err != nil {
+			return nil, err
+		}
+		body, err := p.parseTerm()
+		if err != nil {
+			return nil, err
+		}
+		return Let{name.text, bound, body}, nil
+
+	case p.atKw("rec"):
+		p.next()
+		name := p.next()
+		if name.kind != tokLower {
+			return nil, p.errf("expected variable after rec")
+		}
+		if err := p.expectSym("->"); err != nil {
+			return nil, err
+		}
+		body, err := p.parseTerm()
+		if err != nil {
+			return nil, err
+		}
+		return Rec{name.text, body}, nil
+
+	case p.atKw("if"):
+		p.next()
+		c, err := p.parseTerm()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKw("then"); err != nil {
+			return nil, err
+		}
+		t1, err := p.parseTerm()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKw("else"); err != nil {
+			return nil, err
+		}
+		t2, err := p.parseTerm()
+		if err != nil {
+			return nil, err
+		}
+		return If{c, t1, t2}, nil
+
+	case p.atKw("case"):
+		return p.parseCase()
+
+	case p.atKw("do"):
+		return p.parseDo()
+
+	default:
+		return p.parseOps(0)
+	}
+}
+
+// Operator precedence levels, loosest first. >>= and >> associate to
+// the right (standard for monadic chains); comparisons are
+// non-associative in spirit but parsed left; arithmetic associates
+// left.
+var opLevels = [][]string{
+	{">>=", ">>"},
+	{"==", "/=", "<", "<=", ">", ">="},
+	{"+", "-"},
+	{"*"},
+}
+
+func (p *parser) parseOps(level int) (Term, error) {
+	if level >= len(opLevels) {
+		return p.parseApp()
+	}
+	lhs, err := p.parseOps(level + 1)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		matched := ""
+		for _, op := range opLevels[level] {
+			if p.atSym(op) {
+				matched = op
+				break
+			}
+		}
+		if matched == "" {
+			return lhs, nil
+		}
+		p.next()
+		if level == 0 {
+			// Right-associative monadic operators; the right operand is
+			// a full term so trailing lambdas (m >>= \x -> ...) work.
+			rhs, err := p.parseTerm()
+			if err != nil {
+				return nil, err
+			}
+			if matched == ">>=" {
+				return BindT(lhs, rhs), nil
+			}
+			return ThenT(lhs, rhs), nil
+		}
+		rhs, err := p.parseOps(level + 1)
+		if err != nil {
+			return nil, err
+		}
+		lhs = Prim{matched, []Term{lhs, rhs}}
+	}
+}
+
+// parseApp parses an application chain, turning constructor heads into
+// Con nodes and monadic/primitive keywords into saturated MOp/Prim
+// nodes.
+func (p *parser) parseApp() (Term, error) {
+	head := p.peek()
+
+	// Saturated monadic operations.
+	if head.kind == tokLower {
+		if kind, ok := mopByName[head.text]; ok {
+			p.next()
+			info := mopTable[kind]
+			args := make([]Term, 0, info.Arity)
+			for i := 0; i < info.Arity; i++ {
+				a, err := p.parseAtom()
+				if err != nil {
+					return nil, p.errf("%s expects %d argument(s): %v", info.Name, info.Arity, err)
+				}
+				args = append(args, a)
+			}
+			return MOp{kind, args}, nil
+		}
+		if ar, ok := primArity[head.text]; ok {
+			p.next()
+			args := make([]Term, 0, ar)
+			for i := 0; i < ar; i++ {
+				a, err := p.parseAtom()
+				if err != nil {
+					return nil, p.errf("%s expects %d argument(s): %v", head.text, ar, err)
+				}
+				args = append(args, a)
+			}
+			return Prim{head.text, args}, nil
+		}
+		if head.text == "raise" {
+			p.next()
+			a, err := p.parseAtom()
+			if err != nil {
+				return nil, err
+			}
+			return Raise{a}, nil
+		}
+	}
+
+	// Constructor application: collect atoms into Con.
+	if head.kind == tokUpper && head.text != "True" && head.text != "False" {
+		p.next()
+		var args []Term
+		for {
+			m := p.save()
+			a, err := p.parseAtom()
+			if err != nil {
+				p.reset(m)
+				break
+			}
+			args = append(args, a)
+		}
+		return Con{head.text, args}, nil
+	}
+
+	// Ordinary application chain.
+	f, err := p.parseAtom()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		m := p.save()
+		a, err := p.parseAtom()
+		if err != nil {
+			p.reset(m)
+			return f, nil
+		}
+		f = App{f, a}
+	}
+}
+
+// parseAtom parses a single atomic term (no application).
+func (p *parser) parseAtom() (Term, error) {
+	t := p.peek()
+	switch t.kind {
+	case tokInt:
+		p.next()
+		return Int(t.n), nil
+	case tokChar:
+		p.next()
+		return Char(t.ch), nil
+	case tokExcName:
+		p.next()
+		return Exc(excByName(t.text)), nil
+	case tokUpper:
+		p.next()
+		switch t.text {
+		case "True":
+			return Bool(true), nil
+		case "False":
+			return Bool(false), nil
+		default:
+			return Con{t.text, nil}, nil
+		}
+	case tokLower:
+		if keywords[t.text] {
+			return nil, p.errf("unexpected keyword %q", t.text)
+		}
+		if kind, ok := mopByName[t.text]; ok {
+			// nullary ops may appear as atoms
+			if mopTable[kind].Arity == 0 {
+				p.next()
+				return MOp{kind, nil}, nil
+			}
+			return nil, p.errf("operation %q must be applied to its arguments", t.text)
+		}
+		if _, ok := primArity[t.text]; ok {
+			return nil, p.errf("primitive %q must be applied to its arguments", t.text)
+		}
+		p.next()
+		return Var{t.text}, nil
+	case tokSym:
+		if t.text == "(" {
+			p.next()
+			if p.atSym(")") {
+				p.next()
+				return Unit(), nil
+			}
+			inner, err := p.parseTerm()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectSym(")"); err != nil {
+				return nil, err
+			}
+			return inner, nil
+		}
+		if t.text == "\\" || t.text == "_" {
+			// lambdas may appear as atoms only parenthesized; "_" is a
+			// pattern, not a term
+			return nil, p.errf("unexpected %q", t.text)
+		}
+	}
+	return nil, p.errf("expected a term, found %s", p.describe(t))
+}
+
+func (p *parser) parseCase() (Term, error) {
+	p.next() // case
+	scrut, err := p.parseTerm()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKw("of"); err != nil {
+		return nil, err
+	}
+	if err := p.expectSym("{"); err != nil {
+		return nil, err
+	}
+	var alts []Alt
+	for {
+		alt, err := p.parseAlt()
+		if err != nil {
+			return nil, err
+		}
+		alts = append(alts, alt)
+		if p.atSym(";") {
+			p.next()
+			continue
+		}
+		break
+	}
+	if err := p.expectSym("}"); err != nil {
+		return nil, err
+	}
+	return Case{scrut, alts}, nil
+}
+
+func (p *parser) parseAlt() (Alt, error) {
+	t := p.next()
+	switch {
+	case t.kind == tokSym && t.text == "_":
+		if err := p.expectSym("->"); err != nil {
+			return Alt{}, err
+		}
+		body, err := p.parseTerm()
+		if err != nil {
+			return Alt{}, err
+		}
+		return Alt{Con: "_", Body: body}, nil
+	case t.kind == tokUpper || (t.kind == tokSym && t.text == "("):
+		name := t.text
+		if t.kind == tokSym {
+			// "()" pattern
+			if err := p.expectSym(")"); err != nil {
+				return Alt{}, err
+			}
+			name = "()"
+		}
+		var vars []string
+		for p.peek().kind == tokLower && !keywords[p.peek().text] || p.atSym("_") {
+			v := p.next()
+			if v.kind == tokSym {
+				vars = append(vars, "_")
+			} else {
+				vars = append(vars, v.text)
+			}
+		}
+		if err := p.expectSym("->"); err != nil {
+			return Alt{}, err
+		}
+		body, err := p.parseTerm()
+		if err != nil {
+			return Alt{}, err
+		}
+		return Alt{Con: name, Vars: vars, Body: body}, nil
+	default:
+		p.pos--
+		return Alt{}, p.errf("expected a case alternative, found %s", p.describe(t))
+	}
+}
+
+// parseDo desugars do-notation: do { p <- M ; let x = N ; M' ; last }.
+func (p *parser) parseDo() (Term, error) {
+	p.next() // do
+	if err := p.expectSym("{"); err != nil {
+		return nil, err
+	}
+	stmts, err := p.parseDoStmts()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectSym("}"); err != nil {
+		return nil, err
+	}
+	return stmts, nil
+}
+
+func (p *parser) parseDoStmts() (Term, error) {
+	// let-binding statement?
+	if p.atKw("let") {
+		p.next()
+		name := p.next()
+		if name.kind != tokLower {
+			return nil, p.errf("expected variable after let in do-block")
+		}
+		if err := p.expectSym("="); err != nil {
+			return nil, err
+		}
+		bound, err := p.parseTerm()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSym(";"); err != nil {
+			return nil, err
+		}
+		rest, err := p.parseDoStmts()
+		if err != nil {
+			return nil, err
+		}
+		return Let{name.text, bound, rest}, nil
+	}
+
+	// binder statement: var <- M ;
+	if p.peek().kind == tokLower && !keywords[p.peek().text] {
+		m := p.save()
+		v := p.next()
+		if p.atSym("<-") {
+			p.next()
+			action, err := p.parseTerm()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectSym(";"); err != nil {
+				return nil, err
+			}
+			rest, err := p.parseDoStmts()
+			if err != nil {
+				return nil, err
+			}
+			return BindT(action, Lam{v.text, rest}), nil
+		}
+		p.reset(m)
+	}
+
+	// plain action
+	action, err := p.parseTerm()
+	if err != nil {
+		return nil, err
+	}
+	if p.atSym(";") {
+		p.next()
+		rest, err := p.parseDoStmts()
+		if err != nil {
+			return nil, err
+		}
+		return ThenT(action, rest), nil
+	}
+	return action, nil
+}
+
+// excByName maps exception-literal names to the standard exceptions,
+// defaulting to user-defined Dyn exceptions.
+func excByName(name string) exc.Exception {
+	switch name {
+	case "ThreadKilled", "KillThread": // the paper uses KillThread
+		return exc.ThreadKilled{}
+	case "Timeout":
+		return exc.Timeout{}
+	case "DivideByZero":
+		return exc.DivideByZero{}
+	case "PatternMatchFail":
+		return exc.PatternMatchFail{}
+	case "BlockedIndefinitely", "BlockedIndefinitelyOnMVar":
+		return exc.BlockedIndefinitely{}
+	case "UserInterrupt":
+		return exc.UserInterrupt{}
+	case "StackOverflow":
+		return exc.StackOverflow{}
+	default:
+		return exc.Dyn{Tag: name}
+	}
+}

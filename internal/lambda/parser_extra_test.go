@@ -1,0 +1,162 @@
+package lambda_test
+
+import (
+	"testing"
+
+	"asyncexc/internal/exc"
+	"asyncexc/internal/lambda"
+)
+
+func TestParseComments(t *testing.T) {
+	evalOK(t, `
+		-- a comment
+		1 + 2 -- trailing comment
+		-- another
+	`, `3`)
+}
+
+func TestParseMultiParamLambda(t *testing.T) {
+	evalOK(t, `(\a b c -> a + b * c) 1 2 3`, `7`)
+}
+
+func TestParseWildcardParam(t *testing.T) {
+	evalOK(t, `(\_ -> 9) 1`, `9`)
+}
+
+func TestParseCharEscapes(t *testing.T) {
+	for _, c := range []struct{ src, want string }{
+		{`'\n'`, `'\n'`},
+		{`'\t'`, `'\t'`},
+		{`'\\'`, `'\\'`},
+		{`'\''`, `'\''`},
+	} {
+		term := lambda.MustParse(c.src)
+		if term.String() != c.want {
+			t.Errorf("parse %s printed %s", c.src, term)
+		}
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	evalOK(t, `1 + 2 * 3 == 7`, `True`)
+	evalOK(t, `2 * 3 + 1 == 7`, `True`)
+	evalOK(t, `1 - 2 - 3`, `-4`) // left associative
+}
+
+func TestParseRecInsideDo(t *testing.T) {
+	term := lambda.MustParse(`do { let f = rec go -> \n -> if n == 0 then 1 else n * go (n - 1) ; return (f 5) }`)
+	v, e, err := lambda.NewEvaluator().Eval(term)
+	if err != nil || e != nil {
+		t.Fatalf("eval: %v %v", err, e)
+	}
+	// return (f 5) is a value whose payload forces to 120.
+	mop, ok := v.(lambda.MOp)
+	if !ok || mop.Kind != lambda.OpReturn {
+		t.Fatalf("got %s", v)
+	}
+	inner, e, err := lambda.NewEvaluator().Eval(mop.Args[0])
+	if err != nil || e != nil {
+		t.Fatalf("force: %v %v", err, e)
+	}
+	if inner.String() != "120" {
+		t.Fatalf("payload %s", inner)
+	}
+}
+
+func TestParseNestedDo(t *testing.T) {
+	t1 := lambda.MustParse(`do { x <- return 1 ; do { y <- return 2 ; return (x + y) } }`)
+	v, e, err := lambda.NewEvaluator().Eval(t1)
+	if err != nil || e != nil {
+		t.Fatalf("eval: %v %v", err, e)
+	}
+	if !v.IsValue() {
+		t.Fatalf("not a value: %s", v)
+	}
+}
+
+func TestParseUnitPatternInCase(t *testing.T) {
+	evalOK(t, `case () of { () -> 5 }`, `5`)
+}
+
+func TestParseExceptionNames(t *testing.T) {
+	cases := []struct {
+		src  string
+		want exc.Exception
+	}{
+		{`#KillThread`, exc.ThreadKilled{}},
+		{`#ThreadKilled`, exc.ThreadKilled{}},
+		{`#Timeout`, exc.Timeout{}},
+		{`#DivideByZero`, exc.DivideByZero{}},
+		{`#StackOverflow`, exc.StackOverflow{}},
+		{`#UserInterrupt`, exc.UserInterrupt{}},
+		{`#BlockedIndefinitely`, exc.BlockedIndefinitely{}},
+		{`#Custom`, exc.Dyn{Tag: "Custom"}},
+	}
+	for _, c := range cases {
+		term := lambda.MustParse(c.src)
+		lit, ok := term.(lambda.Lit)
+		if !ok {
+			t.Fatalf("%q: not a literal", c.src)
+		}
+		ce, ok := lit.C.(lambda.CExc)
+		if !ok || !ce.E.Eq(c.want) {
+			t.Errorf("%q parsed to %v, want %v", c.src, lit, c.want)
+		}
+	}
+}
+
+func TestParseSeqPrim(t *testing.T) {
+	// seq forces its first argument.
+	evalRaises(t, `seq (raise #Forced) 2`, exc.Dyn{Tag: "Forced"})
+	evalOK(t, `seq 1 2`, `2`)
+}
+
+func TestRaisableSetThreeWay(t *testing.T) {
+	// Three strict positions that can each raise: the set must contain
+	// all reachable exceptions. (throwTo's two strict args, one of
+	// which is itself imprecise between two raises.)
+	term := lambda.MustParse(`throwTo (raise #A) (seq (raise #B) (raise #C))`)
+	set, converged, err := lambda.RaisableSet(term, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if converged {
+		t.Fatal("cannot converge")
+	}
+	if _, ok := set["Dyn:A"]; !ok {
+		t.Fatalf("missing A: %v", set)
+	}
+	if _, ok := set["Dyn:B"]; !ok {
+		t.Fatalf("missing B: %v", set)
+	}
+	// C is reachable too: imprecise exceptions deliberately do not fix
+	// the evaluation order of strict positions ([15]), so seq may
+	// demand either argument first.
+	if _, ok := set["Dyn:C"]; !ok {
+		t.Fatalf("missing C: %v", set)
+	}
+	if len(set) != 3 {
+		t.Fatalf("raisable set %v, want exactly {A,B,C}", set)
+	}
+}
+
+func TestEvalShadowedCaseBinding(t *testing.T) {
+	evalOK(t, `let x = 1 in case Just 2 of { Just x -> x ; _ -> x }`, `2`)
+}
+
+func TestEvalDefaultAltBindsScrutinee(t *testing.T) {
+	// A default alternative with a variable binds the whole scrutinee.
+	term := lambda.Case{
+		Scrut: lambda.MustParse(`Just 3`),
+		Alts: []lambda.Alt{
+			{Con: "_", Vars: []string{"v"}, Body: lambda.MustParse(`case v of { Just x -> x }`)},
+		},
+	}
+	v, e, err := lambda.NewEvaluator().Eval(term)
+	if err != nil || e != nil {
+		t.Fatalf("eval: %v %v", err, e)
+	}
+	if v.String() != "3" {
+		t.Fatalf("got %s", v)
+	}
+}

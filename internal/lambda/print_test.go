@@ -1,0 +1,111 @@
+package lambda_test
+
+import (
+	"testing"
+
+	"asyncexc/internal/exc"
+	"asyncexc/internal/lambda"
+)
+
+// TestPrintAllConstructs round-trips every syntactic construct through
+// the printer and parser.
+func TestPrintAllConstructs(t *testing.T) {
+	srcs := []string{
+		// constants of every kind
+		`42`, `'q'`, `()`, `True`, `False`, `#Timeout`, `#MyExc`,
+		// lambda/app/let/rec/if/case
+		`\x -> x`,
+		`f x y`,
+		`let v = 1 + 2 in v * v`,
+		`rec go -> \n -> if n == 0 then 0 else go (n - 1)`,
+		`case e of { Left a -> a ; Right b -> b ; _ -> 0 }`,
+		// every monadic operation
+		`return 1`, `getChar`, `putChar 'c'`, `newEmptyMVar`,
+		`myThreadId`, `sleep 9`, `throw #X`,
+		`getChar >>= \c -> return c`,
+		`catch getChar (\e -> getChar)`,
+		`block getChar`, `unblock getChar`,
+		`forkIO getChar`,
+		// prims, prefix and infix
+		`div 9 2`, `mod 9 2`, `not True`, `chr 65`, `ord 'a'`, `seq 1 2`,
+		`1 <= 2`, `1 >= 2`, `1 /= 2`, `1 > 0`,
+		`raise #R`,
+	}
+	for _, src := range srcs {
+		t1, err := lambda.Parse(src)
+		if err != nil {
+			t.Fatalf("parse %q: %v", src, err)
+		}
+		printed := t1.String()
+		t2, err := lambda.Parse(printed)
+		if err != nil {
+			t.Fatalf("reparse %q (printed %q): %v", src, printed, err)
+		}
+		if !lambda.Equal(t1, t2) {
+			t.Fatalf("round trip broke %q: %q vs %q", src, t1, t2)
+		}
+	}
+}
+
+// TestPrintRuntimeConstants covers the run-time-introduced constants
+// (MVar names, thread ids) the parser cannot produce.
+func TestPrintRuntimeConstants(t *testing.T) {
+	if got := lambda.MVarName("m3").String(); got != "$m3" {
+		t.Errorf("mvar name printed %q", got)
+	}
+	if got := lambda.TidName(7).String(); got != "@7" {
+		t.Errorf("tid printed %q", got)
+	}
+	if got := lambda.Exc(exc.ThreadKilled{}).String(); got != "#ThreadKilled" {
+		t.Errorf("exception printed %q", got)
+	}
+}
+
+// TestTermBuildersProduceValues sanity-checks the construction helpers
+// used by the machine and the adversary builder.
+func TestTermBuildersProduceValues(t *testing.T) {
+	terms := []lambda.Term{
+		lambda.Ret(lambda.Int(1)),
+		lambda.RetUnit(),
+		lambda.BindT(lambda.RetUnit(), lambda.L("x", lambda.RetUnit())),
+		lambda.ThenT(lambda.RetUnit(), lambda.RetUnit()),
+		lambda.ThrowT(lambda.Exc(exc.Timeout{})),
+		lambda.CatchT(lambda.RetUnit(), lambda.L("e", lambda.RetUnit())),
+		lambda.BlockT(lambda.RetUnit()),
+		lambda.UnblockT(lambda.RetUnit()),
+		lambda.ForkT(lambda.RetUnit()),
+		lambda.TakeT(lambda.MVarName("m")),
+		lambda.PutT(lambda.MVarName("m"), lambda.Int(3)),
+		lambda.ThrowToT(lambda.TidName(2), lambda.Exc(exc.ThreadKilled{})),
+	}
+	for _, tm := range terms {
+		if !tm.IsValue() {
+			t.Errorf("%s should be a value", tm)
+		}
+		if _, err := lambda.Parse(tm.String()); err != nil {
+			// Run-time constants ($m, @2) are unparseable by design;
+			// only check the others.
+			if !containsRuntimeConst(tm.String()) {
+				t.Errorf("printed %q unparseable: %v", tm, err)
+			}
+		}
+	}
+}
+
+func containsRuntimeConst(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] == '$' || s[i] == '@' {
+			return true
+		}
+	}
+	return false
+}
+
+// TestAtomStringParenthesization: arguments print with parentheses
+// exactly when needed.
+func TestAtomStringParenthesization(t *testing.T) {
+	term := lambda.A(lambda.V("f"), lambda.A(lambda.V("g"), lambda.V("x")), lambda.V("y"))
+	if got := term.String(); got != "((f (g x)) y)" {
+		t.Fatalf("got %q", got)
+	}
+}

@@ -1,0 +1,128 @@
+package lambda
+
+// Program-level parsing: a program is a sequence of top-level
+// definitions followed by a main term,
+//
+//	def f x y = BODY ;
+//	def g a   = BODY' ;
+//	MAIN
+//
+// Each definition may refer to itself (recursion) and to earlier
+// definitions; mutual recursion is not supported. The whole program
+// desugars into the core calculus:
+//
+//	let f = rec f -> \x y -> BODY in
+//	let g = rec g -> \a -> BODY' in MAIN
+//
+// so the machine and the compiler need no new constructs — definitions
+// are purely a surface-syntax convenience that makes semantics-level
+// programs (like the §7 prelude below) readable.
+
+// ParseProgram parses definitions-plus-main. A program with no `def`s
+// is an ordinary term.
+func ParseProgram(src string) (Term, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+
+	type def struct {
+		name   string
+		params []string
+		body   Term
+	}
+	var defs []def
+	for p.atKw("def") {
+		p.next()
+		name := p.next()
+		if name.kind != tokLower {
+			return nil, p.errf("expected a name after def")
+		}
+		var params []string
+		for p.peek().kind == tokLower && !keywords[p.peek().text] || p.atSym("_") {
+			t := p.next()
+			if t.kind == tokSym {
+				params = append(params, "_")
+			} else {
+				params = append(params, t.text)
+			}
+		}
+		if err := p.expectSym("="); err != nil {
+			return nil, err
+		}
+		body, err := p.parseTerm()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSym(";"); err != nil {
+			return nil, err
+		}
+		defs = append(defs, def{name: name.text, params: params, body: body})
+	}
+	main, err := p.parseTerm()
+	if err != nil {
+		return nil, err
+	}
+	if p.peek().kind != tokEOF {
+		return nil, p.errf("unexpected %s after program", p.describe(p.peek()))
+	}
+	// Desugar back to front: each definition scopes over the rest.
+	for i := len(defs) - 1; i >= 0; i-- {
+		d := defs[i]
+		body := d.body
+		for j := len(d.params) - 1; j >= 0; j-- {
+			body = Lam{d.params[j], body}
+		}
+		main = Let{d.name, Rec{d.name, body}, main}
+	}
+	return main, nil
+}
+
+// MustParseProgram is ParseProgram, panicking on error.
+func MustParseProgram(src string) Term {
+	t, err := ParseProgram(src)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Prelude is the paper's §7 combinator library written in the term
+// language itself: prepend it to a program (before its own defs) to
+// use finally, bracket, either and timeout at the semantics level.
+const Prelude = `
+def finally a b =
+  block (catch (unblock a) (\e -> b >>= \_ -> throw e)
+         >>= \r -> b >>= \_ -> return r) ;
+
+def bracket before thing after =
+  block (before >>= \x ->
+         catch (unblock (thing x)) (\e -> after x >>= \_ -> throw e)
+         >>= \r -> after x >>= \_ -> return r) ;
+
+def either a b =
+  newEmptyMVar >>= \m ->
+  block (forkIO (catch (unblock a >>= \r -> putMVar m (A r))
+                       (\e -> putMVar m (X e))) >>= \aid ->
+         forkIO (catch (unblock b >>= \r -> putMVar m (B r))
+                       (\e -> putMVar m (X e))) >>= \bid ->
+         (rec loop -> catch (takeMVar m)
+                            (\e -> throwTo aid e >>= \_ ->
+                                   throwTo bid e >>= \_ -> loop))
+         >>= \r ->
+         throwTo aid #KillThread >>= \_ ->
+         throwTo bid #KillThread >>= \_ ->
+         case r of { A v -> return (Left v)
+                   ; B v -> return (Right v)
+                   ; X e -> throw e }) ;
+
+def timeout t a =
+  either (sleep t) a >>= \r ->
+  case r of { Left u -> return Nothing ; Right v -> return (Just v) } ;
+`
+
+// ParseWithPrelude parses src with the §7 prelude in scope.
+func ParseWithPrelude(src string) (Term, error) {
+	return ParseProgram(Prelude + "\n" + src)
+}

@@ -1,0 +1,64 @@
+package lambda_test
+
+import (
+	"testing"
+
+	"asyncexc/internal/lambda"
+)
+
+func TestParseProgramDesugarsDefs(t *testing.T) {
+	prog := lambda.MustParseProgram(`
+		def double x = x * 2 ;
+		def quad x = double (double x) ;
+		quad 10`)
+	v, e, err := lambda.NewEvaluator().Eval(prog)
+	if err != nil || e != nil {
+		t.Fatalf("eval: %v %v", err, e)
+	}
+	if v.String() != "40" {
+		t.Fatalf("got %s", v)
+	}
+}
+
+func TestParseProgramRecursiveDef(t *testing.T) {
+	prog := lambda.MustParseProgram(`
+		def fact n = if n == 0 then 1 else n * fact (n - 1) ;
+		fact 6`)
+	v, e, err := lambda.NewEvaluator().Eval(prog)
+	if err != nil || e != nil {
+		t.Fatalf("eval: %v %v", err, e)
+	}
+	if v.String() != "720" {
+		t.Fatalf("got %s", v)
+	}
+}
+
+func TestParseProgramNoDefsIsPlainTerm(t *testing.T) {
+	prog := lambda.MustParseProgram(`1 + 1`)
+	v, _, err := lambda.NewEvaluator().Eval(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.String() != "2" {
+		t.Fatalf("got %s", v)
+	}
+}
+
+func TestParseProgramErrors(t *testing.T) {
+	for _, src := range []string{
+		`def = 1 ; x`,        // missing name
+		`def f x = 1 x`,      // missing semicolon
+		`def f x = ; return`, // missing body
+		`def f x = 1 ;`,      // missing main
+	} {
+		if _, err := lambda.ParseProgram(src); err == nil {
+			t.Errorf("ParseProgram(%q) succeeded", src)
+		}
+	}
+}
+
+func TestPreludeParses(t *testing.T) {
+	if _, err := lambda.ParseWithPrelude(`return 0`); err != nil {
+		t.Fatalf("prelude does not parse: %v", err)
+	}
+}

@@ -1,0 +1,196 @@
+package lambda
+
+import (
+	"fmt"
+	"sort"
+)
+
+// FreeVars returns the free variables of t in sorted order.
+func FreeVars(t Term) []string {
+	set := map[string]bool{}
+	collectFree(t, map[string]bool{}, set)
+	out := make([]string, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func collectFree(t Term, bound map[string]bool, out map[string]bool) {
+	switch n := t.(type) {
+	case Var:
+		if !bound[n.Name] {
+			out[n.Name] = true
+		}
+	case Lam:
+		inner := withBound(bound, n.Param)
+		collectFree(n.Body, inner, out)
+	case App:
+		collectFree(n.Fun, bound, out)
+		collectFree(n.Arg, bound, out)
+	case Lit:
+	case Con:
+		for _, a := range n.Args {
+			collectFree(a, bound, out)
+		}
+	case If:
+		collectFree(n.Cond, bound, out)
+		collectFree(n.Then, bound, out)
+		collectFree(n.Else, bound, out)
+	case Case:
+		collectFree(n.Scrut, bound, out)
+		for _, alt := range n.Alts {
+			inner := bound
+			for _, v := range alt.Vars {
+				inner = withBound(inner, v)
+			}
+			collectFree(alt.Body, inner, out)
+		}
+	case Let:
+		collectFree(n.Bound, bound, out)
+		collectFree(n.Body, withBound(bound, n.Name), out)
+	case Rec:
+		collectFree(n.Body, withBound(bound, n.Name), out)
+	case Prim:
+		for _, a := range n.Args {
+			collectFree(a, bound, out)
+		}
+	case Raise:
+		collectFree(n.Exc, bound, out)
+	case MOp:
+		for _, a := range n.Args {
+			collectFree(a, bound, out)
+		}
+	default:
+		panic(fmt.Sprintf("lambda: collectFree: unknown term %T", t))
+	}
+}
+
+func withBound(bound map[string]bool, v string) map[string]bool {
+	if bound[v] {
+		return bound
+	}
+	inner := make(map[string]bool, len(bound)+1)
+	for k := range bound {
+		inner[k] = true
+	}
+	inner[v] = true
+	return inner
+}
+
+// freshCounter numbers generated names; names with a '%' cannot be
+// written in source, so generated names never collide with user names.
+var freshCounter int
+
+func freshName(base string) string {
+	freshCounter++
+	return fmt.Sprintf("%s%%%d", base, freshCounter)
+}
+
+// Subst performs capture-avoiding substitution t[repl/name].
+func Subst(t Term, name string, repl Term) Term {
+	replFree := map[string]bool{}
+	for _, v := range FreeVars(repl) {
+		replFree[v] = true
+	}
+	return subst(t, name, repl, replFree)
+}
+
+func subst(t Term, name string, repl Term, replFree map[string]bool) Term {
+	switch n := t.(type) {
+	case Var:
+		if n.Name == name {
+			return repl
+		}
+		return n
+	case Lam:
+		if n.Param == name {
+			return n
+		}
+		if replFree[n.Param] {
+			fresh := freshName(n.Param)
+			body := subst(n.Body, n.Param, Var{fresh}, map[string]bool{fresh: true})
+			return Lam{fresh, subst(body, name, repl, replFree)}
+		}
+		return Lam{n.Param, subst(n.Body, name, repl, replFree)}
+	case App:
+		return App{subst(n.Fun, name, repl, replFree), subst(n.Arg, name, repl, replFree)}
+	case Lit:
+		return n
+	case Con:
+		return Con{n.Name, substAll(n.Args, name, repl, replFree)}
+	case If:
+		return If{
+			subst(n.Cond, name, repl, replFree),
+			subst(n.Then, name, repl, replFree),
+			subst(n.Else, name, repl, replFree),
+		}
+	case Case:
+		alts := make([]Alt, len(n.Alts))
+		for i, alt := range n.Alts {
+			alts[i] = substAlt(alt, name, repl, replFree)
+		}
+		return Case{subst(n.Scrut, name, repl, replFree), alts}
+	case Let:
+		bound := subst(n.Bound, name, repl, replFree)
+		if n.Name == name {
+			return Let{n.Name, bound, n.Body}
+		}
+		if replFree[n.Name] {
+			fresh := freshName(n.Name)
+			body := subst(n.Body, n.Name, Var{fresh}, map[string]bool{fresh: true})
+			return Let{fresh, bound, subst(body, name, repl, replFree)}
+		}
+		return Let{n.Name, bound, subst(n.Body, name, repl, replFree)}
+	case Rec:
+		if n.Name == name {
+			return n
+		}
+		if replFree[n.Name] {
+			fresh := freshName(n.Name)
+			body := subst(n.Body, n.Name, Var{fresh}, map[string]bool{fresh: true})
+			return Rec{fresh, subst(body, name, repl, replFree)}
+		}
+		return Rec{n.Name, subst(n.Body, name, repl, replFree)}
+	case Prim:
+		return Prim{n.Op, substAll(n.Args, name, repl, replFree)}
+	case Raise:
+		return Raise{subst(n.Exc, name, repl, replFree)}
+	case MOp:
+		return MOp{n.Kind, substAll(n.Args, name, repl, replFree)}
+	default:
+		panic(fmt.Sprintf("lambda: subst: unknown term %T", t))
+	}
+}
+
+func substAlt(alt Alt, name string, repl Term, replFree map[string]bool) Alt {
+	for _, v := range alt.Vars {
+		if v == name {
+			return alt // name is shadowed
+		}
+	}
+	vars := alt.Vars
+	body := alt.Body
+	for i, v := range vars {
+		if replFree[v] {
+			fresh := freshName(v)
+			body = subst(body, v, Var{fresh}, map[string]bool{fresh: true})
+			vars = append(append([]string{}, vars[:i]...), append([]string{fresh}, vars[i+1:]...)...)
+		}
+	}
+	return Alt{alt.Con, vars, subst(body, name, repl, replFree)}
+}
+
+func substAll(ts []Term, name string, repl Term, replFree map[string]bool) []Term {
+	out := make([]Term, len(ts))
+	for i, t := range ts {
+		out[i] = subst(t, name, repl, replFree)
+	}
+	return out
+}
+
+// Equal reports structural term equality up to nothing (names matter);
+// the machine uses canonical printing for state hashing, this helper
+// serves tests.
+func Equal(a, b Term) bool { return a.String() == b.String() }

@@ -1,0 +1,459 @@
+// Package lambda implements the term language of Figure 1 of the
+// paper: a call-by-name lambda calculus with constants, (lazy)
+// constructors, if-then-else, case analysis, and the monadic IO
+// operations treated as first-class values. It provides the "inner"
+// denotational layer of the stratified semantics: a pure evaluator with
+// imprecise exceptions (M ⇓ V and M ⇓ e, mutually exclusive), plus a
+// parser with do-notation and a pretty-printer.
+//
+// The "outer" monadic transition semantics over these terms lives in
+// package machine.
+package lambda
+
+import (
+	"fmt"
+	"strings"
+
+	"asyncexc/internal/exc"
+)
+
+// Term is a syntax tree node of the Figure 1 language.
+type Term interface {
+	// IsValue reports whether the term is a value in the sense of
+	// Figure 1: constants, lambdas, (lazy) constructor applications,
+	// and monadic operations whose strict arguments are values.
+	IsValue() bool
+	// String renders the term in concrete syntax.
+	String() string
+}
+
+// ---------------------------------------------------------------------
+// Constants
+// ---------------------------------------------------------------------
+
+// Const is a literal constant: characters, integers, booleans, unit,
+// exceptions, and the run-time-introduced MVar and ThreadId names
+// (Figure 1's m and t — "we treat MVar and thread names as normal
+// variables").
+type Const interface {
+	constTag() string
+	String() string
+}
+
+// CInt is an integer constant.
+type CInt int64
+
+func (CInt) constTag() string { return "int" }
+func (c CInt) String() string { return fmt.Sprintf("%d", int64(c)) }
+
+// CChar is a character constant.
+type CChar rune
+
+func (CChar) constTag() string { return "char" }
+func (c CChar) String() string {
+	switch rune(c) {
+	case '\n':
+		return `'\n'`
+	case '\t':
+		return `'\t'`
+	case '\\':
+		return `'\\'`
+	case '\'':
+		return `'\''`
+	default:
+		return "'" + string(rune(c)) + "'"
+	}
+}
+
+// CBool is a boolean constant.
+type CBool bool
+
+func (CBool) constTag() string { return "bool" }
+func (c CBool) String() string {
+	if c {
+		return "True"
+	}
+	return "False"
+}
+
+// CUnit is the unit constant ().
+type CUnit struct{}
+
+func (CUnit) constTag() string { return "unit" }
+func (CUnit) String() string   { return "()" }
+
+// CExc is an exception constant.
+type CExc struct {
+	// E is the underlying exception value.
+	E exc.Exception
+}
+
+func (CExc) constTag() string { return "exc" }
+func (c CExc) String() string {
+	// Print in the parser's #Name syntax: user exceptions by their
+	// tag, standard exceptions by their constructor name.
+	if d, ok := c.E.(exc.Dyn); ok {
+		return "#" + d.Tag
+	}
+	return "#" + c.E.ExceptionName()
+}
+
+// CMVar names an MVar introduced at run time by newEmptyMVar.
+type CMVar string
+
+func (CMVar) constTag() string { return "mvar" }
+func (c CMVar) String() string { return "$" + string(c) }
+
+// CTid names a thread introduced at run time by forkIO.
+type CTid int64
+
+func (CTid) constTag() string { return "tid" }
+func (c CTid) String() string { return fmt.Sprintf("@%d", int64(c)) }
+
+// ---------------------------------------------------------------------
+// Core terms
+// ---------------------------------------------------------------------
+
+// Var is a variable occurrence.
+type Var struct{ Name string }
+
+// IsValue implements Term (a free variable is not a value).
+func (Var) IsValue() bool    { return false }
+func (v Var) String() string { return v.Name }
+
+// Lam is a lambda abstraction \x -> M.
+type Lam struct {
+	Param string
+	Body  Term
+}
+
+// IsValue implements Term.
+func (Lam) IsValue() bool    { return true }
+func (l Lam) String() string { return fmt.Sprintf("(\\%s -> %s)", l.Param, l.Body) }
+
+// App is application M N.
+type App struct{ Fun, Arg Term }
+
+// IsValue implements Term.
+func (App) IsValue() bool    { return false }
+func (a App) String() string { return fmt.Sprintf("(%s %s)", a.Fun, atomString(a.Arg)) }
+
+// Lit is a constant.
+type Lit struct{ C Const }
+
+// IsValue implements Term.
+func (Lit) IsValue() bool    { return true }
+func (l Lit) String() string { return l.C.String() }
+
+// Con is a (lazy) constructor application k M1 ... Mn; per Figure 1 it
+// is a value without evaluating its arguments.
+type Con struct {
+	Name string
+	Args []Term
+}
+
+// IsValue implements Term.
+func (Con) IsValue() bool { return true }
+func (c Con) String() string {
+	if len(c.Args) == 0 {
+		return c.Name
+	}
+	parts := make([]string, 0, len(c.Args)+1)
+	parts = append(parts, c.Name)
+	for _, a := range c.Args {
+		parts = append(parts, atomString(a))
+	}
+	return "(" + strings.Join(parts, " ") + ")"
+}
+
+// If is if M then N1 else N2 (Figure 1).
+type If struct{ Cond, Then, Else Term }
+
+// IsValue implements Term.
+func (If) IsValue() bool { return false }
+func (i If) String() string {
+	return fmt.Sprintf("(if %s then %s else %s)", i.Cond, i.Then, i.Else)
+}
+
+// Case analyses a constructor value. An Alt with Con == "_" is a
+// default alternative binding the scrutinee to its single variable (or
+// discarding it when Vars is empty).
+type Case struct {
+	Scrut Term
+	Alts  []Alt
+}
+
+// Alt is one case alternative: Con x1 ... xn -> Body.
+type Alt struct {
+	Con  string
+	Vars []string
+	Body Term
+}
+
+// IsValue implements Term.
+func (Case) IsValue() bool { return false }
+func (c Case) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "(case %s of {", c.Scrut)
+	for i, a := range c.Alts {
+		if i > 0 {
+			b.WriteString("; ")
+		}
+		b.WriteString(a.Con)
+		for _, v := range a.Vars {
+			b.WriteString(" " + v)
+		}
+		fmt.Fprintf(&b, " -> %s", a.Body)
+	}
+	b.WriteString("})")
+	return b.String()
+}
+
+// Let is let x = M in N, non-recursive (sugar for (\x -> N) M, kept as
+// a node for readable printing).
+type Let struct {
+	Name  string
+	Bound Term
+	Body  Term
+}
+
+// IsValue implements Term.
+func (Let) IsValue() bool { return false }
+func (l Let) String() string {
+	return fmt.Sprintf("(let %s = %s in %s)", l.Name, l.Bound, l.Body)
+}
+
+// Rec is letrec x = M in x: a recursive binding unrolled on demand
+// (call-by-name fixpoint).
+type Rec struct {
+	Name string
+	Body Term
+}
+
+// IsValue implements Term.
+func (Rec) IsValue() bool    { return false }
+func (r Rec) String() string { return fmt.Sprintf("(rec %s -> %s)", r.Name, r.Body) }
+
+// Prim is a saturated primitive operation, strict in all arguments:
+// arithmetic, comparison, boolean, and character primitives.
+type Prim struct {
+	Op   string
+	Args []Term
+}
+
+// infixPrims are printed in the infix syntax the parser accepts.
+var infixPrims = map[string]bool{
+	"+": true, "-": true, "*": true, "==": true, "/=": true,
+	"<": true, "<=": true, ">": true, ">=": true,
+}
+
+// IsValue implements Term.
+func (Prim) IsValue() bool { return false }
+func (p Prim) String() string {
+	if infixPrims[p.Op] && len(p.Args) == 2 {
+		return fmt.Sprintf("(%s %s %s)", atomString(p.Args[0]), p.Op, atomString(p.Args[1]))
+	}
+	parts := make([]string, 0, len(p.Args)+1)
+	parts = append(parts, p.Op)
+	for _, a := range p.Args {
+		parts = append(parts, atomString(a))
+	}
+	return "(" + strings.Join(parts, " ") + ")"
+}
+
+// Raise is the pure-code raise of the inner semantics (raise ::
+// Exception -> a): it evaluates its argument to an exception constant
+// and then converges exceptionally.
+type Raise struct{ Exc Term }
+
+// IsValue implements Term.
+func (Raise) IsValue() bool    { return false }
+func (r Raise) String() string { return fmt.Sprintf("(raise %s)", r.Exc) }
+
+// ---------------------------------------------------------------------
+// Monadic operations (Figure 1's IO values)
+// ---------------------------------------------------------------------
+
+// MOpKind enumerates the monadic operations of Figure 1 plus the
+// Figure 5 additions (throwTo, block, unblock).
+type MOpKind uint8
+
+// Monadic operation kinds.
+const (
+	OpReturn MOpKind = iota
+	OpBind
+	OpThrow
+	OpCatch
+	OpPutChar
+	OpGetChar
+	OpPutMVar
+	OpTakeMVar
+	OpNewEmptyMVar
+	OpSleep
+	OpForkIO
+	OpMyThreadID
+	OpThrowTo
+	OpBlock
+	OpUnblock
+)
+
+// mopInfo records concrete syntax, arity and strictness: Strict lists
+// the argument positions that must be evaluated before the operation
+// is a value ("it is as if putChar is a strict data constructor",
+// Figure 1 commentary).
+type mopInfo struct {
+	Name   string
+	Arity  int
+	Strict []int
+}
+
+var mopTable = map[MOpKind]mopInfo{
+	OpReturn:       {"return", 1, nil},
+	OpBind:         {">>=", 2, nil},
+	OpThrow:        {"throw", 1, []int{0}},
+	OpCatch:        {"catch", 2, nil},
+	OpPutChar:      {"putChar", 1, []int{0}},
+	OpGetChar:      {"getChar", 0, nil},
+	OpPutMVar:      {"putMVar", 2, []int{0}},
+	OpTakeMVar:     {"takeMVar", 1, []int{0}},
+	OpNewEmptyMVar: {"newEmptyMVar", 0, nil},
+	OpSleep:        {"sleep", 1, []int{0}},
+	OpForkIO:       {"forkIO", 1, nil},
+	OpMyThreadID:   {"myThreadId", 0, nil},
+	OpThrowTo:      {"throwTo", 2, []int{0, 1}},
+	OpBlock:        {"block", 1, nil},
+	OpUnblock:      {"unblock", 1, nil},
+}
+
+// MOp is a monadic operation applied to its arguments. A saturated MOp
+// is a value exactly when its strict arguments are values (Figure 1).
+type MOp struct {
+	Kind MOpKind
+	Args []Term
+}
+
+// Info returns the operation's syntax/strictness record.
+func (m MOp) Info() mopInfo { return mopTable[m.Kind] }
+
+// IsValue implements Term.
+func (m MOp) IsValue() bool {
+	info := mopTable[m.Kind]
+	for _, i := range info.Strict {
+		if !m.Args[i].IsValue() {
+			return false
+		}
+	}
+	return true
+}
+
+func (m MOp) String() string {
+	info := mopTable[m.Kind]
+	if m.Kind == OpBind {
+		return fmt.Sprintf("(%s >>= %s)", m.Args[0], atomString(m.Args[1]))
+	}
+	if len(m.Args) == 0 {
+		return info.Name
+	}
+	parts := make([]string, 0, len(m.Args)+1)
+	parts = append(parts, info.Name)
+	for _, a := range m.Args {
+		parts = append(parts, atomString(a))
+	}
+	return "(" + strings.Join(parts, " ") + ")"
+}
+
+// atomString parenthesizes non-atomic arguments for readable output.
+func atomString(t Term) string {
+	switch t.(type) {
+	case Var, Lit:
+		return t.String()
+	case Con:
+		if len(t.(Con).Args) == 0 {
+			return t.String()
+		}
+	case MOp:
+		if len(t.(MOp).Args) == 0 {
+			return t.String()
+		}
+	}
+	s := t.String()
+	if strings.HasPrefix(s, "(") {
+		return s
+	}
+	return "(" + s + ")"
+}
+
+// ---------------------------------------------------------------------
+// Construction helpers
+// ---------------------------------------------------------------------
+
+// Ret builds return M.
+func Ret(m Term) Term { return MOp{OpReturn, []Term{m}} }
+
+// RetUnit builds return ().
+func RetUnit() Term { return Ret(Unit()) }
+
+// BindT builds M >>= N.
+func BindT(m, n Term) Term { return MOp{OpBind, []Term{m, n}} }
+
+// ThenT builds M >> N, i.e. M >>= \_ -> N.
+func ThenT(m, n Term) Term { return BindT(m, Lam{"_", n}) }
+
+// ThrowT builds throw e.
+func ThrowT(e Term) Term { return MOp{OpThrow, []Term{e}} }
+
+// CatchT builds catch M H.
+func CatchT(m, h Term) Term { return MOp{OpCatch, []Term{m, h}} }
+
+// BlockT builds block M.
+func BlockT(m Term) Term { return MOp{OpBlock, []Term{m}} }
+
+// UnblockT builds unblock M.
+func UnblockT(m Term) Term { return MOp{OpUnblock, []Term{m}} }
+
+// ForkT builds forkIO M.
+func ForkT(m Term) Term { return MOp{OpForkIO, []Term{m}} }
+
+// TakeT builds takeMVar M.
+func TakeT(m Term) Term { return MOp{OpTakeMVar, []Term{m}} }
+
+// PutT builds putMVar M N.
+func PutT(m, n Term) Term { return MOp{OpPutMVar, []Term{m, n}} }
+
+// ThrowToT builds throwTo T E.
+func ThrowToT(t, e Term) Term { return MOp{OpThrowTo, []Term{t, e}} }
+
+// Int builds an integer literal.
+func Int(n int64) Term { return Lit{CInt(n)} }
+
+// Char builds a character literal.
+func Char(r rune) Term { return Lit{CChar(r)} }
+
+// Bool builds a boolean literal.
+func Bool(b bool) Term { return Lit{CBool(b)} }
+
+// Unit builds ().
+func Unit() Term { return Lit{CUnit{}} }
+
+// Exc builds an exception literal.
+func Exc(e exc.Exception) Term { return Lit{CExc{e}} }
+
+// MVarName builds an MVar name constant.
+func MVarName(n string) Term { return Lit{CMVar(n)} }
+
+// TidName builds a ThreadId constant.
+func TidName(t int64) Term { return Lit{CTid(t)} }
+
+// V builds a variable.
+func V(n string) Term { return Var{n} }
+
+// L builds \x -> M.
+func L(x string, m Term) Term { return Lam{x, m} }
+
+// A builds left-nested application f a b c ...
+func A(f Term, args ...Term) Term {
+	for _, a := range args {
+		f = App{f, a}
+	}
+	return f
+}

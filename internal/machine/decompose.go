@@ -1,0 +1,110 @@
+package machine
+
+import "asyncexc/internal/lambda"
+
+// Evaluation contexts (§6.2 and §6.3):
+//
+//	E ::= [·] | E >>= M | catch E H
+//
+// extended with the split-level blocked/unblocked contexts of §6.3:
+//
+//	F ::= [·] | F >>= M | catch F H
+//	E ::= F | E[block F] | E[unblock F]
+//
+// Decompose splits a thread's term into the maximal context (as a list
+// of frames, outermost first) and the redex at the evaluation site.
+// Because contexts are taken to be maximal, a block/unblock at the
+// evaluation site always becomes part of the context — which is
+// exactly how rule (Receive)'s side condition "M ≠ block N" reads on
+// this representation.
+
+// CtxFrame is one layer of an evaluation context.
+type CtxFrame interface{ frameName() string }
+
+// BindK is the context frame E >>= M.
+type BindK struct{ K lambda.Term }
+
+func (BindK) frameName() string { return ">>=" }
+
+// CatchK is the context frame catch E H.
+type CatchK struct{ H lambda.Term }
+
+func (CatchK) frameName() string { return "catch" }
+
+// MaskK is the context frame block E (Blocked=true) or unblock E.
+type MaskK struct{ Blocked bool }
+
+func (m MaskK) frameName() string {
+	if m.Blocked {
+		return "block"
+	}
+	return "unblock"
+}
+
+// Decompose returns the maximal context (outermost first) and the
+// redex of t.
+func Decompose(t lambda.Term) ([]CtxFrame, lambda.Term) {
+	var frames []CtxFrame
+	for {
+		mop, ok := t.(lambda.MOp)
+		if !ok {
+			return frames, t
+		}
+		switch mop.Kind {
+		case lambda.OpBind:
+			frames = append(frames, BindK{K: mop.Args[1]})
+			t = mop.Args[0]
+		case lambda.OpCatch:
+			frames = append(frames, CatchK{H: mop.Args[1]})
+			t = mop.Args[0]
+		case lambda.OpBlock:
+			frames = append(frames, MaskK{Blocked: true})
+			t = mop.Args[0]
+		case lambda.OpUnblock:
+			frames = append(frames, MaskK{Blocked: false})
+			t = mop.Args[0]
+		default:
+			return frames, t
+		}
+	}
+}
+
+// Blocked reports whether the context is blocked: the innermost
+// block/unblock frame decides; a context with neither is unblocked
+// (threads start with no mask frames and rule (Receive) must apply to
+// them, so the top level counts as unblocked).
+func Blocked(frames []CtxFrame) bool {
+	for i := len(frames) - 1; i >= 0; i-- {
+		if m, ok := frames[i].(MaskK); ok {
+			return m.Blocked
+		}
+	}
+	return false
+}
+
+// Recompose rebuilds the term E[redex].
+func Recompose(frames []CtxFrame, redex lambda.Term) lambda.Term {
+	t := redex
+	for i := len(frames) - 1; i >= 0; i-- {
+		switch f := frames[i].(type) {
+		case BindK:
+			t = lambda.BindT(t, f.K)
+		case CatchK:
+			t = lambda.CatchT(t, f.H)
+		case MaskK:
+			if f.Blocked {
+				t = lambda.BlockT(t)
+			} else {
+				t = lambda.UnblockT(t)
+			}
+		}
+	}
+	return t
+}
+
+// ReplaceRedex substitutes a new redex into t's evaluation site —
+// the operation rules (Receive) and (Interrupt) perform.
+func ReplaceRedex(t lambda.Term, redex lambda.Term) lambda.Term {
+	frames, _ := Decompose(t)
+	return Recompose(frames, redex)
+}

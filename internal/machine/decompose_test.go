@@ -1,0 +1,80 @@
+package machine_test
+
+import (
+	"testing"
+
+	"asyncexc/internal/exc"
+	"asyncexc/internal/lambda"
+	"asyncexc/internal/machine"
+)
+
+func decomposeOf(t *testing.T, src string) ([]machine.CtxFrame, lambda.Term) {
+	t.Helper()
+	return machine.Decompose(lambda.MustParse(src))
+}
+
+func TestDecomposeFindsRedexThroughSpine(t *testing.T) {
+	cases := []struct {
+		src     string
+		frames  int
+		redex   string
+		blocked bool
+	}{
+		{`putChar 'a'`, 0, `(putChar 'a')`, false},
+		{`putChar 'a' >> putChar 'b'`, 1, `(putChar 'a')`, false},
+		{`catch (putChar 'a') h`, 1, `(putChar 'a')`, false},
+		{`block (putChar 'a')`, 1, `(putChar 'a')`, true},
+		{`block (unblock (putChar 'a'))`, 2, `(putChar 'a')`, false},
+		{`unblock (block (putChar 'a'))`, 2, `(putChar 'a')`, true},
+		{`block (catch (takeMVar m >>= f) h)`, 3, `(takeMVar m)`, true},
+		{`(getChar >>= f) >>= g`, 2, `getChar`, false},
+		// A non-value redex: decomposition stops at the application.
+		{`block ((\x -> x) getChar)`, 1, `((\x -> x) getChar)`, true},
+	}
+	for _, c := range cases {
+		frames, redex := decomposeOf(t, c.src)
+		if len(frames) != c.frames {
+			t.Errorf("%q: %d frames, want %d", c.src, len(frames), c.frames)
+		}
+		if redex.String() != c.redex {
+			t.Errorf("%q: redex %s, want %s", c.src, redex, c.redex)
+		}
+		if machine.Blocked(frames) != c.blocked {
+			t.Errorf("%q: blocked=%v, want %v", c.src, machine.Blocked(frames), c.blocked)
+		}
+	}
+}
+
+func TestRecomposeInvertsDecompose(t *testing.T) {
+	srcs := []string{
+		`putChar 'a'`,
+		`block (catch (takeMVar m >>= f) h) >>= g`,
+		`unblock (block (unblock (getChar >>= f)))`,
+		`catch (block (throw #X)) h`,
+	}
+	for _, src := range srcs {
+		term := lambda.MustParse(src)
+		frames, redex := machine.Decompose(term)
+		back := machine.Recompose(frames, redex)
+		if back.String() != term.String() {
+			t.Errorf("recompose(decompose(%q)) = %s", src, back)
+		}
+	}
+}
+
+func TestReplaceRedex(t *testing.T) {
+	term := lambda.MustParse(`block (catch (takeMVar m) h)`)
+	replaced := machine.ReplaceRedex(term, lambda.ThrowT(lambda.Exc(exc.Dyn{Tag: "X"})))
+	if got := replaced.String(); got != `(block (catch (throw #X) h))` {
+		t.Fatalf("got %s", got)
+	}
+}
+
+func mustParse(t *testing.T, src string) lambda.Term {
+	t.Helper()
+	term, err := lambda.Parse(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	return term
+}

@@ -1,0 +1,156 @@
+package machine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// ExploreGraph explores every interleaving like Explore and returns
+// the full state graph in Graphviz DOT format, with transitions
+// labelled by rule and terminal states coloured: green for completed
+// runs, red for wedged (deadlocked) ones. Small programs only — the
+// graph of the §5.1 race (≈150 nodes) renders nicely and shows the
+// deadlock region at a glance.
+func ExploreGraph(s *State, opts Options, lim Limits) (string, ExploreResult) {
+	if lim.MaxStates <= 0 {
+		lim.MaxStates = 5000
+	}
+	if lim.MaxDepth <= 0 {
+		lim.MaxDepth = 10000
+	}
+	res := ExploreResult{Outcomes: map[string]Outcome{}, Coverage: map[Rule]int{}}
+
+	type edge struct {
+		from, to int
+		rule     Rule
+		thread   ThreadID
+	}
+	ids := map[string]int{}
+	var labels []string
+	var terminal []string // "", "done", "wedged"
+	var edges []edge
+
+	idOf := func(st *State) (int, bool) {
+		k := st.Key()
+		if id, ok := ids[k]; ok {
+			return id, false
+		}
+		id := len(labels)
+		ids[k] = id
+		labels = append(labels, summarize(st))
+		terminal = append(terminal, "")
+		return id, true
+	}
+
+	type frame struct {
+		st    *State
+		id    int
+		depth int
+	}
+	rootID, _ := idOf(s)
+	stack := []frame{{st: s, id: rootID, depth: 0}}
+
+	for len(stack) > 0 {
+		f := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		cur := f.st
+
+		if cur.Done {
+			o := outcomeOf(cur, 100000)
+			res.Outcomes[o.Key()] = o
+			terminal[f.id] = "done"
+			continue
+		}
+		if f.depth >= lim.MaxDepth {
+			res.Cutoff = true
+			continue
+		}
+		ts := Transitions(cur, opts)
+		if len(ts) == 0 {
+			o := outcomeOf(cur, 100000)
+			res.Outcomes[o.Key()] = o
+			terminal[f.id] = "wedged"
+			continue
+		}
+		for _, tr := range ts {
+			res.Coverage[tr.Rule]++
+			if len(ids) >= lim.MaxStates {
+				res.Cutoff = true
+				continue
+			}
+			toID, fresh := idOf(tr.Next)
+			edges = append(edges, edge{from: f.id, to: toID, rule: tr.Rule, thread: tr.Thread})
+			if fresh {
+				stack = append(stack, frame{st: tr.Next, id: toID, depth: f.depth + 1})
+			}
+		}
+	}
+	res.States = len(ids)
+
+	var b strings.Builder
+	b.WriteString("digraph exploration {\n")
+	b.WriteString("  rankdir=TB;\n  node [shape=box, fontsize=9, fontname=\"monospace\"];\n")
+	for id, lbl := range labels {
+		attrs := ""
+		switch terminal[id] {
+		case "done":
+			attrs = ", style=filled, fillcolor=palegreen"
+		case "wedged":
+			attrs = ", style=filled, fillcolor=lightcoral"
+		}
+		fmt.Fprintf(&b, "  n%d [label=%q%s];\n", id, lbl, attrs)
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].from != edges[j].from {
+			return edges[i].from < edges[j].from
+		}
+		return edges[i].to < edges[j].to
+	})
+	for _, e := range edges {
+		fmt.Fprintf(&b, "  n%d -> n%d [label=\"%s t%d\", fontsize=8];\n", e.from, e.to, e.rule, e.thread)
+	}
+	b.WriteString("}\n")
+	return b.String(), res
+}
+
+// summarize renders a compact node label.
+func summarize(s *State) string {
+	var parts []string
+	for _, t := range s.Threads {
+		mark := ""
+		if t.Stuck {
+			mark = "*"
+		}
+		term := t.Term.String()
+		if len(term) > 28 {
+			term = term[:25] + "..."
+		}
+		parts = append(parts, fmt.Sprintf("T%d%s:%s", t.ID, mark, term))
+	}
+	for _, m := range s.MVars {
+		if m.Full {
+			c := m.Contents.String()
+			if len(c) > 8 {
+				c = c[:8]
+			}
+			parts = append(parts, m.Name+"="+c)
+		} else {
+			parts = append(parts, m.Name+"=_")
+		}
+	}
+	if len(s.Inflight) > 0 {
+		parts = append(parts, fmt.Sprintf("%d in flight", len(s.Inflight)))
+	}
+	if s.Done {
+		if s.MainExc != nil {
+			parts = append(parts, "DONE !"+s.MainExc.ExceptionName())
+		} else {
+			parts = append(parts, "DONE "+s.MainVal.String())
+		}
+	}
+	if len(s.Out) > 0 {
+		parts = append(parts, fmt.Sprintf("out=%q", string(s.Out)))
+	}
+	return strings.Join(parts, "\\n")
+}

@@ -1,0 +1,115 @@
+package machine_test
+
+import (
+	"strings"
+	"testing"
+
+	"asyncexc/internal/machine"
+)
+
+// eitherTerm is the paper's §7.2 implementation of `either`,
+// transcribed literally into the term language (EitherRet's
+// constructors A/B/X become term constructors; KillThread is the
+// paper's exception).
+func eitherTerm(a, b string) string {
+	return strings.ReplaceAll(strings.ReplaceAll(`
+do { m <- newEmptyMVar ;
+     block (do {
+       aid <- forkIO (catch (unblock (@A) >>= \r -> putMVar m (A r))
+                            (\e -> putMVar m (X e))) ;
+       bid <- forkIO (catch (unblock (@B) >>= \r -> putMVar m (B r))
+                            (\e -> putMVar m (X e))) ;
+       r <- (rec loop -> catch (takeMVar m)
+                               (\e -> throwTo aid e >>= \_ ->
+                                      throwTo bid e >>= \_ -> loop)) ;
+       throwTo aid #KillThread ;
+       throwTo bid #KillThread ;
+       case r of { A v -> return (Left v)
+                 ; B v -> return (Right v)
+                 ; X e -> throw e } }) }`,
+		"@A", a), "@B", b)
+}
+
+func exploreEither(t *testing.T, a, b string, adversaries int) machine.ExploreResult {
+	t.Helper()
+	st, err := machine.NewWithAdversaries(eitherTerm(a, b), "", adversaries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := machine.Explore(st, machine.Options{}, machine.Limits{MaxStates: 2_000_000})
+	if res.Cutoff {
+		t.Fatalf("exploration hit limits (%d states)", res.States)
+	}
+	return res
+}
+
+// TestPaperEitherReturnsFirstResult: "Result is (Left r) if a finishes
+// first and returns r, (Right r) if b finishes first" — with pure
+// returns, both winners are reachable and nothing else is.
+func TestPaperEitherReturnsFirstResult(t *testing.T) {
+	res := exploreEither(t, `return 1`, `return 2`, 0)
+	sawLeft, sawRight := false, false
+	for _, o := range res.Outcomes {
+		switch {
+		case o.Wedged:
+			t.Fatalf("deadlock: %v", o)
+		case o.Exc != "":
+			t.Fatalf("exception: %v", o)
+		case o.Value == "(Left 1)":
+			sawLeft = true
+		case o.Value == "(Right 2)":
+			sawRight = true
+		default:
+			t.Fatalf("unexpected value %q", o.Value)
+		}
+	}
+	if !sawLeft || !sawRight {
+		t.Fatalf("both winners must be reachable (left=%v right=%v)", sawLeft, sawRight)
+	}
+	t.Logf("explored %d states", res.States)
+}
+
+// TestPaperEitherPropagatesChildException: "(throw e) if either a or b
+// raises an exception e before one of them returns a result".
+func TestPaperEitherPropagatesChildException(t *testing.T) {
+	res := exploreEither(t, `throw #Efail`, `sleep 5 >> return 2`, 0)
+	sawExc := false
+	for _, o := range res.Outcomes {
+		switch {
+		case o.Wedged:
+			t.Fatalf("deadlock: %v", o)
+		case o.Exc == "Dyn:Efail":
+			sawExc = true
+		case o.Exc != "":
+			t.Fatalf("wrong exception: %v", o)
+		case o.Value != "(Right 2)":
+			t.Fatalf("unexpected value %q", o.Value)
+		}
+	}
+	if !sawExc {
+		t.Fatal("the child's exception must be able to propagate")
+	}
+}
+
+// TestPaperEitherNeverDeadlocksUnderAdversary: "If the thread
+// executing either receives an asynchronous exception, it is
+// propagated to both children" — and crucially, no interleaving
+// deadlocks: the loop, the blocked context, and the interruptible
+// takeMVar conspire exactly as §7.2 argues.
+func TestPaperEitherNeverDeadlocksUnderAdversary(t *testing.T) {
+	res := exploreEither(t, `return 1`, `return 2`, 1)
+	for _, o := range res.Outcomes {
+		if o.Wedged {
+			t.Fatalf("deadlock reachable: %v", o)
+		}
+		// Allowed: a winner, or the adversary's exception rethrown
+		// after propagation.
+		if o.Exc != "" && o.Exc != "Dyn:Adv0" {
+			t.Fatalf("unexpected exception %v", o)
+		}
+		if o.Exc == "" && o.Value != "(Left 1)" && o.Value != "(Right 2)" {
+			t.Fatalf("unexpected value %q", o.Value)
+		}
+	}
+	t.Logf("explored %d states; %d distinct outcomes", res.States, len(res.Outcomes))
+}

@@ -1,0 +1,325 @@
+package machine
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"asyncexc/internal/lambda"
+)
+
+// Outcome is an observable result of a complete run: the console
+// output plus either the main thread's (forced) value or its uncaught
+// exception. Wedged records runs that reached a state with no
+// transitions before the main thread finished — the semantics' model
+// of deadlock (§6.2: a stuck thread simply makes no transition).
+type Outcome struct {
+	Output string
+	Value  string
+	Exc    string
+	Wedged bool
+	// Cutoff marks runs terminated by the step/state budget rather
+	// than by the semantics.
+	Cutoff bool
+}
+
+// Key canonicalizes the outcome for set membership.
+func (o Outcome) Key() string {
+	switch {
+	case o.Cutoff:
+		return "cutoff|" + o.Output
+	case o.Wedged:
+		return "wedged|" + o.Output
+	case o.Exc != "":
+		return "exc:" + o.Exc + "|" + o.Output
+	default:
+		return "val:" + o.Value + "|" + o.Output
+	}
+}
+
+func (o Outcome) String() string {
+	switch {
+	case o.Cutoff:
+		return fmt.Sprintf("cutoff (output %q)", o.Output)
+	case o.Wedged:
+		return fmt.Sprintf("deadlock (output %q)", o.Output)
+	case o.Exc != "":
+		return fmt.Sprintf("uncaught %s (output %q)", o.Exc, o.Output)
+	default:
+		return fmt.Sprintf("%s (output %q)", o.Value, o.Output)
+	}
+}
+
+// outcomeOf forces the main value of a finished state.
+func outcomeOf(s *State, fuel int) Outcome {
+	o := Outcome{Output: string(s.Out)}
+	if !s.Done {
+		o.Wedged = true
+		return o
+	}
+	if s.MainExc != nil {
+		o.Exc = s.MainExc.ExceptionName()
+		return o
+	}
+	o.Value = ForceValue(s.MainVal, fuel)
+	return o
+}
+
+// ForceValue evaluates a result term to (the printed form of) its
+// value; an exceptional or divergent forcing is reported in-band, the
+// way a top-level observer would see it.
+func ForceValue(t lambda.Term, fuel int) string {
+	if t == nil {
+		return "()"
+	}
+	ev := &lambda.Evaluator{Fuel: fuel}
+	v, e, err := ev.Eval(t)
+	switch {
+	case err != nil:
+		return "<diverges>"
+	case e != nil:
+		return "raise:" + e.ExceptionName()
+	default:
+		return v.String()
+	}
+}
+
+// Scheduler picks which enabled transition to apply.
+type Scheduler func(s *State, ts []Transition) int
+
+// RoundRobin returns a scheduler that rotates through threads,
+// mimicking the runtime's default policy.
+func RoundRobin() Scheduler {
+	var last ThreadID
+	return func(s *State, ts []Transition) int {
+		best := 0
+		for i, t := range ts {
+			if t.Thread > last {
+				best = i
+				break
+			}
+		}
+		last = ts[best].Thread
+		if allSameThread(ts) {
+			last = 0 // reset rotation when only one thread remains
+		}
+		return best
+	}
+}
+
+func allSameThread(ts []Transition) bool {
+	for _, t := range ts[1:] {
+		if t.Thread != ts[0].Thread {
+			return false
+		}
+	}
+	return true
+}
+
+// RandomScheduler picks uniformly with the given seed.
+func RandomScheduler(seed int64) Scheduler {
+	rng := rand.New(rand.NewSource(seed))
+	return func(s *State, ts []Transition) int { return rng.Intn(len(ts)) }
+}
+
+// TraceEntry records one applied transition.
+type TraceEntry struct {
+	Step   int
+	Rule   Rule
+	Thread ThreadID
+	Note   string
+}
+
+func (t TraceEntry) String() string {
+	if t.Note != "" {
+		return fmt.Sprintf("%4d  %-14s thread %d  (%s)", t.Step, t.Rule, t.Thread, t.Note)
+	}
+	return fmt.Sprintf("%4d  %-14s thread %d", t.Step, t.Rule, t.Thread)
+}
+
+// RunResult is the result of a scheduled run.
+type RunResult struct {
+	Outcome Outcome
+	Trace   []TraceEntry
+	Final   *State
+	// Coverage counts rule firings along the run.
+	Coverage map[Rule]int
+}
+
+// Run drives s with the scheduler until the program finishes, wedges,
+// or exceeds maxSteps.
+func Run(s *State, opts Options, sched Scheduler, maxSteps int) RunResult {
+	if sched == nil {
+		sched = RoundRobin()
+	}
+	if maxSteps <= 0 {
+		maxSteps = 100000
+	}
+	cov := map[Rule]int{}
+	var trace []TraceEntry
+	cur := s
+	for step := 1; step <= maxSteps; step++ {
+		if cur.Done {
+			return RunResult{Outcome: outcomeOf(cur, 100000), Trace: trace, Final: cur, Coverage: cov}
+		}
+		ts := Transitions(cur, opts)
+		if len(ts) == 0 {
+			return RunResult{Outcome: outcomeOf(cur, 100000), Trace: trace, Final: cur, Coverage: cov}
+		}
+		pick := sched(cur, ts)
+		if pick < 0 || pick >= len(ts) {
+			pick = 0
+		}
+		tr := ts[pick]
+		cov[tr.Rule]++
+		trace = append(trace, TraceEntry{Step: step, Rule: tr.Rule, Thread: tr.Thread, Note: tr.Note})
+		cur = tr.Next
+	}
+	o := outcomeOf(cur, 100000)
+	o.Cutoff = true
+	return RunResult{Outcome: o, Trace: trace, Final: cur, Coverage: cov}
+}
+
+// ExploreResult is the result of exhaustive interleaving exploration.
+type ExploreResult struct {
+	// Outcomes is the set of observable outcomes, keyed canonically.
+	Outcomes map[string]Outcome
+	// States is the number of distinct states visited.
+	States int
+	// Coverage counts, per rule, how many distinct transitions fired.
+	Coverage map[Rule]int
+	// Cutoff reports that limits truncated the exploration, so
+	// Outcomes is a lower bound.
+	Cutoff bool
+}
+
+// HasValue reports whether some outcome returned the given printed
+// value.
+func (r ExploreResult) HasValue(v string) bool {
+	for _, o := range r.Outcomes {
+		if !o.Wedged && o.Exc == "" && o.Value == v {
+			return true
+		}
+	}
+	return false
+}
+
+// HasException reports whether some outcome died with the named
+// exception.
+func (r ExploreResult) HasException(name string) bool {
+	for _, o := range r.Outcomes {
+		if o.Exc == name {
+			return true
+		}
+	}
+	return false
+}
+
+// HasDeadlock reports whether some outcome wedged.
+func (r ExploreResult) HasDeadlock() bool {
+	for _, o := range r.Outcomes {
+		if o.Wedged {
+			return true
+		}
+	}
+	return false
+}
+
+// OutcomeList returns outcomes sorted by key, for stable reporting.
+func (r ExploreResult) OutcomeList() []Outcome {
+	keys := make([]string, 0, len(r.Outcomes))
+	for k := range r.Outcomes {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]Outcome, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, r.Outcomes[k])
+	}
+	return out
+}
+
+// Limits bounds exhaustive exploration.
+type Limits struct {
+	// MaxStates bounds distinct states (default 200000).
+	MaxStates int
+	// MaxDepth bounds trace length (default 10000).
+	MaxDepth int
+}
+
+// Explore performs exhaustive depth-first exploration of every
+// interleaving of s (up to the limits), returning the set of
+// observable outcomes — the machine's definition of the program's
+// allowed behaviours.
+func Explore(s *State, opts Options, lim Limits) ExploreResult {
+	if lim.MaxStates <= 0 {
+		lim.MaxStates = 200000
+	}
+	if lim.MaxDepth <= 0 {
+		lim.MaxDepth = 10000
+	}
+	res := ExploreResult{Outcomes: map[string]Outcome{}, Coverage: map[Rule]int{}}
+	seen := map[string]bool{}
+
+	type frame struct {
+		st    *State
+		depth int
+	}
+	stack := []frame{{st: s, depth: 0}}
+	seen[s.Key()] = true
+
+	for len(stack) > 0 {
+		f := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		cur := f.st
+
+		if cur.Done {
+			o := outcomeOf(cur, 100000)
+			res.Outcomes[o.Key()] = o
+			continue
+		}
+		if f.depth >= lim.MaxDepth {
+			o := outcomeOf(cur, 100000)
+			o.Cutoff = true
+			res.Outcomes[o.Key()] = o
+			res.Cutoff = true
+			continue
+		}
+		ts := Transitions(cur, opts)
+		if len(ts) == 0 {
+			o := outcomeOf(cur, 100000)
+			res.Outcomes[o.Key()] = o
+			continue
+		}
+		for _, tr := range ts {
+			res.Coverage[tr.Rule]++
+			k := tr.Next.Key()
+			if seen[k] {
+				continue
+			}
+			if len(seen) >= lim.MaxStates {
+				res.Cutoff = true
+				continue
+			}
+			seen[k] = true
+			stack = append(stack, frame{st: tr.Next, depth: f.depth + 1})
+		}
+	}
+	res.States = len(seen)
+	return res
+}
+
+// CoverageReport formats rule coverage against AllRules.
+func CoverageReport(cov map[Rule]int) string {
+	var b strings.Builder
+	for _, r := range AllRules {
+		n := cov[r]
+		mark := " "
+		if n > 0 {
+			mark = "x"
+		}
+		fmt.Fprintf(&b, "  [%s] %-15s %d\n", mark, r, n)
+	}
+	return b.String()
+}

@@ -1,0 +1,141 @@
+package machine_test
+
+import (
+	"testing"
+
+	"asyncexc/internal/machine"
+)
+
+func TestEnvMayStallMakesPutCharStuckable(t *testing.T) {
+	// With the full Figure 5 environment nondeterminism, even putChar
+	// may become stuck first and then be woken by the environment.
+	res := machine.Explore(state(t, `putChar 'a'`, ""), machine.Options{EnvMayStall: true}, machine.Limits{})
+	if res.Coverage[machine.RuleStuckPutChar] == 0 {
+		t.Fatalf("StuckPutChar never offered: %v", res.Coverage)
+	}
+	// The outcome is nevertheless always the same: 'a' gets out.
+	for _, o := range res.Outcomes {
+		if o.Output != "a" {
+			t.Fatalf("outcome %v", o)
+		}
+	}
+}
+
+func TestEnvMayStallSleepMayFireEagerly(t *testing.T) {
+	res := machine.Explore(state(t, `sleep 5 >> putChar 'z'`, ""), machine.Options{EnvMayStall: true}, machine.Limits{})
+	for _, o := range res.Outcomes {
+		if o.Output != "z" {
+			t.Fatalf("outcome %v", o)
+		}
+	}
+	if res.Coverage[machine.RuleSleep] == 0 {
+		t.Fatalf("Sleep rule missing: %v", res.Coverage)
+	}
+}
+
+func TestRandomSchedulerRunsDeterministicallyPerSeed(t *testing.T) {
+	src := `do { forkIO (putChar 'a') ; forkIO (putChar 'b') ; sleep 1 ; putChar '.' }`
+	outFor := func(seed int64) string {
+		r := machine.Run(state(t, src, ""), machine.Options{}, machine.RandomScheduler(seed), 0)
+		return r.Outcome.Output
+	}
+	for seed := int64(0); seed < 10; seed++ {
+		if outFor(seed) != outFor(seed) {
+			t.Fatalf("seed %d not deterministic", seed)
+		}
+	}
+}
+
+func TestRunCutoffMarksOutcome(t *testing.T) {
+	// A divergent IO loop: rec loop -> putChar 'x' >> loop.
+	src := `rec loop -> putChar 'x' >>= \_ -> loop`
+	r := machine.Run(state(t, src, ""), machine.Options{}, machine.RoundRobin(), 50)
+	if !r.Outcome.Cutoff {
+		t.Fatalf("expected cutoff, got %v", r.Outcome)
+	}
+	if len(r.Outcome.Output) == 0 {
+		t.Fatalf("the loop should have produced output before the cutoff")
+	}
+}
+
+func TestExploreLimitsReportCutoff(t *testing.T) {
+	src := `rec loop -> putChar 'x' >>= \_ -> loop`
+	res := machine.Explore(state(t, src, ""), machine.Options{}, machine.Limits{MaxStates: 30, MaxDepth: 10})
+	if !res.Cutoff {
+		t.Fatal("expected exploration cutoff")
+	}
+}
+
+func TestForceValue(t *testing.T) {
+	cases := []struct{ src, want string }{
+		{`1 + 2`, "3"},
+		{`raise #Oops`, "raise:Dyn:Oops"},
+		{`rec loop -> loop`, "<diverges>"},
+		{`Just (1 + 1)`, "(Just (1 + 1))"}, // constructors stay lazy
+	}
+	for _, c := range cases {
+		term := mustParse(t, c.src)
+		if got := machine.ForceValue(term, 2000); got != c.want {
+			t.Errorf("ForceValue(%q) = %q, want %q", c.src, got, c.want)
+		}
+	}
+}
+
+func TestOutcomeKeysDistinguish(t *testing.T) {
+	a := machine.Outcome{Output: "x", Value: "1"}
+	b := machine.Outcome{Output: "x", Value: "2"}
+	c := machine.Outcome{Output: "x", Exc: "E"}
+	d := machine.Outcome{Output: "x", Wedged: true}
+	e := machine.Outcome{Output: "x", Cutoff: true}
+	keys := map[string]bool{}
+	for _, o := range []machine.Outcome{a, b, c, d, e} {
+		if keys[o.Key()] {
+			t.Fatalf("duplicate key %q", o.Key())
+		}
+		keys[o.Key()] = true
+	}
+}
+
+func TestInflightGCDropsOrphanExceptions(t *testing.T) {
+	// throwTo a thread that finishes before delivery: the in-flight
+	// exception must be collectable so exploration terminates in a
+	// Done state with no residue.
+	res := explore(t, `do { t <- forkIO (return ()) ; throwTo t #Orphan ; sleep 1 ; return 7 }`,
+		"", machine.Options{})
+	for _, o := range res.Outcomes {
+		if o.Wedged || o.Exc != "" || o.Value != "7" {
+			t.Fatalf("outcome %v", o)
+		}
+	}
+	if res.Coverage[machine.RuleInflightGC] == 0 {
+		t.Fatalf("InflightGC never fired: %v", res.Coverage)
+	}
+}
+
+func TestExploreGraphDOT(t *testing.T) {
+	graph, res := machine.ExploreGraph(
+		state(t, `do { m <- newEmptyMVar ; forkIO (putMVar m 1) ; takeMVar m }`, ""),
+		machine.Options{}, machine.Limits{})
+	if res.Cutoff || res.States == 0 {
+		t.Fatalf("graph exploration failed: %+v", res)
+	}
+	for _, want := range []string{"digraph exploration", "palegreen", "->", "Fork"} {
+		if !contains2(graph, want) {
+			t.Fatalf("DOT output missing %q:\n%s", want, graph)
+		}
+	}
+	// The unsafe-lock graph must show a red (wedged) node.
+	graph2, _ := machine.ExploreGraph(state(t, unsafeLockProg, ""), machine.Options{}, machine.Limits{})
+	if !contains2(graph2, "lightcoral") {
+		t.Fatal("the race's deadlock states should be coloured")
+	}
+}
+
+func contains2(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

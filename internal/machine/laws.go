@@ -1,0 +1,160 @@
+package machine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"asyncexc/internal/exc"
+	"asyncexc/internal/lambda"
+)
+
+// This file gives an executable approximation of the two theories the
+// paper's conclusion sketches (§11):
+//
+//   - "a simple equational theory": two programs are observationally
+//     equivalent when their exhaustively-explored outcome sets
+//     coincide (SameOutcomes), also in adversarial contexts that throw
+//     asynchronous exceptions at the program (UnderAdversary);
+//
+//   - "a more subtle theory based on a commitment ordering, where a
+//     process will approximate another if the latter is committed to
+//     performing at least the same operations as the former... for
+//     example, that finally a b is committed to performing the same
+//     operations as block b": CommittedTo checks that every outcome of
+//     a program performs a given observable operation (its output
+//     contains a marker), under every interleaving.
+//
+// These are checkers over finite-state programs, not proofs — but they
+// decide the properties exactly for the programs they are given, which
+// is what the law tests use them for.
+
+// OutcomeSet explores src exhaustively and returns its outcome set.
+func OutcomeSet(src, input string, opts Options, lim Limits) (map[string]Outcome, error) {
+	st, err := NewFromSource(src, input)
+	if err != nil {
+		return nil, err
+	}
+	res := Explore(st, opts, lim)
+	if res.Cutoff {
+		return nil, fmt.Errorf("machine: exploration of %q hit limits", src)
+	}
+	return res.Outcomes, nil
+}
+
+// SameOutcomes reports whether two programs have identical outcome
+// sets; when they differ, diff describes one witness from each side.
+func SameOutcomes(src1, src2, input string) (equal bool, diff string, err error) {
+	o1, err := OutcomeSet(src1, input, Options{}, Limits{})
+	if err != nil {
+		return false, "", err
+	}
+	o2, err := OutcomeSet(src2, input, Options{}, Limits{})
+	if err != nil {
+		return false, "", err
+	}
+	var only1, only2 []string
+	for k, o := range o1 {
+		if _, ok := o2[k]; !ok {
+			only1 = append(only1, o.String())
+		}
+	}
+	for k, o := range o2 {
+		if _, ok := o1[k]; !ok {
+			only2 = append(only2, o.String())
+		}
+	}
+	if len(only1) == 0 && len(only2) == 0 {
+		return true, "", nil
+	}
+	sort.Strings(only1)
+	sort.Strings(only2)
+	return false, fmt.Sprintf("only in first: %v; only in second: %v", only1, only2), nil
+}
+
+// UnderAdversary wraps a program body (with the hole written as the
+// body itself) in a context that forks n adversary threads, each
+// throwing one asynchronous exception at the main thread at an
+// arbitrary point — the canonical observing context for asynchronous-
+// exception laws. The whole program's result is the body's result.
+func UnderAdversary(body string, n int) string {
+	var b strings.Builder
+	b.WriteString("do { me <- myThreadId ; ")
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "forkIO (throwTo me #Adv%d) ; ", i)
+	}
+	b.WriteString(body)
+	b.WriteString(" }")
+	return b.String()
+}
+
+// EquivalentUnderAdversaries reports whether two bodies have the same
+// outcome sets standalone and under 1..maxAdversaries adversaries.
+func EquivalentUnderAdversaries(body1, body2, input string, maxAdversaries int) (bool, string, error) {
+	for n := 0; n <= maxAdversaries; n++ {
+		s1, s2 := body1, body2
+		if n > 0 {
+			s1, s2 = UnderAdversary(body1, n), UnderAdversary(body2, n)
+		}
+		eq, diff, err := SameOutcomes(s1, s2, input)
+		if err != nil {
+			return false, "", err
+		}
+		if !eq {
+			return false, fmt.Sprintf("with %d adversaries: %s", n, diff), nil
+		}
+	}
+	return true, "", nil
+}
+
+// NewWithAdversaries builds a state whose main thread (thread 1) runs
+// the body from its very first transition, with n extra threads each
+// throwing one asynchronous exception at it. Unlike UnderAdversary,
+// there is no prelude the adversary could kill before the body begins —
+// the right observing context for commitment properties, which speak
+// about the body as a process.
+func NewWithAdversaries(src, input string, n int) (*State, error) {
+	st, err := NewFromSource(src, input)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < n; i++ {
+		st.NextTID++
+		term := lambda.ThrowToT(lambda.TidName(1), lambda.Exc(exc.Dyn{Tag: fmt.Sprintf("Adv%d", i)}))
+		st.Threads = append(st.Threads, &Thread{ID: ThreadID(st.NextTID), Term: term})
+	}
+	return st, nil
+}
+
+// CommittedToState is CommittedTo over an already-built state.
+func CommittedToState(st *State, marker string) (bool, []Outcome, error) {
+	res := Explore(st, Options{}, Limits{})
+	if res.Cutoff {
+		return false, nil, fmt.Errorf("machine: exploration hit limits")
+	}
+	var violations []Outcome
+	for _, o := range res.Outcomes {
+		if !strings.Contains(o.Output, marker) {
+			violations = append(violations, o)
+		}
+	}
+	return len(violations) == 0, violations, nil
+}
+
+// CommittedTo reports whether every outcome of src (explored
+// exhaustively) has marker in its output — the program is committed to
+// performing the marked operation no matter how it is interrupted.
+// Violations lists outcomes that omitted it.
+func CommittedTo(src, input, marker string) (bool, []Outcome, error) {
+	outs, err := OutcomeSet(src, input, Options{}, Limits{})
+	if err != nil {
+		return false, nil, err
+	}
+	var violations []Outcome
+	for _, o := range outs {
+		if !strings.Contains(o.Output, marker) {
+			violations = append(violations, o)
+		}
+	}
+	return len(violations) == 0, violations, nil
+}

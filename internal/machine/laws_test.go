@@ -1,0 +1,232 @@
+package machine_test
+
+import (
+	"testing"
+
+	"asyncexc/internal/machine"
+)
+
+// The §11 conclusion sketches an equational theory and a commitment
+// theory for the combinators. These tests check concrete instances of
+// the laws by exhaustive outcome-set comparison, including under
+// adversarial contexts that throw asynchronous exceptions at the
+// program.
+
+func mustEquiv(t *testing.T, body1, body2 string, adversaries int) {
+	t.Helper()
+	eq, diff, err := machine.EquivalentUnderAdversaries(body1, body2, "", adversaries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eq {
+		t.Fatalf("programs differ: %s\n  p: %s\n  q: %s", diff, body1, body2)
+	}
+}
+
+func mustDiffer(t *testing.T, body1, body2 string, adversaries int) {
+	t.Helper()
+	eq, _, err := machine.EquivalentUnderAdversaries(body1, body2, "", adversaries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eq {
+		t.Fatalf("programs unexpectedly equivalent:\n  p: %s\n  q: %s", body1, body2)
+	}
+}
+
+// --- Monad laws (observable fragment) --------------------------------------
+
+func TestLawLeftIdentity(t *testing.T) {
+	// return x >>= f  ≡  f x
+	mustEquiv(t,
+		`return 5 >>= \x -> putChar 'a' >> return (x + 1)`,
+		`(\x -> putChar 'a' >> return (x + 1)) 5`,
+		1)
+}
+
+func TestLawRightIdentity(t *testing.T) {
+	// m >>= return  ≡  m
+	mustEquiv(t,
+		`(putChar 'a' >> return 3) >>= \x -> return x`,
+		`putChar 'a' >> return 3`,
+		1)
+}
+
+func TestLawAssociativity(t *testing.T) {
+	// (m >>= f) >>= g  ≡  m >>= (\x -> f x >>= g)
+	mustEquiv(t,
+		`(getChar >>= \c -> putChar c >> return c) >>= \c -> putChar c >> return 0`,
+		`getChar >>= \c -> ((putChar c >> return c) >>= \d -> putChar d >> return 0)`,
+		1)
+}
+
+// --- Masking laws (§5.2) -----------------------------------------------------
+
+func TestLawNestedBlockIdempotent(t *testing.T) {
+	// block (block M)  ≡  block M — no counting of scopes.
+	mustEquiv(t,
+		`block (block (putChar 'a' >> putChar 'b')) >> return 0`,
+		`block (putChar 'a' >> putChar 'b') >> return 0`,
+		2)
+}
+
+func TestLawUnblockInUnblockedContextIsIdentity(t *testing.T) {
+	// At top level the thread is already unblocked, so unblock M ≡ M.
+	mustEquiv(t,
+		`unblock (putChar 'a' >> putChar 'b') >> return 0`,
+		`(putChar 'a' >> putChar 'b') >> return 0`,
+		2)
+}
+
+func TestLawBlockIsNotIdentity(t *testing.T) {
+	// The control: block M is NOT equivalent to M under an adversary —
+	// masking is observable.
+	mustDiffer(t,
+		`block (putChar 'a' >> putChar 'b') >> return 0`,
+		`(putChar 'a' >> putChar 'b') >> return 0`,
+		1)
+}
+
+func TestLawUnblockUndoesBlock(t *testing.T) {
+	// block (unblock M) ≡ M when the context is unblocked (§5.2:
+	// unblock always unblocks, regardless of context).
+	mustEquiv(t,
+		`block (unblock (putChar 'a' >> putChar 'b')) >> return 0`,
+		`(putChar 'a' >> putChar 'b') >> return 0`,
+		2)
+}
+
+// --- Catch laws ------------------------------------------------------------------
+
+func TestLawHandleIsTransparentSynchronously(t *testing.T) {
+	// catch (return x) H ≡ return x holds with no interference (rule
+	// Handle discards the handler without running it) ...
+	mustEquiv(t,
+		`catch (return 7) (\e -> return 0) >>= \x -> putChar 'v' >> return x`,
+		`return 7 >>= \x -> putChar 'v' >> return x`,
+		0)
+}
+
+func TestLawHandleNotTransparentUnderAdversary(t *testing.T) {
+	// ... but NOT under an adversary: the handler can intercept an
+	// asynchronous exception delivered while the catch frame is live,
+	// producing an outcome (x = 0, still printing 'v') the bare
+	// program cannot. A synchronous-only law — one of the §9 cautions
+	// about code written without asynchronous exceptions in mind.
+	mustDiffer(t,
+		`catch (return 7) (\e -> return 0) >>= \x -> putChar 'v' >> return x`,
+		`return 7 >>= \x -> putChar 'v' >> return x`,
+		1)
+}
+
+func TestLawCatchThrowIsHandler(t *testing.T) {
+	// catch (throw e) H ≡ H e (synchronous case).
+	mustEquiv(t,
+		`catch (throw #E) (\e -> putChar 'h' >> return 1)`,
+		`(\e -> putChar 'h' >> return 1) #E`,
+		1)
+}
+
+// --- The commitment conjecture (§11) ------------------------------------------------
+
+// finallyTerm encodes the paper's finally (§7.1) in the term language,
+// applied to body a and cleanup b.
+func finallyTerm(a, b string) string {
+	return `block (catch (unblock (` + a + `)) (\e -> (` + b + `) >>= \_ -> throw e) >>= \r -> (` + b + `) >>= \_ -> return r)`
+}
+
+func TestCommitmentFinallyPerformsCleanup(t *testing.T) {
+	// The paper's example: "finally a b is committed to performing the
+	// same operations as block b". The main thread IS the finally (no
+	// killable prelude); with the cleanup printing 'b', every outcome
+	// under an adversary must contain 'b'.
+	st, err := machine.NewWithAdversaries(finallyTerm(`putChar 'a'`, `putChar 'b'`), "", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, violations, err := machine.CommittedToState(st, "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatalf("finally lost its cleanup in %d outcome(s): %v", len(violations), violations)
+	}
+}
+
+func TestCommitmentFinallySurvivesTwoExceptions(t *testing.T) {
+	// The cleanup runs inside block (§7.1's signal-handler analogy), so
+	// even a second asynchronous exception cannot prevent it.
+	st, err := machine.NewWithAdversaries(finallyTerm(`putChar 'a'`, `putChar 'b'`), "", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, violations, err := machine.CommittedToState(st, "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatalf("finally lost its cleanup under two exceptions: %v", violations)
+	}
+}
+
+func TestCommitmentPlainSequenceIsNotCommitted(t *testing.T) {
+	// The control: without finally, the exception can land before the
+	// cleanup, so some outcome omits 'b'.
+	prog := machine.UnderAdversary(`(putChar 'a' >> putChar 'b') >> return 0`, 1)
+	ok, _, err := machine.CommittedTo(prog, "", "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("unprotected sequence should not be committed to its second action")
+	}
+}
+
+func TestCommitmentNaiveFinallyIsBroken(t *testing.T) {
+	// A finally written without block — catch alone — loses its
+	// cleanup when a second exception arrives during the handler, or
+	// when the first lands after the body but before the cleanup.
+	naive := `catch (putChar 'a') (\e -> putChar 'b' >>= \_ -> throw e) >>= \r -> putChar 'b' >>= \_ -> return r`
+	prog := machine.UnderAdversary(naive+` >> return 0`, 1)
+	ok, _, err := machine.CommittedTo(prog, "", "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("the unmasked finally should be breakable by an adversary")
+	}
+}
+
+// --- Timeout interference (§9's broken-combinator scenario) ---------------------------
+
+func TestUniversalHandlerCanSwallowAdversaryException(t *testing.T) {
+	// §9: "sequential code that was written without thought of
+	// asynchronous exceptions may break assumptions of our
+	// combinators" — e `catch` \_ -> e' can intercept an exception
+	// meant to cancel it. Observable here: with a universal handler
+	// the program can survive the adversary and still print 's'.
+	prog := machine.UnderAdversary(
+		`catch (putChar 'w' >> putChar 'w') (\e -> return ()) >>= \_ -> putChar 's' >> return 0`, 1)
+	outs, err := machine.OutcomeSet(prog, "", machine.Options{}, machine.Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	survived := false
+	for _, o := range outs {
+		if o.Exc == "" && !o.Wedged && contains(o.Output, 's') {
+			survived = true
+		}
+	}
+	if !survived {
+		t.Fatal("the universal handler should be able to swallow the kill")
+	}
+}
+
+func contains(s string, c byte) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] == c {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,364 @@
+package machine_test
+
+import (
+	"strings"
+	"testing"
+
+	"asyncexc/internal/machine"
+)
+
+func state(t *testing.T, src, input string) *machine.State {
+	t.Helper()
+	s, err := machine.NewFromSource(src, input)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return s
+}
+
+func runRR(t *testing.T, src, input string) machine.RunResult {
+	t.Helper()
+	return machine.Run(state(t, src, input), machine.Options{}, machine.RoundRobin(), 0)
+}
+
+func explore(t *testing.T, src, input string, opts machine.Options) machine.ExploreResult {
+	t.Helper()
+	res := machine.Explore(state(t, src, input), opts, machine.Limits{})
+	if res.Cutoff {
+		t.Fatalf("exploration hit limits for %q", src)
+	}
+	return res
+}
+
+// --- Deterministic runs of Figure 4 programs ----------------------------
+
+func TestRunHelloOutput(t *testing.T) {
+	r := runRR(t, `putChar 'h' >> putChar 'i'`, "")
+	if r.Outcome.Output != "hi" || r.Outcome.Exc != "" || r.Outcome.Wedged {
+		t.Fatalf("outcome %v", r.Outcome)
+	}
+}
+
+func TestRunEcho(t *testing.T) {
+	r := runRR(t, `do { c <- getChar ; putChar c ; d <- getChar ; putChar d }`, "ok")
+	if r.Outcome.Output != "ok" {
+		t.Fatalf("outcome %v", r.Outcome)
+	}
+}
+
+func TestRunPureResult(t *testing.T) {
+	r := runRR(t, `return (6 * 7)`, "")
+	if r.Outcome.Value != "42" {
+		t.Fatalf("outcome %v", r.Outcome)
+	}
+}
+
+func TestRunMVarHandoff(t *testing.T) {
+	r := runRR(t, `do { m <- newEmptyMVar ; forkIO (putMVar m 42) ; takeMVar m }`, "")
+	if r.Outcome.Value != "42" {
+		t.Fatalf("outcome %v", r.Outcome)
+	}
+}
+
+func TestRunCatchThrow(t *testing.T) {
+	r := runRR(t, `catch (throw #Boom >>= \x -> return 0) (\e -> return 1)`, "")
+	if r.Outcome.Value != "1" {
+		t.Fatalf("outcome %v", r.Outcome)
+	}
+	if r.Coverage[machine.RulePropagate] == 0 || r.Coverage[machine.RuleCatch] == 0 {
+		t.Fatalf("expected Propagate and Catch to fire: %v", r.Coverage)
+	}
+}
+
+func TestRunUncaughtKillsMain(t *testing.T) {
+	r := runRR(t, `putChar 'a' >> throw #Boom`, "")
+	if r.Outcome.Exc != "Dyn:Boom" || r.Outcome.Output != "a" {
+		t.Fatalf("outcome %v", r.Outcome)
+	}
+}
+
+func TestRunDeadlockWedges(t *testing.T) {
+	r := runRR(t, `do { m <- newEmptyMVar ; takeMVar m }`, "")
+	if !r.Outcome.Wedged {
+		t.Fatalf("outcome %v, want deadlock", r.Outcome)
+	}
+	if r.Coverage[machine.RuleStuckTakeMVar] == 0 {
+		t.Fatalf("StuckTakeMVar should have fired: %v", r.Coverage)
+	}
+}
+
+func TestRunSleepAdvancesClock(t *testing.T) {
+	r := runRR(t, `sleep 50 >> return 9`, "")
+	if r.Outcome.Value != "9" {
+		t.Fatalf("outcome %v", r.Outcome)
+	}
+	if r.Final.Time < 50 {
+		t.Fatalf("clock %d, want >= 50 (rule Sleep: at least d)", r.Final.Time)
+	}
+}
+
+func TestRunThrowToInterruptsStuckThread(t *testing.T) {
+	r := runRR(t, `
+		do { m <- newEmptyMVar ;
+		     done <- newEmptyMVar ;
+		     t <- forkIO (catch (takeMVar m >>= \x -> return ())
+		                        (\e -> putMVar done 'k')) ;
+		     throwTo t #KillThread ;
+		     c <- takeMVar done ;
+		     putChar c }`, "")
+	if r.Outcome.Output != "k" {
+		t.Fatalf("outcome %v", r.Outcome)
+	}
+	if r.Coverage[machine.RuleInterrupt] == 0 {
+		t.Fatalf("Interrupt should have fired: %v", r.Coverage)
+	}
+}
+
+// --- Fork mask inheritance (revised Fork rule of Figure 5) ----------------
+
+func TestForkInheritsBlockedContext(t *testing.T) {
+	s := state(t, `block (forkIO (putChar 'c') >>= \t -> return ())`, "")
+	ts := machine.Transitions(s, machine.Options{})
+	var forked *machine.State
+	for _, tr := range ts {
+		if tr.Rule == machine.RuleFork {
+			forked = tr.Next
+		}
+	}
+	if forked == nil {
+		t.Fatalf("no Fork transition in %v", ts)
+	}
+	if len(forked.Threads) != 2 {
+		t.Fatalf("threads: %d", len(forked.Threads))
+	}
+	child := forked.Threads[1]
+	if got := child.Term.String(); got != "(block (putChar 'c'))" {
+		t.Fatalf("child term %s; the child must inherit the blocked context", got)
+	}
+}
+
+func TestForkUnblockedChildIsBare(t *testing.T) {
+	s := state(t, `forkIO (putChar 'c') >>= \t -> return ()`, "")
+	ts := machine.Transitions(s, machine.Options{})
+	for _, tr := range ts {
+		if tr.Rule == machine.RuleFork {
+			child := tr.Next.Threads[1]
+			if got := child.Term.String(); got != "(putChar 'c')" {
+				t.Fatalf("child term %s", got)
+			}
+			return
+		}
+	}
+	t.Fatal("no Fork transition")
+}
+
+// --- Exhaustive exploration ------------------------------------------------
+
+func TestExploreMVarAllPathsDeliver(t *testing.T) {
+	res := explore(t, `do { m <- newEmptyMVar ; forkIO (putMVar m 42) ; takeMVar m }`, "", machine.Options{})
+	for _, o := range res.Outcomes {
+		if o.Wedged || o.Exc != "" || o.Value != "42" {
+			t.Fatalf("unexpected outcome %v", o)
+		}
+	}
+}
+
+// TestExploreMaskedPairIsAtomic: an asynchronous exception cannot split
+// a masked pair of effects — the output is "ab" (delivery after the
+// block, or never) or "abx" (delivery between block exit and the end,
+// caught), but never "a" alone.
+func TestExploreMaskedPairIsAtomic(t *testing.T) {
+	res := explore(t, `
+		do { m <- newEmptyMVar ;
+		     t <- forkIO (catch (block (putChar 'a' >> putChar 'b' >> putMVar m 0))
+		                        (\e -> putChar 'x' >> putMVar m 0)) ;
+		     throwTo t #KillThread ;
+		     takeMVar m }`, "", machine.Options{})
+	for _, o := range res.Outcomes {
+		if o.Wedged {
+			t.Fatalf("deadlock outcome: %v", o)
+		}
+		if o.Output != "ab" && o.Output != "abx" {
+			t.Fatalf("output %q splits the masked pair", o.Output)
+		}
+	}
+	// Both behaviours must be reachable.
+	found := map[string]bool{}
+	for _, o := range res.Outcomes {
+		found[o.Output] = true
+	}
+	if !found["ab"] || !found["abx"] {
+		t.Fatalf("expected both ab and abx reachable, got %v", found)
+	}
+}
+
+// TestExploreUnmaskedPairCanBeSplit is the control: without block the
+// exception can land between the two putChars.
+func TestExploreUnmaskedPairCanBeSplit(t *testing.T) {
+	res := explore(t, `
+		do { m <- newEmptyMVar ;
+		     t <- forkIO ((catch (putChar 'a' >> putChar 'b')
+		                         (\e -> putChar 'x')) >> putMVar m 0) ;
+		     throwTo t #KillThread ;
+		     takeMVar m }`, "", machine.Options{})
+	split := false
+	for _, o := range res.Outcomes {
+		if o.Output == "ax" || o.Output == "x" {
+			split = true
+		}
+	}
+	if !split {
+		t.Fatalf("expected a split output; outcomes: %v", res.OutcomeList())
+	}
+}
+
+// --- The §5.1 locking race, verified exhaustively (E1/E2) -------------------
+
+const unsafeLockProg = `
+	do { m <- newEmptyMVar ;
+	     putMVar m 100 ;
+	     t <- forkIO (do { a <- takeMVar m ;
+	                       b <- catch (return (a + 1))
+	                                  (\e -> putMVar m a >> throw e) ;
+	                       putMVar m b }) ;
+	     throwTo t #KillThread ;
+	     takeMVar m }`
+
+const safeLockProg = `
+	do { m <- newEmptyMVar ;
+	     putMVar m 100 ;
+	     t <- forkIO (block (do { a <- takeMVar m ;
+	                              b <- catch (unblock (return (a + 1)))
+	                                         (\e -> putMVar m a >> throw e) ;
+	                              putMVar m b })) ;
+	     throwTo t #KillThread ;
+	     takeMVar m }`
+
+func TestExploreUnsafeLockingReachesLostLock(t *testing.T) {
+	res := explore(t, unsafeLockProg, "", machine.Options{})
+	if !res.HasDeadlock() {
+		t.Fatalf("the §5.1 race must be reachable; outcomes: %v", res.OutcomeList())
+	}
+	if !res.HasValue("100") && !res.HasValue("101") {
+		t.Fatalf("some interleaving should succeed; outcomes: %v", res.OutcomeList())
+	}
+}
+
+func TestExploreSafeLockingNeverLosesLock(t *testing.T) {
+	res := explore(t, safeLockProg, "", machine.Options{})
+	if res.HasDeadlock() {
+		t.Fatalf("safe locking must never lose the lock; outcomes: %v", res.OutcomeList())
+	}
+	for _, o := range res.Outcomes {
+		if o.Exc != "" {
+			t.Fatalf("main should not die: %v", o)
+		}
+		if o.Value != "100" && o.Value != "101" {
+			t.Fatalf("state corrupted: %v", o)
+		}
+	}
+}
+
+// --- Interruptible operations at the machine level (E3) ---------------------
+
+func TestExploreBlockedTakeIsInterruptible(t *testing.T) {
+	// The child is stuck on takeMVar inside block; rule (Interrupt)
+	// must be able to reach it, so no outcome deadlocks.
+	res := explore(t, `
+		do { m <- newEmptyMVar ;
+		     done <- newEmptyMVar ;
+		     t <- forkIO (block (catch (takeMVar m >>= \x -> return ())
+		                               (\e -> putMVar done 1))) ;
+		     throwTo t #KillThread ;
+		     takeMVar done }`, "", machine.Options{})
+	if res.HasDeadlock() {
+		t.Fatalf("blocked takeMVar must be interruptible; outcomes: %v", res.OutcomeList())
+	}
+	if res.Coverage[machine.RuleInterrupt] == 0 {
+		t.Fatalf("Interrupt never fired")
+	}
+}
+
+// --- Rule coverage across the suite (experiments F4/F5) ---------------------
+
+func TestRuleCoverageComplete(t *testing.T) {
+	programs := []struct {
+		src   string
+		input string
+		opts  machine.Options
+	}{
+		{`putChar 'h' >> putChar 'i'`, "", machine.Options{EnvMayStall: true}},
+		{`do { c <- getChar ; putChar c }`, "x", machine.Options{}},
+		{`getChar`, "", machine.Options{}},
+		{`sleep 5 >> return 3`, "", machine.Options{EnvMayStall: true}},
+		{`do { m <- newEmptyMVar ; forkIO (sleep 2 >> putMVar m 7) ; takeMVar m }`, "", machine.Options{}},
+		{`do { m <- newEmptyMVar ; putMVar m 1 ; forkIO (putMVar m 2) ; a <- takeMVar m ; b <- takeMVar m ; return (a + b) }`, "", machine.Options{}},
+		{`myThreadId >>= \t -> return 0`, "", machine.Options{}},
+		{`catch (throw #X >>= \x -> return x) (\e -> return 1)`, "", machine.Options{}},
+		{`catch (return 1) (\e -> return 2)`, "", machine.Options{}},
+		{`putChar (raise #Boom)`, "", machine.Options{}},
+		{`block (return 1) >>= \x -> return x`, "", machine.Options{}},
+		{`unblock (return 1) >>= \x -> return x`, "", machine.Options{}},
+		{`catch (block (throw #X)) (\e -> return 0)`, "", machine.Options{}},
+		{`catch (unblock (throw #X)) (\e -> return 0)`, "", machine.Options{}},
+		{unsafeLockProg, "", machine.Options{}},
+		{safeLockProg, "", machine.Options{}},
+		{`do { m <- newEmptyMVar ; t <- forkIO (catch (takeMVar m >>= \x -> return ()) (\e -> putMVar m 1)) ; throwTo t #KillThread ; takeMVar m }`, "", machine.Options{}},
+		{`do { t <- forkIO (return ()) ; throwTo t #X ; sleep 1 ; return 0 }`, "", machine.Options{}},
+		{`do { t <- forkIO (throw #Die) ; sleep 1 ; return 0 }`, "", machine.Options{}},
+	}
+	cov := map[machine.Rule]int{}
+	for _, p := range programs {
+		res := machine.Explore(state(t, p.src, p.input), p.opts, machine.Limits{})
+		for r, n := range res.Coverage {
+			cov[r] += n
+		}
+	}
+	var missing []string
+	for _, r := range machine.AllRules {
+		if cov[r] == 0 {
+			missing = append(missing, string(r))
+		}
+	}
+	if len(missing) > 0 {
+		t.Fatalf("rules never fired: %s\n%s", strings.Join(missing, ", "), machine.CoverageReport(cov))
+	}
+}
+
+// --- Structural canonicalization (Figure 3) ---------------------------------
+
+func TestStructuralCanonicalization(t *testing.T) {
+	// Two states that differ only in thread list order have the same
+	// canonical key (the Figure 3 congruence quotient).
+	s1 := state(t, `forkIO (putChar 'x') >> return ()`, "")
+	ts := machine.Transitions(s1, machine.Options{})
+	if ts[0].Rule != machine.RuleFork {
+		t.Fatalf("expected Fork first, got %v", ts[0].Rule)
+	}
+	after := ts[0].Next
+	swapped := after.Clone()
+	swapped.Threads[0], swapped.Threads[1] = swapped.Threads[1], swapped.Threads[0]
+	if after.Key() != swapped.Key() {
+		t.Fatalf("keys differ under thread permutation:\n%s\n%s", after.Key(), swapped.Key())
+	}
+}
+
+// --- Nondeterministic sleep ordering (rule Sleep underspecification) --------
+
+func TestExploreSleepOrderIsNondeterministic(t *testing.T) {
+	// Two sleepers with different durations: the paper's (Sleep) rule
+	// only guarantees "at least d", so both wake orders are legal and
+	// exploration must find both outputs.
+	res := explore(t, `
+		do { forkIO (sleep 10 >> putChar 'a') ;
+		     forkIO (sleep 99 >> putChar 'b') ;
+		     sleep 1000 ;
+		     putChar '.' }`, "", machine.Options{})
+	outputs := map[string]bool{}
+	for _, o := range res.Outcomes {
+		outputs[o.Output] = true
+	}
+	if !outputs["ab."] || !outputs["ba."] {
+		t.Fatalf("want both ab. and ba. reachable, got %v", outputs)
+	}
+}

@@ -1,0 +1,125 @@
+package machine_test
+
+import (
+	"strings"
+	"testing"
+
+	"asyncexc/internal/lambda"
+	"asyncexc/internal/machine"
+)
+
+// These tests verify the §7 prelude — the paper's combinators written
+// in the paper's own term language — at the semantics level.
+
+func explorePrelude(t *testing.T, body string, maxStates int) machine.ExploreResult {
+	t.Helper()
+	term, err := lambda.ParseWithPrelude(body)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	st := machine.New(term, "")
+	res := machine.Explore(st, machine.Options{}, machine.Limits{MaxStates: maxStates})
+	if res.Cutoff {
+		t.Fatalf("exploration hit limits (%d states)", res.States)
+	}
+	return res
+}
+
+// TestPreludeTimeoutOutcomes: timeout t a yields Just a's result or
+// Nothing — and, per the deliberately loose clock of rule (Sleep),
+// BOTH are always reachable: the timer may fire arbitrarily late
+// (computation wins) or the scheduler may deliver the clock signal
+// first (timer wins). Crucially nothing else is reachable: no
+// deadlock, no leaked KillThread.
+func TestPreludeTimeoutOutcomes(t *testing.T) {
+	res := explorePrelude(t, `timeout 5 (sleep 2 >>= \_ -> return 1)`, 1_000_000)
+	sawJust, sawNothing := false, false
+	for _, o := range res.Outcomes {
+		switch {
+		case o.Wedged:
+			t.Fatalf("deadlock: %v", o)
+		case o.Exc != "":
+			t.Fatalf("leaked exception: %v", o)
+		case o.Value == "(Just 1)":
+			sawJust = true
+		case o.Value == "Nothing":
+			sawNothing = true
+		default:
+			t.Fatalf("unexpected value %q", o.Value)
+		}
+	}
+	if !sawJust || !sawNothing {
+		t.Fatalf("both outcomes must be reachable (just=%v nothing=%v)", sawJust, sawNothing)
+	}
+	t.Logf("explored %d states", res.States)
+}
+
+// TestPreludeFinallyCommitted re-proves the §11 commitment property
+// for the prelude's own finally definition.
+func TestPreludeFinallyCommitted(t *testing.T) {
+	term, err := lambda.ParseWithPrelude(`finally (putChar 'a') (putChar 'b')`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := machine.New(term, "")
+	// Add one adversary by hand (NewWithAdversaries only takes source).
+	st.NextTID++
+	st.Threads = append(st.Threads, &machine.Thread{
+		ID:   machine.ThreadID(st.NextTID),
+		Term: lambda.MustParse(`throwTo t #Adv`),
+	})
+	// Patch the free variable t to thread 1.
+	st.Threads[1].Term = lambda.Subst(st.Threads[1].Term, "t", lambda.TidName(1))
+	// Through a definition there is one pure Eval step between
+	// entering `finally a b` and its block taking effect, so the
+	// adversary may kill the thread before the combinator starts —
+	// exactly as in GHC, where mask protects only once executed. The
+	// commitment property is therefore prefix-closed: no outcome may
+	// perform a ('a') without also performing b ('b').
+	res := machine.Explore(st, machine.Options{}, machine.Limits{})
+	if res.Cutoff {
+		t.Fatal("exploration cutoff")
+	}
+	for _, o := range res.Outcomes {
+		hasA := strings.Contains(o.Output, "a")
+		hasB := strings.Contains(o.Output, "b")
+		if hasA && !hasB {
+			t.Fatalf("a performed without its cleanup: %v", o)
+		}
+	}
+}
+
+// TestPreludeBracketReleases: bracket's release happens on success and
+// on a failing body.
+func TestPreludeBracketReleases(t *testing.T) {
+	res := explorePrelude(t,
+		`bracket (return 1) (\h -> putChar 'u' >>= \_ -> return 2) (\h -> putChar 'r')`, 100000)
+	for _, o := range res.Outcomes {
+		if o.Output != "ur" || o.Value != "2" {
+			t.Fatalf("outcome %v", o)
+		}
+	}
+	res2 := explorePrelude(t,
+		`catch (bracket (return 1) (\h -> throw #Use) (\h -> putChar 'r')) (\e -> return 9)`, 100000)
+	for _, o := range res2.Outcomes {
+		if o.Output != "r" || o.Value != "9" {
+			t.Fatalf("outcome %v", o)
+		}
+	}
+}
+
+// TestPreludeEitherAgreesWithHandWritten: the prelude's either and the
+// either_test.go transcription explore to the same outcome sets.
+func TestPreludeEitherAgreesWithHandWritten(t *testing.T) {
+	res := explorePrelude(t, `either (return 1) (return 2)`, 200000)
+	vals := map[string]bool{}
+	for _, o := range res.Outcomes {
+		if o.Wedged || o.Exc != "" {
+			t.Fatalf("outcome %v", o)
+		}
+		vals[o.Value] = true
+	}
+	if !vals["(Left 1)"] || !vals["(Right 2)"] || len(vals) != 2 {
+		t.Fatalf("values %v", vals)
+	}
+}

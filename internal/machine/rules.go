@@ -1,0 +1,513 @@
+package machine
+
+import (
+	"fmt"
+
+	"asyncexc/internal/exc"
+	"asyncexc/internal/lambda"
+)
+
+// Rule names one transition rule of Figures 4 and 5 (plus the two
+// administrative rules documented in DESIGN.md).
+type Rule string
+
+// Figure 4 rules.
+const (
+	RuleBind      Rule = "Bind"
+	RulePutChar   Rule = "PutChar"
+	RuleGetChar   Rule = "GetChar"
+	RuleSleep     Rule = "Sleep"
+	RulePutMVar   Rule = "PutMVar"
+	RuleTakeMVar  Rule = "TakeMVar"
+	RuleNewMVar   Rule = "NewMVar"
+	RuleFork      Rule = "Fork"
+	RuleThreadID  Rule = "ThreadId"
+	RulePropagate Rule = "Propagate"
+	RuleCatch     Rule = "Catch"
+	RuleHandle    Rule = "Handle"
+	RuleReturnGC  Rule = "ReturnGC"
+	RuleThrowGC   Rule = "ThrowGC"
+	RuleProcGC    Rule = "ProcGC"
+	RuleEval      Rule = "Eval"
+	RuleRaise     Rule = "Raise"
+)
+
+// Figure 5 rules.
+const (
+	RuleBlockReturn   Rule = "BlockReturn"
+	RuleUnblockReturn Rule = "UnblockReturn"
+	RuleBlockThrow    Rule = "BlockThrow"
+	RuleUnblockThrow  Rule = "UnblockThrow"
+	RuleThrowTo       Rule = "ThrowTo"
+	RuleReceive       Rule = "Receive"
+	RuleInterrupt     Rule = "Interrupt"
+	RuleStuckPutChar  Rule = "StuckPutChar"
+	RuleStuckGetChar  Rule = "StuckGetChar"
+	RuleStuckSleep    Rule = "StuckSleep"
+	RuleStuckPutMVar  Rule = "StuckPutMVar"
+	RuleStuckTakeMVar Rule = "StuckTakeMVar"
+)
+
+// Administrative rules (see DESIGN.md §5: justified by §5's "throwTo
+// to a dead thread trivially succeeds" and by rule (Proc GC)).
+const (
+	RuleInflightGC Rule = "InflightGC"
+)
+
+// AllRules lists every rule, for coverage reports.
+var AllRules = []Rule{
+	RuleBind, RulePutChar, RuleGetChar, RuleSleep, RulePutMVar,
+	RuleTakeMVar, RuleNewMVar, RuleFork, RuleThreadID, RulePropagate,
+	RuleCatch, RuleHandle, RuleReturnGC, RuleThrowGC, RuleProcGC,
+	RuleEval, RuleRaise,
+	RuleBlockReturn, RuleUnblockReturn, RuleBlockThrow, RuleUnblockThrow,
+	RuleThrowTo, RuleReceive, RuleInterrupt,
+	RuleStuckPutChar, RuleStuckGetChar, RuleStuckSleep,
+	RuleStuckPutMVar, RuleStuckTakeMVar,
+	RuleInflightGC,
+}
+
+// Transition is one enabled step: applying it yields Next.
+type Transition struct {
+	Rule   Rule
+	Thread ThreadID // 0 for global administrative rules
+	Note   string
+	Next   *State
+}
+
+// Options configures the transition relation.
+type Options struct {
+	// EnvMayStall enables the full environment nondeterminism of
+	// Figure 5: putChar/getChar "may immediately become stuck" even
+	// when the console could accept or supply a character. Off by
+	// default, which models a console that always accepts output and
+	// supplies buffered input promptly (threads still become stuck
+	// when input is exhausted).
+	EnvMayStall bool
+	// EvalFuel bounds inner evaluation (rule Eval); 0 means default.
+	EvalFuel int
+}
+
+// Transitions enumerates every transition enabled in s. The order is
+// deterministic (threads by position, rules in a fixed order) so that
+// index-based schedulers are reproducible.
+func Transitions(s *State, opts Options) []Transition {
+	if s.Done {
+		return nil
+	}
+	fuel := opts.EvalFuel
+	if fuel <= 0 {
+		fuel = 100000
+	}
+	var out []Transition
+
+	for ti := range s.Threads {
+		th := s.Threads[ti]
+		frames, redex := Decompose(th.Term)
+		blocked := Blocked(frames)
+
+		// --- Asynchronous delivery (Figure 5) ---
+		for fi, fl := range s.Inflight {
+			if fl.Target != th.ID {
+				continue
+			}
+			if th.Stuck {
+				// (Interrupt): a stuck thread may be interrupted in any
+				// context; it becomes runnable.
+				next := s.Clone()
+				nt := next.thread(th.ID)
+				nt.Term = ReplaceRedex(nt.Term, lambda.ThrowT(lambda.Exc(fl.E)))
+				nt.Stuck = false
+				nt.SleepUntil = 0
+				next.Inflight = append(append([]Inflight{}, next.Inflight[:fi]...), next.Inflight[fi+1:]...)
+				out = append(out, Transition{Rule: RuleInterrupt, Thread: th.ID,
+					Note: exc.Format(fl.E), Next: next})
+			} else if !blocked {
+				// (Receive): a runnable thread in an unblocked context
+				// may receive the exception. The side condition
+				// M ≠ block N is automatic: maximal decomposition never
+				// leaves a block/unblock at the redex.
+				next := s.Clone()
+				nt := next.thread(th.ID)
+				nt.Term = ReplaceRedex(nt.Term, lambda.ThrowT(lambda.Exc(fl.E)))
+				next.Inflight = append(append([]Inflight{}, next.Inflight[:fi]...), next.Inflight[fi+1:]...)
+				out = append(out, Transition{Rule: RuleReceive, Thread: th.ID,
+					Note: exc.Format(fl.E), Next: next})
+			}
+		}
+
+		if th.Stuck {
+			// Only the waking rules apply to a stuck thread.
+			out = append(out, wakeTransitions(s, th, redex)...)
+			continue
+		}
+
+		// --- (Eval) / (Raise) ---
+		if !redex.IsValue() {
+			ev := &lambda.Evaluator{Fuel: fuel}
+			v, e, err := ev.Eval(redex)
+			switch {
+			case err == lambda.ErrFuel:
+				// Divergent pure term: no transition (the thread is
+				// wedged, as a genuinely diverging term makes no
+				// progress in a big-step inner semantics).
+			case err != nil:
+				// Ill-formed pure term (unbound variable, non-function
+				// application): raise ErrorCall, matching the
+				// elaborating implementation so differential testing
+				// compares like with like. Well-typed programs never
+				// reach this case.
+				out = append(out, replaceTransition(s, th, RuleRaise,
+					lambda.ThrowT(lambda.Exc(exc.ErrorCall{Msg: err.Error()})), err.Error()))
+			case e != nil:
+				out = append(out, replaceTransition(s, th, RuleRaise,
+					lambda.ThrowT(lambda.Exc(e)), exc.Format(e)))
+			default:
+				out = append(out, replaceTransition(s, th, RuleEval, v, ""))
+			}
+			continue
+		}
+
+		mop, isMOp := redex.(lambda.MOp)
+		if !isMOp {
+			// A non-IO value at the evaluation site: a type-incorrect
+			// program (e.g. main = 42). No rule applies; the thread is
+			// wedged, mirroring the semantics having no transition.
+			continue
+		}
+
+		switch mop.Kind {
+		case lambda.OpReturn:
+			out = append(out, returnTransitions(s, th, frames, mop)...)
+
+		case lambda.OpThrow:
+			out = append(out, throwTransitions(s, th, frames, mop)...)
+
+		case lambda.OpPutChar:
+			out = append(out, wakeTransitions(s, th, redex)...)
+			if opts.EnvMayStall {
+				out = append(out, stuckTransition(s, th, RuleStuckPutChar, 0))
+			}
+
+		case lambda.OpGetChar:
+			out = append(out, wakeTransitions(s, th, redex)...)
+			if len(s.In) == 0 || opts.EnvMayStall {
+				out = append(out, stuckTransition(s, th, RuleStuckGetChar, 0))
+			}
+
+		case lambda.OpSleep:
+			d := intConst(mop.Args[0])
+			if d <= 0 {
+				out = append(out, replaceTransition(s, th, RuleSleep, lambda.RetUnit(), "0"))
+			} else {
+				out = append(out, stuckTransition(s, th, RuleStuckSleep, s.Time+d))
+				if opts.EnvMayStall {
+					// The clock signal may also arrive "immediately"
+					// with time jumping past the deadline.
+					next := s.Clone()
+					if s.Time+d > next.Time {
+						next.Time = s.Time + d
+					}
+					nt := next.thread(th.ID)
+					nt.Term = ReplaceRedex(nt.Term, lambda.RetUnit())
+					out = append(out, Transition{Rule: RuleSleep, Thread: th.ID,
+						Note: fmt.Sprintf("$%d", d), Next: next})
+				}
+			}
+
+		case lambda.OpPutMVar:
+			name := mvarConst(mop.Args[0])
+			mv := s.mvar(name)
+			if mv == nil {
+				continue // unknown MVar: wedged (ill-formed program)
+			}
+			if mv.Full {
+				out = append(out, stuckTransition(s, th, RuleStuckPutMVar, 0))
+			} else {
+				out = append(out, wakeTransitions(s, th, redex)...)
+			}
+
+		case lambda.OpTakeMVar:
+			name := mvarConst(mop.Args[0])
+			mv := s.mvar(name)
+			if mv == nil {
+				continue
+			}
+			if !mv.Full {
+				out = append(out, stuckTransition(s, th, RuleStuckTakeMVar, 0))
+			} else {
+				out = append(out, wakeTransitions(s, th, redex)...)
+			}
+
+		case lambda.OpNewEmptyMVar:
+			next := s.Clone()
+			next.NextMVar++
+			name := fmt.Sprintf("m%d", next.NextMVar)
+			next.MVars = append(next.MVars, &MVar{Name: name})
+			nt := next.thread(th.ID)
+			nt.Term = ReplaceRedex(nt.Term, lambda.Ret(lambda.MVarName(name)))
+			out = append(out, Transition{Rule: RuleNewMVar, Thread: th.ID, Note: name, Next: next})
+
+		case lambda.OpForkIO:
+			next := s.Clone()
+			next.NextTID++
+			child := mop.Args[0]
+			if Blocked(frames) {
+				// Revised (Fork) of Figure 5: the child inherits the
+				// blocked context.
+				child = lambda.BlockT(child)
+			}
+			next.Threads = append(next.Threads, &Thread{ID: ThreadID(next.NextTID), Term: child})
+			nt := next.thread(th.ID)
+			nt.Term = ReplaceRedex(nt.Term, lambda.Ret(lambda.TidName(next.NextTID)))
+			out = append(out, Transition{Rule: RuleFork, Thread: th.ID,
+				Note: fmt.Sprintf("child %d", next.NextTID), Next: next})
+
+		case lambda.OpMyThreadID:
+			out = append(out, replaceTransition(s, th, RuleThreadID,
+				lambda.Ret(lambda.TidName(int64(th.ID))), ""))
+
+		case lambda.OpThrowTo:
+			target := tidConst(mop.Args[0])
+			e := excConst(mop.Args[1])
+			next := s.Clone()
+			next.Inflight = append(next.Inflight, Inflight{Target: ThreadID(target), E: e})
+			nt := next.thread(th.ID)
+			nt.Term = ReplaceRedex(nt.Term, lambda.RetUnit())
+			out = append(out, Transition{Rule: RuleThrowTo, Thread: th.ID,
+				Note: fmt.Sprintf("%d <= %s", target, exc.Format(e)), Next: next})
+		}
+	}
+
+	// --- (InflightGC): drop exceptions aimed at finished threads ---
+	for fi, fl := range s.Inflight {
+		if s.thread(fl.Target) == nil {
+			next := s.Clone()
+			next.Inflight = append(append([]Inflight{}, next.Inflight[:fi]...), next.Inflight[fi+1:]...)
+			out = append(out, Transition{Rule: RuleInflightGC,
+				Note: fmt.Sprintf("%d <= %s", fl.Target, exc.Format(fl.E)), Next: next})
+		}
+	}
+
+	return out
+}
+
+// returnTransitions handles a `return N` redex: rules (Bind),
+// (Handle), (Block Return), (Unblock Return), (Return GC), (Proc GC).
+func returnTransitions(s *State, th *Thread, frames []CtxFrame, ret lambda.MOp) []Transition {
+	n := ret.Args[0]
+	if len(frames) == 0 {
+		next := s.Clone()
+		if th.ID == s.Main {
+			// (Return GC) + (Proc GC): the program is finished and all
+			// other threads die.
+			next.Done = true
+			next.MainVal = n
+			next.Threads = nil
+			next.Inflight = nil
+			return []Transition{{Rule: RuleProcGC, Thread: th.ID, Next: next}}
+		}
+		next.removeThread(th.ID)
+		return []Transition{{Rule: RuleReturnGC, Thread: th.ID, Next: next}}
+	}
+	inner := frames[len(frames)-1]
+	outer := frames[:len(frames)-1]
+	switch f := inner.(type) {
+	case BindK:
+		return []Transition{replaceWhole(s, th, RuleBind,
+			Recompose(outer, lambda.A(f.K, n)))}
+	case CatchK:
+		return []Transition{replaceWhole(s, th, RuleHandle,
+			Recompose(outer, ret))}
+	case MaskK:
+		rule := RuleBlockReturn
+		if !f.Blocked {
+			rule = RuleUnblockReturn
+		}
+		return []Transition{replaceWhole(s, th, rule, Recompose(outer, ret))}
+	}
+	return nil
+}
+
+// throwTransitions handles a `throw e` redex: rules (Propagate),
+// (Catch), (Block Throw), (Unblock Throw), (Throw GC).
+func throwTransitions(s *State, th *Thread, frames []CtxFrame, thr lambda.MOp) []Transition {
+	if len(frames) == 0 {
+		next := s.Clone()
+		if th.ID == s.Main {
+			next.Done = true
+			next.MainExc = excConst(thr.Args[0])
+			next.Threads = nil
+			next.Inflight = nil
+			return []Transition{{Rule: RuleProcGC, Thread: th.ID,
+				Note: "uncaught " + exc.Format(next.MainExc), Next: next}}
+		}
+		next.removeThread(th.ID)
+		return []Transition{{Rule: RuleThrowGC, Thread: th.ID, Next: next}}
+	}
+	inner := frames[len(frames)-1]
+	outer := frames[:len(frames)-1]
+	switch f := inner.(type) {
+	case BindK:
+		return []Transition{replaceWhole(s, th, RulePropagate, Recompose(outer, thr))}
+	case CatchK:
+		return []Transition{replaceWhole(s, th, RuleCatch,
+			Recompose(outer, lambda.A(f.H, thr.Args[0])))}
+	case MaskK:
+		rule := RuleBlockThrow
+		if !f.Blocked {
+			rule = RuleUnblockThrow
+		}
+		return []Transition{replaceWhole(s, th, rule, Recompose(outer, thr))}
+	}
+	return nil
+}
+
+// wakeTransitions implements the rules that complete (and, for stuck
+// threads, wake) the basic operations: (PutChar), (GetChar), (Sleep),
+// (PutMVar), (TakeMVar) in their Figure 5 forms that apply to both
+// runnable and stuck threads.
+func wakeTransitions(s *State, th *Thread, redex lambda.Term) []Transition {
+	mop, ok := redex.(lambda.MOp)
+	if !ok || !redex.IsValue() {
+		return nil
+	}
+	switch mop.Kind {
+	case lambda.OpPutChar:
+		ch := charConst(mop.Args[0])
+		next := s.Clone()
+		next.Out = append(next.Out, ch)
+		nt := next.thread(th.ID)
+		nt.Term = ReplaceRedex(nt.Term, lambda.RetUnit())
+		nt.Stuck = false
+		return []Transition{{Rule: RulePutChar, Thread: th.ID,
+			Note: fmt.Sprintf("!%q", string(ch)), Next: next}}
+	case lambda.OpGetChar:
+		if len(s.In) == 0 {
+			return nil
+		}
+		next := s.Clone()
+		ch := next.In[0]
+		next.In = next.In[1:]
+		nt := next.thread(th.ID)
+		nt.Term = ReplaceRedex(nt.Term, lambda.Ret(lambda.Char(ch)))
+		nt.Stuck = false
+		return []Transition{{Rule: RuleGetChar, Thread: th.ID,
+			Note: fmt.Sprintf("?%q", string(ch)), Next: next}}
+	case lambda.OpSleep:
+		if !th.Stuck {
+			return nil // a runnable sleep first becomes stuck
+		}
+		next := s.Clone()
+		if th.SleepUntil > next.Time {
+			next.Time = th.SleepUntil
+		}
+		nt := next.thread(th.ID)
+		nt.Term = ReplaceRedex(nt.Term, lambda.RetUnit())
+		nt.Stuck = false
+		nt.SleepUntil = 0
+		return []Transition{{Rule: RuleSleep, Thread: th.ID,
+			Note: fmt.Sprintf("$%d", intConst(mop.Args[0])), Next: next}}
+	case lambda.OpPutMVar:
+		name := mvarConst(mop.Args[0])
+		next := s.Clone()
+		mv := next.mvar(name)
+		if mv == nil || mv.Full {
+			return nil
+		}
+		mv.Full = true
+		mv.Contents = mop.Args[1]
+		nt := next.thread(th.ID)
+		nt.Term = ReplaceRedex(nt.Term, lambda.RetUnit())
+		nt.Stuck = false
+		return []Transition{{Rule: RulePutMVar, Thread: th.ID, Note: name, Next: next}}
+	case lambda.OpTakeMVar:
+		name := mvarConst(mop.Args[0])
+		next := s.Clone()
+		mv := next.mvar(name)
+		if mv == nil || !mv.Full {
+			return nil
+		}
+		contents := mv.Contents
+		mv.Full = false
+		mv.Contents = nil
+		nt := next.thread(th.ID)
+		nt.Term = ReplaceRedex(nt.Term, lambda.Ret(contents))
+		nt.Stuck = false
+		return []Transition{{Rule: RuleTakeMVar, Thread: th.ID, Note: name, Next: next}}
+	}
+	return nil
+}
+
+// replaceTransition clones s, replacing th's redex with newRedex.
+func replaceTransition(s *State, th *Thread, rule Rule, newRedex lambda.Term, note string) Transition {
+	next := s.Clone()
+	nt := next.thread(th.ID)
+	nt.Term = ReplaceRedex(nt.Term, newRedex)
+	return Transition{Rule: rule, Thread: th.ID, Note: note, Next: next}
+}
+
+// replaceWhole clones s, replacing th's whole term.
+func replaceWhole(s *State, th *Thread, rule Rule, newTerm lambda.Term) Transition {
+	next := s.Clone()
+	nt := next.thread(th.ID)
+	nt.Term = newTerm
+	return Transition{Rule: rule, Thread: th.ID, Next: next}
+}
+
+// stuckTransition marks th stuck (the Figure 5 stuck-marking rules).
+func stuckTransition(s *State, th *Thread, rule Rule, sleepUntil int64) Transition {
+	next := s.Clone()
+	nt := next.thread(th.ID)
+	nt.Stuck = true
+	nt.SleepUntil = sleepUntil
+	return Transition{Rule: rule, Thread: th.ID, Next: next}
+}
+
+// --- constant extraction (the redex is a value, so these are total on
+// well-typed programs; ill-typed programs wedge earlier) ---
+
+func intConst(t lambda.Term) int64 {
+	if l, ok := t.(lambda.Lit); ok {
+		if c, ok := l.C.(lambda.CInt); ok {
+			return int64(c)
+		}
+	}
+	return 0
+}
+
+func charConst(t lambda.Term) rune {
+	if l, ok := t.(lambda.Lit); ok {
+		if c, ok := l.C.(lambda.CChar); ok {
+			return rune(c)
+		}
+	}
+	return '?'
+}
+
+func mvarConst(t lambda.Term) string {
+	if l, ok := t.(lambda.Lit); ok {
+		if c, ok := l.C.(lambda.CMVar); ok {
+			return string(c)
+		}
+	}
+	return ""
+}
+
+func tidConst(t lambda.Term) int64 {
+	if l, ok := t.(lambda.Lit); ok {
+		if c, ok := l.C.(lambda.CTid); ok {
+			return int64(c)
+		}
+	}
+	return 0
+}
+
+func excConst(t lambda.Term) exc.Exception {
+	if l, ok := t.(lambda.Lit); ok {
+		if c, ok := l.C.(lambda.CExc); ok {
+			return c.E
+		}
+	}
+	return exc.ErrorCall{Msg: "non-exception thrown"}
+}

@@ -1,0 +1,227 @@
+// Package machine implements the outer, monadic transition semantics of
+// §6 of the paper: program states (Figure 2), the transition rules for
+// Concurrent Haskell (Figure 4) and their extension with asynchronous
+// exceptions (Figure 5), over the term language of package lambda.
+//
+// Program states are kept in a flattened canonical form: the parallel
+// soup P | Q | R becomes ordered lists of threads and MVars, and the
+// ν-restrictions become globally fresh names. This is exactly the
+// quotient induced by the structural congruence of Figure 3 ((Comm),
+// (Assoc), (Swap), (Extrude), (Alpha)): every state we represent is a
+// canonical representative of its congruence class, and rules (Par),
+// (Nu) and (Equiv) are absorbed into operating on list elements in
+// place.
+//
+// The machine exposes the full transition relation (Transitions), a
+// deterministic and a randomized scheduler (Run), and an exhaustive
+// interleaving explorer (Explore) that computes the set of observable
+// outcomes of small programs — the tool the conformance suite uses to
+// check the runtime implements a subset of the specified behaviours.
+package machine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"asyncexc/internal/exc"
+	"asyncexc/internal/lambda"
+)
+
+// ThreadID identifies a thread in a program state.
+type ThreadID int64
+
+// Thread is one ⦇M⦈t of Figure 2, with the runnable/stuck marking of
+// §6.3 (⦇M⦈∘ vs ⦇M⦈⊙).
+type Thread struct {
+	ID   ThreadID
+	Term lambda.Term
+	// Stuck is the ⊙ marking: the thread is waiting (on an MVar, the
+	// console, or the clock) and only the waking rules or (Interrupt)
+	// apply to it.
+	Stuck bool
+	// SleepUntil is the earliest global time at which a stuck sleeper
+	// may be woken (rule Sleep guarantees "at least d").
+	SleepUntil int64
+}
+
+// MVar is ⟨⟩m or ⟨M⟩m of Figure 2.
+type MVar struct {
+	Name     string
+	Full     bool
+	Contents lambda.Term
+}
+
+// Inflight is an exception in flight, ⟨t⟸e⟩ of §6.3.
+type Inflight struct {
+	Target ThreadID
+	E      exc.Exception
+}
+
+// State is a whole program state: the flattened soup of threads, MVars
+// and in-flight exceptions, plus the environment (console input/output
+// and the clock).
+type State struct {
+	Threads  []*Thread
+	MVars    []*MVar
+	Inflight []Inflight
+
+	In  []rune
+	Out []rune
+	// Time is the global clock in the sleep unit (the paper's
+	// microseconds).
+	Time int64
+
+	NextTID  int64
+	NextMVar int
+
+	Main ThreadID
+	// Done is set when the main thread has finished (rule Proc GC
+	// garbage-collects everything else).
+	Done bool
+	// MainVal/MainExc record the main thread's outcome when Done.
+	MainVal lambda.Term
+	MainExc exc.Exception
+}
+
+// New creates an initial state: a single main thread running term with
+// the given console input.
+func New(term lambda.Term, input string) *State {
+	return &State{
+		Threads: []*Thread{{ID: 1, Term: term}},
+		In:      []rune(input),
+		NextTID: 1,
+		Main:    1,
+	}
+}
+
+// NewFromSource parses src and creates the initial state.
+func NewFromSource(src, input string) (*State, error) {
+	t, err := lambda.ParseProgram(src)
+	if err != nil {
+		return nil, err
+	}
+	return New(t, input), nil
+}
+
+// Clone deep-copies the state (terms are immutable and shared).
+func (s *State) Clone() *State {
+	c := *s
+	c.Threads = make([]*Thread, len(s.Threads))
+	for i, t := range s.Threads {
+		tt := *t
+		c.Threads[i] = &tt
+	}
+	c.MVars = make([]*MVar, len(s.MVars))
+	for i, m := range s.MVars {
+		mm := *m
+		c.MVars[i] = &mm
+	}
+	c.Inflight = append([]Inflight{}, s.Inflight...)
+	c.In = append([]rune{}, s.In...)
+	c.Out = append([]rune{}, s.Out...)
+	return &c
+}
+
+// thread finds a thread by id (nil if finished).
+func (s *State) thread(id ThreadID) *Thread {
+	for _, t := range s.Threads {
+		if t.ID == id {
+			return t
+		}
+	}
+	return nil
+}
+
+// mvar finds an MVar by name.
+func (s *State) mvar(name string) *MVar {
+	for _, m := range s.MVars {
+		if m.Name == name {
+			return m
+		}
+	}
+	return nil
+}
+
+// removeThread deletes a finished thread from the soup (rules Return
+// GC and Throw GC).
+func (s *State) removeThread(id ThreadID) {
+	for i, t := range s.Threads {
+		if t.ID == id {
+			s.Threads = append(s.Threads[:i], s.Threads[i+1:]...)
+			return
+		}
+	}
+}
+
+// Key is a canonical serialization used for state-space deduplication
+// during exhaustive exploration. Threads are listed in ID order and
+// MVars in name order, implementing the Figure 3 congruence quotient.
+func (s *State) Key() string {
+	var b strings.Builder
+	ths := append([]*Thread{}, s.Threads...)
+	sort.Slice(ths, func(i, j int) bool { return ths[i].ID < ths[j].ID })
+	for _, t := range ths {
+		mark := "o"
+		if t.Stuck {
+			mark = "*"
+		}
+		fmt.Fprintf(&b, "T%d%s@%d:%s|", t.ID, mark, t.SleepUntil, t.Term)
+	}
+	mvs := append([]*MVar{}, s.MVars...)
+	sort.Slice(mvs, func(i, j int) bool { return mvs[i].Name < mvs[j].Name })
+	for _, m := range mvs {
+		if m.Full {
+			fmt.Fprintf(&b, "M%s=%s|", m.Name, m.Contents)
+		} else {
+			fmt.Fprintf(&b, "M%s=_|", m.Name)
+		}
+	}
+	for _, f := range s.Inflight {
+		fmt.Fprintf(&b, "F%d<=%s|", f.Target, f.E.ExceptionName())
+	}
+	fmt.Fprintf(&b, "I%s|O%s|t%d", string(s.In), string(s.Out), s.Time)
+	if s.Done {
+		if s.MainExc != nil {
+			fmt.Fprintf(&b, "|DONE!%s", s.MainExc.ExceptionName())
+		} else {
+			fmt.Fprintf(&b, "|DONE=%s", s.MainVal)
+		}
+	}
+	return b.String()
+}
+
+// String renders the state for traces and the axsem CLI.
+func (s *State) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "time=%d out=%q in=%q\n", s.Time, string(s.Out), string(s.In))
+	for _, t := range s.Threads {
+		mark := "runnable"
+		if t.Stuck {
+			mark = "stuck"
+		}
+		tag := ""
+		if t.ID == s.Main {
+			tag = " (main)"
+		}
+		fmt.Fprintf(&b, "  thread %d%s [%s]: %s\n", t.ID, tag, mark, t.Term)
+	}
+	for _, m := range s.MVars {
+		if m.Full {
+			fmt.Fprintf(&b, "  mvar %s = %s\n", m.Name, m.Contents)
+		} else {
+			fmt.Fprintf(&b, "  mvar %s = <empty>\n", m.Name)
+		}
+	}
+	for _, f := range s.Inflight {
+		fmt.Fprintf(&b, "  in flight: %d <= %s\n", f.Target, exc.Format(f.E))
+	}
+	if s.Done {
+		if s.MainExc != nil {
+			fmt.Fprintf(&b, "  DONE: uncaught %s\n", exc.Format(s.MainExc))
+		} else {
+			fmt.Fprintf(&b, "  DONE: %s\n", s.MainVal)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,151 @@
+// Package poll implements the semi-asynchronous cancellation model the
+// paper argues against (§2, §10): POSIX deferred cancellation, Java's
+// interrupt flag, Modula-3 alerts. A cancellation request only sets a
+// flag; the target notices it at explicit poll points it must be
+// written to contain.
+//
+// The package exists as the baseline for experiment E9: it quantifies
+// the paper's qualitative claims — the polling model trades
+// cancellation latency against polling overhead and is non-modular
+// (the workload code must be instrumented), whereas fully-asynchronous
+// exceptions have no overhead in the uncancelled path and constant
+// latency, with safety recovered through Block/interruptible
+// operations instead of code rewrites.
+package poll
+
+import (
+	"asyncexc/internal/core"
+	"asyncexc/internal/exc"
+)
+
+// Cancelled is the exception raised at a poll point after Cancel.
+var Cancelled = exc.Dyn{Tag: "Cancelled"}
+
+// Token is a cancellation flag shared between a controller and a
+// worker. All access happens on green threads of one runtime, so a
+// plain Go bool behind Lift is race-free.
+type Token struct{ flagged *bool }
+
+// NewToken creates an unset token.
+func NewToken() core.IO[Token] {
+	return core.Lift(func() Token {
+		f := false
+		return Token{flagged: &f}
+	})
+}
+
+// Cancel requests cancellation. It returns immediately; the worker
+// will not notice before its next poll point (the defining weakness of
+// the model).
+func (t Token) Cancel() core.IO[core.Unit] {
+	return core.Lift(func() core.Unit {
+		*t.flagged = true
+		return core.UnitValue
+	})
+}
+
+// IsCancelled reads the flag without acting on it.
+func (t Token) IsCancelled() core.IO[bool] {
+	return core.Lift(func() bool { return *t.flagged })
+}
+
+// Poll is a poll point: it raises Cancelled if the flag is set. The
+// analogue of a POSIX cancellation point or Java's
+// Thread.interrupted() check.
+func (t Token) Poll() core.IO[core.Unit] {
+	return core.Bind(t.IsCancelled(), func(c bool) core.IO[core.Unit] {
+		if c {
+			return core.Throw[core.Unit](Cancelled)
+		}
+		return core.Return(core.UnitValue)
+	})
+}
+
+// ---------------------------------------------------------------------
+// Instrumented workloads (experiment E9)
+// ---------------------------------------------------------------------
+
+// WorkReport describes how far a worker got.
+type WorkReport struct {
+	// UnitsDone counts completed work units.
+	UnitsDone int
+	// Cancelled reports whether the worker stopped via cancellation.
+	Cancelled bool
+}
+
+// unit burns roughly unitCost scheduler steps and bumps the counter —
+// one indivisible piece of application work.
+func unit(counter *int, unitCost int) core.IO[core.Unit] {
+	step := core.Lift(func() core.Unit { return core.UnitValue })
+	body := core.Return(core.UnitValue)
+	for i := 0; i < unitCost; i++ {
+		body = core.Then(step, body)
+	}
+	return core.Then(body, core.Lift(func() core.Unit {
+		*counter++
+		return core.UnitValue
+	}))
+}
+
+// PollingWorker performs `units` work units of the given cost, polling
+// tok every pollEvery units (pollEvery <= 0 disables polling: the
+// uncancellable worker). It returns the report whether it finishes or
+// is cancelled.
+func PollingWorker(tok Token, units, unitCost, pollEvery int) core.IO[WorkReport] {
+	return PollingWorkerProgress(tok, units, unitCost, pollEvery, new(int))
+}
+
+// PollingWorkerProgress is PollingWorker exposing its live unit counter
+// through progress, so experiment controllers can trigger cancellation
+// at a chosen point of the run.
+func PollingWorkerProgress(tok Token, units, unitCost, pollEvery int, progress *int) core.IO[WorkReport] {
+	counter := progress
+	var loop func(i int) core.IO[WorkReport]
+	loop = func(i int) core.IO[WorkReport] {
+		if i >= units {
+			return core.Lift(func() WorkReport { return WorkReport{UnitsDone: *counter} })
+		}
+		step := unit(counter, unitCost)
+		if pollEvery > 0 && i%pollEvery == 0 {
+			step = core.Then(tok.Poll(), step)
+		}
+		return core.Then(step, core.Delay(func() core.IO[WorkReport] { return loop(i + 1) }))
+	}
+	return core.Catch(core.Delay(func() core.IO[WorkReport] { return loop(0) }),
+		func(e core.Exception) core.IO[WorkReport] {
+			if !e.Eq(Cancelled) {
+				return core.Throw[WorkReport](e)
+			}
+			return core.Lift(func() WorkReport {
+				return WorkReport{UnitsDone: *counter, Cancelled: true}
+			})
+		})
+}
+
+// AsyncWorker is the same workload with no instrumentation at all —
+// the paper's model: cancellation arrives as an asynchronous exception,
+// so the workload needs no poll points. The report is published
+// through the MVar by a Finally, exactly once, whether the worker
+// finishes or is killed at an arbitrary point.
+func AsyncWorker(units, unitCost int, report core.MVar[WorkReport]) core.IO[core.Unit] {
+	return AsyncWorkerProgress(units, unitCost, report, new(int))
+}
+
+// AsyncWorkerProgress is AsyncWorker exposing its live unit counter.
+func AsyncWorkerProgress(units, unitCost int, report core.MVar[WorkReport], progress *int) core.IO[core.Unit] {
+	counter := progress
+	var loop func(i int) core.IO[core.Unit]
+	loop = func(i int) core.IO[core.Unit] {
+		if i >= units {
+			return core.Return(core.UnitValue)
+		}
+		return core.Then(unit(counter, unitCost),
+			core.Delay(func() core.IO[core.Unit] { return loop(i + 1) }))
+	}
+	work := core.Delay(func() core.IO[core.Unit] { return loop(0) })
+	publish := core.Bind(
+		core.Lift(func() WorkReport { return WorkReport{UnitsDone: *counter} }),
+		func(r WorkReport) core.IO[core.Unit] { return core.Put(report, r) })
+	return core.Catch(core.Finally(work, publish),
+		func(core.Exception) core.IO[core.Unit] { return core.Return(core.UnitValue) })
+}

@@ -1,0 +1,118 @@
+package poll_test
+
+import (
+	"testing"
+
+	"asyncexc/internal/core"
+	"asyncexc/internal/exc"
+	"asyncexc/internal/poll"
+)
+
+func TestPollingWorkerCompletesUncancelled(t *testing.T) {
+	m := core.Bind(poll.NewToken(), func(tok poll.Token) core.IO[poll.WorkReport] {
+		return poll.PollingWorker(tok, 20, 3, 4)
+	})
+	r, e, err := core.Run(m)
+	if err != nil || e != nil {
+		t.Fatalf("run: %v %v", err, e)
+	}
+	if r.Cancelled || r.UnitsDone != 20 {
+		t.Fatalf("report %+v", r)
+	}
+}
+
+func TestPollingWorkerStopsAtNextPollPoint(t *testing.T) {
+	// Cancel before the worker starts: it must stop at its first poll
+	// point, i.e. complete zero units.
+	m := core.Bind(poll.NewToken(), func(tok poll.Token) core.IO[poll.WorkReport] {
+		return core.Then(tok.Cancel(), poll.PollingWorker(tok, 20, 3, 1))
+	})
+	r, e, err := core.Run(m)
+	if err != nil || e != nil {
+		t.Fatalf("run: %v %v", err, e)
+	}
+	if !r.Cancelled || r.UnitsDone != 0 {
+		t.Fatalf("report %+v", r)
+	}
+}
+
+func TestPollingLatencyBoundedByPollPeriod(t *testing.T) {
+	// With polling every p units and a cancel arriving mid-run, the
+	// worker overshoots by at most p units past the cancellation.
+	for _, p := range []int{1, 4, 16} {
+		prog := core.Bind(poll.NewToken(), func(tok poll.Token) core.IO[poll.WorkReport] {
+			return core.Bind(core.NewEmptyMVar[poll.WorkReport](), func(res core.MVar[poll.WorkReport]) core.IO[poll.WorkReport] {
+				worker := core.Bind(poll.PollingWorker(tok, 1000, 2, p), func(r poll.WorkReport) core.IO[core.Unit] {
+					return core.Put(res, r)
+				})
+				return core.Bind(core.Fork(worker), func(core.ThreadID) core.IO[poll.WorkReport] {
+					return core.Then(core.Seq(
+						core.Yield(), // let the worker run a few slices
+						core.Yield(),
+						tok.Cancel(),
+					), core.Take(res))
+				})
+			})
+		})
+		r, e, err := core.Run(prog)
+		if err != nil || e != nil {
+			t.Fatalf("p=%d run: %v %v", p, err, e)
+		}
+		if !r.Cancelled {
+			t.Fatalf("p=%d worker finished all 1000 units before cancel", p)
+		}
+		if r.UnitsDone >= 1000 {
+			t.Fatalf("p=%d no cancellation effect: %+v", p, r)
+		}
+	}
+}
+
+func TestUncancellableWorkerIgnoresCancel(t *testing.T) {
+	// pollEvery <= 0: the §2 problem — without instrumentation, the
+	// semi-asynchronous model simply cannot stop the thread.
+	m := core.Bind(poll.NewToken(), func(tok poll.Token) core.IO[poll.WorkReport] {
+		return core.Then(tok.Cancel(), poll.PollingWorker(tok, 50, 2, 0))
+	})
+	r, e, err := core.Run(m)
+	if err != nil || e != nil {
+		t.Fatalf("run: %v %v", err, e)
+	}
+	if r.Cancelled || r.UnitsDone != 50 {
+		t.Fatalf("report %+v", r)
+	}
+}
+
+func TestAsyncWorkerKilledWithoutInstrumentation(t *testing.T) {
+	// The same workload, zero poll points, killed by throwTo: the
+	// fully-asynchronous model stops it anyway.
+	prog := core.Bind(core.NewEmptyMVar[poll.WorkReport](), func(res core.MVar[poll.WorkReport]) core.IO[poll.WorkReport] {
+		worker := poll.AsyncWorker(1000, 2, res)
+		return core.Bind(core.Fork(worker), func(tid core.ThreadID) core.IO[poll.WorkReport] {
+			return core.Then(core.Seq(
+				core.Yield(),
+				core.Yield(),
+				core.ThrowTo(tid, exc.ThreadKilled{}),
+			), core.Take(res))
+		})
+	})
+	r, e, err := core.Run(prog)
+	if err != nil || e != nil {
+		t.Fatalf("run: %v %v", err, e)
+	}
+	if r.UnitsDone >= 1000 {
+		t.Fatalf("kill had no effect: %+v", r)
+	}
+}
+
+func TestAsyncWorkerCompletesWithoutKill(t *testing.T) {
+	prog := core.Bind(core.NewEmptyMVar[poll.WorkReport](), func(res core.MVar[poll.WorkReport]) core.IO[poll.WorkReport] {
+		return core.Then(core.Void(core.Fork(poll.AsyncWorker(30, 2, res))), core.Take(res))
+	})
+	r, e, err := core.Run(prog)
+	if err != nil || e != nil {
+		t.Fatalf("run: %v %v", err, e)
+	}
+	if r.UnitsDone != 30 {
+		t.Fatalf("report %+v", r)
+	}
+}

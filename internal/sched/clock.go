@@ -1,0 +1,80 @@
+package sched
+
+import (
+	"container/heap"
+	"time"
+)
+
+// ClockMode selects how the runtime advances time for Sleep and
+// timeouts.
+type ClockMode uint8
+
+const (
+	// VirtualClock advances time only when no thread is runnable, by
+	// jumping straight to the earliest timer — rule (Sleep)'s
+	// "deliberately underspecified" external clock, specialized to the
+	// fastest legal clock. Deterministic and instantaneous; the
+	// default for tests and benchmarks.
+	VirtualClock ClockMode = iota
+	// RealClock uses the wall clock; required when the program does
+	// real I/O through the I/O manager.
+	RealClock
+)
+
+// timerEntry is one pending Sleep wake-up. Entries are lazily deleted:
+// a woken or interrupted sleeper bumps its park.timerSeq so a stale
+// entry is skipped when it surfaces.
+type timerEntry struct {
+	at  int64 // absolute runtime nanoseconds
+	seq uint64
+	t   *Thread
+}
+
+type timerHeap []timerEntry
+
+func (h timerHeap) Len() int { return len(h) }
+func (h timerHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h timerHeap) Swap(i, j int)    { h[i], h[j] = h[j], h[i] }
+func (h *timerHeap) Push(x any)      { *h = append(*h, x.(timerEntry)) }
+func (h *timerHeap) Pop() any        { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+func (h timerHeap) peek() timerEntry { return h[0] }
+
+// parkSleep parks t until d from now.
+func (rt *RT) parkSleep(t *Thread, d time.Duration) {
+	rt.nextTimerSeq++
+	t.status = statusParked
+	t.park = parkInfo{kind: parkSleep, timerSeq: rt.nextTimerSeq}
+	heap.Push(&rt.timers, timerEntry{at: rt.now + int64(d), seq: rt.nextTimerSeq, t: t})
+	rt.stats.Sleeps++
+	rt.trace(EvPark{Thread: t.id, Reason: "sleep"})
+}
+
+// fireTimersUpTo wakes every sleeper whose deadline is <= now,
+// discarding stale entries.
+func (rt *RT) fireTimersUpTo(now int64) {
+	for rt.timers.Len() > 0 && rt.timers.peek().at <= now {
+		e := heap.Pop(&rt.timers).(timerEntry)
+		if e.t.status == statusParked && e.t.park.kind == parkSleep && e.t.park.timerSeq == e.seq {
+			// Rule (Sleep): the thread resumes with return ().
+			rt.unparkWithValue(e.t, UnitValue)
+		}
+	}
+}
+
+// nextTimerAt returns the earliest live timer deadline, skipping stale
+// entries, or (0, false) when none remain.
+func (rt *RT) nextTimerAt() (int64, bool) {
+	for rt.timers.Len() > 0 {
+		e := rt.timers.peek()
+		if e.t.status == statusParked && e.t.park.kind == parkSleep && e.t.park.timerSeq == e.seq {
+			return e.at, true
+		}
+		heap.Pop(&rt.timers)
+	}
+	return 0, false
+}

@@ -1,0 +1,125 @@
+package sched_test
+
+import (
+	"testing"
+	"time"
+
+	"asyncexc/internal/sched"
+)
+
+// --- virtual clock ---------------------------------------------------
+
+func TestVirtualClockJumps(t *testing.T) {
+	opts := sched.DefaultOptions()
+	main := seq(sched.Sleep(time.Hour), sched.Sleep(30*time.Minute))
+	start := time.Now()
+	rt := sched.NewRT(opts)
+	if _, err := rt.RunMain(main); err != nil {
+		t.Fatal(err)
+	}
+	if wall := time.Since(start); wall > 2*time.Second {
+		t.Fatalf("virtual sleeps took %v of wall time", wall)
+	}
+	if got := rt.Now(); got != int64(time.Hour+30*time.Minute) {
+		t.Fatalf("virtual clock at %v, want 1h30m", time.Duration(got))
+	}
+	if rt.Stats().TimeAdvances != 2 {
+		t.Fatalf("TimeAdvances = %d", rt.Stats().TimeAdvances)
+	}
+}
+
+func TestVirtualClockOrdersTimers(t *testing.T) {
+	rt := sched.NewRT(sched.DefaultOptions())
+	main := seq(
+		sched.Bind(sched.Fork(seq(sched.Sleep(3*time.Second), sched.PutChar('c'))), drop),
+		sched.Bind(sched.Fork(seq(sched.Sleep(1*time.Second), sched.PutChar('a'))), drop),
+		sched.Bind(sched.Fork(seq(sched.Sleep(2*time.Second), sched.PutChar('b'))), drop),
+		sched.Sleep(10*time.Second),
+	)
+	if _, err := rt.RunMain(main); err != nil {
+		t.Fatal(err)
+	}
+	if rt.Output() != "abc" {
+		t.Fatalf("timer order %q", rt.Output())
+	}
+}
+
+func drop(any) sched.Node { return sched.ReturnUnit() }
+
+// --- real clock -------------------------------------------------------
+
+func TestRealClockSleepTakesRealTime(t *testing.T) {
+	opts := sched.DefaultOptions()
+	opts.Clock = sched.RealClock
+	rt := sched.NewRT(opts)
+	start := time.Now()
+	if _, err := rt.RunMain(sched.Sleep(30 * time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	if wall := time.Since(start); wall < 25*time.Millisecond {
+		t.Fatalf("real sleep returned after only %v", wall)
+	}
+}
+
+func TestRealClockTimersInterleaveWithEvents(t *testing.T) {
+	opts := sched.DefaultOptions()
+	opts.Clock = sched.RealClock
+	rt := sched.NewRT(opts)
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		rt.External(func(rt *sched.RT) { rt.InjectInput("x") })
+	}()
+	main := seq(
+		sched.Bind(sched.Fork(seq(sched.Sleep(20*time.Millisecond), sched.PutChar('t'))), drop),
+		sched.Bind(sched.GetChar(), func(c any) sched.Node { return sched.PutChar(c.(rune)) }),
+		sched.Sleep(40*time.Millisecond),
+	)
+	if _, err := rt.RunMain(main); err != nil {
+		t.Fatal(err)
+	}
+	if rt.Output() != "xt" {
+		t.Fatalf("output %q, want event before timer", rt.Output())
+	}
+}
+
+// --- preemption stats ----------------------------------------------------
+
+func TestPreemptionCounted(t *testing.T) {
+	opts := sched.DefaultOptions()
+	opts.TimeSlice = 10
+	rt := sched.NewRT(opts)
+	main := seq(
+		sched.Bind(sched.Fork(busy(500)), drop),
+		busy(500),
+		sched.Sleep(time.Millisecond),
+	)
+	if _, err := rt.RunMain(main); err != nil {
+		t.Fatal(err)
+	}
+	if rt.Stats().Preemptions == 0 {
+		t.Fatal("no preemptions with two busy threads and a 10-step slice")
+	}
+}
+
+// --- mask frame cancellation stats -----------------------------------------
+
+func TestMaskFrameCancellationCounted(t *testing.T) {
+	rt := sched.NewRT(sched.DefaultOptions())
+	var f func(n int) sched.Node
+	f = func(n int) sched.Node {
+		if n == 0 {
+			return sched.Return(0)
+		}
+		return sched.Block(sched.Unblock(sched.Delay(func() sched.Node { return f(n - 1) })))
+	}
+	if _, err := rt.RunMain(f(100)); err != nil {
+		t.Fatal(err)
+	}
+	st := rt.Stats()
+	if st.MaskFramesCancelled < 99 {
+		t.Fatalf("MaskFramesCancelled = %d", st.MaskFramesCancelled)
+	}
+	if st.MaskEnters < 200 {
+		t.Fatalf("MaskEnters = %d", st.MaskEnters)
+	}
+}

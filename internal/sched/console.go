@@ -1,0 +1,76 @@
+package sched
+
+import "io"
+
+// console models the paper's standard input/output (§3): putChar
+// appends to an output transcript (optionally mirrored to an
+// io.Writer), getChar consumes from an input buffer that can be
+// extended at any time with InjectInput. A reader that finds the
+// buffer empty parks and is stuck (rules GetChar / Stuck GetChar);
+// injecting input wakes parked readers in FIFO order.
+type console struct {
+	rt      *RT
+	in      []rune
+	out     []rune
+	mirror  io.Writer
+	readers []*Thread
+	// closed marks the input as finished: parked readers count as
+	// deadlocked rather than waiting for the environment.
+	closed bool
+}
+
+func (c *console) putChar(ch rune) {
+	c.out = append(c.out, ch)
+	if c.mirror != nil {
+		var buf [4]byte
+		n := encodeRune(buf[:], ch)
+		c.mirror.Write(buf[:n]) //nolint:errcheck // transcript mirroring is best-effort
+	}
+}
+
+func (c *console) getChar() (rune, bool) {
+	if len(c.in) == 0 {
+		return 0, false
+	}
+	ch := c.in[0]
+	copy(c.in, c.in[1:])
+	c.in = c.in[:len(c.in)-1]
+	return ch, true
+}
+
+func (rt *RT) parkGetChar(t *Thread) {
+	t.status = statusParked
+	t.park = parkInfo{kind: parkGetChar}
+	rt.console.readers = append(rt.console.readers, t)
+	rt.trace(EvPark{Thread: t.id, Reason: "getChar"})
+}
+
+// InjectInput appends input characters to the console, waking parked
+// readers while characters remain. It must be called from the scheduler
+// goroutine (directly in tests before RunMain, or via External during a
+// run).
+func (rt *RT) InjectInput(s string) {
+	c := rt.console
+	c.in = append(c.in, []rune(s)...)
+	for len(c.readers) > 0 && len(c.in) > 0 {
+		t := c.readers[0]
+		c.readers = dequeueThread(c.readers)
+		if t.status != statusParked || t.park.kind != parkGetChar {
+			continue
+		}
+		ch, _ := c.getChar()
+		rt.unparkWithValue(t, ch)
+	}
+}
+
+// CloseInput marks the console input as exhausted, so readers parked on
+// getChar count as deadlocked (no environment event can wake them).
+func (rt *RT) CloseInput() { rt.console.closed = true }
+
+// Output returns the console output transcript so far.
+func (rt *RT) Output() string { return string(rt.console.out) }
+
+// encodeRune UTF-8-encodes ch into buf and returns the byte count.
+func encodeRune(buf []byte, ch rune) int {
+	return copy(buf, string(ch))
+}

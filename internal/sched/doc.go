@@ -1,0 +1,34 @@
+// Package sched implements the runtime system substrate for the
+// asyncexc reproduction of "Asynchronous Exceptions in Haskell"
+// (Marlow, Peyton Jones, Moran, Reppy; PLDI 2001).
+//
+// Go goroutines cannot be killed from outside, cannot be masked, and
+// expose no per-thread continuation that another thread could truncate.
+// This package therefore implements the paper's §8 runtime design
+// directly: a user-level green-thread scheduler in which
+//
+//   - an IO computation is a tree of Nodes (a trampolined free monad),
+//   - a Thread is a heap object holding the current Node, a stack of
+//     continuation frames (bind frames, catch frames that record the
+//     mask state, and block/unblock mask frames with the §8.1
+//     adjacent-frame cancellation rule),
+//   - the per-thread data block carries the asynchronous-exception mask
+//     state and a queue of pending asynchronous exceptions (§8.1),
+//   - throwTo places the exception on the target's pending queue (§8.2),
+//   - the scheduler interprets one Node per step and checks the pending
+//     queue at every step boundary of an unmasked thread (rule Receive,
+//     Figure 5) and whenever a primitive is about to park (rule
+//     Interrupt and the interruptible-operations rule of §5.3).
+//
+// A step is the unit of atomicity: a Lifted Go function runs within a
+// single step and corresponds to a single pure reduction of the
+// semantics, so exceptions are delivered exactly at the points the
+// paper's transition system allows.
+//
+// The scheduler is deterministic by default (round-robin with a fixed
+// time slice measured in steps); a seeded random scheduler is available
+// for interleaving stress tests. Time is virtual by default (it
+// advances only when every thread is blocked), which makes timeout
+// tests instantaneous and reproducible; a real-time clock is available
+// for programs doing actual I/O.
+package sched

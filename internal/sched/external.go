@@ -1,0 +1,84 @@
+package sched
+
+import "asyncexc/internal/exc"
+
+// Interrupt delivers e to tid as an asynchronous exception originating
+// outside the program — the paper's "asynchronous interrupts from the
+// environment may also be converted into asynchronous exceptions by
+// the programmer" (§5). It must run inside the scheduler: call it from
+// an External callback (or a primitive's step function).
+func (rt *RT) Interrupt(tid ThreadID, e exc.Exception) {
+	target := rt.threads[tid]
+	if target == nil || target.status == statusDone {
+		return
+	}
+	if target.status == statusParked && target.mask.Interruptible() {
+		rt.noteDeliveredDirect(target, e)
+		rt.unparkWithException(target, e)
+		return
+	}
+	target.pending = append(target.pending, pendingExc{e: e})
+}
+
+// InterruptMain sends e to the main thread; the idiom for converting a
+// process-level signal (user interrupt, shutdown request) into an
+// asynchronous exception.
+func (rt *RT) InterruptMain(e exc.Exception) {
+	if rt.mainThread != nil {
+		rt.Interrupt(rt.mainThread.id, e)
+	}
+}
+
+// AwaitCleanup is Await with a dropped-result handler: when the
+// awaiting thread is interrupted before the external work completes,
+// the work's eventual result is passed to dropped (from the scheduler
+// goroutine) so resources it carries (an accepted connection, an open
+// file) can be released instead of leaking.
+func AwaitCleanup(
+	name string,
+	start func(complete func(v any, e exc.Exception)) (cancel func()),
+	dropped func(v any, e exc.Exception),
+) Node {
+	return primNode{name: name, step: func(rt *RT, t *Thread) (Node, bool) {
+		if n, interrupted := t.raisePendingForPark(); interrupted {
+			return n, false
+		}
+		rt.parkAwaitCleanup(t, start, dropped)
+		return nil, true
+	}}
+}
+
+// parkAwaitCleanup is parkAwait plus the dropped handler.
+func (rt *RT) parkAwaitCleanup(
+	t *Thread,
+	start func(complete func(v any, e exc.Exception)) (cancel func()),
+	dropped func(v any, e exc.Exception),
+) {
+	rt.nextAwaitID++
+	id := rt.nextAwaitID
+	t.status = statusParked
+	t.park = parkInfo{kind: parkAwait, awaitID: id}
+	rt.outstandingIO++
+	complete := func(v any, e exc.Exception) {
+		rt.External(func(rt *RT) {
+			rt.outstandingIO--
+			if t.status != statusParked || t.park.kind != parkAwait || t.park.awaitID != id {
+				if dropped != nil {
+					dropped(v, e)
+				}
+				return
+			}
+			if e != nil {
+				t.status = statusRunnable
+				t.park = parkInfo{}
+				t.cur = throwNode{e}
+				rt.enqueue(t)
+				rt.trace(EvUnpark{Thread: t.id})
+				return
+			}
+			rt.unparkWithValue(t, v)
+		})
+	}
+	t.park.cancel = start(complete)
+	rt.trace(EvPark{Thread: t.id, Reason: "await"})
+}

@@ -1,0 +1,70 @@
+package sched
+
+import "asyncexc/internal/exc"
+
+// frame is one entry on a thread's continuation stack. The three frame
+// kinds correspond exactly to the implementation design of §8:
+//
+//   - bindFrame: the continuation of a >>= (pushed by bindNode);
+//   - catchFrame: a handler plus the mask state at the time the frame
+//     was pushed ("Extend the catch frame to include the state
+//     (blocked or unblocked) of asynchronous exceptions at the time
+//     when the frame was placed on the stack", §8.1);
+//   - maskFrame: the block/unblock frames of §8.1 — returning (or
+//     unwinding) through one restores the recorded mask state.
+type frame interface{ frameKind() string }
+
+type bindFrame struct{ k func(any) Node }
+
+func (bindFrame) frameKind() string { return "bind" }
+
+type catchFrame struct {
+	h          func(exc.Exception) Node
+	saved      MaskState
+	skipAlerts bool
+}
+
+func (catchFrame) frameKind() string { return "catch" }
+
+// maskFrame restores the mask state `restore` when control returns or
+// unwinds past it. A maskFrame{restore: Masked} is the paper's "block
+// frame"; maskFrame{restore: Unmasked} is its "unblock frame".
+type maskFrame struct{ restore MaskState }
+
+func (maskFrame) frameKind() string { return "mask" }
+
+// enterMask performs the mask-state change for block/unblock with the
+// §8.1 frame-cancellation rule:
+//
+//  1. If the mask state is already `to`, just run the body (no
+//     counting of scopes, §5.2).
+//  2. Otherwise set the state to `to` and: if the top of the stack is
+//     a mask frame that restores `to`, remove it; otherwise push a
+//     mask frame restoring the previous state.
+//
+// Step 2's removal is the optimization that lets
+//
+//	f = block (do { ...; unblock f })
+//
+// run in constant stack space: adjacent opposite mask frames cancel
+// because no code runs between them, so returning (or unwinding)
+// through the pair is a net no-op. The cancellation is disabled by
+// Options.DisableFrameCancellation for the E7 ablation benchmark.
+func (t *Thread) enterMask(to MaskState, body Node) {
+	if t.mask == to {
+		t.cur = body
+		return
+	}
+	prev := t.mask
+	t.mask = to
+	if !t.rt.opts.DisableFrameCancellation {
+		if mf, ok := t.top().(maskFrame); ok && mf.restore == to {
+			t.pop()
+			t.rt.stats.MaskFramesCancelled++
+			t.cur = body
+			return
+		}
+	}
+	t.push(maskFrame{restore: prev})
+	t.cur = body
+}

@@ -1,0 +1,193 @@
+package sched
+
+import "fmt"
+
+// MVar is the synchronization primitive of Concurrent Haskell (§4): a
+// box that is either empty or holds a value. takeMVar waits while the
+// box is empty; putMVar waits while it is full (the footnote-3
+// semantics of this paper, not the 1996 paper's error).
+//
+// Waiters are queued FIFO and woken one at a time with direct handoff
+// (a putMVar hands its value straight to the longest-waiting taker),
+// which realizes one of the interleavings the paper's nondeterministic
+// semantics allows while giving the fairness practical programs expect.
+type MVar struct {
+	id   uint64
+	name string
+
+	full bool
+	val  any
+
+	// takers wait for the MVar to become full; putters wait for it to
+	// become empty. Each parked putter carries its value in
+	// park.putVal.
+	takers  []*Thread
+	putters []*Thread
+}
+
+// ID returns the MVar's unique identifier within its runtime.
+func (m *MVar) ID() uint64 { return m.id }
+
+// Name returns the MVar's debug name, if any.
+func (m *MVar) Name() string { return m.name }
+
+// Full reports whether the MVar currently holds a value. Like the
+// paper's semantics, this is only meaningful inside the scheduler;
+// user code should use TryTakeMVar for a race-free probe.
+func (m *MVar) Full() bool { return m.full }
+
+// String renders the MVar for traces.
+func (m *MVar) String() string {
+	if m.name != "" {
+		return fmt.Sprintf("mvar:%s", m.name)
+	}
+	return fmt.Sprintf("mvar#%d", m.id)
+}
+
+func (rt *RT) newMVar(full bool, v any) *MVar {
+	rt.nextMVarID++
+	mv := &MVar{id: rt.nextMVarID, full: full, val: v}
+	rt.stats.MVarsCreated++
+	return mv
+}
+
+// NewMVarDirect creates an MVar outside any thread; used by the typed
+// core API so that MVars can be threaded through program construction.
+// Safe only before RunMain or from within scheduler callbacks.
+func (rt *RT) NewMVarDirect(full bool, v any) *MVar { return rt.newMVar(full, v) }
+
+// takeMVar implements rule (TakeMVar) plus (Stuck TakeMVar) and the
+// §5.3 interruptibility rule. Called from the scheduler with the
+// running thread.
+func (rt *RT) takeMVar(t *Thread, mv *MVar) (Node, bool) {
+	if mv.full {
+		v := mv.val
+		if len(mv.putters) > 0 {
+			// A parked putter deposits immediately; the MVar stays full.
+			p := mv.putters[0]
+			mv.putters = dequeueThread(mv.putters)
+			mv.val = p.park.putVal
+			rt.unparkWithValue(p, UnitValue)
+		} else {
+			mv.full = false
+			mv.val = nil
+		}
+		rt.stats.MVarTakes++
+		return retNode{v}, false
+	}
+	// Empty: the thread is about to become stuck, so takeMVar is an
+	// interruptible operation — pending exceptions are raised "right up
+	// until the point when it acquires the MVar" (§5.3).
+	if n, interrupted := t.raisePendingForPark(); interrupted {
+		return n, false
+	}
+	t.status = statusParked
+	t.park = parkInfo{kind: parkTakeMVar, mv: mv}
+	mv.takers = append(mv.takers, t)
+	rt.stats.MVarTakeParks++
+	rt.trace(EvPark{Thread: t.id, Reason: "takeMVar", MVar: mv.id})
+	return nil, true
+}
+
+// putMVar implements rule (PutMVar) plus (Stuck PutMVar). Putting into
+// an empty MVar never waits, so it is not an interruption point even
+// when exceptions are pending (§5.3's "careful wording": an
+// interruptible operation cannot be interrupted if the resource it is
+// attempting to acquire is always available). The safe-locking
+// exception handler's putMVar relies on exactly this.
+func (rt *RT) putMVar(t *Thread, mv *MVar, v any) (Node, bool) {
+	if !mv.full {
+		if len(mv.takers) > 0 {
+			// Direct handoff to the longest-waiting taker; the taker
+			// has acquired the value and is past its interruptible
+			// window.
+			taker := mv.takers[0]
+			mv.takers = dequeueThread(mv.takers)
+			rt.unparkWithValue(taker, v)
+		} else {
+			mv.full = true
+			mv.val = v
+		}
+		rt.stats.MVarPuts++
+		return retNode{UnitValue}, false
+	}
+	// Full: about to become stuck; interruptible.
+	if n, interrupted := t.raisePendingForPark(); interrupted {
+		return n, false
+	}
+	t.status = statusParked
+	t.park = parkInfo{kind: parkPutMVar, mv: mv, putVal: v}
+	mv.putters = append(mv.putters, t)
+	rt.stats.MVarPutParks++
+	rt.trace(EvPark{Thread: t.id, Reason: "putMVar", MVar: mv.id})
+	return nil, true
+}
+
+// tryTakeMVar is the non-parking variant: (value, true) on success.
+func (rt *RT) tryTakeMVar(mv *MVar) (any, bool) {
+	if !mv.full {
+		return nil, false
+	}
+	v := mv.val
+	if len(mv.putters) > 0 {
+		p := mv.putters[0]
+		mv.putters = dequeueThread(mv.putters)
+		mv.val = p.park.putVal
+		rt.unparkWithValue(p, UnitValue)
+	} else {
+		mv.full = false
+		mv.val = nil
+	}
+	rt.stats.MVarTakes++
+	return v, true
+}
+
+// tryPutMVar is the non-parking variant: true when the value was
+// deposited or handed to a waiting taker.
+func (rt *RT) tryPutMVar(mv *MVar, v any) bool {
+	if mv.full {
+		return false
+	}
+	if len(mv.takers) > 0 {
+		taker := mv.takers[0]
+		mv.takers = dequeueThread(mv.takers)
+		rt.unparkWithValue(taker, v)
+	} else {
+		mv.full = true
+		mv.val = v
+	}
+	rt.stats.MVarPuts++
+	return true
+}
+
+// removeFromMVarQueues detaches an interrupted thread from whatever
+// MVar queue it is parked on.
+func removeFromMVarQueues(t *Thread) {
+	mv := t.park.mv
+	if mv == nil {
+		return
+	}
+	switch t.park.kind {
+	case parkTakeMVar:
+		mv.takers = removeThread(mv.takers, t)
+	case parkPutMVar:
+		mv.putters = removeThread(mv.putters, t)
+	}
+}
+
+func dequeueThread(q []*Thread) []*Thread {
+	copy(q, q[1:])
+	q[len(q)-1] = nil
+	return q[:len(q)-1]
+}
+
+func removeThread(q []*Thread, t *Thread) []*Thread {
+	for i, x := range q {
+		if x == t {
+			copy(q[i:], q[i+1:])
+			q[len(q)-1] = nil
+			return q[:len(q)-1]
+		}
+	}
+	return q
+}

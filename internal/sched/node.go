@@ -1,0 +1,357 @@
+package sched
+
+import (
+	"time"
+
+	"asyncexc/internal/exc"
+)
+
+// Node is the untyped internal representation of an IO action. The
+// typed public API in internal/core wraps Nodes with a phantom type
+// parameter; the scheduler interprets them one Node per step.
+//
+// The Node grammar mirrors the monadic values of Figure 1 of the paper:
+// return, >>=, throw, catch, block, unblock are structural; everything
+// that touches the world (MVars, forkIO, throwTo, sleep, putChar,
+// getChar, ...) is a primNode whose step function runs inside the
+// scheduler loop.
+type Node interface{ nodeKind() string }
+
+// Unit is the value carried by actions of type IO (); the runtime uses
+// a single shared value so tests can compare against it.
+type Unit struct{}
+
+// UnitValue is the canonical Unit value.
+var UnitValue = Unit{}
+
+type retNode struct{ v any }
+
+func (retNode) nodeKind() string { return "return" }
+
+type bindNode struct {
+	m Node
+	k func(any) Node
+}
+
+func (bindNode) nodeKind() string { return ">>=" }
+
+type throwNode struct{ e exc.Exception }
+
+func (throwNode) nodeKind() string { return "throw" }
+
+type catchNode struct {
+	m Node
+	h func(exc.Exception) Node
+	// skipAlerts implements the §9 two-datatype design: when set, the
+	// handler does not intercept alert exceptions, which continue to
+	// propagate.
+	skipAlerts bool
+}
+
+func (catchNode) nodeKind() string { return "catch" }
+
+// maskNode implements block/unblock (§5.2) plus the MaskUninterruptible
+// extension. to is the mask state the body runs under.
+type maskNode struct {
+	m  Node
+	to MaskState
+}
+
+func (n maskNode) nodeKind() string {
+	switch n.to {
+	case Masked:
+		return "block"
+	case Unmasked:
+		return "unblock"
+	default:
+		return "blockUninterruptible"
+	}
+}
+
+// delayNode defers construction of an action until it is stepped,
+// allowing recursive definitions (f = Delay(func() Node { ... f ... }))
+// without infinite construction.
+type delayNode struct{ f func() Node }
+
+func (delayNode) nodeKind() string { return "delay" }
+
+// primNode is a scheduler primitive. step runs in the scheduler loop
+// with the running thread; it returns the continuation Node, or parks
+// the thread itself and reports parked=true (in which case next is
+// ignored).
+type primNode struct {
+	name string
+	step func(rt *RT, t *Thread) (next Node, parked bool)
+}
+
+func (p primNode) nodeKind() string { return p.name }
+
+// ---------------------------------------------------------------------
+// Constructors (the untyped core calculus)
+// ---------------------------------------------------------------------
+
+// Return is the monadic unit: an action that immediately yields v.
+func Return(v any) Node { return retNode{v} }
+
+// ReturnUnit is an action yielding the Unit value.
+func ReturnUnit() Node { return retNode{UnitValue} }
+
+// Bind sequences m before k, passing m's result to k (the >>= of §3).
+func Bind(m Node, k func(any) Node) Node { return bindNode{m, k} }
+
+// Then sequences m before n, discarding m's result (Haskell's >>).
+func Then(m Node, n Node) Node { return bindNode{m, func(any) Node { return n }} }
+
+// Throw raises the synchronous exception e (§4).
+func Throw(e exc.Exception) Node { return throwNode{e} }
+
+// Catch runs m; if m raises an exception (synchronously or
+// asynchronously), h runs with it (§4). Entering the handler restores
+// the mask state the thread had when Catch began (§8, catch frames).
+func Catch(m Node, h func(exc.Exception) Node) Node { return catchNode{m: m, h: h} }
+
+// CatchNonAlert is Catch restricted to non-alert exceptions, the
+// two-datatype design sketched in §9: alert exceptions (ThreadKilled,
+// Timeout, ...) pass through the handler untouched.
+func CatchNonAlert(m Node, h func(exc.Exception) Node) Node {
+	return catchNode{m: m, h: h, skipAlerts: true}
+}
+
+// Block executes m with asynchronous-exception delivery blocked
+// (§5.2). Nesting does not count: two nested Blocks behave as one.
+func Block(m Node) Node { return maskNode{m, Masked} }
+
+// Unblock executes m with asynchronous-exception delivery unblocked,
+// regardless of how many Blocks surround it (§5.2).
+func Unblock(m Node) Node { return maskNode{m, Unmasked} }
+
+// BlockUninterruptible is an extension beyond the paper (GHC's later
+// uninterruptibleMask): within m, even interruptible operations do not
+// receive asynchronous exceptions. It exists for ablation benchmarks
+// and for the few cleanup actions that must not be interrupted.
+func BlockUninterruptible(m Node) Node { return maskNode{m, MaskedUninterruptible} }
+
+// MaskTo executes m under exactly the given mask state.
+func MaskTo(m Node, to MaskState) Node { return maskNode{m, to} }
+
+// Delay defers construction of an action until it runs; the standard
+// way to express recursion in the Node calculus.
+func Delay(f func() Node) Node { return delayNode{f} }
+
+// Lift embeds an effectful Go function as a single atomic step — the
+// analogue of one pure reduction in the paper's inner semantics.
+// Asynchronous exceptions are delivered only between steps, never
+// inside f.
+func Lift(f func() any) Node {
+	return primNode{name: "lift", step: func(rt *RT, t *Thread) (Node, bool) {
+		return retNode{f()}, false
+	}}
+}
+
+// LiftErr embeds a Go function that may fail; a non-nil exception is
+// raised synchronously.
+func LiftErr(f func() (any, exc.Exception)) Node {
+	return primNode{name: "liftErr", step: func(rt *RT, t *Thread) (Node, bool) {
+		v, e := f()
+		if e != nil {
+			return throwNode{e}, false
+		}
+		return retNode{v}, false
+	}}
+}
+
+// GetMask returns the thread's current mask state (an introspection
+// helper used by combinators and tests; GHC's getMaskingState).
+func GetMask() Node {
+	return primNode{name: "getMask", step: func(rt *RT, t *Thread) (Node, bool) {
+		return retNode{t.mask}, false
+	}}
+}
+
+// Fork creates a new thread running m and returns its ThreadID (§4).
+// Following the revised (Fork) rule of Figure 5, the child inherits the
+// parent's current mask state — the property the paper's either
+// combinator (§7.2) relies on to install handlers race-free.
+func Fork(m Node) Node { return ForkNamed(m, "") }
+
+// ForkNamed is Fork with a debug name attached to the child thread.
+func ForkNamed(m Node, name string) Node {
+	return primNode{name: "forkIO", step: func(rt *RT, t *Thread) (Node, bool) {
+		child := rt.spawn(m, name, t.mask)
+		return retNode{child.id}, false
+	}}
+}
+
+// MyThreadID returns the calling thread's ThreadID (§4).
+func MyThreadID() Node {
+	return primNode{name: "myThreadId", step: func(rt *RT, t *Thread) (Node, bool) {
+		return retNode{t.id}, false
+	}}
+}
+
+// Yield cedes the remainder of the thread's time slice.
+func Yield() Node {
+	return primNode{name: "yield", step: func(rt *RT, t *Thread) (Node, bool) {
+		t.sliceLeft = 0
+		return retNode{UnitValue}, false
+	}}
+}
+
+// Sleep suspends the thread for at least d (§4; the paper's sleep takes
+// microseconds, here a time.Duration). Sleeping threads are stuck and
+// therefore interruptible in any context (Figure 5, rules Stuck Sleep
+// and Interrupt). Sleep with d <= 0 returns immediately and is not an
+// interruption point.
+func Sleep(d time.Duration) Node {
+	return primNode{name: "sleep", step: func(rt *RT, t *Thread) (Node, bool) {
+		if d <= 0 {
+			return retNode{UnitValue}, false
+		}
+		if n, interrupted := t.raisePendingForPark(); interrupted {
+			return n, false
+		}
+		rt.parkSleep(t, d)
+		return nil, true
+	}}
+}
+
+// ThrowTo raises exception e in thread tid (§5). In the default
+// asynchronous design the call returns immediately and the exception is
+// "in flight" (Figure 5, rule ThrowTo); with Options.SyncThrowTo the
+// caller waits until the exception has been delivered, and the wait is
+// itself interruptible (§9).
+func ThrowTo(tid ThreadID, e exc.Exception) Node {
+	return primNode{name: "throwTo", step: func(rt *RT, t *Thread) (Node, bool) {
+		return rt.throwTo(t, tid, e)
+	}}
+}
+
+// PutChar writes a character to the runtime console (§3).
+func PutChar(ch rune) Node {
+	return primNode{name: "putChar", step: func(rt *RT, t *Thread) (Node, bool) {
+		rt.console.putChar(ch)
+		return retNode{UnitValue}, false
+	}}
+}
+
+// PutStr writes a string to the runtime console as a single step; a
+// convenience that keeps example output atomic.
+func PutStr(s string) Node {
+	return primNode{name: "putStr", step: func(rt *RT, t *Thread) (Node, bool) {
+		for _, ch := range s {
+			rt.console.putChar(ch)
+		}
+		return retNode{UnitValue}, false
+	}}
+}
+
+// GetChar reads a character from the runtime console, parking until
+// input is available (§3). A parked reader is stuck and interruptible
+// (Figure 5, rules Stuck GetChar and Interrupt).
+func GetChar() Node {
+	return primNode{name: "getChar", step: func(rt *RT, t *Thread) (Node, bool) {
+		if ch, ok := rt.console.getChar(); ok {
+			return retNode{ch}, false
+		}
+		if n, interrupted := t.raisePendingForPark(); interrupted {
+			return n, false
+		}
+		rt.parkGetChar(t)
+		return nil, true
+	}}
+}
+
+// NewEmptyMVar creates a fresh empty MVar (§4).
+func NewEmptyMVar() Node {
+	return primNode{name: "newEmptyMVar", step: func(rt *RT, t *Thread) (Node, bool) {
+		return retNode{rt.newMVar(false, nil)}, false
+	}}
+}
+
+// NewMVar creates a fresh MVar holding v.
+func NewMVar(v any) Node {
+	return primNode{name: "newMVar", step: func(rt *RT, t *Thread) (Node, bool) {
+		return retNode{rt.newMVar(true, v)}, false
+	}}
+}
+
+// TakeMVar removes and returns the contents of mv, parking while mv is
+// empty (§4). It is an interruptible operation: inside Block it can
+// still receive asynchronous exceptions, but only until the value is
+// acquired (§5.3).
+func TakeMVar(mv *MVar) Node {
+	return primNode{name: "takeMVar", step: func(rt *RT, t *Thread) (Node, bool) {
+		return rt.takeMVar(t, mv)
+	}}
+}
+
+// PutMVar fills mv with v, parking while mv is full (§4, with the
+// footnote-3 semantics: putMVar on a full MVar waits rather than
+// erroring). Putting into an empty MVar never parks and therefore is
+// not an interruption point (§5.3) — the property the safe-locking
+// pattern's exception handler relies on.
+func PutMVar(mv *MVar, v any) Node {
+	return primNode{name: "putMVar", step: func(rt *RT, t *Thread) (Node, bool) {
+		return rt.putMVar(t, mv, v)
+	}}
+}
+
+// TryTakeMVar is a non-parking TakeMVar: it returns (value, true) when
+// mv was full and (nil, false) otherwise. Never an interruption point.
+func TryTakeMVar(mv *MVar) Node {
+	return primNode{name: "tryTakeMVar", step: func(rt *RT, t *Thread) (Node, bool) {
+		v, ok := rt.tryTakeMVar(mv)
+		return retNode{TryResult{Value: v, OK: ok}}, false
+	}}
+}
+
+// TryPutMVar is a non-parking PutMVar: it returns true when it filled
+// mv (or handed the value to a waiting taker). Never an interruption
+// point.
+func TryPutMVar(mv *MVar, v any) Node {
+	return primNode{name: "tryPutMVar", step: func(rt *RT, t *Thread) (Node, bool) {
+		return retNode{rt.tryPutMVar(mv, v)}, false
+	}}
+}
+
+// TryResult is the result of TryTakeMVar.
+type TryResult struct {
+	// Value is the MVar's contents when OK.
+	Value any
+	// OK reports whether the take succeeded.
+	OK bool
+}
+
+// Await parks the thread until an external completion arrives; it is
+// the bridge used by the I/O manager (internal/iomgr) to run blocking
+// Go calls on goroutines. start is invoked inside the scheduler with a
+// completion callback that may be called from any goroutine, exactly
+// once; cancel (optional) is invoked if the thread is interrupted while
+// waiting, and should unblock the external work (e.g. close a socket).
+// An awaiting thread is stuck and interruptible, like any paper
+// operation that waits for the outside world.
+func Await(name string, start func(complete func(v any, e exc.Exception)) (cancel func())) Node {
+	return primNode{name: name, step: func(rt *RT, t *Thread) (Node, bool) {
+		if n, interrupted := t.raisePendingForPark(); interrupted {
+			return n, false
+		}
+		rt.parkAwait(t, start)
+		return nil, true
+	}}
+}
+
+// Steps returns the total number of scheduler steps executed so far; a
+// Lift-able introspection hook used by fault-injection tests.
+func Steps() Node {
+	return primNode{name: "steps", step: func(rt *RT, t *Thread) (Node, bool) {
+		return retNode{rt.stats.Steps}, false
+	}}
+}
+
+// FrameDepth returns the calling thread's current continuation-stack
+// depth; used by the §8.1 constant-stack tests and benchmarks.
+func FrameDepth() Node {
+	return primNode{name: "frameDepth", step: func(rt *RT, t *Thread) (Node, bool) {
+		return retNode{len(t.stack)}, false
+	}}
+}

@@ -1,0 +1,611 @@
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"asyncexc/internal/exc"
+)
+
+// Options configures a runtime.
+type Options struct {
+	// TimeSlice is the number of interpreter steps a thread runs
+	// before being preempted. The paper's Concurrent Haskell allows
+	// both cooperative and preemptive implementations (§4); a slice of
+	// 1 interleaves at every transition like the semantics, larger
+	// slices model GHC-style coarser preemption. Default 50.
+	TimeSlice int
+	// Clock selects virtual (default) or real time.
+	Clock ClockMode
+	// RandomSched, when set, picks the next runnable thread pseudo-
+	// randomly using Seed instead of round-robin; used by interleaving
+	// stress tests.
+	RandomSched bool
+	// Seed seeds the random scheduler.
+	Seed int64
+	// SyncThrowTo selects the §9 design alternative in which throwTo
+	// waits for the exception to be delivered and is itself
+	// interruptible.
+	SyncThrowTo bool
+	// DetectDeadlock, when set (default via NewRT), wakes threads that
+	// are blocked forever with BlockedIndefinitely instead of hanging,
+	// mirroring GHC. Disable to recover the paper's exact semantics
+	// (stuck threads simply never move).
+	DetectDeadlock bool
+	// MaxSteps aborts RunMain with ErrFuelExhausted after this many
+	// steps; 0 means unlimited. Tests use it to bound divergence.
+	MaxSteps uint64
+	// MaxStack bounds each thread's continuation stack; exceeding it
+	// raises StackOverflow in the offending thread. 0 means unlimited.
+	MaxStack int
+	// Stdout, when non-nil, mirrors console output as it happens.
+	Stdout io.Writer
+	// Stdin provides initial console input.
+	Stdin string
+	// Tracer receives scheduler events when non-nil.
+	Tracer func(Event)
+	// DisableFrameCancellation turns off the §8.1 adjacent-frame
+	// cancellation (ablation switch for experiment E7).
+	DisableFrameCancellation bool
+	// ExternalEvents sizes the external completion queue (I/O manager,
+	// input injection). Default 1024.
+	ExternalEvents int
+}
+
+// Result is the outcome of the main thread.
+type Result struct {
+	// Value is the main thread's return value when Exc is nil.
+	Value any
+	// Exc is the uncaught exception that terminated the main thread,
+	// if any.
+	Exc exc.Exception
+}
+
+// Errors returned by RunMain.
+var (
+	// ErrFuelExhausted reports that Options.MaxSteps was reached.
+	ErrFuelExhausted = errors.New("sched: step budget exhausted")
+	// ErrDeadlock reports a global deadlock with deadlock detection
+	// disabled.
+	ErrDeadlock = errors.New("sched: all threads blocked and no external events possible")
+)
+
+// RT is a runtime instance: a collection of threads and MVars evolving
+// by transitions (Figure 2's program state, plus the scheduling
+// machinery of §8). An RT is single-threaded: all state is owned by the
+// goroutine that calls RunMain; external goroutines communicate only
+// through External.
+type RT struct {
+	opts Options
+
+	nextTID      ThreadID
+	nextMVarID   uint64
+	nextTimerSeq uint64
+	nextAwaitID  uint64
+
+	threads map[ThreadID]*Thread
+	runq    []*Thread
+	runqPos int
+
+	timers timerHeap
+	now    int64
+
+	console *console
+
+	rng *rand.Rand
+
+	events        chan func(*RT)
+	outstandingIO int
+
+	stats Stats
+
+	mainThread *Thread
+	realEpoch  time.Time
+}
+
+// NewRT creates a runtime with the given options (zero value = paper
+// defaults: preemptive 50-step slices, virtual clock, asynchronous
+// throwTo, deadlock detection on).
+func NewRT(opts Options) *RT {
+	if opts.TimeSlice <= 0 {
+		opts.TimeSlice = 50
+	}
+	if opts.ExternalEvents <= 0 {
+		opts.ExternalEvents = 1024
+	}
+	rt := &RT{
+		opts:    opts,
+		threads: make(map[ThreadID]*Thread),
+		events:  make(chan func(*RT), opts.ExternalEvents),
+		rng:     rand.New(rand.NewSource(opts.Seed)),
+	}
+	rt.console = &console{rt: rt, in: []rune(opts.Stdin), mirror: opts.Stdout}
+	return rt
+}
+
+// DefaultOptions returns the options NewRT treats as the paper
+// defaults, with deadlock detection enabled.
+func DefaultOptions() Options {
+	return Options{TimeSlice: 50, DetectDeadlock: true}
+}
+
+// Stats returns a copy of the runtime's counters.
+func (rt *RT) Stats() Stats { return rt.stats }
+
+// Now returns the current runtime clock in nanoseconds.
+func (rt *RT) Now() int64 { return rt.now }
+
+// Thread returns the thread with the given id, or nil if it has
+// finished (finished threads are garbage collected, rule Proc GC).
+func (rt *RT) Thread(id ThreadID) *Thread { return rt.threads[id] }
+
+// MainThread returns the main thread (valid during and after RunMain).
+func (rt *RT) MainThread() *Thread { return rt.mainThread }
+
+// External schedules f to run inside the scheduler loop. It is the
+// only safe way for other goroutines (I/O manager completions, signal
+// handlers, test drivers) to touch runtime state. It never blocks the
+// scheduler; it may block the caller when the queue is full.
+func (rt *RT) External(f func(*RT)) { rt.events <- f }
+
+// spawn creates a thread running m. Per the revised (Fork) rule the
+// child starts with the supplied mask state (its parent's).
+func (rt *RT) spawn(m Node, name string, mask MaskState) *Thread {
+	rt.nextTID++
+	t := &Thread{id: rt.nextTID, name: name, rt: rt, cur: m, mask: mask, status: statusRunnable}
+	rt.threads[t.id] = t
+	rt.enqueue(t)
+	rt.stats.Forks++
+	return t
+}
+
+func (rt *RT) enqueue(t *Thread) { rt.runq = append(rt.runq, t) }
+
+// nextRunnable pops the next thread to run, or nil when the run queue
+// is empty. Round-robin by default; random with Options.RandomSched.
+func (rt *RT) nextRunnable() *Thread {
+	for len(rt.runq) > rt.runqPos {
+		var t *Thread
+		if rt.opts.RandomSched {
+			i := rt.runqPos + rt.rng.Intn(len(rt.runq)-rt.runqPos)
+			rt.runq[rt.runqPos], rt.runq[i] = rt.runq[i], rt.runq[rt.runqPos]
+		}
+		t = rt.runq[rt.runqPos]
+		rt.runq[rt.runqPos] = nil
+		rt.runqPos++
+		if rt.runqPos > 64 && rt.runqPos*2 >= len(rt.runq) {
+			rt.runq = append(rt.runq[:0], rt.runq[rt.runqPos:]...)
+			rt.runqPos = 0
+		}
+		if t.status == statusRunnable {
+			return t
+		}
+	}
+	if rt.runqPos > 0 {
+		rt.runq = rt.runq[:0]
+		rt.runqPos = 0
+	}
+	return nil
+}
+
+// RunMain runs main as the main thread until it finishes (rule Proc
+// GC: when the main thread is done, all other threads die), the step
+// budget runs out, or an undetectable deadlock occurs.
+func (rt *RT) RunMain(main Node) (Result, error) {
+	if rt.mainThread != nil {
+		return Result{}, errors.New("sched: RunMain called twice on one RT")
+	}
+	rt.realEpoch = time.Now()
+	rt.mainThread = rt.spawn(main, "main", Unmasked)
+	for {
+		rt.drainExternal()
+		if rt.opts.Clock == RealClock {
+			rt.syncRealClock()
+		}
+		if rt.mainThread.status == statusDone {
+			// Rule (Proc GC): once the main thread is finished, all
+			// other threads die.
+			for id := range rt.threads {
+				delete(rt.threads, id)
+			}
+			return Result{Value: rt.mainThread.doneVal, Exc: rt.mainThread.doneExc}, nil
+		}
+		t := rt.nextRunnable()
+		if t == nil {
+			if err := rt.idle(); err != nil {
+				return Result{}, err
+			}
+			continue
+		}
+		if err := rt.runSlice(t); err != nil {
+			return Result{}, err
+		}
+	}
+}
+
+// runSlice runs t for up to one time slice.
+func (rt *RT) runSlice(t *Thread) error {
+	t.sliceLeft = rt.opts.TimeSlice
+	for t.sliceLeft > 0 && t.status == statusRunnable {
+		if rt.opts.MaxSteps > 0 && rt.stats.Steps >= rt.opts.MaxSteps {
+			return ErrFuelExhausted
+		}
+		t.sliceLeft--
+		rt.step(t)
+	}
+	if t.status == statusRunnable {
+		rt.stats.Preemptions++
+		rt.enqueue(t)
+	}
+	return nil
+}
+
+// step executes one transition of thread t. This function is the
+// runtime analogue of the transition rules of Figures 4 and 5: each
+// case corresponds to one rule (or the administrative frame-popping
+// half of one).
+func (rt *RT) step(t *Thread) {
+	// Rule (Receive): an exception in flight is raised when the thread
+	// is at a step boundary in an unmasked context AND the current
+	// node is redex-like (a primitive, return, or throw). Structural
+	// descent steps (>>=, catch, block, unblock, delay) are NOT
+	// delivery points: in the paper's semantics those constructors are
+	// part of the static evaluation context, so a handler or mask that
+	// is syntactically in place protects the redex from the moment the
+	// thread exists — before the implementation has "executed" the
+	// catch. Restricting delivery to redex boundaries makes the
+	// runtime's delivery points a subset of the machine's and closes
+	// the install-race the conformance suite would otherwise find.
+	// It also subsumes rule (Receive)'s side condition M ≠ block N:
+	// a maskNode is never a delivery point.
+	if len(t.pending) > 0 && t.mask == Unmasked {
+		switch t.cur.(type) {
+		case primNode, retNode, throwNode:
+			p := t.dequeuePending()
+			rt.noteDelivered(t, p)
+			t.cur = throwNode{p.e}
+		}
+	}
+
+	// Resource exhaustion (§2): a push that exceeded the stack bound
+	// converts the current redex into a StackOverflow raise; the
+	// subsequent unwinding only pops frames, so progress is assured.
+	if t.overflowed {
+		t.overflowed = false
+		t.cur = throwNode{exc.StackOverflow{}}
+	}
+
+	rt.stats.Steps++
+	if rt.opts.Tracer != nil {
+		rt.trace(EvStep{Thread: t.id, Kind: t.cur.nodeKind(), StepNo: rt.stats.Steps})
+	}
+
+	switch n := t.cur.(type) {
+	case retNode:
+		if len(t.stack) == 0 {
+			rt.finish(t, n.v, nil) // rule (Return GC)
+			return
+		}
+		switch f := t.pop().(type) {
+		case bindFrame:
+			t.cur = f.k(n.v) // rule (Bind)
+		case maskFrame:
+			t.mask = f.restore // rules (Block Return)/(Unblock Return)
+		case catchFrame:
+			// rule (Handle): catch (return M) H -> return M
+		}
+
+	case throwNode:
+		if len(t.stack) == 0 {
+			rt.finish(t, nil, n.e) // rule (Throw GC)
+			return
+		}
+		switch f := t.pop().(type) {
+		case bindFrame:
+			// rule (Propagate): throw e >>= M -> throw e
+			_ = f
+		case maskFrame:
+			t.mask = f.restore // rules (Block Throw)/(Unblock Throw)
+		case catchFrame:
+			// rule (Catch): restore the mask state recorded when the
+			// frame was pushed, then enter the handler (§8.1).
+			if f.skipAlerts && exc.IsAlertException(n.e) {
+				// §9 two-datatype design: alerts pass through.
+				return
+			}
+			t.mask = f.saved
+			t.cur = f.h(n.e)
+			rt.stats.Handled++
+		}
+
+	case bindNode:
+		t.push(bindFrame{k: n.k})
+		t.cur = n.m
+
+	case catchNode:
+		t.push(catchFrame{h: n.h, saved: t.mask, skipAlerts: n.skipAlerts})
+		t.cur = n.m
+		rt.stats.CatchesInstalled++
+
+	case maskNode:
+		rt.stats.MaskEnters++
+		t.enterMask(n.to, n.m)
+
+	case delayNode:
+		t.cur = n.f()
+
+	case primNode:
+		next, parked := n.step(rt, t)
+		if !parked {
+			t.cur = next
+		}
+
+	default:
+		panic(fmt.Sprintf("sched: unknown node %T", t.cur))
+	}
+}
+
+// finish completes a thread (rules Return GC / Throw GC): its result or
+// uncaught exception is recorded, waiters of in-flight synchronous
+// throwTos succeed trivially (§5: throwTo to a finished thread
+// succeeds), and the thread is removed from the table so later throwTos
+// see it as dead.
+func (rt *RT) finish(t *Thread, v any, e exc.Exception) {
+	t.status = statusDone
+	t.doneVal = v
+	t.doneExc = e
+	t.cur = nil
+	t.stack = nil
+	rt.stats.ThreadsFinished++
+	if e != nil {
+		rt.stats.Uncaught++
+	}
+	for _, p := range t.pending {
+		if p.waiter != nil {
+			rt.unparkWithValue(p.waiter, UnitValue)
+		}
+	}
+	t.pending = nil
+	delete(rt.threads, t.id)
+	rt.trace(EvFinish{Thread: t.id, Exc: e})
+}
+
+// unparkWithValue makes a parked thread runnable again, resuming with
+// return v. Used by MVar handoff, timers, console input and await
+// completions.
+func (rt *RT) unparkWithValue(t *Thread, v any) {
+	t.status = statusRunnable
+	t.park = parkInfo{}
+	t.cur = retNode{v}
+	rt.enqueue(t)
+	rt.trace(EvUnpark{Thread: t.id})
+}
+
+// unparkWithException implements rule (Interrupt): a stuck thread is
+// woken with the exception raised at its evaluation site, in any mask
+// context. The caller has checked interruptibility.
+func (rt *RT) unparkWithException(t *Thread, e exc.Exception) {
+	switch t.park.kind {
+	case parkTakeMVar, parkPutMVar:
+		removeFromMVarQueues(t)
+	case parkGetChar:
+		rt.console.readers = removeThread(rt.console.readers, t)
+	case parkSleep:
+		// Nothing to detach: the timer heap uses lazy deletion and the
+		// entry goes stale as soon as park is cleared below.
+	case parkAwait:
+		if t.park.cancel != nil {
+			t.park.cancel()
+		}
+	case parkThrowTo:
+		// A synchronous thrower interrupted while waiting withdraws
+		// its in-flight exception (GHC behaviour; see DESIGN.md §5).
+		if tgt := t.park.target; tgt != nil {
+			for i, p := range tgt.pending {
+				if p.waiter == t {
+					copy(tgt.pending[i:], tgt.pending[i+1:])
+					tgt.pending = tgt.pending[:len(tgt.pending)-1]
+					break
+				}
+			}
+		}
+	}
+	t.status = statusRunnable
+	t.park = parkInfo{}
+	t.cur = throwNode{e}
+	rt.enqueue(t)
+	rt.stats.Interrupts++
+	rt.trace(EvUnpark{Thread: t.id})
+}
+
+// noteDelivered records a pending exception being raised in t and wakes
+// a synchronous thrower, if any.
+func (rt *RT) noteDelivered(t *Thread, p pendingExc) {
+	rt.stats.Delivered++
+	if p.waiter != nil {
+		rt.unparkWithValue(p.waiter, UnitValue)
+	}
+	rt.trace(EvDeliver{Thread: t.id, Exc: p.e, StepNo: rt.stats.Steps})
+}
+
+// throwTo implements §5/§8.2 and the §9 synchronous variant. Called
+// from the thrower's step.
+func (rt *RT) throwTo(from *Thread, tid ThreadID, e exc.Exception) (Node, bool) {
+	rt.stats.ThrowTos++
+	rt.trace(EvThrowTo{From: from.id, To: tid, Exc: e, Sync: rt.opts.SyncThrowTo})
+	target := rt.threads[tid]
+	if target == nil || target.status == statusDone {
+		// "If the thread t has already died or completed, then throwTo
+		// trivially succeeds" (§5).
+		rt.stats.ThrowToDead++
+		return retNode{UnitValue}, false
+	}
+	if target == from {
+		// Self-throw. Asynchronous design: the exception goes in
+		// flight against ourselves and rule (Receive) fires at the
+		// next boundary if unmasked. Synchronous design: §9 notes this
+		// needs a special case — deliver immediately.
+		if rt.opts.SyncThrowTo {
+			rt.stats.Delivered++
+			return throwNode{e}, false
+		}
+		from.pending = append(from.pending, pendingExc{e: e})
+		return retNode{UnitValue}, false
+	}
+	if target.status == statusParked && target.mask.Interruptible() {
+		// Rule (Interrupt): stuck threads receive the exception at
+		// once, in any context.
+		rt.noteDeliveredDirect(target, e)
+		rt.unparkWithException(target, e)
+		return retNode{UnitValue}, false
+	}
+	if !rt.opts.SyncThrowTo {
+		// Rule (ThrowTo): spawn the exception in flight; the caller
+		// continues immediately.
+		target.pending = append(target.pending, pendingExc{e: e})
+		return retNode{UnitValue}, false
+	}
+	// Synchronous design: park until delivery; the wait is itself
+	// interruptible (§9).
+	if n, interrupted := from.raisePendingForPark(); interrupted {
+		return n, false
+	}
+	target.pending = append(target.pending, pendingExc{e: e, waiter: from})
+	from.status = statusParked
+	from.park = parkInfo{kind: parkThrowTo, target: target}
+	rt.trace(EvPark{Thread: from.id, Reason: "throwTo"})
+	return nil, true
+}
+
+// noteDeliveredDirect records an (Interrupt)-path delivery that did not
+// go through the pending queue.
+func (rt *RT) noteDeliveredDirect(t *Thread, e exc.Exception) {
+	rt.stats.Delivered++
+	rt.trace(EvDeliver{Thread: t.id, Exc: e, Interrupted: true, StepNo: rt.stats.Steps})
+}
+
+// parkAwait parks t until an external completion for this await
+// arrives (I/O manager bridge); results arriving after an interruption
+// are dropped silently (use AwaitCleanup to release them).
+func (rt *RT) parkAwait(t *Thread, start func(complete func(v any, e exc.Exception)) (cancel func())) {
+	rt.parkAwaitCleanup(t, start, nil)
+}
+
+// drainExternal runs queued external events without blocking.
+func (rt *RT) drainExternal() {
+	for {
+		select {
+		case f := <-rt.events:
+			f(rt)
+		default:
+			return
+		}
+	}
+}
+
+// syncRealClock advances the runtime clock to wall time and fires due
+// timers (RealClock mode).
+func (rt *RT) syncRealClock() {
+	now := int64(time.Since(rt.realEpoch))
+	if now > rt.now {
+		rt.now = now
+		rt.fireTimersUpTo(now)
+	}
+}
+
+// idle handles the no-runnable-thread state: advance the clock to the
+// next timer, wait for external events, or declare deadlock.
+func (rt *RT) idle() error {
+	switch rt.opts.Clock {
+	case VirtualClock:
+		if at, ok := rt.nextTimerAt(); ok && rt.outstandingIO == 0 {
+			// Jump time forward (the fastest clock rule (Sleep)
+			// permits).
+			rt.trace(EvTimeAdvance{FromNS: rt.now, ToNS: at})
+			rt.stats.TimeAdvances++
+			rt.now = at
+			rt.fireTimersUpTo(at)
+			return nil
+		}
+		if rt.outstandingIO > 0 || (len(rt.console.readers) > 0 && !rt.console.closed) {
+			// Block for an external completion or injected input.
+			f := <-rt.events
+			f(rt)
+			return nil
+		}
+		return rt.deadlock()
+	default: // RealClock
+		rt.syncRealClock()
+		var wait time.Duration = -1
+		if at, ok := rt.nextTimerAt(); ok {
+			wait = time.Duration(at - rt.now)
+			if wait <= 0 {
+				return nil
+			}
+		}
+		if wait < 0 {
+			if rt.outstandingIO == 0 && !(len(rt.console.readers) > 0 && !rt.console.closed) {
+				return rt.deadlock()
+			}
+			f := <-rt.events
+			f(rt)
+			return nil
+		}
+		timer := time.NewTimer(wait)
+		select {
+		case f := <-rt.events:
+			timer.Stop()
+			f(rt)
+		case <-timer.C:
+		}
+		return nil
+	}
+}
+
+// deadlock handles the state in which every thread is stuck on an MVar
+// (or closed input) and no external event can arrive. With detection
+// enabled, every stuck thread receives BlockedIndefinitely — they are
+// stuck, hence interruptible, so rule (Interrupt) justifies delivery
+// even under Block; the uninterruptible extension state is overridden,
+// as in GHC, because no other delivery opportunity can ever arise.
+func (rt *RT) deadlock() error {
+	if !rt.opts.DetectDeadlock {
+		return ErrDeadlock
+	}
+	var stuck []*Thread
+	for _, t := range rt.threads {
+		if t.status == statusParked {
+			stuck = append(stuck, t)
+		}
+	}
+	if len(stuck) == 0 {
+		// Main finished check happens in RunMain's loop; if we get
+		// here with nothing parked, the program has no threads left at
+		// all, which cannot happen while main is live.
+		return ErrDeadlock
+	}
+	// Deterministic order for reproducibility.
+	sortThreadsByID(stuck)
+	ids := make([]ThreadID, len(stuck))
+	for i, t := range stuck {
+		ids[i] = t.id
+	}
+	rt.stats.Deadlocks++
+	rt.trace(EvDeadlock{Threads: ids})
+	for _, t := range stuck {
+		rt.noteDeliveredDirect(t, exc.BlockedIndefinitely{})
+		rt.unparkWithException(t, exc.BlockedIndefinitely{})
+	}
+	return nil
+}
+
+func sortThreadsByID(ts []*Thread) {
+	for i := 1; i < len(ts); i++ {
+		for j := i; j > 0 && ts[j].id < ts[j-1].id; j-- {
+			ts[j], ts[j-1] = ts[j-1], ts[j]
+		}
+	}
+}

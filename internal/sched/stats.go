@@ -1,0 +1,56 @@
+package sched
+
+// Stats counts scheduler events. The counters double as rule-firing
+// counts when comparing the runtime against the executable semantics,
+// and feed the tables produced by cmd/axbench.
+type Stats struct {
+	// Steps is the total number of interpreter steps executed.
+	Steps uint64
+	// Forks counts forkIO calls.
+	Forks uint64
+	// ThreadsFinished counts threads that ran to completion or died
+	// with an uncaught exception.
+	ThreadsFinished uint64
+	// Uncaught counts threads that died with an uncaught exception
+	// (rule Throw GC).
+	Uncaught uint64
+
+	// MVarsCreated, MVarTakes, MVarPuts count MVar operations that
+	// completed; MVarTakeParks/MVarPutParks count the ones that had to
+	// wait (rules Stuck TakeMVar / Stuck PutMVar).
+	MVarsCreated  uint64
+	MVarTakes     uint64
+	MVarPuts      uint64
+	MVarTakeParks uint64
+	MVarPutParks  uint64
+
+	// Sleeps counts sleep parks.
+	Sleeps uint64
+
+	// ThrowTos counts throwTo calls; ThrowToDead the ones whose target
+	// had already finished (trivial success, §5).
+	ThrowTos    uint64
+	ThrowToDead uint64
+	// Delivered counts asynchronous exceptions actually raised in
+	// their target (rules Receive and Interrupt); Interrupts counts
+	// the subset that interrupted a stuck thread (rule Interrupt).
+	Delivered  uint64
+	Interrupts uint64
+
+	// MaskEnters counts block/unblock scope entries that changed the
+	// state; MaskFramesCancelled counts §8.1 frame cancellations.
+	MaskEnters          uint64
+	MaskFramesCancelled uint64
+
+	// CatchesInstalled counts catch frames pushed; Handled counts
+	// handlers entered (rule Catch).
+	CatchesInstalled uint64
+	Handled          uint64
+
+	// Preemptions counts exhausted time slices.
+	Preemptions uint64
+	// Deadlocks counts deadlock-detector firings.
+	Deadlocks uint64
+	// TimeAdvances counts virtual-clock jumps.
+	TimeAdvances uint64
+}

@@ -1,0 +1,153 @@
+package sched_test
+
+import (
+	"testing"
+	"time"
+
+	"asyncexc/internal/exc"
+	"asyncexc/internal/sched"
+)
+
+// Corner cases of the §9 synchronous throwTo design.
+
+func syncOpts() sched.Options {
+	opts := sched.DefaultOptions()
+	opts.SyncThrowTo = true
+	return opts
+}
+
+func TestSyncThrowToToDeadThreadReturnsImmediately(t *testing.T) {
+	main := sched.Bind(sched.Fork(sched.Return(1)), func(raw any) sched.Node {
+		tid := raw.(sched.ThreadID)
+		return seq(
+			sched.Sleep(time.Millisecond), // child finishes
+			sched.ThrowTo(tid, exc.Dyn{Tag: "X"}),
+			sched.PutChar('d'),
+		)
+	})
+	_, rt := run(t, syncOpts(), main)
+	if rt.Output() != "d" {
+		t.Fatalf("output %q", rt.Output())
+	}
+}
+
+func TestSyncThrowToTargetFinishesWhileWaiting(t *testing.T) {
+	// The target is masked and completes without ever unmasking; the
+	// thrower must still be released ("throwTo to a finished thread
+	// trivially succeeds", §5).
+	mvNode := sched.NewEmptyMVar()
+	main := sched.Bind(mvNode, func(raw any) sched.Node {
+		ready := raw.(*sched.MVar)
+		target := sched.Block(seq(
+			sched.PutMVar(ready, 1),
+			busy(5000),
+			// finishes masked, pending exception undelivered
+		))
+		return sched.Bind(sched.Fork(target), func(rawT any) sched.Node {
+			tid := rawT.(sched.ThreadID)
+			return seq(
+				sched.Then(sched.TakeMVar(ready), sched.ReturnUnit()),
+				sched.ThrowTo(tid, exc.Dyn{Tag: "X"}), // parks: target masked
+				sched.PutChar('r'),                    // released when the target dies
+			)
+		})
+	})
+	_, rt := run(t, syncOpts(), main)
+	if rt.Output() != "r" {
+		t.Fatalf("output %q", rt.Output())
+	}
+}
+
+func TestSyncThrowToSelfDeliversImmediately(t *testing.T) {
+	// §9: the synchronous version needs a special case for a thread
+	// throwing to itself — it cannot wait for its own delivery.
+	main := sched.Bind(sched.MyThreadID(), func(raw any) sched.Node {
+		me := raw.(sched.ThreadID)
+		return sched.Catch(
+			sched.Then(sched.ThrowTo(me, exc.Dyn{Tag: "Me"}), sched.PutChar('x')),
+			func(e exc.Exception) sched.Node { return sched.PutChar('c') })
+	})
+	_, rt := run(t, syncOpts(), main)
+	if rt.Output() != "c" {
+		t.Fatalf("output %q", rt.Output())
+	}
+}
+
+func TestSyncThrowerInterruptedWithdrawsException(t *testing.T) {
+	// A parked synchronous thrower that is itself interrupted
+	// withdraws its in-flight exception: the target must NOT receive
+	// it afterwards.
+	mvNode := sched.NewEmptyMVar()
+	main := sched.Bind(mvNode, func(raw any) sched.Node {
+		ready := raw.(*sched.MVar)
+		target := sched.Catch(
+			sched.Block(seq(
+				sched.PutMVar(ready, 1),
+				busy(200000),
+				sched.PutChar('t'), // target survives its masked region
+				sched.Then(sched.Unblock(sched.ReturnUnit()), sched.PutChar('u')),
+			)),
+			func(e exc.Exception) sched.Node { return sched.PutChar('!') })
+		return sched.Bind(sched.Fork(target), func(rawT any) sched.Node {
+			tid := rawT.(sched.ThreadID)
+			thrower := sched.Catch(
+				sched.ThrowTo(tid, exc.Dyn{Tag: "X"}), // parks (target masked)
+				func(e exc.Exception) sched.Node { return sched.PutChar('w') })
+			return sched.Bind(sched.Fork(thrower), func(rawW any) sched.Node {
+				wid := rawW.(sched.ThreadID)
+				return seq(
+					sched.Then(sched.TakeMVar(ready), sched.ReturnUnit()),
+					// Yield (not sleep: the virtual clock cannot advance
+					// while the target is busy) until the thrower has
+					// parked on its synchronous throwTo.
+					sched.Yield(), sched.Yield(), sched.Yield(),
+					sched.ThrowTo(wid, exc.ThreadKilled{}),
+					sched.Sleep(time.Millisecond), // drain: target finishes
+				)
+			})
+		})
+	})
+	_, rt := run(t, syncOpts(), main)
+	out := rt.Output()
+	// 'w' = thrower interrupted; 't' and 'u' = target untouched; no '!'.
+	if out != "wtu" && out != "twu" {
+		t.Fatalf("output %q: the withdrawn exception must not reach the target", out)
+	}
+}
+
+// --- thread dump ------------------------------------------------------------
+
+func TestThreadDump(t *testing.T) {
+	rt := sched.NewRT(sched.DefaultOptions())
+	mvNode := sched.NewEmptyMVar()
+	main := sched.Bind(mvNode, func(raw any) sched.Node {
+		mv := raw.(*sched.MVar)
+		return seq(
+			sched.Bind(sched.ForkNamed(sched.Then(sched.TakeMVar(mv), sched.ReturnUnit()), "waiter"),
+				func(any) sched.Node { return sched.ReturnUnit() }),
+			sched.Sleep(time.Millisecond),
+			sched.Lift(func() any {
+				dump := rt.ThreadDump()
+				if len(dump) != 2 {
+					t.Errorf("dump has %d threads", len(dump))
+					return sched.UnitValue
+				}
+				if dump[0].Name != "main" || dump[0].Status != "runnable" {
+					t.Errorf("main entry: %+v", dump[0])
+				}
+				if dump[1].Name != "waiter" || dump[1].Status != "parked(takeMVar)" {
+					t.Errorf("waiter entry: %+v", dump[1])
+				}
+				return sched.UnitValue
+			}),
+			sched.PutMVar(mv, 1),
+		)
+	})
+	if _, err := rt.RunMain(main); err != nil {
+		t.Fatal(err)
+	}
+	if s := rt.DumpString(); s != "" {
+		// After the run all threads are gone.
+		t.Fatalf("dump after run: %q", s)
+	}
+}

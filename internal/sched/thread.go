@@ -1,0 +1,218 @@
+package sched
+
+import (
+	"fmt"
+
+	"asyncexc/internal/exc"
+)
+
+// ThreadID identifies a thread; ThreadIDs support equality (§4) and are
+// never reused within one runtime.
+type ThreadID int64
+
+// String renders a ThreadID for traces.
+func (t ThreadID) String() string { return fmt.Sprintf("thread#%d", int64(t)) }
+
+// MaskState is the per-thread asynchronous-exception state of §5.2/§8.1.
+// The paper has two states (blocked/unblocked); MaskedUninterruptible
+// is the extension documented in DESIGN.md §6.
+type MaskState uint8
+
+const (
+	// Unmasked: asynchronous exceptions are delivered at every step
+	// boundary (the paper's "unblocked" state).
+	Unmasked MaskState = iota
+	// Masked: delivery is postponed, except at interruptible
+	// operations that actually wait (the paper's "blocked" state).
+	Masked
+	// MaskedUninterruptible: delivery is postponed even at
+	// interruptible operations (extension).
+	MaskedUninterruptible
+)
+
+// String renders a MaskState.
+func (m MaskState) String() string {
+	switch m {
+	case Unmasked:
+		return "unmasked"
+	case Masked:
+		return "masked"
+	case MaskedUninterruptible:
+		return "maskedUninterruptible"
+	default:
+		return fmt.Sprintf("MaskState(%d)", uint8(m))
+	}
+}
+
+// Interruptible reports whether a stuck thread in this mask state may
+// receive asynchronous exceptions (rule Interrupt applies to the
+// paper's both states; only the extension state refuses).
+func (m MaskState) Interruptible() bool { return m != MaskedUninterruptible }
+
+type threadStatus uint8
+
+const (
+	statusRunnable threadStatus = iota
+	statusParked
+	statusDone
+)
+
+type parkKind uint8
+
+const (
+	parkNone parkKind = iota
+	parkTakeMVar
+	parkPutMVar
+	parkSleep
+	parkGetChar
+	parkAwait
+	parkThrowTo // synchronous throwTo waiting for delivery (§9)
+)
+
+func (k parkKind) String() string {
+	switch k {
+	case parkNone:
+		return "none"
+	case parkTakeMVar:
+		return "takeMVar"
+	case parkPutMVar:
+		return "putMVar"
+	case parkSleep:
+		return "sleep"
+	case parkGetChar:
+		return "getChar"
+	case parkAwait:
+		return "await"
+	case parkThrowTo:
+		return "throwTo"
+	default:
+		return fmt.Sprintf("parkKind(%d)", uint8(k))
+	}
+}
+
+// pendingExc is one entry in a thread's pending-exception queue (§8.1).
+// waiter is non-nil for the synchronous throwTo design of §9: the
+// thread to wake once the exception has been delivered.
+type pendingExc struct {
+	e      exc.Exception
+	waiter *Thread
+}
+
+// parkInfo records why a thread is parked and how to extract it.
+type parkInfo struct {
+	kind parkKind
+	// mv is the MVar a taker/putter waits on.
+	mv *MVar
+	// putVal is the value a parked putter is waiting to deposit.
+	putVal any
+	// timerSeq identifies the timer entry of a sleeping thread (the
+	// heap uses lazy deletion).
+	timerSeq uint64
+	// awaitID matches external completions to this park episode.
+	awaitID uint64
+	// cancel is invoked when an awaiting thread is interrupted.
+	cancel func()
+	// target is the thread a synchronous throwTo caller is waiting on.
+	target *Thread
+}
+
+// Thread is the per-thread data block of §8.1: the current action, the
+// continuation stack, the asynchronous-exception mask state, and the
+// queue of pending asynchronous exceptions.
+type Thread struct {
+	id   ThreadID
+	name string
+	rt   *RT
+
+	cur   Node
+	stack []frame
+	mask  MaskState
+
+	pending []pendingExc
+
+	status threadStatus
+	park   parkInfo
+
+	// sliceLeft counts remaining steps in the current time slice.
+	sliceLeft int
+
+	// doneVal/doneExc record the completion outcome.
+	doneVal any
+	doneExc exc.Exception
+
+	// stackHighWater tracks the maximum frame depth (stats, §8.1
+	// constant-stack evidence).
+	stackHighWater int
+
+	// overflowed is set by push when the stack bound is exceeded; the
+	// next step converts it into a StackOverflow raise.
+	overflowed bool
+}
+
+// ID returns the thread's identifier.
+func (t *Thread) ID() ThreadID { return t.id }
+
+// Name returns the debug name given at fork time.
+func (t *Thread) Name() string { return t.name }
+
+// Mask returns the thread's current mask state.
+func (t *Thread) Mask() MaskState { return t.mask }
+
+// Done reports whether the thread has finished.
+func (t *Thread) Done() bool { return t.status == statusDone }
+
+// PendingCount returns the number of queued undelivered exceptions.
+func (t *Thread) PendingCount() int { return len(t.pending) }
+
+// StackDepth returns the current continuation-stack depth.
+func (t *Thread) StackDepth() int { return len(t.stack) }
+
+// StackHighWater returns the maximum continuation-stack depth observed.
+func (t *Thread) StackHighWater() int { return t.stackHighWater }
+
+func (t *Thread) push(f frame) {
+	t.stack = append(t.stack, f)
+	if len(t.stack) > t.stackHighWater {
+		t.stackHighWater = len(t.stack)
+	}
+	if max := t.rt.opts.MaxStack; max > 0 && len(t.stack) > max {
+		t.overflowed = true
+	}
+}
+
+func (t *Thread) pop() frame {
+	f := t.stack[len(t.stack)-1]
+	t.stack[len(t.stack)-1] = nil
+	t.stack = t.stack[:len(t.stack)-1]
+	return f
+}
+
+func (t *Thread) top() frame {
+	if len(t.stack) == 0 {
+		return nil
+	}
+	return t.stack[len(t.stack)-1]
+}
+
+// dequeuePending removes and returns the first pending exception.
+func (t *Thread) dequeuePending() pendingExc {
+	p := t.pending[0]
+	copy(t.pending, t.pending[1:])
+	t.pending[len(t.pending)-1] = pendingExc{}
+	t.pending = t.pending[:len(t.pending)-1]
+	return p
+}
+
+// raisePendingForPark implements the interruptible-operations rule of
+// §5.3 for a primitive that is about to wait: if the thread has a
+// pending asynchronous exception and is not in the uninterruptible
+// extension state, the exception is raised now instead of parking.
+// It returns (throwNode, true) when an exception was raised.
+func (t *Thread) raisePendingForPark() (Node, bool) {
+	if len(t.pending) == 0 || !t.mask.Interruptible() {
+		return nil, false
+	}
+	p := t.dequeuePending()
+	t.rt.noteDelivered(t, p)
+	return throwNode{p.e}, true
+}

@@ -1,0 +1,101 @@
+package sched
+
+import "asyncexc/internal/exc"
+
+// Event is a scheduler trace event. Tracing is optional (Options.Tracer)
+// and is used by the conformance suite, the examples, and cmd/axbench's
+// latency measurements.
+type Event interface{ eventName() string }
+
+// EvStep records one interpreter step.
+type EvStep struct {
+	Thread ThreadID
+	// Kind is the node kind stepped, e.g. ">>=", "block", "takeMVar".
+	Kind string
+	// StepNo is the global step counter after this step.
+	StepNo uint64
+}
+
+func (EvStep) eventName() string { return "step" }
+
+// EvFork records thread creation.
+type EvFork struct {
+	Parent, Child ThreadID
+	// Mask is the mask state the child inherited (revised Fork rule).
+	Mask MaskState
+}
+
+func (EvFork) eventName() string { return "fork" }
+
+// EvFinish records thread completion.
+type EvFinish struct {
+	Thread ThreadID
+	// Exc is non-nil when the thread died with an uncaught exception.
+	Exc exc.Exception
+}
+
+func (EvFinish) eventName() string { return "finish" }
+
+// EvThrowTo records a throwTo call placing an exception in flight.
+type EvThrowTo struct {
+	From, To ThreadID
+	Exc      exc.Exception
+	// Sync reports the §9 synchronous variant.
+	Sync bool
+}
+
+func (EvThrowTo) eventName() string { return "throwTo" }
+
+// EvDeliver records an asynchronous exception being raised in its
+// target (rules Receive/Interrupt).
+type EvDeliver struct {
+	Thread ThreadID
+	Exc    exc.Exception
+	// Interrupted reports that the target was stuck (rule Interrupt)
+	// rather than running in an unmasked context (rule Receive).
+	Interrupted bool
+	// StepNo is the global step counter at delivery, used to measure
+	// delivery latency in steps.
+	StepNo uint64
+}
+
+func (EvDeliver) eventName() string { return "deliver" }
+
+// EvPark records a thread becoming stuck.
+type EvPark struct {
+	Thread ThreadID
+	Reason string
+	// MVar is the MVar id for MVar parks, 0 otherwise.
+	MVar uint64
+}
+
+func (EvPark) eventName() string { return "park" }
+
+// EvUnpark records a stuck thread becoming runnable again.
+type EvUnpark struct {
+	Thread ThreadID
+}
+
+func (EvUnpark) eventName() string { return "unpark" }
+
+// EvDeadlock records the deadlock detector firing.
+type EvDeadlock struct {
+	// Threads lists the stuck threads that received
+	// BlockedIndefinitely.
+	Threads []ThreadID
+}
+
+func (EvDeadlock) eventName() string { return "deadlock" }
+
+// EvTimeAdvance records a virtual-clock jump.
+type EvTimeAdvance struct {
+	FromNS, ToNS int64
+}
+
+func (EvTimeAdvance) eventName() string { return "timeAdvance" }
+
+func (rt *RT) trace(e Event) {
+	if rt.opts.Tracer != nil {
+		rt.opts.Tracer(e)
+	}
+}
