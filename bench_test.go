@@ -16,6 +16,7 @@ import (
 	"asyncexc/internal/lambda"
 	"asyncexc/internal/machine"
 	"asyncexc/internal/poll"
+	"asyncexc/internal/supervise"
 )
 
 // These benchmarks are the wall-clock counterparts of the experiment
@@ -421,4 +422,56 @@ func BenchmarkChaosScenario(b *testing.B) {
 			b.Fatalf("%v %v", err, rep.Violations)
 		}
 	}
+}
+
+// --- S1: supervision restart cost ---------------------------------------------------
+
+// benchSupervisorRestart measures the wall-clock cost of one
+// crash→restart cycle through a supervisor: a child crashes on each of
+// its first b.N starts, with two idle siblings that one-for-all must
+// also restart every time (cmd/axbench's S1 table has the step-counted
+// version).
+func benchSupervisorRestart(b *testing.B, strategy supervise.Strategy) {
+	crashes := 0
+	idle := func() core.IO[core.Unit] { return core.Forever(core.Sleep(time.Hour)) }
+	crasher := func() core.IO[core.Unit] {
+		return core.Delay(func() core.IO[core.Unit] {
+			if crashes < b.N {
+				crashes++
+				return core.ThrowErrorCall[core.Unit]("bench crash")
+			}
+			return idle()
+		})
+	}
+	spec := supervise.Spec{
+		Name:      "bench",
+		Strategy:  strategy,
+		Intensity: supervise.Intensity{MaxRestarts: -1, Window: time.Second},
+		Backoff:   supervise.Backoff{Initial: time.Microsecond, Max: time.Microsecond},
+		Children: []supervise.ChildSpec{
+			{ID: "s0", Start: idle, Restart: supervise.Permanent},
+			{ID: "s1", Start: idle, Restart: supervise.Permanent},
+			{ID: "crasher", Start: crasher, Restart: supervise.Transient},
+		},
+	}
+	prog := core.Bind(supervise.Start(spec), func(s *supervise.Supervisor) core.IO[core.Unit] {
+		healed := core.IterateUntil(core.Then(core.Sleep(time.Millisecond),
+			core.Lift(func() bool {
+				_, ok := s.ChildThreadID("crasher")
+				return crashes >= b.N && ok
+			})))
+		return core.Then(healed, s.Stop())
+	})
+	b.ResetTimer()
+	mustRun(b, core.DefaultOptions(), prog)
+}
+
+// BenchmarkSupervisorRestartOneForOne: only the crasher is restarted.
+func BenchmarkSupervisorRestartOneForOne(b *testing.B) {
+	benchSupervisorRestart(b, supervise.OneForOne)
+}
+
+// BenchmarkSupervisorRestartOneForAll: the whole group is restarted.
+func BenchmarkSupervisorRestartOneForAll(b *testing.B) {
+	benchSupervisorRestart(b, supervise.OneForAll)
 }

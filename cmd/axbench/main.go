@@ -8,7 +8,7 @@
 // Usage:
 //
 //	axbench            # run every experiment
-//	axbench -run E9    # run one experiment by ID (E1, E6, E7, E8, E9, T1, T2, F4, C1)
+//	axbench -run E9    # run one experiment by ID (E1, E6, E7, E8, E9, S1, T1, T2, F4, C1)
 //	axbench -seeds 500 # widen the lock-race schedule sweep
 package main
 
@@ -35,6 +35,7 @@ func main() {
 		{"E7", func() *bench.Table { return bench.MaskFrames([]int{10, 100, 1000, 10000}) }},
 		{"E8", func() *bench.Table { return bench.ThrowToDesigns([]int{0, 100, 1000, 10000}) }},
 		{"E9", func() *bench.Table { return bench.PollingVsAsync([]int{1, 2, 4, 8, 16, 64}, 2000, 4, 1000) }},
+		{"S1", func() *bench.Table { return bench.SupervisorRestarts([]int{1, 4, 16}) }},
 		{"T1", func() *bench.Table { return bench.MVarOps(10000) }},
 		{"T2", func() *bench.Table { return bench.ForkCost([]int{100, 1000, 10000}) }},
 		{"F4", func() *bench.Table { return bench.RuleCoverage() }},

@@ -6,6 +6,12 @@
 // ThreadKilled at the accept loop, which shuts the server down through
 // its Finally.
 //
+// By default the server runs under an Erlang-style supervision tree
+// (internal/supervise): the accept dispatcher is a Permanent child
+// that is restarted if it crashes, and every connection is a Temporary
+// child whose crash is recorded by the tree. -supervised=false falls
+// back to the original flat fork-per-connection design.
+//
 // Routes:
 //
 //	/            — banner
@@ -14,7 +20,9 @@
 //	               request timeout reaps it if N is too large)
 //	/spin        — never responds (always reaped)
 //	/race        — §7.2 EitherIO of a fast and a slow computation
-//	/stats       — live counters
+//	/crash       — handler throws; under supervision the crash is
+//	               recorded by the tree and answered with a 500
+//	/stats       — live counters: server, scheduler, supervision tree
 package main
 
 import (
@@ -25,26 +33,32 @@ import (
 	"os/signal"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"asyncexc/internal/core"
 	"asyncexc/internal/httpd"
+	"asyncexc/internal/sched"
 )
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:8080", "listen address")
 	timeout := flag.Duration("timeout", 2*time.Second, "per-request timeout")
 	maxConns := flag.Int("maxconns", 256, "maximum concurrent connections")
+	supervised := flag.Bool("supervised", true, "run under the supervision tree")
 	flag.Parse()
 
 	srv := httpd.New(httpd.Config{Addr: *addr, RequestTimeout: *timeout, MaxConns: *maxConns})
 	srv.Use(httpd.Logged(func(line string) { log.Print(line) }))
 	srv.Use(httpd.WithHeader("Server", "asyncexc-axhttpd"))
 
+	// Set once the supervised tree is live; /stats reads it.
+	var tree atomic.Pointer[httpd.Tree]
+
 	srv.Handle("/", func(r httpd.Request) core.IO[httpd.Response] {
 		return core.Return(httpd.Text(200,
 			"asyncexc demo server (PLDI 2001, §11)\n"+
-				"try /hello /delay?ms=100 /spin /race /stats\n"))
+				"try /hello /delay?ms=100 /spin /race /crash /stats\n"))
 	})
 	srv.Handle("/hello", func(r httpd.Request) core.IO[httpd.Response] {
 		return core.Return(httpd.Text(200, "hello, "+r.Remote+"\n"))
@@ -73,25 +87,57 @@ func main() {
 			return core.Return(httpd.Text(200, "winner: "+winner+"\n"))
 		})
 	})
+	srv.Handle("/crash", func(r httpd.Request) core.IO[httpd.Response] {
+		return core.ThrowErrorCall[httpd.Response]("deliberate handler crash")
+	})
 	srv.Handle("/stats", func(r httpd.Request) core.IO[httpd.Response] {
-		s := &srv.Stats
-		return core.Return(httpd.Text(200, fmt.Sprintf(
-			"accepted=%d served=%d timedOut=%d errors=%d notFound=%d rejected=%d handlerExceptions=%d\n",
-			s.Accepted.Load(), s.Served.Load(), s.TimedOut.Load(), s.Errors.Load(),
-			s.NotFound.Load(), s.Rejected.Load(), s.HandlerEx.Load())))
+		return core.Bind(core.SchedStats(), func(st sched.Stats) core.IO[httpd.Response] {
+			s := &srv.Stats
+			body := fmt.Sprintf(
+				"server: accepted=%d served=%d timedOut=%d errors=%d notFound=%d rejected=%d handlerExceptions=%d\n",
+				s.Accepted.Load(), s.Served.Load(), s.TimedOut.Load(), s.Errors.Load(),
+				s.NotFound.Load(), s.Rejected.Load(), s.HandlerEx.Load())
+			body += fmt.Sprintf(
+				"sched: steps=%d forks=%d throwTos=%d delivered=%d killed=%d supervisorRestarts=%d\n",
+				st.Steps, st.Forks, st.ThrowTos, st.Delivered, st.Killed, st.SupervisorRestarts)
+			if tr := tree.Load(); tr != nil {
+				body += fmt.Sprintf(
+					"tree: restarts=%d crashes=%d forcedKills=%d childrenStarted=%d\n",
+					tr.Root.Metrics.Restarts.Load()+tr.Conns.Metrics.Restarts.Load(),
+					tr.Conns.Metrics.Crashes.Load(),
+					tr.Root.Metrics.ForcedKills.Load()+tr.Conns.Metrics.ForcedKills.Load(),
+					tr.Conns.Metrics.ChildrenStarted.Load())
+			}
+			return core.Return(httpd.Text(200, body))
+		})
 	})
 
-	run, err := srv.Start()
-	if err != nil {
-		log.Fatal(err)
+	var (
+		liveAddr string
+		stop     func() error
+	)
+	if *supervised {
+		run, err := srv.StartSupervised()
+		if err != nil {
+			log.Fatal(err)
+		}
+		tree.Store(run.Tree)
+		liveAddr, stop = run.Addr, run.Stop
+		log.Printf("axhttpd listening on http://%s (request timeout %v, supervised)", liveAddr, *timeout)
+	} else {
+		run, err := srv.Start()
+		if err != nil {
+			log.Fatal(err)
+		}
+		liveAddr, stop = run.Addr, run.Stop
+		log.Printf("axhttpd listening on http://%s (request timeout %v, flat)", liveAddr, *timeout)
 	}
-	log.Printf("axhttpd listening on http://%s (request timeout %v)", run.Addr, *timeout)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt)
 	<-sig
 	log.Printf("interrupt: shutting down via asynchronous exception")
-	if err := run.Stop(); err != nil {
+	if err := stop(); err != nil {
 		log.Fatalf("shutdown: %v", err)
 	}
 	log.Printf("bye: accepted=%d served=%d timedOut=%d",

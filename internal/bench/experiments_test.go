@@ -156,6 +156,34 @@ func TestConformanceNoViolations(t *testing.T) {
 	}
 }
 
+func TestSupervisorRestartsShape(t *testing.T) {
+	tb := bench.SupervisorRestarts([]int{2, 8})
+	// Rows: one-for-one {2,8}, one-for-all {2,8}.
+	oneSmall := cellInt(t, tb, 0, 2)
+	allSmall := cellInt(t, tb, 2, 2)
+	if oneSmall <= 0 {
+		t.Fatalf("S1: restarts must cost steps:\n%s", tb)
+	}
+	// One-for-all restarts the three idle siblings on every crash, so it
+	// must cost strictly more than one-for-one for the same crash count.
+	if allSmall <= oneSmall {
+		t.Fatalf("S1: one-for-all (%d) should out-cost one-for-one (%d):\n%s", allSmall, oneSmall, tb)
+	}
+	// The vclock column is the deterministic backoff sum: 1+2=3ms for 2
+	// restarts, 1+2+4+8+16+32+64+64=191ms for 8, plus the fixed settle
+	// and polling time — so the 8-restart run must be strictly later.
+	vSmall := cellFloat(t, tb, 0, 4)
+	vBig := cellFloat(t, tb, 1, 4)
+	if vBig <= vSmall {
+		t.Fatalf("S1: backoff must grow virtual time with crash count:\n%s", tb)
+	}
+	// Determinism: rebuilt table is identical.
+	tb2 := bench.SupervisorRestarts([]int{2, 8})
+	if tb.String() != tb2.String() {
+		t.Fatalf("S1 is nondeterministic:\n%s\n%s", tb, tb2)
+	}
+}
+
 func TestTableFormatting(t *testing.T) {
 	tb := &bench.Table{ID: "X", Title: "t", Columns: []string{"a", "bb"}}
 	tb.AddRow(1, 2.5)

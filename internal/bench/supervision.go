@@ -1,0 +1,83 @@
+package bench
+
+import (
+	"time"
+
+	"asyncexc/internal/core"
+	"asyncexc/internal/supervise"
+)
+
+// ---------------------------------------------------------------------
+// S1 — supervision: deterministic restart cost by strategy, plus the
+// exponential-backoff schedule in virtual time.
+// ---------------------------------------------------------------------
+
+// SupervisorRestarts builds the S1 table: a supervisor with a few idle
+// siblings and one child that crashes on its first R starts, under
+// one-for-one and one-for-all. Steps isolate the per-restart scheduler
+// cost of each strategy (one-for-all re-starts the whole group every
+// time); the virtual-clock column is the exact sum of the backoff
+// schedule (1,2,4,... ms capped), which only the deterministic clock
+// can report reproducibly.
+func SupervisorRestarts(restarts []int) *Table {
+	t := &Table{
+		ID:      "S1",
+		Title:   "supervision: restart cost by strategy (deterministic steps, virtual time)",
+		Columns: []string{"strategy", "restarts", "steps", "steps/restart", "vclock-ms"},
+		Notes: []string{
+			"3 idle siblings + 1 crasher; backoff 1ms doubling to 64ms",
+			"one-for-all pays for restarting the siblings on every crash",
+			"vclock-ms is the summed backoff schedule under the virtual clock",
+		},
+	}
+	for _, strat := range []supervise.Strategy{supervise.OneForOne, supervise.OneForAll} {
+		for _, n := range restarts {
+			steps, elapsed, err := supervisorRestartRun(strat, n)
+			if err != nil {
+				t.AddRow(strat.String(), n, errCell(err), "-", "-")
+				continue
+			}
+			t.AddRow(strat.String(), n, steps, float64(steps)/float64(n),
+				float64(elapsed)/float64(time.Millisecond))
+		}
+	}
+	return t
+}
+
+// supervisorRestartRun drives exactly `restarts` crash/restart cycles
+// through a supervisor and returns (total steps, virtual elapsed).
+func supervisorRestartRun(strat supervise.Strategy, restarts int) (uint64, time.Duration, error) {
+	crashes := 0
+	idle := func() core.IO[core.Unit] { return core.Forever(core.Sleep(time.Hour)) }
+	crasher := func() core.IO[core.Unit] {
+		return core.Delay(func() core.IO[core.Unit] {
+			if crashes < restarts {
+				crashes++
+				return core.Throw[core.Unit](killX)
+			}
+			return idle()
+		})
+	}
+	spec := supervise.Spec{
+		Name:      "bench",
+		Strategy:  strat,
+		Intensity: supervise.Intensity{MaxRestarts: -1, Window: time.Second},
+		Backoff:   supervise.Backoff{Initial: time.Millisecond, Max: 64 * time.Millisecond},
+		Children: []supervise.ChildSpec{
+			{ID: "s0", Start: idle, Restart: supervise.Permanent},
+			{ID: "s1", Start: idle, Restart: supervise.Permanent},
+			{ID: "s2", Start: idle, Restart: supervise.Permanent},
+			{ID: "crasher", Start: crasher, Restart: supervise.Transient},
+		},
+	}
+	prog := core.Bind(supervise.Start(spec), func(s *supervise.Supervisor) core.IO[int64] {
+		healed := core.IterateUntil(core.Then(core.Sleep(time.Millisecond),
+			core.Lift(func() bool {
+				_, ok := s.ChildThreadID("crasher")
+				return crashes >= restarts && ok
+			})))
+		return core.Then(healed, core.Then(s.Stop(), core.Now()))
+	})
+	elapsed, steps, _, err := runSteps(core.DefaultOptions(), prog)
+	return steps, time.Duration(elapsed), err
+}

@@ -1,0 +1,215 @@
+package chaos
+
+import (
+	"fmt"
+	"time"
+
+	"asyncexc/internal/core"
+	"asyncexc/internal/exc"
+	"asyncexc/internal/supervise"
+)
+
+// SupConfig sizes a supervised soak: a two-level supervision tree
+// (root → group supervisors → heartbeat workers) with a kill injector
+// throwing ThreadKilled at random live workers while the tree runs.
+type SupConfig struct {
+	// Seed drives the scheduler and the injector.
+	Seed int64
+	// Groups is the number of sub-supervisors under the root;
+	// WorkersPerGroup the Permanent heartbeat workers under each.
+	Groups          int
+	WorkersPerGroup int
+	// Kills is how many kill attempts the injector makes.
+	Kills int
+}
+
+// DefaultSupConfig returns a moderate supervised scenario.
+func DefaultSupConfig(seed int64) SupConfig {
+	return SupConfig{Seed: seed, Groups: 3, WorkersPerGroup: 3, Kills: 12}
+}
+
+// SupReport is the outcome of a supervised soak.
+type SupReport struct {
+	// Violations lists every broken invariant (empty = pass).
+	Violations []string
+	// Restarts is the total child restarts performed by the group
+	// supervisors; Escalations counts intensity-limit trips (must be 0).
+	Restarts    uint64
+	Escalations uint64
+	// KillsDelivered counts injected exceptions that actually landed.
+	KillsDelivered uint64
+	// Steps is the total scheduler steps executed (determinism probe).
+	Steps uint64
+	// BaselineThreads/FinalThreads are the live-thread counts before
+	// the tree started and after it was torn down.
+	BaselineThreads, FinalThreads int
+}
+
+// Failed reports whether any invariant broke.
+func (r SupReport) Failed() bool { return len(r.Violations) > 0 }
+
+// RunSupervised executes the supervised soak and checks that the tree
+// converges under fire:
+//
+//   - every worker heartbeats again after the injector stops (the tree
+//     healed every kill);
+//   - no supervisor escalated, and restarts never exceed kill attempts;
+//   - tearing the root down returns the runtime to its baseline thread
+//     count (nothing leaked);
+//   - the whole run is deterministic per seed (virtual clock plus
+//     seeded random scheduler).
+func RunSupervised(cfg SupConfig) (SupReport, error) {
+	opts := core.DefaultOptions()
+	opts.RandomSched = true
+	opts.Seed = cfg.Seed
+	opts.TimeSlice = 3
+	sys := core.NewSystem(opts)
+
+	// Scheduler-thread-only instrumentation (no locks needed).
+	beats := map[string]uint64{}
+	workerIDs := []string{}
+
+	worker := func(id string) func() core.IO[core.Unit] {
+		return func() core.IO[core.Unit] {
+			return core.Forever(core.Then(core.Sleep(time.Millisecond),
+				core.Lift(func() core.Unit { beats[id]++; return core.UnitValue })))
+		}
+	}
+
+	// Build the group supervisors up front so the injector and the
+	// invariant checks can reach their metrics and child thread IDs.
+	groups := make([]*supervise.Supervisor, 0, cfg.Groups)
+	mkGroups := core.Return(core.UnitValue)
+	for g := 0; g < cfg.Groups; g++ {
+		spec := supervise.Spec{
+			Name:     fmt.Sprintf("group-%d", g),
+			Strategy: supervise.OneForOne,
+			// Unlimited intensity: the soak asserts convergence, not
+			// escalation, and counts Escalations to prove it stayed 0.
+			Intensity: supervise.Intensity{MaxRestarts: -1, Window: time.Second},
+			Backoff:   supervise.Backoff{Initial: time.Millisecond, Max: 8 * time.Millisecond},
+		}
+		for w := 0; w < cfg.WorkersPerGroup; w++ {
+			id := fmt.Sprintf("w%d", w)
+			workerIDs = append(workerIDs, fmt.Sprintf("%d/%s", g, id))
+			spec.Children = append(spec.Children, supervise.ChildSpec{
+				ID:      id,
+				Start:   worker(fmt.Sprintf("%d/%s", g, id)),
+				Restart: supervise.Permanent,
+			})
+		}
+		mkGroups = core.Then(mkGroups,
+			core.Bind(supervise.NewSupervisor(spec), func(s *supervise.Supervisor) core.IO[core.Unit] {
+				groups = append(groups, s)
+				return core.Return(core.UnitValue)
+			}))
+	}
+
+	rng := newRand(cfg.Seed*2654435761 + 97)
+	injector := func() core.IO[core.Unit] {
+		var loop func(k int) core.IO[core.Unit]
+		loop = func(k int) core.IO[core.Unit] {
+			if k >= cfg.Kills {
+				return core.Return(core.UnitValue)
+			}
+			g := rng.next(cfg.Groups)
+			id := fmt.Sprintf("w%d", rng.next(cfg.WorkersPerGroup))
+			next := core.Then(core.Sleep(2*time.Millisecond),
+				core.Delay(func() core.IO[core.Unit] { return loop(k + 1) }))
+			tid, ok := groups[g].ChildThreadID(id)
+			if !ok {
+				// The victim is mid-restart (backoff): skip this attempt.
+				return next
+			}
+			return core.Then(core.ThrowTo(tid, exc.ThreadKilled{}), next)
+		}
+		return core.Delay(func() core.IO[core.Unit] { return loop(0) })
+	}
+
+	// drain polls until the live-thread count returns to baseline (or a
+	// bounded number of tries elapses) and returns the final count.
+	drain := func(baseline int) core.IO[int] {
+		var loop func(tries int) core.IO[int]
+		loop = func(tries int) core.IO[int] {
+			return core.Bind(core.LiveThreads(), func(n int) core.IO[int] {
+				if n == baseline || tries > 50 {
+					return core.Return(n)
+				}
+				return core.Then(core.Sleep(time.Millisecond),
+					core.Delay(func() core.IO[int] { return loop(tries + 1) }))
+			})
+		}
+		return loop(0)
+	}
+
+	prog := core.Bind(core.LiveThreads(), func(baseline int) core.IO[SupReport] {
+		body := core.Then(mkGroups, core.Delay(func() core.IO[core.Unit] {
+			rootSpec := supervise.Spec{Name: "root", Strategy: supervise.OneForOne}
+			for _, g := range groups {
+				rootSpec.Children = append(rootSpec.Children, g.AsChild(supervise.Permanent, 50*time.Millisecond))
+			}
+			return core.Bind(supervise.Start(rootSpec), func(root *supervise.Supervisor) core.IO[core.Unit] {
+				// Let the tree settle, run the injector to completion in
+				// this thread, then require fresh heartbeats everywhere.
+				snap := map[string]uint64{}
+				snapshot := core.Lift(func() core.Unit {
+					for _, id := range workerIDs {
+						snap[id] = beats[id]
+					}
+					return core.UnitValue
+				})
+				healed := core.IterateUntil(core.Then(core.Sleep(time.Millisecond),
+					core.Lift(func() bool {
+						for _, id := range workerIDs {
+							if beats[id] <= snap[id] {
+								return false
+							}
+						}
+						return true
+					})))
+				return core.Seq(
+					core.Sleep(3*time.Millisecond),
+					injector(),
+					snapshot,
+					healed,
+					root.Stop(),
+				)
+			})
+		}))
+		return core.Then(body, core.Bind(drain(baseline), func(final int) core.IO[SupReport] {
+			return core.Return(SupReport{BaselineThreads: baseline, FinalThreads: final})
+		}))
+	})
+
+	rep, e, err := core.RunSystem(sys, prog)
+	if err != nil {
+		return rep, err
+	}
+	if e != nil {
+		return rep, fmt.Errorf("chaos: supervised scenario main died: %s", exc.Format(e))
+	}
+
+	for _, g := range groups {
+		rep.Restarts += g.Metrics.Restarts.Load()
+		rep.Escalations += g.Metrics.Escalations.Load()
+	}
+	if rep.Escalations != 0 {
+		rep.Violations = append(rep.Violations,
+			fmt.Sprintf("supervisors escalated %d times", rep.Escalations))
+	}
+	if rep.Restarts > uint64(cfg.Kills) {
+		rep.Violations = append(rep.Violations,
+			fmt.Sprintf("restarts %d exceed kill attempts %d", rep.Restarts, cfg.Kills))
+	}
+	if cfg.Kills > 0 && rep.Restarts == 0 {
+		rep.Violations = append(rep.Violations, "injector killed workers but nothing restarted")
+	}
+	if rep.FinalThreads != rep.BaselineThreads {
+		rep.Violations = append(rep.Violations,
+			fmt.Sprintf("thread leak: baseline %d, after teardown %d", rep.BaselineThreads, rep.FinalThreads))
+	}
+	st := sys.Stats()
+	rep.Steps = st.Steps
+	rep.KillsDelivered = st.Delivered
+	return rep, nil
+}

@@ -1,0 +1,57 @@
+package chaos_test
+
+import (
+	"testing"
+
+	"asyncexc/internal/chaos"
+)
+
+// TestSupervisedSoakConverges runs the supervised soak across many
+// seeds: whatever the injector kills, the tree must heal every worker,
+// never escalate, and tear down without leaking a thread.
+func TestSupervisedSoakConverges(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		rep, err := chaos.RunSupervised(chaos.DefaultSupConfig(seed))
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if rep.Failed() {
+			t.Fatalf("seed %d: invariants violated: %v\nreport: %+v", seed, rep.Violations, rep)
+		}
+	}
+}
+
+// TestSupervisedSoakActuallyKills checks the soak is not vacuous: kills
+// land and restarts happen.
+func TestSupervisedSoakActuallyKills(t *testing.T) {
+	var kills, restarts uint64
+	for seed := int64(0); seed < 10; seed++ {
+		rep, err := chaos.RunSupervised(chaos.DefaultSupConfig(seed))
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		kills += rep.KillsDelivered
+		restarts += rep.Restarts
+	}
+	if kills == 0 {
+		t.Fatal("injector never delivered an exception")
+	}
+	if restarts == 0 {
+		t.Fatal("supervisors never restarted anything; the soak is too gentle")
+	}
+}
+
+// TestSupervisedSoakDeterministicPerSeed: same seed, same run.
+func TestSupervisedSoakDeterministicPerSeed(t *testing.T) {
+	a, err := chaos.RunSupervised(chaos.DefaultSupConfig(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := chaos.RunSupervised(chaos.DefaultSupConfig(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Steps != b.Steps || a.Restarts != b.Restarts || a.KillsDelivered != b.KillsDelivered {
+		t.Fatalf("nondeterministic supervised soak:\n%+v\n%+v", a, b)
+	}
+}

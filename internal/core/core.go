@@ -243,6 +243,25 @@ func Yield() IO[Unit] { return IO[Unit]{sched.Yield()} }
 func Sleep(d time.Duration) IO[Unit] { return IO[Unit]{sched.Sleep(d)} }
 
 // ---------------------------------------------------------------------
+// Runtime introspection (extensions; deterministic under VirtualClock)
+// ---------------------------------------------------------------------
+
+// Now returns the runtime clock in nanoseconds since the run began.
+// Under the default virtual clock it is deterministic, which is what
+// supervision's restart-intensity windows and backoff schedules rely
+// on for reproducible behaviour.
+func Now() IO[int64] { return FromNode[int64](sched.Now()) }
+
+// LiveThreads returns the number of live threads, including the
+// caller — the leak assertion used by supervision and chaos tests.
+func LiveThreads() IO[int] { return FromNode[int](sched.LiveThreads()) }
+
+// SchedStats returns a snapshot of the scheduler counters from inside
+// IO, so long-running systems (e.g. the httpd /stats route) can expose
+// runtime observability without leaving the monad.
+func SchedStats() IO[sched.Stats] { return FromNode[sched.Stats](sched.GetStats()) }
+
+// ---------------------------------------------------------------------
 // Console (§3)
 // ---------------------------------------------------------------------
 

@@ -1,0 +1,60 @@
+package core_test
+
+import (
+	"testing"
+	"time"
+
+	"asyncexc/internal/core"
+	"asyncexc/internal/sched"
+)
+
+// The runtime-introspection primitives (Now, LiveThreads, SchedStats)
+// exist for supervision and observability; these tests pin down their
+// deterministic behaviour under the virtual clock.
+
+func TestNowFollowsVirtualClock(t *testing.T) {
+	m := core.Bind(core.Now(), func(t0 int64) core.IO[int64] {
+		return core.Then(core.Sleep(7*time.Millisecond),
+			core.Bind(core.Now(), func(t1 int64) core.IO[int64] {
+				return core.Return(t1 - t0)
+			}))
+	})
+	mustValue(t, m, int64(7*time.Millisecond))
+}
+
+func TestLiveThreadsCountsForkedChildren(t *testing.T) {
+	idle := core.Forever(core.Sleep(time.Hour))
+	m := core.Bind(core.LiveThreads(), func(before int) core.IO[bool] {
+		return core.Bind(core.Fork(idle), func(a core.ThreadID) core.IO[bool] {
+			return core.Bind(core.Fork(idle), func(b core.ThreadID) core.IO[bool] {
+				return core.Bind(core.LiveThreads(), func(during int) core.IO[bool] {
+					kill := core.Then(core.KillThread(a), core.KillThread(b))
+					return core.Then(kill, core.Then(core.Sleep(time.Millisecond),
+						core.Bind(core.LiveThreads(), func(after int) core.IO[bool] {
+							return core.Return(before == 1 && during == 3 && after == 1)
+						})))
+				})
+			})
+		})
+	})
+	mustValue(t, m, true)
+}
+
+// TestSchedStatsCountKilled pins the Killed counter's semantics: it
+// counts threads that die with an UNCAUGHT ThreadKilled. A thread that
+// traps the kill (the way supervised children do, to report their exit)
+// is Delivered but not Killed.
+func TestSchedStatsCountKilled(t *testing.T) {
+	idle := core.Forever(core.Sleep(time.Hour))
+	trapper := core.Void(core.Try(idle)) // catches its ThreadKilled, dies clean
+	m := core.Bind(core.Fork(idle), func(victim core.ThreadID) core.IO[bool] {
+		return core.Bind(core.Fork(trapper), func(tough core.ThreadID) core.IO[bool] {
+			kill := core.Then(core.KillThread(victim), core.KillThread(tough))
+			return core.Then(kill, core.Then(core.Sleep(time.Millisecond),
+				core.Bind(core.SchedStats(), func(st sched.Stats) core.IO[bool] {
+					return core.Return(st.Killed == 1 && st.Delivered >= 2 && st.ThrowTos >= 2)
+				})))
+		})
+	})
+	mustValue(t, m, true)
+}

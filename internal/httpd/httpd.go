@@ -219,6 +219,14 @@ func (s *Server) serveConn(c *iomgr.Conn) core.IO[core.Unit] {
 
 // serveRequest reads, routes, runs the handler, and writes the reply.
 func (s *Server) serveRequest(c *iomgr.Conn) core.IO[core.Unit] {
+	return s.serveRequestMode(c, false)
+}
+
+// serveRequestMode is serveRequest with a choice of crash handling:
+// with rethrow, a handler crash still gets its 500 reply but is then
+// re-raised so a supervising parent (RunSupervisedOn) observes it;
+// without, the 500 is the end of the story.
+func (s *Server) serveRequestMode(c *iomgr.Conn, rethrow bool) core.IO[core.Unit] {
 	return core.Bind(readRequest(c), func(req Request) core.IO[core.Unit] {
 		h, ok := s.route(req.Path)
 		if !ok {
@@ -234,7 +242,11 @@ func (s *Server) serveRequest(c *iomgr.Conn) core.IO[core.Unit] {
 					return core.Throw[core.Unit](r.Exc)
 				}
 				s.Stats.HandlerEx.Add(1)
-				return writeResponse(c, Text(500, "internal error: "+r.Exc.String()+"\n"))
+				reply := writeResponse(c, Text(500, "internal error: "+r.Exc.String()+"\n"))
+				if rethrow {
+					return core.Then(core.Void(core.Try(reply)), core.Throw[core.Unit](r.Exc))
+				}
+				return reply
 			}
 			s.Stats.Served.Add(1)
 			return writeResponse(c, r.Value)

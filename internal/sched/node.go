@@ -355,3 +355,39 @@ func FrameDepth() Node {
 		return retNode{len(t.stack)}, false
 	}}
 }
+
+// Now returns the runtime clock in nanoseconds. Under the virtual
+// clock this is deterministic, which is what lets supervisors keep
+// restart-intensity windows and backoff schedules reproducible.
+func Now() Node {
+	return primNode{name: "now", step: func(rt *RT, t *Thread) (Node, bool) {
+		return retNode{rt.now}, false
+	}}
+}
+
+// LiveThreads returns the number of live (not yet finished) threads,
+// including the caller; the thread-leak assertion used by supervision
+// and chaos tests.
+func LiveThreads() Node {
+	return primNode{name: "liveThreads", step: func(rt *RT, t *Thread) (Node, bool) {
+		return retNode{len(rt.threads)}, false
+	}}
+}
+
+// GetStats returns a copy of the scheduler counters, so servers can
+// surface runtime observability (e.g. httpd's /stats) from inside IO.
+func GetStats() Node {
+	return primNode{name: "getStats", step: func(rt *RT, t *Thread) (Node, bool) {
+		return retNode{rt.stats}, false
+	}}
+}
+
+// NoteRestart bumps the SupervisorRestarts counter; called by
+// internal/supervise each time a child is restarted so soak runs are
+// diagnosable from scheduler stats alone.
+func NoteRestart() Node {
+	return primNode{name: "noteRestart", step: func(rt *RT, t *Thread) (Node, bool) {
+		rt.stats.SupervisorRestarts++
+		return retNode{UnitValue}, false
+	}}
+}

@@ -362,6 +362,9 @@ func (rt *RT) finish(t *Thread, v any, e exc.Exception) {
 	rt.stats.ThreadsFinished++
 	if e != nil {
 		rt.stats.Uncaught++
+		if _, killed := e.(exc.ThreadKilled); killed {
+			rt.stats.Killed++
+		}
 	}
 	for _, p := range t.pending {
 		if p.waiter != nil {

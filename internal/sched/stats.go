@@ -31,6 +31,13 @@ type Stats struct {
 	// had already finished (trivial success, §5).
 	ThrowTos    uint64
 	ThrowToDead uint64
+	// Killed counts threads that died with an uncaught ThreadKilled —
+	// the KillThread idiom landing, as distinct from other uncaught
+	// exceptions. Supervision soak runs use it to audit kill volume.
+	Killed uint64
+	// SupervisorRestarts counts child restarts performed by
+	// internal/supervise supervisors (bumped through NoteRestart).
+	SupervisorRestarts uint64
 	// Delivered counts asynchronous exceptions actually raised in
 	// their target (rules Receive and Interrupt); Interrupts counts
 	// the subset that interrupted a stuck thread (rule Interrupt).

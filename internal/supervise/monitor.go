@@ -1,0 +1,100 @@
+package supervise
+
+import (
+	"fmt"
+
+	"asyncexc/internal/conc"
+	"asyncexc/internal/core"
+	"asyncexc/internal/exc"
+)
+
+// ExitReason classifies how a thread terminated.
+type ExitReason uint8
+
+const (
+	// Exited: the thread ran to completion.
+	Exited ExitReason = iota
+	// Killed: the thread died to a deliberate stop — ThreadKilled or
+	// the supervisor's Shutdown. Not treated as a crash by Transient
+	// restart policies: a kill is somebody's decision, not a fault.
+	Killed
+	// Crashed: the thread died to any other uncaught exception.
+	Crashed
+)
+
+func (r ExitReason) String() string {
+	switch r {
+	case Exited:
+		return "exited"
+	case Killed:
+		return "killed"
+	default:
+		return "crashed"
+	}
+}
+
+// Down is the death notification delivered by a monitor: which thread
+// died, how, and — for Killed and Crashed — with which exception.
+type Down struct {
+	// TID is the thread that terminated.
+	TID core.ThreadID
+	// Reason classifies the termination.
+	Reason ExitReason
+	// Exc is the uncaught exception, or nil when Reason is Exited.
+	Exc core.Exception
+}
+
+func (d Down) String() string {
+	if d.Exc == nil {
+		return fmt.Sprintf("down(%v, %v)", d.TID, d.Reason)
+	}
+	return fmt.Sprintf("down(%v, %v, %v)", d.TID, d.Reason, d.Exc)
+}
+
+// Classify maps a terminal exception to an ExitReason: nil is a normal
+// exit, ThreadKilled and Shutdown are kills, everything else a crash.
+func Classify(e core.Exception) ExitReason {
+	switch {
+	case e == nil:
+		return Exited
+	case e.Eq(exc.ThreadKilled{}) || e.Eq(Shutdown{}):
+		return Killed
+	default:
+		return Crashed
+	}
+}
+
+// Monitor is the non-lethal sibling of Async.Link (§10): instead of
+// re-raising the watched thread's exception in the caller, its death is
+// reported as a Down message through the returned MVar. The watcher
+// thread costs nothing while the target lives (it is stuck on the
+// result MVar) and delivers exactly one message.
+func Monitor[A any](a conc.Async[A]) core.IO[core.MVar[Down]] {
+	return core.Bind(core.NewEmptyMVar[Down](), func(box core.MVar[Down]) core.IO[core.MVar[Down]] {
+		watcher := core.Bind(a.WaitCatch(), func(r core.Attempt[A]) core.IO[core.Unit] {
+			return core.Put(box, Down{TID: a.ThreadID(), Reason: Classify(r.Exc), Exc: r.Exc})
+		})
+		return core.Then(
+			core.Void(core.ForkNamed(watcher, "monitor")),
+			core.Return(box))
+	})
+}
+
+// MonitorInto is Monitor fanned into a shared channel, the shape a
+// supervisor wants: many children, one event stream.
+func MonitorInto[A any](a conc.Async[A], ch conc.Chan[Down]) core.IO[core.Unit] {
+	watcher := core.Bind(a.WaitCatch(), func(r core.Attempt[A]) core.IO[core.Unit] {
+		return ch.Write(Down{TID: a.ThreadID(), Reason: Classify(r.Exc), Exc: r.Exc})
+	})
+	return core.Void(core.ForkNamed(watcher, "monitor"))
+}
+
+// SpawnMonitored spawns m and monitors it in one step, returning the
+// handle and the Down box.
+func SpawnMonitored[A any](m core.IO[A]) core.IO[core.Pair[conc.Async[A], core.MVar[Down]]] {
+	return core.Bind(conc.Spawn(m), func(a conc.Async[A]) core.IO[core.Pair[conc.Async[A], core.MVar[Down]]] {
+		return core.Bind(Monitor(a), func(box core.MVar[Down]) core.IO[core.Pair[conc.Async[A], core.MVar[Down]]] {
+			return core.Return(core.MkPair(a, box))
+		})
+	})
+}

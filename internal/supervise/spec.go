@@ -1,0 +1,114 @@
+package supervise
+
+import (
+	"time"
+
+	"asyncexc/internal/core"
+)
+
+// RestartPolicy says when a dead child should be restarted.
+type RestartPolicy uint8
+
+const (
+	// Permanent children are always restarted, whatever the exit
+	// reason.
+	Permanent RestartPolicy = iota
+	// Transient children are restarted only after a crash; normal
+	// exits and kills are final.
+	Transient
+	// Temporary children are never restarted.
+	Temporary
+)
+
+func (p RestartPolicy) String() string {
+	switch p {
+	case Permanent:
+		return "permanent"
+	case Transient:
+		return "transient"
+	default:
+		return "temporary"
+	}
+}
+
+// Strategy says which siblings a child's death drags into the restart.
+type Strategy uint8
+
+const (
+	// OneForOne restarts only the child that died.
+	OneForOne Strategy = iota
+	// OneForAll stops every other child (reverse start order) and
+	// restarts the whole set (start order).
+	OneForAll
+	// RestForOne stops the children started after the one that died
+	// (reverse start order) and restarts the suffix (start order).
+	RestForOne
+)
+
+func (s Strategy) String() string {
+	switch s {
+	case OneForOne:
+		return "one_for_one"
+	case OneForAll:
+		return "one_for_all"
+	default:
+		return "rest_for_one"
+	}
+}
+
+// DefaultShutdownBudget is the per-child shutdown budget used when a
+// ChildSpec leaves Shutdown zero: how long the supervisor waits after
+// the soft Shutdown throw before escalating to KillThread.
+const DefaultShutdownBudget = 50 * time.Millisecond
+
+// DefaultIntensity allows 5 restarts per rolling 5s window, mirroring
+// Erlang/OTP's historical default of 1 restart per 5 seconds scaled to
+// virtual-clock test workloads.
+var DefaultIntensity = Intensity{MaxRestarts: 5, Window: 5 * time.Second}
+
+// ChildSpec describes one child of a supervisor.
+type ChildSpec struct {
+	// ID names the child uniquely within its supervisor.
+	ID string
+	// Start builds a fresh incarnation of the child's body. It is
+	// called once per (re)start, so per-incarnation state belongs
+	// inside it.
+	Start func() core.IO[core.Unit]
+	// Restart is the child's restart policy.
+	Restart RestartPolicy
+	// Shutdown is the budget between the soft Shutdown throw and the
+	// hard KillThread escalation when stopping this child; zero means
+	// DefaultShutdownBudget.
+	Shutdown time.Duration
+}
+
+// Intensity bounds the restart rate before the supervisor gives up.
+type Intensity struct {
+	// MaxRestarts is the number of restarts tolerated inside Window.
+	// One more escalates. Zero selects DefaultIntensity's limit; a
+	// negative value disables the limit.
+	MaxRestarts int
+	// Window is the rolling window; zero selects DefaultIntensity's.
+	Window time.Duration
+}
+
+// Backoff delays successive restarts of the same crashing child:
+// Initial, then doubling up to Max. A child whose last incarnation
+// outlived the intensity window starts over at Initial. Zero Initial
+// disables backoff. Under the virtual clock the schedule is exactly
+// deterministic.
+type Backoff struct {
+	Initial time.Duration
+	Max     time.Duration
+}
+
+// Spec describes a supervisor: its name (used in thread names and
+// escalation exceptions), strategy, limits, and initial children in
+// start order.
+type Spec struct {
+	Name      string
+	Strategy  Strategy
+	Intensity Intensity
+	Backoff   Backoff
+	Children  []ChildSpec
+}

@@ -1,0 +1,92 @@
+// Package supervise implements Erlang-style supervision trees as IO
+// combinators over the asyncexc primitives — Fork, ThrowTo,
+// Block/Unblock, Bracket, Timeout, MVars and Chans — with no new
+// scheduler machinery. It is the constructive answer to the paper's
+// §10 comparison with Erlang ("processes can be linked together, such
+// that each process will receive an asynchronous exception if the
+// other dies") and to the follow-up literature (Redmond's "An
+// Exceptional Actor System"): GHC-style asynchronous exceptions are
+// sufficient to build actor supervision, no runtime features needed.
+//
+// The pieces:
+//
+//   - Monitor / MonitorInto / SpawnMonitored: the non-lethal sibling of
+//     conc.Async.Link — a thread's death (exited, killed, crashed) is
+//     delivered as a Down message through an MVar or Chan rather than
+//     as an exception.
+//   - ChildSpec: how to (re)start one child, its restart policy
+//     (Permanent / Transient / Temporary), and its shutdown budget.
+//   - Spec + Supervisor: a supervisor thread running one-for-one,
+//     one-for-all, or rest-for-one restart strategies, with
+//     restart-intensity limits (too many restarts inside a rolling
+//     window escalate by failing the supervisor itself) and
+//     exponential backoff, both deterministic under the virtual clock.
+//   - Nesting: a supervisor is itself a valid child (AsChild), so
+//     trees compose; tearing down the root stops the whole tree in
+//     reverse start order, child by child, budget by budget.
+//
+// Every mechanism is built from the paper's own idioms: children are
+// forked inside Block so their outcome-capturing Try is installed
+// race-free (the §7.2 either construction); soft stops are a throwTo
+// of the catchable Shutdown exception; shutdown budgets are enforced
+// with Timeout + KillThread (§7.3); and the supervisor's event loop
+// runs masked, relying on the §5.3 interruptible-operations rule to
+// stay responsive to its own shutdown while never losing an event
+// between receipt and processing.
+package supervise
+
+import (
+	"fmt"
+	"time"
+
+	"asyncexc/internal/core"
+)
+
+// Shutdown is the soft-stop signal a supervisor throws at a child
+// whose termination it wants. Unlike ThreadKilled it is not an alert:
+// children may catch it to run cleanup (Erlang's trappable 'shutdown'
+// reason). A child that ignores it past its shutdown budget is
+// escalated to KillThread.
+type Shutdown struct{}
+
+// ExceptionName implements core.Exception.
+func (Shutdown) ExceptionName() string { return "Shutdown" }
+
+// Eq implements core.Exception.
+func (Shutdown) Eq(o core.Exception) bool { _, ok := o.(Shutdown); return ok }
+
+func (Shutdown) String() string { return "supervisor shutdown" }
+
+// Error implements error.
+func (e Shutdown) Error() string { return e.String() }
+
+// IntensityExceeded is thrown by a supervisor that has performed more
+// restarts than its Intensity allows inside the rolling window. The
+// supervisor tears its children down and dies with this exception —
+// escalation: a supervising parent sees an ordinary crashed child.
+type IntensityExceeded struct {
+	// Supervisor is the name of the supervisor that gave up.
+	Supervisor string
+	// Restarts is the number of restarts inside the window when the
+	// limit tripped.
+	Restarts int
+	// Window is the rolling window size.
+	Window time.Duration
+}
+
+// ExceptionName implements core.Exception.
+func (IntensityExceeded) ExceptionName() string { return "IntensityExceeded" }
+
+// Eq implements core.Exception.
+func (e IntensityExceeded) Eq(o core.Exception) bool {
+	oe, ok := o.(IntensityExceeded)
+	return ok && oe == e
+}
+
+func (e IntensityExceeded) String() string {
+	return fmt.Sprintf("supervisor %q exceeded restart intensity (%d restarts in %v)",
+		e.Supervisor, e.Restarts, e.Window)
+}
+
+// Error implements error.
+func (e IntensityExceeded) Error() string { return e.String() }

@@ -1,0 +1,608 @@
+package supervise_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"asyncexc/internal/conc"
+	"asyncexc/internal/core"
+	"asyncexc/internal/exc"
+	"asyncexc/internal/sched"
+	"asyncexc/internal/supervise"
+)
+
+func run[A comparable](t *testing.T, m core.IO[A], want A) {
+	t.Helper()
+	v, e, err := core.Run(m)
+	if err != nil {
+		t.Fatalf("runtime error: %v", err)
+	}
+	if e != nil {
+		t.Fatalf("uncaught exception: %v", exc.Format(e))
+	}
+	if v != want {
+		t.Fatalf("got %v, want %v", v, want)
+	}
+}
+
+// counts is Go-side instrumentation mutated only from inside Lift/Delay
+// closures (one scheduler goroutine) and read after the run finishes.
+type counts struct {
+	starts map[string]int
+	order  []string
+}
+
+func newCounts() *counts { return &counts{starts: map[string]int{}} }
+
+// idle parks forever; any exception kills it at the sleep.
+func idle() core.IO[core.Unit] {
+	return core.Forever(core.Sleep(time.Hour))
+}
+
+// crashy builds a child Start that crashes its first n incarnations
+// after `at` of uptime, then idles forever.
+func crashy(c *counts, id string, n int, at time.Duration) func() core.IO[core.Unit] {
+	runs := 0
+	return func() core.IO[core.Unit] {
+		return core.Delay(func() core.IO[core.Unit] {
+			c.starts[id]++
+			runs++
+			if runs <= n {
+				return core.Then(core.Sleep(at),
+					core.Throw[core.Unit](exc.ErrorCall{Msg: id + " crashed"}))
+			}
+			return idle()
+		})
+	}
+}
+
+// steady builds a child Start that records the start and idles.
+func steady(c *counts, id string) func() core.IO[core.Unit] {
+	return func() core.IO[core.Unit] {
+		return core.Delay(func() core.IO[core.Unit] {
+			c.starts[id]++
+			return idle()
+		})
+	}
+}
+
+// recording builds a child that records its ID when it receives an
+// exception (the teardown-order probe), then dies of it.
+func recording(c *counts, id string) func() core.IO[core.Unit] {
+	return func() core.IO[core.Unit] {
+		return core.Delay(func() core.IO[core.Unit] {
+			c.starts[id]++
+			return core.Catch(idle(), func(e core.Exception) core.IO[core.Unit] {
+				return core.Then(
+					core.Lift(func() core.Unit { c.order = append(c.order, id); return core.UnitValue }),
+					core.Throw[core.Unit](e))
+			})
+		})
+	}
+}
+
+// drained yields (letting the virtual clock advance) until the live
+// thread count is back at baseline, or gives up after tries sleeps.
+func drained(baseline, tries int) core.IO[bool] {
+	var loop func(k int) core.IO[bool]
+	loop = func(k int) core.IO[bool] {
+		return core.Bind(core.LiveThreads(), func(n int) core.IO[bool] {
+			if n <= baseline {
+				return core.Return(true)
+			}
+			if k <= 0 {
+				return core.Return(false)
+			}
+			return core.Then(core.Sleep(time.Millisecond),
+				core.Delay(func() core.IO[bool] { return loop(k - 1) }))
+		})
+	}
+	return loop(tries)
+}
+
+// runTreeFor starts spec, lets it run for d, stops it.
+func runTreeFor(spec supervise.Spec, d time.Duration) core.IO[core.Unit] {
+	return core.Bind(supervise.Start(spec), func(s *supervise.Supervisor) core.IO[core.Unit] {
+		return core.Then(core.Sleep(d), s.Stop())
+	})
+}
+
+// --- Monitor ------------------------------------------------------------
+
+func TestMonitorClassifiesOutcomes(t *testing.T) {
+	exited := core.Bind(conc.Spawn(core.Return(1)), func(a conc.Async[int]) core.IO[supervise.Down] {
+		return core.Bind(supervise.Monitor(a), func(box core.MVar[supervise.Down]) core.IO[supervise.Down] {
+			return core.Take(box)
+		})
+	})
+	crashed := core.Bind(conc.Spawn(core.Throw[int](exc.ErrorCall{Msg: "boom"})), func(a conc.Async[int]) core.IO[supervise.Down] {
+		return core.Bind(supervise.Monitor(a), func(box core.MVar[supervise.Down]) core.IO[supervise.Down] {
+			return core.Take(box)
+		})
+	})
+	killed := core.Bind(conc.Spawn(idle()), func(a conc.Async[core.Unit]) core.IO[supervise.Down] {
+		return core.Bind(supervise.Monitor(a), func(box core.MVar[supervise.Down]) core.IO[supervise.Down] {
+			return core.Then(a.Cancel(), core.Take(box))
+		})
+	})
+	m := core.Bind(exited, func(d1 supervise.Down) core.IO[string] {
+		return core.Bind(crashed, func(d2 supervise.Down) core.IO[string] {
+			return core.Bind(killed, func(d3 supervise.Down) core.IO[string] {
+				return core.Return(fmt.Sprintf("%v/%v:%v/%v:%v",
+					d1.Reason, d2.Reason, d2.Exc.ExceptionName(), d3.Reason, d3.Exc.ExceptionName()))
+			})
+		})
+	})
+	run(t, m, "exited/crashed:ErrorCall/killed:ThreadKilled")
+}
+
+func TestMonitorIntoFansIntoOneChannel(t *testing.T) {
+	m := core.Bind(conc.NewChan[supervise.Down](), func(ch conc.Chan[supervise.Down]) core.IO[int] {
+		spawnOne := core.Bind(conc.Spawn(core.Return(core.UnitValue)), func(a conc.Async[core.Unit]) core.IO[core.Unit] {
+			return supervise.MonitorInto(a, ch)
+		})
+		return core.Then(core.ReplicateM_(3, spawnOne),
+			core.Bind(ch.Read(), func(supervise.Down) core.IO[int] {
+				return core.Bind(ch.Read(), func(supervise.Down) core.IO[int] {
+					return core.Bind(ch.Read(), func(supervise.Down) core.IO[int] {
+						return core.Return(3)
+					})
+				})
+			}))
+	})
+	run(t, m, 3)
+}
+
+// --- Strategies ---------------------------------------------------------
+
+func TestOneForOneRestartsOnlyTheCrashed(t *testing.T) {
+	c := newCounts()
+	spec := supervise.Spec{
+		Name:     "ofo",
+		Strategy: supervise.OneForOne,
+		Children: []supervise.ChildSpec{
+			{ID: "a", Start: crashy(c, "a", 1, 10*time.Millisecond), Restart: supervise.Permanent},
+			{ID: "b", Start: steady(c, "b"), Restart: supervise.Permanent},
+		},
+	}
+	run(t, core.Void(runTreeFor(spec, 50*time.Millisecond)), core.UnitValue)
+	if c.starts["a"] != 2 || c.starts["b"] != 1 {
+		t.Fatalf("starts = %v, want a:2 b:1", c.starts)
+	}
+}
+
+func TestOneForAllRestartsEverybody(t *testing.T) {
+	c := newCounts()
+	spec := supervise.Spec{
+		Name:     "ofa",
+		Strategy: supervise.OneForAll,
+		Children: []supervise.ChildSpec{
+			{ID: "a", Start: crashy(c, "a", 1, 10*time.Millisecond), Restart: supervise.Permanent},
+			{ID: "b", Start: steady(c, "b"), Restart: supervise.Permanent},
+		},
+	}
+	run(t, core.Void(runTreeFor(spec, 50*time.Millisecond)), core.UnitValue)
+	if c.starts["a"] != 2 || c.starts["b"] != 2 {
+		t.Fatalf("starts = %v, want a:2 b:2", c.starts)
+	}
+}
+
+func TestRestForOneRestartsTheSuffix(t *testing.T) {
+	c := newCounts()
+	spec := supervise.Spec{
+		Name:     "rfo",
+		Strategy: supervise.RestForOne,
+		Children: []supervise.ChildSpec{
+			{ID: "a", Start: steady(c, "a"), Restart: supervise.Permanent},
+			{ID: "b", Start: crashy(c, "b", 1, 10*time.Millisecond), Restart: supervise.Permanent},
+			{ID: "c", Start: steady(c, "c"), Restart: supervise.Permanent},
+		},
+	}
+	run(t, core.Void(runTreeFor(spec, 50*time.Millisecond)), core.UnitValue)
+	if c.starts["a"] != 1 || c.starts["b"] != 2 || c.starts["c"] != 2 {
+		t.Fatalf("starts = %v, want a:1 b:2 c:2", c.starts)
+	}
+}
+
+// --- Restart policies ---------------------------------------------------
+
+func TestRestartPolicies(t *testing.T) {
+	c := newCounts()
+	transientExit := func() core.IO[core.Unit] {
+		return core.Delay(func() core.IO[core.Unit] {
+			c.starts["texit"]++
+			return core.Void(core.Sleep(10 * time.Millisecond)) // normal exit
+		})
+	}
+	spec := supervise.Spec{
+		Name:     "policies",
+		Strategy: supervise.OneForOne,
+		Children: []supervise.ChildSpec{
+			{ID: "texit", Start: transientExit, Restart: supervise.Transient},
+			{ID: "tcrash", Start: crashy(c, "tcrash", 1, 10*time.Millisecond), Restart: supervise.Transient},
+			{ID: "temp", Start: crashy(c, "temp", 1, 10*time.Millisecond), Restart: supervise.Temporary},
+		},
+	}
+	run(t, core.Void(runTreeFor(spec, 50*time.Millisecond)), core.UnitValue)
+	if c.starts["texit"] != 1 {
+		t.Errorf("transient normal exit restarted: %d starts", c.starts["texit"])
+	}
+	if c.starts["tcrash"] != 2 {
+		t.Errorf("transient crash not restarted: %d starts", c.starts["tcrash"])
+	}
+	if c.starts["temp"] != 1 {
+		t.Errorf("temporary child restarted: %d starts", c.starts["temp"])
+	}
+}
+
+func TestTransientKilledFromOutsideStaysDown(t *testing.T) {
+	// The ThreadKilled-classification edge: an external kill is a
+	// deliberate stop, so a Transient child stays down — only crashes
+	// restart it.
+	c := newCounts()
+	spec := supervise.Spec{
+		Name:     "killed-transient",
+		Strategy: supervise.OneForOne,
+		Children: []supervise.ChildSpec{
+			{ID: "w", Start: steady(c, "w"), Restart: supervise.Transient},
+		},
+	}
+	m := core.Bind(supervise.Start(spec), func(s *supervise.Supervisor) core.IO[int] {
+		return core.Then(core.Sleep(5*time.Millisecond),
+			core.Bind(core.Lift(func() core.ThreadID {
+				tid, _ := s.ChildThreadID("w")
+				return tid
+			}), func(tid core.ThreadID) core.IO[int] {
+				return core.Then(core.KillThread(tid),
+					core.Then(core.Sleep(20*time.Millisecond),
+						core.Bind(s.Info(), func(info supervise.Info) core.IO[int] {
+							return core.Then(s.Stop(), core.Return(info.Live+10*len(info.Children)))
+						})))
+			}))
+	})
+	run(t, m, 0) // no live children, and the finished child left the table
+	if c.starts["w"] != 1 {
+		t.Fatalf("killed transient child was restarted: %d starts", c.starts["w"])
+	}
+}
+
+// --- Intensity limits and escalation ------------------------------------
+
+func TestIntensityLimitEscalates(t *testing.T) {
+	c := newCounts()
+	var handle *supervise.Supervisor
+	spec := supervise.Spec{
+		Name:      "flappy",
+		Strategy:  supervise.OneForOne,
+		Intensity: supervise.Intensity{MaxRestarts: 3, Window: time.Hour},
+		Children: []supervise.ChildSpec{
+			{ID: "sib", Start: recording(c, "sib"), Restart: supervise.Permanent},
+			{ID: "crash", Start: crashy(c, "crash", 1000, time.Millisecond), Restart: supervise.Permanent},
+		},
+	}
+	m := core.Bind(supervise.NewSupervisor(spec), func(s *supervise.Supervisor) core.IO[core.Unit] {
+		handle = s
+		return s.Run()
+	})
+	_, e, err := core.Run(m)
+	if err != nil {
+		t.Fatalf("runtime error: %v", err)
+	}
+	ie, ok := e.(supervise.IntensityExceeded)
+	if !ok {
+		t.Fatalf("expected IntensityExceeded, got %v", e)
+	}
+	if ie.Supervisor != "flappy" || ie.Restarts != 4 {
+		t.Fatalf("unexpected escalation payload: %+v", ie)
+	}
+	if got := handle.Metrics.Restarts.Load(); got != 3 {
+		t.Errorf("restarts before escalation = %d, want 3", got)
+	}
+	if got := handle.Metrics.Escalations.Load(); got != 1 {
+		t.Errorf("escalations = %d, want 1", got)
+	}
+	// Escalation tears the tree down: the healthy sibling was stopped.
+	if len(c.order) != 1 || c.order[0] != "sib" {
+		t.Errorf("sibling not torn down on escalation: order = %v", c.order)
+	}
+}
+
+func TestNestedEscalationIsACrashForTheParent(t *testing.T) {
+	c := newCounts()
+	sub := supervise.Spec{
+		Name:      "sub",
+		Strategy:  supervise.OneForOne,
+		Intensity: supervise.Intensity{MaxRestarts: 1, Window: time.Hour},
+		Children: []supervise.ChildSpec{
+			{ID: "w", Start: crashy(c, "w", 3, time.Millisecond), Restart: supervise.Permanent},
+		},
+	}
+	m := core.Bind(supervise.NewSupervisor(sub), func(ss *supervise.Supervisor) core.IO[string] {
+		root := supervise.Spec{
+			Name:      "root",
+			Strategy:  supervise.OneForOne,
+			Intensity: supervise.Intensity{MaxRestarts: 5, Window: time.Hour},
+			Children:  []supervise.ChildSpec{ss.AsChild(supervise.Permanent, 20*time.Millisecond)},
+		}
+		return core.Bind(supervise.Start(root), func(rs *supervise.Supervisor) core.IO[string] {
+			return core.Then(core.Sleep(100*time.Millisecond),
+				core.Then(rs.Stop(), core.Lift(func() string {
+					return fmt.Sprintf("w:%d sub-esc:%d root-restarts:%d",
+						c.starts["w"], ss.Metrics.Escalations.Load(), rs.Metrics.Restarts.Load())
+				})))
+		})
+	})
+	// Sub's worker crashes; after 1 tolerated restart the second crash
+	// escalates. The parent sees its sub-supervisor child crash with
+	// IntensityExceeded and restarts the whole subtree, whose worker
+	// crashes once more (fresh window) and then settles.
+	run(t, m, "w:4 sub-esc:1 root-restarts:1")
+}
+
+// --- Backoff ------------------------------------------------------------
+
+func TestExponentialBackoffIsDeterministic(t *testing.T) {
+	var startTimes []int64
+	runs := 0
+	worker := func() core.IO[core.Unit] {
+		return core.Bind(core.Now(), func(now int64) core.IO[core.Unit] {
+			startTimes = append(startTimes, now)
+			runs++
+			if runs <= 3 {
+				return core.Throw[core.Unit](exc.ErrorCall{Msg: "early crash"})
+			}
+			return idle()
+		})
+	}
+	spec := supervise.Spec{
+		Name:      "backoff",
+		Strategy:  supervise.OneForOne,
+		Intensity: supervise.Intensity{MaxRestarts: -1, Window: time.Hour},
+		Backoff:   supervise.Backoff{Initial: 10 * time.Millisecond, Max: 40 * time.Millisecond},
+		Children: []supervise.ChildSpec{
+			{ID: "w", Start: worker, Restart: supervise.Permanent},
+		},
+	}
+	run(t, core.Void(runTreeFor(spec, 200*time.Millisecond)), core.UnitValue)
+	if len(startTimes) != 4 {
+		t.Fatalf("expected 4 incarnations, got %d", len(startTimes))
+	}
+	// Crashes are instantaneous, so under the virtual clock the gaps
+	// between starts are exactly the backoff schedule: 10, 20, 40ms.
+	want := []time.Duration{10 * time.Millisecond, 20 * time.Millisecond, 40 * time.Millisecond}
+	for i, w := range want {
+		got := time.Duration(startTimes[i+1] - startTimes[i])
+		if got != w {
+			t.Errorf("gap %d = %v, want %v (starts: %v)", i, got, w, startTimes)
+		}
+	}
+}
+
+// --- Shutdown budgets ---------------------------------------------------
+
+func TestShutdownBudgetEscalatesToKill(t *testing.T) {
+	// The child traps the soft Shutdown once and keeps going; the hard
+	// ThreadKilled that follows the budget is fatal.
+	stubborn := func() core.IO[core.Unit] {
+		return core.Catch(idle(), func(core.Exception) core.IO[core.Unit] { return idle() })
+	}
+	spec := supervise.Spec{
+		Name:     "stubborn",
+		Strategy: supervise.OneForOne,
+		Children: []supervise.ChildSpec{
+			{ID: "s", Start: stubborn, Restart: supervise.Permanent, Shutdown: 20 * time.Millisecond},
+		},
+	}
+	m := core.Bind(supervise.Start(spec), func(s *supervise.Supervisor) core.IO[string] {
+		return core.Then(core.Sleep(5*time.Millisecond),
+			core.Then(s.Stop(), core.Lift(func() string {
+				return fmt.Sprintf("kills:%d abandoned:%d",
+					s.Metrics.ForcedKills.Load(), s.Metrics.Abandoned.Load())
+			})))
+	})
+	run(t, m, "kills:1 abandoned:0")
+}
+
+func TestUnkillableChildIsAbandoned(t *testing.T) {
+	// A child that re-arms a universal handler forever survives even
+	// ThreadKilled; the supervisor stops waiting after two budgets and
+	// abandons it rather than hang its own teardown.
+	unkillable := func() core.IO[core.Unit] {
+		return core.Forever(core.Catch(idle(),
+			func(core.Exception) core.IO[core.Unit] { return core.Return(core.UnitValue) }))
+	}
+	spec := supervise.Spec{
+		Name:     "zombie",
+		Strategy: supervise.OneForOne,
+		Children: []supervise.ChildSpec{
+			{ID: "z", Start: unkillable, Restart: supervise.Permanent, Shutdown: 10 * time.Millisecond},
+		},
+	}
+	m := core.Bind(supervise.Start(spec), func(s *supervise.Supervisor) core.IO[string] {
+		return core.Then(core.Sleep(5*time.Millisecond),
+			core.Then(s.Stop(), core.Lift(func() string {
+				return fmt.Sprintf("kills:%d abandoned:%d",
+					s.Metrics.ForcedKills.Load(), s.Metrics.Abandoned.Load())
+			})))
+	})
+	run(t, m, "kills:1 abandoned:1")
+}
+
+// --- Nesting and teardown order -----------------------------------------
+
+func nestedTree(c *counts) core.IO[core.Pair[string, bool]] {
+	subSpec := func(name, w1, w2 string) supervise.Spec {
+		return supervise.Spec{
+			Name:     name,
+			Strategy: supervise.OneForOne,
+			Children: []supervise.ChildSpec{
+				{ID: w1, Start: recording(c, w1), Restart: supervise.Permanent},
+				{ID: w2, Start: recording(c, w2), Restart: supervise.Permanent},
+			},
+		}
+	}
+	return core.Bind(core.LiveThreads(), func(baseline int) core.IO[core.Pair[string, bool]] {
+		return core.Bind(supervise.NewSupervisor(subSpec("subA", "a1", "a2")), func(sa *supervise.Supervisor) core.IO[core.Pair[string, bool]] {
+			return core.Bind(supervise.NewSupervisor(subSpec("subB", "b1", "b2")), func(sb *supervise.Supervisor) core.IO[core.Pair[string, bool]] {
+				root := supervise.Spec{
+					Name:     "root",
+					Strategy: supervise.OneForOne,
+					Children: []supervise.ChildSpec{
+						sa.AsChild(supervise.Permanent, 20*time.Millisecond),
+						{ID: "w", Start: recording(c, "w"), Restart: supervise.Permanent},
+						sb.AsChild(supervise.Permanent, 20*time.Millisecond),
+					},
+				}
+				return core.Bind(supervise.Start(root), func(rs *supervise.Supervisor) core.IO[core.Pair[string, bool]] {
+					return core.Then(core.Sleep(10*time.Millisecond),
+						core.Then(rs.Stop(),
+							core.Bind(drained(baseline, 100), func(ok bool) core.IO[core.Pair[string, bool]] {
+								return core.Lift(func() core.Pair[string, bool] {
+									return core.MkPair(fmt.Sprintf("%v", c.order), ok)
+								})
+							})))
+				})
+			})
+		})
+	})
+}
+
+func TestNestedTreeTearsDownInReverseStartOrder(t *testing.T) {
+	c := newCounts()
+	v, e, err := core.Run(nestedTree(c))
+	if err != nil || e != nil {
+		t.Fatalf("run failed: %v %v", err, e)
+	}
+	if v.Fst != "[b2 b1 w a2 a1]" {
+		t.Errorf("teardown order = %v, want [b2 b1 w a2 a1]", v.Fst)
+	}
+	if !v.Snd {
+		t.Errorf("leaked threads: live count did not return to baseline")
+	}
+}
+
+func TestNestedTreeIsDeterministic(t *testing.T) {
+	runOnce := func() (string, uint64) {
+		c := newCounts()
+		m := core.Bind(nestedTree(c), func(p core.Pair[string, bool]) core.IO[core.Pair[string, uint64]] {
+			return core.Bind(core.SchedStats(), func(st sched.Stats) core.IO[core.Pair[string, uint64]] {
+				return core.Return(core.MkPair(p.Fst, st.Steps))
+			})
+		})
+		v, e, err := core.Run(m)
+		if err != nil || e != nil {
+			t.Fatalf("run failed: %v %v", err, e)
+		}
+		return v.Fst, v.Snd
+	}
+	o1, n1 := runOnce()
+	o2, n2 := runOnce()
+	if o1 != o2 || n1 != n2 {
+		t.Fatalf("nondeterministic teardown: %q/%d steps vs %q/%d steps", o1, n1, o2, n2)
+	}
+}
+
+// --- Dynamic children ---------------------------------------------------
+
+func TestDynamicStartAndTerminateChild(t *testing.T) {
+	c := newCounts()
+	spec := supervise.Spec{Name: "dyn", Strategy: supervise.OneForOne}
+	m := core.Bind(supervise.Start(spec), func(s *supervise.Supervisor) core.IO[string] {
+		w := supervise.ChildSpec{ID: "w1", Start: steady(c, "w1"), Restart: supervise.Permanent}
+		return core.Then(s.StartChild(w),
+			core.Bind(s.Info(), func(i1 supervise.Info) core.IO[string] {
+				dup := core.Bind(core.Try(s.StartChild(w)), func(r core.Attempt[core.Unit]) core.IO[bool] {
+					return core.Return(r.Failed())
+				})
+				return core.Bind(dup, func(dupFailed bool) core.IO[string] {
+					return core.Then(s.TerminateChild("w1"),
+						core.Bind(s.Info(), func(i2 supervise.Info) core.IO[string] {
+							return core.Then(s.Stop(), core.Return(fmt.Sprintf(
+								"live:%d dup:%v after:%d", i1.Live, dupFailed, len(i2.Children))))
+						}))
+				})
+			}))
+	})
+	run(t, m, "live:1 dup:true after:0")
+}
+
+// --- SpawnLinked under supervision (ThreadKilled filtering) -------------
+
+func TestSupervisedWorkerWithLinkedHelper(t *testing.T) {
+	// A worker that owns a linked helper crashes and is restarted. The
+	// bracket cancels the helper with ThreadKilled; Link filters the
+	// kill, so nothing propagates anywhere near the supervisor. The
+	// replacement incarnation gets a fresh helper.
+	c := newCounts()
+	runs := 0
+	worker := func() core.IO[core.Unit] {
+		return core.Bind(conc.SpawnLinked(idle()), func(helper conc.Async[core.Unit]) core.IO[core.Unit] {
+			body := core.Delay(func() core.IO[core.Unit] {
+				c.starts["worker"]++
+				runs++
+				if runs == 1 {
+					return core.Then(core.Sleep(5*time.Millisecond),
+						core.Throw[core.Unit](exc.ErrorCall{Msg: "worker crash"}))
+				}
+				return idle()
+			})
+			return core.Finally(body, helper.Cancel())
+		})
+	}
+	spec := supervise.Spec{
+		Name:     "linked",
+		Strategy: supervise.OneForOne,
+		Children: []supervise.ChildSpec{
+			{ID: "worker", Start: worker, Restart: supervise.Permanent},
+		},
+	}
+	m := core.Bind(supervise.Start(spec), func(s *supervise.Supervisor) core.IO[string] {
+		return core.Then(core.Sleep(50*time.Millisecond),
+			core.Bind(s.Info(), func(info supervise.Info) core.IO[string] {
+				return core.Then(s.Stop(), core.Lift(func() string {
+					return fmt.Sprintf("starts:%d restarts:%d esc:%d live:%d",
+						c.starts["worker"], s.Metrics.Restarts.Load(),
+						s.Metrics.Escalations.Load(), info.Live)
+				}))
+			}))
+	})
+	run(t, m, "starts:2 restarts:1 esc:0 live:1")
+}
+
+func TestLinkedHelperCrashRestartsOnlyTheWorker(t *testing.T) {
+	// The other direction: the helper crashes, the link re-raises the
+	// helper's exception in the worker, the supervisor treats it as an
+	// ordinary worker crash — one restart, no escalation.
+	c := newCounts()
+	runs := 0
+	worker := func() core.IO[core.Unit] {
+		return core.Delay(func() core.IO[core.Unit] {
+			c.starts["worker"]++
+			runs++
+			helper := idle()
+			if runs == 1 {
+				helper = core.Then(core.Sleep(5*time.Millisecond),
+					core.Throw[core.Unit](exc.ErrorCall{Msg: "helper crash"}))
+			}
+			return core.Bind(conc.SpawnLinked(helper), func(h conc.Async[core.Unit]) core.IO[core.Unit] {
+				return core.Finally(idle(), h.Cancel())
+			})
+		})
+	}
+	spec := supervise.Spec{
+		Name:     "linked2",
+		Strategy: supervise.OneForOne,
+		Children: []supervise.ChildSpec{
+			{ID: "worker", Start: worker, Restart: supervise.Permanent},
+		},
+	}
+	m := core.Bind(supervise.Start(spec), func(s *supervise.Supervisor) core.IO[string] {
+		return core.Then(core.Sleep(50*time.Millisecond),
+			core.Then(s.Stop(), core.Lift(func() string {
+				return fmt.Sprintf("starts:%d restarts:%d crashes:%d",
+					c.starts["worker"], s.Metrics.Restarts.Load(), s.Metrics.Crashes.Load())
+			})))
+	})
+	run(t, m, "starts:2 restarts:1 crashes:1")
+}

@@ -1,0 +1,728 @@
+package supervise
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"asyncexc/internal/conc"
+	"asyncexc/internal/core"
+	"asyncexc/internal/exc"
+	"asyncexc/internal/sched"
+)
+
+// Metrics are Go-side counters attached to a Supervisor handle. They
+// are atomics so harness code (tests, the httpd /stats route) can read
+// them from outside the runtime while the tree is live.
+type Metrics struct {
+	// Restarts counts restart actions (one per exit that triggered a
+	// restart, whatever the strategy fanout).
+	Restarts atomic.Uint64
+	// Crashes counts child exits classified as Crashed.
+	Crashes atomic.Uint64
+	// Escalations counts intensity-limit trips.
+	Escalations atomic.Uint64
+	// ForcedKills counts children that ignored the soft Shutdown past
+	// their budget and were escalated to KillThread.
+	ForcedKills atomic.Uint64
+	// Abandoned counts children that survived even KillThread inside
+	// the budget (uninterruptibly masked loops); the supervisor stops
+	// waiting for them.
+	Abandoned atomic.Uint64
+	// ChildrenStarted counts every child incarnation forked.
+	ChildrenStarted atomic.Uint64
+}
+
+// Supervisor is the handle to one supervision tree node. Build one
+// with NewSupervisor, then either embed its Run in the current thread
+// (that is what makes a supervisor a valid child of another
+// supervisor) or fork it with Start/StartSupervisor.
+type Supervisor struct {
+	spec   Spec
+	events conc.Chan[event]
+	done   core.MVar[core.Attempt[core.Unit]]
+
+	// Metrics is shared across incarnations of this supervisor.
+	Metrics *Metrics
+
+	mu        sync.Mutex
+	tid       core.ThreadID
+	childTIDs map[string]core.ThreadID
+}
+
+// event is the supervisor loop's single inbox message type: child exit
+// notices plus the command surface (dynamic start/terminate, info).
+type evKind uint8
+
+const (
+	evExit evKind = iota
+	evStartChild
+	evTerminateChild
+	evInfo
+)
+
+type event struct {
+	kind evKind
+
+	// evExit
+	child  string
+	epoch  uint64
+	reason ExitReason
+	exc    core.Exception
+
+	// evStartChild
+	spec ChildSpec
+
+	// command replies
+	replyErr  core.MVar[core.Attempt[core.Unit]]
+	replyInfo core.MVar[Info]
+}
+
+// ChildInfo is one row of a supervisor Info snapshot.
+type ChildInfo struct {
+	ID       string
+	TID      core.ThreadID
+	Running  bool
+	Restarts int
+	Restart  RestartPolicy
+}
+
+// Info is a point-in-time snapshot of a supervisor's children.
+type Info struct {
+	Name     string
+	Strategy Strategy
+	Live     int
+	Children []ChildInfo
+}
+
+// NewSupervisor allocates the handle: inbox channel, completion MVar,
+// metrics. It throws ErrorCall on duplicate child IDs.
+func NewSupervisor(spec Spec) core.IO[*Supervisor] {
+	seen := map[string]bool{}
+	for _, c := range spec.Children {
+		if seen[c.ID] {
+			return core.Throw[*Supervisor](exc.ErrorCall{Msg: fmt.Sprintf("supervise: duplicate child id %q in supervisor %q", c.ID, spec.Name)})
+		}
+		seen[c.ID] = true
+	}
+	if spec.Intensity.MaxRestarts == 0 {
+		spec.Intensity.MaxRestarts = DefaultIntensity.MaxRestarts
+	}
+	if spec.Intensity.Window == 0 {
+		spec.Intensity.Window = DefaultIntensity.Window
+	}
+	return core.Bind(conc.NewChan[event](), func(ch conc.Chan[event]) core.IO[*Supervisor] {
+		return core.Bind(core.NewEmptyMVar[core.Attempt[core.Unit]](), func(done core.MVar[core.Attempt[core.Unit]]) core.IO[*Supervisor] {
+			return core.Return(&Supervisor{
+				spec:      spec,
+				events:    ch,
+				done:      done,
+				Metrics:   &Metrics{},
+				childTIDs: map[string]core.ThreadID{},
+			})
+		})
+	})
+}
+
+// Name returns the supervisor's spec name.
+func (s *Supervisor) Name() string { return s.spec.Name }
+
+// ThreadID returns the supervisor thread of the current incarnation
+// (zero before the first Run/Start). Safe from any goroutine.
+func (s *Supervisor) ThreadID() core.ThreadID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.tid
+}
+
+// ChildThreadID reports the thread currently running the named child.
+// Safe from any goroutine; the entry is absent while the child is
+// down or being restarted.
+func (s *Supervisor) ChildThreadID(id string) (core.ThreadID, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	tid, ok := s.childTIDs[id]
+	return tid, ok
+}
+
+func (s *Supervisor) setChildTID(id string, tid core.ThreadID) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.childTIDs[id] = tid
+}
+
+func (s *Supervisor) clearChildTID(id string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.childTIDs, id)
+}
+
+// ---------------------------------------------------------------------
+// The supervisor loop
+// ---------------------------------------------------------------------
+
+// childState is per-child bookkeeping inside one supervisor
+// incarnation. All mutation happens on the supervisor thread, inside
+// atomic runtime steps, so there is no locking.
+type childState struct {
+	spec      ChildSpec
+	tid       core.ThreadID
+	epoch     uint64 // incarnation number; stale exit notices are discarded
+	running   bool
+	delay     time.Duration // next backoff delay
+	restarts  int
+	lastStart int64 // virtual-clock ns of the last (re)start
+}
+
+type runState struct {
+	s        *Supervisor
+	children []*childState
+	// deferred holds events read past while waiting for a specific
+	// child's exit notice; the main loop replays them in order.
+	deferred []event
+	// window holds the virtual-clock timestamps of recent restarts for
+	// the intensity limit.
+	window []int64
+}
+
+// Run runs the supervision tree in the calling thread until an
+// asynchronous Shutdown/kill arrives or the intensity limit escalates.
+// Either way every child is stopped in reverse start order before Run
+// returns (by rethrowing the exception that ended the loop). Because
+// Run is an ordinary IO action, a supervisor is a valid child of
+// another supervisor — that is the whole nesting story.
+//
+// The loop runs under Block: its waits (inbox reads, backoff sleeps,
+// shutdown budgets) are all interruptible operations, so a shutdown
+// still lands promptly (§5.3), but it can never land between reading
+// an exit notice and acting on it — no event is ever lost.
+func (s *Supervisor) Run() core.IO[core.Unit] {
+	return core.Block(core.Delay(func() core.IO[core.Unit] {
+		st := &runState{s: s}
+		for _, c := range s.spec.Children {
+			st.children = append(st.children, &childState{spec: c})
+		}
+		setup := core.Bind(core.MyThreadID(), func(me core.ThreadID) core.IO[core.Unit] {
+			s.mu.Lock()
+			s.tid = me
+			s.mu.Unlock()
+			return st.startAll()
+		})
+		return core.Then(setup,
+			core.Catch(st.loop(), func(e core.Exception) core.IO[core.Unit] {
+				// Teardown runs masked (Catch restored the Block-time
+				// mask), children die in reverse start order, and the
+				// reason propagates to whoever supervises us.
+				return core.Then(st.stopAllReverse(), core.Throw[core.Unit](e))
+			}))
+	}))
+}
+
+func (st *runState) startAll() core.IO[core.Unit] {
+	seq := core.Return(core.UnitValue)
+	for i := len(st.children) - 1; i >= 0; i-- {
+		cs := st.children[i]
+		seq = core.Then(st.startChild(cs), seq)
+	}
+	return seq
+}
+
+func (st *runState) loop() core.IO[core.Unit] {
+	var next func() core.IO[core.Unit]
+	next = func() core.IO[core.Unit] {
+		return core.Bind(st.nextEvent(), func(ev event) core.IO[core.Unit] {
+			return core.Then(st.handle(ev), core.Delay(next))
+		})
+	}
+	return core.Delay(next)
+}
+
+// nextEvent replays deferred events before reading the inbox.
+func (st *runState) nextEvent() core.IO[event] {
+	return core.Delay(func() core.IO[event] {
+		if len(st.deferred) > 0 {
+			ev := st.deferred[0]
+			st.deferred = st.deferred[1:]
+			return core.Return(ev)
+		}
+		return st.s.events.Read()
+	})
+}
+
+func (st *runState) handle(ev event) core.IO[core.Unit] {
+	switch ev.kind {
+	case evExit:
+		return st.handleExit(ev)
+	case evStartChild:
+		return st.handleStartChild(ev)
+	case evTerminateChild:
+		return st.handleTerminate(ev)
+	case evInfo:
+		return st.handleInfo(ev)
+	}
+	return core.Return(core.UnitValue)
+}
+
+func (st *runState) find(id string) *childState {
+	for _, cs := range st.children {
+		if cs.spec.ID == id {
+			return cs
+		}
+	}
+	return nil
+}
+
+func (st *runState) indexOf(id string) int {
+	for i, cs := range st.children {
+		if cs.spec.ID == id {
+			return i
+		}
+	}
+	return -1
+}
+
+func (st *runState) remove(id string) {
+	for i, cs := range st.children {
+		if cs.spec.ID == id {
+			st.children = append(st.children[:i], st.children[i+1:]...)
+			return
+		}
+	}
+}
+
+// shouldRestart is the policy × reason table. Note the ThreadKilled
+// edge: a kill is classified Killed, so a Transient child killed from
+// outside stays down — kills are deliberate stops, not faults.
+func shouldRestart(p RestartPolicy, r ExitReason) bool {
+	switch p {
+	case Permanent:
+		return true
+	case Transient:
+		return r == Crashed
+	default:
+		return false
+	}
+}
+
+func (st *runState) handleExit(ev event) core.IO[core.Unit] {
+	cs := st.find(ev.child)
+	if cs == nil || cs.epoch != ev.epoch || !cs.running {
+		return core.Return(core.UnitValue) // stale notice from a previous incarnation
+	}
+	cs.running = false
+	st.s.clearChildTID(cs.spec.ID)
+	if ev.reason == Crashed {
+		st.s.Metrics.Crashes.Add(1)
+	}
+	if !shouldRestart(cs.spec.Restart, ev.reason) {
+		// A child that finished for good leaves the table, so a later
+		// one-for-all restart does not revive it.
+		st.remove(cs.spec.ID)
+		return core.Return(core.UnitValue)
+	}
+	return st.restart(cs)
+}
+
+// restart performs intensity accounting, backoff, and the
+// strategy-dependent restart action for a child that just died.
+func (st *runState) restart(failed *childState) core.IO[core.Unit] {
+	return core.Bind(core.Now(), func(now int64) core.IO[core.Unit] {
+		sp := st.s.spec
+
+		// Rolling-window restart intensity: prune old entries, admit
+		// this restart, escalate if over budget.
+		cutoff := now - int64(sp.Intensity.Window)
+		w := st.window[:0]
+		for _, ts := range st.window {
+			if ts > cutoff {
+				w = append(w, ts)
+			}
+		}
+		st.window = append(w, now)
+		if sp.Intensity.MaxRestarts >= 0 && len(st.window) > sp.Intensity.MaxRestarts {
+			st.s.Metrics.Escalations.Add(1)
+			return core.Throw[core.Unit](IntensityExceeded{
+				Supervisor: sp.Name,
+				Restarts:   len(st.window),
+				Window:     sp.Intensity.Window,
+			})
+		}
+
+		// Exponential backoff per child, reset after a quiet run.
+		if failed.lastStart > 0 && now-failed.lastStart > int64(sp.Intensity.Window) {
+			failed.delay = 0
+		}
+		if sp.Backoff.Initial > 0 {
+			if failed.delay == 0 {
+				failed.delay = sp.Backoff.Initial
+			} else {
+				failed.delay *= 2
+				if sp.Backoff.Max > 0 && failed.delay > sp.Backoff.Max {
+					failed.delay = sp.Backoff.Max
+				}
+			}
+		}
+		wait := core.Return(core.UnitValue)
+		if failed.delay > 0 {
+			wait = core.Sleep(failed.delay)
+		}
+
+		note := core.Then(
+			core.FromNode[core.Unit](sched.NoteRestart()),
+			core.Lift(func() core.Unit {
+				st.s.Metrics.Restarts.Add(1)
+				return core.UnitValue
+			}))
+
+		var act core.IO[core.Unit]
+		switch sp.Strategy {
+		case OneForOne:
+			act = st.startChild(failed)
+		case OneForAll:
+			act = st.restartGroup(0, failed)
+		default: // RestForOne
+			act = st.restartGroup(st.indexOf(failed.spec.ID), failed)
+		}
+		return core.Seq(wait, note, act)
+	})
+}
+
+// restartGroup implements one-for-all (from = 0) and rest-for-one
+// (from = index of the failed child): stop the running members of
+// children[from:] in reverse start order, drop Temporary members, and
+// restart the survivors in start order.
+func (st *runState) restartGroup(from int, failed *childState) core.IO[core.Unit] {
+	return core.Delay(func() core.IO[core.Unit] {
+		group := append([]*childState(nil), st.children[from:]...)
+
+		stops := core.Return(core.UnitValue)
+		for _, cs := range group {
+			if cs == failed {
+				continue
+			}
+			stops = core.Then(st.stopChild(cs), stops)
+		}
+
+		prune := core.Lift(func() core.Unit {
+			keep := st.children[:from]
+			for _, cs := range group {
+				if cs.spec.Restart != Temporary {
+					keep = append(keep, cs)
+				} else {
+					st.s.clearChildTID(cs.spec.ID)
+				}
+			}
+			st.children = keep
+			return core.UnitValue
+		})
+
+		starts := core.Return(core.UnitValue)
+		for i := len(group) - 1; i >= 0; i-- {
+			cs := group[i]
+			if cs.spec.Restart == Temporary {
+				continue
+			}
+			starts = core.Then(st.startChild(cs), starts)
+		}
+
+		return core.Seq(stops, core.Void(prune), starts)
+	})
+}
+
+// startChild forks a fresh incarnation. The fork happens masked so the
+// outcome-capturing Try is installed before any exception can reach
+// the child (the §7.2 pattern); the child body itself runs Unblocked.
+// Each incarnation carries its epoch so the supervisor can tell its
+// exit notice from a stale one.
+func (st *runState) startChild(cs *childState) core.IO[core.Unit] {
+	return core.Bind(core.Now(), func(now int64) core.IO[core.Unit] {
+		cs.epoch++
+		if cs.epoch > 1 {
+			cs.restarts++
+		}
+		cs.lastStart = now
+		epoch := cs.epoch
+		id := cs.spec.ID
+		s := st.s
+		start := cs.spec.Start
+		body := core.Bind(core.Try(core.Unblock(core.Delay(start))), func(r core.Attempt[core.Unit]) core.IO[core.Unit] {
+			return s.events.Write(event{
+				kind:   evExit,
+				child:  id,
+				epoch:  epoch,
+				reason: Classify(r.Exc),
+				exc:    r.Exc,
+			})
+		})
+		return core.Block(core.Bind(core.ForkNamed(body, "sup:"+s.spec.Name+"/"+id), func(tid core.ThreadID) core.IO[core.Unit] {
+			cs.tid = tid
+			cs.running = true
+			s.Metrics.ChildrenStarted.Add(1)
+			s.setChildTID(id, tid)
+			return core.Return(core.UnitValue)
+		}))
+	})
+}
+
+// stopChild runs the shutdown protocol against one child: throw the
+// catchable Shutdown, wait up to the budget for the exit notice,
+// escalate to KillThread, wait one more budget, then abandon. The child
+// is guaranteed not to be restarted afterwards (its epoch moves on).
+func (st *runState) stopChild(cs *childState) core.IO[core.Unit] {
+	return core.Delay(func() core.IO[core.Unit] {
+		if !cs.running {
+			return core.Return(core.UnitValue)
+		}
+		budget := cs.spec.Shutdown
+		if budget <= 0 {
+			budget = DefaultShutdownBudget
+		}
+		soft := core.ThrowTo(cs.tid, Shutdown{})
+		first := core.Then(soft, core.Timeout(budget, st.awaitExit(cs)))
+		return core.Bind(first, func(r core.Maybe[core.Unit]) core.IO[core.Unit] {
+			return core.Delay(func() core.IO[core.Unit] {
+				if r.IsJust || !cs.running {
+					return core.Return(core.UnitValue)
+				}
+				// The child ignored the soft stop past its budget:
+				// escalate to the untrappable-by-convention alert.
+				st.s.Metrics.ForcedKills.Add(1)
+				second := core.Then(core.KillThread(cs.tid), core.Timeout(budget, st.awaitExit(cs)))
+				return core.Bind(second, func(r2 core.Maybe[core.Unit]) core.IO[core.Unit] {
+					return core.Lift(func() core.Unit {
+						if !r2.IsJust && cs.running {
+							// Unkillable (an uninterruptible loop):
+							// stop waiting. The thread dies with the
+							// tree's runtime at the latest (Proc GC).
+							st.s.Metrics.Abandoned.Add(1)
+							st.s.clearChildTID(cs.spec.ID)
+							cs.running = false
+							cs.epoch++ // discard any late notice
+						}
+						return core.UnitValue
+					})
+				})
+			})
+		})
+	})
+}
+
+// awaitExit consumes inbox events until this child's exit notice
+// arrives, deferring unrelated events for the main loop to replay. It
+// first scans the deferred queue (the notice may have been pushed
+// there by an earlier awaitExit). Runs under Block for the same
+// no-lost-events reason as the main loop.
+func (st *runState) awaitExit(cs *childState) core.IO[core.Unit] {
+	want, epoch := cs.spec.ID, cs.epoch
+	match := func(ev event) bool {
+		return ev.kind == evExit && ev.child == want && ev.epoch == epoch
+	}
+	absorb := func(ev event) {
+		cs.running = false
+		st.s.clearChildTID(want)
+		if ev.reason == Crashed {
+			st.s.Metrics.Crashes.Add(1)
+		}
+	}
+	scan := core.Lift(func() bool {
+		for i, ev := range st.deferred {
+			if match(ev) {
+				st.deferred = append(st.deferred[:i], st.deferred[i+1:]...)
+				absorb(ev)
+				return true
+			}
+		}
+		return false
+	})
+	var fromChan func() core.IO[core.Unit]
+	fromChan = func() core.IO[core.Unit] {
+		return core.Bind(st.s.events.Read(), func(ev event) core.IO[core.Unit] {
+			return core.Bind(core.Lift(func() bool {
+				if match(ev) {
+					absorb(ev)
+					return true
+				}
+				st.deferred = append(st.deferred, ev)
+				return false
+			}), func(done bool) core.IO[core.Unit] {
+				if done {
+					return core.Return(core.UnitValue)
+				}
+				return core.Delay(fromChan)
+			})
+		})
+	}
+	return core.Block(core.Bind(scan, func(found bool) core.IO[core.Unit] {
+		if found {
+			return core.Return(core.UnitValue)
+		}
+		return fromChan()
+	}))
+}
+
+// stopAllReverse tears down every running child in reverse start
+// order; used on supervisor shutdown and escalation.
+func (st *runState) stopAllReverse() core.IO[core.Unit] {
+	return core.Delay(func() core.IO[core.Unit] {
+		seq := core.Return(core.UnitValue)
+		for _, cs := range st.children {
+			seq = core.Then(st.stopChild(cs), seq)
+		}
+		return seq
+	})
+}
+
+// ---------------------------------------------------------------------
+// Commands (dynamic children, introspection)
+// ---------------------------------------------------------------------
+
+func (st *runState) handleStartChild(ev event) core.IO[core.Unit] {
+	if st.find(ev.spec.ID) != nil {
+		return core.Put(ev.replyErr, core.Attempt[core.Unit]{Exc: exc.ErrorCall{
+			Msg: fmt.Sprintf("supervise: duplicate child id %q in supervisor %q", ev.spec.ID, st.s.spec.Name),
+		}})
+	}
+	cs := &childState{spec: ev.spec}
+	st.children = append(st.children, cs)
+	return core.Then(st.startChild(cs), core.Put(ev.replyErr, core.Attempt[core.Unit]{}))
+}
+
+func (st *runState) handleTerminate(ev event) core.IO[core.Unit] {
+	cs := st.find(ev.child)
+	if cs == nil {
+		return core.Put(ev.replyErr, core.Attempt[core.Unit]{Exc: exc.ErrorCall{
+			Msg: fmt.Sprintf("supervise: no child %q in supervisor %q", ev.child, st.s.spec.Name),
+		}})
+	}
+	return core.Seq(
+		st.stopChild(cs),
+		core.Lift(func() core.Unit { st.remove(ev.child); return core.UnitValue }),
+		core.Put(ev.replyErr, core.Attempt[core.Unit]{}))
+}
+
+func (st *runState) handleInfo(ev event) core.IO[core.Unit] {
+	info := Info{Name: st.s.spec.Name, Strategy: st.s.spec.Strategy}
+	for _, cs := range st.children {
+		if cs.running {
+			info.Live++
+		}
+		info.Children = append(info.Children, ChildInfo{
+			ID:       cs.spec.ID,
+			TID:      cs.tid,
+			Running:  cs.running,
+			Restarts: cs.restarts,
+			Restart:  cs.spec.Restart,
+		})
+	}
+	return core.Put(ev.replyInfo, info)
+}
+
+// StartChild dynamically adds and starts a child; it throws ErrorCall
+// if the ID is already present. (Dynamic children belong to the
+// current incarnation: like Erlang's simple_one_for_one workers they
+// do not survive a restart of the supervisor itself.)
+func (s *Supervisor) StartChild(spec ChildSpec) core.IO[core.Unit] {
+	return s.command(func(reply core.MVar[core.Attempt[core.Unit]]) event {
+		return event{kind: evStartChild, spec: spec, replyErr: reply}
+	})
+}
+
+// TerminateChild stops and removes a child by ID (soft stop, budget,
+// hard kill — the full shutdown protocol); it throws ErrorCall for an
+// unknown ID.
+func (s *Supervisor) TerminateChild(id string) core.IO[core.Unit] {
+	return s.command(func(reply core.MVar[core.Attempt[core.Unit]]) event {
+		return event{kind: evTerminateChild, child: id, replyErr: reply}
+	})
+}
+
+func (s *Supervisor) command(mk func(core.MVar[core.Attempt[core.Unit]]) event) core.IO[core.Unit] {
+	return core.Bind(core.NewEmptyMVar[core.Attempt[core.Unit]](), func(reply core.MVar[core.Attempt[core.Unit]]) core.IO[core.Unit] {
+		return core.Then(s.events.Write(mk(reply)),
+			core.Bind(core.Take(reply), func(r core.Attempt[core.Unit]) core.IO[core.Unit] {
+				if r.Failed() {
+					return core.Throw[core.Unit](r.Exc)
+				}
+				return core.Return(core.UnitValue)
+			}))
+	})
+}
+
+// Info snapshots the supervisor's child table.
+func (s *Supervisor) Info() core.IO[Info] {
+	return core.Bind(core.NewEmptyMVar[Info](), func(reply core.MVar[Info]) core.IO[Info] {
+		return core.Then(s.events.Write(event{kind: evInfo, replyInfo: reply}),
+			core.Take(reply))
+	})
+}
+
+// ---------------------------------------------------------------------
+// Running trees
+// ---------------------------------------------------------------------
+
+// RunTree builds a supervisor from spec and runs it in the calling
+// thread; the usual shape for a program whose main thread is the root
+// of the tree.
+func RunTree(spec Spec) core.IO[core.Unit] {
+	return core.Bind(NewSupervisor(spec), func(s *Supervisor) core.IO[core.Unit] {
+		return s.Run()
+	})
+}
+
+// Start builds a supervisor from spec and forks it.
+func Start(spec Spec) core.IO[*Supervisor] {
+	return core.Bind(NewSupervisor(spec), StartSupervisor)
+}
+
+// StartSupervisor forks s.Run in a new thread and returns the handle.
+// The tree's outcome is captured for Stop/WaitStopped.
+func StartSupervisor(s *Supervisor) core.IO[*Supervisor] {
+	body := core.Bind(core.Try(s.Run()), func(r core.Attempt[core.Unit]) core.IO[core.Unit] {
+		return core.Put(s.done, r)
+	})
+	return core.Block(core.Bind(core.ForkNamed(body, "supervisor:"+s.spec.Name), func(tid core.ThreadID) core.IO[*Supervisor] {
+		s.mu.Lock()
+		s.tid = tid
+		s.mu.Unlock()
+		return core.Return(s)
+	}))
+}
+
+// Stop soft-stops a Start-ed supervisor (Shutdown at its thread — the
+// loop tears the children down in reverse start order) and waits for
+// the tree to finish.
+func (s *Supervisor) Stop() core.IO[core.Unit] {
+	return core.Bind(core.Lift(s.ThreadID), func(tid core.ThreadID) core.IO[core.Unit] {
+		return core.Then(core.ThrowTo(tid, Shutdown{}), core.Void(s.WaitStopped()))
+	})
+}
+
+// WaitStopped waits for a Start-ed supervisor to finish and returns
+// its outcome (Shutdown after a Stop; IntensityExceeded after an
+// escalation). It reads without consuming, so any number of waiters
+// may watch the same tree.
+func (s *Supervisor) WaitStopped() core.IO[core.Attempt[core.Unit]] {
+	return core.Read(s.done)
+}
+
+// AsChild packages this supervisor as a child spec for a parent
+// supervisor: nesting. Each incarnation re-runs the same tree spec
+// with fresh run state (dynamic children of the previous incarnation
+// are gone, as documented on StartChild).
+func (s *Supervisor) AsChild(restart RestartPolicy, shutdown time.Duration) ChildSpec {
+	return ChildSpec{
+		ID:       s.spec.Name,
+		Start:    func() core.IO[core.Unit] { return s.Run() },
+		Restart:  restart,
+		Shutdown: shutdown,
+	}
+}
+
+// WithSupervisor brackets body between Start and Stop, the §7
+// resource-acquisition idiom applied to a whole tree.
+func WithSupervisor[B any](spec Spec, body func(*Supervisor) core.IO[B]) core.IO[B] {
+	return core.Bracket(Start(spec), body, func(s *Supervisor) core.IO[core.Unit] {
+		return s.Stop()
+	})
+}
