@@ -1,0 +1,60 @@
+package asyncexc_test
+
+import (
+	"testing"
+
+	"asyncexc/internal/core"
+)
+
+// Allocation ceilings for the two hottest scheduler workloads. The
+// per-RT free lists (bind/catch frames, stack segments) hold these
+// flat; a regression that starts allocating per step or per handoff
+// fails here long before it shows up in wall-clock numbers.
+
+// runAllocsPerOp runs prog (iters operations) under
+// testing.AllocsPerRun and returns average heap allocations per
+// operation.
+func runAllocsPerOp(t *testing.T, iters int, mk func(iters int) core.IO[core.Unit]) float64 {
+	t.Helper()
+	prog := mk(iters)
+	avg := testing.AllocsPerRun(3, func() {
+		if _, e, err := core.RunWith(core.DefaultOptions(), prog); e != nil || err != nil {
+			t.Fatalf("run failed: %v %v", e, err)
+		}
+	})
+	return avg / float64(iters)
+}
+
+// TestStepAllocCeiling bounds allocations for the BenchmarkStep
+// workload (a pure Return chain): currently 4 allocs per step
+// (continuation nodes), with pooled bind frames contributing none.
+func TestStepAllocCeiling(t *testing.T) {
+	const iters = 20000
+	perOp := runAllocsPerOp(t, iters, func(n int) core.IO[core.Unit] {
+		return core.ReplicateM_(n, core.Return(core.UnitValue))
+	})
+	if perOp > 6 {
+		t.Fatalf("Step workload allocates %.2f/op, ceiling 6", perOp)
+	}
+}
+
+// TestMVarPingPongAllocCeiling bounds allocations for the
+// BenchmarkMVarPingPong workload (a two-thread handoff cycle):
+// currently 16 allocs per round trip.
+func TestMVarPingPongAllocCeiling(t *testing.T) {
+	const iters = 10000
+	perOp := runAllocsPerOp(t, iters, func(n int) core.IO[core.Unit] {
+		return core.Bind(core.NewEmptyMVar[int](), func(ping core.MVar[int]) core.IO[core.Unit] {
+			return core.Bind(core.NewEmptyMVar[int](), func(pong core.MVar[int]) core.IO[core.Unit] {
+				echo := core.ReplicateM_(n, core.Bind(core.Take(ping), func(v int) core.IO[core.Unit] {
+					return core.Put(pong, v)
+				}))
+				drive := core.ReplicateM_(n, core.Then(core.Put(ping, 1), core.Void(core.Take(pong))))
+				return core.Then(core.Void(core.Fork(echo)), drive)
+			})
+		})
+	})
+	if perOp > 20 {
+		t.Fatalf("MVar ping-pong workload allocates %.2f/op, ceiling 20", perOp)
+	}
+}

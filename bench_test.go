@@ -475,3 +475,76 @@ func BenchmarkSupervisorRestartOneForOne(b *testing.B) {
 func BenchmarkSupervisorRestartOneForAll(b *testing.B) {
 	benchSupervisorRestart(b, supervise.OneForAll)
 }
+
+// --- P1: parallel speedup ---------------------------------------------
+
+// BenchmarkParallelSpeedup measures the work-stealing engine against
+// the serial interpreter at 1/2/4/8 shards on three workloads:
+// MVarPingPong (inherently serial two-thread handoff — measures the
+// cross-shard overhead floor), ForkFanOut (independent workers —
+// embarrassingly parallel), and HTTP (concurrent clients against the
+// server). shards=1 is the serial engine and the baseline. Speedup
+// requires real cores: on a single-CPU host the fan-out numbers
+// collapse to the coordination overhead.
+func BenchmarkParallelSpeedup(b *testing.B) {
+	for _, shards := range []int{1, 2, 4, 8} {
+		shards := shards
+		b.Run(fmt.Sprintf("MVarPingPong/shards=%d", shards), func(b *testing.B) {
+			prog := core.Bind(core.NewEmptyMVar[int](), func(ping core.MVar[int]) core.IO[core.Unit] {
+				return core.Bind(core.NewEmptyMVar[int](), func(pong core.MVar[int]) core.IO[core.Unit] {
+					echo := core.ReplicateM_(b.N, core.Bind(core.Take(ping), func(v int) core.IO[core.Unit] {
+						return core.Put(pong, v)
+					}))
+					drive := core.ReplicateM_(b.N, core.Then(core.Put(ping, 1), core.Void(core.Take(pong))))
+					return core.Then(core.Void(core.Fork(echo)), drive)
+				})
+			})
+			b.ResetTimer()
+			mustRun(b, core.ParallelOptions(shards), prog)
+		})
+		b.Run(fmt.Sprintf("ForkFanOut/shards=%d", shards), func(b *testing.B) {
+			const workers = 8
+			prog := core.Bind(core.NewEmptyMVar[core.Unit](), func(done core.MVar[core.Unit]) core.IO[core.Unit] {
+				work := core.Then(
+					core.ReplicateM_(b.N/workers+1, core.Return(core.UnitValue)),
+					core.Put(done, core.UnitValue))
+				setup := core.Return(core.UnitValue)
+				for w := 0; w < workers; w++ {
+					setup = core.Then(setup, core.Void(core.Fork(work)))
+				}
+				return core.Then(setup,
+					core.ReplicateM_(workers, core.Void(core.Take(done))))
+			})
+			b.ResetTimer()
+			mustRun(b, core.ParallelOptions(shards), prog)
+		})
+		b.Run(fmt.Sprintf("HTTP/shards=%d", shards), func(b *testing.B) {
+			srv := httpd.New(httpd.Config{
+				RequestTimeout: 5 * time.Second, MaxConns: 256, Shards: shards,
+			})
+			srv.Handle("/hello", func(r httpd.Request) core.IO[httpd.Response] {
+				return core.Return(httpd.Text(200, "hello\n"))
+			})
+			run, err := srv.Start()
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer run.Stop() //nolint:errcheck // benchmark teardown
+			url := fmt.Sprintf("http://%s/hello", run.Addr)
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					resp, err := http.Get(url)
+					if err != nil {
+						b.Fatal(err)
+					}
+					io.Copy(io.Discard, resp.Body) //nolint:errcheck // drain
+					resp.Body.Close()
+					if resp.StatusCode != 200 {
+						b.Fatalf("status %d", resp.StatusCode)
+					}
+				}
+			})
+		})
+	}
+}

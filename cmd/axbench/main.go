@@ -3,16 +3,20 @@
 // claim-level artifact of "Asynchronous Exceptions in Haskell"
 // (PLDI 2001). Wall-clock numbers live in the Go benchmarks
 // (go test -bench=.); this command reports scheduler-step counts, which
-// are exact and machine-independent.
+// are exact and machine-independent — except P1, the parallel-engine
+// speedup table, which is necessarily wall-clock.
 //
 // Usage:
 //
 //	axbench            # run every experiment
-//	axbench -run E9    # run one experiment by ID (E1, E6, E7, E8, E9, S1, T1, T2, F4, C1)
+//	axbench -run E9    # run one experiment by ID (E1, E6, E7, E8, E9, S1, T1, T2, F4, C1, P1)
 //	axbench -seeds 500 # widen the lock-race schedule sweep
+//	axbench -run P1 -write                    # splice P1 into EXPERIMENTS.md
+//	axbench -run P1 -json BENCH_parallel.json # record results as JSON
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -24,6 +28,8 @@ import (
 func main() {
 	run := flag.String("run", "", "experiment ID to run (default: all)")
 	seeds := flag.Int("seeds", 300, "random schedules for the lock-race experiment")
+	write := flag.Bool("write", false, "splice the selected tables into EXPERIMENTS.md (between <!-- ID:begin/end --> markers)")
+	jsonPath := flag.String("json", "", "also write the selected tables as JSON to this path")
 	flag.Parse()
 
 	experiments := []struct {
@@ -41,9 +47,10 @@ func main() {
 		{"F4", func() *bench.Table { return bench.RuleCoverage() }},
 		{"V1", func() *bench.Table { return bench.EitherVerification() }},
 		{"C1", func() *bench.Table { return bench.Conformance(25) }},
+		{"P1", func() *bench.Table { return bench.ParallelSpeedup([]int{1, 2, 4, 8}) }},
 	}
 
-	matched := false
+	var tables []*bench.Table
 	for _, e := range experiments {
 		if *run != "" && !strings.EqualFold(*run, e.id) && !strings.EqualFold(*run, "E2") {
 			continue
@@ -51,11 +58,58 @@ func main() {
 		if *run != "" && strings.EqualFold(*run, "E2") && e.id != "E1" {
 			continue
 		}
-		matched = true
-		e.build().Fprint(os.Stdout)
+		t := e.build()
+		t.Fprint(os.Stdout)
+		tables = append(tables, t)
 	}
-	if !matched {
+	if len(tables) == 0 {
 		fmt.Fprintf(os.Stderr, "axbench: unknown experiment %q\n", *run)
 		os.Exit(2)
 	}
+	if *jsonPath != "" {
+		if err := writeJSON(*jsonPath, tables); err != nil {
+			fmt.Fprintf(os.Stderr, "axbench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if *write {
+		for _, t := range tables {
+			if err := splice("EXPERIMENTS.md", t); err != nil {
+				fmt.Fprintf(os.Stderr, "axbench: %v\n", err)
+				os.Exit(1)
+			}
+		}
+	}
+}
+
+// writeJSON records the tables (raw cells plus metadata) as a JSON
+// artifact — CI stores the P1 run as BENCH_parallel.json.
+func writeJSON(path string, tables []*bench.Table) error {
+	data, err := json.MarshalIndent(tables, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// splice replaces the region between "<!-- ID:begin -->" and
+// "<!-- ID:end -->" in the markdown file with the freshly rendered
+// table. Missing markers are an error, not an append: the document
+// decides where regenerated output lives.
+func splice(path string, t *bench.Table) error {
+	doc, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	begin := fmt.Sprintf("<!-- %s:begin -->", t.ID)
+	end := fmt.Sprintf("<!-- %s:end -->", t.ID)
+	s := string(doc)
+	i := strings.Index(s, begin)
+	j := strings.Index(s, end)
+	if i < 0 || j < 0 || j < i {
+		return fmt.Errorf("%s: markers %s/%s not found", path, begin, end)
+	}
+	body := "\n```\n" + t.String() + "```\n"
+	out := s[:i+len(begin)] + body + s[j:]
+	return os.WriteFile(path, []byte(out), 0o644)
 }

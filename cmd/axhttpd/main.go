@@ -46,9 +46,12 @@ func main() {
 	timeout := flag.Duration("timeout", 2*time.Second, "per-request timeout")
 	maxConns := flag.Int("maxconns", 256, "maximum concurrent connections")
 	supervised := flag.Bool("supervised", true, "run under the supervision tree")
+	shards := flag.Int("shards", 1, "execution shards (>1 selects the parallel work-stealing engine)")
 	flag.Parse()
 
-	srv := httpd.New(httpd.Config{Addr: *addr, RequestTimeout: *timeout, MaxConns: *maxConns})
+	srv := httpd.New(httpd.Config{
+		Addr: *addr, RequestTimeout: *timeout, MaxConns: *maxConns, Shards: *shards,
+	})
 	srv.Use(httpd.Logged(func(line string) { log.Print(line) }))
 	srv.Use(httpd.WithHeader("Server", "asyncexc-axhttpd"))
 
@@ -100,15 +103,24 @@ func main() {
 			body += fmt.Sprintf(
 				"sched: steps=%d forks=%d throwTos=%d delivered=%d killed=%d supervisorRestarts=%d\n",
 				st.Steps, st.Forks, st.ThrowTos, st.Delivered, st.Killed, st.SupervisorRestarts)
-			if tr := tree.Load(); tr != nil {
-				body += fmt.Sprintf(
-					"tree: restarts=%d crashes=%d forcedKills=%d childrenStarted=%d\n",
-					tr.Root.Metrics.Restarts.Load()+tr.Conns.Metrics.Restarts.Load(),
-					tr.Conns.Metrics.Crashes.Load(),
-					tr.Root.Metrics.ForcedKills.Load()+tr.Conns.Metrics.ForcedKills.Load(),
-					tr.Conns.Metrics.ChildrenStarted.Load())
-			}
-			return core.Return(httpd.Text(200, body))
+			return core.Bind(core.ShardSchedStats(), func(per []sched.Stats) core.IO[httpd.Response] {
+				if len(per) > 1 {
+					for i, sh := range per {
+						body += fmt.Sprintf(
+							"shard[%d]: steps=%d steals=%d crossShardThrowTo=%d mailboxDepth=%d\n",
+							i, sh.Steps, sh.Steals, sh.CrossShardThrowTo, sh.MailboxDepth)
+					}
+				}
+				if tr := tree.Load(); tr != nil {
+					body += fmt.Sprintf(
+						"tree: restarts=%d crashes=%d forcedKills=%d childrenStarted=%d\n",
+						tr.Root.Metrics.Restarts.Load()+tr.Conns.Metrics.Restarts.Load(),
+						tr.Conns.Metrics.Crashes.Load(),
+						tr.Root.Metrics.ForcedKills.Load()+tr.Conns.Metrics.ForcedKills.Load(),
+						tr.Conns.Metrics.ChildrenStarted.Load())
+				}
+				return core.Return(httpd.Text(200, body))
+			})
 		})
 	})
 
@@ -123,14 +135,14 @@ func main() {
 		}
 		tree.Store(run.Tree)
 		liveAddr, stop = run.Addr, run.Stop
-		log.Printf("axhttpd listening on http://%s (request timeout %v, supervised)", liveAddr, *timeout)
+		log.Printf("axhttpd listening on http://%s (request timeout %v, supervised, shards=%d)", liveAddr, *timeout, *shards)
 	} else {
 		run, err := srv.Start()
 		if err != nil {
 			log.Fatal(err)
 		}
 		liveAddr, stop = run.Addr, run.Stop
-		log.Printf("axhttpd listening on http://%s (request timeout %v, flat)", liveAddr, *timeout)
+		log.Printf("axhttpd listening on http://%s (request timeout %v, flat, shards=%d)", liveAddr, *timeout, *shards)
 	}
 
 	sig := make(chan os.Signal, 1)

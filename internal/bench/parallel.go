@@ -1,0 +1,158 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"sync"
+	"time"
+
+	"asyncexc/internal/core"
+	"asyncexc/internal/httpd"
+	"asyncexc/internal/sched"
+)
+
+// ParallelSpeedup builds the P1 table: wall-clock throughput of the
+// work-stealing engine at each shard count, normalised against the
+// serial engine (shards=1), on the three tentpole workloads —
+//
+//   - mvar-pingpong: a two-thread handoff loop. Inherently serial; it
+//     measures the cross-shard coordination floor, not speedup.
+//   - fork-fanout: independent workers running pure step loops —
+//     embarrassingly parallel, the best case for stealing.
+//   - http: concurrent clients against the §11 server.
+//
+// Unlike the rest of axbench this table is wall-clock and therefore
+// machine-dependent; the Steals/CrossShardThrowTo columns are the
+// deterministic part of the story. Speedup > 1 requires real cores:
+// on a single-CPU host GOMAXPROCS pins every shard to one core and
+// the fan-out numbers collapse to the coordination overhead.
+func ParallelSpeedup(shardCounts []int) *Table {
+	t := &Table{
+		ID:      "P1",
+		Title:   "parallel work-stealing engine: wall-clock speedup vs serial",
+		Columns: []string{"workload", "shards", "wall", "speedup", "steals", "crossThrowTo"},
+	}
+
+	type measurement struct {
+		wall   time.Duration
+		steals uint64
+		xthrow uint64
+	}
+
+	workloads := []struct {
+		name string
+		run  func(shards int) measurement
+	}{
+		{"mvar-pingpong", func(shards int) measurement {
+			const rounds = 20000
+			sys := core.NewSystem(core.ParallelOptions(shards))
+			prog := core.Bind(core.NewEmptyMVar[int](), func(ping core.MVar[int]) core.IO[core.Unit] {
+				return core.Bind(core.NewEmptyMVar[int](), func(pong core.MVar[int]) core.IO[core.Unit] {
+					echo := core.ReplicateM_(rounds, core.Bind(core.Take(ping), func(v int) core.IO[core.Unit] {
+						return core.Put(pong, v)
+					}))
+					drive := core.ReplicateM_(rounds, core.Then(core.Put(ping, 1), core.Void(core.Take(pong))))
+					return core.Then(core.Void(core.Fork(echo)), drive)
+				})
+			})
+			start := time.Now()
+			if _, e, err := core.RunSystem(sys, prog); err != nil || e != nil {
+				panic(fmt.Sprintf("bench: pingpong shards=%d: %v %v", shards, e, err))
+			}
+			st := sys.Stats()
+			return measurement{time.Since(start), st.Steals, st.CrossShardThrowTo}
+		}},
+		{"fork-fanout", func(shards int) measurement {
+			const workers, steps = 8, 20000
+			sys := core.NewSystem(core.ParallelOptions(shards))
+			prog := core.Bind(core.NewEmptyMVar[core.Unit](), func(done core.MVar[core.Unit]) core.IO[core.Unit] {
+				work := core.Then(
+					core.ReplicateM_(steps, core.Return(core.UnitValue)),
+					core.Put(done, core.UnitValue))
+				setup := core.Return(core.UnitValue)
+				for w := 0; w < workers; w++ {
+					setup = core.Then(setup, core.Void(core.Fork(work)))
+				}
+				return core.Then(setup, core.ReplicateM_(workers, core.Void(core.Take(done))))
+			})
+			start := time.Now()
+			if _, e, err := core.RunSystem(sys, prog); err != nil || e != nil {
+				panic(fmt.Sprintf("bench: fanout shards=%d: %v %v", shards, e, err))
+			}
+			st := sys.Stats()
+			return measurement{time.Since(start), st.Steals, st.CrossShardThrowTo}
+		}},
+		{"http", func(shards int) measurement {
+			const clients, reqsPerClient = 4, 50
+			srv := httpd.New(httpd.Config{
+				RequestTimeout: 5 * time.Second, MaxConns: 256, Shards: shards,
+			})
+			srv.Handle("/hello", func(r httpd.Request) core.IO[httpd.Response] {
+				return core.Return(httpd.Text(200, "hello\n"))
+			})
+			run, err := srv.Start()
+			if err != nil {
+				panic(fmt.Sprintf("bench: http shards=%d: %v", shards, err))
+			}
+			url := fmt.Sprintf("http://%s/hello", run.Addr)
+			start := time.Now()
+			var wg sync.WaitGroup
+			for c := 0; c < clients; c++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for r := 0; r < reqsPerClient; r++ {
+						resp, err := http.Get(url)
+						if err != nil {
+							panic(fmt.Sprintf("bench: http shards=%d: %v", shards, err))
+						}
+						io.Copy(io.Discard, resp.Body) //nolint:errcheck // drain
+						resp.Body.Close()
+					}
+				}()
+			}
+			wg.Wait()
+			wall := time.Since(start)
+			var st sched.Stats
+			for _, s := range run.ShardStats() {
+				st.Add(s)
+			}
+			if err := run.Stop(); err != nil {
+				panic(fmt.Sprintf("bench: http stop shards=%d: %v", shards, err))
+			}
+			return measurement{wall, st.Steals, st.CrossShardThrowTo}
+		}},
+	}
+
+	for _, w := range workloads {
+		var base time.Duration
+		for _, shards := range shardCounts {
+			m := w.run(shards)
+			if shards <= 1 || base == 0 {
+				base = m.wall
+			}
+			t.AddRow(w.name, shards, fmtDuration(m.wall),
+				fmt.Sprintf("%.2fx", float64(base)/float64(m.wall)),
+				m.steals, m.xthrow)
+		}
+	}
+	t.Notes = append(t.Notes,
+		"wall-clock (machine-dependent), unlike the step-counted tables; speedup is vs shards=1",
+		fmt.Sprintf("measured with GOMAXPROCS=%d on %d CPUs — speedup > 1 requires real cores",
+			runtime.GOMAXPROCS(0), runtime.NumCPU()))
+	return t
+}
+
+// fmtDuration renders a duration with bench-style precision.
+func fmtDuration(d time.Duration) string {
+	switch {
+	case d < time.Millisecond:
+		return fmt.Sprintf("%.1fµs", float64(d)/float64(time.Microsecond))
+	case d < time.Second:
+		return fmt.Sprintf("%.2fms", float64(d)/float64(time.Millisecond))
+	default:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	}
+}

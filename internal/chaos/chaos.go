@@ -16,6 +16,8 @@ package chaos
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"asyncexc/internal/conc"
 	"asyncexc/internal/core"
@@ -40,6 +42,9 @@ type Config struct {
 	// Kills is how many asynchronous exceptions the chaos thread
 	// throws at random victims.
 	Kills int
+	// Shards > 1 runs the scenario on the parallel work-stealing
+	// engine; the invariants are the same, exercised across shards.
+	Shards int
 }
 
 // DefaultConfig returns a moderate scenario.
@@ -75,13 +80,15 @@ func (r Report) Failed() bool { return len(r.Violations) > 0 }
 func Run(cfg Config) (Report, error) {
 	var rep Report
 
-	// Go-side instrumentation; all mutation happens on scheduler
-	// green threads, so plain variables are race-free.
+	// Go-side instrumentation. Green threads run on one goroutine in
+	// serial mode but on Shards goroutines in parallel mode, so the
+	// counters are atomics and the shared map/slice are mutex-guarded.
 	var (
-		exited       int // threads that finished or died (via Finally)
-		totalThreads int
-		jobsStarted  int
-		jobsFinished int
+		exited       atomic.Int64 // threads that finished or died (via Finally)
+		totalThreads atomic.Int64
+		jobsStarted  atomic.Int64
+		jobsFinished atomic.Int64
+		mu           sync.Mutex // guards received (and victims, below)
 		received     = map[int]int{}
 		consumerDone bool
 	)
@@ -90,12 +97,13 @@ func Run(cfg Config) (Report, error) {
 	opts.RandomSched = true
 	opts.Seed = cfg.Seed
 	opts.TimeSlice = 3
+	opts.Shards = cfg.Shards
 	sys := core.NewSystem(opts)
 
 	tracked := func(m core.IO[core.Unit]) core.IO[core.Unit] {
-		totalThreads++
+		totalThreads.Add(1)
 		return core.Finally(core.Void(core.Try(m)),
-			core.Lift(func() core.Unit { exited++; return core.UnitValue }))
+			core.Lift(func() core.Unit { exited.Add(1); return core.UnitValue }))
 	}
 
 	prog := core.Bind(core.NewMVar(0), func(account core.MVar[int]) core.IO[Report] {
@@ -105,7 +113,9 @@ func Run(cfg Config) (Report, error) {
 					var victims []core.ThreadID
 					fork := func(m core.IO[core.Unit]) core.IO[core.Unit] {
 						return core.Bind(core.Fork(tracked(m)), func(tid core.ThreadID) core.IO[core.Unit] {
+							mu.Lock()
 							victims = append(victims, tid)
+							mu.Unlock()
 							return core.Return(core.UnitValue)
 						})
 					}
@@ -132,14 +142,19 @@ func Run(cfg Config) (Report, error) {
 					// the main thread's cleanup); it is never a victim so
 					// received stays meaningful.
 					consumer := core.Void(core.Forever(core.Bind(ch.Read(), func(tok int) core.IO[core.Unit] {
-						return core.Lift(func() core.Unit { received[tok]++; return core.UnitValue })
+						return core.Lift(func() core.Unit {
+							mu.Lock()
+							received[tok]++
+							mu.Unlock()
+							return core.UnitValue
+						})
 					})))
 
 					// Pool jobs: two-phase markers to detect tearing.
 					job := core.Seq(
-						core.Lift(func() core.Unit { jobsStarted++; return core.UnitValue }),
+						core.Lift(func() core.Unit { jobsStarted.Add(1); return core.UnitValue }),
 						core.Void(core.ReplicateM_(5, core.Return(core.UnitValue))),
-						core.Lift(func() core.Unit { jobsFinished++; return core.UnitValue }),
+						core.Lift(func() core.Unit { jobsFinished.Add(1); return core.UnitValue }),
 					)
 
 					// The chaos thread.
@@ -147,10 +162,16 @@ func Run(cfg Config) (Report, error) {
 						rng := newRand(cfg.Seed * 7641361)
 						var loop func(k int) core.IO[core.Unit]
 						loop = func(k int) core.IO[core.Unit] {
-							if k >= cfg.Kills || len(victims) == 0 {
+							mu.Lock()
+							nv := len(victims)
+							var victim core.ThreadID
+							if nv > 0 {
+								victim = victims[rng.next(nv)]
+							}
+							mu.Unlock()
+							if k >= cfg.Kills || nv == 0 {
 								return core.Return(core.UnitValue)
 							}
-							victim := victims[rng.next(len(victims))]
 							return core.Seq(
 								core.ThrowTo(victim, exc.Dyn{Tag: "Chaos"}),
 								core.Yield(),
@@ -177,9 +198,9 @@ func Run(cfg Config) (Report, error) {
 						// Victims (not the consumer) exit on completion or
 						// kill; the tracked Finally makes `exited` exact.
 						victimsExited := core.IterateUntil(core.Then(core.Yield(),
-							core.Lift(func() bool { return exited >= totalThreads-1 })))
+							core.Lift(func() bool { return exited.Load() >= totalThreads.Load()-1 })))
 						allExited := core.IterateUntil(core.Then(core.Yield(),
-							core.Lift(func() bool { return exited >= totalThreads })))
+							core.Lift(func() bool { return exited.Load() >= totalThreads.Load() })))
 						inspect := core.Bind(core.Try(core.Take(account)), func(acc core.Attempt[int]) core.IO[Report] {
 							r := Report{}
 							if acc.Failed() {
@@ -228,10 +249,10 @@ func Run(cfg Config) (Report, error) {
 	if rep.TokensReceived > cfg.Producers*cfg.Tokens {
 		rep.Violations = append(rep.Violations, "more tokens received than sent")
 	}
-	rep.JobsStarted, rep.JobsFinished = jobsStarted, jobsFinished
-	if jobsStarted != jobsFinished {
+	rep.JobsStarted, rep.JobsFinished = int(jobsStarted.Load()), int(jobsFinished.Load())
+	if rep.JobsStarted != rep.JobsFinished {
 		rep.Violations = append(rep.Violations,
-			fmt.Sprintf("torn pool jobs: started %d, finished %d", jobsStarted, jobsFinished))
+			fmt.Sprintf("torn pool jobs: started %d, finished %d", rep.JobsStarted, rep.JobsFinished))
 	}
 	st := sys.Stats()
 	rep.Steps = st.Steps

@@ -1,0 +1,32 @@
+package chaos_test
+
+import (
+	"testing"
+
+	"asyncexc/internal/chaos"
+)
+
+// TestChaosParallelSoak runs the fault-injection scenario on the
+// work-stealing engine at 2 and 4 shards across seeds. The invariants
+// are the serial ones — lock never lost, tokens unique, no torn pool
+// jobs — now additionally exercised against cross-shard throwTo,
+// stealing, and mailbox delivery. Run with -race in CI.
+func TestChaosParallelSoak(t *testing.T) {
+	seeds := 12
+	if testing.Short() {
+		seeds = 3
+	}
+	for _, shards := range []int{2, 4} {
+		for seed := 0; seed < seeds; seed++ {
+			cfg := chaos.DefaultConfig(int64(seed))
+			cfg.Shards = shards
+			rep, err := chaos.Run(cfg)
+			if err != nil {
+				t.Fatalf("shards=%d seed=%d: %v", shards, seed, err)
+			}
+			if rep.Failed() {
+				t.Fatalf("shards=%d seed=%d: %v", shards, seed, rep.Violations)
+			}
+		}
+	}
+}

@@ -42,6 +42,10 @@ type RuntimeSchedule struct {
 	Seed   int64
 	// TimeSlice in steps (0 = runtime default).
 	TimeSlice int
+	// Shards > 1 runs the parallel work-stealing engine; its
+	// cross-shard interleavings are nondeterministic, so each such run
+	// samples one more schedule from the semantics' set.
+	Shards int
 }
 
 // RunRuntime compiles src and runs it on the real runtime under the
@@ -60,6 +64,7 @@ func RunRuntime(src, input string, sch RuntimeSchedule) (Outcome, error) {
 		TimeSlice:      sch.TimeSlice,
 		RandomSched:    sch.Random,
 		Seed:           sch.Seed,
+		Shards:         sch.Shards,
 	}
 	rt := sched.NewRT(opts)
 	rt.CloseInput()

@@ -1,0 +1,47 @@
+package conformance_test
+
+import (
+	"testing"
+
+	"asyncexc/internal/conformance"
+)
+
+// parallelSchedules is the battery for the work-stealing engine: each
+// run at Shards > 1 is one nondeterministic sample, so several repeats
+// per seed/slice combination stand in for the serial suite's exhaustive
+// round-robin runs.
+func parallelSchedules(shards, repeats int) []conformance.RuntimeSchedule {
+	var out []conformance.RuntimeSchedule
+	for r := 0; r < repeats; r++ {
+		out = append(out,
+			conformance.RuntimeSchedule{Shards: shards, TimeSlice: 1, Seed: int64(r)},
+			conformance.RuntimeSchedule{Shards: shards, TimeSlice: 3, Seed: int64(r)},
+			conformance.RuntimeSchedule{Shards: shards, Random: true, TimeSlice: 1, Seed: int64(r)},
+		)
+	}
+	return out
+}
+
+// TestParallelRuntimeRefinesSemantics checks that every outcome the
+// parallel engine produces on the differential corpus is a member of
+// the machine's exhaustively explored outcome set — the same
+// behavioural-refinement criterion as the serial suite. The delivery
+// points (rules Receive and Interrupt) must therefore survive
+// sharding, stealing, and cross-shard mailbox delivery.
+func TestParallelRuntimeRefinesSemantics(t *testing.T) {
+	repeats := 4
+	if testing.Short() {
+		repeats = 1
+	}
+	for _, shards := range []int{2, 4} {
+		schedules := parallelSchedules(shards, repeats)
+		for _, p := range corpus {
+			p := p
+			t.Run(p.name, func(t *testing.T) {
+				if err := conformance.Check(p.src, p.input, schedules); err != nil {
+					t.Fatal(err)
+				}
+			})
+		}
+	}
+}

@@ -261,6 +261,13 @@ func LiveThreads() IO[int] { return FromNode[int](sched.LiveThreads()) }
 // runtime observability without leaving the monad.
 func SchedStats() IO[sched.Stats] { return FromNode[sched.Stats](sched.GetStats()) }
 
+// ShardSchedStats returns per-shard scheduler counters from inside IO —
+// one entry per execution shard on the parallel engine, a single entry
+// in serial mode.
+func ShardSchedStats() IO[[]sched.Stats] {
+	return FromNode[[]sched.Stats](sched.GetShardStats())
+}
+
 // ---------------------------------------------------------------------
 // Console (§3)
 // ---------------------------------------------------------------------

@@ -33,6 +33,23 @@ func RealTimeOptions() Options {
 	return opts
 }
 
+// ParallelOptions returns defaults with the runtime sharded across the
+// given number of worker shards (M:N work-stealing execution; see
+// docs/PARALLEL.md). shards <= 1 yields the deterministic serial
+// engine.
+func ParallelOptions(shards int) Options {
+	opts := sched.DefaultOptions()
+	opts.Shards = shards
+	return opts
+}
+
+// RunParallel performs m on a fresh runtime sharded across the given
+// number of workers. Delivery semantics are identical to the serial
+// engine; scheduling order is nondeterministic across shards.
+func RunParallel[A any](shards int, m IO[A]) (A, Exception, error) {
+	return RunSystem(NewSystem(ParallelOptions(shards)), m)
+}
+
 // System is a runtime instance plus the typed entry points. A System
 // performs one main action; create a fresh System per run.
 type System struct {
@@ -49,8 +66,16 @@ func (s *System) RT() *sched.RT { return s.rt }
 // Output returns the console transcript produced so far.
 func (s *System) Output() string { return s.rt.Output() }
 
-// Stats returns scheduler counters.
+// Stats returns scheduler counters (aggregated across shards in
+// parallel mode).
 func (s *System) Stats() sched.Stats { return s.rt.Stats() }
+
+// ShardStats returns per-shard scheduler counters; one entry in serial
+// mode.
+func (s *System) ShardStats() []sched.Stats { return s.rt.ShardStats() }
+
+// Shards returns the number of execution shards the system runs on.
+func (s *System) Shards() int { return s.rt.Shards() }
 
 // KillMain asynchronously sends ThreadKilled to the system's main
 // thread from ordinary Go code — the environment-interrupt conversion

@@ -76,6 +76,10 @@ type Config struct {
 	// accept loop is killed, in-flight requests get this long to
 	// finish before the runtime stops (default 5s).
 	DrainTimeout time.Duration
+	// Shards > 1 runs the runtime on the parallel work-stealing
+	// engine with that many worker shards (see docs/PARALLEL.md);
+	// 0 or 1 selects the serial engine.
+	Shards int
 }
 
 // Stats are served-traffic counters, safe to read concurrently.
@@ -317,6 +321,14 @@ func statusText(code int) string {
 // Running a server from ordinary Go code
 // ---------------------------------------------------------------------
 
+// runtimeOptions builds the scheduler options for a live server: real
+// clock for socket I/O, sharded when the config asks for it.
+func (s *Server) runtimeOptions() core.Options {
+	opts := core.RealTimeOptions()
+	opts.Shards = s.cfg.Shards
+	return opts
+}
+
 // Running is a live server instance.
 type Running struct {
 	// Addr is the bound address.
@@ -333,7 +345,7 @@ func (s *Server) Start() (*Running, error) {
 	if err != nil {
 		return nil, err
 	}
-	sys := core.NewSystem(core.RealTimeOptions())
+	sys := core.NewSystem(s.runtimeOptions())
 	r := &Running{Addr: l.Addr().String(), sys: sys, done: make(chan struct{})}
 	go func() {
 		defer close(r.done)

@@ -1,0 +1,62 @@
+package httpd_test
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"asyncexc/internal/httpd"
+)
+
+// TestServeParallelShards runs the server on the work-stealing engine
+// and hammers it with concurrent clients: every request must be
+// answered, the per-shard counters must be visible, and shutdown via
+// asynchronous exception must still work.
+func TestServeParallelShards(t *testing.T) {
+	for _, shards := range []int{2, 4} {
+		_, run := startServer(t, httpd.Config{
+			RequestTimeout: 2 * time.Second,
+			Shards:         shards,
+		})
+		if got := run.Shards(); got != shards {
+			t.Fatalf("Shards() = %d, want %d", got, shards)
+		}
+
+		const clients, reqs = 8, 5
+		var wg sync.WaitGroup
+		errs := make(chan string, clients*reqs)
+		for c := 0; c < clients; c++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for r := 0; r < reqs; r++ {
+					code, body := get(t, run.Addr, "/hello")
+					if code != 200 || !strings.HasPrefix(body, "hello ") {
+						errs <- body
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		close(errs)
+		for b := range errs {
+			t.Fatalf("shards=%d: bad response %q", shards, b)
+		}
+
+		per := run.ShardStats()
+		if len(per) != shards {
+			t.Fatalf("ShardStats() has %d entries, want %d", len(per), shards)
+		}
+		var steps uint64
+		for _, s := range per {
+			steps += s.Steps
+		}
+		if steps == 0 {
+			t.Fatalf("shards=%d: no steps recorded", shards)
+		}
+		if agg := run.SchedStats(); agg.Steps < steps {
+			t.Fatalf("aggregate steps %d < per-shard sum %d", agg.Steps, steps)
+		}
+	}
+}

@@ -189,7 +189,7 @@ func (s *Server) StartSupervised() (*RunningSupervised, error) {
 	if err != nil {
 		return nil, err
 	}
-	sys := core.NewSystem(core.RealTimeOptions())
+	sys := core.NewSystem(s.runtimeOptions())
 	r := &Running{Addr: l.Addr().String(), sys: sys, done: make(chan struct{})}
 	treeCh := make(chan *Tree, 1)
 	prog := core.Bind(s.SupervisedTree(l), func(tr *Tree) core.IO[core.Unit] {
@@ -243,3 +243,25 @@ func (r *Running) SchedStats() sched.Stats {
 		return r.sys.Stats()
 	}
 }
+
+// ShardStats snapshots the per-shard scheduler counters of a live
+// server — one entry per shard on the parallel engine, one in serial
+// mode — via the same External mechanism as SchedStats.
+func (r *Running) ShardStats() []sched.Stats {
+	select {
+	case <-r.done:
+		return r.sys.ShardStats()
+	default:
+	}
+	ch := make(chan []sched.Stats, 1)
+	r.sys.RT().External(func(rt *sched.RT) { ch <- rt.ShardStats() })
+	select {
+	case st := <-ch:
+		return st
+	case <-r.done:
+		return r.sys.ShardStats()
+	}
+}
+
+// Shards returns the number of execution shards the server runs on.
+func (r *Running) Shards() int { return r.sys.Shards() }

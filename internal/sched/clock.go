@@ -2,6 +2,7 @@ package sched
 
 import (
 	"container/heap"
+	"sync/atomic"
 	"time"
 )
 
@@ -22,12 +23,15 @@ const (
 )
 
 // timerEntry is one pending Sleep wake-up. Entries are lazily deleted:
-// a woken or interrupted sleeper bumps its park.timerSeq so a stale
-// entry is skipped when it surfaces.
+// interrupting a sleeper clears its live flag, and a stale entry is
+// skipped when it surfaces. The flag is a shared atomic because in
+// parallel mode the sleeper's owner clears it while another shard's
+// heap holds the entry.
 type timerEntry struct {
-	at  int64 // absolute runtime nanoseconds
-	seq uint64
-	t   *Thread
+	at   int64 // absolute runtime nanoseconds
+	seq  uint64
+	t    *Thread
+	live *atomic.Bool
 }
 
 type timerHeap []timerEntry
@@ -44,22 +48,41 @@ func (h *timerHeap) Push(x any)      { *h = append(*h, x.(timerEntry)) }
 func (h *timerHeap) Pop() any        { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
 func (h timerHeap) peek() timerEntry { return h[0] }
 
-// parkSleep parks t until d from now.
+// parkSleep parks t until d from now. The entry lands in this shard's
+// heap (parallel) or the runtime's only heap (serial).
 func (rt *RT) parkSleep(t *Thread, d time.Duration) {
-	rt.nextTimerSeq++
+	var seq uint64
+	if rt.eng != nil {
+		seq = rt.eng.nextTimerSeq.Add(1)
+	} else {
+		rt.nextTimerSeq++
+		seq = rt.nextTimerSeq
+	}
+	live := &atomic.Bool{}
+	live.Store(true)
+	t.parkSeq++
 	t.status = statusParked
-	t.park = parkInfo{kind: parkSleep, timerSeq: rt.nextTimerSeq}
-	heap.Push(&rt.timers, timerEntry{at: rt.now + int64(d), seq: rt.nextTimerSeq, t: t})
+	t.park = parkInfo{kind: parkSleep, timerSeq: seq, timerLive: live}
+	en := timerEntry{at: rt.nowNS() + int64(d), seq: seq, t: t, live: live}
+	if rt.eng != nil {
+		rt.smu.Lock()
+		heap.Push(&rt.timers, en)
+		rt.smu.Unlock()
+	} else {
+		heap.Push(&rt.timers, en)
+	}
 	rt.stats.Sleeps++
 	rt.trace(EvPark{Thread: t.id, Reason: "sleep"})
 }
 
 // fireTimersUpTo wakes every sleeper whose deadline is <= now,
-// discarding stale entries.
+// discarding stale entries (serial mode; the parallel engine uses
+// popDueTimersLocked).
 func (rt *RT) fireTimersUpTo(now int64) {
 	for rt.timers.Len() > 0 && rt.timers.peek().at <= now {
 		e := heap.Pop(&rt.timers).(timerEntry)
-		if e.t.status == statusParked && e.t.park.kind == parkSleep && e.t.park.timerSeq == e.seq {
+		if e.live.Load() {
+			e.live.Store(false)
 			// Rule (Sleep): the thread resumes with return ().
 			rt.unparkWithValue(e.t, UnitValue)
 		}
@@ -67,11 +90,11 @@ func (rt *RT) fireTimersUpTo(now int64) {
 }
 
 // nextTimerAt returns the earliest live timer deadline, skipping stale
-// entries, or (0, false) when none remain.
+// entries, or (0, false) when none remain (serial mode).
 func (rt *RT) nextTimerAt() (int64, bool) {
 	for rt.timers.Len() > 0 {
 		e := rt.timers.peek()
-		if e.t.status == statusParked && e.t.park.kind == parkSleep && e.t.park.timerSeq == e.seq {
+		if e.live.Load() {
 			return e.at, true
 		}
 		heap.Pop(&rt.timers)

@@ -1,6 +1,9 @@
 package sched
 
-import "io"
+import (
+	"io"
+	"sync"
+)
 
 // console models the paper's standard input/output (§3): putChar
 // appends to an output transcript (optionally mirrored to an
@@ -8,8 +11,14 @@ import "io"
 // extended at any time with InjectInput. A reader that finds the
 // buffer empty parks and is stuck (rules GetChar / Stuck GetChar);
 // injecting input wakes parked readers in FIFO order.
+//
+// In parallel mode the console is shared by all shards and mu guards
+// every field; popping a reader from readers commits its wakeup, the
+// same discipline as MVar handoff. Serial mode never takes mu.
 type console struct {
-	rt      *RT
+	rt *RT // shard 0 in parallel mode
+
+	mu      sync.Mutex
 	in      []rune
 	out     []rune
 	mirror  io.Writer
@@ -19,16 +28,28 @@ type console struct {
 	closed bool
 }
 
+func (c *console) parallel() bool { return c.rt.eng != nil }
+
 func (c *console) putChar(ch rune) {
+	par := c.parallel()
+	if par {
+		c.mu.Lock()
+	}
 	c.out = append(c.out, ch)
-	if c.mirror != nil {
+	mirror := c.mirror
+	if par {
+		c.mu.Unlock()
+	}
+	if mirror != nil {
 		var buf [4]byte
 		n := encodeRune(buf[:], ch)
-		c.mirror.Write(buf[:n]) //nolint:errcheck // transcript mirroring is best-effort
+		mirror.Write(buf[:n]) //nolint:errcheck // transcript mirroring is best-effort
 	}
 }
 
-func (c *console) getChar() (rune, bool) {
+// getCharLocked consumes one input character; caller holds mu in
+// parallel mode.
+func (c *console) getCharLocked() (rune, bool) {
 	if len(c.in) == 0 {
 		return 0, false
 	}
@@ -38,37 +59,109 @@ func (c *console) getChar() (rune, bool) {
 	return ch, true
 }
 
-func (rt *RT) parkGetChar(t *Thread) {
+// getCharOrPark services a GetChar step: consume a buffered character
+// or park the reader (rules GetChar / Stuck GetChar), raising a pending
+// exception first when about to wait (§5.3).
+func (rt *RT) getCharOrPark(t *Thread) (Node, bool) {
+	c := rt.console
+	par := c.parallel()
+	if par {
+		c.mu.Lock()
+	}
+	if ch, ok := c.getCharLocked(); ok {
+		if par {
+			c.mu.Unlock()
+		}
+		return retNode{ch}, false
+	}
+	if par {
+		c.mu.Unlock()
+	}
+	if n, interrupted := t.raisePendingForPark(); interrupted {
+		return n, false
+	}
+	if par {
+		c.mu.Lock()
+		if ch, ok := c.getCharLocked(); ok {
+			c.mu.Unlock()
+			return retNode{ch}, false
+		}
+	}
+	t.parkSeq++
 	t.status = statusParked
 	t.park = parkInfo{kind: parkGetChar}
-	rt.console.readers = append(rt.console.readers, t)
+	c.readers = append(c.readers, t)
+	if par {
+		c.mu.Unlock()
+	}
 	rt.trace(EvPark{Thread: t.id, Reason: "getChar"})
+	return nil, true
+}
+
+// waitingReaders reports whether parked getChar readers may still be
+// woken by the environment (input not closed); used by the parallel
+// quiescence check.
+func (c *console) waitingReaders() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return !c.closed && len(c.readers) > 0
 }
 
 // InjectInput appends input characters to the console, waking parked
 // readers while characters remain. It must be called from the scheduler
 // goroutine (directly in tests before RunMain, or via External during a
-// run).
+// run; External routes it to shard 0 in parallel mode).
 func (rt *RT) InjectInput(s string) {
 	c := rt.console
+	par := c.parallel()
+	if par {
+		c.mu.Lock()
+	}
 	c.in = append(c.in, []rune(s)...)
+	type wake struct {
+		t  *Thread
+		ch rune
+	}
+	var woken []wake
 	for len(c.readers) > 0 && len(c.in) > 0 {
 		t := c.readers[0]
 		c.readers = dequeueThread(c.readers)
-		if t.status != statusParked || t.park.kind != parkGetChar {
+		if !par && (t.status != statusParked || t.park.kind != parkGetChar) {
 			continue
 		}
-		ch, _ := c.getChar()
-		rt.unparkWithValue(t, ch)
+		// Parallel: membership in readers implies a live getChar park
+		// (interrupts detach under mu), so the pop commits the wakeup.
+		ch, _ := c.getCharLocked()
+		woken = append(woken, wake{t, ch})
+	}
+	if par {
+		c.mu.Unlock()
+	}
+	for _, w := range woken {
+		rt.deliverUnpark(w.t, w.ch)
 	}
 }
 
 // CloseInput marks the console input as exhausted, so readers parked on
 // getChar count as deadlocked (no environment event can wake them).
-func (rt *RT) CloseInput() { rt.console.closed = true }
+func (rt *RT) CloseInput() {
+	c := rt.console
+	if c.parallel() {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+	}
+	c.closed = true
+}
 
 // Output returns the console output transcript so far.
-func (rt *RT) Output() string { return string(rt.console.out) }
+func (rt *RT) Output() string {
+	c := rt.console
+	if c.parallel() {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+	}
+	return string(c.out)
+}
 
 // encodeRune UTF-8-encodes ch into buf and returns the byte count.
 func encodeRune(buf []byte, ch rune) int {

@@ -8,13 +8,22 @@ import "asyncexc/internal/exc"
 // the programmer" (§5). It must run inside the scheduler: call it from
 // an External callback (or a primitive's step function).
 func (rt *RT) Interrupt(tid ThreadID, e exc.Exception) {
+	if rt.eng != nil {
+		target := rt.eng.lookup(tid)
+		if target == nil {
+			return
+		}
+		if !rt.deliverLocal(target, pendingExc{e: e}) {
+			rt.eng.send(target.owner.Load(), shardMsg{kind: msgThrowTo, t: target, e: e})
+		}
+		return
+	}
 	target := rt.threads[tid]
 	if target == nil || target.status == statusDone {
 		return
 	}
 	if target.status == statusParked && target.mask.Interruptible() {
-		rt.noteDeliveredDirect(target, e)
-		rt.unparkWithException(target, e)
+		rt.interruptStuck(target, pendingExc{e: e}, false)
 		return
 	}
 	target.pending = append(target.pending, pendingExc{e: e})
@@ -24,8 +33,8 @@ func (rt *RT) Interrupt(tid ThreadID, e exc.Exception) {
 // process-level signal (user interrupt, shutdown request) into an
 // asynchronous exception.
 func (rt *RT) InterruptMain(e exc.Exception) {
-	if rt.mainThread != nil {
-		rt.Interrupt(rt.mainThread.id, e)
+	if t := rt.MainThread(); t != nil {
+		rt.Interrupt(t.id, e)
 	}
 }
 
@@ -48,14 +57,31 @@ func AwaitCleanup(
 	}}
 }
 
-// parkAwaitCleanup is parkAwait plus the dropped handler.
+// parkAwaitCleanup is parkAwait plus the dropped handler. In parallel
+// mode the completion travels as a msgAwaitDone to the thread's owner
+// (staleness-checked against the park's awaitID); serially it runs as
+// an External callback.
 func (rt *RT) parkAwaitCleanup(
 	t *Thread,
 	start func(complete func(v any, e exc.Exception)) (cancel func()),
 	dropped func(v any, e exc.Exception),
 ) {
+	if e := rt.eng; e != nil {
+		id := e.nextAwaitID.Add(1)
+		t.parkSeq++
+		t.status = statusParked
+		t.park = parkInfo{kind: parkAwait, awaitID: id}
+		e.outstandingIO.Add(1)
+		complete := func(v any, ex exc.Exception) {
+			e.send(t.owner.Load(), shardMsg{kind: msgAwaitDone, t: t, v: v, e: ex, seq: id, dropped: dropped})
+		}
+		t.park.cancel = start(complete)
+		rt.trace(EvPark{Thread: t.id, Reason: "await"})
+		return
+	}
 	rt.nextAwaitID++
 	id := rt.nextAwaitID
+	t.parkSeq++
 	t.status = statusParked
 	t.park = parkInfo{kind: parkAwait, awaitID: id}
 	rt.outstandingIO++

@@ -12,11 +12,16 @@ import "asyncexc/internal/exc"
 //     when the frame was placed on the stack", §8.1);
 //   - maskFrame: the block/unblock frames of §8.1 — returning (or
 //     unwinding) through one restores the recorded mask state.
+//
+// Frames are pointer-shaped so that pushing one onto the stack (a
+// []frame of interfaces) does not box a fresh allocation per push:
+// bind and catch frames are recycled through per-RT free lists, and
+// the three possible mask frames are shared singletons.
 type frame interface{ frameKind() string }
 
 type bindFrame struct{ k func(any) Node }
 
-func (bindFrame) frameKind() string { return "bind" }
+func (*bindFrame) frameKind() string { return "bind" }
 
 type catchFrame struct {
 	h          func(exc.Exception) Node
@@ -24,14 +29,79 @@ type catchFrame struct {
 	skipAlerts bool
 }
 
-func (catchFrame) frameKind() string { return "catch" }
+func (*catchFrame) frameKind() string { return "catch" }
 
 // maskFrame restores the mask state `restore` when control returns or
 // unwinds past it. A maskFrame{restore: Masked} is the paper's "block
 // frame"; maskFrame{restore: Unmasked} is its "unblock frame".
 type maskFrame struct{ restore MaskState }
 
-func (maskFrame) frameKind() string { return "mask" }
+func (*maskFrame) frameKind() string { return "mask" }
+
+// The three mask frames are immutable; one shared instance each.
+var maskFrames = [3]*maskFrame{
+	Unmasked:              {restore: Unmasked},
+	Masked:                {restore: Masked},
+	MaskedUninterruptible: {restore: MaskedUninterruptible},
+}
+
+// freeListCap bounds each per-RT frame free list; beyond it frames are
+// dropped for the GC. Stack-segment pooling is bounded separately.
+const freeListCap = 1024
+
+func (rt *RT) newBindFrame(k func(any) Node) *bindFrame {
+	if n := len(rt.freeBind); n > 0 {
+		f := rt.freeBind[n-1]
+		rt.freeBind = rt.freeBind[:n-1]
+		f.k = k
+		return f
+	}
+	return &bindFrame{k: k}
+}
+
+func (rt *RT) putBindFrame(f *bindFrame) {
+	f.k = nil
+	if len(rt.freeBind) < freeListCap {
+		rt.freeBind = append(rt.freeBind, f)
+	}
+}
+
+func (rt *RT) newCatchFrame(h func(exc.Exception) Node, saved MaskState, skipAlerts bool) *catchFrame {
+	if n := len(rt.freeCatch); n > 0 {
+		f := rt.freeCatch[n-1]
+		rt.freeCatch = rt.freeCatch[:n-1]
+		f.h, f.saved, f.skipAlerts = h, saved, skipAlerts
+		return f
+	}
+	return &catchFrame{h: h, saved: saved, skipAlerts: skipAlerts}
+}
+
+func (rt *RT) putCatchFrame(f *catchFrame) {
+	f.h = nil
+	if len(rt.freeCatch) < freeListCap {
+		rt.freeCatch = append(rt.freeCatch, f)
+	}
+}
+
+// getStack hands out a recycled continuation-stack segment (empty, with
+// retained capacity) for a new thread, or nil when the pool is dry.
+func (rt *RT) getStack() []frame {
+	if n := len(rt.freeStacks); n > 0 {
+		s := rt.freeStacks[n-1]
+		rt.freeStacks = rt.freeStacks[:n-1]
+		return s
+	}
+	return nil
+}
+
+// putStack returns a finished thread's (empty) stack segment to the
+// pool. Elements were already nil'd by pop.
+func (rt *RT) putStack(s []frame) {
+	if cap(s) == 0 || len(rt.freeStacks) >= 64 {
+		return
+	}
+	rt.freeStacks = append(rt.freeStacks, s[:0])
+}
 
 // enterMask performs the mask-state change for block/unblock with the
 // §8.1 frame-cancellation rule:
@@ -58,13 +128,13 @@ func (t *Thread) enterMask(to MaskState, body Node) {
 	prev := t.mask
 	t.mask = to
 	if !t.rt.opts.DisableFrameCancellation {
-		if mf, ok := t.top().(maskFrame); ok && mf.restore == to {
+		if mf, ok := t.top().(*maskFrame); ok && mf.restore == to {
 			t.pop()
 			t.rt.stats.MaskFramesCancelled++
 			t.cur = body
 			return
 		}
 	}
-	t.push(maskFrame{restore: prev})
+	t.push(maskFrames[prev])
 	t.cur = body
 }

@@ -250,14 +250,7 @@ func PutStr(s string) Node {
 // (Figure 5, rules Stuck GetChar and Interrupt).
 func GetChar() Node {
 	return primNode{name: "getChar", step: func(rt *RT, t *Thread) (Node, bool) {
-		if ch, ok := rt.console.getChar(); ok {
-			return retNode{ch}, false
-		}
-		if n, interrupted := t.raisePendingForPark(); interrupted {
-			return n, false
-		}
-		rt.parkGetChar(t)
-		return nil, true
+		return rt.getCharOrPark(t)
 	}}
 }
 
@@ -344,7 +337,7 @@ func Await(name string, start func(complete func(v any, e exc.Exception)) (cance
 // Lift-able introspection hook used by fault-injection tests.
 func Steps() Node {
 	return primNode{name: "steps", step: func(rt *RT, t *Thread) (Node, bool) {
-		return retNode{rt.stats.Steps}, false
+		return retNode{rt.Stats().Steps}, false
 	}}
 }
 
@@ -361,7 +354,7 @@ func FrameDepth() Node {
 // restart-intensity windows and backoff schedules reproducible.
 func Now() Node {
 	return primNode{name: "now", step: func(rt *RT, t *Thread) (Node, bool) {
-		return retNode{rt.now}, false
+		return retNode{rt.nowNS()}, false
 	}}
 }
 
@@ -370,6 +363,9 @@ func Now() Node {
 // and chaos tests.
 func LiveThreads() Node {
 	return primNode{name: "liveThreads", step: func(rt *RT, t *Thread) (Node, bool) {
+		if rt.eng != nil {
+			return retNode{int(rt.eng.live.Load())}, false
+		}
 		return retNode{len(rt.threads)}, false
 	}}
 }
@@ -378,7 +374,17 @@ func LiveThreads() Node {
 // surface runtime observability (e.g. httpd's /stats) from inside IO.
 func GetStats() Node {
 	return primNode{name: "getStats", step: func(rt *RT, t *Thread) (Node, bool) {
-		return retNode{rt.stats}, false
+		return retNode{rt.Stats()}, false
+	}}
+}
+
+// GetShardStats returns per-shard copies of the scheduler counters —
+// one entry per execution shard in parallel mode, a single entry in
+// serial mode — so servers can surface per-shard observability (e.g.
+// httpd's /stats) from inside IO.
+func GetShardStats() Node {
+	return primNode{name: "getShardStats", step: func(rt *RT, t *Thread) (Node, bool) {
+		return retNode{rt.ShardStats()}, false
 	}}
 }
 

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"sync"
 	"time"
 
 	"asyncexc/internal/exc"
@@ -53,6 +54,13 @@ type Options struct {
 	// ExternalEvents sizes the external completion queue (I/O manager,
 	// input injection). Default 1024.
 	ExternalEvents int
+	// Shards selects the parallel execution engine: the runtime is
+	// sharded across this many worker goroutines with per-shard run
+	// queues, timer heaps and mailboxes, plus work stealing (see
+	// shard.go and docs/PARALLEL.md). 0 or 1 keeps the deterministic
+	// single-goroutine interpreter, which remains the default and the
+	// mode the machine/conformance suites check against.
+	Shards int
 }
 
 // Result is the outcome of the main thread.
@@ -87,8 +95,7 @@ type RT struct {
 	nextAwaitID  uint64
 
 	threads map[ThreadID]*Thread
-	runq    []*Thread
-	runqPos int
+	runq    ringQ
 
 	timers timerHeap
 	now    int64
@@ -104,6 +111,24 @@ type RT struct {
 
 	mainThread *Thread
 	realEpoch  time.Time
+
+	// Hot-path free lists (owned by the shard goroutine, like all other
+	// per-RT state): recycled bind/catch frames and thread stack
+	// segments.
+	freeBind   []*bindFrame
+	freeCatch  []*catchFrame
+	freeStacks [][]frame
+
+	// Parallel-engine fields; nil/zero in serial mode. smu guards the
+	// run queue, timer heap, mailbox and statsSnap when eng != nil.
+	eng          *engine
+	shardID      int
+	smu          sync.Mutex
+	mailbox      []shardMsg
+	mailboxSpare []shardMsg
+	mailboxHW    int
+	wakeCh       chan struct{}
+	statsSnap    Stats
 }
 
 // NewRT creates a runtime with the given options (zero value = paper
@@ -123,6 +148,9 @@ func NewRT(opts Options) *RT {
 		rng:     rand.New(rand.NewSource(opts.Seed)),
 	}
 	rt.console = &console{rt: rt, in: []rune(opts.Stdin), mirror: opts.Stdout}
+	if opts.Shards > 1 {
+		rt.buildEngine()
+	}
 	return rt
 }
 
@@ -132,61 +160,107 @@ func DefaultOptions() Options {
 	return Options{TimeSlice: 50, DetectDeadlock: true}
 }
 
-// Stats returns a copy of the runtime's counters.
-func (rt *RT) Stats() Stats { return rt.stats }
+// Stats returns a copy of the runtime's counters. In parallel mode the
+// per-shard counters are aggregated (see also ShardStats).
+func (rt *RT) Stats() Stats {
+	if rt.eng == nil {
+		return rt.stats
+	}
+	var sum Stats
+	for _, s := range rt.ShardStats() {
+		sum.Add(s)
+	}
+	return sum
+}
 
 // Now returns the current runtime clock in nanoseconds.
-func (rt *RT) Now() int64 { return rt.now }
+func (rt *RT) Now() int64 { return rt.nowNS() }
+
+// nowNS reads the runtime clock: per-RT in serial mode, the shared
+// engine clock in parallel mode.
+func (rt *RT) nowNS() int64 {
+	if rt.eng != nil {
+		return rt.eng.now.Load()
+	}
+	return rt.now
+}
 
 // Thread returns the thread with the given id, or nil if it has
 // finished (finished threads are garbage collected, rule Proc GC).
-func (rt *RT) Thread(id ThreadID) *Thread { return rt.threads[id] }
+func (rt *RT) Thread(id ThreadID) *Thread {
+	if rt.eng != nil {
+		return rt.eng.lookup(id)
+	}
+	return rt.threads[id]
+}
 
 // MainThread returns the main thread (valid during and after RunMain).
-func (rt *RT) MainThread() *Thread { return rt.mainThread }
+func (rt *RT) MainThread() *Thread {
+	if rt.eng != nil {
+		return rt.eng.mainThread
+	}
+	return rt.mainThread
+}
 
 // External schedules f to run inside the scheduler loop. It is the
 // only safe way for other goroutines (I/O manager completions, signal
 // handlers, test drivers) to touch runtime state. It never blocks the
-// scheduler; it may block the caller when the queue is full.
-func (rt *RT) External(f func(*RT)) { rt.events <- f }
+// scheduler; it may block the caller when the queue is full. In
+// parallel mode the callback runs on shard 0.
+func (rt *RT) External(f func(*RT)) {
+	if e := rt.eng; e != nil {
+		e.msgs.Add(1)
+		e.shards[0].events <- f
+		e.shards[0].wake()
+		return
+	}
+	rt.events <- f
+}
 
 // spawn creates a thread running m. Per the revised (Fork) rule the
 // child starts with the supplied mask state (its parent's).
 func (rt *RT) spawn(m Node, name string, mask MaskState) *Thread {
-	rt.nextTID++
-	t := &Thread{id: rt.nextTID, name: name, rt: rt, cur: m, mask: mask, status: statusRunnable}
-	rt.threads[t.id] = t
+	var id ThreadID
+	if rt.eng != nil {
+		id = ThreadID(rt.eng.nextTID.Add(1))
+	} else {
+		rt.nextTID++
+		id = rt.nextTID
+	}
+	t := &Thread{id: id, name: name, rt: rt, cur: m, mask: mask, status: statusRunnable, stack: rt.getStack()}
+	if rt.eng != nil {
+		t.owner.Store(rt)
+		rt.eng.table.put(t)
+		rt.eng.live.Add(1)
+	} else {
+		rt.threads[t.id] = t
+	}
 	rt.enqueue(t)
 	rt.stats.Forks++
 	return t
 }
 
-func (rt *RT) enqueue(t *Thread) { rt.runq = append(rt.runq, t) }
+func (rt *RT) enqueue(t *Thread) {
+	if rt.eng != nil {
+		rt.enqueueShard(t)
+		return
+	}
+	rt.runq.pushBack(t)
+}
 
 // nextRunnable pops the next thread to run, or nil when the run queue
-// is empty. Round-robin by default; random with Options.RandomSched.
+// is empty. Round-robin by default; random with Options.RandomSched
+// (the fair shuffle: a uniformly chosen queued thread is swapped to the
+// front and popped).
 func (rt *RT) nextRunnable() *Thread {
-	for len(rt.runq) > rt.runqPos {
-		var t *Thread
+	for rt.runq.Len() > 0 {
 		if rt.opts.RandomSched {
-			i := rt.runqPos + rt.rng.Intn(len(rt.runq)-rt.runqPos)
-			rt.runq[rt.runqPos], rt.runq[i] = rt.runq[i], rt.runq[rt.runqPos]
+			rt.runq.swap(0, rt.rng.Intn(rt.runq.Len()))
 		}
-		t = rt.runq[rt.runqPos]
-		rt.runq[rt.runqPos] = nil
-		rt.runqPos++
-		if rt.runqPos > 64 && rt.runqPos*2 >= len(rt.runq) {
-			rt.runq = append(rt.runq[:0], rt.runq[rt.runqPos:]...)
-			rt.runqPos = 0
-		}
+		t := rt.runq.popFront()
 		if t.status == statusRunnable {
 			return t
 		}
-	}
-	if rt.runqPos > 0 {
-		rt.runq = rt.runq[:0]
-		rt.runqPos = 0
 	}
 	return nil
 }
@@ -197,6 +271,9 @@ func (rt *RT) nextRunnable() *Thread {
 func (rt *RT) RunMain(main Node) (Result, error) {
 	if rt.mainThread != nil {
 		return Result{}, errors.New("sched: RunMain called twice on one RT")
+	}
+	if rt.opts.Shards > 1 {
+		return rt.runParallel(main)
 	}
 	rt.realEpoch = time.Now()
 	rt.mainThread = rt.spawn(main, "main", Unmasked)
@@ -290,12 +367,15 @@ func (rt *RT) step(t *Thread) {
 			return
 		}
 		switch f := t.pop().(type) {
-		case bindFrame:
-			t.cur = f.k(n.v) // rule (Bind)
-		case maskFrame:
+		case *bindFrame:
+			k := f.k
+			rt.putBindFrame(f)
+			t.cur = k(n.v) // rule (Bind)
+		case *maskFrame:
 			t.mask = f.restore // rules (Block Return)/(Unblock Return)
-		case catchFrame:
+		case *catchFrame:
 			// rule (Handle): catch (return M) H -> return M
+			rt.putCatchFrame(f)
 		}
 
 	case throwNode:
@@ -304,29 +384,32 @@ func (rt *RT) step(t *Thread) {
 			return
 		}
 		switch f := t.pop().(type) {
-		case bindFrame:
+		case *bindFrame:
 			// rule (Propagate): throw e >>= M -> throw e
-			_ = f
-		case maskFrame:
+			rt.putBindFrame(f)
+		case *maskFrame:
 			t.mask = f.restore // rules (Block Throw)/(Unblock Throw)
-		case catchFrame:
+		case *catchFrame:
 			// rule (Catch): restore the mask state recorded when the
 			// frame was pushed, then enter the handler (§8.1).
 			if f.skipAlerts && exc.IsAlertException(n.e) {
 				// §9 two-datatype design: alerts pass through.
+				rt.putCatchFrame(f)
 				return
 			}
 			t.mask = f.saved
-			t.cur = f.h(n.e)
+			h := f.h
+			rt.putCatchFrame(f)
+			t.cur = h(n.e)
 			rt.stats.Handled++
 		}
 
 	case bindNode:
-		t.push(bindFrame{k: n.k})
+		t.push(rt.newBindFrame(n.k))
 		t.cur = n.m
 
 	case catchNode:
-		t.push(catchFrame{h: n.h, saved: t.mask, skipAlerts: n.skipAlerts})
+		t.push(rt.newCatchFrame(n.h, t.mask, n.skipAlerts))
 		t.cur = n.m
 		rt.stats.CatchesInstalled++
 
@@ -358,6 +441,7 @@ func (rt *RT) finish(t *Thread, v any, e exc.Exception) {
 	t.doneVal = v
 	t.doneExc = e
 	t.cur = nil
+	rt.putStack(t.stack)
 	t.stack = nil
 	rt.stats.ThreadsFinished++
 	if e != nil {
@@ -367,12 +451,18 @@ func (rt *RT) finish(t *Thread, v any, e exc.Exception) {
 		}
 	}
 	for _, p := range t.pending {
-		if p.waiter != nil {
-			rt.unparkWithValue(p.waiter, UnitValue)
-		}
+		rt.wakeWaiter(p)
 	}
 	t.pending = nil
-	delete(rt.threads, t.id)
+	if rt.eng != nil {
+		rt.eng.table.del(t.id)
+		rt.eng.live.Add(-1)
+		if t == rt.eng.mainThread {
+			rt.eng.finishMain(Result{Value: v, Exc: e})
+		}
+	} else {
+		delete(rt.threads, t.id)
+	}
 	rt.trace(EvFinish{Thread: t.id, Exc: e})
 }
 
@@ -387,50 +477,164 @@ func (rt *RT) unparkWithValue(t *Thread, v any) {
 	rt.trace(EvUnpark{Thread: t.id})
 }
 
-// unparkWithException implements rule (Interrupt): a stuck thread is
-// woken with the exception raised at its evaluation site, in any mask
-// context. The caller has checked interruptibility.
-func (rt *RT) unparkWithException(t *Thread, e exc.Exception) {
+// detachParked removes a parked thread from whatever wait queue holds
+// it, returning false when — parallel mode only — a committed handoff
+// from another shard got there first (the thread was already popped
+// from the MVar/console queue and its wakeup message is in flight). In
+// serial mode it always succeeds.
+func (rt *RT) detachParked(t *Thread) bool {
+	par := rt.eng != nil
 	switch t.park.kind {
 	case parkTakeMVar, parkPutMVar:
-		removeFromMVarQueues(t)
+		mv := t.park.mv
+		if mv == nil {
+			return true
+		}
+		if par {
+			mv.mu.Lock()
+			defer mv.mu.Unlock()
+		}
+		return removeFromMVarQueues(t)
 	case parkGetChar:
-		rt.console.readers = removeThread(rt.console.readers, t)
+		c := rt.console
+		if par {
+			c.mu.Lock()
+			defer c.mu.Unlock()
+		}
+		before := len(c.readers)
+		c.readers = removeThread(c.readers, t)
+		return len(c.readers) < before || !par
 	case parkSleep:
-		// Nothing to detach: the timer heap uses lazy deletion and the
-		// entry goes stale as soon as park is cleared below.
+		// The heap entry goes stale: its live flag is cleared and the
+		// entry is skipped when it surfaces (lazy deletion).
+		if t.park.timerLive != nil {
+			t.park.timerLive.Store(false)
+		}
+		return true
 	case parkAwait:
 		if t.park.cancel != nil {
 			t.park.cancel()
 		}
+		return true
 	case parkThrowTo:
 		// A synchronous thrower interrupted while waiting withdraws
 		// its in-flight exception (GHC behaviour; see DESIGN.md §5).
-		if tgt := t.park.target; tgt != nil {
-			for i, p := range tgt.pending {
-				if p.waiter == t {
-					copy(tgt.pending[i:], tgt.pending[i+1:])
-					tgt.pending = tgt.pending[:len(tgt.pending)-1]
-					break
-				}
+		tgt := t.park.target
+		if tgt == nil {
+			return true
+		}
+		if par {
+			if own := tgt.owner.Load(); own != rt {
+				rt.eng.send(own, shardMsg{kind: msgWithdraw, t: tgt, waiter: t})
+				return true
+			}
+			// Local target: the withdraw mutates its pending queue, so
+			// hold the shard lock against a concurrent steal of a
+			// runnable target.
+			rt.smu.Lock()
+			defer rt.smu.Unlock()
+		}
+		for i, p := range tgt.pending {
+			if p.waiter == t {
+				copy(tgt.pending[i:], tgt.pending[i+1:])
+				tgt.pending[len(tgt.pending)-1] = pendingExc{}
+				tgt.pending = tgt.pending[:len(tgt.pending)-1]
+				break
 			}
 		}
+		return true
+	}
+	return true
+}
+
+// interruptStuck implements rule (Interrupt): a stuck thread is woken
+// with the exception raised at its evaluation site, in any mask
+// context. The caller has checked interruptibility. It returns false
+// when (parallel only) a committed wakeup won the race — then p joins
+// the pending queue instead and is raised at the thread's next
+// delivery point, which is §5.3's semantics once the MVar has been
+// acquired. wakeWaiterOnDeliver wakes p's §9 synchronous thrower on
+// successful immediate delivery (message-path callers); direct callers
+// that return success to the thrower themselves pass false.
+func (rt *RT) interruptStuck(t *Thread, p pendingExc, wakeWaiterOnDeliver bool) bool {
+	if !rt.detachParked(t) {
+		t.pending = append(t.pending, p)
+		return false
+	}
+	rt.noteDeliveredDirect(t, p.e)
+	if wakeWaiterOnDeliver {
+		rt.wakeWaiter(p)
 	}
 	t.status = statusRunnable
 	t.park = parkInfo{}
-	t.cur = throwNode{e}
+	t.cur = throwNode{p.e}
 	rt.enqueue(t)
 	rt.stats.Interrupts++
 	rt.trace(EvUnpark{Thread: t.id})
+	return true
+}
+
+// wakeWaiter wakes the §9 synchronous thrower attached to a delivered
+// (or trivially-succeeded) exception, if any. The wake is droppable:
+// if the waiter was itself interrupted and has moved on, the parkSeq
+// check discards it.
+func (rt *RT) wakeWaiter(p pendingExc) {
+	w := p.waiter
+	if w == nil {
+		return
+	}
+	if rt.eng != nil {
+		if own := w.owner.Load(); own != rt {
+			rt.eng.send(own, shardMsg{kind: msgWakeWaiter, t: w, seq: p.waiterSeq})
+			return
+		}
+	}
+	if w.status == statusParked && w.park.kind == parkThrowTo && w.parkSeq == p.waiterSeq {
+		rt.unparkWithValue(w, UnitValue)
+	}
+}
+
+// deliverLocal lands an asynchronous exception on a thread owned by
+// this shard: rule (Interrupt) for stuck interruptible targets,
+// otherwise the pending queue (rule ThrowTo's in-flight state). It
+// returns false when ownership moved mid-call (the thread was stolen)
+// and the caller must re-route; serial mode always returns true.
+func (rt *RT) deliverLocal(t *Thread, p pendingExc) bool {
+	if rt.eng != nil {
+		rt.smu.Lock()
+		if t.owner.Load() != rt {
+			rt.smu.Unlock()
+			return false
+		}
+		if t.status == statusRunnable {
+			// Append under the shard lock: the target sits in this
+			// shard's run queue and cannot be stolen mid-append.
+			t.pending = append(t.pending, p)
+			rt.smu.Unlock()
+			return true
+		}
+		rt.smu.Unlock()
+		// Parked or done: stable, since only the owner (this shard)
+		// transitions those states and parked threads are never stolen.
+	}
+	if t.status == statusDone {
+		rt.stats.ThrowToDead++
+		rt.wakeWaiter(p)
+		return true
+	}
+	if t.status == statusParked && t.mask.Interruptible() {
+		rt.interruptStuck(t, p, true)
+		return true
+	}
+	t.pending = append(t.pending, p)
+	return true
 }
 
 // noteDelivered records a pending exception being raised in t and wakes
 // a synchronous thrower, if any.
 func (rt *RT) noteDelivered(t *Thread, p pendingExc) {
 	rt.stats.Delivered++
-	if p.waiter != nil {
-		rt.unparkWithValue(p.waiter, UnitValue)
-	}
+	rt.wakeWaiter(p)
 	rt.trace(EvDeliver{Thread: t.id, Exc: p.e, StepNo: rt.stats.Steps})
 }
 
@@ -439,6 +643,9 @@ func (rt *RT) noteDelivered(t *Thread, p pendingExc) {
 func (rt *RT) throwTo(from *Thread, tid ThreadID, e exc.Exception) (Node, bool) {
 	rt.stats.ThrowTos++
 	rt.trace(EvThrowTo{From: from.id, To: tid, Exc: e, Sync: rt.opts.SyncThrowTo})
+	if rt.eng != nil {
+		return rt.throwToShard(from, tid, e)
+	}
 	target := rt.threads[tid]
 	if target == nil || target.status == statusDone {
 		// "If the thread t has already died or completed, then throwTo
@@ -461,8 +668,7 @@ func (rt *RT) throwTo(from *Thread, tid ThreadID, e exc.Exception) (Node, bool) 
 	if target.status == statusParked && target.mask.Interruptible() {
 		// Rule (Interrupt): stuck threads receive the exception at
 		// once, in any context.
-		rt.noteDeliveredDirect(target, e)
-		rt.unparkWithException(target, e)
+		rt.interruptStuck(target, pendingExc{e: e}, false)
 		return retNode{UnitValue}, false
 	}
 	if !rt.opts.SyncThrowTo {
@@ -476,10 +682,52 @@ func (rt *RT) throwTo(from *Thread, tid ThreadID, e exc.Exception) (Node, bool) 
 	if n, interrupted := from.raisePendingForPark(); interrupted {
 		return n, false
 	}
-	target.pending = append(target.pending, pendingExc{e: e, waiter: from})
+	from.parkSeq++
+	target.pending = append(target.pending, pendingExc{e: e, waiter: from, waiterSeq: from.parkSeq})
 	from.status = statusParked
 	from.park = parkInfo{kind: parkThrowTo, target: target}
 	rt.trace(EvPark{Thread: from.id, Reason: "throwTo"})
+	return nil, true
+}
+
+// throwToShard is throwTo in parallel mode. Targets owned by this
+// shard take the fast local path in the asynchronous design; anything
+// else becomes a mailbox message to the owner. In the §9 synchronous
+// design the thrower always parks first and delivery happens on the
+// owner's mailbox — including for local targets — so the waiter is
+// safely parked before any concurrent delivery can race to wake it.
+func (rt *RT) throwToShard(from *Thread, tid ThreadID, e exc.Exception) (Node, bool) {
+	target := rt.eng.lookup(tid)
+	if target == nil {
+		rt.stats.ThrowToDead++
+		return retNode{UnitValue}, false
+	}
+	if target == from {
+		if rt.opts.SyncThrowTo {
+			rt.stats.Delivered++
+			return throwNode{e}, false
+		}
+		from.pending = append(from.pending, pendingExc{e: e})
+		return retNode{UnitValue}, false
+	}
+	if target.owner.Load() != rt {
+		rt.stats.CrossShardThrowTo++
+	}
+	if !rt.opts.SyncThrowTo {
+		if target.owner.Load() == rt && rt.deliverLocal(target, pendingExc{e: e}) {
+			return retNode{UnitValue}, false
+		}
+		rt.eng.send(target.owner.Load(), shardMsg{kind: msgThrowTo, t: target, e: e})
+		return retNode{UnitValue}, false
+	}
+	if n, interrupted := from.raisePendingForPark(); interrupted {
+		return n, false
+	}
+	from.parkSeq++
+	from.status = statusParked
+	from.park = parkInfo{kind: parkThrowTo, target: target}
+	rt.trace(EvPark{Thread: from.id, Reason: "throwTo"})
+	rt.eng.send(target.owner.Load(), shardMsg{kind: msgThrowTo, t: target, e: e, waiter: from, waiterSeq: from.parkSeq})
 	return nil, true
 }
 
@@ -599,8 +847,7 @@ func (rt *RT) deadlock() error {
 	rt.stats.Deadlocks++
 	rt.trace(EvDeadlock{Threads: ids})
 	for _, t := range stuck {
-		rt.noteDeliveredDirect(t, exc.BlockedIndefinitely{})
-		rt.unparkWithException(t, exc.BlockedIndefinitely{})
+		rt.interruptStuck(t, pendingExc{e: exc.BlockedIndefinitely{}}, false)
 	}
 	return nil
 }

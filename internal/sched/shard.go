@@ -1,0 +1,785 @@
+package sched
+
+import (
+	"container/heap"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"asyncexc/internal/exc"
+)
+
+// This file implements the parallel execution engine: the runtime
+// sharded across Options.Shards worker goroutines, each owning a run
+// queue, a timer heap and a mailbox, with work stealing for load
+// balance. The design follows the multicore GHC RTS (per-capability
+// run queues + stealing) and Erlang's schedulers (cross-scheduler
+// signals as messages), chosen so the paper's delivery semantics carry
+// over unchanged:
+//
+//   - A thread is owned by exactly one shard at a time; only the owner
+//     steps it or transitions its status. Ownership moves only when a
+//     thief pops a runnable thread from a victim's run queue (under the
+//     victim's shard lock), so a thread's interpreter steps still form
+//     a single total order and rule (Receive) keeps firing only at
+//     redex boundaries of that order.
+//   - Anything another shard wants done to a thread — landing a
+//     throwTo, waking a parked waiter, completing an await — travels as
+//     a mailbox message to the owner, processed between time slices.
+//     Delivery points are therefore exactly the serial ones.
+//   - MVar and console handoffs commit under the MVar/console lock:
+//     popping a waiter from a wait queue commits its wakeup. An
+//     interrupt that loses this race (rule Interrupt vs. an in-flight
+//     committed wakeup) appends the exception to the thread's pending
+//     queue instead, which is precisely §5.3's "right up until the
+//     point when it acquires the MVar" — the acquisition has happened,
+//     so the exception waits for the next delivery point.
+//
+// Serial mode (Shards <= 1) never takes any of these locks and is
+// bit-for-bit the old single-goroutine interpreter.
+
+// shardMsgKind enumerates cross-shard mailbox messages.
+type shardMsgKind uint8
+
+const (
+	// msgThrowTo lands an asynchronous exception (with optional §9
+	// synchronous waiter) on a thread owned by the receiving shard.
+	msgThrowTo shardMsgKind = iota
+	// msgUnpark resumes a thread whose MVar/console wakeup was
+	// committed by another shard; must-deliver.
+	msgUnpark
+	// msgWakeWaiter wakes a synchronous thrower once its exception was
+	// delivered (or its target died); droppable, guarded by parkSeq.
+	msgWakeWaiter
+	// msgWithdraw removes an interrupted synchronous thrower's
+	// in-flight exception from the target's pending queue.
+	msgWithdraw
+	// msgAwaitDone carries an I/O-manager completion to the owner of
+	// the awaiting thread; staleness-checked against park.awaitID.
+	msgAwaitDone
+)
+
+// shardMsg is one mailbox entry.
+type shardMsg struct {
+	kind      shardMsgKind
+	t         *Thread
+	v         any
+	e         exc.Exception
+	waiter    *Thread
+	waiterSeq uint64
+	seq       uint64 // parkSeq (msgWakeWaiter) or awaitID (msgAwaitDone)
+	dropped   func(v any, e exc.Exception)
+}
+
+// threadTable is the striped id → thread map shared by all shards.
+type threadTable struct {
+	buckets [16]struct {
+		mu sync.Mutex
+		m  map[ThreadID]*Thread
+	}
+}
+
+func (tb *threadTable) init() {
+	for i := range tb.buckets {
+		tb.buckets[i].m = make(map[ThreadID]*Thread)
+	}
+}
+
+func (tb *threadTable) bucket(id ThreadID) *struct {
+	mu sync.Mutex
+	m  map[ThreadID]*Thread
+} {
+	return &tb.buckets[uint64(id)%uint64(len(tb.buckets))]
+}
+
+func (tb *threadTable) put(t *Thread) {
+	b := tb.bucket(t.id)
+	b.mu.Lock()
+	b.m[t.id] = t
+	b.mu.Unlock()
+}
+
+func (tb *threadTable) del(id ThreadID) {
+	b := tb.bucket(id)
+	b.mu.Lock()
+	delete(b.m, id)
+	b.mu.Unlock()
+}
+
+func (tb *threadTable) get(id ThreadID) *Thread {
+	b := tb.bucket(id)
+	b.mu.Lock()
+	t := b.m[id]
+	b.mu.Unlock()
+	return t
+}
+
+// parkedSnapshot lists parked threads. Only meaningful under global
+// quiescence (deadlock detection), when no shard is mutating statuses.
+func (tb *threadTable) parkedSnapshot() []*Thread {
+	var out []*Thread
+	for i := range tb.buckets {
+		b := &tb.buckets[i]
+		b.mu.Lock()
+		for _, t := range b.m {
+			if t.status == statusParked {
+				out = append(out, t)
+			}
+		}
+		b.mu.Unlock()
+	}
+	return out
+}
+
+func (tb *threadTable) clear() {
+	for i := range tb.buckets {
+		b := &tb.buckets[i]
+		b.mu.Lock()
+		for id := range b.m {
+			delete(b.m, id)
+		}
+		b.mu.Unlock()
+	}
+}
+
+// engine is the shared state of a parallel run.
+type engine struct {
+	opts   Options
+	shards []*RT
+	table  threadTable
+
+	nextTID      atomic.Int64
+	nextMVarID   atomic.Uint64
+	nextTimerSeq atomic.Uint64
+	nextAwaitID  atomic.Uint64
+
+	runnable      atomic.Int64 // threads sitting in some run queue
+	msgs          atomic.Int64 // mailbox messages (and external events) in flight
+	outstandingIO atomic.Int64
+	live          atomic.Int64 // live (unfinished) threads
+	now           atomic.Int64 // runtime clock, ns
+	steps         atomic.Uint64
+	wakeRR        atomic.Uint32
+
+	idleMu    sync.Mutex
+	idleCount int
+
+	done       chan struct{}
+	finishOnce sync.Once
+	result     Result
+	runErr     error
+	mainThread *Thread
+
+	realEpoch time.Time
+}
+
+func (e *engine) fail(err error) {
+	e.finishOnce.Do(func() {
+		e.runErr = err
+		close(e.done)
+	})
+}
+
+func (e *engine) finishMain(res Result) {
+	e.finishOnce.Do(func() {
+		e.result = res
+		close(e.done)
+	})
+}
+
+func (e *engine) lookup(id ThreadID) *Thread { return e.table.get(id) }
+
+// send enqueues m in to's mailbox and wakes it. The in-flight counter
+// is raised before the append so the quiescence check can never observe
+// a moment where the message is neither counted nor delivered.
+func (e *engine) send(to *RT, m shardMsg) {
+	e.msgs.Add(1)
+	to.smu.Lock()
+	to.mailbox = append(to.mailbox, m)
+	if len(to.mailbox) > to.mailboxHW {
+		to.mailboxHW = len(to.mailbox)
+	}
+	to.smu.Unlock()
+	to.wake()
+}
+
+// wakeIdleSibling nudges some other shard; used when a shard's queue
+// grows beyond one thread so idle siblings come steal.
+func (e *engine) wakeIdleSibling(except int) {
+	n := len(e.shards)
+	if n == 1 {
+		return
+	}
+	i := int(e.wakeRR.Add(1)) % n
+	if i == except {
+		i = (i + 1) % n
+	}
+	e.shards[i].wake()
+}
+
+// wake nudges this shard's worker out of its idle wait (non-blocking;
+// the channel has capacity 1 and a lost signal is healed by the idle
+// poll timeout).
+func (rt *RT) wake() {
+	select {
+	case rt.wakeCh <- struct{}{}:
+	default:
+	}
+}
+
+// buildEngine shards the freshly constructed rt across Options.Shards
+// workers. Called from NewRT — before the RT can escape to any other
+// goroutine — so rt.eng is immutable for the RT's whole lifetime and
+// External may read it without synchronization.
+func (rt *RT) buildEngine() {
+	n := rt.opts.Shards
+	e := &engine{opts: rt.opts, done: make(chan struct{})}
+	e.table.init()
+	if tr := rt.opts.Tracer; tr != nil {
+		// A single tracer callback observed from many shards: serialize.
+		var mu sync.Mutex
+		e.opts.Tracer = func(ev Event) {
+			mu.Lock()
+			tr(ev)
+			mu.Unlock()
+		}
+	}
+	e.shards = make([]*RT, n)
+	e.shards[0] = rt
+	for i := 1; i < n; i++ {
+		s := &RT{
+			opts:    e.opts,
+			threads: make(map[ThreadID]*Thread),
+			rng:     rand.New(rand.NewSource(e.opts.Seed + int64(uint64(i)*0x9E3779B97F4A7C15))),
+		}
+		s.console = rt.console
+		e.shards[i] = s
+	}
+	rt.opts = e.opts
+	for i, s := range e.shards {
+		s.eng = e
+		s.shardID = i
+		s.wakeCh = make(chan struct{}, 1)
+	}
+}
+
+// runParallel is RunMain for Options.Shards > 1: it runs shard 0's
+// worker loop on the calling goroutine and one goroutine per extra
+// shard, and returns the main thread's result. The engine itself was
+// built by NewRT.
+func (rt *RT) runParallel(main Node) (Result, error) {
+	e := rt.eng
+	n := len(e.shards)
+	e.realEpoch = time.Now()
+	rt.realEpoch = e.realEpoch
+	e.mainThread = rt.spawn(main, "main", Unmasked)
+	rt.mainThread = e.mainThread
+
+	var wg sync.WaitGroup
+	for i := 1; i < n; i++ {
+		wg.Add(1)
+		go func(s *RT) {
+			defer wg.Done()
+			s.workerLoop()
+		}(e.shards[i])
+	}
+	rt.workerLoop()
+	wg.Wait()
+	// Rule (Proc GC): once the main thread is finished, all other
+	// threads die.
+	e.table.clear()
+	if e.runErr != nil {
+		return Result{}, e.runErr
+	}
+	return e.result, nil
+}
+
+// workerLoop is one shard's scheduler loop: drain messages, run one
+// slice of local (or stolen) work, repeat; idle when there is none.
+func (rt *RT) workerLoop() {
+	e := rt.eng
+	for {
+		select {
+		case <-e.done:
+			rt.publishStats()
+			return
+		default:
+		}
+		if rt.shardID == 0 {
+			rt.drainExternalShard()
+		}
+		rt.processMailbox()
+		if e.opts.Clock == RealClock {
+			rt.syncRealClockShard()
+		}
+		t := rt.popLocal()
+		if t == nil {
+			t = rt.steal()
+		}
+		if t == nil {
+			rt.publishStats()
+			if err := rt.idleShard(); err != nil {
+				e.fail(err)
+			}
+			continue
+		}
+		rt.runSliceShard(t)
+		rt.publishStats()
+	}
+}
+
+// publishStats snapshots this shard's counters under the shard lock so
+// other shards can aggregate them race-free.
+func (rt *RT) publishStats() {
+	rt.smu.Lock()
+	rt.statsSnap = rt.stats
+	rt.smu.Unlock()
+}
+
+// drainExternalShard runs queued External callbacks on shard 0 (the
+// serial-mode contract: external closures run inside the scheduler).
+func (rt *RT) drainExternalShard() {
+	for {
+		select {
+		case f := <-rt.events:
+			f(rt)
+			rt.eng.msgs.Add(-1)
+		default:
+			return
+		}
+	}
+}
+
+// processMailbox applies queued cross-shard messages.
+func (rt *RT) processMailbox() {
+	for {
+		rt.smu.Lock()
+		if len(rt.mailbox) == 0 {
+			rt.smu.Unlock()
+			return
+		}
+		batch := rt.mailbox
+		rt.mailbox = rt.mailboxSpare[:0]
+		hw := rt.mailboxHW
+		rt.smu.Unlock()
+		if uint64(hw) > rt.stats.MailboxDepth {
+			rt.stats.MailboxDepth = uint64(hw)
+		}
+		for i := range batch {
+			rt.applyMsg(batch[i])
+			rt.eng.msgs.Add(-1)
+		}
+		for i := range batch {
+			batch[i] = shardMsg{}
+		}
+		rt.mailboxSpare = batch[:0]
+	}
+}
+
+// ownedState reads t's status and park info under the shard lock,
+// verifying this shard still owns t. ok=false means t migrated (was
+// stolen) and the message must be forwarded to the new owner. When
+// ok is true and the status is parked or done, the state is stable:
+// only the owner transitions those states, and parked threads are
+// never stolen.
+func (rt *RT) ownedState(t *Thread) (threadStatus, parkInfo, bool) {
+	rt.smu.Lock()
+	if t.owner.Load() != rt {
+		rt.smu.Unlock()
+		return 0, parkInfo{}, false
+	}
+	st, pk := t.status, t.park
+	rt.smu.Unlock()
+	return st, pk, true
+}
+
+// applyMsg handles one mailbox message on the owning shard.
+func (rt *RT) applyMsg(m shardMsg) {
+	e := rt.eng
+	switch m.kind {
+	case msgThrowTo:
+		if !rt.deliverLocal(m.t, pendingExc{e: m.e, waiter: m.waiter, waiterSeq: m.waiterSeq}) {
+			e.send(m.t.owner.Load(), m)
+		}
+
+	case msgUnpark:
+		st, pk, ok := rt.ownedState(m.t)
+		if !ok {
+			e.send(m.t.owner.Load(), m)
+			return
+		}
+		// A committed handoff: the thread stays parked until this
+		// message arrives — nothing else may have resumed it.
+		if st != statusParked {
+			return
+		}
+		switch pk.kind {
+		case parkTakeMVar, parkPutMVar, parkGetChar:
+			rt.unparkWithValue(m.t, m.v)
+		}
+
+	case msgWakeWaiter:
+		st, pk, ok := rt.ownedState(m.t)
+		if !ok {
+			e.send(m.t.owner.Load(), m)
+			return
+		}
+		if st == statusParked && pk.kind == parkThrowTo && m.t.parkSeq == m.seq {
+			rt.unparkWithValue(m.t, UnitValue)
+		}
+
+	case msgWithdraw:
+		rt.smu.Lock()
+		if m.t.owner.Load() != rt {
+			rt.smu.Unlock()
+			e.send(m.t.owner.Load(), m)
+			return
+		}
+		tgt := m.t
+		for i := range tgt.pending {
+			if tgt.pending[i].waiter == m.waiter {
+				copy(tgt.pending[i:], tgt.pending[i+1:])
+				tgt.pending[len(tgt.pending)-1] = pendingExc{}
+				tgt.pending = tgt.pending[:len(tgt.pending)-1]
+				break
+			}
+		}
+		rt.smu.Unlock()
+
+	case msgAwaitDone:
+		st, pk, ok := rt.ownedState(m.t)
+		if !ok {
+			e.send(m.t.owner.Load(), m)
+			return
+		}
+		e.outstandingIO.Add(-1)
+		if st != statusParked || pk.kind != parkAwait || pk.awaitID != m.seq {
+			if m.dropped != nil {
+				m.dropped(m.v, m.e)
+			}
+			return
+		}
+		t := m.t
+		if m.e != nil {
+			t.status = statusRunnable
+			t.park = parkInfo{}
+			t.cur = throwNode{m.e}
+			rt.enqueue(t)
+			rt.trace(EvUnpark{Thread: t.id})
+			return
+		}
+		rt.unparkWithValue(t, m.v)
+	}
+}
+
+// enqueueShard pushes t on this shard's run queue.
+func (rt *RT) enqueueShard(t *Thread) {
+	rt.smu.Lock()
+	rt.runq.pushBack(t)
+	qlen := rt.runq.Len()
+	rt.smu.Unlock()
+	rt.eng.runnable.Add(1)
+	if qlen > 1 {
+		rt.eng.wakeIdleSibling(rt.shardID)
+	}
+}
+
+// popLocal pops the next runnable thread from this shard's queue.
+func (rt *RT) popLocal() *Thread {
+	rt.smu.Lock()
+	for rt.runq.Len() > 0 {
+		if rt.opts.RandomSched {
+			rt.runq.swap(0, rt.rng.Intn(rt.runq.Len()))
+		}
+		t := rt.runq.popFront()
+		rt.eng.runnable.Add(-1)
+		if t.status == statusRunnable {
+			rt.smu.Unlock()
+			return t
+		}
+	}
+	rt.smu.Unlock()
+	return nil
+}
+
+// steal takes one runnable thread from the tail of a sibling's queue,
+// transferring ownership. The owner pointer changes under the victim's
+// shard lock, so any shard that verified ownership under its own lock
+// can rely on it until that lock is released.
+func (rt *RT) steal() *Thread {
+	e := rt.eng
+	n := len(e.shards)
+	if n == 1 {
+		return nil
+	}
+	start := rt.rng.Intn(n)
+	for i := 0; i < n; i++ {
+		v := e.shards[(start+i)%n]
+		if v == rt {
+			continue
+		}
+		v.smu.Lock()
+		t := v.runq.popBack()
+		if t != nil {
+			t.owner.Store(rt)
+			t.rt = rt
+			v.smu.Unlock()
+			e.runnable.Add(-1)
+			rt.stats.Steals++
+			rt.trace(EvSteal{Thread: t.id, From: v.shardID, To: rt.shardID})
+			return t
+		}
+		v.smu.Unlock()
+	}
+	return nil
+}
+
+// runSliceShard runs t for one time slice on this shard, charging the
+// steps against the engine-wide budget.
+func (rt *RT) runSliceShard(t *Thread) {
+	e := rt.eng
+	t.sliceLeft = rt.opts.TimeSlice
+	before := rt.stats.Steps
+	for t.sliceLeft > 0 && t.status == statusRunnable {
+		t.sliceLeft--
+		rt.step(t)
+	}
+	if e.opts.MaxSteps > 0 && e.steps.Add(rt.stats.Steps-before) >= e.opts.MaxSteps {
+		e.fail(ErrFuelExhausted)
+	}
+	if t.status == statusRunnable {
+		rt.stats.Preemptions++
+		rt.enqueue(t)
+	}
+}
+
+// syncRealClockShard advances the engine clock to wall time and fires
+// this shard's due timers (RealClock mode).
+func (rt *RT) syncRealClockShard() {
+	e := rt.eng
+	now := int64(time.Since(e.realEpoch))
+	for {
+		cur := e.now.Load()
+		if now <= cur {
+			break
+		}
+		if e.now.CompareAndSwap(cur, now) {
+			break
+		}
+	}
+	cur := e.now.Load()
+	rt.smu.Lock()
+	due := rt.popDueTimersLocked(cur)
+	rt.smu.Unlock()
+	for _, t := range due {
+		rt.unparkWithValue(t, UnitValue)
+	}
+}
+
+// popDueTimersLocked pops this shard's live timer entries with deadline
+// <= now; caller holds the shard lock and unparks the returned threads
+// after releasing it.
+func (rt *RT) popDueTimersLocked(now int64) []*Thread {
+	var due []*Thread
+	for rt.timers.Len() > 0 && rt.timers.peek().at <= now {
+		en := heap.Pop(&rt.timers).(timerEntry)
+		if en.live.Load() {
+			en.live.Store(false)
+			due = append(due, en.t)
+		}
+	}
+	return due
+}
+
+// nextTimerAtLocked returns this shard's earliest live deadline; caller
+// holds the shard lock.
+func (rt *RT) nextTimerAtLocked() (int64, bool) {
+	for rt.timers.Len() > 0 {
+		en := rt.timers.peek()
+		if en.live.Load() {
+			return en.at, true
+		}
+		heap.Pop(&rt.timers)
+	}
+	return 0, false
+}
+
+// idleShard parks the worker until woken. The shard that brings the
+// idle count to n (all shards idle) with no messages or runnable work
+// in flight is the "last man standing": it alone advances virtual time
+// or runs deadlock detection, mirroring the serial idle() decision
+// tree under global quiescence.
+func (rt *RT) idleShard() error {
+	e := rt.eng
+	e.idleMu.Lock()
+	e.idleCount++
+	var acted bool
+	var qerr error
+	if e.idleCount == len(e.shards) && e.msgs.Load() == 0 && e.runnable.Load() == 0 {
+		acted, qerr = rt.quiesceLocked()
+	}
+	e.idleMu.Unlock()
+	if qerr != nil || acted {
+		e.idleMu.Lock()
+		e.idleCount--
+		e.idleMu.Unlock()
+		return qerr
+	}
+	wait := 200 * time.Microsecond
+	if e.opts.Clock == RealClock {
+		wait = time.Millisecond
+		rt.smu.Lock()
+		if at, ok := rt.nextTimerAtLocked(); ok {
+			if d := time.Duration(at - e.now.Load()); d < wait {
+				if d < 0 {
+					d = 0
+				}
+				wait = d
+			}
+		}
+		rt.smu.Unlock()
+	}
+	timer := time.NewTimer(wait)
+	select {
+	case <-rt.wakeCh:
+		timer.Stop()
+	case <-e.done:
+		timer.Stop()
+	case <-timer.C:
+	}
+	e.idleMu.Lock()
+	e.idleCount--
+	e.idleMu.Unlock()
+	return nil
+}
+
+// quiesceLocked runs with the idle lock held on the last idle shard
+// under global quiescence. It returns acted=true when it changed state
+// (advanced time or injected BlockedIndefinitely) so the caller should
+// re-enter its loop instead of sleeping.
+func (rt *RT) quiesceLocked() (bool, error) {
+	e := rt.eng
+	if e.opts.Clock == VirtualClock && e.outstandingIO.Load() == 0 {
+		if at, ok := e.earliestTimer(); ok {
+			from := e.now.Load()
+			e.now.Store(at)
+			rt.stats.TimeAdvances++
+			rt.trace(EvTimeAdvance{FromNS: from, ToNS: at})
+			rt.fireAllTimers(at)
+			return true, nil
+		}
+	}
+	if e.opts.Clock == RealClock {
+		if _, ok := e.earliestTimer(); ok {
+			// Real timers are waited out by idleShard's timed sleep.
+			return false, nil
+		}
+	}
+	if e.outstandingIO.Load() > 0 {
+		return false, nil
+	}
+	if e.opts.Clock == VirtualClock {
+		if _, ok := e.earliestTimer(); ok {
+			// Timers exist but I/O is outstanding (checked above): the
+			// serial loop waits for the completion rather than advancing
+			// past it; unreachable here because outstandingIO == 0, but
+			// kept for symmetry.
+			_ = ok
+		}
+	}
+	if rt.console.waitingReaders() {
+		// Parked getChar readers with input not closed: the environment
+		// may still inject input, so this is a wait, not a deadlock.
+		return false, nil
+	}
+	return true, rt.parallelDeadlock()
+}
+
+// earliestTimer scans every shard's heap for the earliest live timer.
+func (e *engine) earliestTimer() (int64, bool) {
+	best := int64(0)
+	ok := false
+	for _, s := range e.shards {
+		s.smu.Lock()
+		if at, live := s.nextTimerAtLocked(); live && (!ok || at < best) {
+			best, ok = at, true
+		}
+		s.smu.Unlock()
+	}
+	return best, ok
+}
+
+// fireAllTimers pops due entries from every shard's heap and adopts the
+// sleepers onto the calling shard (safe under global quiescence; work
+// stealing rebalances afterwards).
+func (rt *RT) fireAllTimers(now int64) {
+	var due []*Thread
+	for _, s := range rt.eng.shards {
+		s.smu.Lock()
+		due = append(due, s.popDueTimersLocked(now)...)
+		s.smu.Unlock()
+	}
+	sortThreadsByID(due)
+	for _, t := range due {
+		t.owner.Store(rt)
+		t.rt = rt
+		rt.unparkWithValue(t, UnitValue)
+	}
+}
+
+// parallelDeadlock is deadlock() under global quiescence: every shard
+// is idle, no messages or I/O are in flight, and no timer can fire.
+// The detecting shard adopts every parked thread and wakes it with
+// BlockedIndefinitely, exactly as the serial detector does.
+func (rt *RT) parallelDeadlock() error {
+	e := rt.eng
+	if !e.opts.DetectDeadlock {
+		return ErrDeadlock
+	}
+	stuck := e.table.parkedSnapshot()
+	if len(stuck) == 0 {
+		return ErrDeadlock
+	}
+	sortThreadsByID(stuck)
+	ids := make([]ThreadID, len(stuck))
+	for i, t := range stuck {
+		ids[i] = t.id
+	}
+	rt.stats.Deadlocks++
+	rt.trace(EvDeadlock{Threads: ids})
+	for _, t := range stuck {
+		t.owner.Store(rt)
+		t.rt = rt
+		rt.interruptStuck(t, pendingExc{e: exc.BlockedIndefinitely{}}, false)
+	}
+	return nil
+}
+
+// ShardStats returns one Stats snapshot per shard ([1]Stats in serial
+// mode). Snapshots of other shards are published at slice granularity,
+// so mid-run reads may lag by up to one slice.
+func (rt *RT) ShardStats() []Stats {
+	if rt.eng == nil {
+		return []Stats{rt.stats}
+	}
+	out := make([]Stats, len(rt.eng.shards))
+	for i, s := range rt.eng.shards {
+		if s == rt {
+			out[i] = rt.stats
+			continue
+		}
+		s.smu.Lock()
+		out[i] = s.statsSnap
+		s.smu.Unlock()
+	}
+	return out
+}
+
+// Shards returns the number of shards the runtime executes on.
+func (rt *RT) Shards() int {
+	if rt.eng == nil {
+		return 1
+	}
+	return len(rt.eng.shards)
+}

@@ -60,4 +60,48 @@ type Stats struct {
 	Deadlocks uint64
 	// TimeAdvances counts virtual-clock jumps.
 	TimeAdvances uint64
+
+	// Steals counts threads this shard stole from siblings' run queues
+	// (parallel engine; always 0 in serial mode).
+	Steals uint64
+	// CrossShardThrowTo counts throwTo calls whose target was owned by
+	// another shard and travelled as a mailbox message.
+	CrossShardThrowTo uint64
+	// MailboxDepth is the high-water mark of this shard's mailbox (a
+	// gauge, not a counter: Add takes the max).
+	MailboxDepth uint64
+}
+
+// Add accumulates o into s field-by-field; used to aggregate per-shard
+// counters. MailboxDepth, a high-water gauge, takes the max instead of
+// the sum.
+func (s *Stats) Add(o Stats) {
+	s.Steps += o.Steps
+	s.Forks += o.Forks
+	s.ThreadsFinished += o.ThreadsFinished
+	s.Uncaught += o.Uncaught
+	s.MVarsCreated += o.MVarsCreated
+	s.MVarTakes += o.MVarTakes
+	s.MVarPuts += o.MVarPuts
+	s.MVarTakeParks += o.MVarTakeParks
+	s.MVarPutParks += o.MVarPutParks
+	s.Sleeps += o.Sleeps
+	s.ThrowTos += o.ThrowTos
+	s.ThrowToDead += o.ThrowToDead
+	s.Killed += o.Killed
+	s.SupervisorRestarts += o.SupervisorRestarts
+	s.Delivered += o.Delivered
+	s.Interrupts += o.Interrupts
+	s.MaskEnters += o.MaskEnters
+	s.MaskFramesCancelled += o.MaskFramesCancelled
+	s.CatchesInstalled += o.CatchesInstalled
+	s.Handled += o.Handled
+	s.Preemptions += o.Preemptions
+	s.Deadlocks += o.Deadlocks
+	s.TimeAdvances += o.TimeAdvances
+	s.Steals += o.Steals
+	s.CrossShardThrowTo += o.CrossShardThrowTo
+	if o.MailboxDepth > s.MailboxDepth {
+		s.MailboxDepth = o.MailboxDepth
+	}
 }

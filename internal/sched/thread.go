@@ -2,6 +2,7 @@ package sched
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"asyncexc/internal/exc"
 )
@@ -96,6 +97,10 @@ func (k parkKind) String() string {
 type pendingExc struct {
 	e      exc.Exception
 	waiter *Thread
+	// waiterSeq is waiter's parkSeq at the time it parked; the wake is
+	// dropped when the waiter has since been interrupted and re-parked
+	// (parallel mode; always matches in serial mode).
+	waiterSeq uint64
 }
 
 // parkInfo records why a thread is parked and how to extract it.
@@ -110,6 +115,10 @@ type parkInfo struct {
 	timerSeq uint64
 	// awaitID matches external completions to this park episode.
 	awaitID uint64
+	// timerLive marks a sleeping thread's heap entry as live; cleared
+	// on detach so the lazily-deleted entry is skipped when it
+	// surfaces.
+	timerLive *atomic.Bool
 	// cancel is invoked when an awaiting thread is interrupted.
 	cancel func()
 	// target is the thread a synchronous throwTo caller is waiting on.
@@ -132,6 +141,18 @@ type Thread struct {
 
 	status threadStatus
 	park   parkInfo
+
+	// parkSeq counts park episodes; droppable cross-shard wakeups carry
+	// the seq they expect so a stale wake (the thread was interrupted
+	// and has moved on) is discarded. Maintained in serial mode too,
+	// where it is only ever observed to match.
+	parkSeq uint64
+
+	// owner is the shard currently owning this thread (parallel mode
+	// only; nil in serial mode). It changes only under the previous
+	// owner's shard lock, when a thief steals the thread from that
+	// shard's run queue.
+	owner atomic.Pointer[RT]
 
 	// sliceLeft counts remaining steps in the current time slice.
 	sliceLeft int

@@ -78,6 +78,15 @@ type EvUnpark struct {
 
 func (EvUnpark) eventName() string { return "unpark" }
 
+// EvSteal records the parallel engine moving a runnable thread from one
+// shard's run queue to another (work stealing).
+type EvSteal struct {
+	Thread   ThreadID
+	From, To int
+}
+
+func (EvSteal) eventName() string { return "steal" }
+
 // EvDeadlock records the deadlock detector firing.
 type EvDeadlock struct {
 	// Threads lists the stuck threads that received
