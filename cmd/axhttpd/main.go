@@ -47,6 +47,16 @@ func main() {
 	maxConns := flag.Int("maxconns", 256, "maximum concurrent connections")
 	supervised := flag.Bool("supervised", true, "run under the supervision tree")
 	shards := flag.Int("shards", 1, "execution shards (>1 selects the parallel work-stealing engine)")
+	resilient := flag.Bool("resilience", true, "install the admission-control middleware (deadlines, bulkhead, breakers, shedding)")
+	bulkhead := flag.Int("bulkhead", 64, "max requests in flight inside handlers (bulkhead capacity)")
+	bulkheadWait := flag.Int("bulkhead-wait", 16, "max requests queued for a bulkhead slot before shedding")
+	routeDeadline := flag.Duration("route-deadline", 0, "default per-route handler deadline (0 = none; /delay gets 1s regardless)")
+	breakerThreshold := flag.Int("breaker-threshold", 5, "failures within the window that trip a route's breaker")
+	breakerWindow := flag.Duration("breaker-window", 10*time.Second, "sliding failure window per route breaker")
+	breakerCooldown := flag.Duration("breaker-cooldown", 5*time.Second, "open-state cooldown before a breaker probes again")
+	inflightWatermark := flag.Int("inflight-watermark", 0, "shed new arrivals at this many live connections (0 = off)")
+	mailboxWatermark := flag.Int("mailbox-watermark", 0, "shed new arrivals at this shard mailbox depth (0 = off)")
+	retryAfter := flag.Duration("retry-after", time.Second, "Retry-After hint stamped on shed (503) responses")
 	flag.Parse()
 
 	srv := httpd.New(httpd.Config{
@@ -54,6 +64,20 @@ func main() {
 	})
 	srv.Use(httpd.Logged(func(line string) { log.Print(line) }))
 	srv.Use(httpd.WithHeader("Server", "asyncexc-axhttpd"))
+	if *resilient {
+		srv.UseResilience(httpd.AdmissionConfig{
+			MaxInFlight:       *bulkhead,
+			MaxWaiting:        *bulkheadWait,
+			DefaultDeadline:   *routeDeadline,
+			RouteDeadlines:    map[string]time.Duration{"/delay": time.Second},
+			BreakerThreshold:  *breakerThreshold,
+			BreakerWindow:     *breakerWindow,
+			BreakerCooldown:   *breakerCooldown,
+			InFlightWatermark: *inflightWatermark,
+			MailboxWatermark:  *mailboxWatermark,
+			RetryAfter:        *retryAfter,
+		})
+	}
 
 	// Set once the supervised tree is live; /stats reads it.
 	var tree atomic.Pointer[httpd.Tree]
@@ -97,12 +121,16 @@ func main() {
 		return core.Bind(core.SchedStats(), func(st sched.Stats) core.IO[httpd.Response] {
 			s := &srv.Stats
 			body := fmt.Sprintf(
-				"server: accepted=%d served=%d timedOut=%d errors=%d notFound=%d rejected=%d handlerExceptions=%d\n",
+				"server: accepted=%d served=%d timedOut=%d errors=%d notFound=%d rejected=%d handlerExceptions=%d shed=%d deadlineHit=%d\n",
 				s.Accepted.Load(), s.Served.Load(), s.TimedOut.Load(), s.Errors.Load(),
-				s.NotFound.Load(), s.Rejected.Load(), s.HandlerEx.Load())
+				s.NotFound.Load(), s.Rejected.Load(), s.HandlerEx.Load(),
+				s.Shed.Load(), s.DeadlineHit.Load())
 			body += fmt.Sprintf(
 				"sched: steps=%d forks=%d throwTos=%d delivered=%d killed=%d supervisorRestarts=%d\n",
 				st.Steps, st.Forks, st.ThrowTos, st.Delivered, st.Killed, st.SupervisorRestarts)
+			body += fmt.Sprintf(
+				"resilience: shed=%d retries=%d breakerOpen=%d deadlineExpired=%d\n",
+				st.Shed, st.Retries, st.BreakerOpen, st.DeadlineExpired)
 			return core.Bind(core.ShardSchedStats(), func(per []sched.Stats) core.IO[httpd.Response] {
 				if len(per) > 1 {
 					for i, sh := range per {

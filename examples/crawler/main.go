@@ -32,17 +32,19 @@ func fetch(addr, path string) core.IO[string] {
 }
 
 // fetchWithBudget wraps fetch in a timeout and renders the outcome.
+// TryTimeout's three-way result separates "budget ran out" from "fetch
+// itself failed" without nesting Try inside Timeout.
 func fetchWithBudget(addr, path string, budget time.Duration) core.IO[string] {
 	return core.Bind(
-		core.Timeout(budget, core.Try(fetch(addr, path))),
-		func(r core.Maybe[core.Attempt[string]]) core.IO[string] {
+		core.TryTimeout(budget, fetch(addr, path)),
+		func(r core.TimeoutResult[string]) core.IO[string] {
 			switch {
-			case !r.IsJust:
+			case r.Expired:
 				return core.Return(fmt.Sprintf("%-12s TIMED OUT after %v", path, budget))
-			case r.Value.Failed():
-				return core.Return(fmt.Sprintf("%-12s error: %s", path, r.Value.Exc))
+			case r.Exc != nil:
+				return core.Return(fmt.Sprintf("%-12s error: %s", path, r.Exc))
 			default:
-				return core.Return(fmt.Sprintf("%-12s %s", path, r.Value.Value))
+				return core.Return(fmt.Sprintf("%-12s %s", path, r.Value))
 			}
 		})
 }

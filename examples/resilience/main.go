@@ -1,0 +1,138 @@
+// Resilience walks one flaky upstream through the full
+// internal/resilience stack — deadline, retry, circuit breaker,
+// bulkhead — and shows each policy doing its job in turn: a transient
+// fault healed by one jittered retry, a slow call cut off by the route
+// budget, a fault burst tripping the breaker into fast sheds, the
+// cooldown reclosing it, and a saturated bulkhead shedding the overflow
+// arrival while admitted work completes. Everything runs on the
+// deterministic virtual clock, so this program prints the same trace
+// every time.
+//
+//	go run ./examples/resilience
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"asyncexc/internal/core"
+	"asyncexc/internal/resilience"
+)
+
+func main() {
+	// The upstream: fails whenever the fault box says so, and is slow
+	// whenever the latency box says so. Both are flipped between acts.
+	var (
+		faultsLeft int
+		slow       bool
+		calls      int
+	)
+	upstream := core.Delay(func() core.IO[string] {
+		calls++
+		if slow {
+			return core.Then(core.Sleep(time.Second), core.Return("late"))
+		}
+		if faultsLeft > 0 {
+			faultsLeft--
+			return core.ThrowErrorCall[string](fmt.Sprintf("upstream fault (call %d)", calls))
+		}
+		return core.Return(fmt.Sprintf("ok (call %d)", calls))
+	})
+
+	prog := core.Bind(resilience.NewBreaker(resilience.BreakerConfig{
+		Name:             "upstream",
+		FailureThreshold: 3,
+		Window:           time.Second,
+		Cooldown:         100 * time.Millisecond,
+	}), func(br *resilience.Breaker) core.IO[core.Unit] {
+		return core.Bind(resilience.NewBulkhead(resilience.BulkheadConfig{
+			Name:     "upstream",
+			Capacity: 2,
+		}), func(bh *resilience.Bulkhead) core.IO[core.Unit] {
+
+			// One guarded call through the whole stack, outermost first:
+			// the deadline bounds all attempts, a retry re-asks breaker
+			// admission, and the breaker sheds before a bulkhead slot is
+			// consumed.
+			call := func(budget time.Duration) core.IO[string] {
+				return resilience.WithDeadline(resilience.NoDeadline(), budget,
+					func(d resilience.Deadline) core.IO[string] {
+						return resilience.Retry(resilience.RetryPolicy{
+							MaxAttempts: 3,
+							BaseDelay:   2 * time.Millisecond,
+							Jitter:      0.2,
+							Seed:        42,
+						}, d, func(attempt int) core.IO[string] {
+							return resilience.Guard(br, resilience.Enter(bh, upstream))
+						})
+					})
+			}
+			report := func(act string, m core.IO[string]) core.IO[core.Unit] {
+				return core.Bind(core.Try(m), func(r core.Attempt[string]) core.IO[core.Unit] {
+					if r.Failed() {
+						return core.PutStrLn(fmt.Sprintf("%-28s -> error: %v", act, r.Exc))
+					}
+					return core.PutStrLn(fmt.Sprintf("%-28s -> %s", act, r.Value))
+				})
+			}
+			set := func(f func()) core.IO[core.Unit] {
+				return core.Lift(func() core.Unit { f(); return core.UnitValue })
+			}
+			breakerMode := core.Bind(br.Snapshot(), func(s resilience.BreakerSnapshot) core.IO[core.Unit] {
+				return core.PutStrLn(fmt.Sprintf("  breaker is now %v (trips=%d)", s.Mode, s.Trips))
+			})
+
+			// Act 4: saturate the bulkhead with two slow holders, then
+			// watch a third arrival shed instead of queueing. The holders
+			// bypass the deadline so they hold their slots on purpose.
+			holder := resilience.Enter(bh, core.Then(core.Sleep(50*time.Millisecond), core.Return("held")))
+			bulkheadAct := core.Bind(core.Fork(core.Void(holder)), func(core.ThreadID) core.IO[core.Unit] {
+				return core.Bind(core.Fork(core.Void(holder)), func(core.ThreadID) core.IO[core.Unit] {
+					return core.Then(core.Sleep(time.Millisecond),
+						core.Then(report("4a. bulkhead full, no queue", resilience.Enter(bh, upstream)),
+							core.Then(core.Sleep(60*time.Millisecond),
+								report("4b. holders done, slot free", resilience.Enter(bh, upstream)))))
+				})
+			})
+
+			return core.Seq(
+				// Act 1: one transient fault; the retry's backoff heals it.
+				set(func() { faultsLeft = 1 }),
+				report("1.  transient fault + retry", call(time.Second)),
+
+				// Act 2: the upstream turns slow; the 20ms budget cuts it
+				// off (DeadlineExceeded is Fatal — no retry can help).
+				set(func() { slow = true }),
+				report("2.  slow call vs 20ms budget", call(20*time.Millisecond)),
+				set(func() { slow = false }),
+
+				// Act 3: a fault burst trips the breaker; the next call is
+				// shed without touching the upstream; after the cooldown a
+				// probe recloses it.
+				set(func() { faultsLeft = 10 }),
+				report("3a. fault burst (retries)", call(time.Second)),
+				report("3b. burst again", call(time.Second)),
+				breakerMode,
+				set(func() { faultsLeft = 0 }),
+				report("3c. shed while open", resilience.Guard(br, upstream)),
+				core.Sleep(120*time.Millisecond),
+				report("3d. probe after cooldown", call(time.Second)),
+				breakerMode,
+
+				// Act 4: bulkhead saturation and recovery.
+				bulkheadAct,
+			)
+		})
+	})
+
+	sys := core.NewSystem(core.DefaultOptions())
+	if _, e, err := core.RunSystem(sys, prog); err != nil || e != nil {
+		fmt.Println("failed:", err, e)
+		return
+	}
+	fmt.Print(sys.Output())
+	st := sys.Stats()
+	fmt.Printf("sched: steps=%d shed=%d retries=%d breakerOpen=%d deadlineExpired=%d\n",
+		st.Steps, st.Shed, st.Retries, st.BreakerOpen, st.DeadlineExpired)
+	fmt.Printf("upstream was called %d times (sheds never reached it)\n", calls)
+}

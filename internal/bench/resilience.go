@@ -1,0 +1,123 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"asyncexc/internal/core"
+	"asyncexc/internal/resilience"
+)
+
+// ---------------------------------------------------------------------
+// R1 — resilience: deterministic per-operation cost of each policy
+// layer, the shed fast paths, and the composed stack.
+// ---------------------------------------------------------------------
+
+// Resilience builds the R1 table: scheduler steps per operation for a
+// bare call, each policy layer on the happy path, the two shed fast
+// paths (bulkhead full, breaker open), and the full composed stack.
+// The shed paths matter most: shedding exists to be cheap, so a refused
+// request must cost far less than an admitted one that would time out.
+func Resilience(n int) *Table {
+	t := &Table{
+		ID:      "R1",
+		Title:   "resilience: steps per op by policy layer (deterministic)",
+		Columns: []string{"path", "ops", "steps", "steps/op"},
+		Notes: []string{
+			fmt.Sprintf("%d sequential ops per row on a fresh serial system; op = one Return", n),
+			"shed rows measure the refusal fast path: no handler runs, the caller gets the typed error",
+			"stack = deadline(retry(breaker(bulkhead(op)))), all healthy",
+		},
+	}
+	rows := []struct {
+		name  string
+		build func() core.IO[int]
+	}{
+		{"bare op", func() core.IO[int] { return repeatOp(n, func() core.IO[core.Unit] { return op() }) }},
+		{"deadline", func() core.IO[int] {
+			return repeatOp(n, func() core.IO[core.Unit] {
+				return resilience.WithDeadline(resilience.NoDeadline(), time.Hour,
+					func(resilience.Deadline) core.IO[core.Unit] { return op() })
+			})
+		}},
+		{"retry (first try ok)", func() core.IO[int] {
+			p := resilience.RetryPolicy{MaxAttempts: 3, BaseDelay: time.Millisecond}
+			return repeatOp(n, func() core.IO[core.Unit] {
+				return resilience.Retry(p, resilience.NoDeadline(), func(int) core.IO[core.Unit] { return op() })
+			})
+		}},
+		{"breaker closed", func() core.IO[int] {
+			return core.Bind(newBreaker(), func(b *resilience.Breaker) core.IO[int] {
+				return repeatOp(n, func() core.IO[core.Unit] { return resilience.Guard(b, op()) })
+			})
+		}},
+		{"breaker open (shed)", func() core.IO[int] {
+			return core.Bind(newBreaker(), func(b *resilience.Breaker) core.IO[int] {
+				trip := core.ReplicateM_(3, core.Void(core.Try(resilience.Guard(b, core.Throw[core.Unit](killX)))))
+				return core.Then(trip, repeatOp(n, func() core.IO[core.Unit] {
+					return core.Void(core.Try(resilience.Guard(b, op())))
+				}))
+			})
+		}},
+		{"bulkhead (uncontended)", func() core.IO[int] {
+			return core.Bind(newBulkhead(4), func(bh *resilience.Bulkhead) core.IO[int] {
+				return repeatOp(n, func() core.IO[core.Unit] { return resilience.Enter(bh, op()) })
+			})
+		}},
+		{"bulkhead full (shed)", func() core.IO[int] {
+			return core.Bind(newBulkhead(1), func(bh *resilience.Bulkhead) core.IO[int] {
+				hold := resilience.Enter(bh, core.Sleep(time.Hour))
+				return core.Bind(core.Fork(core.Void(hold)), func(tid core.ThreadID) core.IO[int] {
+					shedAll := core.Then(core.Yield(), // let the holder take the slot
+						repeatOp(n, func() core.IO[core.Unit] {
+							return core.Void(core.Try(resilience.Enter(bh, op())))
+						}))
+					return core.Bind(shedAll, func(v int) core.IO[int] {
+						return core.Then(core.KillThread(tid), core.Return(v))
+					})
+				})
+			})
+		}},
+		{"full stack (healthy)", func() core.IO[int] {
+			return core.Bind(newBreaker(), func(b *resilience.Breaker) core.IO[int] {
+				return core.Bind(newBulkhead(4), func(bh *resilience.Bulkhead) core.IO[int] {
+					p := resilience.RetryPolicy{MaxAttempts: 3, BaseDelay: time.Millisecond}
+					return repeatOp(n, func() core.IO[core.Unit] {
+						return resilience.WithDeadline(resilience.NoDeadline(), time.Hour,
+							func(d resilience.Deadline) core.IO[core.Unit] {
+								return resilience.Retry(p, d, func(int) core.IO[core.Unit] {
+									return resilience.Guard(b, resilience.Enter(bh, op()))
+								})
+							})
+					})
+				})
+			})
+		}},
+	}
+	for _, r := range rows {
+		_, steps, _, err := runSteps(core.DefaultOptions(), r.build())
+		if err != nil {
+			t.AddRow(r.name, n, errCell(err), "-")
+			continue
+		}
+		t.AddRow(r.name, n, steps, float64(steps)/float64(n))
+	}
+	return t
+}
+
+func op() core.IO[core.Unit] { return core.Return(core.UnitValue) }
+
+func newBreaker() core.IO[*resilience.Breaker] {
+	return resilience.NewBreaker(resilience.BreakerConfig{
+		Name: "bench", FailureThreshold: 3, Window: time.Second, Cooldown: time.Hour,
+	})
+}
+
+func newBulkhead(capacity int) core.IO[*resilience.Bulkhead] {
+	return resilience.NewBulkhead(resilience.BulkheadConfig{Name: "bench", Capacity: capacity})
+}
+
+// repeatOp runs mk() n times and returns n.
+func repeatOp(n int, mk func() core.IO[core.Unit]) core.IO[int] {
+	return core.Then(core.ReplicateM_(n, core.Delay(mk)), core.Return(n))
+}

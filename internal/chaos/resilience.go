@@ -1,0 +1,317 @@
+package chaos
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"asyncexc/internal/core"
+	"asyncexc/internal/exc"
+	"asyncexc/internal/resilience"
+)
+
+// ResilienceConfig sizes the resilience soak: bursts of client threads
+// drive a misbehaving upstream through the full policy stack (deadline
+// around retry around breaker around bulkhead) while a chaos thread
+// kills random clients mid-request.
+type ResilienceConfig struct {
+	// Seed drives the scheduler, the upstream fault pattern, retry
+	// jitter, and the chaos thread.
+	Seed int64
+	// Shards > 1 runs on the parallel work-stealing engine.
+	Shards int
+	// Clients per burst and Bursts arrival waves; each client issues
+	// Requests sequential requests.
+	Clients  int
+	Bursts   int
+	Requests int
+	// Kills is how many ThreadKilled exceptions the chaos thread aims
+	// at random clients.
+	Kills int
+	// Deadline is the per-request budget; the upstream's latency
+	// spikes and stalled MVars are engineered to bust it.
+	Deadline time.Duration
+}
+
+// DefaultResilienceConfig returns a moderate soak.
+func DefaultResilienceConfig(seed int64) ResilienceConfig {
+	return ResilienceConfig{
+		Seed: seed, Clients: 5, Bursts: 3, Requests: 3,
+		Kills: 6, Deadline: 50 * time.Millisecond,
+	}
+}
+
+// ResilienceReport is the outcome of a resilience soak.
+type ResilienceReport struct {
+	// Violations lists every broken invariant (empty = pass).
+	Violations []string
+	// Steps is the total scheduler steps (determinism witness).
+	Steps uint64
+	// KillsDelivered counts chaos exceptions that landed.
+	KillsDelivered uint64
+	// Attempted/Succeeded count client requests.
+	Attempted, Succeeded int
+	// HandlersStarted/HandlersFinished are the torn-handler markers:
+	// every handler body that starts must run its release, whatever
+	// kills it.
+	HandlersStarted, HandlersFinished int
+	// Shed/Retries/BreakerOpen/DeadlineExpired are the runtime's
+	// resilience counters after the soak.
+	Shed, Retries, BreakerOpen, DeadlineExpired uint64
+	// BreakerReclosed records the "faults stop => breaker recloses"
+	// invariant.
+	BreakerReclosed bool
+}
+
+// Failed reports whether any invariant broke.
+func (r ResilienceReport) Failed() bool { return len(r.Violations) > 0 }
+
+// RunResilience executes the resilience soak and checks its invariants:
+//
+//   - no torn handlers: every handler body that starts runs its
+//     bracket release, even when reaped by a deadline or killed by the
+//     chaos thread;
+//   - the breaker always recloses once faults stop;
+//   - bulkhead (semaphore) capacity is conserved under shedding and
+//     kills: nothing leaks, the compartment is reusable afterwards;
+//   - deterministic per seed in serial mode (virtual clock, seeded
+//     scheduler, seeded faults).
+func RunResilience(cfg ResilienceConfig) (ResilienceReport, error) {
+	var rep ResilienceReport
+
+	var (
+		exited       atomic.Int64
+		totalThreads atomic.Int64
+		started      atomic.Int64 // handler bodies entered
+		finished     atomic.Int64 // handler bodies released
+		attempted    atomic.Int64
+		succeeded    atomic.Int64
+		callSeq      atomic.Int64 // upstream invocation counter
+		faulty       atomic.Bool
+		mu           sync.Mutex
+		victims      []core.ThreadID
+	)
+	faulty.Store(true)
+
+	opts := core.DefaultOptions()
+	opts.RandomSched = true
+	opts.Seed = cfg.Seed
+	opts.TimeSlice = 3
+	opts.Shards = cfg.Shards
+	sys := core.NewSystem(opts)
+
+	tracked := func(m core.IO[core.Unit]) core.IO[core.Unit] {
+		totalThreads.Add(1)
+		return core.Finally(core.Void(core.Try(m)),
+			core.Lift(func() core.Unit { exited.Add(1); return core.UnitValue }))
+	}
+
+	prog := core.Bind(resilience.NewBreaker(resilience.BreakerConfig{
+		Name: "upstream", FailureThreshold: 3, Window: time.Second, Cooldown: 100 * time.Millisecond,
+	}), func(br *resilience.Breaker) core.IO[ResilienceReport] {
+		return core.Bind(resilience.NewBulkhead(resilience.BulkheadConfig{
+			Name: "upstream", Capacity: 3, MaxWaiting: 3,
+		}), func(bh *resilience.Bulkhead) core.IO[ResilienceReport] {
+			return core.Bind(core.NewEmptyMVar[core.Unit](), func(stall core.MVar[core.Unit]) core.IO[ResilienceReport] {
+
+				// The upstream cycles deterministically through four
+				// behaviours while faulty: quick success, a thrown
+				// fault (breaker fodder), a latency spike past the
+				// deadline, and a stall on an MVar nobody fills.
+				upstream := core.Delay(func() core.IO[string] {
+					if !faulty.Load() {
+						return core.Then(core.Sleep(time.Millisecond), core.Return("ok"))
+					}
+					switch callSeq.Add(1) % 4 {
+					case 1:
+						return core.Throw[string](exc.ErrorCall{Msg: "upstream fault"})
+					case 2:
+						return core.Then(core.Sleep(4*cfg.Deadline), core.Return("late"))
+					case 3:
+						return core.Then(core.Take(stall), core.Return("unreachable"))
+					default:
+						return core.Then(core.Sleep(2*time.Millisecond), core.Return("ok"))
+					}
+				})
+
+				// The handler body brackets the upstream call with torn
+				// markers: release must run on success, thrown fault,
+				// deadline reap, and chaos kill alike.
+				handler := core.Bracket(
+					core.Lift(func() core.Unit { started.Add(1); return core.UnitValue }),
+					func(core.Unit) core.IO[string] { return upstream },
+					func(core.Unit) core.IO[core.Unit] {
+						return core.Lift(func() core.Unit { finished.Add(1); return core.UnitValue })
+					})
+
+				// One client request through the full stack.
+				request := func(clientSeed int64) core.IO[core.Unit] {
+					stack := resilience.WithDeadline(resilience.NoDeadline(), cfg.Deadline,
+						func(d resilience.Deadline) core.IO[string] {
+							p := resilience.RetryPolicy{
+								MaxAttempts: 3, BaseDelay: 2 * time.Millisecond,
+								Jitter: 0.2, Seed: cfg.Seed*1000003 + clientSeed,
+							}
+							return resilience.Retry(p, d, func(int) core.IO[string] {
+								return resilience.Guard(br, resilience.Enter(bh, handler))
+							})
+						})
+					return core.Bind(core.Lift(func() core.Unit { attempted.Add(1); return core.UnitValue }),
+						func(core.Unit) core.IO[core.Unit] {
+							return core.Bind(core.Try(stack), func(r core.Attempt[string]) core.IO[core.Unit] {
+								if !r.Failed() {
+									succeeded.Add(1)
+								}
+								return core.Return(core.UnitValue)
+							})
+						})
+				}
+
+				client := func(id int) core.IO[core.Unit] {
+					body := core.ForM_(make([]struct{}, cfg.Requests), func(struct{}) core.IO[core.Unit] {
+						return core.Then(request(int64(id)), core.Sleep(time.Millisecond))
+					})
+					return core.Bind(core.Fork(tracked(body)), func(tid core.ThreadID) core.IO[core.Unit] {
+						mu.Lock()
+						victims = append(victims, tid)
+						mu.Unlock()
+						return core.Return(core.UnitValue)
+					})
+				}
+
+				// Chaos: ThreadKilled at random clients — an alert, so
+				// the retry layer must treat it as cancellation, never
+				// as a retryable failure.
+				chaosThread := func() core.IO[core.Unit] {
+					rng := newRand(cfg.Seed*7641361 + 17)
+					var loop func(k int) core.IO[core.Unit]
+					loop = func(k int) core.IO[core.Unit] {
+						if k >= cfg.Kills {
+							return core.Return(core.UnitValue)
+						}
+						mu.Lock()
+						nv := len(victims)
+						var victim core.ThreadID
+						if nv > 0 {
+							victim = victims[rng.next(nv)]
+						}
+						mu.Unlock()
+						if nv == 0 {
+							return core.Return(core.UnitValue)
+						}
+						return core.Seq(
+							core.ThrowTo(victim, exc.ThreadKilled{}),
+							core.Sleep(3*time.Millisecond),
+							core.Delay(func() core.IO[core.Unit] { return loop(k + 1) }),
+						)
+					}
+					return core.Delay(func() core.IO[core.Unit] { return loop(0) })
+				}
+
+				// Burst arrivals: waves of clients separated by gaps.
+				arrivals := core.Return(core.UnitValue)
+				for b := 0; b < cfg.Bursts; b++ {
+					burst := core.Return(core.UnitValue)
+					for c := 0; c < cfg.Clients; c++ {
+						id := b*cfg.Clients + c
+						burst = core.Then(burst, client(id))
+					}
+					arrivals = core.Seq(arrivals, burst, core.Sleep(10*time.Millisecond))
+				}
+
+				// Sleep (not Yield) between polls: clients block on
+				// timers, and the virtual clock only advances while
+				// every thread is blocked — a busy-yielding main would
+				// freeze time and livelock the soak.
+				allExited := core.IterateUntil(core.Then(core.Sleep(time.Millisecond),
+					core.Lift(func() bool { return exited.Load() >= totalThreads.Load() })))
+
+				// Bodies reaped by a deadline die asynchronously on
+				// their own threads; give their bracket releases a
+				// bounded window to run before judging tearing.
+				settleTries := 0
+				settled := core.IterateUntil(core.Then(core.Sleep(time.Millisecond),
+					core.Lift(func() bool {
+						settleTries++
+						return settleTries > 500 || started.Load() == finished.Load()
+					})))
+
+				// Recovery: faults stop, and after the cooldown the
+				// breaker must admit a probe and reclose.
+				recover := core.Then(
+					core.Lift(func() core.Unit { faulty.Store(false); return core.UnitValue }),
+					core.Then(core.Sleep(150*time.Millisecond), // past the 100ms cooldown
+						func() core.IO[ResilienceReport] {
+							probeTries := 0
+							probing := core.IterateUntil(core.Bind(
+								core.Try(resilience.Guard(br, core.Then(core.Sleep(time.Millisecond), core.Return("probe")))),
+								func(r core.Attempt[string]) core.IO[bool] {
+									probeTries++
+									if probeTries > 20 {
+										return core.Return(true)
+									}
+									if r.Failed() {
+										return core.Then(core.Sleep(20*time.Millisecond), core.Return(false))
+									}
+									return core.Return(true)
+								}))
+							inspect := core.Bind(br.Snapshot(), func(snap resilience.BreakerSnapshot) core.IO[ResilienceReport] {
+								return core.Bind(bh.InFlight(), func(inf int) core.IO[ResilienceReport] {
+									return core.Bind(bh.Waiting(), func(wait int) core.IO[ResilienceReport] {
+										r := ResilienceReport{BreakerReclosed: snap.Mode == resilience.Closed}
+										if inf != 0 || wait != 0 {
+											r.Violations = append(r.Violations, fmt.Sprintf(
+												"bulkhead capacity leaked: inFlight=%d waiting=%d", inf, wait))
+										}
+										// The compartment must be fully usable again.
+										return core.Bind(core.Try(resilience.Enter(bh, core.Return(core.UnitValue))),
+											func(re core.Attempt[core.Unit]) core.IO[ResilienceReport] {
+												if re.Failed() {
+													r.Violations = append(r.Violations,
+														"bulkhead unusable after soak: "+re.Exc.String())
+												}
+												return core.Return(r)
+											})
+									})
+								})
+							})
+							return core.Then(probing, inspect)
+						}()))
+
+				return core.Then(core.Seq(
+					arrivals,
+					core.Void(core.Fork(chaosThread())),
+					allExited,
+					settled,
+				), recover)
+			})
+		})
+	})
+
+	rep, e, err := core.RunSystem(sys, prog)
+	if err != nil {
+		return rep, err
+	}
+	if e != nil {
+		return rep, fmt.Errorf("chaos: resilience scenario main died: %s", exc.Format(e))
+	}
+
+	rep.HandlersStarted, rep.HandlersFinished = int(started.Load()), int(finished.Load())
+	if rep.HandlersStarted != rep.HandlersFinished {
+		rep.Violations = append(rep.Violations, fmt.Sprintf(
+			"torn handlers: started %d, finished %d", rep.HandlersStarted, rep.HandlersFinished))
+	}
+	if !rep.BreakerReclosed {
+		rep.Violations = append(rep.Violations, "breaker did not reclose after faults stopped")
+	}
+	rep.Attempted, rep.Succeeded = int(attempted.Load()), int(succeeded.Load())
+	st := sys.Stats()
+	rep.Steps = st.Steps
+	rep.KillsDelivered = st.Delivered
+	rep.Shed = st.Shed
+	rep.Retries = st.Retries
+	rep.BreakerOpen = st.BreakerOpen
+	rep.DeadlineExpired = st.DeadlineExpired
+	return rep, nil
+}

@@ -1,0 +1,73 @@
+package chaos_test
+
+import (
+	"testing"
+
+	"asyncexc/internal/chaos"
+)
+
+// TestResilienceSoak drives the misbehaving upstream through the full
+// policy stack at the ISSUE's grid — seeds {1,2} x shards {1,4} — and
+// checks the soak invariants: no torn handlers, breaker recloses once
+// faults stop, bulkhead capacity conserved. Run with -race in CI.
+func TestResilienceSoak(t *testing.T) {
+	for _, shards := range []int{1, 4} {
+		for _, seed := range []int64{1, 2} {
+			cfg := chaos.DefaultResilienceConfig(seed)
+			cfg.Shards = shards
+			rep, err := chaos.RunResilience(cfg)
+			if err != nil {
+				t.Fatalf("shards=%d seed=%d: %v", shards, seed, err)
+			}
+			if rep.Failed() {
+				t.Fatalf("shards=%d seed=%d: %v\nreport: %+v", shards, seed, rep.Violations, rep)
+			}
+		}
+	}
+}
+
+// TestResilienceSoakExercisesPolicies checks the harness is not
+// vacuous: across seeds, the upstream's faults actually trip breakers,
+// expire deadlines, trigger retries, and the chaos thread lands kills.
+func TestResilienceSoakExercisesPolicies(t *testing.T) {
+	var kills, retries, breakerOpens, deadlines uint64
+	for seed := int64(0); seed < 6; seed++ {
+		rep, err := chaos.RunResilience(chaos.DefaultResilienceConfig(seed))
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		kills += rep.KillsDelivered
+		retries += rep.Retries
+		breakerOpens += rep.BreakerOpen
+		deadlines += rep.DeadlineExpired
+	}
+	if kills == 0 {
+		t.Fatal("chaos thread never delivered a kill")
+	}
+	if retries == 0 {
+		t.Fatal("retry layer never retried")
+	}
+	if breakerOpens == 0 {
+		t.Fatal("breaker never tripped")
+	}
+	if deadlines == 0 {
+		t.Fatal("no deadline ever expired")
+	}
+}
+
+// TestResilienceSoakDeterministicPerSeed: in serial mode the soak is a
+// pure function of its seed.
+func TestResilienceSoakDeterministicPerSeed(t *testing.T) {
+	a, err := chaos.RunResilience(chaos.DefaultResilienceConfig(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := chaos.RunResilience(chaos.DefaultResilienceConfig(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Steps != b.Steps || a.Attempted != b.Attempted || a.Succeeded != b.Succeeded ||
+		a.HandlersStarted != b.HandlersStarted || a.Retries != b.Retries {
+		t.Fatalf("nondeterministic resilience soak:\n%+v\n%+v", a, b)
+	}
+}

@@ -16,8 +16,32 @@ type Pool struct {
 	workers core.MVar[[]core.ThreadID]
 	// done counts worker exits so Stop can await a clean drain.
 	done QSemN
-	size int
+	// stopped latches true when Stop begins; Submit consults it so a
+	// late submission fails fast instead of queueing into the void.
+	stopped core.MVar[bool]
+	size    int
 }
+
+// PoolStopped is the synchronous exception raised by Submit and
+// SubmitWait once Stop has begun: there are no workers left to run the
+// job, so queueing it would strand the submitter (SubmitWait would
+// deadlock on a result that can never arrive).
+type PoolStopped struct{}
+
+// ExceptionName implements exc.Exception.
+func (PoolStopped) ExceptionName() string { return "PoolStopped" }
+
+// Eq implements exc.Exception.
+func (PoolStopped) Eq(o exc.Exception) bool { _, ok := o.(PoolStopped); return ok }
+
+func (PoolStopped) String() string { return "pool stopped" }
+
+// Error implements error.
+func (e PoolStopped) Error() string { return e.String() }
+
+// ErrPoolStopped is the canonical PoolStopped value, for throwing and
+// for Eq comparisons in handlers.
+var ErrPoolStopped exc.Exception = PoolStopped{}
 
 // NewPool starts n workers (n >= 1).
 func NewPool(n int) core.IO[Pool] {
@@ -27,15 +51,17 @@ func NewPool(n int) core.IO[Pool] {
 	return core.Bind(NewChan[core.IO[core.Unit]](), func(jobs Chan[core.IO[core.Unit]]) core.IO[Pool] {
 		return core.Bind(core.NewMVar([]core.ThreadID{}), func(ws core.MVar[[]core.ThreadID]) core.IO[Pool] {
 			return core.Bind(NewQSemN(0), func(done QSemN) core.IO[Pool] {
-				p := Pool{jobs: jobs, workers: ws, done: done, size: n}
-				spawn := core.ForM_(make([]struct{}, n), func(struct{}) core.IO[core.Unit] {
-					return core.Bind(core.ForkNamed(p.worker(), "pool.worker"), func(tid core.ThreadID) core.IO[core.Unit] {
-						return core.ModifyMVar(ws, func(ts []core.ThreadID) core.IO[[]core.ThreadID] {
-							return core.Return(append(ts, tid))
+				return core.Bind(core.NewMVar(false), func(stopped core.MVar[bool]) core.IO[Pool] {
+					p := Pool{jobs: jobs, workers: ws, done: done, stopped: stopped, size: n}
+					spawn := core.ForM_(make([]struct{}, n), func(struct{}) core.IO[core.Unit] {
+						return core.Bind(core.ForkNamed(p.worker(), "pool.worker"), func(tid core.ThreadID) core.IO[core.Unit] {
+							return core.ModifyMVar(ws, func(ts []core.ThreadID) core.IO[[]core.ThreadID] {
+								return core.Return(append(ts, tid))
+							})
 						})
 					})
+					return core.Then(spawn, core.Return(p))
 				})
-				return core.Then(spawn, core.Return(p))
 			})
 		})
 	})
@@ -55,8 +81,15 @@ func (p Pool) worker() core.IO[core.Unit] {
 }
 
 // Submit enqueues a job; it never waits (the channel is unbounded).
+// After Stop has begun it raises ErrPoolStopped instead of queueing
+// the job where no worker will ever find it.
 func (p Pool) Submit(job core.IO[core.Unit]) core.IO[core.Unit] {
-	return p.jobs.Write(job)
+	return core.Bind(core.Read(p.stopped), func(s bool) core.IO[core.Unit] {
+		if s {
+			return core.Throw[core.Unit](ErrPoolStopped)
+		}
+		return p.jobs.Write(job)
+	})
 }
 
 // SubmitWait enqueues a job and waits for its completion, rethrowing
@@ -78,12 +111,13 @@ func (p Pool) SubmitWait(job core.IO[core.Unit]) core.IO[core.Unit] {
 
 // Stop kills every worker and waits for them to exit. In-flight jobs
 // complete (workers are masked while running one); queued jobs are
-// discarded.
+// discarded, and subsequent Submits raise ErrPoolStopped.
 func (p Pool) Stop() core.IO[core.Unit] {
-	return core.Block(core.Bind(core.Read(p.workers), func(ts []core.ThreadID) core.IO[core.Unit] {
+	latch := core.ModifyMVar(p.stopped, func(bool) core.IO[bool] { return core.Return(true) })
+	return core.Block(core.Then(latch, core.Bind(core.Read(p.workers), func(ts []core.ThreadID) core.IO[core.Unit] {
 		kills := core.ForM_(ts, func(tid core.ThreadID) core.IO[core.Unit] {
 			return core.ThrowTo(tid, exc.ThreadKilled{})
 		})
 		return core.Then(kills, p.done.Wait(p.size))
-	}))
+	})))
 }

@@ -108,3 +108,32 @@ func TestPoolBoundedConcurrency(t *testing.T) {
 		t.Fatalf("peak concurrency %d, want 1..%d", v, workers)
 	}
 }
+
+// TestPoolSubmitAfterStop is the regression test for the
+// submit-into-the-void bug: once Stop has run there are no workers, so
+// a Submit used to queue the job forever and SubmitWait deadlocked its
+// caller. Both must now raise ErrPoolStopped promptly.
+func TestPoolSubmitAfterStop(t *testing.T) {
+	m := core.Bind(conc.NewPool(2), func(p conc.Pool) core.IO[string] {
+		return core.Then(p.Stop(),
+			core.Bind(core.Try(p.Submit(core.Return(core.UnitValue))), func(r core.Attempt[core.Unit]) core.IO[string] {
+				if !r.Failed() || !r.Exc.Eq(conc.ErrPoolStopped) {
+					return core.Return("submit: wrong outcome")
+				}
+				// SubmitWait inherits the check; bound by a timeout so a
+				// regression shows up as a test failure, not a hang.
+				probe := core.Timeout(time.Second, core.Try(p.SubmitWait(core.Return(core.UnitValue))))
+				return core.Bind(probe, func(o core.Maybe[core.Attempt[core.Unit]]) core.IO[string] {
+					switch {
+					case !o.IsJust:
+						return core.Return("submitwait: deadlocked")
+					case !o.Value.Failed() || !o.Value.Exc.Eq(conc.ErrPoolStopped):
+						return core.Return("submitwait: wrong outcome")
+					default:
+						return core.Return("rejected")
+					}
+				})
+			}))
+	})
+	run(t, m, "rejected")
+}

@@ -197,6 +197,30 @@ func (q QSemN) unregister(w core.MVar[core.Unit], n int) core.IO[core.Unit] {
 	}))
 }
 
+// TryWait acquires n units without waiting: true on success, false when
+// fewer than n units are free or earlier waiters are queued (FIFO
+// fairness: a try must not overtake the head waiter). Never an
+// interruption point — the bulkhead shed path relies on that.
+func (q QSemN) TryWait(n int) core.IO[bool] {
+	if n <= 0 {
+		return core.Return(true)
+	}
+	return core.Block(core.Bind(core.Take(q.state), func(st qsemnState) core.IO[bool] {
+		if st.avail >= n && len(st.waiters) == 0 {
+			st.avail -= n
+			return core.Then(core.Put(q.state, st), core.Return(true))
+		}
+		return core.Then(core.Put(q.state, st), core.Return(false))
+	}))
+}
+
+// Available returns the current free quantity (a snapshot).
+func (q QSemN) Available() core.IO[int] {
+	return core.Bind(core.Read(q.state), func(st qsemnState) core.IO[int] {
+		return core.Return(st.avail)
+	})
+}
+
 // Signal releases n units, waking FIFO waiters whose requests are now
 // satisfiable. Uninterruptible, like QSem.Signal.
 func (q QSemN) Signal(n int) core.IO[core.Unit] {

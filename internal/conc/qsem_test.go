@@ -1,0 +1,46 @@
+package conc_test
+
+import (
+	"testing"
+	"time"
+
+	"asyncexc/internal/conc"
+	"asyncexc/internal/core"
+)
+
+// TestQSemNTryWaitAndAvailable: TryWait takes only what is free, never
+// blocks, and refuses to overtake a queued waiter; Available tracks the
+// free quantity through the whole dance.
+func TestQSemNTryWaitAndAvailable(t *testing.T) {
+	m := core.Bind(conc.NewQSemN(3), func(q conc.QSemN) core.IO[string] {
+		step := func(cond core.IO[bool], tag string, rest core.IO[string]) core.IO[string] {
+			return core.Bind(cond, func(ok bool) core.IO[string] {
+				if !ok {
+					return core.Return("failed: " + tag)
+				}
+				return rest
+			})
+		}
+		availIs := func(want int) core.IO[bool] {
+			return core.Map(q.Available(), func(got int) bool { return got == want })
+		}
+		return step(q.TryWait(2), "take 2 of 3",
+			step(availIs(1), "avail 1",
+				step(core.Map(q.TryWait(2), func(ok bool) bool { return !ok }), "refuse 2 of 1",
+					step(q.TryWait(1), "take last",
+						step(availIs(0), "avail 0",
+							core.Bind(core.Fork(q.Wait(2)), func(core.ThreadID) core.IO[string] {
+								// Give the waiter time to queue, release one
+								// unit, and check FIFO fairness: TryWait(1)
+								// must not steal it from the parked Wait(2).
+								return core.Then(core.Sleep(time.Millisecond),
+									core.Then(q.Signal(1),
+										step(core.Map(q.TryWait(1), func(ok bool) bool { return !ok }), "no overtake",
+											core.Then(q.Signal(1),
+												core.Then(core.Sleep(time.Millisecond),
+													step(availIs(0), "waiter served",
+														core.Return("ok")))))))
+							}))))))
+	})
+	run(t, m, "ok")
+}

@@ -232,6 +232,46 @@ func Timeout[A any](d time.Duration, a IO[A]) IO[Maybe[A]] {
 	})
 }
 
+// TimeoutResult is the reified outcome of TryTimeout, distinguishing
+// the three ways a timed computation can end. Exactly one of the three
+// cases holds: Expired (the budget ran out first), Exc != nil (the
+// body raised a synchronous exception), or neither (Value is the
+// body's result).
+type TimeoutResult[A any] struct {
+	// Expired reports that the budget ran out before the body finished.
+	Expired bool
+	// Value is the body's result when !Expired and Exc == nil.
+	Value A
+	// Exc is the body's synchronous exception, or nil. Alert
+	// exceptions (ThreadKilled, a caller-aimed Timeout, ...) are never
+	// captured here — they propagate, because a cancellation aimed at
+	// the caller must not be reported as a body failure.
+	Exc Exception
+}
+
+// Succeeded reports that the body finished with a value in budget.
+func (r TimeoutResult[A]) Succeeded() bool { return !r.Expired && r.Exc == nil }
+
+// TryTimeout is Timeout with a three-way result: callers that need to
+// know whether the budget expired or the body itself threw no longer
+// have to nest Try inside Timeout (or, worse, pattern-match exception
+// strings). The body's synchronous exceptions are captured with
+// CatchNonAlert, so alerts — an asynchronous KillThread aimed at the
+// caller, the §9 alert family — still propagate and cancellation
+// cannot be mistaken for a body failure. Composability is the paper's:
+// the budget race is EitherIO(Sleep d, ·), nesting freely.
+func TryTimeout[A any](d time.Duration, a IO[A]) IO[TimeoutResult[A]] {
+	body := CatchNonAlert(
+		Map(a, func(v A) Attempt[A] { return Attempt[A]{Value: v} }),
+		func(e Exception) IO[Attempt[A]] { return Return(Attempt[A]{Exc: e}) })
+	return Bind(EitherIO(Sleep(d), body), func(r Either[Unit, Attempt[A]]) IO[TimeoutResult[A]] {
+		if r.IsLeft {
+			return Return(TimeoutResult[A]{Expired: true})
+		}
+		return Return(TimeoutResult[A]{Value: r.Right.Value, Exc: r.Right.Exc})
+	})
+}
+
 // ---------------------------------------------------------------------
 // Mask-with-restore (extension: GHC's modern mask API)
 // ---------------------------------------------------------------------

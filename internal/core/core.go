@@ -268,6 +268,14 @@ func ShardSchedStats() IO[[]sched.Stats] {
 	return FromNode[[]sched.Stats](sched.GetShardStats())
 }
 
+// MailboxDepths returns each shard's instantaneous mailbox backlog (a
+// live gauge, unlike Stats.MailboxDepth which is a high-water mark);
+// admission control uses it as a load-shedding watermark. Serial mode
+// reports a single zero entry.
+func MailboxDepths() IO[[]int] {
+	return FromNode[[]int](sched.MailboxDepths())
+}
+
 // ---------------------------------------------------------------------
 // Console (§3)
 // ---------------------------------------------------------------------

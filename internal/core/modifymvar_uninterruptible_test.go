@@ -1,0 +1,84 @@
+package core_test
+
+import (
+	"testing"
+	"time"
+
+	"asyncexc/internal/core"
+	"asyncexc/internal/exc"
+)
+
+// interruptDuringModify runs a victim that performs `modify` on a
+// counter MVar with a compute that parks at an interruptible point,
+// kills it mid-compute, and reports the final counter value.
+func interruptDuringModify(t *testing.T, modify func(core.MVar[int]) core.IO[core.Unit]) int {
+	t.Helper()
+	prog := core.Bind(core.NewMVar(0), func(m core.MVar[int]) core.IO[int] {
+		victim := core.BlockUninterruptible(modify(m))
+		return core.Bind(core.Fork(core.Void(core.Try(victim))), func(tid core.ThreadID) core.IO[int] {
+			return core.Then(core.Sleep(5*time.Millisecond),
+				core.Then(core.ThrowTo(tid, exc.ThreadKilled{}),
+					core.Then(core.Sleep(5*time.Millisecond),
+						core.Read(m))))
+		})
+	})
+	v, e, err := core.Run(prog)
+	if err != nil || e != nil {
+		t.Fatalf("run: %v %v", err, e)
+	}
+	return v
+}
+
+// computeWithPause increments after an interruptible pause (a Sleep —
+// a blocking operation, so a delivery point under plain Block).
+func computeWithPause(n int) core.IO[int] {
+	return core.Then(core.Sleep(20*time.Millisecond), core.Return(n+1))
+}
+
+// TestModifyMVarUnblocksInsideUninterruptible documents the hole the
+// new combinator closes: plain ModifyMVar unblocks its compute, so even
+// under BlockUninterruptible a kill lands mid-compute, the old value is
+// restored, and the update is lost.
+func TestModifyMVarUnblocksInsideUninterruptible(t *testing.T) {
+	got := interruptDuringModify(t, func(m core.MVar[int]) core.IO[core.Unit] {
+		return core.ModifyMVar(m, computeWithPause)
+	})
+	if got != 0 {
+		t.Fatalf("counter = %d, want 0 (plain ModifyMVar's compute is interruptible; has the runtime changed?)", got)
+	}
+}
+
+// TestModifyMVarUninterruptibleCompletes: the uninterruptible variant
+// defers the kill across the whole take/compute/put, so the update
+// always lands — the guarantee cleanup-path bookkeeping relies on.
+func TestModifyMVarUninterruptibleCompletes(t *testing.T) {
+	got := interruptDuringModify(t, func(m core.MVar[int]) core.IO[core.Unit] {
+		return core.ModifyMVarUninterruptible(m, computeWithPause)
+	})
+	if got != 1 {
+		t.Fatalf("counter = %d, want 1 (update aborted by the kill)", got)
+	}
+}
+
+// TestModifyMVarUninterruptibleRestoresOnSyncThrow: a compute that
+// raises synchronously still restores the old value and rethrows.
+func TestModifyMVarUninterruptibleRestoresOnSyncThrow(t *testing.T) {
+	prog := core.Bind(core.NewMVar(7), func(m core.MVar[int]) core.IO[int] {
+		bad := core.ModifyMVarUninterruptible(m, func(int) core.IO[int] {
+			return core.Throw[int](exc.ErrorCall{Msg: "compute failed"})
+		})
+		return core.Bind(core.Try(bad), func(r core.Attempt[core.Unit]) core.IO[int] {
+			if !r.Failed() || !r.Exc.Eq(exc.ErrorCall{Msg: "compute failed"}) {
+				return core.Return(-1)
+			}
+			return core.Read(m)
+		})
+	})
+	v, e, err := core.Run(prog)
+	if err != nil || e != nil {
+		t.Fatalf("run: %v %v", err, e)
+	}
+	if v != 7 {
+		t.Fatalf("value = %d, want 7 restored", v)
+	}
+}

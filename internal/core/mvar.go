@@ -144,6 +144,27 @@ func ModifyMVarValueMasked[A, B any](m MVar[A], compute func(A) IO[Pair[A, B]]) 
 	}))
 }
 
+// ModifyMVarUninterruptible is ModifyMVar run entirely under
+// BlockUninterruptible: neither the take, the compute, nor the put is
+// an interruption point. Plain ModifyMVar unblocks its compute, so even
+// wrapping it in BlockUninterruptible leaves an unmasked window where a
+// second asynchronous exception aborts the update after the take and
+// the restore path silently discards the intended change. Cleanup-path
+// bookkeeping (semaphore gauges, breaker probe slots) cannot afford
+// that; use this and keep compute non-blocking so the uninterruptible
+// window stays tiny. The old value is still restored if compute raises
+// synchronously.
+func ModifyMVarUninterruptible[A any](m MVar[A], compute func(A) IO[A]) IO[Unit] {
+	return BlockUninterruptible(Bind(Take(m), func(a A) IO[Unit] {
+		return Bind(
+			Catch(compute(a), func(e Exception) IO[A] {
+				return Then(Put(m, a), Throw[A](e))
+			}),
+			func(b A) IO[Unit] { return Put(m, b) },
+		)
+	}))
+}
+
 // UnsafeModifyMVar is the §5.1 *broken* version kept for the
 // experiments: the exception handler is installed only after the Take,
 // so an asynchronous exception arriving in between loses the lock. Used

@@ -1,0 +1,221 @@
+package httpd
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"asyncexc/internal/core"
+	"asyncexc/internal/exc"
+	"asyncexc/internal/resilience"
+	"asyncexc/internal/sched"
+)
+
+// AdmissionConfig tunes the resilience admission middleware installed
+// by UseResilience. Zero fields take the documented defaults.
+type AdmissionConfig struct {
+	// MaxInFlight caps requests simultaneously inside handlers (the
+	// bulkhead capacity; default 64).
+	MaxInFlight int
+	// MaxWaiting bounds how many requests may queue for a bulkhead
+	// slot before arrivals are shed (default 0: shed immediately).
+	MaxWaiting int
+	// RouteDeadlines gives per-route handler budgets, keyed by path
+	// (query string ignored). A route not listed uses DefaultDeadline.
+	RouteDeadlines map[string]time.Duration
+	// DefaultDeadline bounds handlers on unlisted routes; 0 leaves
+	// them to the server-wide RequestTimeout alone.
+	DefaultDeadline time.Duration
+	// BreakerThreshold, BreakerWindow, BreakerCooldown, BreakerProbes
+	// configure the breaker created per route (upstream); zero values
+	// take resilience's defaults.
+	BreakerThreshold int
+	BreakerWindow    time.Duration
+	BreakerCooldown  time.Duration
+	BreakerProbes    int
+	// InFlightWatermark sheds new arrivals while the Active connection
+	// gauge is at or above it (0 disables). The arriving request's own
+	// connection is counted, so a watermark of N sheds once N-1 other
+	// connections are in flight.
+	InFlightWatermark int
+	// MailboxWatermark sheds new arrivals while any scheduler shard's
+	// instantaneous mailbox depth is at or above it (0 disables).
+	MailboxWatermark int
+	// RetryAfter is the Retry-After value stamped on shed responses
+	// (default 1s).
+	RetryAfter time.Duration
+	// ExemptPaths bypass admission entirely — keep observability
+	// endpoints reachable during overload (default: ["/stats"]).
+	ExemptPaths []string
+}
+
+func (c AdmissionConfig) withDefaults() AdmissionConfig {
+	if c.MaxInFlight < 1 {
+		c.MaxInFlight = 64
+	}
+	if c.MaxWaiting < 0 {
+		c.MaxWaiting = 0
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	if c.ExemptPaths == nil {
+		c.ExemptPaths = []string{"/stats"}
+	}
+	return c
+}
+
+// admission is the lazily-built IO-side state behind UseResilience:
+// one bulkhead for the server, one breaker per route.
+type admission struct {
+	cfg      AdmissionConfig
+	bulkhead *resilience.Bulkhead
+	breakers core.MVar[map[string]*resilience.Breaker]
+}
+
+func newAdmission(cfg AdmissionConfig) core.IO[*admission] {
+	return core.Bind(resilience.NewBulkhead(resilience.BulkheadConfig{
+		Name: "httpd", Capacity: cfg.MaxInFlight, MaxWaiting: cfg.MaxWaiting,
+	}), func(bh *resilience.Bulkhead) core.IO[*admission] {
+		return core.Map(core.NewMVar(map[string]*resilience.Breaker{}), func(m core.MVar[map[string]*resilience.Breaker]) *admission {
+			return &admission{cfg: cfg, bulkhead: bh, breakers: m}
+		})
+	})
+}
+
+// routeKey is the request path without its query string — the unit of
+// deadline and breaker scoping.
+func routeKey(path string) string {
+	if i := strings.IndexByte(path, '?'); i >= 0 {
+		return path[:i]
+	}
+	return path
+}
+
+// breakerFor returns the route's breaker, creating it on first use.
+func (a *admission) breakerFor(key string) core.IO[*resilience.Breaker] {
+	return core.ModifyMVarValueMasked(a.breakers, func(m map[string]*resilience.Breaker) core.IO[core.Pair[map[string]*resilience.Breaker, *resilience.Breaker]] {
+		if b, ok := m[key]; ok {
+			return core.Return(core.MkPair(m, b))
+		}
+		return core.Map(resilience.NewBreaker(resilience.BreakerConfig{
+			Name:             key,
+			FailureThreshold: a.cfg.BreakerThreshold,
+			Window:           a.cfg.BreakerWindow,
+			Cooldown:         a.cfg.BreakerCooldown,
+			HalfOpenProbes:   a.cfg.BreakerProbes,
+		}), func(b *resilience.Breaker) core.Pair[map[string]*resilience.Breaker, *resilience.Breaker] {
+			m[key] = b
+			return core.MkPair(m, b)
+		})
+	})
+}
+
+// overloaded checks the load-shedding watermarks: the in-flight gauge
+// and the instantaneous per-shard mailbox depths.
+func (a *admission) overloaded(s *Server) core.IO[bool] {
+	if a.cfg.InFlightWatermark > 0 && int(s.Stats.Active.Load()) >= a.cfg.InFlightWatermark {
+		return core.Return(true)
+	}
+	if a.cfg.MailboxWatermark <= 0 {
+		return core.Return(false)
+	}
+	return core.Map(core.MailboxDepths(), func(depths []int) bool {
+		for _, d := range depths {
+			if d >= a.cfg.MailboxWatermark {
+				return true
+			}
+		}
+		return false
+	})
+}
+
+// shedResponse is the graceful refusal: 503 with Retry-After, telling
+// well-behaved clients when to come back instead of hammering.
+func (a *admission) shedResponse(reason string) Response {
+	r := Text(503, "shedding load: "+reason+"\n")
+	r.Headers["Retry-After"] = strconv.Itoa(int((a.cfg.RetryAfter + time.Second - 1) / time.Second))
+	return r
+}
+
+// deadlineFor returns the route's handler budget (0 = none).
+func (a *admission) deadlineFor(key string) time.Duration {
+	if d, ok := a.cfg.RouteDeadlines[key]; ok {
+		return d
+	}
+	return a.cfg.DefaultDeadline
+}
+
+// admit composes the four policies around one request, outermost first:
+// watermark shedding, bulkhead, breaker-per-route, per-route deadline.
+// Sheds answer 503 + Retry-After, expired deadlines 504; anything else
+// (including alerts — the server-wide timeout reaping us) passes
+// through untouched.
+func (a *admission) admit(s *Server, r Request, next Handler) core.IO[Response] {
+	key := routeKey(r.Path)
+	for _, p := range a.cfg.ExemptPaths {
+		if p == key {
+			return next(r)
+		}
+	}
+	return core.Bind(a.overloaded(s), func(over bool) core.IO[Response] {
+		if over {
+			s.Stats.Shed.Add(1)
+			return core.Then(core.FromNode[core.Unit](sched.NoteShed()),
+				core.Return(a.shedResponse("watermark crossed")))
+		}
+		return core.Bind(a.breakerFor(key), func(b *resilience.Breaker) core.IO[Response] {
+			handler := next(r)
+			if budget := a.deadlineFor(key); budget > 0 {
+				handler = resilience.WithDeadline(resilience.NoDeadline(), budget,
+					func(resilience.Deadline) core.IO[Response] { return next(r) })
+			}
+			work := resilience.Enter(a.bulkhead, resilience.Guard(b, handler))
+			return core.Catch(work, func(e exc.Exception) core.IO[Response] {
+				switch e.(type) {
+				case resilience.BulkheadFullError:
+					s.Stats.Shed.Add(1)
+					return core.Return(a.shedResponse("bulkhead full"))
+				case resilience.BreakerOpenError:
+					s.Stats.Shed.Add(1)
+					return core.Return(a.shedResponse(fmt.Sprintf("breaker open for %s", key)))
+				case resilience.DeadlineExceededError:
+					s.Stats.DeadlineHit.Add(1)
+					return core.Return(Text(504, "route deadline exceeded\n"))
+				default:
+					return core.Throw[Response](e)
+				}
+			})
+		})
+	})
+}
+
+// UseResilience installs the admission-control middleware: per-route
+// deadlines, a max-in-flight bulkhead, a circuit breaker per route, and
+// 503-with-Retry-After load shedding once the in-flight count or a
+// shard mailbox depth crosses its watermark. Call before Start, like
+// Use. The IO-side state (bulkhead, breakers) is created inside the
+// runtime on first request and shared thereafter.
+func (s *Server) UseResilience(cfg AdmissionConfig) {
+	cfg = cfg.withDefaults()
+	var slot atomic.Pointer[admission]
+	s.Use(func(next Handler) Handler {
+		return func(r Request) core.IO[Response] {
+			if a := slot.Load(); a != nil {
+				return a.admit(s, r, next)
+			}
+			return core.Bind(newAdmission(cfg), func(fresh *admission) core.IO[Response] {
+				return core.Bind(core.Lift(func() *admission {
+					// Two first requests may race the build; the CAS
+					// winner's state is the one everyone uses.
+					slot.CompareAndSwap(nil, fresh)
+					return slot.Load()
+				}), func(a *admission) core.IO[Response] {
+					return a.admit(s, r, next)
+				})
+			})
+		}
+	})
+}

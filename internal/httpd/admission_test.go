@@ -1,0 +1,218 @@
+package httpd_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"asyncexc/internal/core"
+	"asyncexc/internal/exc"
+	"asyncexc/internal/httpd"
+)
+
+// holdHandler sleeps inside the IO runtime long enough for the test to
+// probe the server while the request occupies its admission slot.
+func holdHandler(d time.Duration) httpd.Handler {
+	return func(r httpd.Request) core.IO[httpd.Response] {
+		return core.Then(core.Sleep(d), core.Return(httpd.Text(200, "held\n")))
+	}
+}
+
+// waitActive polls until the server reports at least n live connections.
+func waitActive(t *testing.T, s *httpd.Server, n int64) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for s.Stats.Active.Load() < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("Active=%d never reached %d", s.Stats.Active.Load(), n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestAdmissionRouteDeadline: a route whose per-route deadline expires
+// answers 504 and bumps DeadlineHit; a fast route on the same server is
+// untouched.
+func TestAdmissionRouteDeadline(t *testing.T) {
+	s := httpd.New(httpd.Config{RequestTimeout: 10 * time.Second})
+	s.UseResilience(httpd.AdmissionConfig{
+		RouteDeadlines: map[string]time.Duration{"/slow": 30 * time.Millisecond},
+	})
+	s.Handle("/slow", holdHandler(time.Hour))
+	s.Handle("/fast", func(r httpd.Request) core.IO[httpd.Response] {
+		return core.Return(httpd.Text(200, "ok\n"))
+	})
+	run, err := s.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer run.Stop() //nolint:errcheck
+	if code, _ := get(t, run.Addr, "/fast"); code != 200 {
+		t.Fatalf("fast: %d", code)
+	}
+	if code, body := get(t, run.Addr, "/slow"); code != 504 || !strings.Contains(body, "deadline") {
+		t.Fatalf("slow: %d %q", code, body)
+	}
+	if n := s.Stats.DeadlineHit.Load(); n != 1 {
+		t.Fatalf("DeadlineHit=%d, want 1", n)
+	}
+}
+
+// TestAdmissionBulkheadSheds: with a single slot and no wait queue, a
+// request arriving while the slot is held is refused 503 with a
+// Retry-After header instead of queueing.
+func TestAdmissionBulkheadSheds(t *testing.T) {
+	s := httpd.New(httpd.Config{RequestTimeout: 10 * time.Second})
+	s.UseResilience(httpd.AdmissionConfig{
+		MaxInFlight: 1,
+		MaxWaiting:  0,
+		RetryAfter:  2 * time.Second,
+	})
+	s.Handle("/hold", holdHandler(500*time.Millisecond))
+	run, err := s.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer run.Stop() //nolint:errcheck
+
+	first := make(chan int, 1)
+	go func() {
+		code, _ := get(t, run.Addr, "/hold")
+		first <- code
+	}()
+	waitActive(t, s, 1)
+	time.Sleep(30 * time.Millisecond) // let the holder take the slot
+
+	resp, err := httpGet(run.Addr, "/hold")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != 503 {
+		t.Fatalf("second request: %d, want 503", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "2" {
+		t.Fatalf("Retry-After=%q, want \"2\"", ra)
+	}
+	resp.Body.Close()
+	if code := <-first; code != 200 {
+		t.Fatalf("holder: %d", code)
+	}
+	if n := s.Stats.Shed.Load(); n != 1 {
+		t.Fatalf("Shed=%d, want 1", n)
+	}
+}
+
+// TestAdmissionBreakerOpensAndSheds: after the failure threshold the
+// route's breaker opens and requests are shed 503 without reaching the
+// handler; after the cooldown a successful probe recloses it.
+func TestAdmissionBreakerOpensAndSheds(t *testing.T) {
+	var calls int64
+	healthy := false
+	s := httpd.New(httpd.Config{RequestTimeout: 10 * time.Second})
+	s.UseResilience(httpd.AdmissionConfig{
+		BreakerThreshold: 2,
+		BreakerWindow:    10 * time.Second,
+		BreakerCooldown:  50 * time.Millisecond,
+	})
+	s.Handle("/up", func(r httpd.Request) core.IO[httpd.Response] {
+		return core.Delay(func() core.IO[httpd.Response] {
+			calls++
+			if healthy {
+				return core.Return(httpd.Text(200, "back\n"))
+			}
+			return core.Throw[httpd.Response](exc.ErrorCall{Msg: "upstream down"})
+		})
+	})
+	run, err := s.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer run.Stop() //nolint:errcheck
+
+	for i := 0; i < 2; i++ {
+		if code, _ := get(t, run.Addr, "/up"); code != 500 {
+			t.Fatalf("failure %d: status %d, want 500", i, code)
+		}
+	}
+	if code, body := get(t, run.Addr, "/up"); code != 503 || !strings.Contains(body, "breaker open") {
+		t.Fatalf("tripped: %d %q", code, body)
+	}
+	if calls != 2 {
+		t.Fatalf("handler ran %d times, want 2 (shed call must not reach it)", calls)
+	}
+	healthy = true
+	time.Sleep(60 * time.Millisecond) // past cooldown
+	if code, _ := get(t, run.Addr, "/up"); code != 200 {
+		t.Fatalf("probe after cooldown: %d, want 200", code)
+	}
+	if n := s.Stats.Shed.Load(); n != 1 {
+		t.Fatalf("Shed=%d, want 1", n)
+	}
+}
+
+// TestAdmissionExemptPathBypasses: an exempt path stays reachable even
+// while the bulkhead is saturated — observability must survive overload.
+func TestAdmissionExemptPathBypasses(t *testing.T) {
+	s := httpd.New(httpd.Config{RequestTimeout: 10 * time.Second})
+	s.UseResilience(httpd.AdmissionConfig{
+		MaxInFlight: 1,
+		MaxWaiting:  0,
+		ExemptPaths: []string{"/healthz"},
+	})
+	s.Handle("/hold", holdHandler(500*time.Millisecond))
+	s.Handle("/healthz", func(r httpd.Request) core.IO[httpd.Response] {
+		return core.Return(httpd.Text(200, "alive\n"))
+	})
+	run, err := s.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer run.Stop() //nolint:errcheck
+
+	done := make(chan struct{})
+	go func() {
+		get(t, run.Addr, "/hold")
+		close(done)
+	}()
+	waitActive(t, s, 1)
+	time.Sleep(30 * time.Millisecond)
+
+	if code, body := get(t, run.Addr, "/healthz"); code != 200 || body != "alive\n" {
+		t.Fatalf("exempt path: %d %q", code, body)
+	}
+	<-done
+}
+
+// TestAdmissionInFlightWatermarkSheds: once the Active gauge reaches the
+// watermark, new arrivals are shed before touching bulkhead or breaker.
+// The arriving request's own connection counts toward the gauge, so a
+// watermark of 2 means "shed while one other connection is in flight".
+func TestAdmissionInFlightWatermarkSheds(t *testing.T) {
+	s := httpd.New(httpd.Config{RequestTimeout: 10 * time.Second})
+	s.UseResilience(httpd.AdmissionConfig{
+		MaxInFlight:       8, // plenty of bulkhead room: the watermark must act first
+		InFlightWatermark: 2,
+	})
+	s.Handle("/hold", holdHandler(500*time.Millisecond))
+	run, err := s.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer run.Stop() //nolint:errcheck
+
+	done := make(chan struct{})
+	go func() {
+		get(t, run.Addr, "/hold")
+		close(done)
+	}()
+	waitActive(t, s, 1)
+	time.Sleep(30 * time.Millisecond)
+
+	if code, body := get(t, run.Addr, "/hold"); code != 503 || !strings.Contains(body, "watermark") {
+		t.Fatalf("watermark shed: %d %q", code, body)
+	}
+	<-done
+	if n := s.Stats.Shed.Load(); n < 1 {
+		t.Fatalf("Shed=%d, want >=1", n)
+	}
+}

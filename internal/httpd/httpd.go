@@ -91,6 +91,12 @@ type Stats struct {
 	NotFound  atomic.Int64
 	Rejected  atomic.Int64
 	HandlerEx atomic.Int64
+	// Shed counts requests refused by the resilience admission layer
+	// (watermark, bulkhead, or breaker) with a 503 + Retry-After.
+	Shed atomic.Int64
+	// DeadlineHit counts requests whose per-route deadline expired
+	// (answered 504).
+	DeadlineHit atomic.Int64
 	// Active gauges connections currently being served.
 	Active atomic.Int64
 }
@@ -126,8 +132,13 @@ func New(cfg Config) *Server {
 func (s *Server) Handle(path string, h Handler) { s.routes[path] = h }
 
 // route finds the handler: exact match first, then longest "/"-suffixed
-// prefix.
+// prefix. The query string is not part of the route — "/delay?ms=500"
+// routes as "/delay"; handlers that want the query still see the full
+// path in Request.Path.
 func (s *Server) route(path string) (Handler, bool) {
+	if i := strings.IndexByte(path, '?'); i >= 0 {
+		path = path[:i]
+	}
 	if h, ok := s.routes[path]; ok {
 		return h, true
 	}
@@ -205,14 +216,21 @@ func (s *Server) Run() core.IO[core.Unit] {
 // serveConn handles one connection under the request timeout and
 // guarantees the socket is closed.
 func (s *Server) serveConn(c *iomgr.Conn) core.IO[core.Unit] {
-	work := core.Bind(core.Timeout(s.cfg.RequestTimeout, s.serveRequest(c)),
-		func(r core.Maybe[core.Unit]) core.IO[core.Unit] {
-			if r.IsJust {
+	work := core.Bind(core.TryTimeout(s.cfg.RequestTimeout, s.serveRequest(c)),
+		func(r core.TimeoutResult[core.Unit]) core.IO[core.Unit] {
+			switch {
+			case r.Expired:
+				s.Stats.TimedOut.Add(1)
+				// Best-effort 503; the client may already be gone.
+				return core.Void(core.Try(writeResponse(c, Text(503, "request timed out\n"))))
+			case r.Exc != nil:
+				// Read/write failure, not a timeout: the connection is
+				// beyond apology, so just count it.
+				s.Stats.Errors.Add(1)
+				return core.Return(core.UnitValue)
+			default:
 				return core.Return(core.UnitValue)
 			}
-			s.Stats.TimedOut.Add(1)
-			// Best-effort 503; the client may already be gone.
-			return core.Void(core.Try(writeResponse(c, Text(503, "request timed out\n"))))
 		})
 	guarded := core.Catch(work, func(e core.Exception) core.IO[core.Unit] {
 		s.Stats.Errors.Add(1)
@@ -312,6 +330,8 @@ func statusText(code int) string {
 		return "Internal Server Error"
 	case 503:
 		return "Service Unavailable"
+	case 504:
+		return "Gateway Timeout"
 	default:
 		return "Status"
 	}

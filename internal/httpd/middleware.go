@@ -70,11 +70,17 @@ func WithHeader(key, value string) Middleware {
 func HandlerTimeout(d time.Duration) Middleware {
 	return func(next Handler) Handler {
 		return func(r Request) core.IO[Response] {
-			return core.Bind(core.Timeout(d, next(r)), func(res core.Maybe[Response]) core.IO[Response] {
-				if res.IsJust {
+			return core.Bind(core.TryTimeout(d, next(r)), func(res core.TimeoutResult[Response]) core.IO[Response] {
+				switch {
+				case res.Expired:
+					return core.Return(Text(503, "handler timed out\n"))
+				case res.Exc != nil:
+					// A handler crash is not a timeout: re-raise so the
+					// server's 500 path (and supervision) sees it.
+					return core.Throw[Response](res.Exc)
+				default:
 					return core.Return(res.Value)
 				}
-				return core.Return(Text(503, "handler timed out\n"))
 			})
 		}
 	}

@@ -148,13 +148,19 @@ func (s *Server) acceptSupervised(connQ conc.Chan[*iomgr.Conn], conns *supervise
 // re-raised after its 500 so the supervision tree records it; alerts
 // (the request timeout reaping us) stay non-fatal to the accounting.
 func (s *Server) serveConnSupervised(c *iomgr.Conn) core.IO[core.Unit] {
-	work := core.Bind(core.Timeout(s.cfg.RequestTimeout, s.serveRequestMode(c, true)),
-		func(r core.Maybe[core.Unit]) core.IO[core.Unit] {
-			if r.IsJust {
+	work := core.Bind(core.TryTimeout(s.cfg.RequestTimeout, s.serveRequestMode(c, true)),
+		func(r core.TimeoutResult[core.Unit]) core.IO[core.Unit] {
+			switch {
+			case r.Expired:
+				s.Stats.TimedOut.Add(1)
+				return core.Void(core.Try(writeResponse(c, Text(503, "request timed out\n"))))
+			case r.Exc != nil:
+				// Re-raise so the guard below decides whether the
+				// supervisor should hear about it.
+				return core.Throw[core.Unit](r.Exc)
+			default:
 				return core.Return(core.UnitValue)
 			}
-			s.Stats.TimedOut.Add(1)
-			return core.Void(core.Try(writeResponse(c, Text(503, "request timed out\n"))))
 		})
 	guarded := core.Catch(work, func(e core.Exception) core.IO[core.Unit] {
 		s.Stats.Errors.Add(1)

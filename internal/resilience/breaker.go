@@ -1,0 +1,275 @@
+package resilience
+
+import (
+	"time"
+
+	"asyncexc/internal/core"
+	"asyncexc/internal/exc"
+	"asyncexc/internal/sched"
+)
+
+// BreakerMode is a circuit breaker's admission state.
+type BreakerMode int
+
+const (
+	// Closed admits everything; failures accumulate in the window.
+	Closed BreakerMode = iota
+	// Open rejects everything until the cooldown elapses.
+	Open
+	// HalfOpen admits a limited number of probes; their fate decides
+	// whether the breaker recloses or reopens.
+	HalfOpen
+)
+
+// String renders the mode for logs and /stats.
+func (m BreakerMode) String() string {
+	switch m {
+	case Open:
+		return "open"
+	case HalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+// BreakerConfig configures a Breaker. Zero fields take the documented
+// defaults.
+type BreakerConfig struct {
+	// Name labels the breaker in errors and stats.
+	Name string
+	// FailureThreshold is how many classified failures within Window
+	// trip the breaker (default 5).
+	FailureThreshold int
+	// Window is the sliding interval, on the virtual clock, over which
+	// failures count (default 10s).
+	Window time.Duration
+	// Cooldown is how long an open breaker waits before letting probes
+	// through (default 5s).
+	Cooldown time.Duration
+	// HalfOpenProbes is both the probe concurrency limit and the number
+	// of consecutive probe successes required to reclose (default 1).
+	HalfOpenProbes int
+	// Classify decides which exceptions count as failures; Cancelled
+	// outcomes never do. nil means DefaultClassify.
+	Classify Classifier
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.FailureThreshold < 1 {
+		c.FailureThreshold = 5
+	}
+	if c.Window <= 0 {
+		c.Window = 10 * time.Second
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 5 * time.Second
+	}
+	if c.HalfOpenProbes < 1 {
+		c.HalfOpenProbes = 1
+	}
+	if c.Classify == nil {
+		c.Classify = DefaultClassify
+	}
+	return c
+}
+
+// breakerState is the MVar-guarded state machine.
+type breakerState struct {
+	mode BreakerMode
+	// failures holds the core.Now instants of window-relevant failures
+	// (pruned against Window on every update).
+	failures []int64
+	// openedAt is when the breaker last tripped.
+	openedAt int64
+	// probes is the number of half-open probes currently in flight.
+	probes int
+	// successes counts consecutive half-open probe successes.
+	successes int
+	// trips counts closed/half-open → open transitions, for snapshots.
+	trips uint64
+}
+
+// Breaker is a circuit breaker: it watches the failures of the
+// operations run through Guard and, once too many cluster inside the
+// sliding window, fails fast for a cooldown instead of piling more load
+// onto a struggling dependency. All state lives in one MVar — the
+// paper's only synchronisation primitive — and all times are virtual.
+type Breaker struct {
+	cfg   BreakerConfig
+	state core.MVar[breakerState]
+}
+
+// NewBreaker creates a closed breaker.
+func NewBreaker(cfg BreakerConfig) core.IO[*Breaker] {
+	cfg = cfg.withDefaults()
+	return core.Map(core.NewMVar(breakerState{}), func(st core.MVar[breakerState]) *Breaker {
+		return &Breaker{cfg: cfg, state: st}
+	})
+}
+
+// BreakerSnapshot is an observation of a breaker for /stats and tests.
+type BreakerSnapshot struct {
+	// Name echoes the config.
+	Name string
+	// Mode is the admission state at snapshot time.
+	Mode BreakerMode
+	// WindowFailures is the number of failures currently in the window.
+	WindowFailures int
+	// Trips counts transitions to Open since creation.
+	Trips uint64
+}
+
+// Snapshot observes the breaker, first rotating Open→HalfOpen if the
+// cooldown has elapsed (so the reported mode is what an arrival would
+// actually see).
+func (b *Breaker) Snapshot() core.IO[BreakerSnapshot] {
+	return core.Bind(core.Now(), func(now int64) core.IO[BreakerSnapshot] {
+		return core.Bind(core.Read(b.state), func(st breakerState) core.IO[BreakerSnapshot] {
+			mode := st.mode
+			if mode == Open && now-st.openedAt >= b.cfg.Cooldown.Nanoseconds() {
+				mode = HalfOpen
+			}
+			return core.Return(BreakerSnapshot{
+				Name:           b.cfg.Name,
+				Mode:           mode,
+				WindowFailures: len(b.pruned(st.failures, now)),
+				Trips:          st.trips,
+			})
+		})
+	})
+}
+
+func (b *Breaker) pruned(failures []int64, now int64) []int64 {
+	cut := now - b.cfg.Window.Nanoseconds()
+	i := 0
+	for i < len(failures) && failures[i] <= cut {
+		i++
+	}
+	return failures[i:]
+}
+
+func noteBreakerOpen() core.IO[core.Unit] {
+	return core.FromNode[core.Unit](sched.NoteBreakerOpen())
+}
+
+// admit decides whether a Guard call may proceed; true means it holds
+// an admission (a probe slot, in half-open) that settle must release.
+func (b *Breaker) admit() core.IO[bool] {
+	return core.Bind(core.Now(), func(now int64) core.IO[bool] {
+		return core.ModifyMVarValue(b.state, func(st breakerState) core.IO[core.Pair[breakerState, bool]] {
+			st.failures = b.pruned(st.failures, now)
+			switch st.mode {
+			case Open:
+				if now-st.openedAt < b.cfg.Cooldown.Nanoseconds() {
+					return core.Return(core.MkPair(st, false))
+				}
+				// Cooldown over: become half-open and take the first
+				// probe slot ourselves.
+				st.mode = HalfOpen
+				st.probes = 1
+				st.successes = 0
+				return core.Return(core.MkPair(st, true))
+			case HalfOpen:
+				if st.probes >= b.cfg.HalfOpenProbes {
+					return core.Return(core.MkPair(st, false))
+				}
+				st.probes++
+				return core.Return(core.MkPair(st, true))
+			default:
+				return core.Return(core.MkPair(st, true))
+			}
+		})
+	})
+}
+
+// settleOutcome tells settle how the admitted operation ended.
+type settleOutcome int
+
+const (
+	settleOK settleOutcome = iota
+	settleFailure
+	settleCancelled
+)
+
+// settle updates the state machine after an admitted operation. It runs
+// under BlockUninterruptible for the same reason qsem.Signal does: an
+// asynchronous exception interrupting the bookkeeping would leak a
+// half-open probe slot and wedge the breaker half-open forever.
+func (b *Breaker) settle(out settleOutcome) core.IO[core.Unit] {
+	return core.BlockUninterruptible(core.Bind(core.Now(), func(now int64) core.IO[core.Unit] {
+		// ModifyMVarUninterruptible: plain ModifyMVar would unblock the
+		// state transition, letting a second kill abort it after the
+		// take — leaking the probe slot this mask exists to protect.
+		return core.ModifyMVarUninterruptible(b.state, func(st breakerState) core.IO[breakerState] {
+			st.failures = b.pruned(st.failures, now)
+			trip := false
+			switch st.mode {
+			case HalfOpen:
+				if st.probes > 0 {
+					st.probes--
+				}
+				switch out {
+				case settleOK:
+					st.successes++
+					if st.successes >= b.cfg.HalfOpenProbes {
+						// The dependency is back: reclose clean.
+						st = breakerState{mode: Closed, trips: st.trips}
+					}
+				case settleFailure:
+					// A probe failed: reopen and restart the cooldown.
+					st.mode = Open
+					st.openedAt = now
+					st.failures = nil
+					st.successes = 0
+					trip = true
+				case settleCancelled:
+					// The probe was cancelled, not refuted: just release
+					// the slot so the next arrival probes again.
+				}
+			case Closed:
+				if out == settleFailure {
+					st.failures = append(st.failures, now)
+					if len(st.failures) >= b.cfg.FailureThreshold {
+						st.mode = Open
+						st.openedAt = now
+						st.failures = nil
+						st.successes = 0
+						trip = true
+					}
+				}
+			case Open:
+				// A straggler admitted before the trip: nothing to do.
+			}
+			if trip {
+				st.trips++
+				return core.Then(noteBreakerOpen(), core.Return(st))
+			}
+			return core.Return(st)
+		})
+	}))
+}
+
+// Guard runs m under the breaker: fast-fails with BreakerOpenError when
+// the breaker rejects, otherwise runs m and records its fate. An
+// exception classified Cancelled — an asynchronous kill passing through
+// — releases the admission without counting a failure: cancellation is
+// the caller's verdict on the caller, not on the dependency.
+func Guard[A any](b *Breaker, m core.IO[A]) core.IO[A] {
+	return core.Block(core.Bind(b.admit(), func(ok bool) core.IO[A] {
+		if !ok {
+			return core.Throw[A](BreakerOpenError{Name: b.cfg.Name})
+		}
+		return core.Bind(
+			core.Catch(core.Unblock(m), func(e exc.Exception) core.IO[A] {
+				out := settleFailure
+				if b.cfg.Classify(e) == Cancelled {
+					out = settleCancelled
+				}
+				return core.Then(b.settle(out), core.Throw[A](e))
+			}),
+			func(v A) core.IO[A] {
+				return core.Then(b.settle(settleOK), core.Return(v))
+			})
+	}))
+}

@@ -1,0 +1,181 @@
+package resilience_test
+
+import (
+	"testing"
+	"time"
+
+	"asyncexc/internal/core"
+	"asyncexc/internal/exc"
+	"asyncexc/internal/resilience"
+)
+
+func testBreakerCfg() resilience.BreakerConfig {
+	return resilience.BreakerConfig{
+		Name:             "upstream",
+		FailureThreshold: 3,
+		Window:           time.Second,
+		Cooldown:         time.Second,
+	}
+}
+
+func failing() core.IO[string] { return core.Throw[string](exc.ErrorCall{Msg: "upstream down"}) }
+
+// guardTry runs one guarded op and reifies the outcome.
+func guardTry(b *resilience.Breaker, op core.IO[string]) core.IO[core.Attempt[string]] {
+	return core.Try(resilience.Guard(b, op))
+}
+
+func TestBreakerTripsAfterThresholdAndFastFails(t *testing.T) {
+	sys := core.NewSystem(core.DefaultOptions())
+	ran := 0
+	op := core.Delay(func() core.IO[string] { ran++; return failing() })
+	prog := core.Bind(resilience.NewBreaker(testBreakerCfg()), func(b *resilience.Breaker) core.IO[string] {
+		three := core.Seq(
+			core.Void(guardTry(b, op)), core.Void(guardTry(b, op)), core.Void(guardTry(b, op)))
+		return core.Then(three,
+			core.Bind(guardTry(b, op), func(r core.Attempt[string]) core.IO[string] {
+				if !r.Failed() || !r.Exc.Eq(resilience.BreakerOpenError{Name: "upstream"}) {
+					return core.Return("no fast fail")
+				}
+				return core.Map(b.Snapshot(), func(s resilience.BreakerSnapshot) string {
+					if s.Mode != resilience.Open || s.Trips != 1 {
+						return "wrong state"
+					}
+					return "tripped"
+				})
+			}))
+	})
+	v, e, err := core.RunSystem(sys, prog)
+	if err != nil || e != nil {
+		t.Fatalf("run: %v %v", err, e)
+	}
+	if v != "tripped" {
+		t.Fatalf("got %q", v)
+	}
+	if ran != 3 {
+		t.Fatalf("op ran %d times, want 3 (4th call must not reach it)", ran)
+	}
+	if st := sys.Stats(); st.BreakerOpen != 1 {
+		t.Fatalf("BreakerOpen = %d, want 1", st.BreakerOpen)
+	}
+}
+
+// TestBreakerReclosesAfterCooldown: once faults stop, a cooldown and a
+// successful probe bring the breaker back to closed — the soak's
+// "breakers always reclose" invariant in miniature.
+func TestBreakerReclosesAfterCooldown(t *testing.T) {
+	prog := core.Bind(resilience.NewBreaker(testBreakerCfg()), func(b *resilience.Breaker) core.IO[string] {
+		trip := core.Seq(
+			core.Void(guardTry(b, failing())), core.Void(guardTry(b, failing())), core.Void(guardTry(b, failing())))
+		return core.Then(trip,
+			core.Then(core.Sleep(1100*time.Millisecond), // past cooldown
+				core.Bind(guardTry(b, core.Return("recovered")), func(r core.Attempt[string]) core.IO[string] {
+					if r.Failed() {
+						return core.Return("probe rejected: " + r.Exc.String())
+					}
+					return core.Map(b.Snapshot(), func(s resilience.BreakerSnapshot) string {
+						if s.Mode != resilience.Closed {
+							return "did not reclose: " + s.Mode.String()
+						}
+						return "reclosed"
+					})
+				})))
+	})
+	mustValue(t, prog, "reclosed")
+}
+
+func TestBreakerProbeFailureReopens(t *testing.T) {
+	sys := core.NewSystem(core.DefaultOptions())
+	prog := core.Bind(resilience.NewBreaker(testBreakerCfg()), func(b *resilience.Breaker) core.IO[string] {
+		trip := core.Seq(
+			core.Void(guardTry(b, failing())), core.Void(guardTry(b, failing())), core.Void(guardTry(b, failing())))
+		return core.Then(trip,
+			core.Then(core.Sleep(1100*time.Millisecond),
+				core.Then(core.Void(guardTry(b, failing())), // failed probe
+					core.Bind(guardTry(b, core.Return("x")), func(r core.Attempt[string]) core.IO[string] {
+						if !r.Failed() || !r.Exc.Eq(resilience.BreakerOpenError{Name: "upstream"}) {
+							return core.Return("probe failure did not reopen")
+						}
+						return core.Return("reopened")
+					}))))
+	})
+	v, e, err := core.RunSystem(sys, prog)
+	if err != nil || e != nil {
+		t.Fatalf("run: %v %v", err, e)
+	}
+	if v != "reopened" {
+		t.Fatalf("got %q", v)
+	}
+	if st := sys.Stats(); st.BreakerOpen != 2 {
+		t.Fatalf("BreakerOpen = %d, want 2 (trip + reopen)", st.BreakerOpen)
+	}
+}
+
+// TestBreakerHalfOpenLimitsProbes: with one probe slot, a second
+// arrival during the probe fast-fails instead of joining it.
+func TestBreakerHalfOpenLimitsProbes(t *testing.T) {
+	prog := core.Bind(resilience.NewBreaker(testBreakerCfg()), func(b *resilience.Breaker) core.IO[string] {
+		trip := core.Seq(
+			core.Void(guardTry(b, failing())), core.Void(guardTry(b, failing())), core.Void(guardTry(b, failing())))
+		slowProbe := core.Then(core.Sleep(100*time.Millisecond), core.Return("slow ok"))
+		return core.Then(trip,
+			core.Then(core.Sleep(1100*time.Millisecond),
+				core.Bind(core.Fork(core.Void(resilience.Guard(b, slowProbe))), func(core.ThreadID) core.IO[string] {
+					// Let the probe start, then try to enter ourselves.
+					return core.Then(core.Sleep(10*time.Millisecond),
+						core.Bind(guardTry(b, core.Return("me too")), func(r core.Attempt[string]) core.IO[string] {
+							if !r.Failed() || !r.Exc.Eq(resilience.BreakerOpenError{Name: "upstream"}) {
+								return core.Return("second probe admitted")
+							}
+							return core.Return("limited")
+						}))
+				})))
+	})
+	mustValue(t, prog, "limited")
+}
+
+// TestBreakerCancelledNotAFailure: killing a guarded operation must not
+// charge the breaker — and in half-open it must release the probe slot
+// so the breaker cannot wedge.
+func TestBreakerCancelledNotAFailure(t *testing.T) {
+	prog := core.Bind(resilience.NewBreaker(testBreakerCfg()), func(b *resilience.Breaker) core.IO[string] {
+		slow := core.Then(core.Sleep(time.Hour), core.Return("never"))
+		killOne := core.Bind(core.Fork(core.Void(resilience.Guard(b, slow))), func(tid core.ThreadID) core.IO[core.Unit] {
+			return core.Then(core.Sleep(time.Millisecond), core.KillThread(tid))
+		})
+		// Kill enough in-flight guarded ops to cross the threshold if
+		// cancellations counted as failures.
+		kills := core.Seq(killOne, killOne, killOne, killOne)
+		return core.Then(kills,
+			core.Then(core.Sleep(10*time.Millisecond),
+				core.Bind(b.Snapshot(), func(s resilience.BreakerSnapshot) core.IO[string] {
+					if s.Mode != resilience.Closed || s.WindowFailures != 0 {
+						return core.Return("cancellations charged the breaker")
+					}
+					return core.Bind(guardTry(b, core.Return("fine")), func(r core.Attempt[string]) core.IO[string] {
+						if r.Failed() {
+							return core.Return("breaker wedged")
+						}
+						return core.Return("unaffected")
+					})
+				})))
+	})
+	mustValue(t, prog, "unaffected")
+}
+
+// TestBreakerWindowSlides: failures older than the window stop
+// counting, so slow-dripping failures never trip the breaker.
+func TestBreakerWindowSlides(t *testing.T) {
+	prog := core.Bind(resilience.NewBreaker(testBreakerCfg()), func(b *resilience.Breaker) core.IO[string] {
+		drip := core.Then(core.Void(guardTry(b, failing())), core.Sleep(600*time.Millisecond))
+		// Five failures 600ms apart: never three inside any 1s window.
+		return core.Then(core.Seq(drip, drip, drip, drip, drip),
+			core.Map(b.Snapshot(), func(s resilience.BreakerSnapshot) string {
+				if s.Mode != resilience.Closed || s.Trips != 0 {
+					return "tripped on stale failures"
+				}
+				return "closed"
+			}))
+	})
+	mustValue(t, prog, "closed")
+}

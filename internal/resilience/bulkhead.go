@@ -1,0 +1,114 @@
+package resilience
+
+import (
+	"asyncexc/internal/conc"
+	"asyncexc/internal/core"
+	"asyncexc/internal/sched"
+)
+
+// BulkheadConfig configures a Bulkhead.
+type BulkheadConfig struct {
+	// Name labels the bulkhead in errors and stats.
+	Name string
+	// Capacity is the number of operations allowed in flight at once
+	// (minimum 1).
+	Capacity int
+	// MaxWaiting bounds how many operations may queue behind a full
+	// bulkhead; an arrival beyond this is shed with BulkheadFullError
+	// instead of waiting. 0 means shed immediately when full.
+	MaxWaiting int
+}
+
+// Bulkhead is the ship-compartment pattern: a conc.QSemN caps how much
+// of one kind of work can be in flight, with a bounded wait queue in
+// front. When both the capacity and the queue are full, Enter sheds —
+// failing fast is the whole point; an unbounded queue would just move
+// the outage into memory.
+type Bulkhead struct {
+	cfg     BulkheadConfig
+	sem     conc.QSemN
+	waiting core.MVar[int]
+}
+
+// NewBulkhead creates an empty bulkhead.
+func NewBulkhead(cfg BulkheadConfig) core.IO[*Bulkhead] {
+	if cfg.Capacity < 1 {
+		cfg.Capacity = 1
+	}
+	if cfg.MaxWaiting < 0 {
+		cfg.MaxWaiting = 0
+	}
+	return core.Bind(conc.NewQSemN(cfg.Capacity), func(sem conc.QSemN) core.IO[*Bulkhead] {
+		return core.Map(core.NewMVar(0), func(w core.MVar[int]) *Bulkhead {
+			return &Bulkhead{cfg: cfg, sem: sem, waiting: w}
+		})
+	})
+}
+
+// InFlight returns the number of units currently held.
+func (b *Bulkhead) InFlight() core.IO[int] {
+	return core.Map(b.sem.Available(), func(free int) int {
+		return b.cfg.Capacity - free
+	})
+}
+
+// Waiting returns the number of queued entrants.
+func (b *Bulkhead) Waiting() core.IO[int] {
+	return core.Read(b.waiting)
+}
+
+func noteShed() core.IO[core.Unit] {
+	return core.FromNode[core.Unit](sched.NoteShed())
+}
+
+// acquire obtains one unit: the TryWait fast path when the compartment
+// has room, otherwise a bounded wait — or a shed once MaxWaiting
+// entrants are already queued. Runs inside Enter's Block; the
+// semaphore's own Wait is the interruptible point, and its exception
+// path (plus the Finally on the waiting gauge) keeps capacity and the
+// gauge exact under cancellation.
+func (b *Bulkhead) acquire() core.IO[core.Unit] {
+	return core.Bind(b.sem.TryWait(1), func(ok bool) core.IO[core.Unit] {
+		if ok {
+			return core.Return(core.UnitValue)
+		}
+		joinQueue := core.ModifyMVarValue(b.waiting, func(n int) core.IO[core.Pair[int, bool]] {
+			if n >= b.cfg.MaxWaiting {
+				return core.Return(core.MkPair(n, false))
+			}
+			return core.Return(core.MkPair(n+1, true))
+		})
+		// ModifyMVarUninterruptible, not BlockUninterruptible(ModifyMVar):
+		// plain ModifyMVar unblocks its compute, and a kill landing in
+		// that window restores the old count — the decrement would be
+		// lost and the gauge would leak.
+		leaveQueue := core.ModifyMVarUninterruptible(b.waiting,
+			func(n int) core.IO[int] { return core.Return(n - 1) })
+		return core.Bind(joinQueue, func(admitted bool) core.IO[core.Unit] {
+			if !admitted {
+				return core.Then(noteShed(), core.Throw[core.Unit](BulkheadFullError{Name: b.cfg.Name}))
+			}
+			// Not Finally: Finally would Unblock its body, opening an
+			// interruptible window after Wait hands us the unit but
+			// before Enter's bracket owns it — a kill there would leak
+			// capacity. A plain Catch keeps Enter's Block in force, so
+			// the only interruption point is the Wait itself (whose
+			// exception path returns the unit).
+			return core.Then(
+				core.Catch(b.sem.Wait(1), func(e core.Exception) core.IO[core.Unit] {
+					return core.Then(leaveQueue, core.Throw[core.Unit](e))
+				}),
+				leaveQueue)
+		})
+	})
+}
+
+// Enter runs m inside the bulkhead: it acquires a unit (waiting only if
+// the bounded queue has room), runs m, and releases the unit whether m
+// returns, raises, or is asynchronously killed. A shed raises
+// BulkheadFullError without running m at all.
+func Enter[A any](b *Bulkhead, m core.IO[A]) core.IO[A] {
+	return core.Bracket(b.acquire(),
+		func(core.Unit) core.IO[A] { return m },
+		func(core.Unit) core.IO[core.Unit] { return b.sem.Signal(1) })
+}

@@ -1,0 +1,156 @@
+package resilience_test
+
+import (
+	"testing"
+	"time"
+
+	"asyncexc/internal/conc"
+	"asyncexc/internal/core"
+	"asyncexc/internal/exc"
+	"asyncexc/internal/resilience"
+)
+
+func TestBulkheadCapsConcurrency(t *testing.T) {
+	const workers = 8
+	inFlight, peak := 0, 0
+	prog := core.Bind(resilience.NewBulkhead(resilience.BulkheadConfig{Name: "db", Capacity: 2, MaxWaiting: workers}), func(b *resilience.Bulkhead) core.IO[int] {
+		return core.Bind(conc.NewQSemN(0), func(done conc.QSemN) core.IO[int] {
+			body := core.Bracket(
+				core.Lift(func() core.Unit {
+					inFlight++
+					if inFlight > peak {
+						peak = inFlight
+					}
+					return core.UnitValue
+				}),
+				func(core.Unit) core.IO[core.Unit] { return core.Sleep(10 * time.Millisecond) },
+				func(core.Unit) core.IO[core.Unit] {
+					return core.Lift(func() core.Unit { inFlight--; return core.UnitValue })
+				})
+			spawn := core.ForM_(make([]struct{}, workers), func(struct{}) core.IO[core.Unit] {
+				return core.Void(core.Fork(core.Finally(resilience.Enter(b, body), done.Signal(1))))
+			})
+			return core.Then(spawn, core.Then(done.Wait(workers),
+				core.Lift(func() int { return peak })))
+		})
+	})
+	v, e, err := core.Run(prog)
+	if err != nil || e != nil {
+		t.Fatalf("run: %v %v", err, e)
+	}
+	if v != 2 {
+		t.Fatalf("peak concurrency %d, want 2", v)
+	}
+}
+
+// TestBulkheadShedsPastWaitBound: capacity 1, one waiter allowed — the
+// third arrival is shed with BulkheadFullError and counted in
+// Stats.Shed, instead of growing the queue.
+func TestBulkheadShedsPastWaitBound(t *testing.T) {
+	sys := core.NewSystem(core.DefaultOptions())
+	prog := core.Bind(resilience.NewBulkhead(resilience.BulkheadConfig{Name: "db", Capacity: 1, MaxWaiting: 1}), func(b *resilience.Bulkhead) core.IO[string] {
+		hold := resilience.Enter(b, core.Then(core.Sleep(100*time.Millisecond), core.Return(core.UnitValue)))
+		return core.Bind(core.Fork(core.Void(hold)), func(core.ThreadID) core.IO[string] {
+			return core.Bind(core.Fork(core.Void(hold)), func(core.ThreadID) core.IO[string] {
+				// Let both predecessors reach their slots/queue.
+				return core.Then(core.Sleep(5*time.Millisecond),
+					core.Bind(core.Try(resilience.Enter(b, core.Return("ran"))), func(r core.Attempt[string]) core.IO[string] {
+						if !r.Failed() || !r.Exc.Eq(resilience.BulkheadFullError{Name: "db"}) {
+							return core.Return("not shed")
+						}
+						return core.Bind(b.Waiting(), func(w int) core.IO[string] {
+							if w != 1 {
+								return core.Return("queue grew")
+							}
+							return core.Return("shed")
+						})
+					}))
+			})
+		})
+	})
+	v, e, err := core.RunSystem(sys, prog)
+	if err != nil || e != nil {
+		t.Fatalf("run: %v %v", err, e)
+	}
+	if v != "shed" {
+		t.Fatalf("got %q", v)
+	}
+	if st := sys.Stats(); st.Shed != 1 {
+		t.Fatalf("Shed = %d, want 1", st.Shed)
+	}
+}
+
+// TestBulkheadCapacityConservedUnderKill: killing both a holder and a
+// queued waiter must leak nothing — afterwards the full capacity is
+// free and the wait gauge is zero. This is the soak's "semaphore
+// capacity conserved under shedding" invariant at unit-test scale.
+func TestBulkheadCapacityConservedUnderKill(t *testing.T) {
+	prog := core.Bind(resilience.NewBulkhead(resilience.BulkheadConfig{Name: "db", Capacity: 1, MaxWaiting: 2}), func(b *resilience.Bulkhead) core.IO[string] {
+		hold := resilience.Enter(b, core.Then(core.Sleep(time.Hour), core.Return(core.UnitValue)))
+		return core.Bind(core.Fork(core.Void(hold)), func(holder core.ThreadID) core.IO[string] {
+			return core.Bind(core.Fork(core.Void(hold)), func(waiter core.ThreadID) core.IO[string] {
+				return core.Then(core.Sleep(5*time.Millisecond),
+					core.Then(core.KillThread(waiter),
+						core.Then(core.Sleep(5*time.Millisecond),
+							core.Then(core.KillThread(holder),
+								core.Then(core.Sleep(5*time.Millisecond),
+									core.Bind(b.InFlight(), func(inf int) core.IO[string] {
+										return core.Bind(b.Waiting(), func(w int) core.IO[string] {
+											if inf != 0 || w != 0 {
+												return core.Return("leaked")
+											}
+											// The compartment must be fully usable again.
+											return resilience.Enter(b, core.Return("recovered"))
+										})
+									}))))))
+			})
+		})
+	})
+	mustValue(t, prog, "recovered")
+}
+
+// TestBulkheadWaiterServedOnRelease: a queued entrant runs once the
+// holder releases, FIFO through the semaphore.
+func TestBulkheadWaiterServedOnRelease(t *testing.T) {
+	prog := core.Bind(resilience.NewBulkhead(resilience.BulkheadConfig{Name: "db", Capacity: 1, MaxWaiting: 1}), func(b *resilience.Bulkhead) core.IO[string] {
+		return core.Bind(core.NewEmptyMVar[string](), func(res core.MVar[string]) core.IO[string] {
+			holder := resilience.Enter(b, core.Sleep(20*time.Millisecond))
+			waiter := core.Bind(resilience.Enter(b, core.Return("served")), func(s string) core.IO[core.Unit] {
+				return core.Put(res, s)
+			})
+			return core.Bind(core.Fork(core.Void(holder)), func(core.ThreadID) core.IO[string] {
+				return core.Then(core.Sleep(time.Millisecond),
+					core.Bind(core.Fork(waiter), func(core.ThreadID) core.IO[string] {
+						return core.Take(res)
+					}))
+			})
+		})
+	})
+	mustValue(t, prog, "served")
+}
+
+// TestComposedPolicyStack runs the doc-comment composition end to end:
+// deadline around retry around breaker around bulkhead, with a flaky
+// upstream that recovers — the retry should absorb the transient
+// failures and the stack should return the value in budget.
+func TestComposedPolicyStack(t *testing.T) {
+	calls := 0
+	prog := core.Bind(resilience.NewBreaker(resilience.BreakerConfig{Name: "up", FailureThreshold: 10, Window: time.Second, Cooldown: time.Second}), func(br *resilience.Breaker) core.IO[string] {
+		return core.Bind(resilience.NewBulkhead(resilience.BulkheadConfig{Name: "up", Capacity: 2, MaxWaiting: 2}), func(bh *resilience.Bulkhead) core.IO[string] {
+			upstream := core.Delay(func() core.IO[string] {
+				calls++
+				if calls < 3 {
+					return core.Throw[string](exc.ErrorCall{Msg: "flaky"})
+				}
+				return core.Return("answer")
+			})
+			return resilience.WithDeadline(resilience.NoDeadline(), time.Second, func(d resilience.Deadline) core.IO[string] {
+				p := resilience.RetryPolicy{MaxAttempts: 5, BaseDelay: 10 * time.Millisecond, Jitter: 0.2, Seed: 42}
+				return resilience.Retry(p, d, func(int) core.IO[string] {
+					return resilience.Guard(br, resilience.Enter(bh, upstream))
+				})
+			})
+		})
+	})
+	mustValue(t, prog, "answer")
+}

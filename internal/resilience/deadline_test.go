@@ -1,0 +1,134 @@
+package resilience_test
+
+import (
+	"testing"
+	"time"
+
+	"asyncexc/internal/core"
+	"asyncexc/internal/exc"
+	"asyncexc/internal/resilience"
+)
+
+func mustValue[A comparable](t *testing.T, m core.IO[A], want A) {
+	t.Helper()
+	v, e, err := core.Run(m)
+	if err != nil || e != nil {
+		t.Fatalf("run: %v %v", err, e)
+	}
+	if v != want {
+		t.Fatalf("got %v, want %v", v, want)
+	}
+}
+
+func TestWithDeadlineCompletes(t *testing.T) {
+	m := resilience.WithDeadline(resilience.NoDeadline(), time.Second, func(resilience.Deadline) core.IO[int] {
+		return core.Then(core.Sleep(10*time.Millisecond), core.Return(7))
+	})
+	mustValue(t, m, 7)
+}
+
+func TestWithDeadlineExpires(t *testing.T) {
+	sys := core.NewSystem(core.DefaultOptions())
+	m := resilience.WithDeadline(resilience.NoDeadline(), 10*time.Millisecond, func(resilience.Deadline) core.IO[int] {
+		return core.Then(core.Sleep(time.Hour), core.Return(7))
+	})
+	_, e, err := core.RunSystem(sys, m)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if e == nil || !e.Eq(resilience.ErrDeadlineExceeded) {
+		t.Fatalf("want ErrDeadlineExceeded, got %v", e)
+	}
+	if st := sys.Stats(); st.DeadlineExpired != 1 {
+		t.Fatalf("DeadlineExpired = %d, want 1", st.DeadlineExpired)
+	}
+}
+
+// TestWithDeadlineInnerClampedToOuter: a nested deadline asking for
+// more time than its parent has left gets the parent's expiry, so the
+// whole stack obeys the outermost budget.
+func TestWithDeadlineInnerClampedToOuter(t *testing.T) {
+	m := core.Bind(core.Now(), func(start int64) core.IO[string] {
+		outer := resilience.WithDeadline(resilience.NoDeadline(), 50*time.Millisecond, func(d resilience.Deadline) core.IO[string] {
+			// The inner layer wants an hour; it must not get it.
+			return resilience.WithDeadline(d, time.Hour, func(inner resilience.Deadline) core.IO[string] {
+				if inner.ExpiresAt != d.ExpiresAt {
+					return core.Return("child deadline not clamped")
+				}
+				return core.Then(core.Sleep(time.Hour), core.Return("survived"))
+			})
+		})
+		return core.Bind(core.Try(outer), func(r core.Attempt[string]) core.IO[string] {
+			if !r.Failed() {
+				return core.Return("late: " + r.Value)
+			}
+			if !r.Exc.Eq(resilience.ErrDeadlineExceeded) {
+				return core.Return("wrong exception")
+			}
+			return core.Map(core.Now(), func(end int64) string {
+				if got := time.Duration(end - start); got > 55*time.Millisecond {
+					return "outer budget overrun"
+				}
+				return "clamped"
+			})
+		})
+	})
+	mustValue(t, m, "clamped")
+}
+
+func TestWithDeadlineSpentParentFailsFast(t *testing.T) {
+	ran := false
+	m := resilience.WithDeadline(resilience.NoDeadline(), 5*time.Millisecond, func(d resilience.Deadline) core.IO[int] {
+		return core.Then(core.Sleep(time.Hour), // outlive the outer budget
+			resilience.WithDeadline(d, time.Second, func(resilience.Deadline) core.IO[int] {
+				ran = true
+				return core.Return(1)
+			}))
+	})
+	_, e, err := core.Run(m)
+	if err != nil || e == nil || !e.Eq(resilience.ErrDeadlineExceeded) {
+		t.Fatalf("run: %v %v", err, e)
+	}
+	if ran {
+		t.Fatal("body ran under a spent deadline")
+	}
+}
+
+// TestWithDeadlineBodyFailurePassesThrough: the deadline layer must not
+// re-label genuine failures as expiry.
+func TestWithDeadlineBodyFailurePassesThrough(t *testing.T) {
+	sys := core.NewSystem(core.DefaultOptions())
+	m := resilience.WithDeadline(resilience.NoDeadline(), time.Second, func(resilience.Deadline) core.IO[int] {
+		return core.Throw[int](exc.ErrorCall{Msg: "boom"})
+	})
+	_, e, err := core.RunSystem(sys, m)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if e == nil || !e.Eq(exc.ErrorCall{Msg: "boom"}) {
+		t.Fatalf("want ErrorCall, got %v", e)
+	}
+	if st := sys.Stats(); st.DeadlineExpired != 0 {
+		t.Fatalf("DeadlineExpired = %d, want 0", st.DeadlineExpired)
+	}
+}
+
+// TestWithDeadlineCleanupRuns: expiry cancels the body via throwTo, so
+// its Finally cleanups execute before the deadline error surfaces.
+func TestWithDeadlineCleanupRuns(t *testing.T) {
+	cleaned := false
+	body := resilience.WithDeadline(resilience.NoDeadline(), 10*time.Millisecond, func(resilience.Deadline) core.IO[int] {
+		return core.Finally(core.Then(core.Sleep(time.Hour), core.Return(1)),
+			core.Lift(func() core.Unit { cleaned = true; return core.UnitValue }))
+	})
+	// The kill is asynchronous: give the cancelled body a beat to run
+	// its Finally before asserting.
+	m := core.Bind(core.Try(body), func(r core.Attempt[int]) core.IO[bool] {
+		if !r.Failed() || !r.Exc.Eq(resilience.ErrDeadlineExceeded) {
+			return core.Return(false)
+		}
+		return core.Then(core.Sleep(time.Millisecond),
+			core.Lift(func() bool { return cleaned }))
+	})
+	mustValue(t, m, true)
+}

@@ -1,0 +1,34 @@
+// Package resilience layers production overload-survival policies on
+// top of the paper's cancellation machinery: hierarchical deadlines
+// (WithDeadline, on §7.3's timeout), retry with jittered exponential
+// backoff and error classification (Retry), circuit breakers (Breaker,
+// MVar state with a sliding failure window on the virtual clock), and
+// bulkheads (Bulkhead, on conc.QSemN) that shed rather than queue when
+// full.
+//
+// Every policy is an ordinary IO combinator, so they compose the way
+// §7 promises derived combinators do:
+//
+//	resilience.WithDeadline(parent, 200*time.Millisecond, func(d resilience.Deadline) core.IO[Reply] {
+//	    return resilience.Retry(policy, d, func(attempt int) core.IO[Reply] {
+//	        return resilience.Guard(breaker, resilience.Enter(bulkhead, callUpstream()))
+//	    })
+//	})
+//
+// The design invariants, each anchored in the paper:
+//
+//   - Cancellation is never mistaken for failure. An asynchronous
+//     KillThread (or any §9 alert) aimed at the caller passes through
+//     every policy: Retry classifies it Cancelled and rethrows without
+//     another attempt, Guard releases its admission slot without
+//     counting a breaker failure, Enter releases its bulkhead unit.
+//   - Bookkeeping is exception-safe. State settlement runs under
+//     Block/BlockUninterruptible exactly where qsem.Signal does, so a
+//     second asynchronous exception cannot leak a probe slot or a
+//     semaphore unit.
+//   - Determinism. All clocks are core.Now (the virtual clock) and all
+//     jitter is seeded, so chaos soaks replay identically per seed.
+//
+// See docs/RESILIENCE.md for policy-composition guidance, watermark
+// tuning, and the breaker state machine.
+package resilience

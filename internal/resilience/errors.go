@@ -1,0 +1,68 @@
+package resilience
+
+import "asyncexc/internal/exc"
+
+// DeadlineExceededError is raised by WithDeadline when the budget runs
+// out. It is a synchronous exception, not a §9 alert: the timer never
+// fires *inside* the guarded body (timeout's either keeps the expiry in
+// the parent), so by the time it is thrown the body is already dead and
+// ordinary handlers may observe it.
+type DeadlineExceededError struct{}
+
+// ExceptionName implements exc.Exception.
+func (DeadlineExceededError) ExceptionName() string { return "DeadlineExceeded" }
+
+// Eq implements exc.Exception.
+func (DeadlineExceededError) Eq(o exc.Exception) bool { _, ok := o.(DeadlineExceededError); return ok }
+
+func (DeadlineExceededError) String() string { return "deadline exceeded" }
+
+// Error implements error.
+func (e DeadlineExceededError) Error() string { return e.String() }
+
+// ErrDeadlineExceeded is the canonical DeadlineExceededError value.
+var ErrDeadlineExceeded exc.Exception = DeadlineExceededError{}
+
+// BreakerOpenError is the fast-fail raised by Guard while its breaker
+// is open (or half-open with all probe slots taken): the protected
+// operation was not attempted at all.
+type BreakerOpenError struct {
+	// Name identifies the breaker, for logs and handlers.
+	Name string
+}
+
+// ExceptionName implements exc.Exception.
+func (BreakerOpenError) ExceptionName() string { return "BreakerOpen" }
+
+// Eq implements exc.Exception.
+func (e BreakerOpenError) Eq(o exc.Exception) bool {
+	oe, ok := o.(BreakerOpenError)
+	return ok && oe == e
+}
+
+func (e BreakerOpenError) String() string { return "circuit breaker open: " + e.Name }
+
+// Error implements error.
+func (e BreakerOpenError) Error() string { return e.String() }
+
+// BulkheadFullError is the shed raised by Enter when the bulkhead's
+// capacity and its bounded wait queue are both exhausted: the work was
+// turned away, not queued.
+type BulkheadFullError struct {
+	// Name identifies the bulkhead.
+	Name string
+}
+
+// ExceptionName implements exc.Exception.
+func (BulkheadFullError) ExceptionName() string { return "BulkheadFull" }
+
+// Eq implements exc.Exception.
+func (e BulkheadFullError) Eq(o exc.Exception) bool {
+	oe, ok := o.(BulkheadFullError)
+	return ok && oe == e
+}
+
+func (e BulkheadFullError) String() string { return "bulkhead full: " + e.Name }
+
+// Error implements error.
+func (e BulkheadFullError) Error() string { return e.String() }

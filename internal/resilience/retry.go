@@ -1,0 +1,155 @@
+package resilience
+
+import (
+	"time"
+
+	"asyncexc/internal/core"
+	"asyncexc/internal/exc"
+	"asyncexc/internal/sched"
+)
+
+// Class is a retry classification for an exception.
+type Class int
+
+const (
+	// Retryable failures may be attempted again (transient upstream
+	// errors, bulkhead sheds, broken connections).
+	Retryable Class = iota
+	// Fatal failures will not improve with repetition (bad request,
+	// exhausted deadline): rethrow immediately.
+	Fatal
+	// Cancelled marks cancellation aimed at the caller — a §9 alert
+	// such as an asynchronous KillThread. It must NEVER be retried:
+	// someone upstream wants this work to stop, and re-running the
+	// operation would resurrect work the canceller believes is dead.
+	Cancelled
+)
+
+// Classifier maps an exception to its retry Class.
+type Classifier func(exc.Exception) Class
+
+// DefaultClassify is the classifier used when a policy supplies none:
+// alerts are Cancelled (never retried), an exceeded deadline is Fatal
+// (the time is gone; trying again inside the same budget cannot help),
+// everything else is Retryable.
+func DefaultClassify(e exc.Exception) Class {
+	if exc.IsAlertException(e) {
+		return Cancelled
+	}
+	if _, ok := e.(DeadlineExceededError); ok {
+		return Fatal
+	}
+	return Retryable
+}
+
+// RetryPolicy configures Retry. The zero value means one attempt, no
+// backoff — fill in what you need.
+type RetryPolicy struct {
+	// MaxAttempts is the attempt budget including the first try;
+	// values below 1 mean 1 (no retries).
+	MaxAttempts int
+	// BaseDelay is the backoff before the first retry.
+	BaseDelay time.Duration
+	// MaxDelay caps the grown backoff; 0 means uncapped.
+	MaxDelay time.Duration
+	// Multiplier grows the delay each retry; values below 1 mean 2.
+	Multiplier float64
+	// Jitter in [0,1] spreads each delay uniformly over
+	// [1-Jitter, 1+Jitter] × delay, de-synchronising retry storms.
+	Jitter float64
+	// Seed drives the jitter stream; same seed, same schedule.
+	Seed int64
+	// Classify decides which failures are worth another attempt;
+	// nil means DefaultClassify.
+	Classify Classifier
+}
+
+// retryRand is a tiny deterministic xorshift64*, private to one Retry
+// call, so jittered schedules replay exactly per seed.
+type retryRand struct{ s uint64 }
+
+func newRetryRand(seed int64) *retryRand {
+	u := uint64(seed)*2685821657736338717 + 1442695040888963407
+	if u == 0 {
+		u = 88172645463325252
+	}
+	return &retryRand{s: u}
+}
+
+func (r *retryRand) float01() float64 {
+	r.s ^= r.s << 13
+	r.s ^= r.s >> 7
+	r.s ^= r.s << 17
+	return float64(r.s>>11) / float64(uint64(1)<<53)
+}
+
+// delayFor computes the jittered backoff before retry number n (n = 1
+// precedes the second attempt).
+func (p RetryPolicy) delayFor(n int, rng *retryRand) time.Duration {
+	mult := p.Multiplier
+	if mult < 1 {
+		mult = 2
+	}
+	d := float64(p.BaseDelay)
+	for i := 1; i < n; i++ {
+		d *= mult
+	}
+	if p.MaxDelay > 0 && d > float64(p.MaxDelay) {
+		d = float64(p.MaxDelay)
+	}
+	if p.Jitter > 0 {
+		d *= 1 - p.Jitter + 2*p.Jitter*rng.float01()
+	}
+	return time.Duration(d)
+}
+
+func noteRetry() core.IO[core.Unit] {
+	return core.FromNode[core.Unit](sched.NoteRetry())
+}
+
+// Retry runs op under the policy, re-attempting Retryable failures
+// after a jittered exponential backoff until the attempt budget or the
+// deadline is spent. op receives the attempt number (1-based). The
+// deadline bounds the whole loop: a backoff that would sleep past it is
+// skipped and the last failure is rethrown instead, so Retry never
+// burns budget it cannot use. Fatal failures rethrow immediately, and
+// Cancelled ones — asynchronous kills — rethrow without touching the
+// counters, exactly as if the Retry wrapper were not there.
+func Retry[A any](p RetryPolicy, d Deadline, op func(attempt int) core.IO[A]) core.IO[A] {
+	attempts := p.MaxAttempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	classify := p.Classify
+	if classify == nil {
+		classify = DefaultClassify
+	}
+	rng := newRetryRand(p.Seed)
+	var attempt func(n int) core.IO[A]
+	attempt = func(n int) core.IO[A] {
+		run := op(n)
+		if n > 1 {
+			run = core.Then(noteRetry(), run)
+		}
+		return core.Catch(run, func(e exc.Exception) core.IO[A] {
+			switch classify(e) {
+			case Cancelled, Fatal:
+				return core.Throw[A](e)
+			}
+			if n >= attempts {
+				return core.Throw[A](e)
+			}
+			wait := p.delayFor(n, rng)
+			return core.Bind(core.Now(), func(now int64) core.IO[A] {
+				if left, ok := d.Remaining(now); ok && left <= wait {
+					// The backoff alone would outlive the deadline.
+					return core.Throw[A](e)
+				}
+				return core.Then(core.Sleep(wait), core.Delay(func() core.IO[A] {
+					return attempt(n + 1)
+				}))
+			})
+		})
+	}
+	return attempt(1)
+}

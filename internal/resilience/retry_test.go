@@ -1,0 +1,192 @@
+package resilience_test
+
+import (
+	"testing"
+	"time"
+
+	"asyncexc/internal/core"
+	"asyncexc/internal/exc"
+	"asyncexc/internal/resilience"
+)
+
+func flakyOp(failures int, calls *int) func(int) core.IO[string] {
+	return func(attempt int) core.IO[string] {
+		return core.Delay(func() core.IO[string] {
+			*calls++
+			if *calls <= failures {
+				return core.Throw[string](exc.ErrorCall{Msg: "transient"})
+			}
+			return core.Return("ok")
+		})
+	}
+}
+
+func TestRetrySucceedsAfterTransientFailures(t *testing.T) {
+	sys := core.NewSystem(core.DefaultOptions())
+	calls := 0
+	p := resilience.RetryPolicy{MaxAttempts: 5, BaseDelay: time.Millisecond}
+	v, e, err := core.RunSystem(sys, resilience.Retry(p, resilience.NoDeadline(), flakyOp(2, &calls)))
+	if err != nil || e != nil {
+		t.Fatalf("run: %v %v", err, e)
+	}
+	if v != "ok" || calls != 3 {
+		t.Fatalf("v=%q calls=%d, want ok after 3 calls", v, calls)
+	}
+	if st := sys.Stats(); st.Retries != 2 {
+		t.Fatalf("Retries = %d, want 2", st.Retries)
+	}
+}
+
+func TestRetryExhaustsAttemptBudget(t *testing.T) {
+	calls := 0
+	p := resilience.RetryPolicy{MaxAttempts: 3, BaseDelay: time.Millisecond}
+	_, e, err := core.Run(resilience.Retry(p, resilience.NoDeadline(), flakyOp(99, &calls)))
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if e == nil || !e.Eq(exc.ErrorCall{Msg: "transient"}) {
+		t.Fatalf("want last transient error, got %v", e)
+	}
+	if calls != 3 {
+		t.Fatalf("calls = %d, want 3", calls)
+	}
+}
+
+func TestRetryFatalNotRetried(t *testing.T) {
+	calls := 0
+	p := resilience.RetryPolicy{
+		MaxAttempts: 5,
+		Classify: func(e exc.Exception) resilience.Class {
+			return resilience.Fatal
+		},
+	}
+	op := func(int) core.IO[string] {
+		return core.Delay(func() core.IO[string] {
+			calls++
+			return core.Throw[string](exc.ErrorCall{Msg: "bad request"})
+		})
+	}
+	_, e, _ := core.Run(resilience.Retry(p, resilience.NoDeadline(), op))
+	if e == nil || !e.Eq(exc.ErrorCall{Msg: "bad request"}) {
+		t.Fatalf("want fatal error through, got %v", e)
+	}
+	if calls != 1 {
+		t.Fatalf("calls = %d, want 1 (fatal must not retry)", calls)
+	}
+}
+
+// TestRetryNeverRetriesKill is the classification rule the issue calls
+// out: an asynchronous KillThread aimed at the retrying thread must end
+// the loop — retrying cancelled work resurrects what the canceller
+// believes is dead.
+func TestRetryNeverRetriesKill(t *testing.T) {
+	sys := core.NewSystem(core.DefaultOptions())
+	calls := 0
+	prog := core.Bind(core.NewEmptyMVar[string](), func(res core.MVar[string]) core.IO[core.Maybe[string]] {
+		op := func(int) core.IO[string] {
+			return core.Delay(func() core.IO[string] {
+				calls++
+				return core.Then(core.Sleep(time.Hour), core.Return("slow"))
+			})
+		}
+		p := resilience.RetryPolicy{MaxAttempts: 100, BaseDelay: time.Millisecond}
+		worker := core.Bind(resilience.Retry(p, resilience.NoDeadline(), op), func(s string) core.IO[core.Unit] {
+			return core.Put(res, s)
+		})
+		return core.Bind(core.Fork(worker), func(tid core.ThreadID) core.IO[core.Maybe[string]] {
+			return core.Then(core.Sleep(time.Millisecond),
+				core.Then(core.KillThread(tid),
+					core.Then(core.Sleep(time.Millisecond),
+						core.Timeout(time.Millisecond, core.Take(res)))))
+		})
+	})
+	v, e, err := core.RunSystem(sys, prog)
+	if err != nil || e != nil {
+		t.Fatalf("run: %v %v", err, e)
+	}
+	if v.IsJust {
+		t.Fatalf("killed retry loop produced a result: %q", v.Value)
+	}
+	if calls != 1 {
+		t.Fatalf("calls = %d, want 1 (kill must not trigger a retry)", calls)
+	}
+	if st := sys.Stats(); st.Retries != 0 {
+		t.Fatalf("Retries = %d, want 0", st.Retries)
+	}
+}
+
+// TestRetryBackoffScheduleDeterministic pins the unjittered schedule on
+// the virtual clock: base 100ms, multiplier 2 → retries at +100ms and
+// +300ms.
+func TestRetryBackoffScheduleDeterministic(t *testing.T) {
+	var stamps []int64
+	op := func(int) core.IO[string] {
+		return core.Bind(core.Now(), func(now int64) core.IO[string] {
+			stamps = append(stamps, now)
+			return core.Throw[string](exc.ErrorCall{Msg: "transient"})
+		})
+	}
+	p := resilience.RetryPolicy{MaxAttempts: 3, BaseDelay: 100 * time.Millisecond, Multiplier: 2}
+	_, e, _ := core.Run(resilience.Retry(p, resilience.NoDeadline(), op))
+	if e == nil {
+		t.Fatal("want failure after exhausting attempts")
+	}
+	if len(stamps) != 3 {
+		t.Fatalf("attempts = %d, want 3", len(stamps))
+	}
+	d1 := time.Duration(stamps[1] - stamps[0])
+	d2 := time.Duration(stamps[2] - stamps[1])
+	if d1 != 100*time.Millisecond || d2 != 200*time.Millisecond {
+		t.Fatalf("backoffs = %v, %v; want 100ms, 200ms", d1, d2)
+	}
+}
+
+// TestRetryJitterSeededDeterministic: same seed, same schedule; a
+// different seed (very likely) differs somewhere.
+func TestRetryJitterSeededDeterministic(t *testing.T) {
+	schedule := func(seed int64) []int64 {
+		var stamps []int64
+		op := func(int) core.IO[string] {
+			return core.Bind(core.Now(), func(now int64) core.IO[string] {
+				stamps = append(stamps, now)
+				return core.Throw[string](exc.ErrorCall{Msg: "x"})
+			})
+		}
+		p := resilience.RetryPolicy{MaxAttempts: 4, BaseDelay: 100 * time.Millisecond, Jitter: 0.5, Seed: seed}
+		core.Run(resilience.Retry(p, resilience.NoDeadline(), op))
+		return stamps
+	}
+	a, b := schedule(7), schedule(7)
+	if len(a) != 4 || len(b) != 4 {
+		t.Fatalf("attempts = %d/%d, want 4", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at attempt %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+// TestRetryStopsAtDeadline: a backoff that would sleep past the
+// deadline is skipped and the last real failure surfaces instead.
+func TestRetryStopsAtDeadline(t *testing.T) {
+	calls := 0
+	m := resilience.WithDeadline(resilience.NoDeadline(), 50*time.Millisecond, func(d resilience.Deadline) core.IO[string] {
+		p := resilience.RetryPolicy{MaxAttempts: 100, BaseDelay: time.Minute}
+		return resilience.Retry(p, d, flakyOp(99, &calls))
+	})
+	start := time.Now()
+	_, e, err := core.Run(m)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if e == nil || !e.Eq(exc.ErrorCall{Msg: "transient"}) {
+		t.Fatalf("want the op's failure, not %v", e)
+	}
+	if calls != 1 {
+		t.Fatalf("calls = %d, want 1 (backoff exceeds deadline)", calls)
+	}
+	if wall := time.Since(start); wall > 5*time.Second {
+		t.Fatalf("virtual backoff leaked into wall time: %v", wall)
+	}
+}

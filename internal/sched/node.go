@@ -397,3 +397,53 @@ func NoteRestart() Node {
 		return retNode{UnitValue}, false
 	}}
 }
+
+// noteCounter builds a one-step primitive bumping a scheduler counter
+// on the executing shard; the resilience layer uses these so soak runs
+// and /stats can audit shedding, retries, breaker trips and expired
+// deadlines without any side channel.
+func noteCounter(name string, bump func(*Stats)) Node {
+	return primNode{name: name, step: func(rt *RT, t *Thread) (Node, bool) {
+		bump(&rt.stats)
+		return retNode{UnitValue}, false
+	}}
+}
+
+// NoteShed bumps the Shed counter (admission refused).
+func NoteShed() Node {
+	return noteCounter("noteShed", func(s *Stats) { s.Shed++ })
+}
+
+// NoteRetry bumps the Retries counter (an attempt re-run).
+func NoteRetry() Node {
+	return noteCounter("noteRetry", func(s *Stats) { s.Retries++ })
+}
+
+// NoteBreakerOpen bumps the BreakerOpen counter (a breaker tripped).
+func NoteBreakerOpen() Node {
+	return noteCounter("noteBreakerOpen", func(s *Stats) { s.BreakerOpen++ })
+}
+
+// NoteDeadlineExpired bumps the DeadlineExpired counter.
+func NoteDeadlineExpired() Node {
+	return noteCounter("noteDeadlineExpired", func(s *Stats) { s.DeadlineExpired++ })
+}
+
+// MailboxDepths returns the instantaneous mailbox length of every
+// shard — a live backlog signal (unlike Stats.MailboxDepth, a
+// high-water mark) that admission control can use as a load-shedding
+// watermark. Serial mode reports a single zero entry.
+func MailboxDepths() Node {
+	return primNode{name: "mailboxDepths", step: func(rt *RT, t *Thread) (Node, bool) {
+		if rt.eng == nil {
+			return retNode{[]int{0}}, false
+		}
+		out := make([]int, len(rt.eng.shards))
+		for i, sh := range rt.eng.shards {
+			sh.smu.Lock()
+			out[i] = len(sh.mailbox)
+			sh.smu.Unlock()
+		}
+		return retNode{out}, false
+	}}
+}

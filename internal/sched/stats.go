@@ -61,6 +61,18 @@ type Stats struct {
 	// TimeAdvances counts virtual-clock jumps.
 	TimeAdvances uint64
 
+	// Shed counts admissions refused by resilience layers (bulkhead
+	// full, watermark crossed): work turned away instead of queued.
+	Shed uint64
+	// Retries counts attempts re-run by resilience retry policies
+	// (bumped through NoteRetry; the first attempt is not a retry).
+	Retries uint64
+	// BreakerOpen counts circuit-breaker trips (closed/half-open →
+	// open transitions), not individual fast-fail rejections.
+	BreakerOpen uint64
+	// DeadlineExpired counts WithDeadline budgets that ran out.
+	DeadlineExpired uint64
+
 	// Steals counts threads this shard stole from siblings' run queues
 	// (parallel engine; always 0 in serial mode).
 	Steals uint64
@@ -99,6 +111,10 @@ func (s *Stats) Add(o Stats) {
 	s.Preemptions += o.Preemptions
 	s.Deadlocks += o.Deadlocks
 	s.TimeAdvances += o.TimeAdvances
+	s.Shed += o.Shed
+	s.Retries += o.Retries
+	s.BreakerOpen += o.BreakerOpen
+	s.DeadlineExpired += o.DeadlineExpired
 	s.Steals += o.Steals
 	s.CrossShardThrowTo += o.CrossShardThrowTo
 	if o.MailboxDepth > s.MailboxDepth {
