@@ -9,7 +9,7 @@
 // Usage:
 //
 //	axbench            # run every experiment
-//	axbench -run E9    # run one experiment by ID (E1, E6, E7, E8, E9, S1, T1, T2, F4, C1, P1, R1)
+//	axbench -run E9    # run one experiment by ID (E1, E6, E7, E8, E9, S1, T1, T2, F4, C1, P1, R1, O1)
 //	axbench -seeds 500 # widen the lock-race schedule sweep
 //	axbench -run P1 -write                    # splice P1 into EXPERIMENTS.md
 //	axbench -run P1 -json BENCH_parallel.json # record results as JSON
@@ -49,6 +49,7 @@ func main() {
 		{"C1", func() *bench.Table { return bench.Conformance(25) }},
 		{"P1", func() *bench.Table { return bench.ParallelSpeedup([]int{1, 2, 4, 8}) }},
 		{"R1", func() *bench.Table { return bench.Resilience(1000) }},
+		{"O1", func() *bench.Table { return bench.ObsOverhead(20000) }},
 	}
 
 	var tables []*bench.Table

@@ -23,6 +23,14 @@
 //	/crash       — handler throws; under supervision the crash is
 //	               recorded by the tree and answered with a 500
 //	/stats       — live counters: server, scheduler, supervision tree
+//	/metrics     — the same counters in Prometheus text exposition
+//	               format (enabled with -metrics, default on)
+//
+// With -trace-out FILE the runtime records scheduler and
+// exception-delivery events (internal/obs) and writes them as a Chrome
+// trace_event JSON file at shutdown; load it at chrome://tracing or
+// https://ui.perfetto.dev to see every throwTo as a flow arrow from
+// thrower to victim to catch frame. See docs/OBSERVABILITY.md.
 package main
 
 import (
@@ -38,6 +46,7 @@ import (
 
 	"asyncexc/internal/core"
 	"asyncexc/internal/httpd"
+	"asyncexc/internal/obs"
 	"asyncexc/internal/sched"
 )
 
@@ -57,10 +66,19 @@ func main() {
 	inflightWatermark := flag.Int("inflight-watermark", 0, "shed new arrivals at this many live connections (0 = off)")
 	mailboxWatermark := flag.Int("mailbox-watermark", 0, "shed new arrivals at this shard mailbox depth (0 = off)")
 	retryAfter := flag.Duration("retry-after", time.Second, "Retry-After hint stamped on shed (503) responses")
+	metrics := flag.Bool("metrics", true, "serve Prometheus text exposition on /metrics")
+	traceOut := flag.String("trace-out", "", "write a Chrome trace_event JSON file here at shutdown (enables event recording)")
+	traceBuf := flag.Int("trace-buf", 0, "per-shard event ring capacity (0 = obs.DefaultRingCap); oldest events are dropped when it wraps")
 	flag.Parse()
+
+	var rec *obs.Recorder
+	if *traceOut != "" || *metrics {
+		rec = obs.NewRecorder(*traceBuf)
+	}
 
 	srv := httpd.New(httpd.Config{
 		Addr: *addr, RequestTimeout: *timeout, MaxConns: *maxConns, Shards: *shards,
+		Observer: rec,
 	})
 	srv.Use(httpd.Logged(func(line string) { log.Print(line) }))
 	srv.Use(httpd.WithHeader("Server", "asyncexc-axhttpd"))
@@ -151,6 +169,24 @@ func main() {
 			})
 		})
 	})
+	if *metrics {
+		srv.Handle("/metrics", srv.MetricsHandler(func() []obs.Sample {
+			tr := tree.Load()
+			if tr == nil {
+				return nil
+			}
+			return []obs.Sample{
+				{Name: "supervise_restarts_total", Help: "Child restarts across the tree.", Type: obs.Counter,
+					Value: float64(tr.Root.Metrics.Restarts.Load() + tr.Conns.Metrics.Restarts.Load())},
+				{Name: "supervise_crashes_total", Help: "Connection-child crashes recorded by the tree.", Type: obs.Counter,
+					Value: float64(tr.Conns.Metrics.Crashes.Load())},
+				{Name: "supervise_forced_kills_total", Help: "Children killed after exceeding their shutdown budget.", Type: obs.Counter,
+					Value: float64(tr.Root.Metrics.ForcedKills.Load() + tr.Conns.Metrics.ForcedKills.Load())},
+				{Name: "supervise_children_started_total", Help: "Connection children started.", Type: obs.Counter,
+					Value: float64(tr.Conns.Metrics.ChildrenStarted.Load())},
+			}
+		}))
+	}
 
 	var (
 		liveAddr string
@@ -180,6 +216,36 @@ func main() {
 	if err := stop(); err != nil {
 		log.Fatalf("shutdown: %v", err)
 	}
+	if *traceOut != "" {
+		if err := writeTrace(*traceOut, rec); err != nil {
+			log.Printf("trace: %v", err)
+		}
+	}
 	log.Printf("bye: accepted=%d served=%d timedOut=%d",
 		srv.Stats.Accepted.Load(), srv.Stats.Served.Load(), srv.Stats.TimedOut.Load())
+}
+
+// writeTrace dumps the recorder's retained events as Chrome trace_event
+// JSON, checking the stream against the delivery invariants first so a
+// malformed trace is reported rather than silently shipped.
+func writeTrace(path string, rec *obs.Recorder) error {
+	events := rec.Snapshot()
+	for _, v := range obs.CheckInvariants(events, rec.Stats()) {
+		log.Printf("trace: invariant violated: %s", v)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := obs.WriteChromeTrace(f, events); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	st := rec.Stats()
+	log.Printf("trace: wrote %d events to %s (recorded=%d dropped=%d spans=%d)",
+		len(events), path, st.Recorded, st.Dropped, st.Spans)
+	return nil
 }

@@ -1,0 +1,8 @@
+//go:build race
+
+package bench_test
+
+// raceEnabled reports whether this binary was built with the race
+// detector, whose instrumentation multiplies the cost of the exact
+// memory operations the wall-clock gates measure.
+const raceEnabled = true

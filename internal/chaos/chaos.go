@@ -11,7 +11,12 @@
 //   - semaphore capacity is conserved.
 //
 // Scenarios are deterministic per seed (virtual clock, seeded random
-// scheduler), so a violation is a reproducible counterexample.
+// scheduler), so a violation is a reproducible counterexample. With
+// Config.Observer set, the soak also records the full event stream
+// (internal/obs); the obs soak tests then check it against the
+// delivery invariants — every delivered exception has a matching
+// enqueue with the mask state recorded — and reconcile the event
+// counts against the scheduler's own counters.
 package chaos
 
 import (
@@ -22,6 +27,7 @@ import (
 	"asyncexc/internal/conc"
 	"asyncexc/internal/core"
 	"asyncexc/internal/exc"
+	"asyncexc/internal/obs"
 )
 
 // Config sizes a scenario.
@@ -45,6 +51,10 @@ type Config struct {
 	// Shards > 1 runs the scenario on the parallel work-stealing
 	// engine; the invariants are the same, exercised across shards.
 	Shards int
+	// Observer, when non-nil, records scheduler and exception-delivery
+	// events during the soak; obs soak tests check the recorded stream
+	// against the delivery invariants afterwards.
+	Observer *obs.Recorder
 }
 
 // DefaultConfig returns a moderate scenario.
@@ -98,6 +108,7 @@ func Run(cfg Config) (Report, error) {
 	opts.Seed = cfg.Seed
 	opts.TimeSlice = 3
 	opts.Shards = cfg.Shards
+	opts.Observer = cfg.Observer
 	sys := core.NewSystem(opts)
 
 	tracked := func(m core.IO[core.Unit]) core.IO[core.Unit] {

@@ -21,6 +21,12 @@
 //
 // and §7's derived combinators: Finally, Later, Bracket, EitherIO,
 // BothIO, Timeout, SafePoint.
+//
+// Beyond the paper's surface: ParallelOptions/RunParallel run programs
+// on the work-stealing engine (docs/PARALLEL.md); Options.Observer
+// attaches the tracing layer and CurrentSpan exposes the span of a
+// propagating asynchronous exception to handler code
+// (docs/OBSERVABILITY.md).
 package core
 
 import (
@@ -275,6 +281,13 @@ func ShardSchedStats() IO[[]sched.Stats] {
 func MailboxDepths() IO[[]int] {
 	return FromNode[[]int](sched.MailboxDepths())
 }
+
+// CurrentSpan returns the observability span id of the asynchronous
+// exception currently propagating through the caller — non-zero only
+// between delivery and the enclosing Catch frame — so cleanup handlers
+// can correlate their work with the throwTo span that triggered it.
+// Zero when no exception is in flight or no Observer is configured.
+func CurrentSpan() IO[uint64] { return FromNode[uint64](sched.CurrentSpan()) }
 
 // ---------------------------------------------------------------------
 // Console (§3)

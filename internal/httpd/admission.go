@@ -47,7 +47,8 @@ type AdmissionConfig struct {
 	// (default 1s).
 	RetryAfter time.Duration
 	// ExemptPaths bypass admission entirely — keep observability
-	// endpoints reachable during overload (default: ["/stats"]).
+	// endpoints reachable during overload (default: ["/stats",
+	// "/metrics"]).
 	ExemptPaths []string
 }
 
@@ -62,7 +63,7 @@ func (c AdmissionConfig) withDefaults() AdmissionConfig {
 		c.RetryAfter = time.Second
 	}
 	if c.ExemptPaths == nil {
-		c.ExemptPaths = []string{"/stats"}
+		c.ExemptPaths = []string{"/stats", "/metrics"}
 	}
 	return c
 }

@@ -16,6 +16,17 @@
 //   - a QSem bounds concurrent connections;
 //   - the accept loop is stopped by throwing ThreadKilled at it —
 //     asynchronous exceptions as the shutdown mechanism.
+//
+// The layers grown on top of the flat design each stay optional:
+// StartSupervised runs the dispatcher and connections under an
+// Erlang-style supervision tree (internal/supervise); UseResilience
+// installs admission control — watermark shedding, a bulkhead,
+// per-route breakers and deadlines (internal/resilience, see
+// docs/RESILIENCE.md); Config.Shards > 1 selects the parallel
+// engine; and Config.Observer plus MetricsHandler wire the tracing
+// layer (internal/obs) in, serving scheduler, server, and recorder
+// counters in Prometheus text form alongside the human-readable
+// /stats (see docs/OBSERVABILITY.md).
 package httpd
 
 import (
@@ -30,6 +41,7 @@ import (
 	"asyncexc/internal/core"
 	"asyncexc/internal/exc"
 	"asyncexc/internal/iomgr"
+	"asyncexc/internal/obs"
 )
 
 // Request is a parsed HTTP request head (this server speaks an
@@ -80,6 +92,11 @@ type Config struct {
 	// engine with that many worker shards (see docs/PARALLEL.md);
 	// 0 or 1 selects the serial engine.
 	Shards int
+	// Observer, when non-nil, records scheduler and exception-delivery
+	// events into the given recorder (see internal/obs and
+	// docs/OBSERVABILITY.md); its counters are additionally exported by
+	// MetricsHandler. Nil disables event recording.
+	Observer *obs.Recorder
 }
 
 // Stats are served-traffic counters, safe to read concurrently.
@@ -346,6 +363,7 @@ func statusText(code int) string {
 func (s *Server) runtimeOptions() core.Options {
 	opts := core.RealTimeOptions()
 	opts.Shards = s.cfg.Shards
+	opts.Observer = s.cfg.Observer
 	return opts
 }
 

@@ -1,0 +1,102 @@
+package httpd
+
+import (
+	"fmt"
+	"strings"
+
+	"asyncexc/internal/core"
+	"asyncexc/internal/obs"
+	"asyncexc/internal/sched"
+)
+
+// MetricsHandler returns a handler serving the server's counters in
+// Prometheus text exposition format (version 0.0.4) — the machine
+// twin of the human-oriented /stats route. The export covers the
+// server's traffic counters, the scheduler's rule-firing counters
+// (aggregate and per-shard), and — when Config.Observer is set — the
+// obs recorder's event/drop/span counters. Extra sample sources (e.g.
+// supervision-tree metrics, which live outside the Server) can be
+// appended by the caller.
+//
+// Mount it wherever the scrape should live:
+//
+//	srv.Handle("/metrics", srv.MetricsHandler())
+func (s *Server) MetricsHandler(extra ...func() []obs.Sample) Handler {
+	return func(r Request) core.IO[Response] {
+		return core.Bind(core.SchedStats(), func(st sched.Stats) core.IO[Response] {
+			return core.Bind(core.ShardSchedStats(), func(per []sched.Stats) core.IO[Response] {
+				samples := s.serverSamples()
+				samples = append(samples, schedSamples(st, per)...)
+				if s.cfg.Observer != nil {
+					samples = append(samples, s.cfg.Observer.Samples()...)
+				}
+				for _, f := range extra {
+					samples = append(samples, f()...)
+				}
+				var b strings.Builder
+				if err := obs.WritePrometheus(&b, samples); err != nil {
+					return core.Return(Text(500, "metrics: "+err.Error()+"\n"))
+				}
+				return core.Return(Response{
+					Status: 200,
+					Headers: map[string]string{
+						"Content-Type": "text/plain; version=0.0.4; charset=utf-8",
+					},
+					Body: []byte(b.String()),
+				})
+			})
+		})
+	}
+}
+
+// serverSamples maps the served-traffic counters to samples.
+func (s *Server) serverSamples() []obs.Sample {
+	st := &s.Stats
+	return []obs.Sample{
+		{Name: "httpd_accepted_total", Help: "Connections accepted.", Type: obs.Counter, Value: float64(st.Accepted.Load())},
+		{Name: "httpd_served_total", Help: "Requests answered with a handler response.", Type: obs.Counter, Value: float64(st.Served.Load())},
+		{Name: "httpd_timed_out_total", Help: "Requests reaped by the request timeout.", Type: obs.Counter, Value: float64(st.TimedOut.Load())},
+		{Name: "httpd_errors_total", Help: "Connections that failed reading or writing.", Type: obs.Counter, Value: float64(st.Errors.Load())},
+		{Name: "httpd_not_found_total", Help: "Requests with no matching route.", Type: obs.Counter, Value: float64(st.NotFound.Load())},
+		{Name: "httpd_rejected_total", Help: "Connections refused at the MaxConns semaphore.", Type: obs.Counter, Value: float64(st.Rejected.Load())},
+		{Name: "httpd_handler_exceptions_total", Help: "Handler crashes answered with a 500.", Type: obs.Counter, Value: float64(st.HandlerEx.Load())},
+		{Name: "httpd_shed_total", Help: "Requests shed by the admission layer (503 + Retry-After).", Type: obs.Counter, Value: float64(st.Shed.Load())},
+		{Name: "httpd_deadline_hit_total", Help: "Requests whose per-route deadline expired (504).", Type: obs.Counter, Value: float64(st.DeadlineHit.Load())},
+		{Name: "httpd_active_connections", Help: "Connections currently being served.", Type: obs.Gauge, Value: float64(st.Active.Load())},
+	}
+}
+
+// schedSamples maps the scheduler counters to samples: the aggregate
+// first, then per-shard breakdowns when the parallel engine is live.
+func schedSamples(st sched.Stats, per []sched.Stats) []obs.Sample {
+	samples := []obs.Sample{
+		{Name: "sched_steps_total", Help: "Interpreter steps executed.", Type: obs.Counter, Value: float64(st.Steps)},
+		{Name: "sched_forks_total", Help: "forkIO calls.", Type: obs.Counter, Value: float64(st.Forks)},
+		{Name: "sched_threads_finished_total", Help: "Threads that ran to completion or died.", Type: obs.Counter, Value: float64(st.ThreadsFinished)},
+		{Name: "sched_uncaught_total", Help: "Threads that died with an uncaught exception.", Type: obs.Counter, Value: float64(st.Uncaught)},
+		{Name: "sched_throwto_total", Help: "throwTo calls.", Type: obs.Counter, Value: float64(st.ThrowTos)},
+		{Name: "sched_delivered_total", Help: "Asynchronous exceptions raised in their target (rules Receive and Interrupt).", Type: obs.Counter, Value: float64(st.Delivered)},
+		{Name: "sched_interrupts_total", Help: "Deliveries that interrupted a stuck thread (rule Interrupt).", Type: obs.Counter, Value: float64(st.Interrupts)},
+		{Name: "sched_killed_total", Help: "Threads that died to an uncaught ThreadKilled.", Type: obs.Counter, Value: float64(st.Killed)},
+		{Name: "sched_handled_total", Help: "Catch handlers entered (rule Catch).", Type: obs.Counter, Value: float64(st.Handled)},
+		{Name: "sched_supervisor_restarts_total", Help: "Child restarts performed by supervisors.", Type: obs.Counter, Value: float64(st.SupervisorRestarts)},
+		{Name: "sched_deadlocks_total", Help: "Deadlock-detector firings.", Type: obs.Counter, Value: float64(st.Deadlocks)},
+		{Name: "sched_preemptions_total", Help: "Exhausted time slices.", Type: obs.Counter, Value: float64(st.Preemptions)},
+		{Name: "sched_shed_total", Help: "Admissions refused by resilience layers.", Type: obs.Counter, Value: float64(st.Shed)},
+		{Name: "sched_retries_total", Help: "Attempts re-run by retry policies.", Type: obs.Counter, Value: float64(st.Retries)},
+		{Name: "sched_breaker_open_total", Help: "Circuit-breaker trips to Open.", Type: obs.Counter, Value: float64(st.BreakerOpen)},
+		{Name: "sched_deadline_expired_total", Help: "WithDeadline budgets that ran out.", Type: obs.Counter, Value: float64(st.DeadlineExpired)},
+	}
+	if len(per) > 1 {
+		for i, sh := range per {
+			shard := map[string]string{"shard": fmt.Sprintf("%d", i)}
+			samples = append(samples,
+				obs.Sample{Name: "sched_shard_steps_total", Help: "Interpreter steps executed by this shard.", Type: obs.Counter, Labels: shard, Value: float64(sh.Steps)},
+				obs.Sample{Name: "sched_shard_steals_total", Help: "Threads this shard stole from siblings.", Type: obs.Counter, Labels: shard, Value: float64(sh.Steals)},
+				obs.Sample{Name: "sched_shard_cross_throwto_total", Help: "throwTo calls that travelled cross-shard as mailbox messages.", Type: obs.Counter, Labels: shard, Value: float64(sh.CrossShardThrowTo)},
+				obs.Sample{Name: "sched_shard_mailbox_depth", Help: "High-water mark of this shard's mailbox.", Type: obs.Gauge, Labels: shard, Value: float64(sh.MailboxDepth)},
+			)
+		}
+	}
+	return samples
+}

@@ -1,0 +1,250 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// chromeEvent is one record of the Chrome trace_event format
+// (chrome://tracing, https://ui.perfetto.dev). Field order matters
+// only for golden-file readability; Chrome accepts any order.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	PID  int64          `json:"pid"`
+	TID  int64          `json:"tid"`
+	ID   uint64         `json:"id,omitempty"`
+	BP   string         `json:"bp,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// kindCats groups kinds into trace categories so the viewer can
+// filter: sched (lifecycle + stealing), exc (the paper's throwTo
+// pipeline), block (MVar/timer parks), resilience (layered policies).
+var kindCats = [numKinds]string{
+	KindSpawn:    "sched",
+	KindFinish:   "sched",
+	KindThrowTo:  "exc",
+	KindDeliver:  "exc",
+	KindCatch:    "exc",
+	KindPark:     "block",
+	KindUnpark:   "block",
+	KindSteal:    "sched",
+	KindShed:     "resilience",
+	KindRetry:    "resilience",
+	KindBreaker:  "resilience",
+	KindDeadline: "resilience",
+	KindRestart:  "resilience",
+}
+
+// chromeTS maps an event to a trace timestamp in microseconds. The
+// runtime clock may be virtual and coarse, so many events share a TS;
+// a sub-microsecond skew from the global sequence number keeps the
+// rendered order identical to the happens-before order.
+func chromeTS(e Event) float64 {
+	return float64(e.TS)/1000.0 + float64(e.Seq)*1e-4
+}
+
+// chromeRow picks the timeline row (tid) an event renders on. Events
+// render on their subject thread, except throwTo, which renders on
+// the *thrower's* row so a span's flow arrow starts where the throw
+// happened; environment throws (Peer 0) stay on the target's row.
+func chromeRow(e Event) int64 {
+	if e.Kind == KindThrowTo && e.Peer != 0 {
+		return e.Peer
+	}
+	return e.Thread
+}
+
+func chromeName(e Event) string {
+	switch e.Kind {
+	case KindThrowTo, KindDeliver, KindCatch:
+		if n := excName(e.Exc); n != "" {
+			return e.Kind.String() + " " + n
+		}
+	case KindFinish:
+		if e.Flags&FlagUncaught != 0 {
+			return "finish uncaught " + excName(e.Exc)
+		}
+	case KindPark, KindUnpark:
+		return e.Kind.String() + " " + e.ParkReason().String()
+	case KindBreaker:
+		from, to := BreakerTransition(e.Arg)
+		return fmt.Sprintf("breaker %s %s->%s", e.Label, breakerModeName(from), breakerModeName(to))
+	}
+	return e.Kind.String()
+}
+
+// breakerModeName mirrors resilience.BreakerMode's states without
+// importing the package.
+func breakerModeName(m int) string {
+	switch m {
+	case 0:
+		return "closed"
+	case 1:
+		return "open"
+	case 2:
+		return "half-open"
+	}
+	return fmt.Sprintf("mode(%d)", m)
+}
+
+func chromeArgs(e Event) map[string]any {
+	a := map[string]any{"seq": e.Seq, "shard": e.Shard}
+	switch e.Kind {
+	case KindSpawn:
+		a["parent"] = e.Peer
+		a["mask"] = MaskName(e.Mask)
+		if e.Label != "" {
+			a["name"] = e.Label
+		}
+	case KindFinish:
+		if e.Exc != nil {
+			a["uncaught"] = excName(e.Exc)
+		}
+	case KindThrowTo:
+		a["target"] = e.Thread
+		a["thrower"] = e.Peer
+		a["throwerMask"] = MaskName(e.Mask)
+		a["exc"] = excName(e.Exc)
+		if e.Flags&FlagSync != 0 {
+			a["sync"] = true
+		}
+		if e.Flags&FlagSelf != 0 {
+			a["self"] = true
+		}
+		if e.Flags&FlagTargetDead != 0 {
+			a["targetDead"] = true
+		}
+		if e.Flags&FlagDeadlock != 0 {
+			a["deadlock"] = true
+		}
+	case KindDeliver:
+		a["mask"] = MaskName(e.Mask)
+		a["pendingNs"] = e.Arg
+		a["exc"] = excName(e.Exc)
+		if e.Flags&FlagInterrupt != 0 {
+			a["rule"] = "Interrupt"
+		} else {
+			a["rule"] = "Receive"
+		}
+	case KindCatch:
+		a["exc"] = excName(e.Exc)
+	case KindPark, KindUnpark:
+		a["reason"] = e.ParkReason().String()
+		if r := e.ParkReason(); r == ReasonTakeMVar || r == ReasonPutMVar {
+			a["mvar"] = e.Arg
+		}
+	case KindSteal:
+		from, to := StealShards(e.Arg)
+		a["from"] = from
+		a["to"] = to
+	case KindBreaker:
+		from, to := BreakerTransition(e.Arg)
+		a["breaker"] = e.Label
+		a["from"] = breakerModeName(from)
+		a["to"] = breakerModeName(to)
+	case KindRestart:
+		a["child"] = e.Label
+	}
+	return a
+}
+
+// WriteChromeTrace renders a Seq-sorted snapshot as Chrome
+// trace_event JSON. Every event becomes a 1µs "X" slice on its
+// thread's row; throwTo spans additionally get flow arrows
+// (ph s/t/f) from the throw slice through the delivery to the catch
+// or uncaught finish, so a kill storm reads as arrows across rows.
+func WriteChromeTrace(w io.Writer, events []Event) error {
+	const pid = 1
+	out := make([]chromeEvent, 0, len(events)*2+8)
+	out = append(out, chromeEvent{
+		Name: "process_name", Ph: "M", PID: pid,
+		Args: map[string]any{"name": "asyncexc"},
+	})
+
+	// Thread rows get names from spawn events; remember span phases
+	// so flow steps/ends only emit after their start.
+	named := map[int64]bool{}
+	spanStarted := map[uint64]bool{}
+	spanDelivered := map[uint64]bool{}
+	for _, e := range events {
+		if e.Kind == KindSpawn && !named[e.Thread] {
+			named[e.Thread] = true
+			name := e.Label
+			if name == "" {
+				name = fmt.Sprintf("thread %d", e.Thread)
+			}
+			out = append(out, chromeEvent{
+				Name: "thread_name", Ph: "M", PID: pid, TID: e.Thread,
+				Args: map[string]any{"name": name},
+			})
+		}
+	}
+
+	for _, e := range events {
+		ts := chromeTS(e)
+		row := chromeRow(e)
+		out = append(out, chromeEvent{
+			Name: chromeName(e), Cat: kindCats[e.Kind], Ph: "X",
+			TS: ts, Dur: 1, PID: pid, TID: row, Args: chromeArgs(e),
+		})
+		if e.Span == 0 {
+			continue
+		}
+		// Flow arrow for the span: start at the throw, step at the
+		// delivery, finish at the catch / uncaught finish.
+		flow := chromeEvent{
+			Name: "throwTo span", Cat: "exc",
+			TS: ts, PID: pid, TID: row, ID: e.Span,
+		}
+		switch e.Kind {
+		case KindThrowTo:
+			flow.Ph = "s"
+			spanStarted[e.Span] = true
+		case KindDeliver:
+			if !spanStarted[e.Span] {
+				continue
+			}
+			flow.Ph = "t"
+			spanDelivered[e.Span] = true
+		case KindCatch, KindFinish:
+			if !spanDelivered[e.Span] {
+				continue
+			}
+			flow.Ph = "f"
+			flow.BP = "e"
+			delete(spanDelivered, e.Span)
+		default:
+			continue
+		}
+		out = append(out, flow)
+	}
+
+	// Stable output for golden files: already in event order; the
+	// metadata block at the front is sorted by tid.
+	sortMeta(out)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(map[string]any{"traceEvents": out})
+}
+
+// sortMeta orders the leading "M" metadata records by (name, tid) so
+// output does not depend on map iteration while building them.
+func sortMeta(evs []chromeEvent) {
+	n := 0
+	for n < len(evs) && evs[n].Ph == "M" {
+		n++
+	}
+	sort.SliceStable(evs[:n], func(i, j int) bool {
+		if evs[i].Name != evs[j].Name {
+			return evs[i].Name < evs[j].Name
+		}
+		return evs[i].TID < evs[j].TID
+	})
+}

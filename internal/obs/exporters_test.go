@@ -1,0 +1,134 @@
+package obs
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"asyncexc/internal/exc"
+)
+
+var update = flag.Bool("update", false, "rewrite exporter golden files")
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden (run with -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("output differs from %s:\n--- got ---\n%s\n--- want ---\n%s", path, got, want)
+	}
+}
+
+// killChainEvents replays the paper's core scenario — a parent forks
+// a worker, throws ThreadKilled at it, the worker catches and dies —
+// through a real recorder so stamps are realistic.
+func killChainEvents(r *Recorder) []Event {
+	l := r.ShardLog(0)
+	span := r.NextSpan()
+	l.Record(Event{TS: 0, Kind: KindSpawn, Thread: 1, Label: "main"})
+	l.Record(Event{TS: 10, Kind: KindSpawn, Thread: 2, Peer: 1, Label: "worker"})
+	l.Record(Event{TS: 20, Kind: KindPark, Thread: 2, Arg: 4, Flags: uint8(ReasonTakeMVar)})
+	l.Record(Event{TS: 30, Kind: KindThrowTo, Thread: 2, Peer: 1, Span: span, Mask: 0, Exc: exc.ThreadKilled{}})
+	l.Record(Event{TS: 40, Kind: KindUnpark, Thread: 2, Arg: 4, Flags: uint8(ReasonTakeMVar)})
+	l.Record(Event{TS: 40, Kind: KindDeliver, Thread: 2, Span: span, Mask: 1, Arg: 10, Flags: FlagInterrupt, Exc: exc.ThreadKilled{}})
+	l.Record(Event{TS: 50, Kind: KindCatch, Thread: 2, Span: span, Exc: exc.ThreadKilled{}})
+	l.Record(Event{TS: 60, Kind: KindFinish, Thread: 2})
+	l.Record(Event{TS: 70, Kind: KindFinish, Thread: 1})
+	l.Flush()
+	return r.Snapshot()
+}
+
+// parallelEvents exercises the multi-shard kinds: stealing, shedding,
+// breaker transitions, restarts and an uncaught finish.
+func parallelEvents(r *Recorder) []Event {
+	l0, l1 := r.ShardLog(0), r.ShardLog(1)
+	span := r.NextSpan()
+	l0.Record(Event{TS: 0, Kind: KindSpawn, Thread: 1, Label: "supervisor"})
+	l0.Record(Event{TS: 5, Kind: KindSpawn, Thread: 2, Peer: 1, Label: "child"})
+	l1.Record(Event{TS: 10, Kind: KindSteal, Thread: 2, Arg: PackShards(0, 1)})
+	l0.Record(Event{TS: 15, Kind: KindShed, Thread: 1})
+	l0.Record(Event{TS: 20, Kind: KindBreaker, Thread: 1, Label: "db", Arg: PackTransition(0, 1)})
+	l0.Record(Event{TS: 25, Kind: KindThrowTo, Thread: 2, Peer: 1, Span: span, Mask: 2, Exc: exc.Timeout{}})
+	l1.Record(Event{TS: 30, Kind: KindDeliver, Thread: 2, Span: span, Mask: 0, Arg: 5, Exc: exc.Timeout{}})
+	l1.Record(Event{TS: 35, Kind: KindFinish, Thread: 2, Span: span, Flags: FlagUncaught, Exc: exc.Timeout{}})
+	l0.Record(Event{TS: 40, Kind: KindRestart, Thread: 1, Label: "child"})
+	l0.Record(Event{TS: 45, Kind: KindRetry, Thread: 1})
+	l0.Record(Event{TS: 50, Kind: KindDeadline, Thread: 1})
+	l0.Flush()
+	l1.Flush()
+	return r.Snapshot()
+}
+
+func TestWriteChromeTraceGolden(t *testing.T) {
+	cases := []struct {
+		name   string
+		golden string
+		events func(*Recorder) []Event
+	}{
+		{"kill-chain", "chrome_kill_chain.json", killChainEvents},
+		{"parallel", "chrome_parallel.json", parallelEvents},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			evs := tc.events(NewRecorder(64))
+			if bad := CheckInvariants(evs, Stats{}); len(bad) != 0 {
+				t.Fatalf("fixture violates invariants: %v", bad)
+			}
+			var buf bytes.Buffer
+			if err := WriteChromeTrace(&buf, evs); err != nil {
+				t.Fatal(err)
+			}
+			checkGolden(t, tc.golden, buf.Bytes())
+		})
+	}
+}
+
+func TestWritePrometheusGolden(t *testing.T) {
+	cases := []struct {
+		name    string
+		golden  string
+		samples func() []Sample
+	}{
+		{
+			name:   "recorder-self",
+			golden: "prom_recorder.txt",
+			samples: func() []Sample {
+				r := NewRecorder(8)
+				parallelEvents(r) // populates both shards
+				return r.Samples()
+			},
+		},
+		{
+			name:   "labels-and-escaping",
+			golden: "prom_labels.txt",
+			samples: func() []Sample {
+				return []Sample{
+					{Name: "axhttpd_requests_total", Help: "Requests served.", Type: Counter, Labels: map[string]string{"code": "200"}, Value: 12},
+					{Name: "axhttpd_requests_total", Type: Counter, Labels: map[string]string{"code": "500"}, Value: 3},
+					{Name: "sched_mailbox_depth", Help: "Cross-shard mailbox depth.", Type: Gauge, Labels: map[string]string{"shard": "0"}, Value: 0},
+					{Name: "odd_label", Help: "Escaping check.", Type: Gauge, Labels: map[string]string{"path": `C:\x "q"` + "\n"}, Value: 1.5},
+				}
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := WritePrometheus(&buf, tc.samples()); err != nil {
+				t.Fatal(err)
+			}
+			checkGolden(t, tc.golden, buf.Bytes())
+		})
+	}
+}

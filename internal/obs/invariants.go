@@ -1,0 +1,104 @@
+package obs
+
+import "fmt"
+
+// CheckInvariants validates a Seq-sorted snapshot against the
+// semantics the events claim to witness. It returns one message per
+// violation (empty slice = conformant). Checks that need the full
+// history (enqueue↔deliver matching) are skipped when the recorder
+// reports drops, since a wrapped ring legitimately loses prefixes;
+// order and mask checks always run.
+//
+// Invariants checked:
+//
+//   - Seq strictly increases (global order is total and duplicates
+//     are impossible).
+//   - Every delivery's enqueue is sequenced before it: a KindDeliver
+//     references a span whose KindThrowTo has a smaller Seq
+//     (happens-before: the throw's atomic stamp precedes the mailbox
+//     send precedes the delivery's stamp).
+//   - A span delivers at most once.
+//   - Rule Receive delivers only to unmasked targets; rule Interrupt
+//     (FlagInterrupt) only to interruptible ones (mask is never
+//     maskedUninterruptible).
+//   - A KindCatch or uncaught KindFinish with a span follows that
+//     span's delivery.
+func CheckInvariants(events []Event, st Stats) []string {
+	var bad []string
+	violate := func(format string, args ...any) {
+		bad = append(bad, fmt.Sprintf(format, args...))
+	}
+
+	complete := st.Dropped == 0
+	var lastSeq uint64
+	enqueued := map[uint64]Event{}  // span -> throwTo event
+	delivered := map[uint64]Event{} // span -> deliver event
+
+	for _, e := range events {
+		if e.Seq <= lastSeq {
+			violate("seq not strictly increasing at %v (prev %d)", e, lastSeq)
+		}
+		lastSeq = e.Seq
+
+		switch e.Kind {
+		case KindThrowTo:
+			if e.Span == 0 {
+				violate("throwTo without span: %v", e)
+				break
+			}
+			if prev, dup := enqueued[e.Span]; dup {
+				violate("span %d enqueued twice: %v and %v", e.Span, prev, e)
+			}
+			enqueued[e.Span] = e
+		case KindDeliver:
+			if e.Mask >= uint8(len(maskNames)) {
+				violate("deliver with invalid mask %d: %v", e.Mask, e)
+			} else if e.Flags&FlagInterrupt != 0 {
+				if MaskName(e.Mask) == "maskedUninterruptible" {
+					violate("rule Interrupt delivered to uninterruptible target: %v", e)
+				}
+			} else if e.Mask != 0 && e.Flags&FlagSelf == 0 {
+				// Self-directed synchronous throwTo (§9's special case)
+				// legitimately delivers under any mask; everything else
+				// on the Receive path must be unmasked.
+				violate("rule Receive delivered to masked target: %v", e)
+			}
+			if e.Span == 0 {
+				violate("deliver without span: %v", e)
+				break
+			}
+			if prev, dup := delivered[e.Span]; dup {
+				violate("span %d delivered twice: %v and %v", e.Span, prev, e)
+			}
+			delivered[e.Span] = e
+			enq, ok := enqueued[e.Span]
+			if !ok {
+				if complete {
+					violate("deliver without matching enqueue: %v", e)
+				}
+				break
+			}
+			if enq.Seq >= e.Seq {
+				violate("enqueue %v not sequenced before deliver %v", enq, e)
+			}
+			if enq.Thread != e.Thread {
+				violate("span %d enqueued against thread %d but delivered to %d", e.Span, enq.Thread, e.Thread)
+			}
+		case KindCatch:
+			if e.Span == 0 {
+				break // synchronous throw; no span to check
+			}
+			if _, ok := delivered[e.Span]; !ok && complete {
+				violate("catch of span %d with no prior deliver: %v", e.Span, e)
+			}
+		case KindFinish:
+			if e.Span == 0 || e.Flags&FlagUncaught == 0 {
+				break
+			}
+			if _, ok := delivered[e.Span]; !ok && complete {
+				violate("uncaught finish of span %d with no prior deliver: %v", e.Span, e)
+			}
+		}
+	}
+	return bad
+}

@@ -1,0 +1,115 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// SampleType is the Prometheus metric type of a Sample.
+type SampleType uint8
+
+const (
+	Counter SampleType = iota
+	Gauge
+)
+
+func (t SampleType) String() string {
+	if t == Gauge {
+		return "gauge"
+	}
+	return "counter"
+}
+
+// Sample is one metric point in the Prometheus text exposition
+// format. The exporter is deliberately generic — obs cannot import
+// the packages whose counters it exports (they import obs), so each
+// layer maps its own stats to samples (see httpd's /metrics handler).
+type Sample struct {
+	Name   string
+	Help   string
+	Type   SampleType
+	Labels map[string]string
+	Value  float64
+}
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return v
+}
+
+func formatValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus renders samples in the Prometheus text exposition
+// format (version 0.0.4). Samples sharing a Name are grouped under
+// one HELP/TYPE header, in first-appearance order; labels are emitted
+// sorted so output is deterministic.
+func WritePrometheus(w io.Writer, samples []Sample) error {
+	var names []string
+	byName := map[string][]Sample{}
+	for _, s := range samples {
+		if _, ok := byName[s.Name]; !ok {
+			names = append(names, s.Name)
+		}
+		byName[s.Name] = append(byName[s.Name], s)
+	}
+	var b strings.Builder
+	for _, name := range names {
+		group := byName[name]
+		if h := group[0].Help; h != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", name, h)
+		}
+		fmt.Fprintf(&b, "# TYPE %s %s\n", name, group[0].Type)
+		for _, s := range group {
+			b.WriteString(name)
+			if len(s.Labels) > 0 {
+				keys := make([]string, 0, len(s.Labels))
+				for k := range s.Labels {
+					keys = append(keys, k)
+				}
+				sort.Strings(keys)
+				b.WriteByte('{')
+				for i, k := range keys {
+					if i > 0 {
+						b.WriteByte(',')
+					}
+					fmt.Fprintf(&b, "%s=%q", k, escapeLabel(s.Labels[k]))
+				}
+				b.WriteByte('}')
+			}
+			b.WriteByte(' ')
+			b.WriteString(formatValue(s.Value))
+			b.WriteByte('\n')
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Samples maps the recorder's own volume counters to metrics, so the
+// tracing layer reports on itself (notably drops — the signal that
+// the ring is undersized for the event rate).
+func (r *Recorder) Samples() []Sample {
+	st := r.Stats()
+	out := []Sample{
+		{Name: "obs_events_recorded_total", Help: "Trace events stamped (committed or staged).", Type: Counter, Value: float64(st.Recorded)},
+		{Name: "obs_events_committed_total", Help: "Trace events committed to shard rings.", Type: Counter, Value: float64(st.Committed)},
+		{Name: "obs_events_dropped_total", Help: "Trace events lost to ring overwrite.", Type: Counter, Value: float64(st.Dropped)},
+		{Name: "obs_spans_total", Help: "throwTo spans allocated.", Type: Counter, Value: float64(st.Spans)},
+	}
+	for i, sh := range st.Shards {
+		lbl := map[string]string{"shard": strconv.Itoa(i)}
+		out = append(out,
+			Sample{Name: "obs_shard_events_committed_total", Help: "Trace events committed, per shard.", Type: Counter, Labels: lbl, Value: float64(sh.Committed)},
+			Sample{Name: "obs_shard_events_dropped_total", Help: "Trace events dropped, per shard.", Type: Counter, Labels: lbl, Value: float64(sh.Dropped)},
+		)
+	}
+	return out
+}

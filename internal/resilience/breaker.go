@@ -149,8 +149,11 @@ func (b *Breaker) pruned(failures []int64, now int64) []int64 {
 	return failures[i:]
 }
 
-func noteBreakerOpen() core.IO[core.Unit] {
-	return core.FromNode[core.Unit](sched.NoteBreakerOpen())
+// noteTransition records a mode change in the scheduler's counters and
+// obs event stream (KindBreaker); transitions into Open bump the
+// BreakerOpen counter.
+func (b *Breaker) noteTransition(from, to BreakerMode) core.IO[core.Unit] {
+	return core.FromNode[core.Unit](sched.NoteBreakerTransition(b.cfg.Name, int(from), int(to)))
 }
 
 // admit decides whether a Guard call may proceed; true means it holds
@@ -169,7 +172,8 @@ func (b *Breaker) admit() core.IO[bool] {
 				st.mode = HalfOpen
 				st.probes = 1
 				st.successes = 0
-				return core.Return(core.MkPair(st, true))
+				return core.Then(b.noteTransition(Open, HalfOpen),
+					core.Return(core.MkPair(st, true)))
 			case HalfOpen:
 				if st.probes >= b.cfg.HalfOpenProbes {
 					return core.Return(core.MkPair(st, false))
@@ -203,7 +207,9 @@ func (b *Breaker) settle(out settleOutcome) core.IO[core.Unit] {
 		// take — leaking the probe slot this mask exists to protect.
 		return core.ModifyMVarUninterruptible(b.state, func(st breakerState) core.IO[breakerState] {
 			st.failures = b.pruned(st.failures, now)
+			from := st.mode
 			trip := false
+			reclosed := false
 			switch st.mode {
 			case HalfOpen:
 				if st.probes > 0 {
@@ -215,6 +221,7 @@ func (b *Breaker) settle(out settleOutcome) core.IO[core.Unit] {
 					if st.successes >= b.cfg.HalfOpenProbes {
 						// The dependency is back: reclose clean.
 						st = breakerState{mode: Closed, trips: st.trips}
+						reclosed = true
 					}
 				case settleFailure:
 					// A probe failed: reopen and restart the cooldown.
@@ -243,7 +250,10 @@ func (b *Breaker) settle(out settleOutcome) core.IO[core.Unit] {
 			}
 			if trip {
 				st.trips++
-				return core.Then(noteBreakerOpen(), core.Return(st))
+				return core.Then(b.noteTransition(from, Open), core.Return(st))
+			}
+			if reclosed {
+				return core.Then(b.noteTransition(HalfOpen, Closed), core.Return(st))
 			}
 			return core.Return(st)
 		})

@@ -73,6 +73,7 @@ func (rt *RT) parkSleep(t *Thread, d time.Duration) {
 	}
 	rt.stats.Sleeps++
 	rt.trace(EvPark{Thread: t.id, Reason: "sleep"})
+	rt.obsPark(t, parkSleep, 0)
 }
 
 // fireTimersUpTo wakes every sleeper whose deadline is <= now,

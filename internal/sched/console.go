@@ -95,6 +95,7 @@ func (rt *RT) getCharOrPark(t *Thread) (Node, bool) {
 		c.mu.Unlock()
 	}
 	rt.trace(EvPark{Thread: t.id, Reason: "getChar"})
+	rt.obsPark(t, parkGetChar, 0)
 	return nil, true
 }
 

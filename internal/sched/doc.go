@@ -31,4 +31,18 @@
 // advances only when every thread is blocked), which makes timeout
 // tests instantaneous and reproducible; a real-time clock is available
 // for programs doing actual I/O.
+//
+// Setting Options.Shards > 1 runs the same programs on an M:N
+// work-stealing engine — one RT per shard, each owned by a worker
+// goroutine, with cross-shard throwTo and wakeups travelling as
+// mailbox messages applied only at scheduling boundaries, so the
+// paper's delivery points survive sharding unchanged (the design
+// argument and the committed-handoff protocol are in
+// docs/PARALLEL.md). Stats/ShardStats expose the counters either way.
+//
+// Setting Options.Observer attaches an event recorder (internal/obs):
+// the scheduler then records spawns, parks and wakes, steals, and the
+// full throwTo → deliver → catch span of every asynchronous exception,
+// with mask states and pending latency. With no observer every hook is
+// a nil compare; see docs/OBSERVABILITY.md.
 package sched

@@ -1,6 +1,9 @@
 package sched
 
-import "asyncexc/internal/exc"
+import (
+	"asyncexc/internal/exc"
+	"asyncexc/internal/obs"
+)
 
 // Interrupt delivers e to tid as an asynchronous exception originating
 // outside the program — the paper's "asynchronous interrupts from the
@@ -13,8 +16,9 @@ func (rt *RT) Interrupt(tid ThreadID, e exc.Exception) {
 		if target == nil {
 			return
 		}
-		if !rt.deliverLocal(target, pendingExc{e: e}) {
-			rt.eng.send(target.owner.Load(), shardMsg{kind: msgThrowTo, t: target, e: e})
+		span, enqNS := rt.obsEnqueue(tid, 0, e, obs.MaskUnknown, 0)
+		if !rt.deliverLocal(target, pendingExc{e: e, span: span, enqNS: enqNS}) {
+			rt.eng.send(target.owner.Load(), shardMsg{kind: msgThrowTo, t: target, e: e, span: span, enqNS: enqNS})
 		}
 		return
 	}
@@ -22,11 +26,12 @@ func (rt *RT) Interrupt(tid ThreadID, e exc.Exception) {
 	if target == nil || target.status == statusDone {
 		return
 	}
+	span, enqNS := rt.obsEnqueue(tid, 0, e, obs.MaskUnknown, 0)
 	if target.status == statusParked && target.mask.Interruptible() {
-		rt.interruptStuck(target, pendingExc{e: e}, false)
+		rt.interruptStuck(target, pendingExc{e: e, span: span, enqNS: enqNS}, false)
 		return
 	}
-	target.pending = append(target.pending, pendingExc{e: e})
+	target.pending = append(target.pending, pendingExc{e: e, span: span, enqNS: enqNS})
 }
 
 // InterruptMain sends e to the main thread; the idiom for converting a
@@ -77,6 +82,7 @@ func (rt *RT) parkAwaitCleanup(
 		}
 		t.park.cancel = start(complete)
 		rt.trace(EvPark{Thread: t.id, Reason: "await"})
+		rt.obsPark(t, parkAwait, 0)
 		return
 	}
 	rt.nextAwaitID++
@@ -95,6 +101,7 @@ func (rt *RT) parkAwaitCleanup(
 				return
 			}
 			if e != nil {
+				rt.obsUnpark(t)
 				t.status = statusRunnable
 				t.park = parkInfo{}
 				t.cur = throwNode{e}
@@ -107,4 +114,5 @@ func (rt *RT) parkAwaitCleanup(
 	}
 	t.park.cancel = start(complete)
 	rt.trace(EvPark{Thread: t.id, Reason: "await"})
+	rt.obsPark(t, parkAwait, 0)
 }

@@ -146,6 +146,7 @@ func (rt *RT) takeMVar(t *Thread, mv *MVar) (Node, bool) {
 	}
 	rt.stats.MVarTakeParks++
 	rt.trace(EvPark{Thread: t.id, Reason: "takeMVar", MVar: mv.id})
+	rt.obsPark(t, parkTakeMVar, mv.id)
 	return nil, true
 }
 
@@ -215,6 +216,7 @@ func (rt *RT) putMVar(t *Thread, mv *MVar, v any) (Node, bool) {
 	}
 	rt.stats.MVarPutParks++
 	rt.trace(EvPark{Thread: t.id, Reason: "putMVar", MVar: mv.id})
+	rt.obsPark(t, parkPutMVar, mv.id)
 	return nil, true
 }
 

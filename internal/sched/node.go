@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"asyncexc/internal/exc"
+	"asyncexc/internal/obs"
 )
 
 // Node is the untyped internal representation of an IO action. The
@@ -177,7 +178,7 @@ func Fork(m Node) Node { return ForkNamed(m, "") }
 // ForkNamed is Fork with a debug name attached to the child thread.
 func ForkNamed(m Node, name string) Node {
 	return primNode{name: "forkIO", step: func(rt *RT, t *Thread) (Node, bool) {
-		child := rt.spawn(m, name, t.mask)
+		child := rt.spawn(m, name, t.mask, t.id)
 		return retNode{child.id}, false
 	}}
 }
@@ -333,10 +334,23 @@ func Await(name string, start func(complete func(v any, e exc.Exception)) (cance
 	}}
 }
 
+// publishOwn refreshes this shard's published stats snapshot so a
+// worker-context read (a getStats-family primitive) observes its own
+// current-slice counters. Stats/ShardStats read only published
+// snapshots in parallel mode (they must be callable from any
+// goroutine), so without this a primitive would see its shard's
+// counters as of the previous slice boundary. No-op in serial mode.
+func (rt *RT) publishOwn() {
+	if rt.eng != nil {
+		rt.publishStats()
+	}
+}
+
 // Steps returns the total number of scheduler steps executed so far; a
 // Lift-able introspection hook used by fault-injection tests.
 func Steps() Node {
 	return primNode{name: "steps", step: func(rt *RT, t *Thread) (Node, bool) {
+		rt.publishOwn()
 		return retNode{rt.Stats().Steps}, false
 	}}
 }
@@ -374,6 +388,7 @@ func LiveThreads() Node {
 // surface runtime observability (e.g. httpd's /stats) from inside IO.
 func GetStats() Node {
 	return primNode{name: "getStats", step: func(rt *RT, t *Thread) (Node, bool) {
+		rt.publishOwn()
 		return retNode{rt.Stats()}, false
 	}}
 }
@@ -384,6 +399,7 @@ func GetStats() Node {
 // httpd's /stats) from inside IO.
 func GetShardStats() Node {
 	return primNode{name: "getShardStats", step: func(rt *RT, t *Thread) (Node, bool) {
+		rt.publishOwn()
 		return retNode{rt.ShardStats()}, false
 	}}
 }
@@ -391,42 +407,81 @@ func GetShardStats() Node {
 // NoteRestart bumps the SupervisorRestarts counter; called by
 // internal/supervise each time a child is restarted so soak runs are
 // diagnosable from scheduler stats alone.
-func NoteRestart() Node {
+func NoteRestart() Node { return NoteRestartNamed("") }
+
+// NoteRestartNamed is NoteRestart carrying the restarted child's name
+// into the obs event stream (KindRestart).
+func NoteRestartNamed(child string) Node {
 	return primNode{name: "noteRestart", step: func(rt *RT, t *Thread) (Node, bool) {
 		rt.stats.SupervisorRestarts++
+		rt.obsNote(t, obs.KindRestart, child, 0)
 		return retNode{UnitValue}, false
 	}}
 }
 
-// noteCounter builds a one-step primitive bumping a scheduler counter
-// on the executing shard; the resilience layer uses these so soak runs
-// and /stats can audit shedding, retries, breaker trips and expired
-// deadlines without any side channel.
-func noteCounter(name string, bump func(*Stats)) Node {
-	return primNode{name: name, step: func(rt *RT, t *Thread) (Node, bool) {
-		bump(&rt.stats)
-		return retNode{UnitValue}, false
-	}}
-}
-
-// NoteShed bumps the Shed counter (admission refused).
+// NoteShed bumps the Shed counter (admission refused) and records a
+// KindShed obs event.
 func NoteShed() Node {
-	return noteCounter("noteShed", func(s *Stats) { s.Shed++ })
+	return primNode{name: "noteShed", step: func(rt *RT, t *Thread) (Node, bool) {
+		rt.stats.Shed++
+		rt.obsNote(t, obs.KindShed, "", 0)
+		return retNode{UnitValue}, false
+	}}
 }
 
-// NoteRetry bumps the Retries counter (an attempt re-run).
+// NoteRetry bumps the Retries counter (an attempt re-run) and records
+// a KindRetry obs event.
 func NoteRetry() Node {
-	return noteCounter("noteRetry", func(s *Stats) { s.Retries++ })
+	return primNode{name: "noteRetry", step: func(rt *RT, t *Thread) (Node, bool) {
+		rt.stats.Retries++
+		rt.obsNote(t, obs.KindRetry, "", 0)
+		return retNode{UnitValue}, false
+	}}
 }
 
 // NoteBreakerOpen bumps the BreakerOpen counter (a breaker tripped).
+// Prefer NoteBreakerTransition, which also records the obs event with
+// the breaker's name and both endpoint states.
 func NoteBreakerOpen() Node {
-	return noteCounter("noteBreakerOpen", func(s *Stats) { s.BreakerOpen++ })
+	return primNode{name: "noteBreakerOpen", step: func(rt *RT, t *Thread) (Node, bool) {
+		rt.stats.BreakerOpen++
+		return retNode{UnitValue}, false
+	}}
 }
 
-// NoteDeadlineExpired bumps the DeadlineExpired counter.
+// NoteBreakerTransition records a circuit-breaker state change as a
+// KindBreaker obs event; from/to use the resilience package's mode
+// codes (0 closed, 1 open, 2 half-open). Transitions into open also
+// bump the BreakerOpen counter, matching NoteBreakerOpen.
+func NoteBreakerTransition(name string, from, to int) Node {
+	return primNode{name: "noteBreakerTransition", step: func(rt *RT, t *Thread) (Node, bool) {
+		if to == 1 {
+			rt.stats.BreakerOpen++
+		}
+		rt.obsNote(t, obs.KindBreaker, name, obs.PackTransition(from, to))
+		return retNode{UnitValue}, false
+	}}
+}
+
+// NoteDeadlineExpired bumps the DeadlineExpired counter and records a
+// KindDeadline obs event.
 func NoteDeadlineExpired() Node {
-	return noteCounter("noteDeadlineExpired", func(s *Stats) { s.DeadlineExpired++ })
+	return primNode{name: "noteDeadlineExpired", step: func(rt *RT, t *Thread) (Node, bool) {
+		rt.stats.DeadlineExpired++
+		rt.obsNote(t, obs.KindDeadline, "", 0)
+		return retNode{UnitValue}, false
+	}}
+}
+
+// CurrentSpan returns the obs span id of the most recently delivered
+// asynchronous exception in the calling thread (uint64; 0 when none
+// has been delivered, the last one was already caught, or no Observer
+// is configured). Handlers use it to tag their cleanup work with the
+// span of the exception that triggered it.
+func CurrentSpan() Node {
+	return primNode{name: "currentSpan", step: func(rt *RT, t *Thread) (Node, bool) {
+		return retNode{t.excSpan}, false
+	}}
 }
 
 // MailboxDepths returns the instantaneous mailbox length of every

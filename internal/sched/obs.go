@@ -1,0 +1,178 @@
+package sched
+
+import (
+	"asyncexc/internal/exc"
+	"asyncexc/internal/obs"
+)
+
+// This file wires the obs tracing layer (internal/obs) into the
+// scheduler. Every hook is nil-guarded on rt.olog, so with no
+// Observer configured the cost is one pointer compare and the
+// serial-mode AllocsPerRun ceilings are untouched; with an Observer,
+// recording is an atomic sequence stamp plus an append into the
+// shard-owned staging buffer (no locks on the hot path — see
+// obs.ShardLog).
+//
+// The span discipline: every site that places an exception in flight
+// (rt.throwTo and its shard variant, rt.Interrupt, the deadlock
+// detectors) allocates a span id and records a KindThrowTo event with
+// the thrower's mask state; the span and enqueue timestamp travel
+// inside the pendingExc (and across shards inside the msgThrowTo
+// message), so the eventual KindDeliver event can report the pending
+// latency and the same span. Delivery stores the span on the target
+// (Thread.excSpan), where the catch-frame unwind or the uncaught
+// finish picks it up — closing the thrower → target → handler chain
+// the exporters render as flow arrows.
+
+// obsAttach connects this shard to the recorder; called once from
+// NewRT (serial / shard 0) and buildEngine (other shards).
+func (rt *RT) obsAttach(shard int) {
+	if rt.opts.Observer != nil {
+		rt.olog = rt.opts.Observer.ShardLog(shard)
+	}
+}
+
+// obsFlush commits staged events; called at slice boundaries, idle
+// transitions and shutdown (the same cadence as publishStats).
+func (rt *RT) obsFlush() {
+	if rt.olog != nil {
+		rt.olog.Flush()
+	}
+}
+
+// obsEnqueue allocates a span and records an exception being placed
+// in flight against target tid (rule ThrowTo; also environment
+// interrupts and the deadlock detector). from is 0 for throws
+// originating outside the program; mask is the thrower's mask state
+// or obs.MaskUnknown. It returns the span id and enqueue timestamp to
+// store in the pendingExc — both zero when no observer is attached.
+func (rt *RT) obsEnqueue(tid ThreadID, from ThreadID, e exc.Exception, mask uint8, flags uint8) (span uint64, enqNS int64) {
+	if rt.olog == nil {
+		return 0, 0
+	}
+	span = rt.opts.Observer.NextSpan()
+	enqNS = rt.nowNS()
+	rt.olog.Record(obs.Event{
+		TS: enqNS, Span: span, Thread: int64(tid), Peer: int64(from),
+		Exc: e, Kind: obs.KindThrowTo, Mask: mask, Flags: flags,
+	})
+	return span, enqNS
+}
+
+// obsDeliver records a pending exception being raised in t (rules
+// Receive and Interrupt) and parks the span on the thread for the
+// eventual catch/finish event. Arg carries the pending latency.
+func (rt *RT) obsDeliver(t *Thread, p pendingExc, flags uint8) {
+	t.excSpan = p.span
+	if rt.olog == nil || p.span == 0 {
+		return
+	}
+	now := rt.nowNS()
+	var lat uint64
+	if p.enqNS > 0 && now > p.enqNS {
+		lat = uint64(now - p.enqNS)
+	}
+	rt.olog.Record(obs.Event{
+		TS: now, Span: p.span, Thread: int64(t.id), Arg: lat,
+		Exc: p.e, Kind: obs.KindDeliver, Mask: uint8(t.mask), Flags: flags,
+	})
+}
+
+// obsSpawn records a thread creation (revised rule Fork).
+func (rt *RT) obsSpawn(t *Thread, parent ThreadID) {
+	if rt.olog == nil {
+		return
+	}
+	if t.name == "" {
+		rt.olog.Stage(obs.KindSpawn, rt.nowNS(), 0, int64(t.id), int64(parent), 0, uint8(t.mask), 0)
+		return
+	}
+	rt.olog.Record(obs.Event{
+		TS: rt.nowNS(), Thread: int64(t.id), Peer: int64(parent),
+		Label: t.name, Kind: obs.KindSpawn, Mask: uint8(t.mask),
+	})
+}
+
+// obsFinish records a thread completing (rules Return GC / Throw GC).
+func (rt *RT) obsFinish(t *Thread, e exc.Exception) {
+	if rt.olog == nil {
+		return
+	}
+	if e == nil {
+		rt.olog.Stage(obs.KindFinish, rt.nowNS(), 0, int64(t.id), 0, 0, 0, 0)
+		return
+	}
+	rt.olog.Record(obs.Event{
+		TS: rt.nowNS(), Thread: int64(t.id), Kind: obs.KindFinish,
+		Exc: e, Flags: obs.FlagUncaught, Span: t.excSpan,
+	})
+}
+
+// obsCatch records a handler being entered (rule Catch); the span is
+// non-zero when the caught exception arrived asynchronously. The
+// thread's span is consumed: later frames handle later exceptions.
+func (rt *RT) obsCatch(t *Thread, e exc.Exception) {
+	span := t.excSpan
+	t.excSpan = 0
+	if rt.olog == nil {
+		return
+	}
+	rt.olog.Record(obs.Event{
+		TS: rt.nowNS(), Span: span, Thread: int64(t.id),
+		Exc: e, Kind: obs.KindCatch,
+	})
+}
+
+// obsReasons maps park kinds to obs reasons (same order by design).
+var obsReasons = [...]obs.Reason{
+	parkNone:     obs.ReasonNone,
+	parkTakeMVar: obs.ReasonTakeMVar,
+	parkPutMVar:  obs.ReasonPutMVar,
+	parkSleep:    obs.ReasonSleep,
+	parkGetChar:  obs.ReasonGetChar,
+	parkAwait:    obs.ReasonAwait,
+	parkThrowTo:  obs.ReasonThrowTo,
+}
+
+// obsPark records a thread becoming stuck; arg is the MVar id for
+// MVar parks, 0 otherwise.
+func (rt *RT) obsPark(t *Thread, kind parkKind, arg uint64) {
+	if rt.olog == nil {
+		return
+	}
+	rt.olog.Stage(obs.KindPark, rt.nowNS(), 0, int64(t.id), 0, arg, 0, uint8(obsReasons[kind]))
+}
+
+// obsUnpark records a stuck thread becoming runnable; called before
+// t.park is reset so the reason is still known.
+func (rt *RT) obsUnpark(t *Thread) {
+	if rt.olog == nil {
+		return
+	}
+	var arg uint64
+	if mv := t.park.mv; mv != nil {
+		arg = mv.id
+	}
+	rt.olog.Stage(obs.KindUnpark, rt.nowNS(), 0, int64(t.id), 0, arg, 0, uint8(obsReasons[t.park.kind]))
+}
+
+// obsSteal records a thread migrating between shards.
+func (rt *RT) obsSteal(t *Thread, from, to int) {
+	if rt.olog == nil {
+		return
+	}
+	rt.olog.Stage(obs.KindSteal, rt.nowNS(), 0, int64(t.id), 0, obs.PackShards(from, to), 0, 0)
+}
+
+// obsNote records a resilience/supervision event (shed, retry,
+// breaker transition, deadline, restart) from the thread that
+// observed it.
+func (rt *RT) obsNote(t *Thread, kind obs.Kind, label string, arg uint64) {
+	if rt.olog == nil {
+		return
+	}
+	rt.olog.Record(obs.Event{
+		TS: rt.nowNS(), Thread: int64(t.id), Arg: arg,
+		Label: label, Kind: kind,
+	})
+}

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"asyncexc/internal/exc"
+	"asyncexc/internal/obs"
 )
 
 // Options configures a runtime.
@@ -48,6 +49,13 @@ type Options struct {
 	Stdin string
 	// Tracer receives scheduler events when non-nil.
 	Tracer func(Event)
+	// Observer, when non-nil, records fixed-shape obs.Events at the
+	// paper's delivery points (spawn, throwTo enqueue/deliver, catch,
+	// park/unpark, steal, ...) into per-shard ring buffers; see
+	// internal/obs and docs/OBSERVABILITY.md. Unlike Tracer it is
+	// designed for production use: the hot path takes no locks and
+	// allocates nothing.
+	Observer *obs.Recorder
 	// DisableFrameCancellation turns off the §8.1 adjacent-frame
 	// cancellation (ablation switch for experiment E7).
 	DisableFrameCancellation bool
@@ -109,6 +117,9 @@ type RT struct {
 
 	stats Stats
 
+	// olog is this shard's obs event log (nil when no Observer).
+	olog *obs.ShardLog
+
 	mainThread *Thread
 	realEpoch  time.Time
 
@@ -150,6 +161,8 @@ func NewRT(opts Options) *RT {
 	rt.console = &console{rt: rt, in: []rune(opts.Stdin), mirror: opts.Stdout}
 	if opts.Shards > 1 {
 		rt.buildEngine()
+	} else {
+		rt.obsAttach(0)
 	}
 	return rt
 }
@@ -218,8 +231,9 @@ func (rt *RT) External(f func(*RT)) {
 }
 
 // spawn creates a thread running m. Per the revised (Fork) rule the
-// child starts with the supplied mask state (its parent's).
-func (rt *RT) spawn(m Node, name string, mask MaskState) *Thread {
+// child starts with the supplied mask state (its parent's). parent is
+// 0 for the main thread.
+func (rt *RT) spawn(m Node, name string, mask MaskState, parent ThreadID) *Thread {
 	var id ThreadID
 	if rt.eng != nil {
 		id = ThreadID(rt.eng.nextTID.Add(1))
@@ -237,6 +251,7 @@ func (rt *RT) spawn(m Node, name string, mask MaskState) *Thread {
 	}
 	rt.enqueue(t)
 	rt.stats.Forks++
+	rt.obsSpawn(t, parent)
 	return t
 }
 
@@ -276,8 +291,9 @@ func (rt *RT) RunMain(main Node) (Result, error) {
 		return rt.runParallel(main)
 	}
 	rt.realEpoch = time.Now()
-	rt.mainThread = rt.spawn(main, "main", Unmasked)
+	rt.mainThread = rt.spawn(main, "main", Unmasked, 0)
 	for {
+		rt.obsFlush()
 		rt.drainExternal()
 		if rt.opts.Clock == RealClock {
 			rt.syncRealClock()
@@ -288,16 +304,19 @@ func (rt *RT) RunMain(main Node) (Result, error) {
 			for id := range rt.threads {
 				delete(rt.threads, id)
 			}
+			rt.obsFlush()
 			return Result{Value: rt.mainThread.doneVal, Exc: rt.mainThread.doneExc}, nil
 		}
 		t := rt.nextRunnable()
 		if t == nil {
 			if err := rt.idle(); err != nil {
+				rt.obsFlush()
 				return Result{}, err
 			}
 			continue
 		}
 		if err := rt.runSlice(t); err != nil {
+			rt.obsFlush()
 			return Result{}, err
 		}
 	}
@@ -342,7 +361,7 @@ func (rt *RT) step(t *Thread) {
 		switch t.cur.(type) {
 		case primNode, retNode, throwNode:
 			p := t.dequeuePending()
-			rt.noteDelivered(t, p)
+			rt.noteDelivered(t, p, false)
 			t.cur = throwNode{p.e}
 		}
 	}
@@ -402,6 +421,7 @@ func (rt *RT) step(t *Thread) {
 			rt.putCatchFrame(f)
 			t.cur = h(n.e)
 			rt.stats.Handled++
+			rt.obsCatch(t, n.e)
 		}
 
 	case bindNode:
@@ -454,6 +474,7 @@ func (rt *RT) finish(t *Thread, v any, e exc.Exception) {
 		rt.wakeWaiter(p)
 	}
 	t.pending = nil
+	rt.obsFinish(t, e)
 	if rt.eng != nil {
 		rt.eng.table.del(t.id)
 		rt.eng.live.Add(-1)
@@ -470,6 +491,7 @@ func (rt *RT) finish(t *Thread, v any, e exc.Exception) {
 // return v. Used by MVar handoff, timers, console input and await
 // completions.
 func (rt *RT) unparkWithValue(t *Thread, v any) {
+	rt.obsUnpark(t)
 	t.status = statusRunnable
 	t.park = parkInfo{}
 	t.cur = retNode{v}
@@ -561,7 +583,8 @@ func (rt *RT) interruptStuck(t *Thread, p pendingExc, wakeWaiterOnDeliver bool) 
 		t.pending = append(t.pending, p)
 		return false
 	}
-	rt.noteDeliveredDirect(t, p.e)
+	rt.obsUnpark(t)
+	rt.noteDeliveredDirect(t, p)
 	if wakeWaiterOnDeliver {
 		rt.wakeWaiter(p)
 	}
@@ -631,11 +654,18 @@ func (rt *RT) deliverLocal(t *Thread, p pendingExc) bool {
 }
 
 // noteDelivered records a pending exception being raised in t and wakes
-// a synchronous thrower, if any.
-func (rt *RT) noteDelivered(t *Thread, p pendingExc) {
+// a synchronous thrower, if any. interrupted distinguishes delivery at
+// an interruptible operation about to wait (§5.3, the in-step analogue
+// of rule Interrupt) from rule (Receive) at an unmasked redex boundary.
+func (rt *RT) noteDelivered(t *Thread, p pendingExc, interrupted bool) {
 	rt.stats.Delivered++
 	rt.wakeWaiter(p)
-	rt.trace(EvDeliver{Thread: t.id, Exc: p.e, StepNo: rt.stats.Steps})
+	rt.trace(EvDeliver{Thread: t.id, Exc: p.e, Interrupted: interrupted, StepNo: rt.stats.Steps})
+	var flags uint8
+	if interrupted {
+		flags = obs.FlagInterrupt
+	}
+	rt.obsDeliver(t, p, flags)
 }
 
 // throwTo implements §5/§8.2 and the §9 synchronous variant. Called
@@ -651,30 +681,24 @@ func (rt *RT) throwTo(from *Thread, tid ThreadID, e exc.Exception) (Node, bool) 
 		// "If the thread t has already died or completed, then throwTo
 		// trivially succeeds" (§5).
 		rt.stats.ThrowToDead++
+		rt.obsEnqueue(tid, from.id, e, uint8(from.mask), obs.FlagTargetDead)
 		return retNode{UnitValue}, false
 	}
 	if target == from {
-		// Self-throw. Asynchronous design: the exception goes in
-		// flight against ourselves and rule (Receive) fires at the
-		// next boundary if unmasked. Synchronous design: §9 notes this
-		// needs a special case — deliver immediately.
-		if rt.opts.SyncThrowTo {
-			rt.stats.Delivered++
-			return throwNode{e}, false
-		}
-		from.pending = append(from.pending, pendingExc{e: e})
-		return retNode{UnitValue}, false
+		return rt.throwToSelf(from, e)
 	}
 	if target.status == statusParked && target.mask.Interruptible() {
 		// Rule (Interrupt): stuck threads receive the exception at
 		// once, in any context.
-		rt.interruptStuck(target, pendingExc{e: e}, false)
+		span, enqNS := rt.obsEnqueue(tid, from.id, e, uint8(from.mask), 0)
+		rt.interruptStuck(target, pendingExc{e: e, span: span, enqNS: enqNS}, false)
 		return retNode{UnitValue}, false
 	}
 	if !rt.opts.SyncThrowTo {
 		// Rule (ThrowTo): spawn the exception in flight; the caller
 		// continues immediately.
-		target.pending = append(target.pending, pendingExc{e: e})
+		span, enqNS := rt.obsEnqueue(tid, from.id, e, uint8(from.mask), 0)
+		target.pending = append(target.pending, pendingExc{e: e, span: span, enqNS: enqNS})
 		return retNode{UnitValue}, false
 	}
 	// Synchronous design: park until delivery; the wait is itself
@@ -682,12 +706,31 @@ func (rt *RT) throwTo(from *Thread, tid ThreadID, e exc.Exception) (Node, bool) 
 	if n, interrupted := from.raisePendingForPark(); interrupted {
 		return n, false
 	}
+	span, enqNS := rt.obsEnqueue(tid, from.id, e, uint8(from.mask), obs.FlagSync)
 	from.parkSeq++
-	target.pending = append(target.pending, pendingExc{e: e, waiter: from, waiterSeq: from.parkSeq})
+	target.pending = append(target.pending, pendingExc{e: e, waiter: from, waiterSeq: from.parkSeq, span: span, enqNS: enqNS})
 	from.status = statusParked
 	from.park = parkInfo{kind: parkThrowTo, target: target}
 	rt.trace(EvPark{Thread: from.id, Reason: "throwTo"})
+	rt.obsPark(from, parkThrowTo, 0)
 	return nil, true
+}
+
+// throwToSelf handles throwTo targeting the calling thread.
+// Asynchronous design: the exception goes in flight against ourselves
+// and rule (Receive) fires at the next boundary if unmasked.
+// Synchronous design: §9 notes this needs a special case — deliver
+// immediately, regardless of mask state.
+func (rt *RT) throwToSelf(from *Thread, e exc.Exception) (Node, bool) {
+	if rt.opts.SyncThrowTo {
+		span, enqNS := rt.obsEnqueue(from.id, from.id, e, uint8(from.mask), obs.FlagSelf|obs.FlagSync)
+		rt.stats.Delivered++
+		rt.obsDeliver(from, pendingExc{e: e, span: span, enqNS: enqNS}, obs.FlagSelf|obs.FlagSync)
+		return throwNode{e}, false
+	}
+	span, enqNS := rt.obsEnqueue(from.id, from.id, e, uint8(from.mask), obs.FlagSelf)
+	from.pending = append(from.pending, pendingExc{e: e, span: span, enqNS: enqNS})
+	return retNode{UnitValue}, false
 }
 
 // throwToShard is throwTo in parallel mode. Targets owned by this
@@ -700,42 +743,43 @@ func (rt *RT) throwToShard(from *Thread, tid ThreadID, e exc.Exception) (Node, b
 	target := rt.eng.lookup(tid)
 	if target == nil {
 		rt.stats.ThrowToDead++
+		rt.obsEnqueue(tid, from.id, e, uint8(from.mask), obs.FlagTargetDead)
 		return retNode{UnitValue}, false
 	}
 	if target == from {
-		if rt.opts.SyncThrowTo {
-			rt.stats.Delivered++
-			return throwNode{e}, false
-		}
-		from.pending = append(from.pending, pendingExc{e: e})
-		return retNode{UnitValue}, false
+		return rt.throwToSelf(from, e)
 	}
 	if target.owner.Load() != rt {
 		rt.stats.CrossShardThrowTo++
 	}
 	if !rt.opts.SyncThrowTo {
-		if target.owner.Load() == rt && rt.deliverLocal(target, pendingExc{e: e}) {
+		span, enqNS := rt.obsEnqueue(tid, from.id, e, uint8(from.mask), 0)
+		p := pendingExc{e: e, span: span, enqNS: enqNS}
+		if target.owner.Load() == rt && rt.deliverLocal(target, p) {
 			return retNode{UnitValue}, false
 		}
-		rt.eng.send(target.owner.Load(), shardMsg{kind: msgThrowTo, t: target, e: e})
+		rt.eng.send(target.owner.Load(), shardMsg{kind: msgThrowTo, t: target, e: e, span: span, enqNS: enqNS})
 		return retNode{UnitValue}, false
 	}
 	if n, interrupted := from.raisePendingForPark(); interrupted {
 		return n, false
 	}
+	span, enqNS := rt.obsEnqueue(tid, from.id, e, uint8(from.mask), obs.FlagSync)
 	from.parkSeq++
 	from.status = statusParked
 	from.park = parkInfo{kind: parkThrowTo, target: target}
 	rt.trace(EvPark{Thread: from.id, Reason: "throwTo"})
-	rt.eng.send(target.owner.Load(), shardMsg{kind: msgThrowTo, t: target, e: e, waiter: from, waiterSeq: from.parkSeq})
+	rt.obsPark(from, parkThrowTo, 0)
+	rt.eng.send(target.owner.Load(), shardMsg{kind: msgThrowTo, t: target, e: e, waiter: from, waiterSeq: from.parkSeq, span: span, enqNS: enqNS})
 	return nil, true
 }
 
 // noteDeliveredDirect records an (Interrupt)-path delivery that did not
 // go through the pending queue.
-func (rt *RT) noteDeliveredDirect(t *Thread, e exc.Exception) {
+func (rt *RT) noteDeliveredDirect(t *Thread, p pendingExc) {
 	rt.stats.Delivered++
-	rt.trace(EvDeliver{Thread: t.id, Exc: e, Interrupted: true, StepNo: rt.stats.Steps})
+	rt.trace(EvDeliver{Thread: t.id, Exc: p.e, Interrupted: true, StepNo: rt.stats.Steps})
+	rt.obsDeliver(t, p, obs.FlagInterrupt)
 }
 
 // parkAwait parks t until an external completion for this await
@@ -847,7 +891,8 @@ func (rt *RT) deadlock() error {
 	rt.stats.Deadlocks++
 	rt.trace(EvDeadlock{Threads: ids})
 	for _, t := range stuck {
-		rt.interruptStuck(t, pendingExc{e: exc.BlockedIndefinitely{}}, false)
+		span, enqNS := rt.obsEnqueue(t.id, 0, exc.BlockedIndefinitely{}, obs.MaskUnknown, obs.FlagDeadlock)
+		rt.interruptStuck(t, pendingExc{e: exc.BlockedIndefinitely{}, span: span, enqNS: enqNS}, false)
 	}
 	return nil
 }

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"asyncexc/internal/exc"
+	"asyncexc/internal/obs"
 )
 
 // This file implements the parallel execution engine: the runtime
@@ -70,6 +71,10 @@ type shardMsg struct {
 	waiterSeq uint64
 	seq       uint64 // parkSeq (msgWakeWaiter) or awaitID (msgAwaitDone)
 	dropped   func(v any, e exc.Exception)
+	// span and enqNS carry the obs span id and enqueue timestamp of a
+	// msgThrowTo across shards (see pendingExc).
+	span  uint64
+	enqNS int64
 }
 
 // threadTable is the striped id → thread map shared by all shards.
@@ -261,6 +266,7 @@ func (rt *RT) buildEngine() {
 		s.eng = e
 		s.shardID = i
 		s.wakeCh = make(chan struct{}, 1)
+		s.obsAttach(i)
 	}
 }
 
@@ -273,7 +279,7 @@ func (rt *RT) runParallel(main Node) (Result, error) {
 	n := len(e.shards)
 	e.realEpoch = time.Now()
 	rt.realEpoch = e.realEpoch
-	e.mainThread = rt.spawn(main, "main", Unmasked)
+	e.mainThread = rt.spawn(main, "main", Unmasked, 0)
 	rt.mainThread = e.mainThread
 
 	var wg sync.WaitGroup
@@ -303,6 +309,7 @@ func (rt *RT) workerLoop() {
 		select {
 		case <-e.done:
 			rt.publishStats()
+			rt.obsFlush()
 			return
 		default:
 		}
@@ -319,6 +326,7 @@ func (rt *RT) workerLoop() {
 		}
 		if t == nil {
 			rt.publishStats()
+			rt.obsFlush()
 			if err := rt.idleShard(); err != nil {
 				e.fail(err)
 			}
@@ -326,6 +334,7 @@ func (rt *RT) workerLoop() {
 		}
 		rt.runSliceShard(t)
 		rt.publishStats()
+		rt.obsFlush()
 	}
 }
 
@@ -399,7 +408,7 @@ func (rt *RT) applyMsg(m shardMsg) {
 	e := rt.eng
 	switch m.kind {
 	case msgThrowTo:
-		if !rt.deliverLocal(m.t, pendingExc{e: m.e, waiter: m.waiter, waiterSeq: m.waiterSeq}) {
+		if !rt.deliverLocal(m.t, pendingExc{e: m.e, waiter: m.waiter, waiterSeq: m.waiterSeq, span: m.span, enqNS: m.enqNS}) {
 			e.send(m.t.owner.Load(), m)
 		}
 
@@ -462,6 +471,7 @@ func (rt *RT) applyMsg(m shardMsg) {
 		}
 		t := m.t
 		if m.e != nil {
+			rt.obsUnpark(t)
 			t.status = statusRunnable
 			t.park = parkInfo{}
 			t.cur = throwNode{m.e}
@@ -528,6 +538,7 @@ func (rt *RT) steal() *Thread {
 			e.runnable.Add(-1)
 			rt.stats.Steals++
 			rt.trace(EvSteal{Thread: t.id, From: v.shardID, To: rt.shardID})
+			rt.obsSteal(t, v.shardID, rt.shardID)
 			return t
 		}
 		v.smu.Unlock()
@@ -751,24 +762,26 @@ func (rt *RT) parallelDeadlock() error {
 	for _, t := range stuck {
 		t.owner.Store(rt)
 		t.rt = rt
-		rt.interruptStuck(t, pendingExc{e: exc.BlockedIndefinitely{}}, false)
+		span, enqNS := rt.obsEnqueue(t.id, 0, exc.BlockedIndefinitely{}, obs.MaskUnknown, obs.FlagDeadlock)
+		rt.interruptStuck(t, pendingExc{e: exc.BlockedIndefinitely{}, span: span, enqNS: enqNS}, false)
 	}
 	return nil
 }
 
 // ShardStats returns one Stats snapshot per shard ([1]Stats in serial
-// mode). Snapshots of other shards are published at slice granularity,
-// so mid-run reads may lag by up to one slice.
+// mode). In parallel mode every shard's counters — including the
+// calling shard's own — are read from the snapshot each worker
+// publishes under its shard lock at slice boundaries, so ShardStats is
+// safe from any goroutine while shards run; mid-run reads may lag by
+// up to one slice. (Worker-context readers that need current-slice
+// freshness publish their own shard first: see the getStats family of
+// primitives.)
 func (rt *RT) ShardStats() []Stats {
 	if rt.eng == nil {
 		return []Stats{rt.stats}
 	}
 	out := make([]Stats, len(rt.eng.shards))
 	for i, s := range rt.eng.shards {
-		if s == rt {
-			out[i] = rt.stats
-			continue
-		}
 		s.smu.Lock()
 		out[i] = s.statsSnap
 		s.smu.Unlock()

@@ -1,0 +1,82 @@
+package sched
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestStatsConcurrentWithRun hammers Stats and ShardStats from outside
+// the scheduler while a parallel run is in flight. Before ShardStats
+// was switched to snapshot-only reads, the calling goroutine read the
+// live rt.stats of whichever shard it happened to be (always a foreign
+// worker's here), which -race flags; now every shard is read from
+// statsSnap under its shard lock. Run with -race.
+func TestStatsConcurrentWithRun(t *testing.T) {
+	rt := NewRT(parOpts(4))
+	main := Bind(NewEmptyMVar(), func(a any) Node {
+		ping := a.(*MVar)
+		return Bind(NewEmptyMVar(), func(b any) Node {
+			pong := b.(*MVar)
+			var drive func(i int) Node
+			drive = func(i int) Node {
+				if i == 0 {
+					return Return("done")
+				}
+				return Bind(PutMVar(ping, i), func(any) Node {
+					return Bind(TakeMVar(pong), func(any) Node { return drive(i - 1) })
+				})
+			}
+			var echo func(i int) Node
+			echo = func(i int) Node {
+				if i == 0 {
+					return Return(UnitValue)
+				}
+				return Bind(TakeMVar(ping), func(v any) Node {
+					return Bind(PutMVar(pong, v), func(any) Node { return echo(i - 1) })
+				})
+			}
+			return Bind(ForkNamed(echo(500), "echo"), func(any) Node { return drive(500) })
+		})
+	})
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var last Stats
+			for !stop.Load() {
+				st := rt.Stats()
+				// Counters are monotonic; a snapshot that moves
+				// backwards would mean we read a torn or stale-then
+				// -fresh interleaving across shards locks.
+				if st.Forks < last.Forks || st.MVarTakes < last.MVarTakes {
+					t.Errorf("stats went backwards: %+v after %+v", st, last)
+					return
+				}
+				last = st
+				for i, s := range rt.ShardStats() {
+					_ = i
+					_ = s.Steps
+				}
+				time.Sleep(50 * time.Microsecond)
+			}
+		}()
+	}
+
+	res, err := rt.RunMain(main)
+	stop.Store(true)
+	wg.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value != "done" || res.Exc != nil {
+		t.Fatalf("unexpected result: %+v", res)
+	}
+	if st := rt.Stats(); st.Forks < 1 {
+		t.Fatalf("expected at least one fork, got %+v", st)
+	}
+}

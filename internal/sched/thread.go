@@ -101,6 +101,11 @@ type pendingExc struct {
 	// dropped when the waiter has since been interrupted and re-parked
 	// (parallel mode; always matches in serial mode).
 	waiterSeq uint64
+	// span and enqNS carry the obs tracing span id and enqueue
+	// timestamp from the throwTo site to the delivery event; both zero
+	// when no Observer is configured.
+	span  uint64
+	enqNS int64
 }
 
 // parkInfo records why a thread is parked and how to extract it.
@@ -168,6 +173,11 @@ type Thread struct {
 	// overflowed is set by push when the stack bound is exceeded; the
 	// next step converts it into a StackOverflow raise.
 	overflowed bool
+
+	// excSpan is the obs span id of the most recently delivered
+	// asynchronous exception, consumed by the catch-frame unwind or
+	// the uncaught finish (0 when none, or with no Observer).
+	excSpan uint64
 }
 
 // ID returns the thread's identifier.
@@ -234,6 +244,6 @@ func (t *Thread) raisePendingForPark() (Node, bool) {
 		return nil, false
 	}
 	p := t.dequeuePending()
-	t.rt.noteDelivered(t, p)
+	t.rt.noteDelivered(t, p, true)
 	return throwNode{p.e}, true
 }

@@ -369,7 +369,7 @@ func (st *runState) restart(failed *childState) core.IO[core.Unit] {
 		}
 
 		note := core.Then(
-			core.FromNode[core.Unit](sched.NoteRestart()),
+			core.FromNode[core.Unit](sched.NoteRestartNamed(failed.spec.ID)),
 			core.Lift(func() core.Unit {
 				st.s.Metrics.Restarts.Add(1)
 				return core.UnitValue
