@@ -24,13 +24,17 @@
 //	               recorded by the tree and answered with a 500
 //	/stats       — live counters: server, scheduler, supervision tree
 //	/metrics     — the same counters in Prometheus text exposition
-//	               format (enabled with -metrics, default on)
+//	               format (enabled with -metrics, default on), plus
+//	               the pending-latency histogram
+//	/trace/stream?ms=N — live runtime events as chunked NDJSON for N
+//	               milliseconds (capped below the request timeout)
 //
 // With -trace-out FILE the runtime records scheduler and
 // exception-delivery events (internal/obs) and writes them as a Chrome
 // trace_event JSON file at shutdown; load it at chrome://tracing or
 // https://ui.perfetto.dev to see every throwTo as a flow arrow from
-// thrower to victim to catch frame. See docs/OBSERVABILITY.md.
+// thrower to victim to catch frame. -trace-mask narrows which event
+// kinds are recorded at the source. See docs/OBSERVABILITY.md.
 package main
 
 import (
@@ -69,11 +73,20 @@ func main() {
 	metrics := flag.Bool("metrics", true, "serve Prometheus text exposition on /metrics")
 	traceOut := flag.String("trace-out", "", "write a Chrome trace_event JSON file here at shutdown (enables event recording)")
 	traceBuf := flag.Int("trace-buf", 0, "per-shard event ring capacity (0 = obs.DefaultRingCap); oldest events are dropped when it wraps")
+	traceMask := flag.String("trace-mask", "all", "event kinds to record: a comma-separated include list (\"throwTo,deliver,catch\"), a \"-\"-prefixed exclude list (\"-park,-unpark\"), \"all\", or \"none\"")
 	flag.Parse()
 
 	var rec *obs.Recorder
 	if *traceOut != "" || *metrics {
 		rec = obs.NewRecorder(*traceBuf)
+		mask, err := obs.ParseKindMask(*traceMask)
+		if err != nil {
+			log.Fatalf("-trace-mask: %v", err)
+		}
+		rec.SetKindMask(mask)
+		if mask != obs.AllKinds {
+			log.Printf("trace: recording kinds %s", obs.FormatKindMask(mask))
+		}
 	}
 
 	srv := httpd.New(httpd.Config{
@@ -169,6 +182,13 @@ func main() {
 			})
 		})
 	})
+	if rec != nil {
+		// Live NDJSON event stream: one chunk per flush, duration set
+		// by ?ms= and capped below the request timeout so the reaper
+		// never truncates a well-formed stream mid-chunk.
+		maxMS := int(timeout.Milliseconds() * 3 / 4)
+		srv.Handle("/trace/stream", httpd.TraceStreamHandler(rec, 100*time.Millisecond, maxMS))
+	}
 	if *metrics {
 		srv.Handle("/metrics", srv.MetricsHandler(func() []obs.Sample {
 			tr := tree.Load()

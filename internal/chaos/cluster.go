@@ -1,0 +1,350 @@
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+	"time"
+
+	"asyncexc/internal/cluster"
+	"asyncexc/internal/core"
+	"asyncexc/internal/sched"
+)
+
+// ClusterConfig sizes a distributed soak: three nodes (A, B, C) on an
+// in-memory network, where B hosts victims, C watches them, and A
+// kills them while the network misbehaves.
+type ClusterConfig struct {
+	// Seed drives the scenario mix and the network's fault coin.
+	Seed int64
+	// Rounds is how many spawn/monitor/kill rounds to run.
+	Rounds int
+	// Shards > 1 runs every node on the parallel engine.
+	Shards int
+	// Heartbeat is the link liveness interval (zero: 50ms). Failure
+	// detection fires after two silent intervals, so the interval
+	// doubles as the soak's tolerance for scheduler starvation: on a
+	// host running the whole test suite in parallel, a link's
+	// goroutines can stall for tens of milliseconds, and an interval
+	// shorter than that makes the detector declare spurious nodeDowns.
+	Heartbeat time.Duration
+}
+
+// DefaultClusterConfig is the CI shape: 100 rounds, serial engine.
+func DefaultClusterConfig() ClusterConfig {
+	return ClusterConfig{Seed: 1, Rounds: 100, Shards: 1, Heartbeat: 50 * time.Millisecond}
+}
+
+// ClusterReport is what a soak observed. Violations is empty iff every
+// delivery invariant held:
+//
+//   - every round produced exactly one Down at the watcher — never
+//     zero, never two (at-most-once delivery survives duplication);
+//   - every victim's bracket cleanup ran exactly once;
+//   - the Down reason matches the scenario (Killed for remote kills,
+//     NodeDown for partitions, Exited for normal exits);
+//   - B injected exactly one throwTo per kill (dedup caught every
+//     duplicated frame);
+//   - no links leak: opened minus closed equals the live peer count
+//     on every node after partition/heal churn.
+type ClusterReport struct {
+	Rounds      int
+	Kills       int
+	DupKills    int
+	Partitions  int
+	NormalExits int
+	// Downs counts Down deliveries by reason string.
+	Downs map[string]int
+	// DupDropped is how many duplicated frames B's dedup discarded.
+	DupDropped uint64
+	Violations []string
+}
+
+func (r *ClusterReport) violate(format string, args ...any) {
+	r.Violations = append(r.Violations, fmt.Sprintf(format, args...))
+}
+
+// soakNode is one cluster member with its own running system.
+type soakNode struct {
+	node *cluster.Node
+	sys  *core.System
+	done chan struct{}
+}
+
+func startSoakNode(id cluster.NodeID, mn *cluster.MemNetwork, shards int, hb time.Duration) (*soakNode, error) {
+	opts := core.RealTimeOptions()
+	opts.Shards = shards
+	sys := core.NewSystem(opts)
+	n := cluster.NewNode(id, sys, mn.Endpoint(string(id)), cluster.Options{Heartbeat: hb})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		// The main thread sleeps so the idle loop waits on a timer
+		// instead of tripping the deadlock detector.
+		core.RunSystem(sys, core.Void(core.Sleep(time.Hour))) //nolint:errcheck
+	}()
+	if _, err := n.Serve(string(id)); err != nil {
+		sys.KillMain()
+		<-done
+		return nil, err
+	}
+	return &soakNode{node: n, sys: sys, done: done}, nil
+}
+
+func (sn *soakNode) stop() {
+	sn.node.Close()
+	sn.sys.KillMain()
+	<-sn.done
+}
+
+// spawn runs prog as a green thread on this node; escaped exceptions
+// are swallowed (the soak judges outcomes by its own counters).
+func (sn *soakNode) spawn(name string, prog core.IO[core.Unit]) {
+	wrapped := core.Void(core.Try(prog))
+	sn.sys.RT().External(func(rt *sched.RT) {
+		rt.Spawn(wrapped.Node(), name)
+	})
+}
+
+func waitUntil(timeout time.Duration, pred func() bool) bool {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if pred() {
+			return true
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return false
+}
+
+// Scenario kinds, chosen per round by the seeded rng.
+const (
+	scenKill = iota
+	scenDupKill
+	scenPartition
+	scenNormalExit
+	scenCount
+)
+
+// ClusterSoak runs the three-node distributed soak. Round shape: B
+// exports a fresh victim (a bracket holding a resource, parked in
+// takeMVar), C monitors it and confirms registration with a whereis
+// round-trip on the same link (frames are ordered, so the reply
+// proves the monitor frame landed), then the scenario fires:
+//
+//	kill       A throws ThreadKilled at the victim over the wire.
+//	dupKill    Same, with the A→B direction duplicating every frame.
+//	partition  B↔C is blackholed; C's monitor must fire NodeDown via
+//	           heartbeat failure detection; then heal, A reaps the
+//	           orphaned victim, C reconnects.
+//	normalExit The victim is released and exits normally.
+//
+// Every round asserts exactly one Down with the scenario's reason and
+// exactly one cleanup run; the end of the soak checks frame-level
+// at-most-once delivery and link conservation across all the churn.
+func ClusterSoak(cfg ClusterConfig) ClusterReport {
+	if cfg.Rounds <= 0 {
+		cfg.Rounds = 100
+	}
+	if cfg.Heartbeat <= 0 {
+		cfg.Heartbeat = 50 * time.Millisecond
+	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = 1
+	}
+	rep := ClusterReport{Rounds: cfg.Rounds, Downs: map[string]int{}}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	mn := cluster.NewMemNetwork(cfg.Seed)
+
+	nodes := map[cluster.NodeID]*soakNode{}
+	for _, id := range []cluster.NodeID{"A", "B", "C"} {
+		sn, err := startSoakNode(id, mn, cfg.Shards, cfg.Heartbeat)
+		if err != nil {
+			rep.violate("start node %s: %v", id, err)
+			for _, other := range nodes {
+				other.stop()
+			}
+			return rep
+		}
+		nodes[id] = sn
+	}
+	a, b, c := nodes["A"], nodes["B"], nodes["C"]
+	defer func() {
+		a.stop()
+		b.stop()
+		c.stop()
+	}()
+
+	connect := func(from *soakNode, to cluster.NodeID) bool {
+		from.spawn("connect", core.Void(cluster.Connect(from.node, string(to))))
+		return waitUntil(5*time.Second, func() bool {
+			for _, p := range from.node.Peers() {
+				if p == to {
+					return true
+				}
+			}
+			return false
+		})
+	}
+	if !connect(a, "B") || !connect(c, "B") {
+		rep.violate("initial connect timed out")
+		return rep
+	}
+
+	// A duplicated frame rides the same synchronous pipe as the
+	// original, so the window for a double delivery to surface is wall
+	// clock, not heartbeat-relative — a fixed settle keeps the soak
+	// fast even with a generous (contention-tolerant) heartbeat.
+	const settle = 20 * time.Millisecond
+	expectKills := uint64(0)
+
+	for round := 0; round < cfg.Rounds; round++ {
+		scen := rng.Intn(scenCount)
+		name := fmt.Sprintf("victim-%d", round)
+		var cleanups, downs atomic.Int32
+		var release atomic.Bool
+		var monReady atomic.Bool
+		refCh := make(chan cluster.RemoteRef, 1)
+		downCh := make(chan cluster.Down, 4)
+
+		// The victim: bracket a resource, then park (or spin on the
+		// release flag for normal-exit rounds). Cleanup must run
+		// exactly once no matter how the body ends.
+		body := core.Bind(core.NewEmptyMVar[core.Unit](), func(mv core.MVar[core.Unit]) core.IO[core.Unit] {
+			if scen == scenNormalExit {
+				return core.IterateUntil(core.Then(
+					core.Sleep(time.Millisecond),
+					core.Lift(release.Load)))
+			}
+			return core.Void(core.Take(mv))
+		})
+		victim := core.Bracket(
+			core.Return(core.UnitValue),
+			func(core.Unit) core.IO[core.Unit] { return body },
+			func(core.Unit) core.IO[core.Unit] {
+				return core.Lift(func() core.Unit { cleanups.Add(1); return core.UnitValue })
+			})
+
+		b.spawn("spawn-"+name, core.Bind(
+			cluster.SpawnRegistered(b.node, name, victim),
+			func(ref cluster.RemoteRef) core.IO[core.Unit] {
+				return core.Lift(func() core.Unit { refCh <- ref; return core.UnitValue })
+			}))
+		var ref cluster.RemoteRef
+		select {
+		case ref = <-refCh:
+		case <-time.After(5 * time.Second):
+			rep.violate("round %d: spawn timed out", round)
+			return rep
+		}
+
+		// C monitors, then proves the monitor frame landed on B with a
+		// whereis round-trip on the same (ordered) link before Await.
+		c.spawn("watch-"+name, core.Bind(
+			cluster.Monitor(c.node, ref),
+			func(m cluster.Monitored) core.IO[core.Unit] {
+				confirm := core.Void(core.Try(cluster.WhereIs(c.node, "B", name)))
+				return core.Then(confirm, core.Then(
+					core.Lift(func() core.Unit { monReady.Store(true); return core.UnitValue }),
+					core.Bind(m.Await(), func(d cluster.Down) core.IO[core.Unit] {
+						return core.Lift(func() core.Unit {
+							downs.Add(1)
+							downCh <- d
+							return core.UnitValue
+						})
+					})))
+			}))
+		if !waitUntil(5*time.Second, monReady.Load) {
+			rep.violate("round %d: monitor registration timed out", round)
+			return rep
+		}
+
+		wantReason := cluster.DownKilled
+		switch scen {
+		case scenKill:
+			rep.Kills++
+			expectKills++
+			a.spawn("kill-"+name, core.Void(core.Try(cluster.Kill(a.node, ref))))
+		case scenDupKill:
+			rep.DupKills++
+			expectKills++
+			mn.SetFault("A", "B", cluster.Fault{DupProb: 1})
+			a.spawn("dupkill-"+name, core.Void(core.Try(cluster.Kill(a.node, ref))))
+		case scenPartition:
+			rep.Partitions++
+			wantReason = cluster.DownNodeDown
+			mn.Partition("B", "C")
+		case scenNormalExit:
+			rep.NormalExits++
+			wantReason = cluster.DownExited
+			release.Store(true)
+		}
+
+		var down cluster.Down
+		select {
+		case down = <-downCh:
+		case <-time.After(5 * time.Second):
+			rep.violate("round %d (scen %d): no Down delivered", round, scen)
+			return rep
+		}
+		rep.Downs[down.Reason.String()]++
+		if down.Reason != wantReason {
+			rep.violate("round %d (scen %d): Down reason %v, want %v", round, scen, down.Reason, wantReason)
+		}
+		if down.Ref != ref {
+			rep.violate("round %d: Down for %v, want %v", round, down.Ref, ref)
+		}
+
+		// Scenario-specific repair before the next round.
+		switch scen {
+		case scenDupKill:
+			mn.SetFault("A", "B", cluster.Fault{})
+		case scenPartition:
+			// The victim is still parked on B; A reaps it so the
+			// cleanup invariant holds for every round.
+			expectKills++
+			a.spawn("reap-"+name, core.Void(core.Try(cluster.Kill(a.node, ref))))
+			mn.Heal("B", "C")
+			if !connect(c, "B") {
+				rep.violate("round %d: reconnect after partition timed out", round)
+				return rep
+			}
+		}
+
+		if !waitUntil(5*time.Second, func() bool { return cleanups.Load() == 1 }) {
+			rep.violate("round %d (scen %d): cleanup ran %d times, want 1", round, scen, cleanups.Load())
+			return rep
+		}
+		// Settle long enough for a duplicated or repeated delivery to
+		// have surfaced, then check nothing fired twice.
+		time.Sleep(settle)
+		if got := downs.Load(); got != 1 {
+			rep.violate("round %d (scen %d): %d Downs delivered, want 1", round, scen, got)
+		}
+		if got := cleanups.Load(); got != 1 {
+			rep.violate("round %d (scen %d): cleanup ran %d times after settle, want 1", round, scen, got)
+		}
+	}
+
+	// Frame-level at-most-once: B must have injected exactly one
+	// throwTo per kill, however many duplicates the wire produced.
+	if got := b.node.Stats.RemoteThrows.Load(); got != expectKills {
+		rep.violate("B injected %d remote throws, want %d", got, expectKills)
+	}
+	rep.DupDropped = b.node.Stats.DupDropped.Load()
+	if rep.DupKills > 0 && rep.DupDropped == 0 {
+		rep.violate("dup rounds ran but dedup dropped nothing")
+	}
+
+	// Link conservation: after all the churn, every node's opened
+	// minus closed links equals its live peer count.
+	for id, sn := range nodes {
+		opened := sn.node.Stats.LinksOpened.Load()
+		closed := sn.node.Stats.LinksClosed.Load()
+		peers := len(sn.node.Peers())
+		if opened-closed != uint64(peers) {
+			rep.violate("node %s: %d links opened, %d closed, %d live peers — leak", id, opened, closed, peers)
+		}
+	}
+	return rep
+}

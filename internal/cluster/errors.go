@@ -1,0 +1,71 @@
+package cluster
+
+import "asyncexc/internal/exc"
+
+// NotConnectedError is thrown by operations that name a peer this
+// node holds no link to. It is synchronous — the failure is detected
+// before anything leaves the node.
+type NotConnectedError struct {
+	// Node is the peer there is no link to.
+	Node NodeID
+}
+
+// ExceptionName implements exc.Exception.
+func (NotConnectedError) ExceptionName() string { return "ClusterNotConnected" }
+
+// Eq implements exc.Exception.
+func (e NotConnectedError) Eq(o exc.Exception) bool {
+	oe, ok := o.(NotConnectedError)
+	return ok && oe == e
+}
+
+func (e NotConnectedError) String() string { return "not connected to node " + string(e.Node) }
+
+// Error implements error.
+func (e NotConnectedError) Error() string { return e.String() }
+
+// NodeDownError reports that the link to a peer died while an
+// operation depended on it: a pending whereis/spawn fails with it,
+// and a monitor's Down{NodeDown} carries it. supervise.Classify maps
+// it to Crashed, so a RemoteChild whose host vanished is restarted.
+type NodeDownError struct {
+	// Node is the peer whose link died.
+	Node NodeID
+}
+
+// ExceptionName implements exc.Exception.
+func (NodeDownError) ExceptionName() string { return "ClusterNodeDown" }
+
+// Eq implements exc.Exception.
+func (e NodeDownError) Eq(o exc.Exception) bool {
+	oe, ok := o.(NodeDownError)
+	return ok && oe == e
+}
+
+func (e NodeDownError) String() string { return "node down: " + string(e.Node) }
+
+// Error implements error.
+func (e NodeDownError) Error() string { return e.String() }
+
+// RemoteError reports a failure answered by the peer itself, e.g. a
+// SpawnRemote naming a service the peer has not registered.
+type RemoteError struct {
+	// Node is the answering peer.
+	Node NodeID
+	// Msg is the peer's error text.
+	Msg string
+}
+
+// ExceptionName implements exc.Exception.
+func (RemoteError) ExceptionName() string { return "ClusterRemote" }
+
+// Eq implements exc.Exception.
+func (e RemoteError) Eq(o exc.Exception) bool {
+	oe, ok := o.(RemoteError)
+	return ok && oe == e
+}
+
+func (e RemoteError) String() string { return "remote error from " + string(e.Node) + ": " + e.Msg }
+
+// Error implements error.
+func (e RemoteError) Error() string { return e.String() }

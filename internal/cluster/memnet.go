@@ -1,0 +1,216 @@
+package cluster
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"time"
+)
+
+// MemNetwork is an in-memory multi-endpoint network built on
+// net.Pipe, used by the chaos suite and tests to run whole clusters
+// inside one process. Every endpoint address is just a string; each
+// directed (from, to) pair can be given faults:
+//
+//   - Partition: writes are blackholed (they report success and the
+//     bytes vanish), so the receiver's heartbeat detector — not a
+//     socket error — must notice the dead link.
+//   - Delay: each write sleeps first, simulating a slow path.
+//   - Duplicate: each write is issued twice with probability p
+//     (seeded, deterministic), exercising the per-link sequence
+//     numbers' at-most-once guarantee. Frames are written with one
+//     Write call each, so a duplicated write is a duplicated frame.
+//
+// Faults apply per direction; Partition/Heal helpers set both.
+type MemNetwork struct {
+	mu        sync.Mutex
+	listeners map[string]*memListener
+	faults    map[[2]string]*Fault
+	rng       uint64
+}
+
+// Fault is the per-direction fault state of one (from, to) pair.
+type Fault struct {
+	// Partitioned blackholes writes in this direction.
+	Partitioned bool
+	// Delay is slept before each write.
+	Delay time.Duration
+	// DupProb duplicates each write with this probability.
+	DupProb float64
+}
+
+// NewMemNetwork creates an empty network; seed drives the duplicate
+// coin flips (xorshift, deterministic per seed).
+func NewMemNetwork(seed int64) *MemNetwork {
+	s := uint64(seed)
+	if s == 0 {
+		s = 0x9e3779b97f4a7c15
+	}
+	return &MemNetwork{
+		listeners: map[string]*memListener{},
+		faults:    map[[2]string]*Fault{},
+		rng:       s,
+	}
+}
+
+// Endpoint returns the Transport for one node: Listen binds the
+// node's own address, Dial opens connections whose write-side faults
+// are looked up under (host, peer).
+func (m *MemNetwork) Endpoint(host string) Transport {
+	return memEndpoint{net: m, host: host}
+}
+
+// SetFault installs the fault state for the directed pair (from, to).
+func (m *MemNetwork) SetFault(from, to string, f Fault) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.faults[[2]string{from, to}] = &f
+}
+
+// Partition blackholes both directions between a and b.
+func (m *MemNetwork) Partition(a, b string) {
+	m.setPartition(a, b, true)
+}
+
+// Heal clears the partition between a and b (other faults remain).
+func (m *MemNetwork) Heal(a, b string) {
+	m.setPartition(a, b, false)
+}
+
+func (m *MemNetwork) setPartition(a, b string, on bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, k := range [][2]string{{a, b}, {b, a}} {
+		f := m.faults[k]
+		if f == nil {
+			f = &Fault{}
+			m.faults[k] = f
+		}
+		f.Partitioned = on
+	}
+}
+
+// fault snapshots the fault state for one direction.
+func (m *MemNetwork) fault(from, to string) Fault {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if f := m.faults[[2]string{from, to}]; f != nil {
+		return *f
+	}
+	return Fault{}
+}
+
+// flip draws a deterministic coin with probability p.
+func (m *MemNetwork) flip(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	m.mu.Lock()
+	m.rng ^= m.rng << 13
+	m.rng ^= m.rng >> 7
+	m.rng ^= m.rng << 17
+	v := float64(m.rng>>11) / float64(1<<53)
+	m.mu.Unlock()
+	return v < p
+}
+
+type memEndpoint struct {
+	net  *MemNetwork
+	host string
+}
+
+func (e memEndpoint) Listen(addr string) (net.Listener, error) {
+	e.net.mu.Lock()
+	defer e.net.mu.Unlock()
+	if _, dup := e.net.listeners[addr]; dup {
+		return nil, errors.New("memnet: address in use: " + addr)
+	}
+	l := &memListener{addr: addr, net: e.net, ch: make(chan net.Conn, 8), closed: make(chan struct{})}
+	e.net.listeners[addr] = l
+	return l, nil
+}
+
+func (e memEndpoint) Dial(addr string) (net.Conn, error) {
+	e.net.mu.Lock()
+	l := e.net.listeners[addr]
+	e.net.mu.Unlock()
+	if l == nil {
+		return nil, errors.New("memnet: connection refused: " + addr)
+	}
+	c1, c2 := net.Pipe()
+	client := &memConn{Conn: c1, net: e.net, from: e.host, to: addr}
+	server := &memConn{Conn: c2, net: e.net, from: addr, to: e.host}
+	select {
+	case l.ch <- server:
+		return client, nil
+	case <-l.closed:
+		c1.Close() //nolint:errcheck // refused
+		c2.Close() //nolint:errcheck
+		return nil, errors.New("memnet: connection refused: " + addr)
+	}
+}
+
+type memListener struct {
+	addr   string
+	net    *MemNetwork
+	ch     chan net.Conn
+	closed chan struct{}
+	once   sync.Once
+}
+
+func (l *memListener) Accept() (net.Conn, error) {
+	select {
+	case c := <-l.ch:
+		return c, nil
+	case <-l.closed:
+		return nil, errors.New("memnet: listener closed: " + l.addr)
+	}
+}
+
+func (l *memListener) Close() error {
+	l.once.Do(func() {
+		close(l.closed)
+		l.net.mu.Lock()
+		if l.net.listeners[l.addr] == l {
+			delete(l.net.listeners, l.addr)
+		}
+		l.net.mu.Unlock()
+	})
+	return nil
+}
+
+func (l *memListener) Addr() net.Addr { return memAddr(l.addr) }
+
+type memAddr string
+
+func (a memAddr) Network() string { return "mem" }
+func (a memAddr) String() string  { return string(a) }
+
+// memConn applies directional faults on the write side; reads and
+// deadlines delegate to the underlying pipe.
+type memConn struct {
+	net.Conn
+	net  *MemNetwork
+	from string
+	to   string
+}
+
+func (c *memConn) Write(p []byte) (int, error) {
+	f := c.net.fault(c.from, c.to)
+	if f.Partitioned {
+		return len(p), nil // blackhole: success, bytes vanish
+	}
+	if f.Delay > 0 {
+		time.Sleep(f.Delay)
+	}
+	n, err := c.Conn.Write(p)
+	if err == nil && c.net.flip(f.DupProb) {
+		// Duplicate the whole write; a second failure is invisible to
+		// the caller, as a real duplicating network would be.
+		c.Conn.Write(p) //nolint:errcheck
+	}
+	return n, err
+}
+
+func (c *memConn) LocalAddr() net.Addr  { return memAddr(c.from) }
+func (c *memConn) RemoteAddr() net.Addr { return memAddr(c.to) }

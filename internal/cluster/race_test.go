@@ -1,0 +1,131 @@
+package cluster
+
+import (
+	"math/rand"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"asyncexc/internal/core"
+	"asyncexc/internal/exc"
+	"asyncexc/internal/iomgr"
+)
+
+// raceVictim parks in an iomgr read (interruptible await, rule Stuck)
+// under a bracket and a catch frame, with a local deadline thread that
+// throws Timeout at it — the same thread a remote kill is about to
+// target. Whichever exception wins, the bracket cleanup must run
+// exactly once and the catch frame must unwind at most once.
+func raceVictim(d time.Duration, left net.Conn, handlers, cleanups *atomic.Int32, caught *atomic.Value) core.IO[core.Unit] {
+	park := core.Void(iomgr.DoCancel("race-read",
+		func() (int, error) {
+			buf := make([]byte, 1)
+			return left.Read(buf)
+		},
+		func() { left.Close() }, //nolint:errcheck
+		nil))
+	body := core.Bracket(
+		core.Return(core.UnitValue),
+		func(core.Unit) core.IO[core.Unit] { return park },
+		func(core.Unit) core.IO[core.Unit] {
+			return core.Lift(func() core.Unit { cleanups.Add(1); return core.UnitValue })
+		})
+	deadline := func(me core.ThreadID) core.IO[core.Unit] {
+		// The target may already be gone when the timer fires; Try
+		// absorbs the error instead of crashing the timer thread.
+		return core.Then(core.Sleep(d), core.Void(core.Try(core.ThrowTo(me, exc.Timeout{}))))
+	}
+	timed := core.Bind(core.MyThreadID(), func(me core.ThreadID) core.IO[core.Unit] {
+		return core.Then(core.Void(core.ForkNamed(deadline(me), "race.deadline")), body)
+	})
+	return core.Catch(timed, func(e exc.Exception) core.IO[core.Unit] {
+		return core.Lift(func() core.Unit {
+			handlers.Add(1)
+			caught.Store(e.ExceptionName())
+			return core.UnitValue
+		})
+	})
+}
+
+// TestDeadlineRemoteKillRace races an iomgr deadline against a remote
+// kill for the same parked thread, across many seeded timings on both
+// engines. However the race lands — timeout first, kill first, kill
+// into the handler — the thread unwinds once: one cleanup, at most one
+// handler entry, one Down.
+func TestDeadlineRemoteKillRace(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		seed   int64
+		shards int
+	}{
+		{"serial", 101, 1},
+		{"4shard", 102, 4},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(tc.seed))
+			hb := 25 * time.Millisecond
+			mn := NewMemNetwork(tc.seed)
+			a := startNode(t, "A", mn, tc.shards, hb)
+			b := startNode(t, "B", mn, tc.shards, hb)
+			c := startNode(t, "C", mn, tc.shards, hb)
+			a.run(t, "connect", core.Void(Connect(a.node, "B")))
+			c.run(t, "connect", core.Void(Connect(c.node, "B")))
+			waitFor(t, "links up", func() bool {
+				return a.node.lookupLink("B") != nil && c.node.lookupLink("B") != nil
+			})
+
+			const iters = 24
+			deadlineD := 4 * time.Millisecond
+			for i := 0; i < iters; i++ {
+				var handlers, cleanups, downs atomic.Int32
+				var caught atomic.Value
+				left, right := net.Pipe()
+
+				refCh := make(chan RemoteRef, 1)
+				b.run(t, "spawn", core.Bind(
+					SpawnRegistered(b.node, "race-victim", raceVictim(deadlineD, left, &handlers, &cleanups, &caught)),
+					func(ref RemoteRef) core.IO[core.Unit] {
+						return core.Lift(func() core.Unit { refCh <- ref; return core.UnitValue })
+					}))
+				ref := <-refCh
+
+				var monReady atomic.Bool
+				c.run(t, "watch", core.Bind(Monitor(c.node, ref), func(m Monitored) core.IO[core.Unit] {
+					confirm := core.Void(core.Try(WhereIs(c.node, "B", "race-victim")))
+					return core.Then(confirm, core.Then(
+						core.Lift(func() core.Unit { monReady.Store(true); return core.UnitValue }),
+						core.Bind(m.Await(), func(Down) core.IO[core.Unit] {
+							return core.Lift(func() core.Unit { downs.Add(1); return core.UnitValue })
+						})))
+				}))
+				waitFor(t, "monitor ready", monReady.Load)
+
+				// The kill lands somewhere in a window straddling the
+				// deadline, so across iterations every interleaving
+				// gets exercised.
+				killDelay := time.Duration(2+rng.Intn(5)) * time.Millisecond
+				time.Sleep(killDelay)
+				a.run(t, "kill", core.Void(core.Try(Kill(a.node, ref))))
+
+				waitFor(t, "cleanup", func() bool { return cleanups.Load() == 1 })
+				waitFor(t, "down", func() bool { return downs.Load() == 1 })
+				time.Sleep(2 * deadlineD) // let any late loser surface
+
+				if got := cleanups.Load(); got != 1 {
+					t.Fatalf("iter %d (delay %v): cleanup ran %d times, want 1", i, killDelay, got)
+				}
+				if got := handlers.Load(); got > 1 {
+					t.Fatalf("iter %d (delay %v): handler entered %d times, want at most 1", i, killDelay, got)
+				}
+				if got := downs.Load(); got != 1 {
+					t.Fatalf("iter %d (delay %v): %d Downs, want 1", i, killDelay, got)
+				}
+				if e, ok := caught.Load().(string); ok && e != "Timeout" && e != "ThreadKilled" {
+					t.Fatalf("iter %d: handler caught %q, want Timeout or ThreadKilled", i, e)
+				}
+				right.Close() //nolint:errcheck
+			}
+		})
+	}
+}

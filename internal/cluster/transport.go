@@ -1,0 +1,38 @@
+package cluster
+
+import (
+	"net"
+	"time"
+)
+
+// Transport abstracts how nodes reach each other, so the same link
+// manager runs over real TCP in production and over the in-memory
+// chaos network in tests. Implementations must return net.Conns that
+// honour SetReadDeadline/SetWriteDeadline — the link manager uses
+// write deadlines to bound a stalled peer.
+type Transport interface {
+	// Listen binds the node's accept endpoint.
+	Listen(addr string) (net.Listener, error)
+	// Dial opens a connection to a peer's endpoint.
+	Dial(addr string) (net.Conn, error)
+}
+
+// TCP is the production transport: plain net TCP with a bounded dial.
+type TCP struct {
+	// DialTimeout bounds Dial; zero means 5s.
+	DialTimeout time.Duration
+}
+
+// Listen implements Transport.
+func (t TCP) Listen(addr string) (net.Listener, error) {
+	return net.Listen("tcp", addr)
+}
+
+// Dial implements Transport.
+func (t TCP) Dial(addr string) (net.Conn, error) {
+	d := t.DialTimeout
+	if d <= 0 {
+		d = 5 * time.Second
+	}
+	return net.DialTimeout("tcp", addr, d)
+}

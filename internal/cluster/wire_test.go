@@ -1,0 +1,108 @@
+package cluster
+
+import (
+	"testing"
+
+	"asyncexc/internal/exc"
+	"asyncexc/internal/supervise"
+)
+
+// roundTrip encodes f and decodes the payload back.
+func roundTrip(t *testing.T, f frame) frame {
+	t.Helper()
+	b := f.encode()
+	got, err := decodeFrame(b[4:])
+	if err != nil {
+		t.Fatalf("decode %v: %v", f.kind, err)
+	}
+	return got
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	cases := []frame{
+		{kind: fHello, seq: 1, name: "nodeA"},
+		{kind: fHelloAck, seq: 2, name: "nodeB"},
+		{kind: fPing, seq: 3},
+		{kind: fPong, seq: 4},
+		{kind: fThrowTo, seq: 5, tid: 42, span: 777, exc: exc.ThreadKilled{}},
+		{kind: fMonitor, seq: 6, ref: 9, tid: 42},
+		{kind: fDemonitor, seq: 7, ref: 9},
+		{kind: fDown, seq: 8, ref: 9, flag: uint8(DownCrashed), exc: exc.ErrorCall{Msg: "boom"}},
+		{kind: fDown, seq: 9, ref: 10, flag: uint8(DownExited)},
+		{kind: fWhereis, seq: 10, ref: 11, name: "worker"},
+		{kind: fWhereisReply, seq: 11, ref: 11, flag: 1, tid: 42},
+		{kind: fWhereisReply, seq: 12, ref: 12, flag: 0},
+		{kind: fSpawn, seq: 13, ref: 13, name: "svc"},
+		{kind: fSpawnReply, seq: 14, ref: 13, flag: 1, tid: 99},
+		{kind: fSpawnReply, seq: 15, ref: 14, flag: 0, name: "unknown service: svc"},
+	}
+	for _, want := range cases {
+		got := roundTrip(t, want)
+		if got.kind != want.kind || got.seq != want.seq || got.tid != want.tid ||
+			got.span != want.span || got.ref != want.ref || got.flag != want.flag ||
+			got.name != want.name {
+			t.Errorf("%v: got %+v want %+v", want.kind, got, want)
+		}
+		if (got.exc == nil) != (want.exc == nil) {
+			t.Errorf("%v: exc presence mismatch: got %v want %v", want.kind, got.exc, want.exc)
+		} else if want.exc != nil && !exc.Equal(got.exc, want.exc) {
+			t.Errorf("%v: exc got %v want %v", want.kind, got.exc, want.exc)
+		}
+	}
+}
+
+// TestExceptionCodec checks that the known family round-trips to
+// identical values — equality across the wire is what lets remote
+// exceptions be classified like local ones.
+func TestExceptionCodec(t *testing.T) {
+	known := []exc.Exception{
+		exc.ThreadKilled{},
+		exc.Timeout{},
+		exc.UserInterrupt{},
+		exc.DivideByZero{},
+		exc.StackOverflow{},
+		exc.BlockedIndefinitely{},
+		exc.ErrorCall{Msg: "argh"},
+		exc.PatternMatchFail{Loc: "case.go:7"},
+		exc.IOError{Op: "read", Msg: "conn reset"},
+		exc.Dyn{Tag: "custom", Payload: "data"},
+		supervise.Shutdown{},
+		NodeDownError{Node: "B"},
+	}
+	for _, e := range known {
+		f := roundTrip(t, frame{kind: fThrowTo, seq: 1, tid: 1, exc: e})
+		if f.exc == nil || !exc.Equal(f.exc, e) {
+			t.Errorf("%s: got %v want %v", e.ExceptionName(), f.exc, e)
+		}
+	}
+	// Exceptions outside the family degrade to Dyn keyed by name.
+	f := roundTrip(t, frame{kind: fThrowTo, seq: 1, tid: 1, exc: RemoteError{Node: "B", Msg: "x"}})
+	d, ok := f.exc.(exc.Dyn)
+	if !ok || d.Tag != "ClusterRemote" {
+		t.Errorf("unknown exception: got %v, want Dyn{ClusterRemote}", f.exc)
+	}
+	// nil round-trips as nil (a Down for a normal exit carries none).
+	if f := roundTrip(t, frame{kind: fDown, seq: 2, ref: 1, flag: uint8(DownExited)}); f.exc != nil {
+		t.Errorf("nil exc decoded as %v", f.exc)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	// Unknown kind.
+	if _, err := decodeFrame([]byte{0xEE, 0, 0, 0, 0, 0, 0, 0, 0}); err == nil {
+		t.Error("unknown kind accepted")
+	}
+	// Truncations of every valid frame must error, never panic.
+	full := frame{kind: fSpawnReply, seq: 3, ref: 4, flag: 1, tid: 5, name: "n"}.encode()[4:]
+	for i := 0; i < len(full); i++ {
+		if _, err := decodeFrame(full[:i]); err == nil {
+			t.Errorf("truncated to %d bytes: accepted", i)
+		}
+	}
+	// A string length pointing past the buffer must error.
+	bad := frame{kind: fWhereis, seq: 1, ref: 1, name: "abc"}.encode()[4:]
+	bad[len(bad)-4-3] = 0xFF // corrupt the u32 length of "abc"
+	if _, err := decodeFrame(bad); err == nil {
+		t.Error("oversized string length accepted")
+	}
+}

@@ -54,11 +54,20 @@ type Request struct {
 	Remote  string
 }
 
-// Response is a handler's reply.
+// Response is a handler's reply. Either Body (fixed-length) or Stream
+// (chunked transfer encoding) carries the payload; when Stream is set
+// Body is ignored.
 type Response struct {
 	Status  int
 	Headers map[string]string
 	Body    []byte
+	// Stream, when non-nil, produces the body incrementally: it is
+	// called after the head has been written (with Transfer-Encoding:
+	// chunked and no Content-Length) and should emit chunks with
+	// WriteChunk; the terminating zero-chunk is written for it when it
+	// returns. The stream runs inside the request timeout like any
+	// handler code — bound your stream's duration below it.
+	Stream func(c *iomgr.Conn) core.IO[core.Unit]
 }
 
 // Text builds a plain-text response.
@@ -321,17 +330,48 @@ func readRequest(c *iomgr.Conn) core.IO[Request] {
 	})
 }
 
-// writeResponse serializes a response.
+// writeResponse serializes a response: a fixed-length body in a
+// single write, or — when Stream is set — a chunked head followed by
+// the stream's chunks and the terminating zero-chunk.
 func writeResponse(c *iomgr.Conn, r Response) core.IO[core.Unit] {
 	var b strings.Builder
-	fmt.Fprintf(&b, "HTTP/1.0 %d %s\r\n", r.Status, statusText(r.Status))
-	fmt.Fprintf(&b, "Content-Length: %d\r\n", len(r.Body))
+	if r.Stream != nil {
+		// Chunked transfer encoding is an HTTP/1.1 construct; streamed
+		// responses advertise 1.1 (still Connection: close).
+		fmt.Fprintf(&b, "HTTP/1.1 %d %s\r\n", r.Status, statusText(r.Status))
+		fmt.Fprintf(&b, "Transfer-Encoding: chunked\r\n")
+	} else {
+		fmt.Fprintf(&b, "HTTP/1.0 %d %s\r\n", r.Status, statusText(r.Status))
+		fmt.Fprintf(&b, "Content-Length: %d\r\n", len(r.Body))
+	}
 	fmt.Fprintf(&b, "Connection: close\r\n")
 	for k, v := range r.Headers {
 		fmt.Fprintf(&b, "%s: %s\r\n", k, v)
 	}
 	b.WriteString("\r\n")
-	b.Write(r.Body)
+	if r.Stream == nil {
+		b.Write(r.Body)
+		return core.Void(c.Write([]byte(b.String())))
+	}
+	head := core.Void(c.Write([]byte(b.String())))
+	// The zero-chunk is owed even if the stream dies mid-way, so the
+	// client sees a well-formed (if truncated) body; a kill aimed at
+	// the connection still wins because Finally re-raises it.
+	return core.Then(head,
+		core.Finally(r.Stream(c), core.Void(core.Try(WriteChunk(c, nil)))))
+}
+
+// WriteChunk emits one HTTP/1.1 chunk: the payload length in hex, the
+// payload, each CRLF-terminated. A nil or empty payload writes the
+// terminating zero-chunk.
+func WriteChunk(c *iomgr.Conn, payload []byte) core.IO[core.Unit] {
+	if len(payload) == 0 {
+		return core.Void(c.Write([]byte("0\r\n\r\n")))
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%x\r\n", len(payload))
+	b.Write(payload)
+	b.WriteString("\r\n")
 	return core.Void(c.Write([]byte(b.String())))
 }
 

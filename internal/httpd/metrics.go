@@ -37,6 +37,12 @@ func (s *Server) MetricsHandler(extra ...func() []obs.Sample) Handler {
 				if err := obs.WritePrometheus(&b, samples); err != nil {
 					return core.Return(Text(500, "metrics: "+err.Error()+"\n"))
 				}
+				if s.cfg.Observer != nil {
+					hs := []obs.HistogramSample{s.cfg.Observer.LatencySample()}
+					if err := obs.WriteHistograms(&b, hs); err != nil {
+						return core.Return(Text(500, "metrics: "+err.Error()+"\n"))
+					}
+				}
 				return core.Return(Response{
 					Status: 200,
 					Headers: map[string]string{

@@ -1,0 +1,140 @@
+package httpd
+
+import (
+	"encoding/json"
+	"strconv"
+	"strings"
+	"time"
+
+	"asyncexc/internal/core"
+	"asyncexc/internal/iomgr"
+	"asyncexc/internal/obs"
+)
+
+// traceLine is the NDJSON form of one obs.Event: one JSON object per
+// line, stable field names, exceptions flattened to their name. The
+// encoding is lossy only where Event is runtime-internal (Exc becomes
+// a string); everything a trace consumer joins on — seq, span, arg,
+// thread, label — survives verbatim.
+type traceLine struct {
+	Seq    uint64 `json:"seq"`
+	TS     int64  `json:"ts"`
+	Kind   string `json:"kind"`
+	Thread int64  `json:"thread,omitempty"`
+	Peer   int64  `json:"peer,omitempty"`
+	Span   uint64 `json:"span,omitempty"`
+	Arg    uint64 `json:"arg,omitempty"`
+	Shard  int32  `json:"shard,omitempty"`
+	Exc    string `json:"exc,omitempty"`
+	Label  string `json:"label,omitempty"`
+}
+
+// encodeEvents renders events as NDJSON (one event per line, trailing
+// newline). Marshal of this struct cannot fail; errors are impossible
+// by construction.
+func encodeEvents(evs []obs.Event) []byte {
+	var b strings.Builder
+	for _, e := range evs {
+		line := traceLine{
+			Seq: e.Seq, TS: e.TS, Kind: e.Kind.String(),
+			Thread: e.Thread, Peer: e.Peer, Span: e.Span, Arg: e.Arg,
+			Shard: e.Shard, Label: e.Label,
+		}
+		if e.Exc != nil {
+			line.Exc = e.Exc.ExceptionName()
+		}
+		j, _ := json.Marshal(line) //nolint:errcheck // plain struct, cannot fail
+		b.Write(j)
+		b.WriteByte('\n')
+	}
+	return []byte(b.String())
+}
+
+// TraceStreamHandler serves the recorder's event stream as chunked
+// NDJSON: every flush interval, all events recorded since the last
+// flush (obs.Recorder.SnapshotSince cursor) are written as one chunk.
+// The stream runs for the duration given by the `ms` query parameter,
+// clamped to [1, maxMS]; default 1000. Mount it next to /metrics:
+//
+//	srv.Handle("/trace/stream", httpd.TraceStreamHandler(rec, 100*time.Millisecond, 10_000))
+//
+// Keep the duration below the server's RequestTimeout — the stream is
+// handler code and the timeout reaps it like any other request.
+func TraceStreamHandler(rec *obs.Recorder, flushEvery time.Duration, maxMS int) Handler {
+	if flushEvery <= 0 {
+		flushEvery = 100 * time.Millisecond
+	}
+	if maxMS <= 0 {
+		maxMS = 10_000
+	}
+	return func(r Request) core.IO[Response] {
+		ms := 1000
+		if i := strings.IndexByte(r.Path, '?'); i >= 0 {
+			for _, kv := range strings.Split(r.Path[i+1:], "&") {
+				if v, ok := strings.CutPrefix(kv, "ms="); ok {
+					if n, err := strconv.Atoi(v); err == nil {
+						ms = n
+					}
+				}
+			}
+		}
+		if ms < 1 {
+			ms = 1
+		}
+		if ms > maxMS {
+			ms = maxMS
+		}
+		dur := time.Duration(ms) * time.Millisecond
+		return core.Return(Response{
+			Status:  200,
+			Headers: map[string]string{"Content-Type": "application/x-ndjson"},
+			Stream: func(c *iomgr.Conn) core.IO[core.Unit] {
+				return streamTrace(c, rec, flushEvery, dur)
+			},
+		})
+	}
+}
+
+// streamTrace is the flush loop: cursor over SnapshotSince, one chunk
+// per non-empty flush, until the duration elapses.
+func streamTrace(c *iomgr.Conn, rec *obs.Recorder, flushEvery, dur time.Duration) core.IO[core.Unit] {
+	type state struct {
+		cursor uint64
+		left   time.Duration
+	}
+	flushOnce := func(st state) core.IO[state] {
+		// The snapshot must run when the IO runs, not when it is built
+		// — Lift defers it past the preceding Sleep.
+		return core.Bind(
+			core.Lift(func() []obs.Event { return rec.SnapshotSince(st.cursor) }),
+			func(evs []obs.Event) core.IO[state] {
+				next := st
+				for _, e := range evs {
+					if e.Seq > next.cursor {
+						next.cursor = e.Seq
+					}
+				}
+				if len(evs) == 0 {
+					return core.Return(next)
+				}
+				return core.Then(WriteChunk(c, encodeEvents(evs)), core.Return(next))
+			})
+	}
+	var loop func(st state) core.IO[core.Unit]
+	loop = func(st state) core.IO[core.Unit] {
+		if st.left <= 0 {
+			// Final flush so events recorded in the last partial
+			// interval are not silently dropped.
+			return core.Void(flushOnce(st))
+		}
+		step := flushEvery
+		if st.left < step {
+			step = st.left
+		}
+		return core.Then(core.Sleep(step), core.Bind(flushOnce(st), func(next state) core.IO[core.Unit] {
+			next.left = st.left - step
+			return core.Delay(func() core.IO[core.Unit] { return loop(next) })
+		}))
+	}
+	return loop(state{left: dur})
+}

@@ -1,0 +1,222 @@
+package httpd_test
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"asyncexc/internal/core"
+	"asyncexc/internal/httpd"
+	"asyncexc/internal/obs"
+)
+
+// startStreamServer wires a recorder-backed server with a /trace/stream
+// route flushing every 20ms.
+func startStreamServer(t *testing.T, cfg httpd.Config) (*obs.Recorder, *httpd.Running) {
+	t.Helper()
+	rec := obs.NewRecorder(0)
+	cfg.Observer = rec
+	s := httpd.New(cfg)
+	s.Handle("/hello", func(r httpd.Request) core.IO[httpd.Response] {
+		return core.Return(httpd.Text(200, "hello\n"))
+	})
+	s.Handle("/trace/stream", httpd.TraceStreamHandler(rec, 20*time.Millisecond, 10_000))
+	run, err := s.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if err := run.Stop(); err != nil {
+			t.Errorf("stop: %v", err)
+		}
+	})
+	return rec, run
+}
+
+// rawGet issues a GET over a plain socket and returns the verbatim
+// response bytes — the HTTP client in net/http would decode the chunked
+// framing we are here to inspect.
+func rawGet(t *testing.T, addr, path string) []byte {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	fmt.Fprintf(conn, "GET %s HTTP/1.1\r\nHost: test\r\n\r\n", path)
+	raw, err := io.ReadAll(conn)
+	if err != nil {
+		t.Fatalf("read response: %v", err)
+	}
+	return raw
+}
+
+// parseChunks decodes a chunked body by hand, returning the payloads
+// in order. It fails the test on any framing violation: a size line
+// that is not lowercase hex, a payload not followed by CRLF, or a
+// stream that does not end with the zero chunk.
+func parseChunks(t *testing.T, body []byte) [][]byte {
+	t.Helper()
+	sizeLine := regexp.MustCompile(`^[0-9a-f]+$`)
+	br := bufio.NewReader(strings.NewReader(string(body)))
+	var chunks [][]byte
+	for {
+		line, err := br.ReadString('\n')
+		if err != nil {
+			t.Fatalf("reading chunk size: %v (chunks so far: %d)", err, len(chunks))
+		}
+		if !strings.HasSuffix(line, "\r\n") {
+			t.Fatalf("chunk size line not CRLF-terminated: %q", line)
+		}
+		hexSize := strings.TrimSuffix(line, "\r\n")
+		if !sizeLine.MatchString(hexSize) {
+			t.Fatalf("malformed chunk size line: %q", hexSize)
+		}
+		n, err := strconv.ParseInt(hexSize, 16, 64)
+		if err != nil {
+			t.Fatalf("chunk size %q: %v", hexSize, err)
+		}
+		if n == 0 {
+			// Terminator: zero chunk, trailing CRLF, then EOF.
+			rest, _ := io.ReadAll(br)
+			if string(rest) != "\r\n" {
+				t.Fatalf("after zero chunk, want bare CRLF, got %q", rest)
+			}
+			return chunks
+		}
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(br, payload); err != nil {
+			t.Fatalf("chunk payload (%d bytes): %v", n, err)
+		}
+		var crlf [2]byte
+		if _, err := io.ReadFull(br, crlf[:]); err != nil || string(crlf[:]) != "\r\n" {
+			t.Fatalf("chunk not CRLF-terminated: %q %v", crlf, err)
+		}
+		chunks = append(chunks, payload)
+	}
+}
+
+// TestTraceStreamFraming is the golden framing test: the raw bytes on
+// the wire must be a well-formed HTTP/1.1 chunked response whose chunk
+// payloads are NDJSON trace events with strictly increasing sequence
+// numbers.
+func TestTraceStreamFraming(t *testing.T) {
+	_, run := startStreamServer(t, httpd.Config{RequestTimeout: 5 * time.Second})
+	// Generate some green-thread events before and during the stream.
+	get(t, run.Addr, "/hello")
+	raw := rawGet(t, run.Addr, "/trace/stream?ms=150")
+
+	head, body, ok := strings.Cut(string(raw), "\r\n\r\n")
+	if !ok {
+		t.Fatalf("no header/body separator in response:\n%q", raw)
+	}
+	lines := strings.Split(head, "\r\n")
+	if lines[0] != "HTTP/1.1 200 OK" {
+		t.Fatalf("status line = %q, want HTTP/1.1 200 OK", lines[0])
+	}
+	for _, want := range []string{
+		"Transfer-Encoding: chunked",
+		"Connection: close",
+		"Content-Type: application/x-ndjson",
+	} {
+		found := false
+		for _, l := range lines[1:] {
+			if l == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("missing header %q in:\n%s", want, head)
+		}
+	}
+	if strings.Contains(head, "Content-Length") {
+		t.Errorf("chunked response must not carry Content-Length:\n%s", head)
+	}
+
+	chunks := parseChunks(t, []byte(body))
+	if len(chunks) == 0 {
+		t.Fatal("stream delivered no chunks")
+	}
+	// Every payload is whole NDJSON lines; seq strictly increases
+	// across the whole stream (chunk boundaries never split a line).
+	var lastSeq uint64
+	events := 0
+	for i, c := range chunks {
+		if len(c) == 0 || c[len(c)-1] != '\n' {
+			t.Fatalf("chunk %d does not end with newline: %q", i, c)
+		}
+		for _, line := range strings.Split(strings.TrimSuffix(string(c), "\n"), "\n") {
+			var ev struct {
+				Seq  uint64 `json:"seq"`
+				Kind string `json:"kind"`
+			}
+			if err := json.Unmarshal([]byte(line), &ev); err != nil {
+				t.Fatalf("chunk %d: bad NDJSON line %q: %v", i, line, err)
+			}
+			if ev.Kind == "" {
+				t.Errorf("event %d has empty kind: %s", ev.Seq, line)
+			}
+			if ev.Seq <= lastSeq {
+				t.Errorf("seq not strictly increasing: %d after %d", ev.Seq, lastSeq)
+			}
+			lastSeq = ev.Seq
+			events++
+		}
+	}
+	if events == 0 {
+		t.Error("no events decoded from stream")
+	}
+}
+
+// TestTraceStreamClampsDuration checks the ms parameter is clamped to
+// the handler's maximum rather than trusted.
+func TestTraceStreamClampsDuration(t *testing.T) {
+	rec := obs.NewRecorder(0)
+	s := httpd.New(httpd.Config{RequestTimeout: 5 * time.Second, Observer: rec})
+	s.Handle("/trace/stream", httpd.TraceStreamHandler(rec, 10*time.Millisecond, 100))
+	run, err := s.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if err := run.Stop(); err != nil {
+			t.Errorf("stop: %v", err)
+		}
+	})
+	start := time.Now()
+	raw := rawGet(t, run.Addr, "/trace/stream?ms=60000")
+	if d := time.Since(start); d > 2*time.Second {
+		t.Fatalf("stream ran %v despite maxMS=100", d)
+	}
+	if !strings.HasPrefix(string(raw), "HTTP/1.1 200") {
+		t.Fatalf("unexpected response: %q", raw)
+	}
+	if !strings.HasSuffix(string(raw), "0\r\n\r\n") {
+		t.Fatalf("stream not terminated by zero chunk: %q", raw)
+	}
+}
+
+// TestMetricsLatencyHistogram checks the pending-latency histogram is
+// exposed with the standard Prometheus histogram shape.
+func TestMetricsLatencyHistogram(t *testing.T) {
+	_, run := startMetricsServer(t, httpd.Config{RequestTimeout: 2 * time.Second})
+	get(t, run.Addr, "/hello")
+	_, body := get(t, run.Addr, "/metrics")
+	for _, want := range []string{
+		"# TYPE obs_pending_latency_seconds histogram",
+		`obs_pending_latency_seconds_bucket{le="+Inf"}`,
+		"obs_pending_latency_seconds_sum",
+		"obs_pending_latency_seconds_count",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("missing %q in /metrics output:\n%s", want, body)
+		}
+	}
+}

@@ -58,26 +58,45 @@ const (
 	// KindDeadline: a resilience deadline budget ran out.
 	KindDeadline
 	// KindRestart: a supervisor restarted a child; Label is the
-	// child's name.
+	// child's name, Span (when non-zero) the span of the delivered
+	// exception that killed the child — the link that lets a trace
+	// walk from a throwTo through the child's death to the restart
+	// that answered it.
 	KindRestart
+	// KindLinkUp: a cluster link to a peer node completed its
+	// handshake (internal/cluster); Label is the peer NodeID.
+	KindLinkUp
+	// KindLinkDown: a cluster link was closed or declared dead by the
+	// heartbeat failure detector; Label is the peer NodeID.
+	KindLinkDown
+	// KindRemoteThrowTo: an exception crossed a node boundary
+	// (cluster.ThrowTo). On the sending node, Span is the wire span
+	// carried in the frame and Label the destination NodeID; on the
+	// receiving node, Span is the freshly allocated local span of the
+	// injected interrupt, Arg the wire span from the frame, and Label
+	// the origin NodeID — Arg is what joins the two nodes' traces.
+	KindRemoteThrowTo
 
 	numKinds
 )
 
 var kindNames = [numKinds]string{
-	KindSpawn:    "spawn",
-	KindFinish:   "finish",
-	KindThrowTo:  "throwTo",
-	KindDeliver:  "deliver",
-	KindCatch:    "catch",
-	KindPark:     "park",
-	KindUnpark:   "unpark",
-	KindSteal:    "steal",
-	KindShed:     "shed",
-	KindRetry:    "retry",
-	KindBreaker:  "breaker",
-	KindDeadline: "deadline",
-	KindRestart:  "restart",
+	KindSpawn:         "spawn",
+	KindFinish:        "finish",
+	KindThrowTo:       "throwTo",
+	KindDeliver:       "deliver",
+	KindCatch:         "catch",
+	KindPark:          "park",
+	KindUnpark:        "unpark",
+	KindSteal:         "steal",
+	KindShed:          "shed",
+	KindRetry:         "retry",
+	KindBreaker:       "breaker",
+	KindDeadline:      "deadline",
+	KindRestart:       "restart",
+	KindLinkUp:        "linkUp",
+	KindLinkDown:      "linkDown",
+	KindRemoteThrowTo: "remoteThrowTo",
 }
 
 // String renders the kind as its trace name.

@@ -1,0 +1,66 @@
+package obs
+
+// Pending-latency histogram: the distribution of KindDeliver's Arg
+// (nanoseconds between an exception being placed in flight and being
+// raised in its target), accumulated live at record time so /metrics
+// can export a Prometheus histogram without snapshotting the ring.
+// Buckets are fixed powers of ten from 1µs to 1s plus +Inf; counts are
+// atomics, so observation is safe from every shard and reading is safe
+// from any goroutine.
+
+// LatencyBucketsNS are the histogram's upper bounds in nanoseconds
+// (an implicit +Inf bucket follows the last).
+var LatencyBucketsNS = [...]uint64{
+	1_000,         // 1µs
+	10_000,        // 10µs
+	100_000,       // 100µs
+	1_000_000,     // 1ms
+	10_000_000,    // 10ms
+	100_000_000,   // 100ms
+	1_000_000_000, // 1s
+}
+
+const latBuckets = len(LatencyBucketsNS) + 1 // + Inf
+
+// observeLatency records one pending-latency observation. Called on
+// the Record hot path for KindDeliver events — before the kind filter,
+// so the histogram stays complete even when deliver events are masked
+// out of the trace.
+func (r *Recorder) observeLatency(ns uint64) {
+	i := 0
+	for i < len(LatencyBucketsNS) && ns > LatencyBucketsNS[i] {
+		i++
+	}
+	r.latCounts[i].Add(1)
+	r.latSum.Add(ns)
+	r.latCount.Add(1)
+}
+
+// LatencyHistogram is a point-in-time copy of the pending-latency
+// distribution.
+type LatencyHistogram struct {
+	// BoundsNS are the bucket upper bounds in nanoseconds; Counts has
+	// one extra entry for the +Inf bucket. Counts are per-bucket (not
+	// cumulative).
+	BoundsNS []uint64
+	Counts   []uint64
+	// SumNS and Count are the classic histogram aggregates.
+	SumNS uint64
+	Count uint64
+}
+
+// PendingLatency reads the histogram. Safe from any goroutine; the
+// buckets are read individually, so a snapshot taken mid-observation
+// may be off by the in-flight event — fine for metrics.
+func (r *Recorder) PendingLatency() LatencyHistogram {
+	h := LatencyHistogram{
+		BoundsNS: LatencyBucketsNS[:],
+		Counts:   make([]uint64, latBuckets),
+		SumNS:    r.latSum.Load(),
+		Count:    r.latCount.Load(),
+	}
+	for i := range h.Counts {
+		h.Counts[i] = r.latCounts[i].Load()
+	}
+	return h
+}

@@ -23,13 +23,20 @@ import "fmt"
 //     maskedUninterruptible).
 //   - A KindCatch or uncaught KindFinish with a span follows that
 //     span's delivery.
+//   - A KindRestart carrying a span (the exception that killed the
+//     child) follows that span's delivery — the restart really did
+//     answer a delivered asynchronous exception.
+//
+// A recorder with mask-filtered events (Stats.Filtered > 0) is treated
+// like one with drops: the filtered kinds are legitimately absent, so
+// completeness checks are skipped.
 func CheckInvariants(events []Event, st Stats) []string {
 	var bad []string
 	violate := func(format string, args ...any) {
 		bad = append(bad, fmt.Sprintf(format, args...))
 	}
 
-	complete := st.Dropped == 0
+	complete := st.Dropped == 0 && st.Filtered == 0
 	var lastSeq uint64
 	enqueued := map[uint64]Event{}  // span -> throwTo event
 	delivered := map[uint64]Event{} // span -> deliver event
@@ -97,6 +104,13 @@ func CheckInvariants(events []Event, st Stats) []string {
 			}
 			if _, ok := delivered[e.Span]; !ok && complete {
 				violate("uncaught finish of span %d with no prior deliver: %v", e.Span, e)
+			}
+		case KindRestart:
+			if e.Span == 0 {
+				break // child died synchronously; nothing to link
+			}
+			if _, ok := delivered[e.Span]; !ok && complete {
+				violate("restart linked to span %d with no prior deliver: %v", e.Span, e)
 			}
 		}
 	}

@@ -1,0 +1,123 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Per-kind event enable mask: a sampling/filtering knob for very-high-
+// rate workloads. A recorder starts with every kind enabled; disabling
+// a kind makes Record/Stage drop events of that kind before they are
+// stamped or staged (the drop is counted in Stats.Filtered, and the
+// pending-latency histogram still observes filtered deliveries, so
+// /metrics stays truthful under filtering). Filtering removes events
+// the delivery-invariant checker needs, so CheckInvariants treats a
+// recorder with Filtered > 0 like one with drops: completeness checks
+// are skipped, order and mask checks still run.
+
+// AllKinds is the mask with every event kind enabled.
+const AllKinds uint64 = 1<<uint(numKinds) - 1
+
+// KindBit returns the mask bit for one kind.
+func KindBit(k Kind) uint64 { return 1 << uint(k) }
+
+// KindByName resolves a trace name ("park", "throwTo", ...) to its
+// Kind, case-insensitively.
+func KindByName(name string) (Kind, bool) {
+	for k, n := range kindNames {
+		if strings.EqualFold(n, name) {
+			return Kind(k), true
+		}
+	}
+	return 0, false
+}
+
+// SetKindMask installs an enable mask (use AllKinds, or build one with
+// KindBit/ParseKindMask). Safe from any goroutine; takes effect on the
+// next recorded event.
+func (r *Recorder) SetKindMask(mask uint64) {
+	r.disabled.Store(^mask & AllKinds)
+}
+
+// KindMask reads the current enable mask.
+func (r *Recorder) KindMask() uint64 {
+	return ^r.disabled.Load() & AllKinds
+}
+
+// KindEnabled reports whether events of kind k are being recorded.
+func (r *Recorder) KindEnabled(k Kind) bool {
+	return r.disabled.Load()&KindBit(k) == 0
+}
+
+// dropKind is the hot-path filter check: true when the event must be
+// discarded. One atomic load; with the default mask the branch is
+// never taken.
+func (l *ShardLog) dropKind(k Kind) bool {
+	if l.rec.disabled.Load()&KindBit(k) == 0 {
+		return false
+	}
+	l.rec.filtered.Add(1)
+	return true
+}
+
+// ParseKindMask parses a -trace-mask style spec into an enable mask.
+// The spec is a comma-separated list of kind names; a bare list
+// enables exactly those kinds ("throwTo,deliver,catch"), while a list
+// of "-"-prefixed names subtracts from the full set ("-park,-unpark").
+// "all" (or an empty spec) is every kind. Mixing the two styles is an
+// error, as is an unknown kind name.
+func ParseKindMask(spec string) (uint64, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" || strings.EqualFold(spec, "all") {
+		return AllKinds, nil
+	}
+	if strings.EqualFold(spec, "none") {
+		return 0, nil
+	}
+	var include, exclude uint64
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		neg := strings.HasPrefix(part, "-")
+		name := strings.TrimPrefix(part, "-")
+		k, ok := KindByName(name)
+		if !ok {
+			return 0, fmt.Errorf("obs: unknown event kind %q (known: %s)", name, strings.Join(kindNames[:], ","))
+		}
+		if neg {
+			exclude |= KindBit(k)
+		} else {
+			include |= KindBit(k)
+		}
+	}
+	switch {
+	case include != 0 && exclude != 0:
+		return 0, fmt.Errorf("obs: kind mask %q mixes include and exclude entries", spec)
+	case exclude != 0:
+		return AllKinds &^ exclude, nil
+	default:
+		return include, nil
+	}
+}
+
+// FormatKindMask renders a mask as the include-list ParseKindMask
+// accepts ("all" for the full set) — the round-trip used by
+// axhttpd's flag echo.
+func FormatKindMask(mask uint64) string {
+	mask &= AllKinds
+	if mask == AllKinds {
+		return "all"
+	}
+	var names []string
+	for k := Kind(0); k < numKinds; k++ {
+		if mask&KindBit(k) != 0 {
+			names = append(names, k.String())
+		}
+	}
+	if len(names) == 0 {
+		return "none"
+	}
+	return strings.Join(names, ",")
+}

@@ -1,0 +1,213 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+
+	"asyncexc/internal/exc"
+)
+
+func TestParseKindMask(t *testing.T) {
+	cases := []struct {
+		spec string
+		want uint64
+		err  bool
+	}{
+		{"", AllKinds, false},
+		{"all", AllKinds, false},
+		{"none", 0, false},
+		{"throwTo,deliver,catch", KindBit(KindThrowTo) | KindBit(KindDeliver) | KindBit(KindCatch), false},
+		{"-park,-unpark", AllKinds &^ (KindBit(KindPark) | KindBit(KindUnpark)), false},
+		{"LINKUP", KindBit(KindLinkUp), false},
+		{"throwTo,-park", 0, true},
+		{"bogus", 0, true},
+	}
+	for _, c := range cases {
+		got, err := ParseKindMask(c.spec)
+		if c.err != (err != nil) {
+			t.Fatalf("ParseKindMask(%q): err=%v, want err=%v", c.spec, err, c.err)
+		}
+		if err == nil && got != c.want {
+			t.Fatalf("ParseKindMask(%q) = %#x, want %#x", c.spec, got, c.want)
+		}
+	}
+	if s := FormatKindMask(AllKinds); s != "all" {
+		t.Fatalf("FormatKindMask(AllKinds) = %q", s)
+	}
+	if s := FormatKindMask(KindBit(KindPark)); s != "park" {
+		t.Fatalf("FormatKindMask(park) = %q", s)
+	}
+}
+
+func TestKindMaskFilters(t *testing.T) {
+	r := NewRecorder(64)
+	l := r.ShardLog(0)
+	r.SetKindMask(AllKinds &^ KindBit(KindPark))
+
+	l.Record(Event{Kind: KindSpawn, Thread: 1})
+	l.Stage(KindPark, 0, 0, 1, 0, 0, 0, 0)
+	l.Record(Event{Kind: KindPark, Thread: 1})
+	l.Stage(KindUnpark, 0, 0, 1, 0, 0, 0, 0)
+	l.Flush()
+
+	evs := r.Snapshot()
+	if len(evs) != 2 {
+		t.Fatalf("snapshot has %d events, want 2 (parks filtered): %v", len(evs), evs)
+	}
+	for _, e := range evs {
+		if e.Kind == KindPark {
+			t.Fatalf("filtered kind leaked into snapshot: %v", e)
+		}
+	}
+	st := r.Stats()
+	if st.Filtered != 2 {
+		t.Fatalf("Filtered = %d, want 2", st.Filtered)
+	}
+	if !r.KindEnabled(KindSpawn) || r.KindEnabled(KindPark) {
+		t.Fatalf("KindEnabled inconsistent with installed mask")
+	}
+
+	// Filtering must soften the invariant checker the way drops do: a
+	// deliver whose throwTo was masked out is not a violation.
+	r2 := NewRecorder(64)
+	l2 := r2.ShardLog(0)
+	r2.SetKindMask(AllKinds &^ KindBit(KindThrowTo))
+	span := r2.NextSpan()
+	l2.Record(Event{Kind: KindThrowTo, Thread: 1, Span: span, Exc: exc.ThreadKilled{}})
+	l2.Record(Event{Kind: KindDeliver, Thread: 1, Span: span, Exc: exc.ThreadKilled{}})
+	l2.Flush()
+	if bad := CheckInvariants(r2.Snapshot(), r2.Stats()); len(bad) != 0 {
+		t.Fatalf("invariant checker ignored Filtered: %v", bad)
+	}
+}
+
+func TestPendingLatencyHistogram(t *testing.T) {
+	r := NewRecorder(64)
+	l := r.ShardLog(0)
+	// One observation per bucket boundary region, including +Inf;
+	// recorded via both Record and Stage, and one while deliver events
+	// are masked out (the histogram must still see it).
+	l.Record(Event{Kind: KindDeliver, Thread: 1, Arg: 500}) // <= 1µs
+	l.Stage(KindDeliver, 0, 1, 1, 0, 2_000_000, 0, 0)       // <= 10ms... (1ms< x <=10ms)
+	r.SetKindMask(AllKinds &^ KindBit(KindDeliver))
+	l.Record(Event{Kind: KindDeliver, Thread: 1, Arg: 2_000_000_000}) // +Inf, filtered from trace
+	r.SetKindMask(AllKinds)
+	l.Flush()
+
+	h := r.PendingLatency()
+	if h.Count != 3 {
+		t.Fatalf("Count = %d, want 3", h.Count)
+	}
+	if want := uint64(500 + 2_000_000 + 2_000_000_000); h.SumNS != want {
+		t.Fatalf("SumNS = %d, want %d", h.SumNS, want)
+	}
+	if h.Counts[0] != 1 {
+		t.Fatalf("bucket <=1µs = %d, want 1", h.Counts[0])
+	}
+	if h.Counts[4] != 1 { // 1ms..10ms bucket
+		t.Fatalf("bucket <=10ms = %d, want 1", h.Counts[4])
+	}
+	if h.Counts[len(h.Counts)-1] != 1 {
+		t.Fatalf("+Inf bucket = %d, want 1", h.Counts[len(h.Counts)-1])
+	}
+
+	var b strings.Builder
+	if err := WriteHistograms(&b, []HistogramSample{r.LatencySample()}); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE obs_pending_latency_seconds histogram",
+		`obs_pending_latency_seconds_bucket{le="1e-06"} 1`,
+		`obs_pending_latency_seconds_bucket{le="+Inf"} 3`,
+		"obs_pending_latency_seconds_count 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("histogram exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Buckets must be cumulative: each le line >= the previous.
+	last := -1
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "obs_pending_latency_seconds_bucket") {
+			var v int
+			if _, err := fmtSscanfTail(line, &v); err != nil {
+				t.Fatalf("parse %q: %v", line, err)
+			}
+			if v < last {
+				t.Fatalf("buckets not cumulative at %q", line)
+			}
+			last = v
+		}
+	}
+}
+
+// fmtSscanfTail parses the trailing integer of an exposition line.
+func fmtSscanfTail(line string, v *int) (int, error) {
+	i := strings.LastIndexByte(line, ' ')
+	n, err := parseInt(line[i+1:])
+	*v = n
+	return n, err
+}
+
+func parseInt(s string) (int, error) {
+	n := 0
+	for _, c := range s {
+		if c < '0' || c > '9' {
+			return 0, &strError{"not a digit in " + s}
+		}
+		n = n*10 + int(c-'0')
+	}
+	return n, nil
+}
+
+type strError struct{ s string }
+
+func (e *strError) Error() string { return e.s }
+
+func TestSnapshotSince(t *testing.T) {
+	r := NewRecorder(64)
+	l := r.ShardLog(0)
+	for i := 0; i < 5; i++ {
+		l.Record(Event{Kind: KindSpawn, Thread: int64(i + 1)})
+	}
+	l.Flush()
+	all := r.Snapshot()
+	if len(all) != 5 {
+		t.Fatalf("snapshot has %d events, want 5", len(all))
+	}
+	cursor := all[2].Seq
+	rest := r.SnapshotSince(cursor)
+	if len(rest) != 2 {
+		t.Fatalf("SnapshotSince(%d) has %d events, want 2", cursor, len(rest))
+	}
+	for _, e := range rest {
+		if e.Seq <= cursor {
+			t.Fatalf("SnapshotSince returned stale event %v", e)
+		}
+	}
+	if len(r.SnapshotSince(all[4].Seq)) != 0 {
+		t.Fatalf("SnapshotSince(tip) not empty")
+	}
+}
+
+func TestRestartSpanInvariant(t *testing.T) {
+	r := NewRecorder(64)
+	l := r.ShardLog(0)
+	span := r.NextSpan()
+	l.Record(Event{Kind: KindThrowTo, Thread: 2, Span: span, Exc: exc.ThreadKilled{}})
+	l.Record(Event{Kind: KindDeliver, Thread: 2, Span: span, Exc: exc.ThreadKilled{}})
+	l.Record(Event{Kind: KindRestart, Thread: 1, Span: span, Label: "child"})
+	l.Flush()
+	if bad := CheckInvariants(r.Snapshot(), r.Stats()); len(bad) != 0 {
+		t.Fatalf("linked restart flagged: %v", bad)
+	}
+
+	r2 := NewRecorder(64)
+	l2 := r2.ShardLog(0)
+	l2.Record(Event{Kind: KindRestart, Thread: 1, Span: 99, Label: "child"})
+	l2.Flush()
+	if bad := CheckInvariants(r2.Snapshot(), r2.Stats()); len(bad) == 0 {
+		t.Fatalf("restart with unmatched span not flagged")
+	}
+}

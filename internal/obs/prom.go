@@ -93,6 +93,67 @@ func WritePrometheus(w io.Writer, samples []Sample) error {
 	return err
 }
 
+// HistogramSample is one metric in the Prometheus histogram exposition
+// shape: cumulative le-labelled buckets plus _sum and _count. It is a
+// separate type from Sample because a histogram is one TYPE header over
+// several derived series, which the flat sample grouping cannot express.
+type HistogramSample struct {
+	Name string
+	Help string
+	// Bounds are the bucket upper bounds (in the exported unit); an
+	// implicit +Inf bucket follows. Counts are per-bucket (the writer
+	// accumulates them into the cumulative form Prometheus expects)
+	// with len(Bounds)+1 entries, the last being the +Inf bucket.
+	Bounds []float64
+	Counts []uint64
+	Sum    float64
+	Count  uint64
+}
+
+// WriteHistograms renders histograms in the Prometheus text exposition
+// format, after the flat samples of WritePrometheus.
+func WriteHistograms(w io.Writer, hs []HistogramSample) error {
+	var b strings.Builder
+	for _, h := range hs {
+		if h.Help != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", h.Name, h.Help)
+		}
+		fmt.Fprintf(&b, "# TYPE %s histogram\n", h.Name)
+		var cum uint64
+		for i, bound := range h.Bounds {
+			if i < len(h.Counts) {
+				cum += h.Counts[i]
+			}
+			fmt.Fprintf(&b, "%s_bucket{le=%q} %d\n", h.Name, formatValue(bound), cum)
+		}
+		if n := len(h.Bounds); n < len(h.Counts) {
+			cum += h.Counts[n]
+		}
+		fmt.Fprintf(&b, "%s_bucket{le=\"+Inf\"} %d\n", h.Name, cum)
+		fmt.Fprintf(&b, "%s_sum %s\n", h.Name, formatValue(h.Sum))
+		fmt.Fprintf(&b, "%s_count %d\n", h.Name, h.Count)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// LatencySample exports the pending-latency histogram (hist.go) in
+// seconds, the Prometheus base unit for durations.
+func (r *Recorder) LatencySample() HistogramSample {
+	h := r.PendingLatency()
+	out := HistogramSample{
+		Name:   "obs_pending_latency_seconds",
+		Help:   "Async-exception pending latency (throwTo enqueue to delivery).",
+		Counts: h.Counts,
+		Sum:    float64(h.SumNS) / 1e9,
+		Count:  h.Count,
+	}
+	for _, ns := range h.BoundsNS {
+		out.Bounds = append(out.Bounds, float64(ns)/1e9)
+	}
+	return out
+}
+
 // Samples maps the recorder's own volume counters to metrics, so the
 // tracing layer reports on itself (notably drops — the signal that
 // the ring is undersized for the event rate).
@@ -102,6 +163,7 @@ func (r *Recorder) Samples() []Sample {
 		{Name: "obs_events_recorded_total", Help: "Trace events stamped (committed or staged).", Type: Counter, Value: float64(st.Recorded)},
 		{Name: "obs_events_committed_total", Help: "Trace events committed to shard rings.", Type: Counter, Value: float64(st.Committed)},
 		{Name: "obs_events_dropped_total", Help: "Trace events lost to ring overwrite.", Type: Counter, Value: float64(st.Dropped)},
+		{Name: "obs_events_filtered_total", Help: "Trace events discarded by the per-kind enable mask.", Type: Counter, Value: float64(st.Filtered)},
 		{Name: "obs_spans_total", Help: "throwTo spans allocated.", Type: Counter, Value: float64(st.Spans)},
 	}
 	for i, sh := range st.Shards {

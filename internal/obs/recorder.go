@@ -58,6 +58,17 @@ type Recorder struct {
 	seq   atomic.Uint64 // global event sequence (happens-before consistent)
 	spans atomic.Uint64 // throwTo span ids
 
+	// disabled is the inverted per-kind enable mask (see mask.go);
+	// zero — the zero value — means every kind is recorded. filtered
+	// counts events dropped by the mask.
+	disabled atomic.Uint64
+	filtered atomic.Uint64
+
+	// Pending-latency histogram accumulators (see hist.go).
+	latCounts [latBuckets]atomic.Uint64
+	latSum    atomic.Uint64
+	latCount  atomic.Uint64
+
 	mu     sync.Mutex // guards shards growth
 	shards []*ShardLog
 }
@@ -131,6 +142,12 @@ type ShardLog struct {
 // happens — counted — when the ring itself wraps. For events carrying
 // no exception or label, Stage is the cheaper equivalent.
 func (l *ShardLog) Record(e Event) {
+	if e.Kind == KindDeliver {
+		l.rec.observeLatency(e.Arg)
+	}
+	if l.dropKind(e.Kind) {
+		return
+	}
 	c := record{
 		ts: e.TS, span: e.Span, thread: e.Thread, peer: e.Peer,
 		arg: e.Arg, kind: e.Kind, mask: e.Mask, flags: e.Flags,
@@ -153,6 +170,12 @@ func (l *ShardLog) Record(e Event) {
 // arrive in registers and go straight into the staging buffer, with
 // no Event value built or copied on the way. Owner-only.
 func (l *ShardLog) Stage(kind Kind, ts int64, span uint64, thread, peer int64, arg uint64, mask, flags uint8) {
+	if kind == KindDeliver {
+		l.rec.observeLatency(arg)
+	}
+	if l.dropKind(kind) {
+		return
+	}
 	if len(l.staged) == cap(l.staged) {
 		l.Flush()
 	}
@@ -241,8 +264,9 @@ func (l *ShardLog) Flush() {
 	l.staged = l.staged[:0]
 }
 
-// snapshot appends the shard's committed events, oldest first.
-func (l *ShardLog) snapshot(out []Event) []Event {
+// snapshot appends the shard's committed events with Seq > since,
+// oldest first.
+func (l *ShardLog) snapshot(out []Event, since uint64) []Event {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	n := uint64(len(l.ring))
@@ -254,7 +278,9 @@ func (l *ShardLog) snapshot(out []Event) []Event {
 		kept = n
 	}
 	for i := l.head - kept; i < l.head; i++ {
-		out = append(out, l.resolve(l.ring[i%n]))
+		if c := l.ring[i%n]; c.seq > since {
+			out = append(out, l.resolve(c))
+		}
 	}
 	return out
 }
@@ -262,10 +288,17 @@ func (l *ShardLog) snapshot(out []Event) []Event {
 // Snapshot returns the committed events of every shard merged into
 // one Seq-ascending slice. Safe from any goroutine; see the Recorder
 // concurrency contract for staleness.
-func (r *Recorder) Snapshot() []Event {
+func (r *Recorder) Snapshot() []Event { return r.SnapshotSince(0) }
+
+// SnapshotSince is Snapshot restricted to events with Seq > since —
+// the cursor primitive behind the streaming trace exporter: a client
+// remembers the last Seq it saw and asks only for what followed.
+// Events that wrapped out of a ring before being read are gone (count
+// them via Stats.Dropped).
+func (r *Recorder) SnapshotSince(since uint64) []Event {
 	var out []Event
 	for _, l := range r.shardLogs() {
-		out = l.snapshot(out)
+		out = l.snapshot(out, since)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
 	return out
@@ -288,6 +321,9 @@ type Stats struct {
 	// Committed and Dropped aggregate the shard counters.
 	Committed uint64
 	Dropped   uint64
+	// Filtered counts events discarded by the per-kind enable mask
+	// before being stamped (see mask.go).
+	Filtered uint64
 	// Spans counts throwTo span ids allocated.
 	Spans uint64
 	// Shards holds the per-shard counters.
@@ -296,7 +332,7 @@ type Stats struct {
 
 // Stats reads the volume counters. Safe from any goroutine.
 func (r *Recorder) Stats() Stats {
-	st := Stats{Recorded: r.seq.Load(), Spans: r.spans.Load()}
+	st := Stats{Recorded: r.seq.Load(), Filtered: r.filtered.Load(), Spans: r.spans.Load()}
 	for _, l := range r.shardLogs() {
 		l.mu.Lock()
 		c := ShardCounters{Committed: l.head, Dropped: l.drops}

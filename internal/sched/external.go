@@ -34,6 +34,68 @@ func (rt *RT) Interrupt(tid ThreadID, e exc.Exception) {
 	target.pending = append(target.pending, pendingExc{e: e, span: span, enqNS: enqNS})
 }
 
+// InterruptFromWire is Interrupt for exceptions that arrived over a
+// cluster link (internal/cluster's inbound throwTo/kill): identical
+// delivery semantics, but the injection is additionally recorded as a
+// receiver-side KindRemoteThrowTo event whose Span is the freshly
+// allocated local span, Arg the wire span carried in the frame, and
+// Label the origin node id — Arg joins the two nodes' traces. Like
+// Interrupt it must run inside the scheduler (an External callback).
+// It reports whether the target existed (false: it had already
+// finished or never existed; the caller answers NoProc).
+func (rt *RT) InterruptFromWire(tid ThreadID, e exc.Exception, origin string, wireSpan uint64) bool {
+	if rt.eng != nil {
+		target := rt.eng.lookup(tid)
+		if target == nil {
+			return false
+		}
+		span, enqNS := rt.obsEnqueue(tid, 0, e, obs.MaskUnknown, 0)
+		rt.obsRemoteInject(tid, e, origin, span, wireSpan)
+		if !rt.deliverLocal(target, pendingExc{e: e, span: span, enqNS: enqNS}) {
+			rt.eng.send(target.owner.Load(), shardMsg{kind: msgThrowTo, t: target, e: e, span: span, enqNS: enqNS})
+		}
+		return true
+	}
+	target := rt.threads[tid]
+	if target == nil || target.status == statusDone {
+		return false
+	}
+	span, enqNS := rt.obsEnqueue(tid, 0, e, obs.MaskUnknown, 0)
+	rt.obsRemoteInject(tid, e, origin, span, wireSpan)
+	if target.status == statusParked && target.mask.Interruptible() {
+		rt.interruptStuck(target, pendingExc{e: e, span: span, enqNS: enqNS}, false)
+		return true
+	}
+	target.pending = append(target.pending, pendingExc{e: e, span: span, enqNS: enqNS})
+	return true
+}
+
+// obsRemoteInject records the receiver-side KindRemoteThrowTo event.
+func (rt *RT) obsRemoteInject(tid ThreadID, e exc.Exception, origin string, span, wireSpan uint64) {
+	if rt.olog == nil {
+		return
+	}
+	rt.olog.Record(obs.Event{
+		TS: rt.nowNS(), Span: span, Thread: int64(tid), Arg: wireSpan,
+		Exc: e, Label: origin, Kind: obs.KindRemoteThrowTo,
+	})
+}
+
+// NoteLinkEvent records a cluster link coming up (handshake complete)
+// or going down (closed, or declared dead by the heartbeat failure
+// detector); Label is the peer node id. Must run inside the scheduler
+// (an External callback), like every other owner-side record.
+func (rt *RT) NoteLinkEvent(up bool, peer string) {
+	if rt.olog == nil {
+		return
+	}
+	kind := obs.KindLinkDown
+	if up {
+		kind = obs.KindLinkUp
+	}
+	rt.olog.Record(obs.Event{TS: rt.nowNS(), Label: peer, Kind: kind})
+}
+
 // InterruptMain sends e to the main thread; the idiom for converting a
 // process-level signal (user interrupt, shutdown request) into an
 // asynchronous exception.

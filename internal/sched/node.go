@@ -407,14 +407,16 @@ func GetShardStats() Node {
 // NoteRestart bumps the SupervisorRestarts counter; called by
 // internal/supervise each time a child is restarted so soak runs are
 // diagnosable from scheduler stats alone.
-func NoteRestart() Node { return NoteRestartNamed("") }
+func NoteRestart() Node { return NoteRestartNamed("", 0) }
 
 // NoteRestartNamed is NoteRestart carrying the restarted child's name
-// into the obs event stream (KindRestart).
-func NoteRestartNamed(child string) Node {
+// and, when non-zero, the span of the delivered exception that killed
+// the child into the obs event stream (KindRestart) — the link that
+// lets a trace walk from a throwTo to the restart that answered it.
+func NoteRestartNamed(child string, span uint64) Node {
 	return primNode{name: "noteRestart", step: func(rt *RT, t *Thread) (Node, bool) {
 		rt.stats.SupervisorRestarts++
-		rt.obsNote(t, obs.KindRestart, child, 0)
+		rt.obsNote(t, obs.KindRestart, child, 0, span)
 		return retNode{UnitValue}, false
 	}}
 }
@@ -424,7 +426,7 @@ func NoteRestartNamed(child string) Node {
 func NoteShed() Node {
 	return primNode{name: "noteShed", step: func(rt *RT, t *Thread) (Node, bool) {
 		rt.stats.Shed++
-		rt.obsNote(t, obs.KindShed, "", 0)
+		rt.obsNote(t, obs.KindShed, "", 0, 0)
 		return retNode{UnitValue}, false
 	}}
 }
@@ -434,7 +436,7 @@ func NoteShed() Node {
 func NoteRetry() Node {
 	return primNode{name: "noteRetry", step: func(rt *RT, t *Thread) (Node, bool) {
 		rt.stats.Retries++
-		rt.obsNote(t, obs.KindRetry, "", 0)
+		rt.obsNote(t, obs.KindRetry, "", 0, 0)
 		return retNode{UnitValue}, false
 	}}
 }
@@ -458,7 +460,7 @@ func NoteBreakerTransition(name string, from, to int) Node {
 		if to == 1 {
 			rt.stats.BreakerOpen++
 		}
-		rt.obsNote(t, obs.KindBreaker, name, obs.PackTransition(from, to))
+		rt.obsNote(t, obs.KindBreaker, name, obs.PackTransition(from, to), 0)
 		return retNode{UnitValue}, false
 	}}
 }
@@ -468,7 +470,7 @@ func NoteBreakerTransition(name string, from, to int) Node {
 func NoteDeadlineExpired() Node {
 	return primNode{name: "noteDeadlineExpired", step: func(rt *RT, t *Thread) (Node, bool) {
 		rt.stats.DeadlineExpired++
-		rt.obsNote(t, obs.KindDeadline, "", 0)
+		rt.obsNote(t, obs.KindDeadline, "", 0, 0)
 		return retNode{UnitValue}, false
 	}}
 }
@@ -481,6 +483,39 @@ func NoteDeadlineExpired() Node {
 func CurrentSpan() Node {
 	return primNode{name: "currentSpan", step: func(rt *RT, t *Thread) (Node, bool) {
 		return retNode{t.excSpan}, false
+	}}
+}
+
+// LastCaughtSpan returns the obs span id of the most recently caught
+// exception in the calling thread (uint64; 0 when it was synchronous
+// or no Observer is configured). Unlike CurrentSpan — which the catch
+// unwind consumes before any handler runs — this survives the handler,
+// so code that inspects a Try outcome (internal/supervise capturing a
+// child's death) can still link its follow-up work to the exception's
+// span.
+func LastCaughtSpan() Node {
+	return primNode{name: "lastCaughtSpan", step: func(rt *RT, t *Thread) (Node, bool) {
+		return retNode{t.lastSpan}, false
+	}}
+}
+
+// NoteRemoteThrowTo records an exception leaving this node for a peer
+// (internal/cluster's ThrowTo, sender side): a KindRemoteThrowTo event
+// whose Span is a freshly allocated wire span and whose Label is the
+// destination node id. It returns the wire span (uint64; 0 with no
+// Observer) for the caller to carry in the frame, where the receiving
+// node's injection records it as Arg — joining the two nodes' traces.
+func NoteRemoteThrowTo(peer string, e exc.Exception) Node {
+	return primNode{name: "noteRemoteThrowTo", step: func(rt *RT, t *Thread) (Node, bool) {
+		if rt.olog == nil {
+			return retNode{uint64(0)}, false
+		}
+		span := rt.opts.Observer.NextSpan()
+		rt.olog.Record(obs.Event{
+			TS: rt.nowNS(), Span: span, Thread: int64(t.id),
+			Exc: e, Label: peer, Kind: obs.KindRemoteThrowTo,
+		})
+		return retNode{span}, false
 	}}
 }
 

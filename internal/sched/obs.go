@@ -114,6 +114,7 @@ func (rt *RT) obsFinish(t *Thread, e exc.Exception) {
 func (rt *RT) obsCatch(t *Thread, e exc.Exception) {
 	span := t.excSpan
 	t.excSpan = 0
+	t.lastSpan = span
 	if rt.olog == nil {
 		return
 	}
@@ -165,14 +166,16 @@ func (rt *RT) obsSteal(t *Thread, from, to int) {
 }
 
 // obsNote records a resilience/supervision event (shed, retry,
-// breaker transition, deadline, restart) from the thread that
-// observed it.
-func (rt *RT) obsNote(t *Thread, kind obs.Kind, label string, arg uint64) {
+// breaker transition, deadline, restart, remote throwTo) from the
+// thread that observed it. span links the event into an exception's
+// trace (restart: the span that killed the child; remote throwTo: the
+// wire span) and is 0 for the kinds that have no such link.
+func (rt *RT) obsNote(t *Thread, kind obs.Kind, label string, arg uint64, span uint64) {
 	if rt.olog == nil {
 		return
 	}
 	rt.olog.Record(obs.Event{
-		TS: rt.nowNS(), Thread: int64(t.id), Arg: arg,
+		TS: rt.nowNS(), Span: span, Thread: int64(t.id), Arg: arg,
 		Label: label, Kind: kind,
 	})
 }

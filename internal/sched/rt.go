@@ -230,6 +230,14 @@ func (rt *RT) External(f func(*RT)) {
 	rt.events <- f
 }
 
+// Spawn creates an unmasked thread running m with no parent and
+// returns its id — the environment-side fork used by internal/cluster
+// to inject remotely requested work. Like Interrupt it must run
+// inside the scheduler: call it from an External callback.
+func (rt *RT) Spawn(m Node, name string) ThreadID {
+	return rt.spawn(m, name, Unmasked, 0).id
+}
+
 // spawn creates a thread running m. Per the revised (Fork) rule the
 // child starts with the supplied mask state (its parent's). parent is
 // 0 for the main thread.

@@ -178,6 +178,14 @@ type Thread struct {
 	// asynchronous exception, consumed by the catch-frame unwind or
 	// the uncaught finish (0 when none, or with no Observer).
 	excSpan uint64
+
+	// lastSpan is the span of the most recently caught exception: the
+	// value excSpan held when the last catch frame was entered (0 when
+	// that exception was synchronous). Unlike excSpan it survives the
+	// handler, so outcome-capturing wrappers (supervise's Try around a
+	// child body) can link their exit notice to the kill that caused
+	// it via LastCaughtSpan.
+	lastSpan uint64
 }
 
 // ID returns the thread's identifier.

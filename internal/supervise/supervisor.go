@@ -70,6 +70,11 @@ type event struct {
 	epoch  uint64
 	reason ExitReason
 	exc    core.Exception
+	// span is the obs span of the delivered asynchronous exception that
+	// ended the child (0 when it exited normally or died synchronously);
+	// threaded into the KindRestart event so traces link the kill to the
+	// restart that answered it.
+	span uint64
 
 	// evStartChild
 	spec ChildSpec
@@ -321,12 +326,13 @@ func (st *runState) handleExit(ev event) core.IO[core.Unit] {
 		st.remove(cs.spec.ID)
 		return core.Return(core.UnitValue)
 	}
-	return st.restart(cs)
+	return st.restart(cs, ev.span)
 }
 
 // restart performs intensity accounting, backoff, and the
-// strategy-dependent restart action for a child that just died.
-func (st *runState) restart(failed *childState) core.IO[core.Unit] {
+// strategy-dependent restart action for a child that just died. span
+// is the exit notice's span (see event.span).
+func (st *runState) restart(failed *childState, span uint64) core.IO[core.Unit] {
 	return core.Bind(core.Now(), func(now int64) core.IO[core.Unit] {
 		sp := st.s.spec
 
@@ -369,7 +375,7 @@ func (st *runState) restart(failed *childState) core.IO[core.Unit] {
 		}
 
 		note := core.Then(
-			core.FromNode[core.Unit](sched.NoteRestartNamed(failed.spec.ID)),
+			core.FromNode[core.Unit](sched.NoteRestartNamed(failed.spec.ID, span)),
 			core.Lift(func() core.Unit {
 				st.s.Metrics.Restarts.Add(1)
 				return core.UnitValue
@@ -447,12 +453,22 @@ func (st *runState) startChild(cs *childState) core.IO[core.Unit] {
 		s := st.s
 		start := cs.spec.Start
 		body := core.Bind(core.Try(core.Unblock(core.Delay(start))), func(r core.Attempt[core.Unit]) core.IO[core.Unit] {
-			return s.events.Write(event{
-				kind:   evExit,
-				child:  id,
-				epoch:  epoch,
-				reason: Classify(r.Exc),
-				exc:    r.Exc,
+			// Try's catch frame just ran, so LastCaughtSpan is the span of
+			// the exception that ended this child — 0 for a normal return
+			// or a synchronous throw.
+			span := core.Return(uint64(0))
+			if r.Failed() {
+				span = core.FromNode[uint64](sched.LastCaughtSpan())
+			}
+			return core.Bind(span, func(sp uint64) core.IO[core.Unit] {
+				return s.events.Write(event{
+					kind:   evExit,
+					child:  id,
+					epoch:  epoch,
+					reason: Classify(r.Exc),
+					exc:    r.Exc,
+					span:   sp,
+				})
 			})
 		})
 		return core.Block(core.Bind(core.ForkNamed(body, "sup:"+s.spec.Name+"/"+id), func(tid core.ThreadID) core.IO[core.Unit] {
