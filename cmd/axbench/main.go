@@ -9,7 +9,7 @@
 // Usage:
 //
 //	axbench            # run every experiment
-//	axbench -run E9    # run one experiment by ID (E1, E6, E7, E8, E9, S1, T1, T2, F4, C1, P1, R1, O1, N1)
+//	axbench -run E9    # run one experiment by ID (E1, E6, E7, E8, E9, S1, T1, T2, F4, C1, P1, R1, O1, N1, A1)
 //	axbench -seeds 500 # widen the lock-race schedule sweep
 //	axbench -run P1 -write                    # splice P1 into EXPERIMENTS.md
 //	axbench -run P1 -json BENCH_parallel.json # record results as JSON
@@ -29,6 +29,7 @@ func main() {
 	run := flag.String("run", "", "experiment ID to run (default: all)")
 	seeds := flag.Int("seeds", 300, "random schedules for the lock-race experiment")
 	netRounds := flag.Int("net-rounds", 200, "remote-kill rounds for the cluster latency experiment")
+	brokerEvents := flag.Int("broker-events", 1<<16, "events per topic for the actor broker experiment")
 	write := flag.Bool("write", false, "splice the selected tables into EXPERIMENTS.md (between <!-- ID:begin/end --> markers)")
 	jsonPath := flag.String("json", "", "also write the selected tables as JSON to this path")
 	flag.Parse()
@@ -52,6 +53,7 @@ func main() {
 		{"R1", func() *bench.Table { return bench.Resilience(1000) }},
 		{"O1", func() *bench.Table { return bench.ObsOverhead(20000) }},
 		{"N1", func() *bench.Table { return bench.RemoteThrowLatency(*netRounds) }},
+		{"A1", func() *bench.Table { return bench.ActorBroker(*brokerEvents) }},
 	}
 
 	var tables []*bench.Table

@@ -1,0 +1,229 @@
+// Command axbroker drives the pub-sub broker built on internal/actor:
+// topic actors fanning published events out to supervised subscriber
+// actors, every delivery travelling the paper's exception-machinery
+// paths (mailbox takeMVar locally, message-as-exception remotely).
+//
+// Local mode sweeps the parallel engine and prints a throughput line
+// per shard count; with -kills > 0 it also shoots the topic actors
+// mid-stream and lets the supervisor restart them, then audits that
+// no subscriber delivery was lost or duplicated — the acceptance
+// property the chaos soak (internal/chaos.RunActor) checks under 100
+// seeds in CI.
+//
+// Cluster mode builds a 3-node cluster (in-memory transport or real
+// TCP loopback), places the topics on node A and the subscribers on
+// nodes B and C, and drives the same workload across the wire.
+//
+//	axbroker                      # local sweep, shards 1/2/4/8
+//	axbroker -events 1048576      # drive ~16.8M deliveries per row
+//	axbroker -kills 8             # kill topics mid-stream, audit exactly-once
+//	axbroker -cluster mem         # 3-node in-memory cluster
+//	axbroker -cluster tcp         # 3-node TCP-loopback cluster
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"asyncexc/internal/actor"
+	"asyncexc/internal/broker"
+	"asyncexc/internal/core"
+	"asyncexc/internal/supervise"
+)
+
+func main() {
+	events := flag.Int("events", 1<<16, "events published per topic")
+	topics := flag.Int("topics", 4, "topic actors")
+	subs := flag.Int("subs", 4, "subscriber actors per topic")
+	batch := flag.Int("batch", 512, "publish batch size")
+	kills := flag.Int("kills", 0, "kill attempts at topic actors mid-stream (local mode)")
+	clusterMode := flag.String("cluster", "", "run 3-node cluster mode: mem | tcp")
+	shardList := flag.String("shards", "1,2,4,8", "comma-separated shard counts for the local sweep")
+	flag.Parse()
+
+	if *clusterMode != "" {
+		runCluster(*clusterMode, *topics, *subs, *events, *batch)
+		return
+	}
+
+	fmt.Printf("axbroker: local sweep — %d topics x %d subscribers, %d events/topic, batch %d\n",
+		*topics, *subs, *events, *batch)
+	for _, s := range strings.Split(*shardList, ",") {
+		var shards int
+		if _, err := fmt.Sscanf(strings.TrimSpace(s), "%d", &shards); err != nil || shards < 1 {
+			fmt.Fprintf(os.Stderr, "axbroker: bad shard count %q\n", s)
+			os.Exit(2)
+		}
+		runLocal(shards, *topics, *subs, *events, *batch, *kills)
+	}
+}
+
+// runLocal drives one supervised broker on a shards-wide runtime:
+// every topic and every subscriber is a Permanent child of one
+// supervisor — kill a topic and the supervisor restarts it onto the
+// same (surviving) mailbox.
+func runLocal(shards, topics, subsPer, events, batch, kills int) {
+	opts := core.RealTimeOptions()
+	opts.Shards = shards
+	sys := core.NewSystem(opts)
+	asys := actor.NewSystem(nil)
+
+	var delivered atomic.Uint64
+	var mu sync.Mutex
+	counts := make([]map[uint64]int, topics*subsPer)
+	for i := range counts {
+		counts[i] = map[uint64]int{}
+	}
+	want := uint64(topics * subsPer * events)
+
+	var sup *supervise.Supervisor
+	var start, end time.Time
+	var restarts uint64
+
+	prog := core.Delay(func() core.IO[core.Unit] {
+		spec := supervise.Spec{
+			Name:      "broker",
+			Strategy:  supervise.OneForOne,
+			Intensity: supervise.Intensity{MaxRestarts: -1, Window: time.Second},
+			Backoff:   supervise.Backoff{Initial: time.Millisecond, Max: 8 * time.Millisecond},
+		}
+		var topicRefs []actor.Ref[broker.Cmd]
+		setup := core.Return(core.UnitValue)
+		for ti := 0; ti < topics; ti++ {
+			name := fmt.Sprintf("t%d", ti)
+			ti := ti
+			setup = core.Then(setup, core.Bind(broker.NewTopic(asys, name), func(tp broker.Topic) core.IO[core.Unit] {
+				topicRefs = append(topicRefs, tp.Ref)
+				spec.Children = append(spec.Children, tp.Spec)
+				wire := core.Return(core.UnitValue)
+				for si := 0; si < subsPer; si++ {
+					idx := ti*subsPer + si
+					id := fmt.Sprintf("%s-s%d", name, si)
+					wire = core.Then(wire, core.Bind(
+						broker.NewSubscriber(asys, id, func(evs []broker.Event) core.IO[core.Unit] {
+							return core.Lift(func() core.Unit {
+								delivered.Add(uint64(len(evs)))
+								mu.Lock()
+								for _, e := range evs {
+									counts[idx][e.Seq]++
+								}
+								mu.Unlock()
+								return core.UnitValue
+							})
+						}),
+						func(sb broker.Subscriber) core.IO[core.Unit] {
+							spec.Children = append(spec.Children, sb.Spec)
+							return broker.Subscribe(tp.Ref, id, sb.Ref)
+						}))
+				}
+				return wire
+			}))
+		}
+		return core.Then(setup, core.Delay(func() core.IO[core.Unit] {
+			return supervise.WithSupervisor(spec, func(s *supervise.Supervisor) core.IO[core.Unit] {
+				sup = s
+				pubs := core.Lift(func() core.Unit { start = time.Now(); return core.UnitValue })
+				for i, ref := range topicRefs {
+					pubs = core.Then(pubs, core.Void(core.Fork(publish(ref, fmt.Sprintf("t%d", i), events, batch))))
+				}
+				if kills > 0 {
+					pubs = core.Then(pubs, core.Void(core.Fork(injector(s, topicRefs, kills))))
+				}
+				var drain func() core.IO[core.Unit]
+				drain = func() core.IO[core.Unit] {
+					return core.Delay(func() core.IO[core.Unit] {
+						if delivered.Load() >= want {
+							return core.Lift(func() core.Unit { end = time.Now(); return core.UnitValue })
+						}
+						return core.Then(core.Sleep(time.Millisecond), drain())
+					})
+				}
+				return core.Then(pubs, drain())
+			})
+		}))
+	})
+
+	if _, e, err := core.RunSystem(sys, prog); e != nil || err != nil {
+		fmt.Fprintf(os.Stderr, "axbroker: %d-shard run failed: exc=%v err=%v\n", shards, e, err)
+		os.Exit(1)
+	}
+	if sup != nil {
+		restarts = sup.Metrics.Restarts.Load()
+	}
+
+	elapsed := end.Sub(start)
+	rate := float64(delivered.Load()) / elapsed.Seconds()
+	line := fmt.Sprintf("  %d-shard: %d deliveries in %dms = %.2fM msgs/sec",
+		shards, delivered.Load(), elapsed.Milliseconds(), rate/1e6)
+	if kills > 0 {
+		lost, dup := audit(counts, events)
+		line += fmt.Sprintf("  (restarts=%d lost=%d duplicated=%d)", restarts, lost, dup)
+		if lost+dup > 0 {
+			fmt.Println(line)
+			fmt.Fprintln(os.Stderr, "axbroker: exactly-once audit FAILED")
+			os.Exit(1)
+		}
+	}
+	fmt.Println(line)
+}
+
+// publish emits events [1..total] in batches.
+func publish(ref actor.Ref[broker.Cmd], topic string, total, batch int) core.IO[core.Unit] {
+	var loop func(next int) core.IO[core.Unit]
+	loop = func(next int) core.IO[core.Unit] {
+		if next > total {
+			return core.Return(core.UnitValue)
+		}
+		n := batch
+		if next+n > total+1 {
+			n = total + 1 - next
+		}
+		evs := make([]broker.Event, n)
+		for i := range evs {
+			evs[i] = broker.Event{Topic: topic, Seq: uint64(next + i)}
+		}
+		return core.Then(broker.Publish(ref, evs),
+			core.Delay(func() core.IO[core.Unit] { return loop(next + n) }))
+	}
+	return loop(1)
+}
+
+// injector shoots ThreadKilled at live topic incarnations while the
+// publishers run.
+func injector(s *supervise.Supervisor, refs []actor.Ref[broker.Cmd], kills int) core.IO[core.Unit] {
+	var loop func(k int) core.IO[core.Unit]
+	loop = func(k int) core.IO[core.Unit] {
+		if k >= kills {
+			return core.Return(core.UnitValue)
+		}
+		next := core.Then(core.Sleep(3*time.Millisecond),
+			core.Delay(func() core.IO[core.Unit] { return loop(k + 1) }))
+		id := fmt.Sprintf("topic/t%d", k%len(refs))
+		tid, ok := s.ChildThreadID(id)
+		if !ok {
+			return next
+		}
+		return core.Then(core.Void(core.Try(core.KillThread(tid))), next)
+	}
+	return loop(0)
+}
+
+// audit checks exactly-once delivery per subscriber.
+func audit(counts []map[uint64]int, events int) (lost, dup int) {
+	for _, m := range counts {
+		for s := uint64(1); s <= uint64(events); s++ {
+			switch n := m[s]; {
+			case n == 0:
+				lost++
+			case n > 1:
+				dup++
+			}
+		}
+	}
+	return
+}

@@ -1,0 +1,372 @@
+package actor
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"asyncexc/internal/core"
+	"asyncexc/internal/exc"
+	"asyncexc/internal/resilience"
+	"asyncexc/internal/supervise"
+)
+
+// runOK runs prog on a fresh default (virtual-clock, serial) runtime
+// and fails the test on any escaped exception or runtime error.
+func runOK[A any](t *testing.T, prog core.IO[A]) A {
+	t.Helper()
+	v, e, err := core.Run(prog)
+	if e != nil || err != nil {
+		t.Fatalf("run: exc=%v err=%v", e, err)
+	}
+	return v
+}
+
+func TestMailboxFIFO(t *testing.T) {
+	got := runOK(t, core.Bind(NewMailbox[int]("fifo"), func(mb *Mailbox[int]) core.IO[[]int] {
+		send := core.Then(core.Then(mb.Send(1), mb.Send(2)), mb.Send(3))
+		recv := core.ForM([]int{0, 1, 2}, func(int) core.IO[int] { return mb.Receive() })
+		return core.Then(send, recv)
+	}))
+	if fmt.Sprint(got) != "[1 2 3]" {
+		t.Fatalf("out of order: %v", got)
+	}
+}
+
+func TestMailboxParkedReceive(t *testing.T) {
+	// Receiver parks first; the send hands off directly.
+	got := runOK(t, core.Bind(NewMailbox[string]("park"), func(mb *Mailbox[string]) core.IO[string] {
+		return core.Bind(core.Fork(core.Then(core.Sleep(time.Millisecond), mb.Send("hi"))),
+			func(core.ThreadID) core.IO[string] { return mb.Receive() })
+	}))
+	if got != "hi" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestSelectiveReceive(t *testing.T) {
+	// Skipped messages keep their arrival order for later receives.
+	even := func(n int) bool { return n%2 == 0 }
+	got := runOK(t, core.Bind(NewMailbox[int]("sel"), func(mb *Mailbox[int]) core.IO[[]int] {
+		send := mb.SendAll([]int{1, 2, 3, 4})
+		return core.Then(send,
+			core.Bind(mb.ReceiveWhere(even), func(a int) core.IO[[]int] {
+				return core.Bind(mb.ReceiveWhere(even), func(b int) core.IO[[]int] {
+					return core.Bind(mb.Receive(), func(c int) core.IO[[]int] {
+						return core.Bind(mb.Receive(), func(d int) core.IO[[]int] {
+							return core.Return([]int{a, b, c, d})
+						})
+					})
+				})
+			}))
+	}))
+	if fmt.Sprint(got) != "[2 4 1 3]" {
+		t.Fatalf("selective order wrong: %v", got)
+	}
+}
+
+func TestSelectiveReceiveParksPastNonMatching(t *testing.T) {
+	// A parked selective receiver must NOT be woken by a non-matching
+	// send; the message is buffered and the matching one hands off.
+	got := runOK(t, core.Bind(NewMailbox[int]("selpark"), func(mb *Mailbox[int]) core.IO[core.Pair[int, int]] {
+		sender := core.Then(core.Sleep(time.Millisecond),
+			core.Then(mb.Send(1), core.Then(core.Sleep(time.Millisecond), mb.Send(2))))
+		return core.Bind(core.Fork(sender), func(core.ThreadID) core.IO[core.Pair[int, int]] {
+			return core.Bind(mb.ReceiveWhere(func(n int) bool { return n%2 == 0 }), func(ev int) core.IO[core.Pair[int, int]] {
+				return core.Bind(mb.Receive(), func(odd int) core.IO[core.Pair[int, int]] {
+					return core.Return(core.MkPair(ev, odd))
+				})
+			})
+		})
+	}))
+	if got.Fst != 2 || got.Snd != 1 {
+		t.Fatalf("want (2,1), got %v", got)
+	}
+}
+
+func TestReceiveAllDrains(t *testing.T) {
+	got := runOK(t, core.Bind(NewMailbox[int]("drain"), func(mb *Mailbox[int]) core.IO[[]int] {
+		return core.Then(mb.SendAll([]int{7, 8, 9}), mb.ReceiveAll())
+	}))
+	if fmt.Sprint(got) != "[7 8 9]" {
+		t.Fatalf("drain wrong: %v", got)
+	}
+}
+
+func TestSpawnResolveSend(t *testing.T) {
+	type done = core.MVar[int]
+	sum := runOK(t, core.Bind(core.NewEmptyMVar[int](), func(dn done) core.IO[int] {
+		sys := NewSystem(nil)
+		def := Def[int]{
+			Name: "adder",
+			OnMessage: func(n int) core.IO[core.Unit] {
+				if n < 0 { // sentinel: report and stop accepting
+					return core.Void(core.TryPut(dn, 0))
+				}
+				return core.Bind(core.TryTake(dn), func(core.Maybe[int]) core.IO[core.Unit] {
+					return core.Return(core.UnitValue)
+				})
+			},
+		}
+		// Accumulate via a state MVar instead: simpler handler.
+		return core.Bind(core.NewMVar(0), func(acc core.MVar[int]) core.IO[int] {
+			def.OnMessage = func(n int) core.IO[core.Unit] {
+				if n < 0 {
+					return core.Bind(core.Read(acc), func(v int) core.IO[core.Unit] {
+						return core.Void(core.TryPut(dn, v))
+					})
+				}
+				return core.ModifyMVar(acc, func(v int) core.IO[int] { return core.Return(v + n) })
+			}
+			return core.Bind(Spawn(sys, def), func(Ref[int]) core.IO[int] {
+				return core.Bind(Resolve[int](sys, "", "adder", nil), func(m core.Maybe[Ref[int]]) core.IO[int] {
+					if !m.IsJust {
+						return core.Throw[int](exc.ErrorCall{Msg: "adder not registered"})
+					}
+					r := m.Value
+					return core.Then(r.SendAll([]int{1, 2, 3}),
+						core.Then(r.Send(-1), core.Take(dn)))
+				})
+			})
+		})
+	}))
+	if sum != 6 {
+		t.Fatalf("sum = %d, want 6", sum)
+	}
+}
+
+func TestResolveUnknownName(t *testing.T) {
+	m := runOK(t, core.Delay(func() core.IO[core.Maybe[Ref[int]]] {
+		return Resolve[int](NewSystem(nil), "", "nobody", nil)
+	}))
+	if m.IsJust {
+		t.Fatalf("resolved a name that was never registered")
+	}
+}
+
+// callMsg is the request type for the Call tests.
+type callMsg struct {
+	n     int
+	noisy bool // when set, the server never replies
+	reply ReplyTo[int]
+}
+
+func callServer(sys *System) core.IO[Ref[callMsg]] {
+	return Spawn(sys, Def[callMsg]{
+		Name: "doubler",
+		OnMessage: func(m callMsg) core.IO[core.Unit] {
+			if m.noisy {
+				return core.Return(core.UnitValue) // drop: caller times out
+			}
+			return core.Void(m.reply.Reply(2 * m.n))
+		},
+	})
+}
+
+func TestCallReply(t *testing.T) {
+	got := runOK(t, core.Delay(func() core.IO[int] {
+		sys := NewSystem(nil)
+		return core.Bind(callServer(sys), func(r Ref[callMsg]) core.IO[int] {
+			return Call[callMsg, int](r, resilience.NoDeadline(), time.Second,
+				func(rt ReplyTo[int], _ resilience.Deadline) callMsg {
+					return callMsg{n: 21, reply: rt}
+				})
+		})
+	}))
+	if got != 42 {
+		t.Fatalf("call returned %d, want 42", got)
+	}
+}
+
+func TestCallDeadlineExpires(t *testing.T) {
+	att := runOK(t, core.Delay(func() core.IO[core.Attempt[int]] {
+		sys := NewSystem(nil)
+		return core.Bind(callServer(sys), func(r Ref[callMsg]) core.IO[core.Attempt[int]] {
+			return core.Try(Call[callMsg, int](r, resilience.NoDeadline(), 10*time.Millisecond,
+				func(rt ReplyTo[int], _ resilience.Deadline) callMsg {
+					return callMsg{n: 1, noisy: true, reply: rt}
+				}))
+		})
+	}))
+	if !att.Failed() || !exc.Equal(att.Exc, resilience.ErrDeadlineExceeded) {
+		t.Fatalf("want ErrDeadlineExceeded, got %v", att.Exc)
+	}
+}
+
+func TestCallDeadlineClampsToParent(t *testing.T) {
+	// The parent deadline is tighter than the call budget; expiry must
+	// follow the parent (hierarchical clamping).
+	start := time.Now()
+	att := runOK(t, core.Delay(func() core.IO[core.Attempt[int]] {
+		sys := NewSystem(nil)
+		return core.Bind(callServer(sys), func(r Ref[callMsg]) core.IO[core.Attempt[int]] {
+			return core.Bind(core.Now(), func(now int64) core.IO[core.Attempt[int]] {
+				parent := resilience.At(now + (5 * time.Millisecond).Nanoseconds())
+				return core.Try(Call[callMsg, int](r, parent, time.Hour,
+					func(rt ReplyTo[int], d resilience.Deadline) callMsg {
+						if left, ok := d.Remaining(now); !ok || left > 5*time.Millisecond {
+							t.Errorf("effective deadline not clamped: %v %v", left, ok)
+						}
+						return callMsg{n: 1, noisy: true, reply: rt}
+					}))
+			})
+		})
+	}))
+	if !att.Failed() || !exc.Equal(att.Exc, resilience.ErrDeadlineExceeded) {
+		t.Fatalf("want ErrDeadlineExceeded, got %v", att.Exc)
+	}
+	// Virtual clock: a time.Hour budget would still return instantly,
+	// so only sanity-check wall time to catch a real-clock regression.
+	if time.Since(start) > 30*time.Second {
+		t.Fatalf("clamped call took wall-clock %v", time.Since(start))
+	}
+}
+
+func TestKillLandsAtReceive(t *testing.T) {
+	// Kill an idle (parked) actor; a message sent afterwards stays
+	// queued — the mailbox outlives the incarnation.
+	left := runOK(t, core.Delay(func() core.IO[int] {
+		sys := NewSystem(nil)
+		return core.Bind(Spawn(sys, Def[int]{Name: "victim",
+			OnMessage: func(int) core.IO[core.Unit] { return core.Return(core.UnitValue) },
+		}), func(r Ref[int]) core.IO[int] {
+			return core.Then(core.Sleep(time.Millisecond), // let it park
+				core.Then(core.KillThread(r.Addr.TID),
+					core.Then(core.Sleep(time.Millisecond),
+						core.Then(r.Send(99), r.Mailbox().Len()))))
+		})
+	}))
+	if left != 1 {
+		t.Fatalf("queued = %d, want 1 (message must survive, unconsumed)", left)
+	}
+}
+
+func TestKillUnregistersName(t *testing.T) {
+	ok := runOK(t, core.Delay(func() core.IO[bool] {
+		sys := NewSystem(nil)
+		return core.Bind(Spawn(sys, Def[int]{Name: "gone",
+			OnMessage: func(int) core.IO[core.Unit] { return core.Return(core.UnitValue) },
+		}), func(r Ref[int]) core.IO[bool] {
+			return core.Then(core.Sleep(time.Millisecond),
+				core.Then(core.KillThread(r.Addr.TID),
+					core.Then(core.Sleep(time.Millisecond),
+						core.Map(Resolve[int](sys, "", "gone", nil), func(m core.Maybe[Ref[int]]) bool {
+							return m.IsJust
+						}))))
+		})
+	}))
+	if ok {
+		t.Fatalf("dead actor still resolvable")
+	}
+}
+
+func TestAsChildRestartKeepsMailbox(t *testing.T) {
+	// An actor child crashes on a poison message; the supervisor
+	// restarts it and the messages queued behind the poison are
+	// handled by the next incarnation — none lost, none duplicated.
+	out := runOK(t, core.Delay(func() core.IO[string] {
+		sys := NewSystem(nil)
+		return core.Bind(core.NewMVar(""), func(log core.MVar[string]) core.IO[string] {
+			def := Def[string]{
+				Name: "worker",
+				OnMessage: func(m string) core.IO[core.Unit] {
+					if m == "boom" {
+						return core.Throw[core.Unit](exc.ErrorCall{Msg: "boom"})
+					}
+					return core.ModifyMVar(log, func(s string) core.IO[string] {
+						return core.Return(s + m)
+					})
+				},
+			}
+			return core.Bind(AsChild(sys, def, supervise.Permanent), func(p core.Pair[Ref[string], supervise.ChildSpec]) core.IO[string] {
+				ref, spec := p.Fst, p.Snd
+				return supervise.WithSupervisor(supervise.Spec{
+					Name:     "actors",
+					Children: []supervise.ChildSpec{spec},
+				}, func(*supervise.Supervisor) core.IO[string] {
+					send := core.Then(ref.Send("a"),
+						core.Then(ref.Send("boom"),
+							core.Then(ref.Send("b"), ref.Send("c"))))
+					// Poll until both post-crash messages are in.
+					var wait func(int) core.IO[string]
+					wait = func(tries int) core.IO[string] {
+						return core.Bind(core.Read(log), func(s string) core.IO[string] {
+							if strings.Contains(s, "b") && strings.Contains(s, "c") || tries <= 0 {
+								return core.Return(s)
+							}
+							return core.Then(core.Sleep(time.Millisecond), core.Delay(func() core.IO[string] { return wait(tries - 1) }))
+						})
+					}
+					return core.Then(send, wait(1000))
+				})
+			})
+		})
+	}))
+	if out != "abc" {
+		t.Fatalf("handled %q, want abc (mailbox must survive the restart)", out)
+	}
+}
+
+func TestMailboxStatsBalance(t *testing.T) {
+	// ActorSends == ActorDeliveries + still-queued, and handled counts
+	// match — the audit identity the soak relies on.
+	sys := core.NewSystem(core.DefaultOptions())
+	prog := core.Bind(NewMailbox[int]("bal"), func(mb *Mailbox[int]) core.IO[core.Unit] {
+		return core.Then(mb.SendAll([]int{1, 2, 3, 4, 5}),
+			core.Then(core.Void(mb.Receive()), core.Void(mb.ReceiveAll())))
+	})
+	if _, e, err := core.RunSystem(sys, prog); e != nil || err != nil {
+		t.Fatalf("exc=%v err=%v", e, err)
+	}
+	st := sys.Stats()
+	if st.ActorSends != 5 || st.ActorDeliveries != 5 {
+		t.Fatalf("sends=%d deliveries=%d, want 5/5", st.ActorSends, st.ActorDeliveries)
+	}
+}
+
+func TestConcurrentReceiveRejected(t *testing.T) {
+	att := runOK(t, core.Bind(NewMailbox[int]("dup"), func(mb *Mailbox[int]) core.IO[core.Attempt[int]] {
+		return core.Bind(core.Fork(core.Void(mb.Receive())), func(core.ThreadID) core.IO[core.Attempt[int]] {
+			return core.Then(core.Sleep(time.Millisecond), core.Try(mb.Receive()))
+		})
+	}))
+	if !att.Failed() {
+		t.Fatalf("second concurrent receive succeeded")
+	}
+	if _, ok := att.Exc.(exc.ErrorCall); !ok {
+		t.Fatalf("want ErrorCall, got %v", att.Exc)
+	}
+}
+
+func TestBatchActorHandlesInOrder(t *testing.T) {
+	out := runOK(t, core.Delay(func() core.IO[string] {
+		sys := NewSystem(nil)
+		return core.Bind(core.NewMVar(""), func(log core.MVar[string]) core.IO[string] {
+			return core.Bind(core.NewEmptyMVar[core.Unit](), func(dn core.MVar[core.Unit]) core.IO[string] {
+				def := Def[int]{
+					Name: "batcher",
+					OnBatch: func(ns []int) core.IO[core.Unit] {
+						return core.ModifyMVar(log, func(s string) core.IO[string] {
+							for _, n := range ns {
+								if n < 0 {
+									return core.Then(core.Void(core.TryPut(dn, core.UnitValue)), core.Return(s))
+								}
+								s += strconv.Itoa(n)
+							}
+							return core.Return(s)
+						})
+					},
+				}
+				return core.Bind(Spawn(sys, def), func(r Ref[int]) core.IO[string] {
+					return core.Then(r.SendAll([]int{1, 2, 3, 4, -1}),
+						core.Then(core.Take(dn), core.Read(log)))
+				})
+			})
+		})
+	}))
+	if out != "1234" {
+		t.Fatalf("batch handled %q", out)
+	}
+}

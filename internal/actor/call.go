@@ -1,0 +1,41 @@
+package actor
+
+import (
+	"time"
+
+	"asyncexc/internal/core"
+	"asyncexc/internal/resilience"
+)
+
+// ReplyTo is the reply capability a call message carries: the caller
+// mints it, the callee's handler answers through it. Reply uses
+// TryPut, so answering is at-most-once and never waits — a duplicate
+// reply is dropped, and a reply arriving after the caller's deadline
+// expired lands in an MVar nobody will ever read, harmlessly, instead
+// of unblocking some reused park (the stray-late-reply hazard).
+type ReplyTo[R any] struct {
+	box core.MVar[R]
+}
+
+// Reply answers the call. The first Reply wins; later ones are no-ops
+// returning false.
+func (r ReplyTo[R]) Reply(v R) core.IO[bool] {
+	return core.TryPut(r.box, v)
+}
+
+// Call is the gen_server synchronous call: send a request carrying a
+// fresh ReplyTo, then wait for the answer under a resilience deadline.
+// budget is clamped against parent (hierarchical: an outer budget
+// bounds every call beneath it, whatever the inner layers ask for) and
+// the effective deadline is passed to mk so the request itself can
+// carry it to the callee. Expiry raises resilience.ErrDeadlineExceeded.
+// An asynchronous kill of the caller while it waits unwinds the call —
+// resilience.DefaultClassify maps it to Cancelled, so retry policies
+// never re-run a killed call.
+func Call[M, R any](ref Ref[M], parent resilience.Deadline, budget time.Duration, mk func(ReplyTo[R], resilience.Deadline) M) core.IO[R] {
+	return core.Bind(core.NewEmptyMVar[R](), func(box core.MVar[R]) core.IO[R] {
+		return resilience.WithDeadline(parent, budget, func(d resilience.Deadline) core.IO[R] {
+			return core.Then(ref.Send(mk(ReplyTo[R]{box: box}, d)), core.Take(box))
+		})
+	})
+}

@@ -1,0 +1,334 @@
+package actor
+
+import (
+	"sort"
+
+	"asyncexc/internal/core"
+	"asyncexc/internal/exc"
+	"asyncexc/internal/sched"
+)
+
+// entry is one queued message plus its bookkeeping: the arrival
+// sequence number (restores true arrival order if a handed-off message
+// has to be returned to the queue) and the obs span allocated at send
+// time (joins the send → deliver → handle trace chain).
+type entry[M any] struct {
+	seq  uint64
+	span uint64
+	msg  M
+}
+
+// waiter is a parked receiver: the hole its message will be handed
+// into and the selective-receive predicate it is waiting with (nil
+// accepts anything).
+type waiter[M any] struct {
+	hole core.MVar[entry[M]]
+	pred func(M) bool
+}
+
+// mState is the mailbox state held inside one MVar: the buffered
+// messages in arrival order, the parked receiver (at most one — a
+// mailbox has a single consumer, its actor), and the arrival counter.
+type mState[M any] struct {
+	buf []entry[M]
+	w   *waiter[M]
+	seq uint64
+}
+
+// Mailbox is a typed actor mailbox built purely from the paper's
+// primitives: an MVar-guarded queue whose receive side parks on an
+// empty MVar — a real takeMVar — so an asynchronous exception lands
+// exactly where the paper's interruptible-operations rule (§5.3) says
+// it may: at the waiting receive, and nowhere inside the state
+// update. Sends never wait (the critical section contains only a Put
+// into a known-empty hole), the shape conc.Chan established.
+//
+// A mailbox is single-consumer: one actor drains it. A second
+// concurrent Receive raises an ErrorCall rather than corrupting the
+// waiter slot.
+type Mailbox[M any] struct {
+	name string
+	st   core.MVar[mState[M]]
+}
+
+// NewMailbox creates an empty mailbox. The name labels its obs events
+// and stats; "" suppresses nothing (events still record).
+func NewMailbox[M any](name string) core.IO[*Mailbox[M]] {
+	return core.Bind(core.NewMVar(mState[M]{}), func(st core.MVar[mState[M]]) core.IO[*Mailbox[M]] {
+		return core.Return(&Mailbox[M]{name: name, st: st})
+	})
+}
+
+// Name returns the mailbox's label.
+func (mb *Mailbox[M]) Name() string { return mb.name }
+
+// locked runs compute as the mailbox critical section: masked at
+// least as strongly as the caller. Plain ModifyMVarValueMasked
+// hardcodes Block, which would *downgrade* a caller running under
+// BlockUninterruptible (entering Block sets the state to Masked) and
+// reopen an interruption window inside an uninterruptible fanout —
+// exactly the window the broker's zero-lost guarantee closes. So the
+// section elevates: Masked normally, MaskedUninterruptible when the
+// caller already is.
+func locked[M, B any](mb *Mailbox[M], compute func(mState[M]) core.IO[core.Pair[mState[M], B]]) core.IO[B] {
+	body := core.Bind(core.Take(mb.st), func(s mState[M]) core.IO[B] {
+		return core.Bind(
+			core.Catch(compute(s), func(e core.Exception) core.IO[core.Pair[mState[M], B]] {
+				return core.Then(core.Put(mb.st, s), core.Throw[core.Pair[mState[M], B]](e))
+			}),
+			func(p core.Pair[mState[M], B]) core.IO[B] {
+				return core.Then(core.Put(mb.st, p.Fst), core.Return(p.Snd))
+			},
+		)
+	})
+	return core.Bind(core.GetMask(), func(ms core.MaskState) core.IO[B] {
+		if ms == core.MaskedUninterruptible {
+			return core.BlockUninterruptible(body)
+		}
+		return core.Block(body)
+	})
+}
+
+// push appends m (or hands it straight to a matching parked receiver)
+// inside an already-locked section; handed reports a handoff.
+func push[M any](s mState[M], m M, span uint64) (next mState[M], handoff core.IO[core.Unit], handed bool) {
+	s.seq++
+	e := entry[M]{seq: s.seq, span: span, msg: m}
+	if w := s.w; w != nil && (w.pred == nil || w.pred(m)) {
+		s.w = nil
+		// The hole is empty by construction: this Put cannot wait and
+		// hence cannot be interrupted (§5.3).
+		return s, core.Put(w.hole, e), true
+	}
+	s.buf = append(s.buf, e)
+	return s, core.IO[core.Unit]{}, false
+}
+
+// Send enqueues m, handing it directly to a parked matching receiver
+// when there is one. It never waits for a consumer.
+func (mb *Mailbox[M]) Send(m M) core.IO[core.Unit] {
+	return core.Bind(noteSend(mb.name, 1), func(span uint64) core.IO[core.Unit] {
+		return locked(mb, func(s mState[M]) core.IO[core.Pair[mState[M], core.Unit]] {
+			s2, handoff, handed := push(s, m, span)
+			if handed {
+				return core.Then(handoff, core.Return(core.MkPair(s2, core.UnitValue)))
+			}
+			return core.Return(core.MkPair(s2, core.UnitValue))
+		})
+	})
+}
+
+// SendAll enqueues a batch in one critical section — the amortized
+// path high-throughput senders (the broker's fanout) use. Messages
+// keep their slice order; at most the first matching one is handed to
+// a parked receiver.
+func (mb *Mailbox[M]) SendAll(ms []M) core.IO[core.Unit] {
+	if len(ms) == 0 {
+		return core.Return(core.UnitValue)
+	}
+	return core.Bind(noteSend(mb.name, uint64(len(ms))), func(span uint64) core.IO[core.Unit] {
+		return locked(mb, func(s mState[M]) core.IO[core.Pair[mState[M], core.Unit]] {
+			var handoffs core.IO[core.Unit]
+			var any bool
+			for _, m := range ms {
+				var h core.IO[core.Unit]
+				var handed bool
+				s, h, handed = push(s, m, span)
+				if handed {
+					handoffs, any = h, true // at most one: push clears the waiter
+				}
+			}
+			if any {
+				return core.Then(handoffs, core.Return(core.MkPair(s, core.UnitValue)))
+			}
+			return core.Return(core.MkPair(s, core.UnitValue))
+		})
+	})
+}
+
+// errConcurrentReceive reports a second consumer on a single-consumer
+// mailbox.
+func errConcurrentReceive(name string) core.Exception {
+	return exc.ErrorCall{Msg: "actor: concurrent Receive on single-consumer mailbox " + name}
+}
+
+// Receive dequeues the oldest message, waiting while the mailbox is
+// empty. The wait is the paper's interruptible takeMVar: a throwTo
+// aimed at the actor lands there (or not at all until the next
+// receive, if the actor is busy handling under Block) — never between
+// dequeue and handler. If the receiver is interrupted while parked,
+// the mailbox is left exactly as it was: a message handed off in the
+// race is returned to its arrival position, so it is neither lost nor
+// duplicated.
+func (mb *Mailbox[M]) Receive() core.IO[M] {
+	return mb.ReceiveWhere(nil)
+}
+
+// ReceiveWhere is selective receive: it dequeues the oldest message
+// satisfying pred (nil accepts anything), skipping — but keeping, in
+// order — the ones that do not match, Erlang's save-queue semantics.
+// It parks like Receive when no buffered message matches.
+func (mb *Mailbox[M]) ReceiveWhere(pred func(M) bool) core.IO[M] {
+	return core.Map(mb.receiveE(pred), func(e entry[M]) M { return e.msg })
+}
+
+// receiveE is ReceiveWhere returning the full entry (the actor loop
+// threads its span into the handle event).
+func (mb *Mailbox[M]) receiveE(pred func(M) bool) core.IO[entry[M]] {
+	return core.Block(core.Bind(core.NewEmptyMVar[entry[M]](), func(hole core.MVar[entry[M]]) core.IO[entry[M]] {
+		return core.Bind(locked(mb, func(s mState[M]) core.IO[core.Pair[mState[M], core.Maybe[entry[M]]]] {
+			if s.w != nil {
+				return core.Throw[core.Pair[mState[M], core.Maybe[entry[M]]]](errConcurrentReceive(mb.name))
+			}
+			for i := range s.buf {
+				if pred == nil || pred(s.buf[i].msg) {
+					e := s.buf[i]
+					s.buf = append(s.buf[:i], s.buf[i+1:]...)
+					return core.Return(core.MkPair(s, core.Just(e)))
+				}
+			}
+			s.w = &waiter[M]{hole: hole, pred: pred}
+			return core.Return(core.MkPair(s, core.Nothing[entry[M]]()))
+		}), func(got core.Maybe[entry[M]]) core.IO[entry[M]] {
+			if got.IsJust {
+				return core.Then(noteDeliver(mb.name, 1, got.Value.span), core.Return(got.Value))
+			}
+			// The delivery point. Take on an empty MVar is interruptible
+			// even under Block (§5.3); on interruption the retraction
+			// runs uninterruptibly and restores the mailbox.
+			park := core.Catch(core.Take(hole), func(e core.Exception) core.IO[entry[M]] {
+				return core.Then(mb.retract(hole), core.Throw[entry[M]](e))
+			})
+			return core.Bind(park, func(e entry[M]) core.IO[entry[M]] {
+				return core.Then(noteDeliver(mb.name, 1, e.span), core.Return(e))
+			})
+		})
+	}))
+}
+
+// retract atomically deregisters a parked receive that was interrupted.
+// Two cases, decided while holding the mailbox lock: the waiter is
+// still registered (simply remove it), or a sender already handed a
+// message into the hole (drain it and re-insert at its arrival
+// position). Uninterruptible throughout — a second asynchronous
+// exception must not abandon the recovery halfway, or the handed-off
+// message would be lost.
+func (mb *Mailbox[M]) retract(hole core.MVar[entry[M]]) core.IO[core.Unit] {
+	return core.BlockUninterruptible(core.Bind(core.Take(mb.st), func(s mState[M]) core.IO[core.Unit] {
+		if s.w != nil && s.w.hole.Raw() == hole.Raw() {
+			s.w = nil
+			return core.Put(mb.st, s)
+		}
+		return core.Bind(core.TryTake(hole), func(r core.Maybe[entry[M]]) core.IO[core.Unit] {
+			if r.IsJust {
+				s.buf = insertBySeq(s.buf, r.Value)
+			}
+			return core.Put(mb.st, s)
+		})
+	}))
+}
+
+// insertBySeq re-inserts a recovered entry at its arrival position.
+func insertBySeq[M any](buf []entry[M], e entry[M]) []entry[M] {
+	i := sort.Search(len(buf), func(i int) bool { return buf[i].seq > e.seq })
+	buf = append(buf, entry[M]{})
+	copy(buf[i+1:], buf[i:])
+	buf[i] = e
+	return buf
+}
+
+// ReceiveAll drains every buffered message in one critical section,
+// parking like Receive when the mailbox is empty and then sweeping up
+// whatever arrived behind the message that woke it. This is the
+// amortized receive the actor loop's batch mode uses: the per-message
+// cost of the locked section falls to O(1/batch).
+func (mb *Mailbox[M]) ReceiveAll() core.IO[[]M] {
+	return core.Map(mb.receiveAllE(), msgs[M])
+}
+
+// receiveAllE is ReceiveAll returning the full entries.
+func (mb *Mailbox[M]) receiveAllE() core.IO[[]entry[M]] {
+	return core.Block(core.Bind(core.NewEmptyMVar[entry[M]](), func(hole core.MVar[entry[M]]) core.IO[[]entry[M]] {
+		return core.Bind(locked(mb, func(s mState[M]) core.IO[core.Pair[mState[M], []entry[M]]] {
+			if s.w != nil {
+				return core.Throw[core.Pair[mState[M], []entry[M]]](errConcurrentReceive(mb.name))
+			}
+			if len(s.buf) > 0 {
+				out := s.buf
+				s.buf = nil
+				return core.Return(core.MkPair(s, out))
+			}
+			s.w = &waiter[M]{hole: hole}
+			return core.Return(core.MkPair(s, []entry[M](nil)))
+		}), func(got []entry[M]) core.IO[[]entry[M]] {
+			if got != nil {
+				return core.Then(noteDeliver(mb.name, uint64(len(got)), got[0].span), core.Return(got))
+			}
+			park := core.Catch(core.Take(hole), func(e core.Exception) core.IO[entry[M]] {
+				return core.Then(mb.retract(hole), core.Throw[entry[M]](e))
+			})
+			return core.Bind(park, func(first entry[M]) core.IO[[]entry[M]] {
+				// Sweep anything that raced in behind the handoff. The
+				// handed-off entry is already consumed and outside any
+				// retract's reach, so from here to the return nothing may
+				// admit a kill — in particular the sweep's lock
+				// acquisition (a takeMVar, interruptible under plain
+				// Block) must not. Hence uninterruptible.
+				return core.BlockUninterruptible(core.Bind(locked(mb, func(s mState[M]) core.IO[core.Pair[mState[M], []entry[M]]] {
+					rest := s.buf
+					s.buf = nil
+					return core.Return(core.MkPair(s, rest))
+				}), func(rest []entry[M]) core.IO[[]entry[M]] {
+					all := append([]entry[M]{first}, rest...)
+					return core.Then(noteDeliver(mb.name, uint64(len(all)), first.span), core.Return(all))
+				}))
+			})
+		})
+	}))
+}
+
+func msgs[M any](es []entry[M]) []M {
+	out := make([]M, len(es))
+	for i := range es {
+		out[i] = es[i].msg
+	}
+	return out
+}
+
+// TryReceive is a non-waiting Receive.
+func (mb *Mailbox[M]) TryReceive() core.IO[core.Maybe[M]] {
+	return locked(mb, func(s mState[M]) core.IO[core.Pair[mState[M], core.Maybe[M]]] {
+		if len(s.buf) == 0 {
+			return core.Return(core.MkPair(s, core.Nothing[M]()))
+		}
+		e := s.buf[0]
+		s.buf = s.buf[1:]
+		return core.Bind(core.FromNode[core.Unit](sched.NoteActorDeliver(mb.name, 1, e.span)),
+			func(core.Unit) core.IO[core.Pair[mState[M], core.Maybe[M]]] {
+				return core.Return(core.MkPair(s, core.Just(e.msg)))
+			})
+	})
+}
+
+// Len returns the number of buffered messages.
+func (mb *Mailbox[M]) Len() core.IO[int] {
+	return locked(mb, func(s mState[M]) core.IO[core.Pair[mState[M], int]] {
+		return core.Return(core.MkPair(s, len(s.buf)))
+	})
+}
+
+// ---------------------------------------------------------------------
+// obs notes
+// ---------------------------------------------------------------------
+
+func noteSend(mailbox string, count uint64) core.IO[uint64] {
+	return core.FromNode[uint64](sched.NoteActorSend(mailbox, count))
+}
+
+func noteDeliver(mailbox string, count uint64, span uint64) core.IO[core.Unit] {
+	return core.FromNode[core.Unit](sched.NoteActorDeliver(mailbox, count, span))
+}
+
+func noteHandle(mailbox string, count uint64, span uint64) core.IO[core.Unit] {
+	return core.FromNode[core.Unit](sched.NoteActorHandle(mailbox, count, span))
+}

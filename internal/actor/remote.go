@@ -1,0 +1,48 @@
+package actor
+
+import (
+	"asyncexc/internal/cluster"
+	"asyncexc/internal/core"
+	"asyncexc/internal/exc"
+)
+
+// Codec serializes messages for the wire. Remote delivery is
+// string-payload (the cluster exception codec's currency); actors
+// whose messages cannot round-trip a string stay local-only.
+type Codec[M any] struct {
+	Encode func(M) string
+	// Decode reports false for payloads it does not understand; the
+	// receiving actor then crashes loudly rather than dropping mail.
+	Decode func(string) (M, bool)
+}
+
+// sendRemote delivers m to a remote actor by riding it on an
+// asynchronous exception — the "exceptional actors" construction: the
+// MessageExc crosses the wire via cluster.ThrowTo (reusing the
+// existing remote-throw path and its per-link ordering), lands at the
+// target actor's parked receive exactly as any throwTo would, and the
+// actor loop's catch feeds the payload back into its mailbox.
+//
+// Delivery is at-most-once, like every remote throw: a dead link
+// raises ErrLinkDown / NotConnectedError here, and a stale TID (the
+// target was restarted since the ref was minted) is a trivially
+// successful throw to a finished thread — re-Resolve the name to
+// reach the new incarnation.
+func sendRemote[M any](r Ref[M], m M) core.IO[core.Unit] {
+	if r.sys == nil || r.sys.node == nil {
+		return core.Throw[core.Unit](exc.ErrorCall{Msg: "actor: remote send without a cluster node"})
+	}
+	if r.codec == nil {
+		return core.Throw[core.Unit](exc.ErrorCall{Msg: "actor: remote send to " + r.label() + " without a codec"})
+	}
+	return core.Then(
+		core.Void(noteSend(r.label(), 1)),
+		cluster.ThrowTo(r.sys.node, r.Addr, cluster.MessageExc{Actor: r.Name, Payload: r.codec.Encode(m)}))
+}
+
+func (r Ref[M]) label() string {
+	if r.Name != "" {
+		return r.Name
+	}
+	return "anon"
+}

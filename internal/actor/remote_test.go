@@ -1,0 +1,240 @@
+package actor
+
+import (
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"asyncexc/internal/cluster"
+	"asyncexc/internal/core"
+	"asyncexc/internal/sched"
+)
+
+// anode is one test cluster member with an actor System attached.
+type anode struct {
+	node *cluster.Node
+	sys  *core.System
+	asys *System
+	done chan struct{}
+}
+
+func startANode(t *testing.T, id cluster.NodeID, mn *cluster.MemNetwork, shards int) *anode {
+	t.Helper()
+	opts := core.RealTimeOptions()
+	opts.Shards = shards
+	sys := core.NewSystem(opts)
+	n := cluster.NewNode(id, sys, mn.Endpoint(string(id)), cluster.Options{Heartbeat: 50 * time.Millisecond})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		core.RunSystem(sys, core.Void(core.Sleep(time.Hour))) //nolint:errcheck
+	}()
+	if _, err := n.Serve(string(id)); err != nil {
+		t.Fatalf("serve %s: %v", id, err)
+	}
+	an := &anode{node: n, sys: sys, asys: NewSystem(n), done: done}
+	t.Cleanup(func() {
+		n.Close()
+		sys.KillMain()
+		<-done
+	})
+	return an
+}
+
+// run spawns prog on the node's runtime; an escaped exception fails
+// the test.
+func (an *anode) run(t *testing.T, name string, prog core.IO[core.Unit]) {
+	t.Helper()
+	wrapped := core.Bind(core.Try(prog), func(r core.Attempt[core.Unit]) core.IO[core.Unit] {
+		return core.Lift(func() core.Unit {
+			if r.Failed() {
+				t.Errorf("%s/%s died: %v", an.node.ID(), name, r.Exc)
+			}
+			return core.UnitValue
+		})
+	})
+	an.sys.RT().External(func(rt *sched.RT) {
+		rt.Spawn(wrapped.Node(), name)
+	})
+}
+
+func waitFor(t *testing.T, what string, pred func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if pred() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// IntCodec is the test wire format: decimal strings.
+var intCodec = &Codec[int]{
+	Encode: func(n int) string { return strconv.Itoa(n) },
+	Decode: func(s string) (int, bool) {
+		n, err := strconv.Atoi(s)
+		return n, err == nil
+	},
+}
+
+// TestRemoteSend delivers messages from node A to a named actor on
+// node B: the message rides an asynchronous exception over the
+// existing remote-throwTo path, unwinds B's parked receive, and is
+// re-enqueued into the mailbox — the "exceptional actors" design.
+func TestRemoteSend(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		shards int
+	}{{"serial", 1}, {"4shard", 4}} {
+		t.Run(tc.name, func(t *testing.T) {
+			mn := cluster.NewMemNetwork(11)
+			a := startANode(t, "A", mn, tc.shards)
+			b := startANode(t, "B", mn, tc.shards)
+
+			var got atomic.Int64
+			b.run(t, "spawn-sink", core.Void(Spawn(b.asys, Def[int]{
+				Name:  "sink",
+				Codec: intCodec,
+				OnMessage: func(n int) core.IO[core.Unit] {
+					return core.Lift(func() core.Unit { got.Add(int64(n)); return core.UnitValue })
+				},
+			})))
+			waitFor(t, "sink registered", func() bool {
+				b.asys.mu.Lock()
+				_, ok := b.asys.names["sink"]
+				b.asys.mu.Unlock()
+				return ok
+			})
+
+			a.run(t, "send", core.Bind(cluster.Connect(a.node, "B"), func(cluster.NodeID) core.IO[core.Unit] {
+				return core.Bind(Resolve(a.asys, "B", "sink", intCodec), func(m core.Maybe[Ref[int]]) core.IO[core.Unit] {
+					if !m.IsJust {
+						t.Error("WhereIs did not find sink on B")
+						return core.Return(core.UnitValue)
+					}
+					r := m.Value
+					if r.Local() {
+						t.Error("resolved ref claims to be local")
+					}
+					return r.SendAll([]int{10, 20, 30})
+				})
+			}))
+			waitFor(t, "remote messages handled", func() bool { return got.Load() == 60 })
+		})
+	}
+}
+
+// TestRemoteSendNoCodec: a remote message to an actor that lacks a
+// codec must crash the actor loudly, not vanish.
+func TestRemoteSendNoCodec(t *testing.T) {
+	mn := cluster.NewMemNetwork(13)
+	a := startANode(t, "A", mn, 1)
+	b := startANode(t, "B", mn, 1)
+
+	b.run(t, "spawn-mute", core.Void(Spawn(b.asys, Def[int]{
+		Name:      "mute", // no Codec
+		OnMessage: func(int) core.IO[core.Unit] { return core.Return(core.UnitValue) },
+	})))
+	waitFor(t, "mute registered", func() bool {
+		b.asys.mu.Lock()
+		_, ok := b.asys.names["mute"]
+		b.asys.mu.Unlock()
+		return ok
+	})
+
+	a.run(t, "send", core.Bind(cluster.Connect(a.node, "B"), func(cluster.NodeID) core.IO[core.Unit] {
+		return core.Bind(Resolve(a.asys, "B", "mute", intCodec), func(m core.Maybe[Ref[int]]) core.IO[core.Unit] {
+			if !m.IsJust {
+				t.Error("WhereIs did not find mute on B")
+				return core.Return(core.UnitValue)
+			}
+			return m.Value.Send(7)
+		})
+	}))
+	// The actor dies (no codec), which unregisters the name.
+	waitFor(t, "mute crashed and unregistered", func() bool {
+		b.asys.mu.Lock()
+		_, ok := b.asys.names["mute"]
+		b.asys.mu.Unlock()
+		return !ok
+	})
+}
+
+// TestRemoteSendLinkDown: sending to a ref whose link has been torn
+// down fails loudly instead of silently dropping the frame. Depending
+// on where teardown has progressed the send sees ErrLinkDown (link
+// still mapped, writer gone) or NotConnectedError (already unlinked);
+// the deterministic ErrLinkDown regression test is white-box in
+// internal/cluster (TestThrowToDeadLinkErrLinkDown).
+func TestRemoteSendLinkDown(t *testing.T) {
+	mn := cluster.NewMemNetwork(17)
+	a := startANode(t, "A", mn, 1)
+	b := startANode(t, "B", mn, 1)
+
+	b.run(t, "spawn-sink", core.Void(Spawn(b.asys, Def[int]{
+		Name:  "sink",
+		Codec: intCodec,
+		OnMessage: func(int) core.IO[core.Unit] {
+			return core.Return(core.UnitValue)
+		},
+	})))
+	waitFor(t, "sink registered", func() bool {
+		b.asys.mu.Lock()
+		_, ok := b.asys.names["sink"]
+		b.asys.mu.Unlock()
+		return ok
+	})
+
+	errc := make(chan string, 1)
+	a.run(t, "send-after-down", core.Bind(cluster.Connect(a.node, "B"), func(cluster.NodeID) core.IO[core.Unit] {
+		return core.Bind(Resolve(a.asys, "B", "sink", intCodec), func(m core.Maybe[Ref[int]]) core.IO[core.Unit] {
+			if !m.IsJust {
+				t.Error("WhereIs did not find sink on B")
+				return core.Return(core.UnitValue)
+			}
+			// The test goroutine tears B down; keep sending until the
+			// link notices. The first failing send must carry
+			// ErrLinkDown.
+			return retrySendUntilDown(m.Value, errc)
+		})
+	}))
+
+	// Tear B down after the actor is resolvable from A.
+	time.Sleep(50 * time.Millisecond)
+	b.node.Close()
+	b.sys.KillMain()
+
+	select {
+	case s := <-errc:
+		if !strings.Contains(s, "ClusterLinkDown") && !strings.Contains(s, "not connected") {
+			t.Fatalf("send after link death failed with %q, want ClusterLinkDown or NotConnectedError", s)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("send never observed the dead link")
+	}
+}
+
+// retrySendUntilDown keeps sending until a send fails, then reports
+// the exception's rendering.
+func retrySendUntilDown(r Ref[int], errc chan string) core.IO[core.Unit] {
+	var loop func() core.IO[core.Unit]
+	loop = func() core.IO[core.Unit] {
+		return core.Bind(core.Try(r.Send(1)), func(a core.Attempt[core.Unit]) core.IO[core.Unit] {
+			if a.Failed() {
+				return core.Lift(func() core.Unit {
+					select {
+					case errc <- a.Exc.String():
+					default:
+					}
+					return core.UnitValue
+				})
+			}
+			return core.Then(core.Sleep(5*time.Millisecond), core.Delay(loop))
+		})
+	}
+	return loop()
+}

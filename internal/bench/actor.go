@@ -1,0 +1,391 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"asyncexc/internal/actor"
+	"asyncexc/internal/broker"
+	"asyncexc/internal/cluster"
+	"asyncexc/internal/core"
+)
+
+// ActorBroker builds the A1 table: pub-sub throughput and delivery
+// latency through the actor layer's mailboxes. Locally the broker is
+// swept across 1/2/4/8 shards; the cluster rows place the topics on
+// one node of a 3-node cluster and the subscribers on the other two,
+// so every delivery rides the remote message-as-exception path
+// (MemNetwork and real TCP loopback).
+//
+// "msgs/sec" counts subscriber deliveries — the broker's product: one
+// publish fanned out to S subscribers is S messages through S
+// mailboxes. Latency is sampled publish-to-handle time.
+func ActorBroker(eventsPerTopic int) *Table {
+	if eventsPerTopic <= 0 {
+		eventsPerTopic = 1 << 16
+	}
+	t := &Table{
+		ID:      "A1",
+		Title:   "actor broker: pub-sub throughput and delivery latency",
+		Columns: []string{"engine", "topics", "subs/topic", "published", "delivered", "wall", "msgs/sec", "p50", "p95"},
+		Notes: []string{
+			"msgs/sec = subscriber deliveries (publish x fanout) per wall-clock second; latency = publish -> subscriber handle, sampled",
+			"local rows: topics and subscribers on one runtime, batched SendAll/ReceiveAll path",
+			"cluster rows: topics on node A, subscribers split across B and C; each delivery is a remote message-as-exception frame",
+			"wall-clock: numbers are machine-dependent",
+		},
+	}
+	const topics, subsPer, batch = 4, 4, 512
+	for _, shards := range []int{1, 2, 4, 8} {
+		r := measureBrokerLocal(shards, topics, subsPer, eventsPerTopic, batch)
+		t.AddRow(r.cols(fmt.Sprintf("local %d-shard", shards), topics, subsPer)...)
+	}
+	clusterEvents := eventsPerTopic / 16
+	if clusterEvents < 1024 {
+		clusterEvents = 1024
+	}
+	for _, tr := range []struct {
+		name string
+		mk   func() cluster.Transport
+	}{
+		{"3-node mem", func() cluster.Transport { return nil }}, // nil -> MemNetwork per node
+		{"3-node tcp", func() cluster.Transport { return cluster.TCP{} }},
+	} {
+		r := measureBrokerCluster(tr.name, tr.mk(), topics, subsPer, clusterEvents, batch)
+		t.AddRow(r.cols(tr.name, topics, subsPer)...)
+	}
+	return t
+}
+
+// brokerResult is one measured configuration.
+type brokerResult struct {
+	published uint64
+	delivered uint64
+	elapsed   time.Duration
+	lats      []time.Duration
+	err       error
+}
+
+func (r brokerResult) cols(engine string, topics, subsPer int) []any {
+	if r.err != nil {
+		return []any{engine, topics, subsPer, "error: " + r.err.Error(), 0, "", "", "", ""}
+	}
+	rate := float64(r.delivered) / r.elapsed.Seconds()
+	p50, p95 := "-", "-"
+	if len(r.lats) > 0 {
+		sort.Slice(r.lats, func(i, j int) bool { return r.lats[i] < r.lats[j] })
+		p50 = us(r.lats[len(r.lats)/2])
+		p95 = us(r.lats[len(r.lats)*95/100])
+	}
+	return []any{engine, topics, subsPer, r.published, r.delivered,
+		fmt.Sprintf("%dms", r.elapsed.Milliseconds()),
+		fmt.Sprintf("%.2fM", rate/1e6), p50, p95}
+}
+
+// latSink collects sampled latencies from subscriber handlers.
+type latSink struct {
+	mu   sync.Mutex
+	lats []time.Duration
+}
+
+func (ls *latSink) onBatch(delivered *atomic.Uint64) func([]broker.Event) core.IO[core.Unit] {
+	return func(evs []broker.Event) core.IO[core.Unit] {
+		return core.Lift(func() core.Unit {
+			delivered.Add(uint64(len(evs)))
+			now := time.Now()
+			for _, e := range evs {
+				if e.Payload == "" {
+					continue
+				}
+				if ns, err := strconv.ParseInt(e.Payload, 10, 64); err == nil {
+					ls.mu.Lock()
+					if len(ls.lats) < 1<<14 {
+						ls.lats = append(ls.lats, now.Sub(time.Unix(0, ns)))
+					}
+					ls.mu.Unlock()
+				}
+			}
+			return core.UnitValue
+		})
+	}
+}
+
+// publisher publishes events [1..total] for topic name in batches,
+// stamping every sampleEvery-th payload with the send time.
+func publisher(ref actor.Ref[broker.Cmd], name string, total, batch, sampleEvery int, published *atomic.Uint64) core.IO[core.Unit] {
+	var loop func(next int) core.IO[core.Unit]
+	loop = func(next int) core.IO[core.Unit] {
+		if next > total {
+			return core.Return(core.UnitValue)
+		}
+		n := batch
+		if next+n > total+1 {
+			n = total + 1 - next
+		}
+		evs := make([]broker.Event, n)
+		for i := 0; i < n; i++ {
+			seq := next + i
+			evs[i] = broker.Event{Topic: name, Seq: uint64(seq)}
+			if seq%sampleEvery == 0 {
+				evs[i].Payload = strconv.FormatInt(time.Now().UnixNano(), 10)
+			}
+		}
+		published.Add(uint64(n))
+		return core.Then(broker.Publish(ref, evs),
+			core.Delay(func() core.IO[core.Unit] { return loop(next + n) }))
+	}
+	return loop(1)
+}
+
+func measureBrokerLocal(shards, topics, subsPer, events, batch int) brokerResult {
+	opts := core.RealTimeOptions()
+	opts.Shards = shards
+	sys := core.NewSystem(opts)
+	asys := actor.NewSystem(nil)
+
+	var published, delivered atomic.Uint64
+	sink := &latSink{}
+	want := uint64(topics * subsPer * events)
+
+	var start, end time.Time
+	prog := core.Delay(func() core.IO[core.Unit] {
+		// Topic refs are only known once setup runs; collect them then
+		// and fork the publishers from a Delay sequenced after setup.
+		var topicRefs []actor.Ref[broker.Cmd]
+		var topicNames []string
+		setup := core.Return(core.UnitValue)
+		for ti := 0; ti < topics; ti++ {
+			name := fmt.Sprintf("t%d", ti)
+			setup = core.Then(setup, core.Bind(broker.NewTopic(asys, name), func(tp broker.Topic) core.IO[core.Unit] {
+				topicRefs = append(topicRefs, tp.Ref)
+				topicNames = append(topicNames, name)
+				wire := core.Void(core.Fork(core.Void(core.Try(tp.Spec.Start()))))
+				for si := 0; si < subsPer; si++ {
+					id := fmt.Sprintf("%s-s%d", name, si)
+					wire = core.Then(wire, core.Bind(
+						broker.NewSubscriber(asys, id, sink.onBatch(&delivered)),
+						func(sb broker.Subscriber) core.IO[core.Unit] {
+							return core.Then(core.Void(core.Fork(core.Void(core.Try(sb.Spec.Start())))),
+								broker.Subscribe(tp.Ref, id, sb.Ref))
+						}))
+				}
+				return wire
+			}))
+		}
+		pubs := core.Delay(func() core.IO[core.Unit] {
+			io := core.Return(core.UnitValue)
+			for i, ref := range topicRefs {
+				io = core.Then(io, core.Void(core.Fork(publisher(ref, topicNames[i], events, batch, 64, &published))))
+			}
+			return io
+		})
+		mark := func(t *time.Time) core.IO[core.Unit] {
+			return core.Lift(func() core.Unit { *t = time.Now(); return core.UnitValue })
+		}
+		var drain func() core.IO[core.Unit]
+		drain = func() core.IO[core.Unit] {
+			return core.Delay(func() core.IO[core.Unit] {
+				if delivered.Load() >= want {
+					return core.Return(core.UnitValue)
+				}
+				return core.Then(core.Sleep(time.Millisecond), drain())
+			})
+		}
+		return core.Seq(setup, mark(&start), pubs, drain(), mark(&end))
+	})
+
+	_, e, err := core.RunSystem(sys, prog)
+	if err != nil {
+		return brokerResult{err: err}
+	}
+	if e != nil {
+		return brokerResult{err: fmt.Errorf("main died: %v", e)}
+	}
+	sink.mu.Lock()
+	lats := append([]time.Duration(nil), sink.lats...)
+	sink.mu.Unlock()
+	return brokerResult{
+		published: published.Load(),
+		delivered: delivered.Load(),
+		elapsed:   end.Sub(start),
+		lats:      lats,
+	}
+}
+
+// measureBrokerCluster runs topics on node A and subscribers split
+// across B and C of a 3-node cluster. tr == nil selects MemNetwork;
+// otherwise the transport is used as-is (TCP binds loopback).
+func measureBrokerCluster(label string, tr cluster.Transport, topics, subsPer, events, batch int) brokerResult {
+	endpoints := map[cluster.NodeID]cluster.Transport{}
+	addr := func(id cluster.NodeID) string { return string(id) }
+	if tr == nil {
+		mn := cluster.NewMemNetwork(41)
+		for _, id := range []cluster.NodeID{"A", "B", "C"} {
+			endpoints[id] = mn.Endpoint(string(id))
+		}
+	} else {
+		base := 39200
+		ports := map[cluster.NodeID]string{
+			"A": fmt.Sprintf("127.0.0.1:%d", base),
+			"B": fmt.Sprintf("127.0.0.1:%d", base+1),
+			"C": fmt.Sprintf("127.0.0.1:%d", base+2),
+		}
+		for _, id := range []cluster.NodeID{"A", "B", "C"} {
+			endpoints[id] = tr
+		}
+		addr = func(id cluster.NodeID) string { return ports[id] }
+	}
+
+	type member struct {
+		bn   *benchNode
+		asys *actor.System
+	}
+	start := func(id cluster.NodeID) (*member, error) {
+		opts := core.RealTimeOptions()
+		sys := core.NewSystem(opts)
+		n := cluster.NewNode(id, sys, endpoints[id], cluster.Options{})
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			core.RunSystem(sys, core.Void(core.Sleep(time.Hour))) //nolint:errcheck
+		}()
+		if _, err := n.Serve(addr(id)); err != nil {
+			sys.KillMain()
+			<-done
+			return nil, err
+		}
+		bn := &benchNode{node: n, sys: sys, done: done}
+		return &member{bn: bn, asys: actor.NewSystem(n)}, nil
+	}
+
+	a, err := start("A")
+	if err != nil {
+		return brokerResult{err: err}
+	}
+	defer a.bn.stop()
+	b, err := start("B")
+	if err != nil {
+		return brokerResult{err: err}
+	}
+	defer b.bn.stop()
+	c, err := start("C")
+	if err != nil {
+		return brokerResult{err: err}
+	}
+	defer c.bn.stop()
+
+	var published, delivered atomic.Uint64
+	sink := &latSink{}
+	want := uint64(topics * subsPer * events)
+
+	// Subscribers on B and C, supervised-style spawn (Fork of the
+	// child start body) with registered names A can resolve.
+	subHosts := []*member{b, c}
+	for ti := 0; ti < topics; ti++ {
+		for si := 0; si < subsPer; si++ {
+			host := subHosts[si%len(subHosts)]
+			id := fmt.Sprintf("t%d-s%d", ti, si)
+			host.bn.spawn("sub-"+id, core.Bind(
+				broker.NewSubscriber(host.asys, id, sink.onBatch(&delivered)),
+				func(sb broker.Subscriber) core.IO[core.Unit] {
+					return core.Void(core.Fork(core.Void(core.Try(sb.Spec.Start()))))
+				}))
+		}
+	}
+
+	// Driver on A: connect, spawn topics, resolve remote subscriber
+	// refs (polling until the names are exported), subscribe, publish.
+	errc := make(chan error, 1)
+	a.bn.spawn("driver", core.Bind(core.Try(core.Delay(func() core.IO[core.Unit] {
+		resolveSub := func(host cluster.NodeID, id string) core.IO[actor.Ref[broker.Event]] {
+			var loop func(tries int) core.IO[actor.Ref[broker.Event]]
+			loop = func(tries int) core.IO[actor.Ref[broker.Event]] {
+				return core.Bind(actor.Resolve(a.asys, host, "sub/"+id, broker.EventCodec),
+					func(m core.Maybe[actor.Ref[broker.Event]]) core.IO[actor.Ref[broker.Event]] {
+						if m.IsJust {
+							return core.Return(m.Value)
+						}
+						if tries <= 0 {
+							return core.Throw[actor.Ref[broker.Event]](cluster.RemoteError{Node: host, Msg: "subscriber " + id + " never registered"})
+						}
+						return core.Then(core.Sleep(5*time.Millisecond),
+							core.Delay(func() core.IO[actor.Ref[broker.Event]] { return loop(tries - 1) }))
+					})
+			}
+			return loop(1000)
+		}
+		body := core.Then(core.Void(cluster.Connect(a.bn.node, addr("B"))),
+			core.Void(cluster.Connect(a.bn.node, addr("C"))))
+		var topicRefs []actor.Ref[broker.Cmd]
+		var topicNames []string
+		for ti := 0; ti < topics; ti++ {
+			name := fmt.Sprintf("t%d", ti)
+			ti := ti
+			body = core.Then(body, core.Bind(broker.NewTopic(a.asys, name), func(tp broker.Topic) core.IO[core.Unit] {
+				topicRefs = append(topicRefs, tp.Ref)
+				topicNames = append(topicNames, name)
+				wire := core.Void(core.Fork(core.Void(core.Try(tp.Spec.Start()))))
+				for si := 0; si < subsPer; si++ {
+					id := fmt.Sprintf("t%d-s%d", ti, si)
+					host := []cluster.NodeID{"B", "C"}[si%2]
+					wire = core.Then(wire, core.Bind(resolveSub(host, id), func(ref actor.Ref[broker.Event]) core.IO[core.Unit] {
+						return broker.Subscribe(tp.Ref, id, ref)
+					}))
+				}
+				return wire
+			}))
+		}
+		pubs := core.Delay(func() core.IO[core.Unit] {
+			io := core.Return(core.UnitValue)
+			for i, ref := range topicRefs {
+				io = core.Then(io, core.Void(core.Fork(publisher(ref, topicNames[i], events, batch, 64, &published))))
+			}
+			return io
+		})
+		var drain func() core.IO[core.Unit]
+		drain = func() core.IO[core.Unit] {
+			return core.Delay(func() core.IO[core.Unit] {
+				if delivered.Load() >= want {
+					return core.Return(core.UnitValue)
+				}
+				return core.Then(core.Sleep(time.Millisecond), drain())
+			})
+		}
+		return core.Seq(body, pubs, drain())
+	})), func(r core.Attempt[core.Unit]) core.IO[core.Unit] {
+		return core.Lift(func() core.Unit {
+			if r.Failed() {
+				errc <- fmt.Errorf("driver died: %v", r.Exc)
+			} else {
+				errc <- nil
+			}
+			return core.UnitValue
+		})
+	}))
+
+	startT := time.Now()
+	select {
+	case err := <-errc:
+		if err != nil {
+			return brokerResult{err: err}
+		}
+	case <-time.After(120 * time.Second):
+		return brokerResult{err: fmt.Errorf("%s: timed out (delivered %d/%d)", label, delivered.Load(), want)}
+	}
+	// The drain observes delivered >= want before the last handler's
+	// Lift finishes appending its latency samples; snapshot under the
+	// sink lock.
+	sink.mu.Lock()
+	lats := append([]time.Duration(nil), sink.lats...)
+	sink.mu.Unlock()
+	return brokerResult{
+		published: published.Load(),
+		delivered: delivered.Load(),
+		elapsed:   time.Since(startT),
+		lats:      lats,
+	}
+}

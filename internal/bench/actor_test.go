@@ -1,0 +1,20 @@
+package bench
+
+import "testing"
+
+// TestActorBrokerSmoke runs A1 at a reduced event count: every row
+// must complete and deliver exactly published x fanout messages.
+func TestActorBrokerSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock bench smoke")
+	}
+	tab := ActorBroker(1 << 12)
+	if len(tab.Rows) != 6 {
+		t.Fatalf("A1 rows = %d, want 6 (4 local + 2 cluster)", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		if len(row) > 3 && len(row[3]) >= 5 && row[3][:5] == "error" {
+			t.Errorf("row %v failed: %s", row[0], row[3])
+		}
+	}
+}

@@ -1,0 +1,58 @@
+package chaos
+
+import (
+	"testing"
+)
+
+// TestActorSoak is the issue's acceptance run: 100 seeded rounds,
+// serial and 4-shard, each killing the topic actor mid-stream and
+// requiring exactly-once delivery to every subscriber.
+func TestActorSoak(t *testing.T) {
+	rounds := 100
+	if testing.Short() {
+		rounds = 10
+	}
+	for _, tc := range []struct {
+		name   string
+		shards int
+	}{{"serial", 1}, {"4shard", 4}} {
+		t.Run(tc.name, func(t *testing.T) {
+			for seed := int64(1); seed <= int64(rounds); seed++ {
+				cfg := DefaultActorConfig(seed)
+				cfg.Shards = tc.shards
+				rep, err := RunActor(cfg)
+				if err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+				if rep.Failed() {
+					for _, v := range rep.Violations {
+						t.Errorf("seed %d: %s", seed, v)
+					}
+					t.Fatalf("seed %d: %d violations (restarts=%d kills=%d sends=%d deliveries=%d)",
+						seed, len(rep.Violations), rep.Restarts, rep.KillsAttempted, rep.Sends, rep.Deliveries)
+				}
+			}
+		})
+	}
+}
+
+// TestActorSoakActuallyKills guards the soak against rotting into a
+// no-op: across a handful of seeds the injector must land kills and
+// the supervisor must perform restarts.
+func TestActorSoakActuallyKills(t *testing.T) {
+	var kills, restarts uint64
+	for seed := int64(1); seed <= 10; seed++ {
+		rep, err := RunActor(DefaultActorConfig(seed))
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		kills += rep.KillsAttempted
+		restarts += rep.Restarts
+	}
+	if kills == 0 {
+		t.Error("injector never found a live topic to kill")
+	}
+	if restarts == 0 {
+		t.Error("supervisor never restarted the topic — the soak exercises nothing")
+	}
+}

@@ -47,6 +47,58 @@ func (e NodeDownError) String() string { return "node down: " + string(e.Node) }
 // Error implements error.
 func (e NodeDownError) Error() string { return e.String() }
 
+// ErrLinkDown reports that the link to a peer was already closed when
+// a send tried to use it: the frame was NOT sent. It closes the
+// silent-drop gap between NotConnectedError (no link ever existed)
+// and the at-most-once contract — after ConnectRetry exhausts its
+// policy and the link dies, senders get this typed error instead of a
+// quiet false from the link's enqueue. supervise.Classify treats it
+// as a crash, so supervised senders restart into a fresh Resolve /
+// ConnectRetry.
+type ErrLinkDown struct {
+	// Node is the peer whose link is down.
+	Node NodeID
+}
+
+// ExceptionName implements exc.Exception.
+func (ErrLinkDown) ExceptionName() string { return "ClusterLinkDown" }
+
+// Eq implements exc.Exception.
+func (e ErrLinkDown) Eq(o exc.Exception) bool {
+	oe, ok := o.(ErrLinkDown)
+	return ok && oe == e
+}
+
+func (e ErrLinkDown) String() string { return "link down: " + string(e.Node) }
+
+// Error implements error.
+func (e ErrLinkDown) Error() string { return e.String() }
+
+// MessageExc is an actor message riding on an asynchronous exception —
+// the "exceptional actors" construction internal/actor uses for remote
+// delivery: the payload crosses the wire in a throwTo frame, unwinds
+// the target actor's parked receive, and the actor's loop catches it
+// and feeds the payload back into its mailbox. It is not an alert, so
+// CatchNonAlert handlers see it and kills still win races against it.
+type MessageExc struct {
+	// Actor is the target actor's registered name (diagnostics and
+	// re-resolution; delivery itself is by ThreadID).
+	Actor string
+	// Payload is the codec-encoded message.
+	Payload string
+}
+
+// ExceptionName implements exc.Exception.
+func (MessageExc) ExceptionName() string { return "ActorMessage" }
+
+// Eq implements exc.Exception.
+func (e MessageExc) Eq(o exc.Exception) bool {
+	oe, ok := o.(MessageExc)
+	return ok && oe == e
+}
+
+func (e MessageExc) String() string { return "actor message for " + e.Actor }
+
 // RemoteError reports a failure answered by the peer itself, e.g. a
 // SpawnRemote naming a service the peer has not registered.
 type RemoteError struct {

@@ -1,0 +1,77 @@
+package cluster
+
+import (
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"asyncexc/internal/core"
+	"asyncexc/internal/exc"
+)
+
+// TestThrowToDeadLinkErrLinkDown is the regression test for the
+// ConnectRetry dead-link gap: a link that has been torn down but not
+// yet unlinked used to swallow frames silently (enqueue returned
+// false and nobody looked). ThrowTo must now surface ErrLinkDown.
+//
+// The dead link is injected directly — a link whose done channel is
+// already closed, with no goroutines attached — because the window
+// between teardown and unlink is a few microseconds in live traffic
+// and cannot be hit deterministically from outside.
+func TestThrowToDeadLinkErrLinkDown(t *testing.T) {
+	mn := NewMemNetwork(23)
+	a := startNode(t, "A", mn, 1, 50*time.Millisecond)
+
+	c1, c2 := net.Pipe()
+	defer c1.Close() //nolint:errcheck
+	defer c2.Close() //nolint:errcheck
+	dead := &link{peer: "Z", conn: c1, out: make(chan frame), done: make(chan struct{})}
+	dead.teardown()
+	a.node.mu.Lock()
+	a.node.links["Z"] = dead
+	a.node.mu.Unlock()
+
+	got := make(chan exc.Exception, 1)
+	a.runQuiet("throw-dead", core.Bind(
+		core.Try(ThrowTo(a.node, RemoteRef{Node: "Z", TID: 1}, exc.ThreadKilled{})),
+		func(r core.Attempt[core.Unit]) core.IO[core.Unit] {
+			return core.Lift(func() core.Unit {
+				got <- r.Exc
+				return core.UnitValue
+			})
+		}))
+
+	select {
+	case e := <-got:
+		want := ErrLinkDown{Node: "Z"}
+		if e == nil || !exc.Equal(e, want) {
+			t.Fatalf("throw on dead link: got %v, want %v", e, want)
+		}
+		if !strings.Contains(e.String(), "Z") {
+			t.Fatalf("ErrLinkDown message does not name the peer: %q", e.String())
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("throw on dead link never completed")
+	}
+
+	// A peer with no link at all still reports NotConnectedError, not
+	// ErrLinkDown — the two failure modes stay distinguishable.
+	got2 := make(chan exc.Exception, 1)
+	a.runQuiet("throw-unknown", core.Bind(
+		core.Try(ThrowTo(a.node, RemoteRef{Node: "Q", TID: 1}, exc.ThreadKilled{})),
+		func(r core.Attempt[core.Unit]) core.IO[core.Unit] {
+			return core.Lift(func() core.Unit {
+				got2 <- r.Exc
+				return core.UnitValue
+			})
+		}))
+	select {
+	case e := <-got2:
+		if e == nil || !exc.Equal(e, NotConnectedError{Node: "Q"}) {
+			t.Fatalf("throw with no link: got %v, want NotConnectedError", e)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("throw with no link never completed")
+	}
+}

@@ -656,6 +656,23 @@ func (n *Node) exportedBody(fn func() core.IO[core.Unit]) core.IO[core.Unit] {
 	})
 }
 
+// ExportedBody is the exported-thread wrapping for callers that fork
+// the thread themselves: run in a fresh thread, the returned body
+// registers that thread under name — WhereIs-resolvable and
+// monitorable from peers, like a SpawnRegistered thread — and reports
+// its exit to every watcher. supervise children (and actor.AsChild
+// incarnations) use it, re-exporting the name at each restart so
+// peers always resolve to the live incarnation. The registration runs
+// masked; the body itself starts Unblocked inside the usual
+// outcome-capturing Try.
+func ExportedBody(n *Node, name string, fn func() core.IO[core.Unit]) core.IO[core.Unit] {
+	return core.Block(core.Bind(core.MyThreadID(), func(me core.ThreadID) core.IO[core.Unit] {
+		return core.Then(
+			core.Lift(func() core.Unit { n.exportTID(name, me); return core.UnitValue }),
+			n.exportedBody(fn))
+	}))
+}
+
 // exportTID registers a live thread under name. If the thread already
 // died (possible in parallel mode when the child ran and finished
 // before its registrar got here), the pre-recorded death is consumed

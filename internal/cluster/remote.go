@@ -119,10 +119,10 @@ func ConnectRetry(n *Node, addr string, p resilience.RetryPolicy, b *resilience.
 // e in flight against ref. For a local ref it is exactly core.ThrowTo
 // (exactly-once, the paper's guarantee). For a remote ref the frame
 // is sent at-most-once — no retry, no buffering for dead links — and
-// the call throws NotConnectedError when no link to the peer exists.
-// Delivery on the peer follows the paper's rules: a masked target
-// keeps it pending, an interruptible parked target is interrupted,
-// bracket cleanups run.
+// the call throws NotConnectedError when no link to the peer exists,
+// or ErrLinkDown when a link exists but has already been torn down
+// (previously the frame was silently dropped; a dead link left behind
+// by an exhausted ConnectRetry now fails sends loudly).
 //
 // Unlike local throwTo (§9's synchronous variant), remote ThrowTo
 // never waits for delivery: the network makes "delivered" unknowable,
@@ -139,7 +139,9 @@ func ThrowTo(n *Node, ref RemoteRef, e exc.Exception) core.IO[core.Unit] {
 				if l == nil {
 					return core.Throw[core.Unit](NotConnectedError{Node: ref.Node})
 				}
-				l.enqueue(frame{kind: fThrowTo, tid: uint64(int64(ref.TID)), span: span, exc: e})
+				if !l.enqueue(frame{kind: fThrowTo, tid: uint64(int64(ref.TID)), span: span, exc: e}) {
+					return core.Throw[core.Unit](ErrLinkDown{Node: ref.Node})
+				}
 				return core.Return(core.UnitValue)
 			})
 		})

@@ -285,6 +285,10 @@ func appendExc(b []byte, e exc.Exception) []byte {
 		name = "Shutdown"
 	case NodeDownError:
 		name, payload = "ClusterNodeDown", string(v.Node)
+	case ErrLinkDown:
+		name, payload = "ClusterLinkDown", string(v.Node)
+	case MessageExc:
+		name, payload = "ActorMessage", v.Actor+sep+v.Payload
 	default:
 		name, payload = "Dyn", e.ExceptionName()+sep+e.String()
 	}
@@ -337,6 +341,11 @@ func decodeExc(name, payload string) exc.Exception {
 		return supervise.Shutdown{}
 	case "ClusterNodeDown":
 		return NodeDownError{Node: NodeID(payload)}
+	case "ClusterLinkDown":
+		return ErrLinkDown{Node: NodeID(payload)}
+	case "ActorMessage":
+		a, p := splitSep(payload)
+		return MessageExc{Actor: a, Payload: p}
 	default:
 		// Unknown constructor from a newer peer: keep it diagnosable.
 		return exc.Dyn{Tag: name, Payload: payload}

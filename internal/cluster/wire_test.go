@@ -68,6 +68,8 @@ func TestExceptionCodec(t *testing.T) {
 		exc.Dyn{Tag: "custom", Payload: "data"},
 		supervise.Shutdown{},
 		NodeDownError{Node: "B"},
+		ErrLinkDown{Node: "B"},
+		MessageExc{Actor: "topic/news", Payload: "hello\x1fworld"},
 	}
 	for _, e := range known {
 		f := roundTrip(t, frame{kind: fThrowTo, seq: 1, tid: 1, exc: e})

@@ -76,6 +76,21 @@ const (
 	// injected interrupt, Arg the wire span from the frame, and Label
 	// the origin NodeID — Arg is what joins the two nodes' traces.
 	KindRemoteThrowTo
+	// KindActorSend: a message (or batch) was enqueued into an actor
+	// mailbox (internal/actor). Label is the mailbox name, Arg the
+	// message count, Span a fresh span that travels with the message
+	// to the deliver and handle events.
+	KindActorSend
+	// KindActorDeliver: an actor dequeued a message (or drained a
+	// batch) at its receive point. Label is the mailbox name, Arg the
+	// message count, Span the first message's send span — the link
+	// that joins send to deliver exactly as throwTo joins to deliver.
+	KindActorDeliver
+	// KindActorHandle: an actor's handler ran over a delivered
+	// message (or batch). Label is the mailbox name, Arg the message
+	// count, Span the same send span, closing the send → deliver →
+	// handle chain.
+	KindActorHandle
 
 	numKinds
 )
@@ -97,6 +112,9 @@ var kindNames = [numKinds]string{
 	KindLinkUp:        "linkUp",
 	KindLinkDown:      "linkDown",
 	KindRemoteThrowTo: "remoteThrowTo",
+	KindActorSend:     "actorSend",
+	KindActorDeliver:  "actorDeliver",
+	KindActorHandle:   "actorHandle",
 }
 
 // String renders the kind as its trace name.

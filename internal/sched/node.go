@@ -519,6 +519,51 @@ func NoteRemoteThrowTo(peer string, e exc.Exception) Node {
 	}}
 }
 
+// NoteActorSend records count messages entering an actor mailbox
+// (internal/actor, sender side): bumps the ActorSends counter and
+// records a KindActorSend event labelled with the mailbox name. It
+// returns a freshly allocated span (uint64; 0 with no Observer) that
+// the mailbox stores on the message, so the eventual deliver and
+// handle events join into one send → deliver → handle chain — the
+// same discipline the throwTo → deliver → catch spans follow.
+func NoteActorSend(mailbox string, count uint64) Node {
+	return primNode{name: "noteActorSend", step: func(rt *RT, t *Thread) (Node, bool) {
+		rt.stats.ActorSends += count
+		if rt.olog == nil {
+			return retNode{uint64(0)}, false
+		}
+		span := rt.opts.Observer.NextSpan()
+		rt.olog.Record(obs.Event{
+			TS: rt.nowNS(), Span: span, Thread: int64(t.id), Arg: count,
+			Label: mailbox, Kind: obs.KindActorSend,
+		})
+		return retNode{span}, false
+	}}
+}
+
+// NoteActorDeliver records count messages leaving an actor mailbox at
+// its receive point: bumps ActorDeliveries and records a
+// KindActorDeliver event carrying the send span of the first message
+// delivered.
+func NoteActorDeliver(mailbox string, count uint64, span uint64) Node {
+	return primNode{name: "noteActorDeliver", step: func(rt *RT, t *Thread) (Node, bool) {
+		rt.stats.ActorDeliveries += count
+		rt.obsNote(t, obs.KindActorDeliver, mailbox, count, span)
+		return retNode{UnitValue}, false
+	}}
+}
+
+// NoteActorHandle records an actor handler completing over count
+// delivered messages: bumps ActorHandled and records a
+// KindActorHandle event with the same send span, closing the chain.
+func NoteActorHandle(mailbox string, count uint64, span uint64) Node {
+	return primNode{name: "noteActorHandle", step: func(rt *RT, t *Thread) (Node, bool) {
+		rt.stats.ActorHandled += count
+		rt.obsNote(t, obs.KindActorHandle, mailbox, count, span)
+		return retNode{UnitValue}, false
+	}}
+}
+
 // MailboxDepths returns the instantaneous mailbox length of every
 // shard — a live backlog signal (unlike Stats.MailboxDepth, a
 // high-water mark) that admission control can use as a load-shedding

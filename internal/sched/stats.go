@@ -73,6 +73,18 @@ type Stats struct {
 	// DeadlineExpired counts WithDeadline budgets that ran out.
 	DeadlineExpired uint64
 
+	// ActorSends counts messages enqueued into actor mailboxes
+	// (bumped through NoteActorSend; batch sends count every message).
+	ActorSends uint64
+	// ActorDeliveries counts messages dequeued at actor receive
+	// points (bumped through NoteActorDeliver). ActorSends minus
+	// ActorDeliveries is the messages still queued — soak runs use
+	// the difference to audit for lost mail.
+	ActorDeliveries uint64
+	// ActorHandled counts messages an actor handler completed
+	// (bumped through NoteActorHandle).
+	ActorHandled uint64
+
 	// Steals counts threads this shard stole from siblings' run queues
 	// (parallel engine; always 0 in serial mode).
 	Steals uint64
@@ -115,6 +127,9 @@ func (s *Stats) Add(o Stats) {
 	s.Retries += o.Retries
 	s.BreakerOpen += o.BreakerOpen
 	s.DeadlineExpired += o.DeadlineExpired
+	s.ActorSends += o.ActorSends
+	s.ActorDeliveries += o.ActorDeliveries
+	s.ActorHandled += o.ActorHandled
 	s.Steals += o.Steals
 	s.CrossShardThrowTo += o.CrossShardThrowTo
 	if o.MailboxDepth > s.MailboxDepth {
