@@ -1,9 +1,11 @@
 package asyncexc_test
 
 import (
+	"errors"
 	"testing"
 
 	"asyncexc/internal/core"
+	"asyncexc/internal/sched"
 )
 
 // Allocation ceilings for the two hottest scheduler workloads. The
@@ -56,5 +58,42 @@ func TestMVarPingPongAllocCeiling(t *testing.T) {
 	})
 	if perOp > 20 {
 		t.Fatalf("MVar ping-pong workload allocates %.2f/op, ceiling 20", perOp)
+	}
+}
+
+// TestHotLoopStepAllocCeiling bounds the parallel engine's hot loop:
+// workers spinning on a cyclic Forever node under the fuel limit, the
+// same workload as the H1 empty-loop row. The workload itself
+// allocates nothing, so per-step allocations measure the scheduler
+// loop — the atomic stop-flag check, lock-free mailbox probe, batched
+// clock/stats machinery — which must stay allocation-free: the fixed
+// setup cost (engine, shards, rings) amortized over the run is all
+// the budget there is.
+func TestHotLoopStepAllocCeiling(t *testing.T) {
+	const steps = 40000
+	const shards = 2
+	var total uint64
+	avg := testing.AllocsPerRun(3, func() {
+		opts := core.ParallelOptions(shards)
+		opts.TimeSlice = 50
+		opts.MaxSteps = steps
+		sys := core.NewSystem(opts)
+		spin := core.Forever(core.Return(core.UnitValue))
+		prog := core.Bind(core.NewEmptyMVar[core.Unit](), func(never core.MVar[core.Unit]) core.IO[core.Unit] {
+			setup := core.Return(core.UnitValue)
+			for w := 0; w < shards; w++ {
+				setup = core.Then(setup, core.Void(core.ForkOn(w, spin, "")))
+			}
+			return core.Then(setup, core.Void(core.Take(never)))
+		})
+		_, _, err := core.RunSystem(sys, prog)
+		if !errors.Is(err, sched.ErrFuelExhausted) {
+			t.Fatalf("run ended unexpectedly: %v", err)
+		}
+		total += sys.Stats().Steps
+	})
+	perStep := avg / (float64(total) / 4) // AllocsPerRun runs f 3+1 times
+	if perStep > 0.05 {
+		t.Fatalf("parallel hot loop allocates %.4f/step, ceiling 0.05", perStep)
 	}
 }

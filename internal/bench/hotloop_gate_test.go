@@ -1,0 +1,111 @@
+package bench_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"testing"
+
+	"asyncexc/internal/bench"
+)
+
+// TestHotLoopGate is the CI regression gate over the H1 hot-loop
+// suite: it re-measures the short configuration and compares each rate
+// against the checked-in BENCH_hotloop.json record, failing on a >20%
+// drop. Raw wall-clock rates are meaningless across machines, so both
+// sides are first normalized by their own calibrate-spin rate (a pure
+// Go loop measuring the machine, not the runtime); the ratio of
+// normalized rates is machine-class-independent to first order.
+//
+// Like TestObsOverheadGate this is a wall-clock measurement and only
+// meaningful on a quiet host, so it hides behind HOTLOOP_GATE=1 (the
+// dedicated CI job sets it; `go test ./...` skips it). Each H1 row is
+// already the best of several trials; on top of that the gate retries
+// the whole suite once, failing only if some row regresses in both
+// attempts — a real regression (a lock or allocation returning to the
+// hot path) fails every attempt, noise does not.
+func TestHotLoopGate(t *testing.T) {
+	if os.Getenv("HOTLOOP_GATE") == "" {
+		t.Skip("wall-clock gate; set HOTLOOP_GATE=1 to run (CI hotloop job does)")
+	}
+	recorded, recCalib := loadHotLoopRecord(t, "../../BENCH_hotloop.json")
+
+	const threshold = 0.8
+	const attempts = 2
+	var failures []string
+	for attempt := 1; attempt <= attempts; attempt++ {
+		failures = failures[:0]
+		table := bench.HotLoop(bench.ShortHotLoopConfig())
+		current, curCalib := hotLoopRates(t, table)
+		for key, rate := range current {
+			rec, ok := recorded[key]
+			if !ok {
+				continue // recorded JSON predates this row
+			}
+			ratio := (rate / curCalib) / (rec / recCalib)
+			if ratio < threshold {
+				failures = append(failures, fmt.Sprintf(
+					"%s: %.0f/sec vs recorded %.0f/sec (normalized ratio %.2f < %.2f)",
+					key, rate, rec, ratio, threshold))
+			} else {
+				t.Logf("attempt %d %s: normalized ratio %.2f (ok)", attempt, key, ratio)
+			}
+		}
+		if len(failures) == 0 {
+			return
+		}
+		t.Logf("attempt %d: %d row(s) below threshold, retrying", attempt, len(failures))
+	}
+	for _, f := range failures {
+		t.Errorf("hot-loop regression: %s", f)
+	}
+}
+
+// loadHotLoopRecord reads the checked-in H1 JSON artifact and returns
+// its workload/shards → rate map plus its calibrate-spin rate.
+func loadHotLoopRecord(t *testing.T, path string) (map[string]float64, float64) {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading recorded baseline (regenerate with `go run ./cmd/axbench -run H1 -json BENCH_hotloop.json`): %v", err)
+	}
+	var tables []*bench.Table
+	if err := json.Unmarshal(data, &tables); err != nil {
+		t.Fatalf("parsing %s: %v", path, err)
+	}
+	for _, tb := range tables {
+		if tb.ID == "H1" {
+			rates, calib := hotLoopRates(t, tb)
+			return rates, calib
+		}
+	}
+	t.Fatalf("%s holds no H1 table", path)
+	return nil, 0
+}
+
+// hotLoopRates flattens an H1 table into workload/shards → rate,
+// returning the calibrate-spin reference separately.
+func hotLoopRates(t *testing.T, tb *bench.Table) (map[string]float64, float64) {
+	t.Helper()
+	rates := make(map[string]float64)
+	calib := 0.0
+	for _, row := range tb.Rows {
+		if len(row) < 3 {
+			t.Fatalf("H1 row too short: %v", row)
+		}
+		rate, err := strconv.ParseFloat(row[2], 64)
+		if err != nil {
+			t.Fatalf("H1 row %v: unparseable rate: %v", row, err)
+		}
+		if row[0] == "calibrate-spin" {
+			calib = rate
+			continue
+		}
+		rates[row[0]+"/"+row[1]] = rate
+	}
+	if calib <= 0 {
+		t.Fatalf("H1 table has no calibrate-spin row")
+	}
+	return rates, calib
+}

@@ -238,6 +238,16 @@ func ForkNamed[A any](m IO[A], name string) IO[ThreadID] {
 	return IO[ThreadID]{sched.ForkNamed(m.node, name)}
 }
 
+// ForkOn is ForkNamed pinned to an execution shard (modulo the shard
+// count): the child is created already owned by that shard and reaches
+// its run queue as a cross-shard message, so placement is deterministic
+// instead of left to work stealing. In serial mode it is exactly
+// ForkNamed. Benchmarks and placement-sensitive servers use it to
+// guarantee cross-shard traffic or spread load without a warm-up.
+func ForkOn[A any](shard int, m IO[A], name string) IO[ThreadID] {
+	return IO[ThreadID]{sched.ForkOn(shard, m.node, name)}
+}
+
 // MyThreadID returns the calling thread's ThreadID (§4).
 func MyThreadID() IO[ThreadID] { return IO[ThreadID]{sched.MyThreadID()} }
 

@@ -113,6 +113,13 @@ func raceOutcome(t *testing.T, shards int, seed int64, budget, attack time.Durat
 				if r.Expired {
 					return core.Return("expired")
 				}
+				// EitherIO relays an exception received by the caller to
+				// both children; if the body child's Put wins the
+				// post-relay race, the (non-alert) external surfaces as
+				// a captured body failure rather than propagating.
+				if r.Exc != nil && r.Exc.Eq(exc.ErrorCall{Msg: "external"}) {
+					return core.Return("external-captured")
+				}
 				return core.Return(fmt.Sprintf("unexpected: %+v", r))
 			})
 		guarded := core.Catch(classified, func(e core.Exception) core.IO[string] {
@@ -156,10 +163,18 @@ func TestCrossShardThrowToVsTimeoutExpiry(t *testing.T) {
 	var cross uint64
 	for _, shards := range []int{2, 4} {
 		for seed := 0; seed < seeds; seed++ {
-			// Order 1: the external throw lands before the budget runs out.
+			// Order 1: the external throw lands before the budget runs
+			// out. Two shapes are legitimate — EitherIO relays the
+			// exception to BOTH children, and which child's Put wins the
+			// post-relay race is a real scheduling race: the sleep
+			// child's tag-2 reply rethrows it out of TryTimeout
+			// ("external"), while the body child's CatchNonAlert
+			// captures the non-alert ErrorCall as a body failure
+			// ("external-captured"). Either way the throw won: the
+			// budget never expired and the exception was delivered.
 			got, delivered, _, c1 := raceOutcome(t, shards, int64(seed), 50*time.Millisecond, 2*time.Millisecond)
-			if got != "external" {
-				t.Fatalf("shards=%d seed=%d throw-first: got %q, want external", shards, seed, got)
+			if got != "external" && got != "external-captured" {
+				t.Fatalf("shards=%d seed=%d throw-first: got %q, want external or external-captured", shards, seed, got)
 			}
 			if delivered == 0 {
 				t.Fatalf("shards=%d seed=%d throw-first: no async delivery recorded", shards, seed)

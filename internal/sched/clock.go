@@ -67,9 +67,11 @@ func (rt *RT) parkSleep(t *Thread, d time.Duration) {
 	if rt.eng != nil {
 		rt.smu.Lock()
 		heap.Push(&rt.timers, en)
+		rt.timerN.Add(1)
 		rt.smu.Unlock()
 	} else {
 		heap.Push(&rt.timers, en)
+		rt.timerN.Add(1)
 	}
 	rt.stats.Sleeps++
 	rt.trace(EvPark{Thread: t.id, Reason: "sleep"})
@@ -82,6 +84,7 @@ func (rt *RT) parkSleep(t *Thread, d time.Duration) {
 func (rt *RT) fireTimersUpTo(now int64) {
 	for rt.timers.Len() > 0 && rt.timers.peek().at <= now {
 		e := heap.Pop(&rt.timers).(timerEntry)
+		rt.timerN.Add(-1)
 		if e.live.Load() {
 			e.live.Store(false)
 			// Rule (Sleep): the thread resumes with return ().
@@ -99,6 +102,7 @@ func (rt *RT) nextTimerAt() (int64, bool) {
 			return e.at, true
 		}
 		heap.Pop(&rt.timers)
+		rt.timerN.Add(-1)
 	}
 	return 0, false
 }

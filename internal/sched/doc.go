@@ -38,7 +38,15 @@
 // mailbox messages applied only at scheduling boundaries, so the
 // paper's delivery points survive sharding unchanged (the design
 // argument and the committed-handoff protocol are in
-// docs/PARALLEL.md). Stats/ShardStats expose the counters either way.
+// docs/PARALLEL.md). Each mailbox is a bounded lock-free MPSC ring
+// (mpsc.go) with a mutex-guarded overflow slow path whose fence keeps
+// per-sender FIFO across the transition; the worker's hot loop checks
+// its per-iteration obligations (stop, external events, mail, timers)
+// with single atomic loads and batches clock resync and stats
+// publication, so an idle obligation costs one predictable load per
+// scheduler iteration. Stats/ShardStats expose the counters either
+// way; Stats.MailboxDepth is the backlog high water, sampled on the
+// consumer side each time a mailbox drain begins.
 //
 // Setting Options.Observer attaches an event recorder (internal/obs):
 // the scheduler then records spawns, parks and wakes, steals, and the

@@ -1,0 +1,96 @@
+package sched
+
+import "sync/atomic"
+
+// mpscRing is a bounded lock-free multi-producer single-consumer queue
+// of shardMsg: the fast path of a shard's cross-shard mailbox (Vyukov's
+// bounded queue, specialized to one consumer so the dequeue side needs
+// no CAS). Each slot carries a sequence number that encodes its state:
+//
+//	seq == pos          free, a producer may claim it for ticket pos
+//	seq == pos+1        full, the consumer may take ticket pos from it
+//	seq <  pos          still holds ticket pos-cap: the ring is full
+//
+// A producer claims a ticket by CASing enq, writes the message, then
+// publishes it by storing seq = ticket+1. Between the CAS and the
+// store the slot is claimed-but-unwritten; popPending tells the
+// consumer to distinguish that transient state (spin, the producer is
+// mid-write) from a genuinely empty ring, which matters when deciding
+// the overflow slow path has strictly older messages (see
+// processMailbox's ordering protocol).
+type mpscRing struct {
+	mask  uint64
+	slots []mpscSlot
+	enq   atomic.Uint64
+	// deq is single-consumer state: only the owning shard's worker
+	// touches it, so it needs no atomicity.
+	deq uint64
+}
+
+type mpscSlot struct {
+	seq atomic.Uint64
+	msg shardMsg
+}
+
+// pop result states.
+const (
+	popEmpty   = iota // no message, and no producer holds a ticket
+	popOK             // a message was dequeued
+	popPending        // head slot claimed but not yet written: retry
+)
+
+// newMpscRing returns a ring with capacity rounded up to a power of
+// two (minimum 8).
+func newMpscRing(capacity int) *mpscRing {
+	c := 8
+	for c < capacity {
+		c <<= 1
+	}
+	r := &mpscRing{mask: uint64(c - 1), slots: make([]mpscSlot, c)}
+	for i := range r.slots {
+		r.slots[i].seq.Store(uint64(i))
+	}
+	return r
+}
+
+// push enqueues *m, returning false when the ring is full (the caller
+// falls back to the mutex-guarded overflow list). Safe from any
+// goroutine.
+func (r *mpscRing) push(m *shardMsg) bool {
+	for {
+		pos := r.enq.Load()
+		s := &r.slots[pos&r.mask]
+		seq := s.seq.Load()
+		if seq == pos {
+			if r.enq.CompareAndSwap(pos, pos+1) {
+				s.msg = *m
+				s.seq.Store(pos + 1)
+				return true
+			}
+			continue // lost the ticket race; retry
+		}
+		if seq < pos {
+			return false // a full lap behind: ring is full
+		}
+		// seq > pos: another producer already advanced enq; retry.
+	}
+}
+
+// pop dequeues into *out. Single consumer only. popPending means the
+// head slot's producer is between its CAS and its publish store; the
+// message is coming and the consumer must not conclude the ring is
+// empty.
+func (r *mpscRing) pop(out *shardMsg) int {
+	s := &r.slots[r.deq&r.mask]
+	if s.seq.Load() != r.deq+1 {
+		if r.enq.Load() > r.deq {
+			return popPending
+		}
+		return popEmpty
+	}
+	*out = s.msg
+	s.msg = shardMsg{} // drop thread/value references
+	s.seq.Store(r.deq + uint64(len(r.slots)))
+	r.deq++
+	return popOK
+}

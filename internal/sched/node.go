@@ -183,6 +183,19 @@ func ForkNamed(m Node, name string) Node {
 	}}
 }
 
+// ForkOn is ForkNamed pinned to an execution shard (modulo the shard
+// count): the child is created already owned by that shard and enqueued
+// there via a mailbox message instead of the spawner's run queue.
+// Benchmarks and placement-sensitive servers use it to spread threads
+// deterministically instead of waiting for work stealing; in serial
+// mode it is exactly ForkNamed.
+func ForkOn(shard int, m Node, name string) Node {
+	return primNode{name: "forkOn", step: func(rt *RT, t *Thread) (Node, bool) {
+		child := rt.spawnOn(shard, m, name, t.mask, t.id)
+		return retNode{child.id}, false
+	}}
+}
+
 // MyThreadID returns the calling thread's ThreadID (§4).
 func MyThreadID() Node {
 	return primNode{name: "myThreadId", step: func(rt *RT, t *Thread) (Node, bool) {
@@ -564,10 +577,12 @@ func NoteActorHandle(mailbox string, count uint64, span uint64) Node {
 	}}
 }
 
-// MailboxDepths returns the instantaneous mailbox length of every
-// shard — a live backlog signal (unlike Stats.MailboxDepth, a
+// MailboxDepths returns the instantaneous mailbox backlog of every
+// shard — queued-but-unapplied cross-shard messages, ring and overflow
+// combined — as a live load signal (unlike Stats.MailboxDepth, a
 // high-water mark) that admission control can use as a load-shedding
-// watermark. Serial mode reports a single zero entry.
+// watermark. The read is one atomic load per shard (the mailN pending
+// counter), taking no locks. Serial mode reports a single zero entry.
 func MailboxDepths() Node {
 	return primNode{name: "mailboxDepths", step: func(rt *RT, t *Thread) (Node, bool) {
 		if rt.eng == nil {
@@ -575,9 +590,7 @@ func MailboxDepths() Node {
 		}
 		out := make([]int, len(rt.eng.shards))
 		for i, sh := range rt.eng.shards {
-			sh.smu.Lock()
-			out[i] = len(sh.mailbox)
-			sh.smu.Unlock()
+			out[i] = int(sh.mailN.Load())
 		}
 		return retNode{out}, false
 	}}

@@ -6,6 +6,7 @@ import (
 	"io"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"asyncexc/internal/exc"
@@ -69,6 +70,11 @@ type Options struct {
 	// single-goroutine interpreter, which remains the default and the
 	// mode the machine/conformance suites check against.
 	Shards int
+
+	// mailboxCap overrides the capacity of the per-shard cross-shard
+	// mailbox ring (default 1024). Unexported: only in-package stress
+	// tests set it, to force the ring-full overflow slow path.
+	mailboxCap int
 }
 
 // Result is the outcome of the main thread.
@@ -130,16 +136,66 @@ type RT struct {
 	freeCatch  []*catchFrame
 	freeStacks [][]frame
 
+	// kept is the run-queue bypass: when a slice ends with the thread
+	// still runnable and the run queue empty, the thread is carried
+	// here to the next slice instead of round-tripping through the
+	// queue. Order-identical to the queue path (an empty queue would
+	// push and immediately pop the same thread); in serial mode the
+	// bypass is disabled under RandomSched so seeded schedules consume
+	// exactly the same random choices as before.
+	kept *Thread
+
+	// extN counts external events sitting in the events channel
+	// (incremented by External before the send, decremented by the
+	// drain after each receive), so the scheduler hot loop probes one
+	// atomic instead of a channel select per iteration.
+	extN atomic.Int64
+
 	// Parallel-engine fields; nil/zero in serial mode. smu guards the
-	// run queue, timer heap, mailbox and statsSnap when eng != nil.
-	eng          *engine
-	shardID      int
-	smu          sync.Mutex
-	mailbox      []shardMsg
-	mailboxSpare []shardMsg
-	mailboxHW    int
-	wakeCh       chan struct{}
-	statsSnap    Stats
+	// run queue, timer heap, overflow mailbox and statsSnap when
+	// eng != nil.
+	eng     *engine
+	shardID int
+	smu     sync.Mutex
+	// mail is the cross-shard mailbox fast path: a bounded lock-free
+	// MPSC ring. mailOverflow is the mutex-guarded slow path, used only
+	// while the ring is full; mailOverflowed flags it non-empty (set
+	// and cleared under smu, read lock-free by producers, who must
+	// follow the overflow path while it is up so per-sender FIFO order
+	// survives the detour). mailFence records the ring ticket at the
+	// moment the flag went up: ring messages below it predate the
+	// overflow epoch and must be applied before the batch (see
+	// processMailbox).
+	mail           *mpscRing
+	mailOverflow   []shardMsg
+	mailSpare      []shardMsg
+	mailOverflowed atomic.Bool
+	mailFence      uint64
+	// mailN counts queued-but-unapplied mailbox messages — the
+	// "mailbox non-empty" flag the worker loop probes instead of
+	// locking smu. Its high water is sampled consumer-side at each
+	// processMailbox entry into Stats.MailboxDepth, keeping maximum
+	// tracking off the producer fast path.
+	mailN atomic.Int64
+	// qlen mirrors runq.Len() (written under smu, read lock-free) so
+	// popLocal and steal probe queues without taking locks.
+	qlen atomic.Int32
+	// idling marks the worker as parked (or about to park) in
+	// idleShard. Wakes are Dekker-paired with it: a producer raises
+	// its counter (mailN/extN/qlen) and then wakes only an idling
+	// shard; the worker sets idling and then re-checks every counter
+	// before sleeping, so one side always observes the other.
+	idling atomic.Bool
+	// statsReq asks the worker to refresh statsSnap at its next loop
+	// iteration (copy-on-demand stats publication).
+	statsReq atomic.Bool
+	// timerN counts entries in this shard's timer heap so the clock
+	// path skips the heap lock when no timers exist.
+	timerN atomic.Int64
+	// idleTimer is idleShard's reusable poll timer.
+	idleTimer *time.Timer
+	wakeCh    chan struct{}
+	statsSnap Stats
 }
 
 // NewRT creates a runtime with the given options (zero value = paper
@@ -222,11 +278,16 @@ func (rt *RT) MainThread() *Thread {
 // parallel mode the callback runs on shard 0.
 func (rt *RT) External(f func(*RT)) {
 	if e := rt.eng; e != nil {
+		s0 := e.shards[0]
 		e.msgs.Add(1)
-		e.shards[0].events <- f
-		e.shards[0].wake()
+		s0.extN.Add(1)
+		s0.events <- f
+		if s0.idling.Load() {
+			s0.wake()
+		}
 		return
 	}
+	rt.extN.Add(1)
 	rt.events <- f
 }
 
@@ -260,6 +321,33 @@ func (rt *RT) spawn(m Node, name string, mask MaskState, parent ThreadID) *Threa
 	rt.enqueue(t)
 	rt.stats.Forks++
 	rt.obsSpawn(t, parent)
+	return t
+}
+
+// spawnOn is spawn with explicit shard placement: the child is created
+// already owned by the target shard and travels there as a msgAdopt
+// mailbox message, so it never touches the spawner's run queue and
+// cannot run (or be stolen) before its owner enqueues it. Serial mode,
+// and a target that resolves to the spawner's own shard, fall back to
+// plain spawn.
+func (rt *RT) spawnOn(shard int, m Node, name string, mask MaskState, parent ThreadID) *Thread {
+	e := rt.eng
+	if e == nil {
+		return rt.spawn(m, name, mask, parent)
+	}
+	n := len(e.shards)
+	to := e.shards[((shard%n)+n)%n]
+	t := &Thread{id: ThreadID(e.nextTID.Add(1)), name: name, rt: to, cur: m, mask: mask, status: statusRunnable, stack: rt.getStack(), pinned: true}
+	t.owner.Store(to)
+	e.table.put(t)
+	e.live.Add(1)
+	rt.stats.Forks++
+	rt.obsSpawn(t, parent)
+	if to == rt {
+		rt.enqueue(t)
+	} else {
+		e.send(to, shardMsg{kind: msgAdopt, t: t})
+	}
 	return t
 }
 
@@ -315,7 +403,12 @@ func (rt *RT) RunMain(main Node) (Result, error) {
 			rt.obsFlush()
 			return Result{Value: rt.mainThread.doneVal, Exc: rt.mainThread.doneExc}, nil
 		}
-		t := rt.nextRunnable()
+		t := rt.kept
+		if t != nil {
+			rt.kept = nil
+		} else {
+			t = rt.nextRunnable()
+		}
 		if t == nil {
 			if err := rt.idle(); err != nil {
 				rt.obsFlush()
@@ -330,19 +423,37 @@ func (rt *RT) RunMain(main Node) (Result, error) {
 	}
 }
 
-// runSlice runs t for up to one time slice.
+// runSlice runs t for up to one time slice. The fuel check is hoisted
+// out of the step loop: the slice is capped to the remaining budget up
+// front, and a thread that attempts a slice with the budget already
+// spent fails — the same observable behavior as the old per-step
+// check, without two extra loads per step.
 func (rt *RT) runSlice(t *Thread) error {
 	t.sliceLeft = rt.opts.TimeSlice
-	for t.sliceLeft > 0 && t.status == statusRunnable {
-		if rt.opts.MaxSteps > 0 && rt.stats.Steps >= rt.opts.MaxSteps {
+	if max := rt.opts.MaxSteps; max > 0 {
+		if rt.stats.Steps >= max {
 			return ErrFuelExhausted
 		}
+		if left := max - rt.stats.Steps; uint64(t.sliceLeft) > left {
+			t.sliceLeft = int(left)
+		}
+	}
+	for t.sliceLeft > 0 && t.status == statusRunnable {
 		t.sliceLeft--
 		rt.step(t)
 	}
 	if t.status == statusRunnable {
 		rt.stats.Preemptions++
-		rt.enqueue(t)
+		if rt.runq.Len() == 0 && !rt.opts.RandomSched {
+			// Run-queue bypass: a sole runnable thread skips the
+			// enqueue/pop round trip (identical order: an empty queue
+			// would hand the same thread straight back). RandomSched is
+			// excluded so seeded runs draw exactly the same random
+			// numbers as the queue path.
+			rt.kept = t
+		} else {
+			rt.enqueue(t)
+		}
 	}
 	return nil
 }
@@ -797,11 +908,17 @@ func (rt *RT) parkAwait(t *Thread, start func(complete func(v any, e exc.Excepti
 	rt.parkAwaitCleanup(t, start, nil)
 }
 
-// drainExternal runs queued external events without blocking.
+// drainExternal runs queued external events without blocking. The extN
+// pending counter makes the empty case one atomic load instead of a
+// channel probe — the scheduler loop calls this every iteration.
 func (rt *RT) drainExternal() {
+	if rt.extN.Load() == 0 {
+		return
+	}
 	for {
 		select {
 		case f := <-rt.events:
+			rt.extN.Add(-1)
 			f(rt)
 		default:
 			return
@@ -836,6 +953,7 @@ func (rt *RT) idle() error {
 		if rt.outstandingIO > 0 || (len(rt.console.readers) > 0 && !rt.console.closed) {
 			// Block for an external completion or injected input.
 			f := <-rt.events
+			rt.extN.Add(-1)
 			f(rt)
 			return nil
 		}
@@ -854,6 +972,7 @@ func (rt *RT) idle() error {
 				return rt.deadlock()
 			}
 			f := <-rt.events
+			rt.extN.Add(-1)
 			f(rt)
 			return nil
 		}
@@ -861,6 +980,7 @@ func (rt *RT) idle() error {
 		select {
 		case f := <-rt.events:
 			timer.Stop()
+			rt.extN.Add(-1)
 			f(rt)
 		case <-timer.C:
 		}

@@ -3,6 +3,7 @@ package sched
 import (
 	"container/heap"
 	"math/rand"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -59,6 +60,10 @@ const (
 	// msgAwaitDone carries an I/O-manager completion to the owner of
 	// the awaiting thread; staleness-checked against park.awaitID.
 	msgAwaitDone
+	// msgAdopt enqueues a freshly spawned thread on the shard it was
+	// pinned to (ForkOn): the thread was created already owned by the
+	// receiver and has never been in any run queue.
+	msgAdopt
 )
 
 // shardMsg is one mailbox entry.
@@ -167,10 +172,21 @@ type engine struct {
 	steps         atomic.Uint64
 	wakeRR        atomic.Uint32
 
-	idleMu    sync.Mutex
-	idleCount int
+	// idleMu serializes quiesce actors (virtual-clock advance and
+	// deadlock detection); the idle entry/exit bookkeeping itself is
+	// the lock-free idlers counter.
+	idleMu sync.Mutex
+	// idlers counts workers inside idleShard's idle path exactly:
+	// raised at entry, dropped on every exit. Wake paths skip their
+	// channel nudge entirely while it is zero, and the shard whose
+	// increment completes the count is the quiesce candidate.
+	idlers atomic.Int32
 
-	done       chan struct{}
+	done chan struct{}
+	// stopped mirrors done's closed state as an atomic flag, so the
+	// worker hot loop polls one load per iteration instead of a
+	// channel select. Set strictly before close(done).
+	stopped    atomic.Bool
 	finishOnce sync.Once
 	result     Result
 	runErr     error
@@ -182,6 +198,7 @@ type engine struct {
 func (e *engine) fail(err error) {
 	e.finishOnce.Do(func() {
 		e.runErr = err
+		e.stopped.Store(true)
 		close(e.done)
 	})
 }
@@ -189,38 +206,57 @@ func (e *engine) fail(err error) {
 func (e *engine) finishMain(res Result) {
 	e.finishOnce.Do(func() {
 		e.result = res
+		e.stopped.Store(true)
 		close(e.done)
 	})
 }
 
 func (e *engine) lookup(id ThreadID) *Thread { return e.table.get(id) }
 
-// send enqueues m in to's mailbox and wakes it. The in-flight counter
-// is raised before the append so the quiescence check can never observe
-// a moment where the message is neither counted nor delivered.
+// send enqueues m in to's mailbox and wakes it if it is idling. The
+// in-flight counter is raised before the append so the quiescence
+// check can never observe a moment where the message is neither
+// counted nor delivered. The fast path is a lock-free ring push; the
+// mutex-guarded overflow list is entered only when the ring is full —
+// and once it is non-empty every producer must follow it (checked
+// before the ring), or a later message could overtake an earlier one
+// stuck in the overflow and break per-sender FIFO order.
 func (e *engine) send(to *RT, m shardMsg) {
 	e.msgs.Add(1)
-	to.smu.Lock()
-	to.mailbox = append(to.mailbox, m)
-	if len(to.mailbox) > to.mailboxHW {
-		to.mailboxHW = len(to.mailbox)
+	to.mailN.Add(1)
+	if to.mailOverflowed.Load() || !to.mail.push(&m) {
+		to.smu.Lock()
+		if !to.mailOverflowed.Load() {
+			// First overflow of this epoch: fence off the ring tickets
+			// already issued — they predate every overflow entry and
+			// must be applied first (see processMailbox).
+			to.mailFence = to.mail.enq.Load()
+			to.mailOverflowed.Store(true)
+		}
+		to.mailOverflow = append(to.mailOverflow, m)
+		to.smu.Unlock()
 	}
-	to.smu.Unlock()
-	to.wake()
+	if to.idling.Load() {
+		to.wake()
+	}
 }
 
-// wakeIdleSibling nudges some other shard; used when a shard's queue
-// grows beyond one thread so idle siblings come steal.
+// wakeIdleSibling nudges an idling shard; used when a shard's queue
+// grows beyond one thread so idle siblings come steal. A no-op unless
+// some worker is actually parked.
 func (e *engine) wakeIdleSibling(except int) {
 	n := len(e.shards)
-	if n == 1 {
+	if n == 1 || e.idlers.Load() == 0 {
 		return
 	}
 	i := int(e.wakeRR.Add(1)) % n
-	if i == except {
-		i = (i + 1) % n
+	for j := 0; j < n; j++ {
+		s := e.shards[(i+j)%n]
+		if s.shardID != except && s.idling.Load() {
+			s.wake()
+			return
+		}
 	}
-	e.shards[i].wake()
 }
 
 // wake nudges this shard's worker out of its idle wait (non-blocking;
@@ -262,10 +298,15 @@ func (rt *RT) buildEngine() {
 		e.shards[i] = s
 	}
 	rt.opts = e.opts
+	ringCap := e.opts.mailboxCap
+	if ringCap <= 0 {
+		ringCap = 1024
+	}
 	for i, s := range e.shards {
 		s.eng = e
 		s.shardID = i
 		s.wakeCh = make(chan struct{}, 1)
+		s.mail = newMpscRing(ringCap)
 		s.obsAttach(i)
 	}
 }
@@ -303,26 +344,45 @@ func (rt *RT) runParallel(main Node) (Result, error) {
 
 // workerLoop is one shard's scheduler loop: drain messages, run one
 // slice of local (or stolen) work, repeat; idle when there is none.
+// The steady-state iteration is lock- and channel-free: the stop
+// signal, the mailbox, the external-event queue, the run queues and
+// the real clock are all probed through atomic flags/counters, and
+// the heavier machinery behind each one runs only when its flag says
+// there is something to do.
 func (rt *RT) workerLoop() {
 	e := rt.eng
+	zero := rt.shardID == 0
+	real := e.opts.Clock == RealClock
+	var iter uint
 	for {
-		select {
-		case <-e.done:
+		if e.stopped.Load() {
 			rt.publishStats()
 			rt.obsFlush()
 			return
-		default:
 		}
-		if rt.shardID == 0 {
+		iter++
+		if rt.statsReq.Load() || iter&63 == 0 {
+			rt.statsReq.Store(false)
+			rt.publishStats()
+		}
+		if zero && rt.extN.Load() > 0 {
 			rt.drainExternalShard()
 		}
-		rt.processMailbox()
-		if e.opts.Clock == RealClock {
+		if rt.mailN.Load() > 0 {
+			rt.processMailbox()
+		}
+		if real && iter&31 == 0 {
 			rt.syncRealClockShard()
 		}
-		t := rt.popLocal()
+		t := rt.kept
+		rt.kept = nil
 		if t == nil {
-			t = rt.steal()
+			if rt.qlen.Load() > 0 {
+				t = rt.popLocal()
+			}
+			if t == nil {
+				t = rt.steal()
+			}
 		}
 		if t == nil {
 			rt.publishStats()
@@ -333,13 +393,14 @@ func (rt *RT) workerLoop() {
 			continue
 		}
 		rt.runSliceShard(t)
-		rt.publishStats()
 		rt.obsFlush()
 	}
 }
 
 // publishStats snapshots this shard's counters under the shard lock so
-// other shards can aggregate them race-free.
+// other shards can aggregate them race-free. Called on demand (the
+// statsReq flag), every 64th loop iteration, and at idle/stop
+// boundaries — not every slice.
 func (rt *RT) publishStats() {
 	rt.smu.Lock()
 	rt.statsSnap = rt.stats
@@ -348,10 +409,12 @@ func (rt *RT) publishStats() {
 
 // drainExternalShard runs queued External callbacks on shard 0 (the
 // serial-mode contract: external closures run inside the scheduler).
+// The caller has seen extN > 0; each receive pays the counter back.
 func (rt *RT) drainExternalShard() {
 	for {
 		select {
 		case f := <-rt.events:
+			rt.extN.Add(-1)
 			f(rt)
 			rt.eng.msgs.Add(-1)
 		default:
@@ -360,29 +423,69 @@ func (rt *RT) drainExternalShard() {
 	}
 }
 
-// processMailbox applies queued cross-shard messages.
+// processMailbox applies queued cross-shard messages: pop the ring
+// until empty, then — only when producers overflowed — take the
+// overflow batch under the shard lock.
+//
+// Ordering: per-sender FIFO must survive the ring/overflow split. Once
+// the overflow flag is up, every producer appends there (send checks
+// the flag before the ring), so within an overflow epoch the only
+// hazard is a ring message pushed around the moment the flag went up.
+// The fence (the ring ticket recorded at flag-raise) resolves it: ring
+// tickets below the fence predate every overflow entry and are applied
+// first; tickets at or above it were pushed by senders who saw the
+// flag down — senders whose earlier messages therefore cannot sit in
+// this epoch's batch — so applying them after the batch is safe.
+// Claimed-but-unwritten ring slots below the fence are spun out (the
+// producer is mid-publish; Gosched hands it the core).
 func (rt *RT) processMailbox() {
+	e := rt.eng
+	// Sample the backlog high water on the consumer side, keeping the
+	// producer fast path free of read-modify-write maximum tracking.
+	// The sample runs before any pop, so a burst that is fully drained
+	// by one call is still observed at its peak.
+	if n := uint64(rt.mailN.Load()); n > rt.stats.MailboxDepth {
+		rt.stats.MailboxDepth = n
+	}
+	var m shardMsg
 	for {
-		rt.smu.Lock()
-		if len(rt.mailbox) == 0 {
-			rt.smu.Unlock()
+		st := rt.mail.pop(&m)
+		if st == popOK {
+			rt.mailN.Add(-1)
+			rt.applyMsg(m)
+			e.msgs.Add(-1)
+			m = shardMsg{}
+			continue
+		}
+		if !rt.mailOverflowed.Load() {
+			// popPending: a producer is between its ticket CAS and its
+			// publish store; the next loop pass will see the message.
 			return
 		}
-		batch := rt.mailbox
-		rt.mailbox = rt.mailboxSpare[:0]
-		hw := rt.mailboxHW
+		rt.smu.Lock()
+		fence := rt.mailFence
 		rt.smu.Unlock()
-		if uint64(hw) > rt.stats.MailboxDepth {
-			rt.stats.MailboxDepth = uint64(hw)
+		if rt.mail.deq < fence {
+			// Pre-epoch ring messages remain (the head slot is claimed
+			// but not yet written, or newly consumable); wait them out
+			// before touching the strictly-younger overflow batch.
+			runtime.Gosched()
+			continue
 		}
+		rt.smu.Lock()
+		batch := rt.mailOverflow
+		rt.mailOverflow = rt.mailSpare[:0]
+		rt.mailOverflowed.Store(false)
+		rt.smu.Unlock()
 		for i := range batch {
+			rt.mailN.Add(-1)
 			rt.applyMsg(batch[i])
-			rt.eng.msgs.Add(-1)
+			e.msgs.Add(-1)
 		}
 		for i := range batch {
 			batch[i] = shardMsg{}
 		}
-		rt.mailboxSpare = batch[:0]
+		rt.mailSpare = batch[:0]
 	}
 }
 
@@ -413,29 +516,42 @@ func (rt *RT) applyMsg(m shardMsg) {
 		}
 
 	case msgUnpark:
-		st, pk, ok := rt.ownedState(m.t)
-		if !ok {
-			e.send(m.t.owner.Load(), m)
-			return
-		}
 		// A committed handoff: the thread stays parked until this
-		// message arrives — nothing else may have resumed it.
-		if st != statusParked {
+		// message arrives — nothing else may have resumed it. The
+		// ownership check, park-state check, status flip and run-queue
+		// push run in ONE shard-lock critical section (the two-message
+		// ping-pong hot path), instead of ownedState + enqueueShard's
+		// separate acquisitions.
+		t := m.t
+		rt.smu.Lock()
+		if t.owner.Load() != rt {
+			rt.smu.Unlock()
+			e.send(t.owner.Load(), m)
 			return
 		}
-		switch pk.kind {
+		if t.status != statusParked {
+			rt.smu.Unlock()
+			return
+		}
+		switch t.park.kind {
 		case parkTakeMVar, parkPutMVar, parkGetChar:
-			rt.unparkWithValue(m.t, m.v)
+			rt.unparkQueuedLocked(t, retNode{m.v})
+		default:
+			rt.smu.Unlock()
 		}
 
 	case msgWakeWaiter:
-		st, pk, ok := rt.ownedState(m.t)
-		if !ok {
-			e.send(m.t.owner.Load(), m)
+		t := m.t
+		rt.smu.Lock()
+		if t.owner.Load() != rt {
+			rt.smu.Unlock()
+			e.send(t.owner.Load(), m)
 			return
 		}
-		if st == statusParked && pk.kind == parkThrowTo && m.t.parkSeq == m.seq {
-			rt.unparkWithValue(m.t, UnitValue)
+		if t.status == statusParked && t.park.kind == parkThrowTo && t.parkSeq == m.seq {
+			rt.unparkQueuedLocked(t, retNode{UnitValue})
+		} else {
+			rt.smu.Unlock()
 		}
 
 	case msgWithdraw:
@@ -455,6 +571,11 @@ func (rt *RT) applyMsg(m shardMsg) {
 			}
 		}
 		rt.smu.Unlock()
+
+	case msgAdopt:
+		// Owned by this shard from birth and never enqueued anywhere, so
+		// no ownership re-check is needed: nothing can have stolen it.
+		rt.enqueue(m.t)
 
 	case msgAwaitDone:
 		st, pk, ok := rt.ownedState(m.t)
@@ -483,19 +604,44 @@ func (rt *RT) applyMsg(m shardMsg) {
 	}
 }
 
+// unparkQueuedLocked finishes an owner-side unpark with rt.smu already
+// held: it makes t runnable with continuation cur, pushes it on the run
+// queue, and releases the lock. The counter bump, sibling wake and
+// trace run after the release (the tracer mutex must never nest inside
+// smu). Mirrors unparkWithValue + enqueueShard fused into the caller's
+// critical section.
+func (rt *RT) unparkQueuedLocked(t *Thread, cur Node) {
+	rt.obsUnpark(t)
+	t.status = statusRunnable
+	t.park = parkInfo{}
+	t.cur = cur
+	rt.runq.pushBack(t)
+	n := rt.runq.Len()
+	rt.qlen.Store(int32(n))
+	rt.smu.Unlock()
+	rt.eng.runnable.Add(1)
+	if n > 1 {
+		rt.eng.wakeIdleSibling(rt.shardID)
+	}
+	rt.trace(EvUnpark{Thread: t.id})
+}
+
 // enqueueShard pushes t on this shard's run queue.
 func (rt *RT) enqueueShard(t *Thread) {
 	rt.smu.Lock()
 	rt.runq.pushBack(t)
-	qlen := rt.runq.Len()
+	n := rt.runq.Len()
+	rt.qlen.Store(int32(n))
 	rt.smu.Unlock()
 	rt.eng.runnable.Add(1)
-	if qlen > 1 {
+	if n > 1 {
 		rt.eng.wakeIdleSibling(rt.shardID)
 	}
 }
 
-// popLocal pops the next runnable thread from this shard's queue.
+// popLocal pops the next runnable thread from this shard's queue. The
+// hot loop guards the call with a lock-free qlen probe, so the lock is
+// taken only when the queue is believed non-empty.
 func (rt *RT) popLocal() *Thread {
 	rt.smu.Lock()
 	for rt.runq.Len() > 0 {
@@ -503,6 +649,7 @@ func (rt *RT) popLocal() *Thread {
 			rt.runq.swap(0, rt.rng.Intn(rt.runq.Len()))
 		}
 		t := rt.runq.popFront()
+		rt.qlen.Store(int32(rt.runq.Len()))
 		rt.eng.runnable.Add(-1)
 		if t.status == statusRunnable {
 			rt.smu.Unlock()
@@ -526,12 +673,21 @@ func (rt *RT) steal() *Thread {
 	start := rt.rng.Intn(n)
 	for i := 0; i < n; i++ {
 		v := e.shards[(start+i)%n]
-		if v == rt {
+		if v == rt || v.qlen.Load() == 0 {
+			// Lock-free probe: do not touch a victim whose queue is
+			// (momentarily) empty.
 			continue
 		}
 		v.smu.Lock()
 		t := v.runq.popBack()
+		if t != nil && t.pinned {
+			// ForkOn affinity: pinned threads stay on their placement
+			// shard; put it back and give up on this victim.
+			v.runq.pushBack(t)
+			t = nil
+		}
 		if t != nil {
+			v.qlen.Store(int32(v.runq.Len()))
 			t.owner.Store(rt)
 			t.rt = rt
 			v.smu.Unlock()
@@ -561,12 +717,27 @@ func (rt *RT) runSliceShard(t *Thread) {
 	}
 	if t.status == statusRunnable {
 		rt.stats.Preemptions++
-		rt.enqueue(t)
+		if rt.qlen.Load() == 0 && !rt.opts.RandomSched {
+			// Run-queue bypass: the shard's sole runnable thread stays
+			// in hand for the next slice instead of round-tripping
+			// through the locked queue. It remains the shard's thread
+			// for delivery purposes (deliverLocal checks owner and
+			// status, not queue membership), and the shard never idles
+			// while holding it, so quiescence still implies no kept
+			// threads anywhere. Disabled under RandomSched: the bypass
+			// skips popLocal's rng draw, which would shift the seeded
+			// random-schedule stream that chaos tests replay.
+			rt.kept = t
+		} else {
+			rt.enqueue(t)
+		}
 	}
 }
 
 // syncRealClockShard advances the engine clock to wall time and fires
-// this shard's due timers (RealClock mode).
+// this shard's due timers (RealClock mode). The heap lock is skipped
+// entirely when the shard holds no timers (the timerN probe); the
+// worker loop additionally amortizes the call to every 32nd iteration.
 func (rt *RT) syncRealClockShard() {
 	e := rt.eng
 	now := int64(time.Since(e.realEpoch))
@@ -578,6 +749,9 @@ func (rt *RT) syncRealClockShard() {
 		if e.now.CompareAndSwap(cur, now) {
 			break
 		}
+	}
+	if rt.timerN.Load() == 0 {
+		return
 	}
 	cur := e.now.Load()
 	rt.smu.Lock()
@@ -595,6 +769,7 @@ func (rt *RT) popDueTimersLocked(now int64) []*Thread {
 	var due []*Thread
 	for rt.timers.Len() > 0 && rt.timers.peek().at <= now {
 		en := heap.Pop(&rt.timers).(timerEntry)
+		rt.timerN.Add(-1)
 		if en.live.Load() {
 			en.live.Store(false)
 			due = append(due, en.t)
@@ -612,8 +787,29 @@ func (rt *RT) nextTimerAtLocked() (int64, bool) {
 			return en.at, true
 		}
 		heap.Pop(&rt.timers)
+		rt.timerN.Add(-1)
 	}
 	return 0, false
+}
+
+// hasWork reports whether this worker has anything actionable: a
+// finished run, local runnable work (or a kept thread), pending
+// mailbox or external messages, or a sibling with queued threads to
+// steal. All probes are lock-free.
+func (rt *RT) hasWork() bool {
+	e := rt.eng
+	if e.stopped.Load() || rt.kept != nil || rt.qlen.Load() > 0 || rt.mailN.Load() > 0 {
+		return true
+	}
+	if rt.shardID == 0 && rt.extN.Load() > 0 {
+		return true
+	}
+	for _, s := range e.shards {
+		if s != rt && s.qlen.Load() > 0 {
+			return true
+		}
+	}
+	return false
 }
 
 // idleShard parks the worker until woken. The shard that brings the
@@ -621,47 +817,90 @@ func (rt *RT) nextTimerAtLocked() (int64, bool) {
 // in flight is the "last man standing": it alone advances virtual time
 // or runs deadlock detection, mirroring the serial idle() decision
 // tree under global quiescence.
+//
+// Before parking the worker spins briefly with Gosched: in a cross-
+// shard ping-pong the reply is usually instants away, and on a
+// machine with fewer cores than shards the yield is what lets the
+// peer produce it. The park itself is guarded by the idling flag
+// (Dekker-paired with every producer-side wake) and uses a reusable
+// timer whose poll doubles as the lost-wake heal.
 func (rt *RT) idleShard() error {
 	e := rt.eng
-	e.idleMu.Lock()
-	e.idleCount++
-	var acted bool
-	var qerr error
-	if e.idleCount == len(e.shards) && e.msgs.Load() == 0 && e.runnable.Load() == 0 {
-		acted, qerr = rt.quiesceLocked()
+	if e.opts.Clock == RealClock {
+		// Keep the clock fresh and fire due timers promptly while idle
+		// (the busy loop amortizes this to every 32nd iteration).
+		rt.syncRealClockShard()
 	}
-	e.idleMu.Unlock()
-	if qerr != nil || acted {
+	for spin := 0; spin < 4; spin++ {
+		if rt.hasWork() {
+			return nil
+		}
+		runtime.Gosched()
+	}
+	// The idlers counter mirrors "shards inside the idle path" exactly:
+	// raised here, dropped on every exit. Only the shard whose increment
+	// completes the count — the candidate last man standing — pays for
+	// the quiesce lock; everyone else parks lock-free. In-flight work
+	// cannot be missed: a producer raises msgs/runnable before waking
+	// its target, so either this check sees the counter non-zero or the
+	// target shard is woken, re-enters, and re-triggers the check. The
+	// 200µs poll below re-triggers it too, healing any remaining race.
+	n := int32(len(e.shards))
+	if e.idlers.Add(1) == n && e.msgs.Load() == 0 && e.runnable.Load() == 0 {
 		e.idleMu.Lock()
-		e.idleCount--
+		var acted bool
+		var qerr error
+		// Re-verify under the lock: a sibling may have left the idle
+		// path, or new work may have been raised, since the probe.
+		if e.idlers.Load() == n && e.msgs.Load() == 0 && e.runnable.Load() == 0 {
+			acted, qerr = rt.quiesceLocked()
+		}
 		e.idleMu.Unlock()
-		return qerr
+		if qerr != nil || acted {
+			e.idlers.Add(-1)
+			return qerr
+		}
+	}
+	rt.idling.Store(true)
+	// Dekker pairing: producers raise mailN/extN/qlen first and then
+	// check idling; we set idling first and then re-check the
+	// counters. Whatever the interleaving, either they see idling and
+	// wake us or we see their work and refuse to park.
+	if rt.hasWork() {
+		rt.idling.Store(false)
+		e.idlers.Add(-1)
+		return nil
 	}
 	wait := 200 * time.Microsecond
 	if e.opts.Clock == RealClock {
 		wait = time.Millisecond
-		rt.smu.Lock()
-		if at, ok := rt.nextTimerAtLocked(); ok {
-			if d := time.Duration(at - e.now.Load()); d < wait {
-				if d < 0 {
-					d = 0
+		if rt.timerN.Load() > 0 {
+			rt.smu.Lock()
+			if at, ok := rt.nextTimerAtLocked(); ok {
+				if d := time.Duration(at - e.now.Load()); d < wait {
+					if d < 0 {
+						d = 0
+					}
+					wait = d
 				}
-				wait = d
 			}
+			rt.smu.Unlock()
 		}
-		rt.smu.Unlock()
 	}
-	timer := time.NewTimer(wait)
+	if rt.idleTimer == nil {
+		rt.idleTimer = time.NewTimer(wait)
+	} else {
+		rt.idleTimer.Reset(wait)
+	}
 	select {
 	case <-rt.wakeCh:
-		timer.Stop()
+		rt.idleTimer.Stop()
 	case <-e.done:
-		timer.Stop()
-	case <-timer.C:
+		rt.idleTimer.Stop()
+	case <-rt.idleTimer.C:
 	}
-	e.idleMu.Lock()
-	e.idleCount--
-	e.idleMu.Unlock()
+	rt.idling.Store(false)
+	e.idlers.Add(-1)
 	return nil
 }
 
@@ -771,17 +1010,26 @@ func (rt *RT) parallelDeadlock() error {
 // ShardStats returns one Stats snapshot per shard ([1]Stats in serial
 // mode). In parallel mode every shard's counters — including the
 // calling shard's own — are read from the snapshot each worker
-// publishes under its shard lock at slice boundaries, so ShardStats is
-// safe from any goroutine while shards run; mid-run reads may lag by
-// up to one slice. (Worker-context readers that need current-slice
-// freshness publish their own shard first: see the getStats family of
-// primitives.)
+// publishes under its shard lock, so ShardStats is safe from any
+// goroutine while shards run. Publication is copy-on-demand: each read
+// raises the shard's statsReq flag so the worker refreshes its
+// snapshot at the next loop iteration (busy workers also publish every
+// 64th iteration and at idle/stop boundaries — an idle shard's
+// snapshot is already current, since it published on the way in and
+// runs no steps while parked). Mid-run reads may therefore lag
+// slightly; counters remain monotonic. (Worker-context readers that
+// need current-slice freshness publish their own shard first: see the
+// getStats family of primitives.)
 func (rt *RT) ShardStats() []Stats {
 	if rt.eng == nil {
 		return []Stats{rt.stats}
 	}
 	out := make([]Stats, len(rt.eng.shards))
 	for i, s := range rt.eng.shards {
+		s.statsReq.Store(true)
+		if s.idling.Load() {
+			s.wake()
+		}
 		s.smu.Lock()
 		out[i] = s.statsSnap
 		s.smu.Unlock()

@@ -159,6 +159,12 @@ type Thread struct {
 	// shard's run queue.
 	owner atomic.Pointer[RT]
 
+	// pinned marks a ForkOn thread: work stealing skips it, so it stays
+	// on its placement shard. Affinity only — quiescence-time adoption
+	// (virtual-clock timer firing, deadlock injection) still moves it.
+	// Written before the thread is published, never changed after.
+	pinned bool
+
 	// sliceLeft counts remaining steps in the current time slice.
 	sliceLeft int
 
