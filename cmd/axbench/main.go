@@ -9,7 +9,7 @@
 // Usage:
 //
 //	axbench            # run every experiment
-//	axbench -run E9    # run one experiment by ID (E1, E6, E7, E8, E9, S1, T1, T2, F4, C1, P1, R1, O1, N1, A1, H1)
+//	axbench -run E9    # run one experiment by ID (E1, E6, E7, E8, E9, S1, T1, T2, F4, C1, P1, R1, O1, N1, A1, H1, P2)
 //	axbench -seeds 500 # widen the lock-race schedule sweep
 //	axbench -run P1 -write                    # splice P1 into EXPERIMENTS.md
 //	axbench -run P1 -json BENCH_parallel.json # record results as JSON
@@ -55,6 +55,7 @@ func main() {
 		{"N1", func() *bench.Table { return bench.RemoteThrowLatency(*netRounds) }},
 		{"A1", func() *bench.Table { return bench.ActorBroker(*brokerEvents) }},
 		{"H1", func() *bench.Table { return bench.HotLoop(bench.DefaultHotLoopConfig()) }},
+		{"P2", func() *bench.Table { return bench.Promises(bench.DefaultPromisesConfig()) }},
 	}
 
 	var tables []*bench.Table

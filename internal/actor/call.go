@@ -8,18 +8,24 @@ import (
 )
 
 // ReplyTo is the reply capability a call message carries: the caller
-// mints it, the callee's handler answers through it. Reply uses
-// TryPut, so answering is at-most-once and never waits — a duplicate
-// reply is dropped, and a reply arriving after the caller's deadline
-// expired lands in an MVar nobody will ever read, harmlessly, instead
+// mints it, the callee's handler answers through it. The capability
+// aims at either an MVar (Call) or a promise (CallAsync); both give
+// Reply at-most-once, never-waiting semantics — a duplicate reply is
+// dropped, and a reply arriving after the caller gave up settles (or
+// fails to settle) a cell nobody will ever read, harmlessly, instead
 // of unblocking some reused park (the stray-late-reply hazard).
 type ReplyTo[R any] struct {
 	box core.MVar[R]
+	pr  core.Promise[R]
 }
 
 // Reply answers the call. The first Reply wins; later ones are no-ops
-// returning false.
+// returning false. For a promise-carrying capability (CallAsync) the
+// at-most-once guarantee is resolve-once itself.
 func (r ReplyTo[R]) Reply(v R) core.IO[bool] {
+	if r.pr.Raw() != nil {
+		return core.Resolve(r.pr, v)
+	}
 	return core.TryPut(r.box, v)
 }
 
@@ -37,5 +43,20 @@ func Call[M, R any](ref Ref[M], parent resilience.Deadline, budget time.Duration
 		return resilience.WithDeadline(parent, budget, func(d resilience.Deadline) core.IO[R] {
 			return core.Then(ref.Send(mk(ReplyTo[R]{box: box}, d)), core.Take(box))
 		})
+	})
+}
+
+// CallAsync is the promise-returning call: send a request carrying a
+// promise-backed ReplyTo and return the promise immediately, without
+// waiting. The caller awaits (or races, or speculates over) the reply
+// whenever it likes: Await parks interruptibly per §5.3, AwaitEither
+// fans several calls out without kill-and-respawn, and Cancel makes a
+// late Reply land in a settled promise, harmlessly (resolve-once is
+// the at-most-once reply guarantee). Go methods cannot introduce type
+// parameters, so like Call this is a package function over Ref rather
+// than a method on it.
+func CallAsync[M, R any](ref Ref[M], name string, mk func(ReplyTo[R]) M) core.IO[core.Promise[R]] {
+	return core.Bind(core.NewPromise[R](name), func(p core.Promise[R]) core.IO[core.Promise[R]] {
+		return core.Then(ref.Send(mk(ReplyTo[R]{pr: p})), core.Return(p))
 	})
 }

@@ -1,0 +1,121 @@
+package actor
+
+import (
+	"testing"
+	"time"
+
+	"asyncexc/internal/core"
+	"asyncexc/internal/exc"
+)
+
+// callAsyncReq is the message shape for the CallAsync tests: a value
+// and the promise-backed reply capability.
+type callAsyncReq struct {
+	n  int
+	rt ReplyTo[int]
+}
+
+// TestCallAsyncPipelined issues two calls back to back before
+// awaiting either: the promise-returning path means the caller's
+// green thread never parks between the sends, and the replies land
+// whenever the actor gets to them.
+func TestCallAsyncPipelined(t *testing.T) {
+	prog := core.Bind(core.Lift(func() *System { return NewSystem(nil) }), func(sys *System) core.IO[int] {
+		double := Def[callAsyncReq]{OnMessage: func(m callAsyncReq) core.IO[core.Unit] {
+			return core.Void(m.rt.Reply(m.n * 2))
+		}}
+		return core.Bind(Spawn(sys, double), func(ref Ref[callAsyncReq]) core.IO[int] {
+			mk := func(n int) func(ReplyTo[int]) callAsyncReq {
+				return func(rt ReplyTo[int]) callAsyncReq { return callAsyncReq{n: n, rt: rt} }
+			}
+			return core.Bind(CallAsync(ref, "double.10", mk(10)), func(p1 core.Promise[int]) core.IO[int] {
+				return core.Bind(CallAsync(ref, "double.20", mk(20)), func(p2 core.Promise[int]) core.IO[int] {
+					return core.Bind(core.Await(p1), func(a int) core.IO[int] {
+						return core.Bind(core.Await(p2), func(b int) core.IO[int] {
+							return core.Return(a + b)
+						})
+					})
+				})
+			})
+		})
+	})
+	got, e, err := core.Run(prog)
+	if err != nil || e != nil {
+		t.Fatalf("run: %v %v", err, e)
+	}
+	if got != 60 {
+		t.Fatalf("want 60, got %d", got)
+	}
+}
+
+// TestCallAsyncReplyAtMostOnce: a second Reply through a
+// promise-backed capability loses the resolve-once race, exactly as a
+// second TryPut loses on the MVar path.
+func TestCallAsyncReplyAtMostOnce(t *testing.T) {
+	type req struct {
+		rt ReplyTo[string]
+	}
+	prog := core.Bind(core.Lift(func() *System { return NewSystem(nil) }), func(sys *System) core.IO[string] {
+		chatty := Def[req]{OnMessage: func(m req) core.IO[core.Unit] {
+			return core.Bind(m.rt.Reply("first"), func(won bool) core.IO[core.Unit] {
+				if !won {
+					return core.Return(core.UnitValue)
+				}
+				return core.Bind(m.rt.Reply("second"), func(dupWon bool) core.IO[core.Unit] {
+					if dupWon {
+						return core.Void(core.ThrowErrorCall[core.Unit]("duplicate reply won"))
+					}
+					return core.Return(core.UnitValue)
+				})
+			})
+		}}
+		return core.Bind(Spawn(sys, chatty), func(ref Ref[req]) core.IO[string] {
+			return core.Bind(CallAsync(ref, "chatty", func(rt ReplyTo[string]) req { return req{rt: rt} }),
+				func(p core.Promise[string]) core.IO[string] { return core.Await(p) })
+		})
+	})
+	got, e, err := core.Run(prog)
+	if err != nil || e != nil {
+		t.Fatalf("run: %v %v", err, e)
+	}
+	if got != "first" {
+		t.Fatalf("want first, got %q", got)
+	}
+}
+
+// TestCallAsyncCancelledCallHarmless: the caller cancels the pending
+// call; the actor's late Reply lands in a settled promise and reports
+// a lost race rather than corrupting anything.
+func TestCallAsyncCancelledCallHarmless(t *testing.T) {
+	prog := core.Bind(core.Lift(func() *System { return NewSystem(nil) }), func(sys *System) core.IO[string] {
+		slow := Def[callAsyncReq]{OnMessage: func(m callAsyncReq) core.IO[core.Unit] {
+			return core.Then(core.Sleep(5*time.Millisecond), core.Void(m.rt.Reply(m.n)))
+		}}
+		return core.Bind(Spawn(sys, slow), func(ref Ref[callAsyncReq]) core.IO[string] {
+			return core.Bind(CallAsync(ref, "slow", func(rt ReplyTo[int]) callAsyncReq { return callAsyncReq{n: 1, rt: rt} }),
+				func(p core.Promise[int]) core.IO[string] {
+					awaited := core.Catch(
+						core.Map(core.Await(p), func(int) string { return "resolved" }),
+						func(e core.Exception) core.IO[string] {
+							if e.Eq(exc.PromiseCancelled{}) {
+								return core.Return("cancelled")
+							}
+							return core.Return("other")
+						})
+					// Cancel before the actor replies, then let the late
+					// reply land.
+					return core.Then(core.Void(core.Cancel(p)),
+						core.Bind(awaited, func(a string) core.IO[string] {
+							return core.Then(core.Sleep(10*time.Millisecond), core.Return(a))
+						}))
+				})
+		})
+	})
+	got, e, err := core.Run(prog)
+	if err != nil || e != nil {
+		t.Fatalf("run: %v %v", err, e)
+	}
+	if got != "cancelled" {
+		t.Fatalf("want cancelled, got %q", got)
+	}
+}

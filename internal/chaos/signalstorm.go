@@ -1,0 +1,240 @@
+package chaos
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"asyncexc/internal/core"
+	"asyncexc/internal/exc"
+	"asyncexc/internal/obs"
+)
+
+// This file is the signal/kill-storm soak (docs/PROMISES.md): workers
+// that loop at frequent unmasked redexes with a signal handler
+// installed, while one injector thread sprays non-lethal signals at
+// them and another throws lethal asynchronous exceptions. It checks
+// the delivery discipline that makes signals safe to mix with the
+// paper's exceptions:
+//
+//   - every delivered signal ran exactly one real handler (the Go-side
+//     handler counter reconciles with the scheduler's SignalsDelivered);
+//   - signals are conserved: sent = delivered + dropped (exactly in
+//     serial mode; in parallel a signal may still be in a shard
+//     mailbox at teardown, so delivered + dropped <= sent);
+//   - exceptions always win: a killed worker never runs a handler on
+//     its unwound stack (dropped-at-death accounting covers the queue);
+//   - with Config.Observer set, the obs soak test additionally checks
+//     the masked-signal invariant over the recorded stream — a
+//     signalDeliver event inside a masked region is a delivery hole.
+//
+// Workers deliberately never park: a parked thread keeps its signals
+// queued (no Interrupt rule for signals), so a workload of sleepers
+// would test nothing. Instead each worker alternates bursts of
+// unmasked Lift redexes (delivery points) with short Block'd sections
+// (where delivery must be deferred), exactly the shape the masked-
+// signal invariant exists to police.
+
+// StormConfig sizes a signal/kill-storm scenario.
+type StormConfig struct {
+	// Seed drives the scheduler and both injector threads.
+	Seed int64
+	// Workers is how many signal-handling workers run.
+	Workers int
+	// WorkUnits is how many work units each worker executes; every
+	// unit is a burst of unmasked redexes plus a masked section.
+	WorkUnits int
+	// Signals is how many non-lethal signals the signal thread sends
+	// at random workers.
+	Signals int
+	// Kills is how many asynchronous exceptions the kill thread
+	// throws at random workers.
+	Kills int
+	// Shards > 1 runs the storm on the parallel work-stealing engine.
+	Shards int
+	// Observer, when non-nil, records the event stream for the
+	// masked-signal invariant check.
+	Observer *obs.Recorder
+}
+
+// DefaultStormConfig returns a moderate storm: enough signals that
+// plenty land at delivery points, few enough kills that most workers
+// survive to keep handling them.
+func DefaultStormConfig(seed int64) StormConfig {
+	return StormConfig{
+		Seed: seed, Workers: 6, WorkUnits: 40,
+		Signals: 40, Kills: 5,
+	}
+}
+
+// StormReport is the outcome of a storm scenario.
+type StormReport struct {
+	// Violations lists every broken invariant (empty = pass).
+	Violations []string
+	// SignalsSent/Delivered/Dropped are the scheduler's counters.
+	SignalsSent, SignalsDelivered, SignalsDropped uint64
+	// HandlersRun counts handler bodies that actually executed
+	// (Go-side); must equal SignalsDelivered.
+	HandlersRun uint64
+	// KillsDelivered counts lethal exceptions that landed.
+	KillsDelivered uint64
+	// WorkersKilled/WorkersCompleted partition the workers.
+	WorkersKilled, WorkersCompleted int
+	// Steps is the total scheduler steps executed.
+	Steps uint64
+}
+
+// Failed reports whether any invariant broke.
+func (r StormReport) Failed() bool { return len(r.Violations) > 0 }
+
+// RunSignalStorm executes the storm and checks the invariants.
+func RunSignalStorm(cfg StormConfig) (StormReport, error) {
+	var (
+		handlersRun atomic.Uint64
+		killed      atomic.Int64
+		completed   atomic.Int64
+		exited      atomic.Int64
+		mu          sync.Mutex // guards victims
+		victims     []core.ThreadID
+	)
+
+	opts := core.DefaultOptions()
+	opts.RandomSched = true
+	opts.Seed = cfg.Seed
+	opts.TimeSlice = 3
+	opts.Shards = cfg.Shards
+	opts.Observer = cfg.Observer
+	sys := core.NewSystem(opts)
+
+	// One worker: WorkUnits bursts of unmasked redexes, each followed
+	// by a masked section where signal delivery must be deferred. The
+	// handler just counts — a torn or double-run handler shows up as a
+	// reconciliation failure.
+	handler := func(core.Signal) core.IO[core.Unit] {
+		return core.Lift(func() core.Unit { handlersRun.Add(1); return core.UnitValue })
+	}
+	unit := core.Seq(
+		// Unmasked burst: each Lift is a delivery point.
+		core.Void(core.ReplicateM_(4, core.Lift(func() core.Unit { return core.UnitValue }))),
+		core.Yield(),
+		// Masked section: no signal handler may fire in here.
+		core.Block(core.Void(core.ReplicateM_(3, core.Lift(func() core.Unit { return core.UnitValue })))),
+	)
+	worker := core.WithSignalHandler("storm", handler,
+		core.ForM_(make([]struct{}, cfg.WorkUnits), func(struct{}) core.IO[core.Unit] { return unit }))
+
+	// Workers are tracked so the main thread can wait for them, and so
+	// the report partitions survivors from casualties. The accounting
+	// runs under Block — a second kill landing between the Try and the
+	// counters would otherwise unwind past them and lose a worker.
+	tracked := func(m core.IO[core.Unit]) core.IO[core.Unit] {
+		return core.Block(core.Bind(core.Try(core.Unblock(m)), func(a core.Attempt[core.Unit]) core.IO[core.Unit] {
+			return core.Lift(func() core.Unit {
+				if a.Failed() {
+					killed.Add(1)
+				} else {
+					completed.Add(1)
+				}
+				exited.Add(1)
+				return core.UnitValue
+			})
+		}))
+	}
+
+	fork := func(m core.IO[core.Unit]) core.IO[core.Unit] {
+		return core.Bind(core.Fork(tracked(m)), func(tid core.ThreadID) core.IO[core.Unit] {
+			mu.Lock()
+			victims = append(victims, tid)
+			mu.Unlock()
+			return core.Return(core.UnitValue)
+		})
+	}
+
+	// The two injectors pick victims independently from the same list.
+	injector := func(seed int64, rounds int, strike func(core.ThreadID) core.IO[core.Unit]) core.IO[core.Unit] {
+		rng := newRand(seed)
+		var loop func(k int) core.IO[core.Unit]
+		loop = func(k int) core.IO[core.Unit] {
+			if k >= rounds {
+				return core.Return(core.UnitValue)
+			}
+			mu.Lock()
+			nv := len(victims)
+			var victim core.ThreadID
+			if nv > 0 {
+				victim = victims[rng.next(nv)]
+			}
+			mu.Unlock()
+			if nv == 0 {
+				return core.Return(core.UnitValue)
+			}
+			return core.Seq(
+				strike(victim),
+				core.Yield(),
+				core.Delay(func() core.IO[core.Unit] { return loop(k + 1) }),
+			)
+		}
+		return core.Delay(func() core.IO[core.Unit] { return loop(0) })
+	}
+	signalStorm := injector(cfg.Seed*2654435761+1, cfg.Signals, func(tid core.ThreadID) core.IO[core.Unit] {
+		return core.SignalTo(tid, core.Signal{Name: "storm"})
+	})
+	killStorm := injector(cfg.Seed*40503+7, cfg.Kills, func(tid core.ThreadID) core.IO[core.Unit] {
+		return core.ThrowTo(tid, exc.Dyn{Tag: "Storm"})
+	})
+
+	setup := core.Return(core.UnitValue)
+	for i := 0; i < cfg.Workers; i++ {
+		setup = core.Then(setup, fork(worker))
+	}
+	allExited := core.IterateUntil(core.Then(core.Yield(),
+		core.Lift(func() bool { return exited.Load() >= int64(cfg.Workers) })))
+	prog := core.Seq(
+		setup,
+		core.Void(core.Fork(signalStorm)),
+		core.Void(core.Fork(killStorm)),
+		allExited,
+	)
+
+	var rep StormReport
+	_, e, err := core.RunSystem(sys, prog)
+	if err != nil {
+		return rep, err
+	}
+	if e != nil {
+		return rep, fmt.Errorf("chaos: storm main died: %s", exc.Format(e))
+	}
+
+	st := sys.Stats()
+	rep.SignalsSent = st.SignalsSent
+	rep.SignalsDelivered = st.SignalsDelivered
+	rep.SignalsDropped = st.SignalsDropped
+	rep.HandlersRun = handlersRun.Load()
+	rep.KillsDelivered = st.Delivered
+	rep.WorkersKilled = int(killed.Load())
+	rep.WorkersCompleted = int(completed.Load())
+	rep.Steps = st.Steps
+
+	// --- invariants ---
+	if rep.HandlersRun != rep.SignalsDelivered {
+		rep.Violations = append(rep.Violations, fmt.Sprintf(
+			"handler runs (%d) != signals delivered (%d): a handler was torn, doubled, or ran on an unwound stack",
+			rep.HandlersRun, rep.SignalsDelivered))
+	}
+	if got := rep.SignalsDelivered + rep.SignalsDropped; got > rep.SignalsSent {
+		rep.Violations = append(rep.Violations, fmt.Sprintf(
+			"signals fabricated: delivered %d + dropped %d > sent %d",
+			rep.SignalsDelivered, rep.SignalsDropped, rep.SignalsSent))
+	} else if cfg.Shards <= 1 && got != rep.SignalsSent {
+		// Serial mode has no mailboxes, so conservation is exact.
+		rep.Violations = append(rep.Violations, fmt.Sprintf(
+			"signals lost: delivered %d + dropped %d != sent %d",
+			rep.SignalsDelivered, rep.SignalsDropped, rep.SignalsSent))
+	}
+	if rep.WorkersKilled+rep.WorkersCompleted != cfg.Workers {
+		rep.Violations = append(rep.Violations, fmt.Sprintf(
+			"workers unaccounted for: %d killed + %d completed != %d forked",
+			rep.WorkersKilled, rep.WorkersCompleted, cfg.Workers))
+	}
+	return rep, nil
+}

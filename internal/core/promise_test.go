@@ -1,0 +1,365 @@
+package core_test
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"asyncexc/internal/core"
+	"asyncexc/internal/exc"
+)
+
+// --- Promise basics --------------------------------------------------------
+
+func TestPromiseResolveThenAwait(t *testing.T) {
+	prog := core.Bind(core.NewPromise[int]("p"), func(p core.Promise[int]) core.IO[int] {
+		return core.Then(core.Void(core.Resolve(p, 42)), core.Await(p))
+	})
+	v, e, err := core.Run(prog)
+	if err != nil || e != nil {
+		t.Fatalf("run: %v %v", err, e)
+	}
+	if v != 42 {
+		t.Fatalf("want 42, got %d", v)
+	}
+}
+
+func TestPromiseAwaitParksUntilResolve(t *testing.T) {
+	prog := core.Bind(core.NewPromise[string]("p"), func(p core.Promise[string]) core.IO[string] {
+		resolver := core.Then(core.Sleep(time.Millisecond), core.Void(core.Resolve(p, "late")))
+		return core.Then(core.Void(core.Fork(resolver)), core.Await(p))
+	})
+	opts := core.DefaultOptions()
+	sys := core.NewSystem(opts)
+	v, e, err := core.RunSystem(sys, prog)
+	if err != nil || e != nil {
+		t.Fatalf("run: %v %v", err, e)
+	}
+	if v != "late" {
+		t.Fatalf("want late, got %q", v)
+	}
+	if st := sys.Stats(); st.AwaitParks == 0 {
+		t.Fatalf("awaiter never parked: %+v", st)
+	}
+}
+
+func TestPromiseResolveOnce(t *testing.T) {
+	prog := core.Bind(core.NewPromise[int]("p"), func(p core.Promise[int]) core.IO[core.Pair[bool, bool]] {
+		return core.Bind(core.Resolve(p, 1), func(first bool) core.IO[core.Pair[bool, bool]] {
+			return core.Bind(core.Resolve(p, 2), func(second bool) core.IO[core.Pair[bool, bool]] {
+				return core.Bind(core.Await(p), func(v int) core.IO[core.Pair[bool, bool]] {
+					if v != 1 {
+						return core.ThrowErrorCall[core.Pair[bool, bool]]("second resolve overwrote the first")
+					}
+					return core.Return(core.MkPair(first, second))
+				})
+			})
+		})
+	})
+	r, e, err := core.Run(prog)
+	if err != nil || e != nil {
+		t.Fatalf("run: %v %v", err, e)
+	}
+	if !r.Fst || r.Snd {
+		t.Fatalf("want (true,false), got %+v", r)
+	}
+}
+
+func TestPromiseRejectRaisesAtAwait(t *testing.T) {
+	prog := core.Bind(core.NewPromise[int]("p"), func(p core.Promise[int]) core.IO[int] {
+		return core.Then(core.Void(core.Reject(p, exc.ErrorCall{Msg: "boom"})), core.Await(p))
+	})
+	_, e, err := core.Run(prog)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if e == nil || !e.Eq(exc.ErrorCall{Msg: "boom"}) {
+		t.Fatalf("want boom, got %v", e)
+	}
+}
+
+func TestPromiseTryAwait(t *testing.T) {
+	prog := core.Bind(core.NewPromise[int]("p"), func(p core.Promise[int]) core.IO[core.Pair[core.Maybe[int], core.Maybe[int]]] {
+		return core.Bind(core.TryAwait(p), func(before core.Maybe[int]) core.IO[core.Pair[core.Maybe[int], core.Maybe[int]]] {
+			return core.Then(core.Void(core.Resolve(p, 9)),
+				core.Bind(core.TryAwait(p), func(after core.Maybe[int]) core.IO[core.Pair[core.Maybe[int], core.Maybe[int]]] {
+					return core.Return(core.MkPair(before, after))
+				}))
+		})
+	})
+	r, e, err := core.Run(prog)
+	if err != nil || e != nil {
+		t.Fatalf("run: %v %v", err, e)
+	}
+	if r.Fst.IsJust {
+		t.Fatalf("pending promise answered TryAwait: %+v", r.Fst)
+	}
+	if !r.Snd.IsJust || r.Snd.Value != 9 {
+		t.Fatalf("want Just 9, got %+v", r.Snd)
+	}
+}
+
+// TestPromiseCancelTearsDownProducer: Cancel settles the promise with
+// PromiseCancelled for awaiters AND propagates a PromiseCancelled
+// asynchronous exception to the Async producer.
+func TestPromiseCancelTearsDownProducer(t *testing.T) {
+	body := core.Bind(core.NewEmptyMVar[string](), func(fate core.MVar[string]) core.IO[core.Pair[string, string]] {
+		producer := core.Catch(
+			core.Then(core.Sleep(time.Hour), core.Return(0)),
+			func(e core.Exception) core.IO[int] {
+				if e.Eq(exc.PromiseCancelled{}) {
+					return core.Then(core.Put(fate, "cancelled"), core.Return(0))
+				}
+				return core.Then(core.Put(fate, "other: "+e.String()), core.Return(0))
+			})
+		return core.Bind(core.Async("work", producer), func(p core.Promise[int]) core.IO[core.Pair[string, string]] {
+			awaited := core.Catch(
+				core.Map(core.Await(p), func(int) string { return "resolved" }),
+				func(e core.Exception) core.IO[string] {
+					if e.Eq(exc.PromiseCancelled{}) {
+						return core.Return("await-cancelled")
+					}
+					return core.Return("await-other")
+				})
+			return core.Then(core.Sleep(time.Millisecond),
+				core.Then(core.Void(core.Cancel(p)),
+					core.Bind(awaited, func(a string) core.IO[core.Pair[string, string]] {
+						return core.Bind(core.Take(fate), func(f string) core.IO[core.Pair[string, string]] {
+							return core.Return(core.MkPair(a, f))
+						})
+					})))
+		})
+	})
+	r, e, err := core.Run(body)
+	if err != nil || e != nil {
+		t.Fatalf("run: %v %v", err, e)
+	}
+	if r.Fst != "await-cancelled" || r.Snd != "cancelled" {
+		t.Fatalf("want (await-cancelled, cancelled), got %+v", r)
+	}
+}
+
+// --- Combinators -----------------------------------------------------------
+
+func TestAwaitEitherFirstWinner(t *testing.T) {
+	prog := core.Bind(core.Async("slow", core.Then(core.Sleep(time.Hour), core.Return(1))),
+		func(slow core.Promise[int]) core.IO[core.Either[int, string]] {
+			return core.Bind(core.Async("fast", core.Then(core.Sleep(time.Millisecond), core.Return("fast"))),
+				func(fast core.Promise[string]) core.IO[core.Either[int, string]] {
+					return core.Bind(core.AwaitEither(slow, fast), func(r core.Either[int, string]) core.IO[core.Either[int, string]] {
+						// Tear down the loser so the run can end.
+						return core.Then(core.Void(core.Cancel(slow)), core.Return(r))
+					})
+				})
+		})
+	r, e, err := core.Run(prog)
+	if err != nil || e != nil {
+		t.Fatalf("run: %v %v", err, e)
+	}
+	if r.IsLeft || r.Right != "fast" {
+		t.Fatalf("want Right fast, got %+v", r)
+	}
+}
+
+func TestAwaitAllCollectsInOrder(t *testing.T) {
+	prog := core.Bind(core.ForM([]int{3, 1, 2}, func(d int) core.IO[core.Promise[int]] {
+		dd := d
+		return core.Async("w", core.Then(core.Sleep(time.Duration(dd)*time.Millisecond), core.Return(dd*10)))
+	}), func(ps []core.Promise[int]) core.IO[[]int] {
+		return core.AwaitAll(ps)
+	})
+	vs, e, err := core.Run(prog)
+	if err != nil || e != nil {
+		t.Fatalf("run: %v %v", err, e)
+	}
+	if len(vs) != 3 || vs[0] != 30 || vs[1] != 10 || vs[2] != 20 {
+		t.Fatalf("want [30 10 20], got %v", vs)
+	}
+}
+
+func TestAwaitAllFirstFailureWins(t *testing.T) {
+	prog := core.Bind(core.Async("ok", core.Then(core.Sleep(time.Hour), core.Return(1))),
+		func(ok core.Promise[int]) core.IO[[]int] {
+			return core.Bind(core.Async("bad", core.Then(core.Sleep(time.Millisecond), core.Throw[int](exc.ErrorCall{Msg: "bad"}))),
+				func(bad core.Promise[int]) core.IO[[]int] {
+					all := core.AwaitAll([]core.Promise[int]{ok, bad})
+					return core.Finally(all, core.Void(core.Cancel(ok)))
+				})
+		})
+	_, e, err := core.Run(prog)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if e == nil || !e.Eq(exc.ErrorCall{Msg: "bad"}) {
+		t.Fatalf("want bad, got %v", e)
+	}
+}
+
+// TestSpeculateCancelsLosers: the fastest alternative wins, and the
+// first settlement reaps the losing producers with PromiseCancelled
+// (observable as interrupts of the two parked losers and as no leaked
+// threads), with no ThreadKilled anywhere — the kill-free speculative
+// path. The shared speculation promise settles exactly once.
+func TestSpeculateCancelsLosers(t *testing.T) {
+	sys := core.NewSystem(core.DefaultOptions())
+	prog := core.Bind(
+		core.Speculate("spec",
+			core.Then(core.Sleep(30*time.Millisecond), core.Return("slow")),
+			core.Then(core.Sleep(time.Millisecond), core.Return("fast")),
+			core.Then(core.Sleep(20*time.Millisecond), core.Return("mid"))),
+		func(winner string) core.IO[core.Pair[string, int]] {
+			// Let cancellations land, then count live threads (main only).
+			return core.Then(core.Sleep(time.Millisecond),
+				core.Bind(core.LiveThreads(), func(n int) core.IO[core.Pair[string, int]] {
+					return core.Return(core.MkPair(winner, n))
+				}))
+		})
+	r, e, err := core.RunSystem(sys, prog)
+	if err != nil || e != nil {
+		t.Fatalf("run: %v %v", err, e)
+	}
+	if r.Fst != "fast" {
+		t.Fatalf("want fast, got %q", r.Fst)
+	}
+	if r.Snd != 1 {
+		t.Fatalf("loser threads leaked: %d live", r.Snd)
+	}
+	st := sys.Stats()
+	if st.PromisesResolved != 1 || st.PromisesCancelled != 0 {
+		t.Fatalf("want exactly one settlement of the speculation promise, got %+v", st)
+	}
+	if st.Interrupts != 2 {
+		t.Fatalf("want the 2 parked losers reaped by interrupt, got %d (%+v)", st.Interrupts, st)
+	}
+	if st.Killed != 0 {
+		t.Fatalf("speculation used ThreadKilled: %+v", st)
+	}
+}
+
+// --- The seeded cancel-vs-resolve race -------------------------------------
+
+// TestPromiseCancelVsResolveRace races a producer's Resolve against a
+// canceller's Cancel with randomized scheduling, serial and at 4
+// shards: exactly one must win the settle race, and the awaiter must
+// observe exactly the winner's outcome.
+func TestPromiseCancelVsResolveRace(t *testing.T) {
+	seeds := 12
+	if testing.Short() {
+		seeds = 4
+	}
+	shapes := []struct {
+		name string
+		opts func(seed int64) core.Options
+	}{
+		{"serial", func(seed int64) core.Options {
+			o := core.DefaultOptions()
+			o.RandomSched = true
+			o.Seed = seed
+			o.TimeSlice = 3
+			return o
+		}},
+		{"shards4", func(seed int64) core.Options {
+			o := core.ParallelOptions(4)
+			o.RandomSched = true
+			o.Seed = seed
+			o.TimeSlice = 3
+			return o
+		}},
+	}
+	for _, shape := range shapes {
+		for seed := 0; seed < seeds; seed++ {
+			sys := core.NewSystem(shape.opts(int64(seed)))
+			type outcome struct {
+				resolveWon, cancelWon bool
+				awaited               string
+			}
+			prog := core.Bind(core.NewPromise[int]("raced"), func(p core.Promise[int]) core.IO[outcome] {
+				return core.Bind(core.NewEmptyMVar[bool](), func(rw core.MVar[bool]) core.IO[outcome] {
+					return core.Bind(core.NewEmptyMVar[bool](), func(cw core.MVar[bool]) core.IO[outcome] {
+						resolver := core.Bind(core.Resolve(p, 7), func(won bool) core.IO[core.Unit] {
+							return core.Put(rw, won)
+						})
+						canceller := core.Bind(core.Cancel(p), func(won bool) core.IO[core.Unit] {
+							return core.Put(cw, won)
+						})
+						awaited := core.Catch(
+							core.Map(core.Await(p), func(v int) string {
+								if v != 7 {
+									return "corrupt"
+								}
+								return "resolved"
+							}),
+							func(e core.Exception) core.IO[string] {
+								if e.Eq(exc.PromiseCancelled{}) {
+									return core.Return("cancelled")
+								}
+								return core.Return("other")
+							})
+						return core.Then(core.Void(core.Fork(resolver)),
+							core.Then(core.Void(core.Fork(canceller)),
+								core.Bind(awaited, func(a string) core.IO[outcome] {
+									return core.Bind(core.Take(rw), func(r bool) core.IO[outcome] {
+										return core.Bind(core.Take(cw), func(c bool) core.IO[outcome] {
+											return core.Return(outcome{resolveWon: r, cancelWon: c, awaited: a})
+										})
+									})
+								})))
+					})
+				})
+			})
+			o, e, err := core.RunSystem(sys, prog)
+			if err != nil || e != nil {
+				t.Fatalf("%s seed=%d: %v %v", shape.name, seed, err, e)
+			}
+			if o.resolveWon == o.cancelWon {
+				t.Fatalf("%s seed=%d: settle race not exactly-once: %+v", shape.name, seed, o)
+			}
+			if o.resolveWon && o.awaited != "resolved" {
+				t.Fatalf("%s seed=%d: resolve won but awaiter saw %q", shape.name, seed, o.awaited)
+			}
+			if o.cancelWon && o.awaited != "cancelled" {
+				t.Fatalf("%s seed=%d: cancel won but awaiter saw %q", shape.name, seed, o.awaited)
+			}
+			st := sys.Stats()
+			if st.PromisesResolved+st.PromisesCancelled != 1 {
+				t.Fatalf("%s seed=%d: %d settlements recorded, want 1 (%+v)",
+					shape.name, seed, st.PromisesResolved+st.PromisesCancelled, st)
+			}
+		}
+	}
+}
+
+// TestAwaitInterruptible: a thread parked in Await is stuck and hence
+// interruptible (§5.3) — a ThrowTo lands and the promise's waiter
+// list does not resurrect it later.
+func TestAwaitInterruptible(t *testing.T) {
+	var late atomic.Bool
+	prog := core.Bind(core.NewPromise[int]("never"), func(p core.Promise[int]) core.IO[string] {
+		return core.Bind(core.NewEmptyMVar[string](), func(res core.MVar[string]) core.IO[string] {
+			victim := core.Catch(
+				core.Bind(core.Await(p), func(int) core.IO[core.Unit] {
+					return core.Lift(func() core.Unit { late.Store(true); return core.UnitValue })
+				}),
+				func(e core.Exception) core.IO[core.Unit] { return core.Put(res, e.ExceptionName()) })
+			return core.Bind(core.Fork(victim), func(tid core.ThreadID) core.IO[string] {
+				return core.Then(core.Sleep(time.Millisecond),
+					core.Then(core.KillThread(tid),
+						core.Bind(core.Take(res), func(name string) core.IO[string] {
+							// Settle afterwards; the dead waiter must not run.
+							return core.Then(core.Void(core.Resolve(p, 1)),
+								core.Then(core.Sleep(time.Millisecond), core.Return(name)))
+						})))
+			})
+		})
+	})
+	name, e, err := core.Run(prog)
+	if err != nil || e != nil {
+		t.Fatalf("run: %v %v", err, e)
+	}
+	if name != "ThreadKilled" {
+		t.Fatalf("want ThreadKilled, got %q", name)
+	}
+	if late.Load() {
+		t.Fatal("killed awaiter resumed after late resolve")
+	}
+}

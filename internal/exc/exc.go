@@ -203,6 +203,29 @@ func (e UserInterrupt) Error() string { return e.String() }
 // IsAlert classifies UserInterrupt as an alert (§9).
 func (UserInterrupt) IsAlert() bool { return true }
 
+// PromiseCancelled is raised in the producer of a first-class promise
+// when a consumer cancels the promise (internal/sched's Promise): the
+// speculative-computation analogue of ThreadKilled, delivered
+// asynchronously so the producer's cleanup handlers run. Classified as
+// an alert (§9): a universal non-alert handler inside the producer
+// cannot swallow the cancellation.
+type PromiseCancelled struct{}
+
+// ExceptionName implements Exception.
+func (PromiseCancelled) ExceptionName() string { return "PromiseCancelled" }
+
+// Eq implements Exception.
+func (PromiseCancelled) Eq(o Exception) bool { _, ok := o.(PromiseCancelled); return ok }
+
+func (PromiseCancelled) String() string { return "promise cancelled" }
+
+// Error implements error.
+func (e PromiseCancelled) Error() string { return e.String() }
+
+// IsAlert classifies PromiseCancelled as an alert (§9): it is only
+// ever delivered asynchronously, by promise cancellation.
+func (PromiseCancelled) IsAlert() bool { return true }
+
 // IOError is a synchronous I/O failure (file not found, connection
 // reset, ...), the Haskell 98 IOError enlarged into Exception (§4).
 type IOError struct {

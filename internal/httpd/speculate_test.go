@@ -1,0 +1,77 @@
+package httpd
+
+import (
+	"testing"
+	"time"
+
+	"asyncexc/internal/core"
+)
+
+func backendAfter(d time.Duration, body string) Handler {
+	return func(Request) core.IO[Response] {
+		return core.Then(core.Sleep(d), core.Return(Text(200, body)))
+	}
+}
+
+// TestSpeculativeFirstWinnerNoKills: the fastest backend answers, the
+// losers are cancelled — and not one ThreadKilled is spent doing it.
+func TestSpeculativeFirstWinnerNoKills(t *testing.T) {
+	h := Speculative("spec",
+		backendAfter(50*time.Millisecond, "slow"),
+		backendAfter(time.Millisecond, "fast"),
+		backendAfter(20*time.Millisecond, "mid"))
+	sys := core.NewSystem(core.DefaultOptions())
+	resp, e, err := core.RunSystem(sys, core.Bind(h(Request{Path: "/x"}), func(r Response) core.IO[Response] {
+		// Let the cancellations land before the run ends.
+		return core.Then(core.Sleep(time.Millisecond), core.Return(r))
+	}))
+	if err != nil || e != nil {
+		t.Fatalf("run: %v %v", err, e)
+	}
+	if string(resp.Body) != "fast" {
+		t.Fatalf("want fast, got %q", resp.Body)
+	}
+	st := sys.Stats()
+	if st.Killed != 0 {
+		t.Fatalf("speculative path used ThreadKilled: %+v", st)
+	}
+	if st.PromisesResolved != 1 || st.PromisesCancelled != 0 {
+		t.Fatalf("want one settlement of the speculation promise, got %+v", st)
+	}
+	if st.Interrupts != 2 {
+		t.Fatalf("want 2 losers reaped, got %d (%+v)", st.Interrupts, st)
+	}
+}
+
+// TestPipelinedOverlapsBackends: three backends of 3ms each complete
+// in ~3ms of virtual time, not 9 — the launches all happen before any
+// await.
+func TestPipelinedOverlapsBackends(t *testing.T) {
+	h := Pipelined("pipe", func(rs []Response) Response {
+		var body []byte
+		for _, r := range rs {
+			body = append(body, r.Body...)
+		}
+		return Text(200, string(body))
+	},
+		backendAfter(3*time.Millisecond, "a"),
+		backendAfter(3*time.Millisecond, "b"),
+		backendAfter(3*time.Millisecond, "c"))
+	prog := core.Bind(core.Now(), func(t0 int64) core.IO[core.Pair[Response, int64]] {
+		return core.Bind(h(Request{Path: "/x"}), func(r Response) core.IO[core.Pair[Response, int64]] {
+			return core.Bind(core.Now(), func(t1 int64) core.IO[core.Pair[Response, int64]] {
+				return core.Return(core.MkPair(r, t1-t0))
+			})
+		})
+	})
+	p, e, err := core.Run(prog)
+	if err != nil || e != nil {
+		t.Fatalf("run: %v %v", err, e)
+	}
+	if string(p.Fst.Body) != "abc" {
+		t.Fatalf("want abc in order, got %q", p.Fst.Body)
+	}
+	if p.Snd > (6 * time.Millisecond).Nanoseconds() {
+		t.Fatalf("backends ran sequentially: %v elapsed", time.Duration(p.Snd))
+	}
+}

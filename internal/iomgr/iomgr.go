@@ -4,11 +4,15 @@
 // and interruptible (rules Stuck GetChar / Interrupt), while the rest
 // of the system keeps running.
 //
-// Each blocking call runs on its own goroutine; completion is posted
-// back into the scheduler as an external event. An interrupted await
-// optionally runs a cancel hook (to unblock the goroutine, e.g. by
-// closing a socket) and a cleanup hook for results that arrive after
-// the waiter has gone (to avoid leaking accepted connections).
+// Each blocking call runs on its own goroutine; completion resolves a
+// first-class promise (docs/PROMISES.md) through the scheduler's
+// external-event door. Launch returns that promise immediately, so a
+// green thread can issue several operations and await them later
+// (pipelined I/O); Do is Launch plus an interruptible Await. An
+// interrupted await optionally runs a cancel hook (to unblock the
+// goroutine, e.g. by closing a socket) and a cleanup hook for results
+// that arrive after the waiter has gone (to avoid leaking accepted
+// connections).
 //
 // Programs doing real I/O should run on a RealClock runtime: the
 // virtual clock only advances when no external work is outstanding.
@@ -23,18 +27,22 @@ import (
 	"asyncexc/internal/sched"
 )
 
-// Do runs f on a goroutine and parks the calling green thread until it
-// completes; a non-nil error is raised as an IOError tagged with name.
-// The wait is interruptible, but the underlying Go call is not
-// cancelled — use DoCancel when there is a way to unblock it.
-func Do[A any](name string, f func() (A, error)) core.IO[A] {
-	return DoCancel(name, f, nil, nil)
+// Launch starts f on a goroutine and returns a promise of its result
+// immediately — the calling green thread keeps running and can issue
+// more operations before awaiting any of them (pipelined I/O). A
+// non-nil error from f rejects the promise with an IOError tagged
+// with name, raised at the Await site. The underlying Go call is not
+// cancellable — use LaunchCancel when there is a way to unblock it.
+func Launch[A any](name string, f func() (A, error)) core.IO[core.Promise[A]] {
+	return LaunchCancel(name, f, nil, nil)
 }
 
-// DoCancel is Do with hooks: cancel (may be nil) is invoked when the
-// waiting thread is interrupted and should unblock f; dropped (may be
-// nil) receives f's result if it arrives after the waiter has gone.
-func DoCancel[A any](name string, f func() (A, error), cancel func(), dropped func(A)) core.IO[A] {
+// LaunchCancel is Launch with hooks: cancel (may be nil) runs when the
+// promise is cancelled and should unblock f (close the socket);
+// dropped (may be nil) receives f's result if it arrives after the
+// promise was cancelled, so late results — an accepted connection,
+// say — are reclaimed instead of leaked.
+func LaunchCancel[A any](name string, f func() (A, error), cancel func(), dropped func(A)) core.IO[core.Promise[A]] {
 	start := func(complete func(v any, e exc.Exception)) func() {
 		go func() {
 			v, err := f()
@@ -50,7 +58,37 @@ func DoCancel[A any](name string, f func() (A, error), cancel func(), dropped fu
 			dropped(a)
 		}
 	}
-	return core.FromNode[A](sched.AwaitCleanup(name, start, drop))
+	return core.FromNode[core.Promise[A]](sched.Bind(
+		sched.LaunchPromise(name, start, drop),
+		func(v any) sched.Node {
+			return sched.Return(core.PromiseFromRaw[A](v.(*sched.Promise)))
+		}))
+}
+
+// Do runs f on a goroutine and waits for it: Launch followed by Await.
+// A non-nil error is raised as an IOError tagged with name. The wait
+// is interruptible, but the underlying Go call is not cancelled — use
+// DoCancel when there is a way to unblock it.
+func Do[A any](name string, f func() (A, error)) core.IO[A] {
+	return DoCancel(name, f, nil, nil)
+}
+
+// DoCancel is Do with hooks: cancel (may be nil) is invoked when the
+// waiting thread is interrupted and should unblock f; dropped (may be
+// nil) receives f's result if it arrives after the waiter has gone.
+//
+// Completions resolve promises rather than park-and-wake machinery:
+// if the waiting thread is interrupted, the promise is cancelled —
+// running the cancel hook and routing a late result to dropped — and
+// the exception propagates. The Await itself is interruptible per
+// §5.3 regardless of the caller's mask state, exactly like the old
+// dedicated await primitive.
+func DoCancel[A any](name string, f func() (A, error), cancel func(), dropped func(A)) core.IO[A] {
+	return core.Bind(LaunchCancel(name, f, cancel, dropped), func(p core.Promise[A]) core.IO[A] {
+		return core.Catch(core.Await(p), func(e core.Exception) core.IO[A] {
+			return core.Then(core.Void(core.Cancel(p)), core.Throw[A](e))
+		})
+	})
 }
 
 // ---------------------------------------------------------------------

@@ -91,30 +91,56 @@ const (
 	// count, Span the same send span, closing the send → deliver →
 	// handle chain.
 	KindActorHandle
+	// KindPromiseResolve: a first-class promise settled. Thread is
+	// the settling thread (0 = external completion), Arg the promise
+	// id, Span the promise's span (allocated at creation — the
+	// operation invoke), Exc the rejection exception if any, and
+	// FlagCancel marks a cancellation rather than a resolution. At
+	// most one per span: resolve-once is an invariant.
+	KindPromiseResolve
+	// KindAwait: a thread observed a promise's outcome. Thread is
+	// the awaiting thread, Arg the promise id, Span the promise's
+	// span (joining invoke → resolve → await into one chain), Mask
+	// the awaiter's mask state, and FlagCancel marks an await that
+	// observed cancellation. In a complete trace an await follows
+	// its span's promiseResolve.
+	KindAwait
+	// KindSignalDeliver: a non-lethal signal ran its handler in the
+	// target's context (no unwinding). Thread is the target, Peer
+	// the signaller (0 = environment), Span the signal's span
+	// (opened by its KindThrowTo|FlagSignal enqueue), Arg the
+	// pending latency in runtime nanoseconds, Label the signal name,
+	// and Mask the target's mask state at delivery — which must be
+	// unmasked (CheckInvariants enforces this; a masked delivery is
+	// a violation).
+	KindSignalDeliver
 
 	numKinds
 )
 
 var kindNames = [numKinds]string{
-	KindSpawn:         "spawn",
-	KindFinish:        "finish",
-	KindThrowTo:       "throwTo",
-	KindDeliver:       "deliver",
-	KindCatch:         "catch",
-	KindPark:          "park",
-	KindUnpark:        "unpark",
-	KindSteal:         "steal",
-	KindShed:          "shed",
-	KindRetry:         "retry",
-	KindBreaker:       "breaker",
-	KindDeadline:      "deadline",
-	KindRestart:       "restart",
-	KindLinkUp:        "linkUp",
-	KindLinkDown:      "linkDown",
-	KindRemoteThrowTo: "remoteThrowTo",
-	KindActorSend:     "actorSend",
-	KindActorDeliver:  "actorDeliver",
-	KindActorHandle:   "actorHandle",
+	KindSpawn:          "spawn",
+	KindFinish:         "finish",
+	KindThrowTo:        "throwTo",
+	KindDeliver:        "deliver",
+	KindCatch:          "catch",
+	KindPark:           "park",
+	KindUnpark:         "unpark",
+	KindSteal:          "steal",
+	KindShed:           "shed",
+	KindRetry:          "retry",
+	KindBreaker:        "breaker",
+	KindDeadline:       "deadline",
+	KindRestart:        "restart",
+	KindLinkUp:         "linkUp",
+	KindLinkDown:       "linkDown",
+	KindRemoteThrowTo:  "remoteThrowTo",
+	KindActorSend:      "actorSend",
+	KindActorDeliver:   "actorDeliver",
+	KindActorHandle:    "actorHandle",
+	KindPromiseResolve: "promiseResolve",
+	KindAwait:          "await",
+	KindSignalDeliver:  "signalDeliver",
 }
 
 // String renders the kind as its trace name.
@@ -138,6 +164,7 @@ const (
 	ReasonGetChar
 	ReasonAwait
 	ReasonThrowTo // §9 synchronous thrower waiting for delivery
+	ReasonPromise // awaiting a first-class promise
 )
 
 var reasonNames = [...]string{
@@ -148,6 +175,7 @@ var reasonNames = [...]string{
 	ReasonGetChar:  "getChar",
 	ReasonAwait:    "await",
 	ReasonThrowTo:  "throwTo",
+	ReasonPromise:  "promise",
 }
 
 // String renders the reason.
@@ -176,6 +204,13 @@ const (
 	// FlagDeadlock marks a KindThrowTo injected by the deadlock
 	// detector (BlockedIndefinitely).
 	FlagDeadlock
+	// FlagSignal marks a KindThrowTo that enqueued a non-lethal
+	// signal rather than an exception; its span is closed by a
+	// KindSignalDeliver (handler ran) or never (signal dropped).
+	FlagSignal
+	// FlagCancel marks a KindPromiseResolve that cancelled the
+	// promise (and the KindAwait events that observed it).
+	FlagCancel
 )
 
 // MaskUnknown is the Mask value recorded when the mask state is not

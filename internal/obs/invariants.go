@@ -26,6 +26,15 @@ import "fmt"
 //   - A KindRestart carrying a span (the exception that killed the
 //     child) follows that span's delivery — the restart really did
 //     answer a delivered asynchronous exception.
+//   - A promise resolves at most once (resolve-once is load-bearing:
+//     AwaitEither's first-winner selection is exactly this rule), and
+//     every KindAwait follows its span's KindPromiseResolve — a thread
+//     never observes an unsettled promise.
+//   - A KindSignalDeliver runs only in an unmasked target: a signal
+//     handler firing inside a masked region is a violation (signals
+//     are strictly weaker than exceptions — no Interrupt rule), and
+//     its enqueue (KindThrowTo|FlagSignal) is sequenced before it,
+//     at most one delivery per signal span.
 //
 // A recorder with mask-filtered events (Stats.Filtered > 0) is treated
 // like one with drops: the filtered kinds are legitimately absent, so
@@ -40,6 +49,8 @@ func CheckInvariants(events []Event, st Stats) []string {
 	var lastSeq uint64
 	enqueued := map[uint64]Event{}  // span -> throwTo event
 	delivered := map[uint64]Event{} // span -> deliver event
+	resolved := map[uint64]Event{}  // span -> promiseResolve event
+	signalled := map[uint64]Event{} // span -> signalDeliver event
 
 	for _, e := range events {
 		if e.Seq <= lastSeq {
@@ -111,6 +122,64 @@ func CheckInvariants(events []Event, st Stats) []string {
 			}
 			if _, ok := delivered[e.Span]; !ok && complete {
 				violate("restart linked to span %d with no prior deliver: %v", e.Span, e)
+			}
+		case KindPromiseResolve:
+			if e.Span == 0 {
+				violate("promiseResolve without span: %v", e)
+				break
+			}
+			if prev, dup := resolved[e.Span]; dup {
+				violate("promise span %d settled twice: %v and %v", e.Span, prev, e)
+			}
+			resolved[e.Span] = e
+		case KindAwait:
+			if e.Span == 0 {
+				violate("await without span: %v", e)
+				break
+			}
+			res, ok := resolved[e.Span]
+			if !ok {
+				if complete {
+					violate("await of span %d with no prior promiseResolve: %v", e.Span, e)
+				}
+				break
+			}
+			if res.Seq >= e.Seq {
+				violate("promiseResolve %v not sequenced before await %v", res, e)
+			}
+		case KindSignalDeliver:
+			if e.Mask >= uint8(len(maskNames)) {
+				violate("signalDeliver with invalid mask %d: %v", e.Mask, e)
+			} else if e.Mask != 0 {
+				// The masked-signal invariant: signal handlers run only
+				// in unmasked targets. Unlike exceptions there is no
+				// Interrupt rule and no self-throw exemption — any
+				// masked delivery is a hole in the delivery path.
+				violate("signal handler ran inside masked region: %v", e)
+			}
+			if e.Span == 0 {
+				violate("signalDeliver without span: %v", e)
+				break
+			}
+			if prev, dup := signalled[e.Span]; dup {
+				violate("signal span %d delivered twice: %v and %v", e.Span, prev, e)
+			}
+			signalled[e.Span] = e
+			enq, ok := enqueued[e.Span]
+			if !ok {
+				if complete {
+					violate("signalDeliver without matching enqueue: %v", e)
+				}
+				break
+			}
+			if enq.Flags&FlagSignal == 0 {
+				violate("span %d enqueued as exception but delivered as signal: %v", e.Span, e)
+			}
+			if enq.Seq >= e.Seq {
+				violate("enqueue %v not sequenced before signalDeliver %v", enq, e)
+			}
+			if enq.Thread != e.Thread {
+				violate("signal span %d enqueued against thread %d but delivered to %d", e.Span, enq.Thread, e.Thread)
 			}
 		}
 	}

@@ -133,6 +133,7 @@ var obsReasons = [...]obs.Reason{
 	parkGetChar:  obs.ReasonGetChar,
 	parkAwait:    obs.ReasonAwait,
 	parkThrowTo:  obs.ReasonThrowTo,
+	parkPromise:  obs.ReasonPromise,
 }
 
 // obsPark records a thread becoming stuck; arg is the MVar id for
@@ -163,6 +164,88 @@ func (rt *RT) obsSteal(t *Thread, from, to int) {
 		return
 	}
 	rt.olog.Stage(obs.KindSteal, rt.nowNS(), 0, int64(t.id), 0, obs.PackShards(from, to), 0, 0)
+}
+
+// obsNewSpan allocates a fresh span id, or 0 with no observer. Used
+// by promise creation: the span is the "operation invoke" end of the
+// invoke → resolve → await chain and travels inside the Promise.
+func (rt *RT) obsNewSpan() uint64 {
+	if rt.olog == nil {
+		return 0
+	}
+	return rt.opts.Observer.NextSpan()
+}
+
+// obsPromiseResolve records a promise settling (resolve, rejection or
+// cancellation). At most one per span — resolve-once made observable.
+func (rt *RT) obsPromiseResolve(p *Promise, e exc.Exception, cancelled bool) {
+	if rt.olog == nil || p.span == 0 {
+		return
+	}
+	var flags uint8
+	if cancelled {
+		flags = obs.FlagCancel
+		e = nil // the cancellation is the event; PromiseCancelled reaches awaiters
+	}
+	rt.olog.Record(obs.Event{
+		TS: rt.nowNS(), Span: p.span, Arg: p.id, Exc: e,
+		Label: p.name, Kind: obs.KindPromiseResolve, Flags: flags,
+	})
+}
+
+// obsAwait records a thread observing a promise's outcome, closing
+// the invoke → resolve → await chain. mask is the awaiter's mask
+// state; cancelled marks an outcome of cancellation.
+func (rt *RT) obsAwait(tid ThreadID, mask uint8, span, promiseID uint64, cancelled bool) {
+	if rt.olog == nil || span == 0 {
+		return
+	}
+	var flags uint8
+	if cancelled {
+		flags = obs.FlagCancel
+	}
+	rt.olog.Record(obs.Event{
+		TS: rt.nowNS(), Span: span, Thread: int64(tid), Arg: promiseID,
+		Kind: obs.KindAwait, Mask: mask, Flags: flags,
+	})
+}
+
+// obsSignalEnqueue allocates a span and records a non-lethal signal
+// being placed in flight (KindThrowTo with FlagSignal; the span is
+// closed by the eventual KindSignalDeliver, or never — dropped
+// signals leave it open, which the completeness checks tolerate
+// because FlagSignal spans are exempt from deliver matching).
+func (rt *RT) obsSignalEnqueue(tid ThreadID, from ThreadID, sig Signal, flags uint8) (span uint64, enqNS int64) {
+	if rt.olog == nil {
+		return 0, 0
+	}
+	span = rt.opts.Observer.NextSpan()
+	enqNS = rt.nowNS()
+	rt.olog.Record(obs.Event{
+		TS: enqNS, Span: span, Thread: int64(tid), Peer: int64(from),
+		Label: sig.Name, Kind: obs.KindThrowTo, Mask: obs.MaskUnknown,
+		Flags: obs.FlagSignal | flags,
+	})
+	return span, enqNS
+}
+
+// obsSignalDeliver records a signal handler being spliced into its
+// target — the target's mask state is recorded so the invariant
+// checker can verify no handler ever fired inside a masked region.
+func (rt *RT) obsSignalDeliver(t *Thread, s pendingSig) {
+	if rt.olog == nil || s.span == 0 {
+		return
+	}
+	now := rt.nowNS()
+	var lat uint64
+	if s.enqNS > 0 && now > s.enqNS {
+		lat = uint64(now - s.enqNS)
+	}
+	rt.olog.Record(obs.Event{
+		TS: now, Span: s.span, Thread: int64(t.id), Peer: int64(s.from),
+		Arg: lat, Label: s.sig.Name, Kind: obs.KindSignalDeliver,
+		Mask: uint8(t.mask),
+	})
 }
 
 // obsNote records a resilience/supervision event (shed, retry,

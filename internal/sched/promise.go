@@ -1,0 +1,562 @@
+package sched
+
+import (
+	"fmt"
+	"sync"
+
+	"asyncexc/internal/exc"
+	"asyncexc/internal/obs"
+)
+
+// This file implements first-class promises: an MVar the scheduler
+// knows about, following Ahman & Pretnar's asynchronous-effects recipe
+// of decoupling *invoking* an operation from *receiving* its result.
+// A Promise is a write-once cell settled exactly once — resolved with
+// a value, rejected with an exception, or cancelled — and Await parks
+// the reader interruptibly at the paper's §5.3 delivery points, just
+// like takeMVar.
+//
+// The parallel-mode protocol mirrors MVar's commit-on-pop discipline:
+// every state transition happens under p.mu, and popping a waiter from
+// p.waiters COMMITS its wakeup (the settling shard resumes it directly
+// or via a must-deliver msgPromiseWake). An interrupt racing with the
+// settlement must first remove the thread from p.waiters under p.mu;
+// if the removal fails the wakeup has committed and the exception goes
+// to the pending queue instead — the same "right up until the point
+// when it acquires the MVar" window as §5.3.
+//
+// Settlement also drives chains: callbacks attached by the AwaitEither
+// / AwaitAll combinators (core layer), run by the settling shard after
+// p.mu is released. Resolve-once is exactly first-winner selection:
+// chaining two sources into one derived promise makes the first
+// settlement win and later ones no-ops.
+
+type promiseState uint8
+
+const (
+	promisePending promiseState = iota
+	promiseResolved
+	promiseCancelled
+)
+
+// Promise is a write-once result cell settled at most once. All
+// methods on the raw Promise are scheduler primitives (Nodes); user
+// code goes through the typed core.Promise wrapper.
+type Promise struct {
+	id   uint64
+	name string
+
+	mu sync.Mutex // parallel mode only
+
+	state promiseState
+	val   any
+	exc   exc.Exception
+
+	// waiters are threads parked in AwaitPromise, woken (all at once)
+	// when the promise settles.
+	waiters []*Thread
+
+	// chains are settlement callbacks (combinator plumbing); each runs
+	// exactly once, on the settling shard, after p.mu is released.
+	chains []func(rt *RT, v any, e exc.Exception, cancelled bool)
+
+	// producer is the thread computing this promise's value; a
+	// cancellation propagates PromiseCancelled to it asynchronously.
+	// 0 = no producer registered. A speculation promise has several
+	// producers: the first lives here, the rest in extraProducers.
+	producer       ThreadID
+	extraProducers []ThreadID
+
+	// reap marks a speculation promise (SpeculateNode): the first
+	// settlement — whichever producer wins, or a cancellation — sends
+	// PromiseCancelled to every registered producer. The winner is
+	// already finished by the time it settles, so the throw against it
+	// degenerates to the cheap throwTo-dead path.
+	reap bool
+
+	// onCancel is the external-cancellation hook (the iomgr closes the
+	// underlying socket); run once, after a cancellation settles.
+	onCancel func()
+
+	// span is the obs span allocated at creation — the "operation
+	// invoke" end of the invoke → resolve → await chain.
+	span uint64
+}
+
+// ID returns the promise's unique identifier within its runtime.
+func (p *Promise) ID() uint64 { return p.id }
+
+// Name returns the promise's debug name, if any.
+func (p *Promise) Name() string { return p.name }
+
+// String renders the promise for traces.
+func (p *Promise) String() string {
+	if p.name != "" {
+		return fmt.Sprintf("promise:%s", p.name)
+	}
+	return fmt.Sprintf("promise#%d", p.id)
+}
+
+// newPromise allocates a promise inside the scheduler. Promise ids
+// share the MVar id counter (both only need uniqueness).
+func (rt *RT) newPromise(name string) *Promise {
+	var id uint64
+	if rt.eng != nil {
+		id = rt.eng.nextMVarID.Add(1)
+	} else {
+		rt.nextMVarID++
+		id = rt.nextMVarID
+	}
+	p := &Promise{id: id, name: name, span: rt.obsNewSpan()}
+	rt.stats.PromisesCreated++
+	return p
+}
+
+// NewPromiseDirect creates a promise outside any thread; used by the
+// typed core API. Safe only before RunMain or from within scheduler
+// callbacks.
+func (rt *RT) NewPromiseDirect(name string) *Promise { return rt.newPromise(name) }
+
+// NewPromiseNode creates a promise from a running thread.
+func NewPromiseNode(name string) Node {
+	return primNode{name: "newPromise", step: func(rt *RT, t *Thread) (Node, bool) {
+		return retNode{rt.newPromise(name)}, false
+	}}
+}
+
+// outcome converts a settled promise's record into the node an awaiter
+// resumes with. Caller guarantees the promise is settled.
+func promiseOutcome(v any, e exc.Exception) Node {
+	if e != nil {
+		return throwNode{e}
+	}
+	return retNode{v}
+}
+
+// settlePromise performs the single state transition of a promise:
+// pending → resolved (cancelled=false) or pending → cancelled. It
+// reports whether this call won — a promise settles exactly once, and
+// losers observe false. Must run inside the scheduler (any shard; the
+// transition itself is guarded by p.mu in parallel mode).
+func (rt *RT) settlePromise(p *Promise, v any, e exc.Exception, cancelled bool) bool {
+	par := rt.eng != nil
+	if par {
+		p.mu.Lock()
+	}
+	if p.state != promisePending {
+		if par {
+			p.mu.Unlock()
+		}
+		return false
+	}
+	if cancelled {
+		p.state = promiseCancelled
+		p.exc = exc.PromiseCancelled{}
+	} else {
+		p.state = promiseResolved
+		p.val = v
+		p.exc = e
+	}
+	waiters := p.waiters
+	p.waiters = nil
+	chains := p.chains
+	p.chains = nil
+	hook := p.onCancel
+	p.onCancel = nil
+	rv, re := p.val, p.exc
+	var reap []ThreadID
+	if p.reap {
+		if p.producer != 0 {
+			reap = append(p.extraProducers, p.producer)
+		}
+		p.producer = 0
+		p.extraProducers = nil
+	}
+	if par {
+		p.mu.Unlock()
+	}
+	// The resolve event is recorded before any waiter wakes, so every
+	// KindAwait's sequence number lands after its KindPromiseResolve.
+	rt.obsPromiseResolve(p, re, cancelled)
+	if cancelled {
+		rt.stats.PromisesCancelled++
+	} else {
+		rt.stats.PromisesResolved++
+	}
+	for _, w := range waiters {
+		rt.deliverPromiseWake(w, p, rv, re, cancelled)
+	}
+	for _, fn := range chains {
+		fn(rt, rv, re, cancelled)
+	}
+	// A speculation promise reaps its producers on first settlement:
+	// the losers (parked or still computing) receive PromiseCancelled,
+	// the winner has already finished and absorbs a throwTo-dead no-op.
+	for _, tid := range reap {
+		rt.throwToAsyncFrom(0, obs.MaskUnknown, tid, exc.PromiseCancelled{})
+	}
+	if cancelled && hook != nil {
+		hook()
+	}
+	return true
+}
+
+// SettlePromise is the exported settle entry for ChainPromise
+// callbacks (the core combinators settle derived promises from inside
+// a source's settlement). Same contract as the internal transition:
+// returns whether this call won the resolve-once race.
+func (rt *RT) SettlePromise(p *Promise, v any, e exc.Exception, cancelled bool) bool {
+	return rt.settlePromise(p, v, e, cancelled)
+}
+
+// deliverPromiseWake resumes a waiter whose wakeup this shard just
+// committed (it was popped from p.waiters under p.mu): directly when
+// this shard owns it, else as a must-deliver msgPromiseWake.
+func (rt *RT) deliverPromiseWake(w *Thread, p *Promise, v any, e exc.Exception, cancelled bool) {
+	if rt.eng == nil || w.owner.Load() == rt {
+		rt.obsAwait(w.id, uint8(w.mask), p.span, p.id, cancelled)
+		rt.stats.Awaits++
+		rt.obsUnpark(w)
+		w.status = statusRunnable
+		w.park = parkInfo{}
+		w.cur = promiseOutcome(v, e)
+		rt.enqueue(w)
+		rt.trace(EvUnpark{Thread: w.id})
+		return
+	}
+	rt.eng.send(w.owner.Load(), shardMsg{kind: msgPromiseWake, t: w, v: v, e: e, seq: p.id, span: p.span, cancelled: cancelled})
+}
+
+// ResolvePromise settles p with value v; returns whether this call won
+// the resolve-once race (false: p was already settled).
+func ResolvePromise(p *Promise, v any) Node {
+	return primNode{name: "resolve", step: func(rt *RT, t *Thread) (Node, bool) {
+		return retNode{rt.settlePromise(p, v, nil, false)}, false
+	}}
+}
+
+// ResolvePromiseExc settles p with a rejection exception; awaiters see
+// it raised at their await site.
+func ResolvePromiseExc(p *Promise, e exc.Exception) Node {
+	return primNode{name: "resolveExc", step: func(rt *RT, t *Thread) (Node, bool) {
+		return retNode{rt.settlePromise(p, nil, e, false)}, false
+	}}
+}
+
+// CancelPromise cancels p: awaiters observe PromiseCancelled, the
+// registered producer (if any, and not the canceller itself) receives
+// a PromiseCancelled asynchronous exception, and the external-cancel
+// hook runs. Returns whether this call won the settle race.
+func CancelPromise(p *Promise) Node {
+	return primNode{name: "cancelPromise", step: func(rt *RT, t *Thread) (Node, bool) {
+		won := rt.settlePromise(p, nil, nil, true)
+		if won && !p.reap {
+			// Reap promises tear their producers down inside the
+			// settlement itself; for ordinary promises the canceller
+			// propagates to the single registered producer here.
+			if prod := p.producer; prod != 0 && prod != t.id {
+				rt.throwToAsync(t, prod, exc.PromiseCancelled{})
+			}
+		}
+		return retNode{won}, false
+	}}
+}
+
+// throwToAsync places e in flight against tid on behalf of from,
+// always asynchronously (the §9 synchronous option does not apply to
+// cancellation propagation — the canceller must not wait on the
+// producer it is tearing down).
+func (rt *RT) throwToAsync(from *Thread, tid ThreadID, e exc.Exception) {
+	rt.throwToAsyncFrom(from.id, uint8(from.mask), tid, e)
+}
+
+// throwToAsyncFrom is throwToAsync with the thrower identified by raw
+// id and mask; fromID 0 marks a runtime-originated throw (producer
+// reaping from inside a settlement, where no thread is "the thrower").
+func (rt *RT) throwToAsyncFrom(fromID ThreadID, fromMask uint8, tid ThreadID, e exc.Exception) {
+	rt.stats.ThrowTos++
+	if rt.eng != nil {
+		target := rt.eng.lookup(tid)
+		if target == nil {
+			rt.stats.ThrowToDead++
+			return
+		}
+		span, enqNS := rt.obsEnqueue(tid, fromID, e, fromMask, 0)
+		p := pendingExc{e: e, span: span, enqNS: enqNS}
+		if target.owner.Load() == rt && rt.deliverLocal(target, p) {
+			return
+		}
+		rt.eng.send(target.owner.Load(), shardMsg{kind: msgThrowTo, t: target, e: e, span: span, enqNS: enqNS})
+		return
+	}
+	target := rt.threads[tid]
+	if target == nil || target.status == statusDone {
+		rt.stats.ThrowToDead++
+		return
+	}
+	span, enqNS := rt.obsEnqueue(tid, fromID, e, fromMask, 0)
+	if target.status == statusParked && target.mask.Interruptible() {
+		rt.interruptStuck(target, pendingExc{e: e, span: span, enqNS: enqNS}, false)
+		return
+	}
+	target.pending = append(target.pending, pendingExc{e: e, span: span, enqNS: enqNS})
+}
+
+// BindPromiseProducer registers tid as p's producer so a later
+// cancellation propagates to it. If p was already cancelled (the
+// cancel won the race with registration) the producer is interrupted
+// immediately.
+func BindPromiseProducer(p *Promise, tid ThreadID) Node {
+	return primNode{name: "bindProducer", step: func(rt *RT, t *Thread) (Node, bool) {
+		par := rt.eng != nil
+		if par {
+			p.mu.Lock()
+		}
+		p.producer = tid
+		already := p.state == promiseCancelled
+		if par {
+			p.mu.Unlock()
+		}
+		if already && tid != t.id {
+			rt.throwToAsync(t, tid, exc.PromiseCancelled{})
+		}
+		return retNode{UnitValue}, false
+	}}
+}
+
+// AsyncNode forks body as a producer thread of a fresh promise and
+// returns the promise (as *Promise) immediately. The producer's exit
+// settles the promise — a normal return resolves it, an unwound
+// exception (synchronous or asynchronous) rejects it — so no catch
+// frame, resolve node, or producer-registration node is spent per
+// spawn, and there is no install window at all: the thread is a
+// registered producer from the instant it exists. The child inherits
+// the forker's mask, per the revised (Fork) rule; callers wanting the
+// Async contract of an unmasked body pass an Unblock-wrapped node.
+func AsyncNode(name string, body Node) Node {
+	return primNode{name: "async", step: func(rt *RT, t *Thread) (Node, bool) {
+		p := rt.newPromise(name)
+		child := rt.newThread(body, name, t.mask)
+		child.settle = p
+		p.producer = child.id
+		rt.publish(child, t.id)
+		return retNode{p}, false
+	}}
+}
+
+// SpeculateNode is the fused speculative fan-out: it creates one
+// shared reap-on-settle promise, forks every body as a producer of it,
+// and parks the calling thread awaiting the first settlement.
+// Resolve-once IS winner selection — the first producer to finish
+// resolves the promise, and the settlement reaps the rest with
+// PromiseCancelled. No derived promise, no settlement chains, and no
+// kill-and-respawn: the §7.2 pattern of nested racing pairs is
+// replaced by one scheduler object. The await is interruptible per
+// §5.3; if the caller is torn down while parked, the detach hook
+// cancels the promise, which reaps every producer — no thread leaks.
+// The caller's mask is inherited by the producers; bodies are
+// Unblock-wrapped by the core layer so alternatives run unmasked.
+func SpeculateNode(name string, bodies []Node) Node {
+	return primNode{name: "speculate", step: func(rt *RT, t *Thread) (Node, bool) {
+		p := rt.newPromise(name)
+		p.reap = true
+		// Register every producer before publishing any: a published
+		// child may win and settle — reaping the registered set — while
+		// its siblings are still being constructed.
+		children := make([]*Thread, len(bodies))
+		for i, body := range bodies {
+			child := rt.newThread(body, name, t.mask)
+			child.settle = p
+			children[i] = child
+			if p.producer == 0 {
+				p.producer = child.id
+			} else {
+				p.extraProducers = append(p.extraProducers, child.id)
+			}
+		}
+		for _, child := range children {
+			rt.publish(child, t.id)
+		}
+		return rt.awaitPromiseCancel(t, p, func() {
+			rt.settlePromise(p, nil, nil, true)
+		})
+	}}
+}
+
+// AwaitPromise blocks until p settles: a resolved promise's value is
+// returned, a rejection or cancellation is raised at the await site.
+// An already-settled promise returns immediately — per §5.3's careful
+// wording, an operation whose resource is "always available" is not an
+// interruption point — while the about-to-wait case raises pending
+// asynchronous exceptions first, exactly like takeMVar.
+func AwaitPromise(p *Promise) Node {
+	return primNode{name: "awaitPromise", step: func(rt *RT, t *Thread) (Node, bool) {
+		return rt.awaitPromise(t, p)
+	}}
+}
+
+func (rt *RT) awaitPromise(t *Thread, p *Promise) (Node, bool) {
+	return rt.awaitPromiseCancel(t, p, nil)
+}
+
+// awaitPromiseCancel is awaitPromise with a detach hook: cancel (may
+// be nil) runs if the parked awaiter is interrupted away — the window
+// where SpeculateNode must cancel the speculation so producers do not
+// leak. It is stored in the park record and invoked by detachParked
+// after a successful removal.
+func (rt *RT) awaitPromiseCancel(t *Thread, p *Promise, cancel func()) (Node, bool) {
+	par := rt.eng != nil
+	if par {
+		p.mu.Lock()
+	}
+	if p.state != promisePending {
+		v, e, cancelled := p.val, p.exc, p.state == promiseCancelled
+		if par {
+			p.mu.Unlock()
+		}
+		rt.obsAwait(t.id, uint8(t.mask), p.span, p.id, cancelled)
+		rt.stats.Awaits++
+		return promiseOutcome(v, e), false
+	}
+	if par {
+		p.mu.Unlock()
+	}
+	// Pending: the thread is about to become stuck, so await is an
+	// interruptible operation (§5.3). Abandoning the await here is the
+	// same teardown as an interrupt while parked: the cancel hook runs.
+	if n, interrupted := t.raisePendingForPark(); interrupted {
+		if cancel != nil {
+			cancel()
+		}
+		return n, false
+	}
+	if par {
+		p.mu.Lock()
+		if p.state != promisePending {
+			// Settled in the unlock gap by another shard: take now.
+			v, e, cancelled := p.val, p.exc, p.state == promiseCancelled
+			p.mu.Unlock()
+			rt.obsAwait(t.id, uint8(t.mask), p.span, p.id, cancelled)
+			rt.stats.Awaits++
+			return promiseOutcome(v, e), false
+		}
+	}
+	t.parkSeq++
+	t.status = statusParked
+	t.park = parkInfo{kind: parkPromise, pr: p, cancel: cancel}
+	p.waiters = append(p.waiters, t)
+	if par {
+		p.mu.Unlock()
+	}
+	rt.stats.AwaitParks++
+	rt.trace(EvPark{Thread: t.id, Reason: "promise"})
+	rt.obsPark(t, parkPromise, p.id)
+	return nil, true
+}
+
+// TryAwaitPromise is the non-parking probe: TryResult{Ok:true} with
+// the value when resolved; a rejection/cancellation is raised; Ok
+// false while pending.
+func TryAwaitPromise(p *Promise) Node {
+	return primNode{name: "tryAwait", step: func(rt *RT, t *Thread) (Node, bool) {
+		par := rt.eng != nil
+		if par {
+			p.mu.Lock()
+		}
+		st, v, e := p.state, p.val, p.exc
+		if par {
+			p.mu.Unlock()
+		}
+		if st == promisePending {
+			return retNode{TryResult{}}, false
+		}
+		rt.obsAwait(t.id, uint8(t.mask), p.span, p.id, st == promiseCancelled)
+		rt.stats.Awaits++
+		if e != nil {
+			return throwNode{e}, false
+		}
+		return retNode{TryResult{Value: v, OK: true}}, false
+	}}
+}
+
+// ChainPromise attaches a settlement callback: fn runs exactly once,
+// inside the scheduler on the settling shard (immediately, when p has
+// already settled). It is combinator plumbing — fn must not block and
+// must confine itself to scheduler-safe operations (settling other
+// promises is the intended use).
+func ChainPromise(p *Promise, fn func(rt *RT, v any, e exc.Exception, cancelled bool)) Node {
+	return primNode{name: "chainPromise", step: func(rt *RT, t *Thread) (Node, bool) {
+		par := rt.eng != nil
+		if par {
+			p.mu.Lock()
+		}
+		if p.state == promisePending {
+			p.chains = append(p.chains, fn)
+			if par {
+				p.mu.Unlock()
+			}
+			return retNode{UnitValue}, false
+		}
+		v, e, cancelled := p.val, p.exc, p.state == promiseCancelled
+		if par {
+			p.mu.Unlock()
+		}
+		fn(rt, v, e, cancelled)
+		return retNode{UnitValue}, false
+	}}
+}
+
+// LaunchPromise starts external work (a goroutine-backed I/O
+// operation) and returns its promise immediately — the iomgr rewire
+// that lets completions resolve promises instead of parking threads.
+// start runs inside the step and must return quickly after spawning
+// the real work; the completion callback may be called from any
+// goroutine, at most once. The returned cancel hook (may be nil) runs
+// if the promise is cancelled first; a completion that then loses the
+// settle race goes to dropped (may be nil) so late results — an
+// accepted connection, say — are reclaimed instead of leaked.
+// Outstanding work is counted like an Await so the virtual clock
+// cannot advance past it and the deadlock detector knows a completion
+// is still possible.
+func LaunchPromise(name string, start func(complete func(v any, e exc.Exception)) (cancel func()), dropped func(v any, e exc.Exception)) Node {
+	return primNode{name: name, step: func(rt *RT, t *Thread) (Node, bool) {
+		p := rt.newPromise(name)
+		if e := rt.eng; e != nil {
+			e.outstandingIO.Add(1)
+		} else {
+			rt.outstandingIO++
+		}
+		var once sync.Once
+		complete := func(v any, ex exc.Exception) {
+			once.Do(func() {
+				rt.External(func(rt *RT) {
+					if e := rt.eng; e != nil {
+						e.outstandingIO.Add(-1)
+					} else {
+						rt.outstandingIO--
+					}
+					if !rt.settlePromise(p, v, ex, false) && dropped != nil {
+						dropped(v, ex)
+					}
+				})
+			})
+		}
+		cancel := start(complete)
+		if cancel != nil {
+			par := rt.eng != nil
+			if par {
+				p.mu.Lock()
+			}
+			pending := p.state == promisePending
+			if pending {
+				p.onCancel = cancel
+			}
+			if par {
+				p.mu.Unlock()
+			}
+			// Settled before the hook landed: the completion beat us
+			// (cancellation is impossible — p was not yet visible).
+		}
+		return retNode{p}, false
+	}}
+}

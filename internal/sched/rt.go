@@ -303,6 +303,17 @@ func (rt *RT) Spawn(m Node, name string) ThreadID {
 // child starts with the supplied mask state (its parent's). parent is
 // 0 for the main thread.
 func (rt *RT) spawn(m Node, name string, mask MaskState, parent ThreadID) *Thread {
+	t := rt.newThread(m, name, mask)
+	rt.publish(t, parent)
+	return t
+}
+
+// newThread constructs a thread without publishing it: it is not yet
+// in the table or run queue, so no other shard can see (or steal) it.
+// Callers that must wire up state the thread's first steps — or its
+// concurrently-running siblings — depend on (promise producer
+// registration, say) do so between newThread and publish.
+func (rt *RT) newThread(m Node, name string, mask MaskState) *Thread {
 	var id ThreadID
 	if rt.eng != nil {
 		id = ThreadID(rt.eng.nextTID.Add(1))
@@ -310,7 +321,11 @@ func (rt *RT) spawn(m Node, name string, mask MaskState, parent ThreadID) *Threa
 		rt.nextTID++
 		id = rt.nextTID
 	}
-	t := &Thread{id: id, name: name, rt: rt, cur: m, mask: mask, status: statusRunnable, stack: rt.getStack()}
+	return &Thread{id: id, name: name, rt: rt, cur: m, mask: mask, status: statusRunnable, stack: rt.getStack()}
+}
+
+// publish makes a constructed thread visible and runnable.
+func (rt *RT) publish(t *Thread, parent ThreadID) {
 	if rt.eng != nil {
 		t.owner.Store(rt)
 		rt.eng.table.put(t)
@@ -321,7 +336,6 @@ func (rt *RT) spawn(m Node, name string, mask MaskState, parent ThreadID) *Threa
 	rt.enqueue(t)
 	rt.stats.Forks++
 	rt.obsSpawn(t, parent)
-	return t
 }
 
 // spawnOn is spawn with explicit shard placement: the child is created
@@ -485,6 +499,20 @@ func (rt *RT) step(t *Thread) {
 		}
 	}
 
+	// Non-lethal signal delivery: strictly weaker than rule (Receive).
+	// A signal fires only when no exception is pending (exceptions
+	// always win), only under Unmasked, and only at primitive/return
+	// redexes — not at throwNode (a handler must never run on an
+	// unwinding stack) and never while parked (no Interrupt analogue).
+	// The handler is spliced in front of the current continuation; see
+	// deliverSignal.
+	if len(t.sigs) > 0 && len(t.pending) == 0 && t.mask == Unmasked {
+		switch t.cur.(type) {
+		case primNode, retNode:
+			rt.deliverSignal(t)
+		}
+	}
+
 	// Resource exhaustion (§2): a push that exceeded the stack bound
 	// converts the current redex into a StackOverflow raise; the
 	// subsequent unwinding only pops frames, so progress is assured.
@@ -583,6 +611,18 @@ func (rt *RT) finish(t *Thread, v any, e exc.Exception) {
 	rt.putStack(t.stack)
 	t.stack = nil
 	rt.stats.ThreadsFinished++
+	if p := t.settle; p != nil {
+		// Producer thread (AsyncNode/SpeculateNode): the promise is the
+		// thread's runtime-installed top-level handler. Its outcome —
+		// value or unwound exception — settles the promise (losing the
+		// resolve-once race discards it), and the exception counts as
+		// handled, not uncaught: PromiseCancelled tearing down a loser
+		// is the expected end of its life, exactly as when Async's old
+		// catch-wrapper swallowed it.
+		t.settle = nil
+		rt.settlePromise(p, v, e, false)
+		e = nil
+	}
 	if e != nil {
 		rt.stats.Uncaught++
 		if _, killed := e.(exc.ThreadKilled); killed {
@@ -593,6 +633,13 @@ func (rt *RT) finish(t *Thread, v any, e exc.Exception) {
 		rt.wakeWaiter(p)
 	}
 	t.pending = nil
+	if n := len(t.sigs); n > 0 {
+		// Queued signals die with the thread: a handler never runs on
+		// an unwound stack.
+		rt.stats.SignalsDropped += uint64(n)
+		t.sigs = nil
+	}
+	t.sigHandlers = nil
 	rt.obsFinish(t, e)
 	if rt.eng != nil {
 		rt.eng.table.del(t.id)
@@ -657,6 +704,32 @@ func (rt *RT) detachParked(t *Thread) bool {
 			t.park.cancel()
 		}
 		return true
+	case parkPromise:
+		// Mirror the MVar discipline: removal from the waiter list
+		// under p.mu either succeeds (the interrupt wins) or fails
+		// because a settling shard already popped the thread — its
+		// wakeup is committed and the exception joins the pending
+		// queue instead. A successful detach runs the park's cancel
+		// hook (outside p.mu: the hook settles the promise itself) —
+		// SpeculateNode uses it to cancel the speculation, reaping
+		// every producer, when the awaiter is torn down.
+		p := t.park.pr
+		if p == nil {
+			return true
+		}
+		if par {
+			p.mu.Lock()
+		}
+		before := len(p.waiters)
+		p.waiters = removeThread(p.waiters, t)
+		ok := len(p.waiters) < before || !par
+		if par {
+			p.mu.Unlock()
+		}
+		if ok && t.park.cancel != nil {
+			t.park.cancel()
+		}
+		return ok
 	case parkThrowTo:
 		// A synchronous thrower interrupted while waiting withdraws
 		// its in-flight exception (GHC behaviour; see DESIGN.md §5).

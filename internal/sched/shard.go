@@ -64,6 +64,14 @@ const (
 	// pinned to (ForkOn): the thread was created already owned by the
 	// receiver and has never been in any run queue.
 	msgAdopt
+	// msgPromiseWake resumes a promise awaiter whose wakeup was
+	// committed by the settling shard (popped from p.waiters under
+	// p.mu); must-deliver, like msgUnpark.
+	msgPromiseWake
+	// msgSignal lands a non-lethal signal on a thread owned by the
+	// receiving shard; it joins the target's signal queue (signals
+	// never interrupt parks).
+	msgSignal
 )
 
 // shardMsg is one mailbox entry.
@@ -74,12 +82,18 @@ type shardMsg struct {
 	e         exc.Exception
 	waiter    *Thread
 	waiterSeq uint64
-	seq       uint64 // parkSeq (msgWakeWaiter) or awaitID (msgAwaitDone)
+	seq       uint64 // parkSeq (msgWakeWaiter), awaitID (msgAwaitDone), promise id (msgPromiseWake), sender tid (msgSignal)
 	dropped   func(v any, e exc.Exception)
 	// span and enqNS carry the obs span id and enqueue timestamp of a
-	// msgThrowTo across shards (see pendingExc).
+	// msgThrowTo/msgSignal across shards (see pendingExc/pendingSig);
+	// for msgPromiseWake span is the promise's span.
 	span  uint64
 	enqNS int64
+	// sig is a msgSignal's payload.
+	sig Signal
+	// cancelled marks a msgPromiseWake for a cancelled promise (the
+	// awaiter's KindAwait event carries FlagCancel).
+	cancelled bool
 }
 
 // threadTable is the striped id → thread map shared by all shards.
@@ -576,6 +590,32 @@ func (rt *RT) applyMsg(m shardMsg) {
 		// Owned by this shard from birth and never enqueued anywhere, so
 		// no ownership re-check is needed: nothing can have stolen it.
 		rt.enqueue(m.t)
+
+	case msgPromiseWake:
+		// A committed promise wakeup: the waiter was popped from
+		// p.waiters under p.mu and stays parked until this message
+		// arrives — nothing else may have resumed it (mirrors
+		// msgUnpark).
+		t := m.t
+		rt.smu.Lock()
+		if t.owner.Load() != rt {
+			rt.smu.Unlock()
+			e.send(t.owner.Load(), m)
+			return
+		}
+		if t.status != statusParked || t.park.kind != parkPromise {
+			rt.smu.Unlock()
+			return
+		}
+		rt.obsAwait(t.id, uint8(t.mask), m.span, m.seq, m.cancelled)
+		rt.stats.Awaits++
+		rt.unparkQueuedLocked(t, promiseOutcome(m.v, m.e))
+
+	case msgSignal:
+		s := pendingSig{sig: m.sig, from: ThreadID(m.seq), span: m.span, enqNS: m.enqNS}
+		if !rt.signalLocal(m.t, s) {
+			e.send(m.t.owner.Load(), m)
+		}
 
 	case msgAwaitDone:
 		st, pk, ok := rt.ownedState(m.t)

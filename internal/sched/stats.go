@@ -85,6 +85,26 @@ type Stats struct {
 	// (bumped through NoteActorHandle).
 	ActorHandled uint64
 
+	// PromisesCreated counts promises allocated; PromisesResolved and
+	// PromisesCancelled count settlements (their sum never exceeds
+	// PromisesCreated: resolve-once). Awaits counts outcomes observed
+	// by awaiters (immediately or after parking); AwaitParks counts
+	// the subset that had to park.
+	PromisesCreated   uint64
+	PromisesResolved  uint64
+	PromisesCancelled uint64
+	Awaits            uint64
+	AwaitParks        uint64
+
+	// SignalsSent counts SignalTo calls; SignalsDelivered counts
+	// handlers actually spliced in; SignalsDropped counts signals
+	// discarded (dead target, no registered handler at the delivery
+	// point, or queued at thread death — a handler never runs on an
+	// unwound stack).
+	SignalsSent      uint64
+	SignalsDelivered uint64
+	SignalsDropped   uint64
+
 	// Steals counts threads this shard stole from siblings' run queues
 	// (parallel engine; always 0 in serial mode).
 	Steals uint64
@@ -130,6 +150,14 @@ func (s *Stats) Add(o Stats) {
 	s.ActorSends += o.ActorSends
 	s.ActorDeliveries += o.ActorDeliveries
 	s.ActorHandled += o.ActorHandled
+	s.PromisesCreated += o.PromisesCreated
+	s.PromisesResolved += o.PromisesResolved
+	s.PromisesCancelled += o.PromisesCancelled
+	s.Awaits += o.Awaits
+	s.AwaitParks += o.AwaitParks
+	s.SignalsSent += o.SignalsSent
+	s.SignalsDelivered += o.SignalsDelivered
+	s.SignalsDropped += o.SignalsDropped
 	s.Steals += o.Steals
 	s.CrossShardThrowTo += o.CrossShardThrowTo
 	if o.MailboxDepth > s.MailboxDepth {

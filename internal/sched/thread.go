@@ -68,6 +68,7 @@ const (
 	parkGetChar
 	parkAwait
 	parkThrowTo // synchronous throwTo waiting for delivery (§9)
+	parkPromise // awaiting a first-class promise
 )
 
 func (k parkKind) String() string {
@@ -86,6 +87,8 @@ func (k parkKind) String() string {
 		return "await"
 	case parkThrowTo:
 		return "throwTo"
+	case parkPromise:
+		return "promise"
 	default:
 		return fmt.Sprintf("parkKind(%d)", uint8(k))
 	}
@@ -128,6 +131,8 @@ type parkInfo struct {
 	cancel func()
 	// target is the thread a synchronous throwTo caller is waiting on.
 	target *Thread
+	// pr is the promise a parkPromise thread waits on.
+	pr *Promise
 }
 
 // Thread is the per-thread data block of §8.1: the current action, the
@@ -143,6 +148,18 @@ type Thread struct {
 	mask  MaskState
 
 	pending []pendingExc
+
+	// sigs queues undelivered non-lethal signals. Strictly weaker than
+	// pending: signals are delivered only at unmasked redex boundaries
+	// of a running thread (no Interrupt rule), and exceptions always
+	// win when both queues are non-empty. Discarded when the thread
+	// finishes — a handler never runs on an unwound stack.
+	sigs []pendingSig
+
+	// sigHandlers maps signal names to this thread's registered
+	// handlers; nil means no handler was ever installed. Owner-only
+	// state, like cur and mask.
+	sigHandlers map[string]func(Signal) Node
 
 	status threadStatus
 	park   parkInfo
@@ -171,6 +188,14 @@ type Thread struct {
 	// doneVal/doneExc record the completion outcome.
 	doneVal any
 	doneExc exc.Exception
+
+	// settle, when non-nil, marks this thread as a promise producer
+	// forked by AsyncNode/SpeculateNode: its completion outcome is
+	// routed into the promise by finish — a normal return resolves it,
+	// an unwound exception rejects it — instead of counting as an
+	// uncaught exception. The promise is the thread's top-level
+	// handler, installed by the runtime rather than a catch frame.
+	settle *Promise
 
 	// stackHighWater tracks the maximum frame depth (stats, §8.1
 	// constant-stack evidence).
