@@ -56,6 +56,7 @@ func main() {
 		{"A1", func() *bench.Table { return bench.ActorBroker(*brokerEvents) }},
 		{"H1", func() *bench.Table { return bench.HotLoop(bench.DefaultHotLoopConfig()) }},
 		{"P2", func() *bench.Table { return bench.Promises(bench.DefaultPromisesConfig()) }},
+		{"S2", func() *bench.Table { return bench.SimOverhead(bench.DefaultSimOverheadConfig()) }},
 	}
 
 	var tables []*bench.Table

@@ -6,23 +6,42 @@
 //	axchaos -n 1000            # 1000 seeds of the default scenario
 //	axchaos -kills 30 -n 200   # a more violent scenario
 //	axchaos -seed 42 -v        # re-run one seed with the full report
+//	axchaos -seed auto         # start from a wall-clock seed (printed)
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"time"
 
 	"asyncexc/internal/chaos"
 )
 
 func main() {
 	n := flag.Int("n", 200, "number of seeds to run")
-	start := flag.Int64("seed", 0, "first seed (with -v: the only seed)")
+	seedFlag := flag.String("seed", "0", `first seed (any integer; 0 is a valid seed) or "auto" for a wall-clock seed`)
 	verbose := flag.Bool("v", false, "print the full report for every seed")
 	workers := flag.Int("workers", 4, "locked-account workers")
 	kills := flag.Int("kills", 8, "chaos exceptions per scenario")
 	flag.Parse()
+
+	// Every explicit integer — including 0 — is a reproducible seed;
+	// randomness only enters when asked for, and then the chosen seed is
+	// printed so the run can be replayed.
+	var start int64
+	if *seedFlag == "auto" {
+		start = time.Now().UnixNano()
+		fmt.Printf("axchaos: -seed auto -> %d (re-run with -seed %d)\n", start, start)
+	} else {
+		var err error
+		start, err = strconv.ParseInt(*seedFlag, 10, 64)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "axchaos: -seed must be an integer or \"auto\": %v\n", err)
+			os.Exit(2)
+		}
+	}
 
 	runs := *n
 	if *verbose && *n == 200 {
@@ -31,7 +50,7 @@ func main() {
 	failures := 0
 	var totalKills, totalSteps uint64
 	for i := 0; i < runs; i++ {
-		seed := *start + int64(i)
+		seed := start + int64(i)
 		cfg := chaos.DefaultConfig(seed)
 		cfg.Workers = *workers
 		cfg.Kills = *kills
@@ -48,6 +67,16 @@ func main() {
 			fmt.Printf("seed %d: INVARIANT VIOLATIONS:\n", seed)
 			for _, v := range rep.Violations {
 				fmt.Printf("  - %s\n", v)
+			}
+			// Persist the failing schedule for deterministic replay.
+			// Only the default scenario matches the registered
+			// "killstorm" soak that axsim replays by name.
+			if *workers == 4 && *kills == 8 {
+				if msg, perr := chaos.RecordFailure("testdata/failures", "killstorm", seed, 0); perr == nil {
+					fmt.Printf("  %s\n", msg)
+				}
+			} else {
+				fmt.Printf("  (custom -workers/-kills: not registry-replayable; re-run with axchaos -seed %d -v)\n", seed)
 			}
 		}
 		if *verbose {

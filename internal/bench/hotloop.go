@@ -208,8 +208,16 @@ func CalibrateSpin() float64 {
 // and computes nothing, the rate is the scheduler+interpreter hot loop
 // and only that.
 func EmptyLoopRate(shards, slice, steps int) float64 {
+	return EmptyLoopRateSim(shards, slice, steps, nil)
+}
+
+// EmptyLoopRateSim is EmptyLoopRate with the scheduling decisions
+// routed through src (nil = live defaults): the S2 table measures the
+// simulation seam's recording overhead on exactly the H1 workloads.
+func EmptyLoopRateSim(shards, slice, steps int, src core.SimSource) float64 {
 	opts := core.ParallelOptions(shards)
 	opts.TimeSlice = slice
+	opts.Sim = src
 	workers := shards
 	if workers < 1 {
 		workers = 1
@@ -247,7 +255,14 @@ func EmptyLoopRate(shards, slice, steps int) float64 {
 // rather than an unbounded pending-queue flood. Returns the delivery
 // rate and the number of throwTos that crossed shards.
 func ThrowToRate(shards, rounds int) (rate float64, crossShard uint64) {
+	return ThrowToRateSim(shards, rounds, nil)
+}
+
+// ThrowToRateSim is ThrowToRate with the scheduling decisions routed
+// through src (nil = live defaults); see EmptyLoopRateSim.
+func ThrowToRateSim(shards, rounds int, src core.SimSource) (rate float64, crossShard uint64) {
 	opts := core.ParallelOptions(shards)
+	opts.Sim = src
 	sys := core.NewSystem(opts)
 	pairs := shards / 2
 	if pairs < 1 {

@@ -55,6 +55,20 @@ type Config struct {
 	// events during the soak; obs soak tests check the recorded stream
 	// against the delivery invariants afterwards.
 	Observer *obs.Recorder
+	// Sim, when non-nil, routes every scheduling decision through the
+	// deterministic-simulation seam: a sim.Recorder captures the
+	// schedule, a sim.Replayer forces a recorded one (see
+	// docs/SIMULATION.md).
+	Sim core.SimSource
+	// MaxSteps bounds the run (0 = unlimited); replaying shrunk
+	// schedules uses it so a mangled candidate cannot run away.
+	MaxSteps uint64
+	// SchedSeed, when non-zero, seeds the scheduler independently of
+	// Seed (which also drives the chaos thread's victim picks). The
+	// shrinking tooling sets it so un-forced decisions fall back to a
+	// neutral baseline: the shrunk schedule's surviving forcings are
+	// then load-bearing rather than shadowed by the recording seed.
+	SchedSeed int64
 }
 
 // DefaultConfig returns a moderate scenario.
@@ -106,9 +120,16 @@ func Run(cfg Config) (Report, error) {
 	opts := core.DefaultOptions()
 	opts.RandomSched = true
 	opts.Seed = cfg.Seed
+	if cfg.SchedSeed != 0 {
+		opts.Seed = cfg.SchedSeed
+	}
 	opts.TimeSlice = 3
 	opts.Shards = cfg.Shards
 	opts.Observer = cfg.Observer
+	opts.Sim = cfg.Sim
+	if cfg.MaxSteps > 0 {
+		opts.MaxSteps = cfg.MaxSteps
+	}
 	sys := core.NewSystem(opts)
 
 	tracked := func(m core.IO[core.Unit]) core.IO[core.Unit] {
@@ -237,10 +258,15 @@ func Run(cfg Config) (Report, error) {
 	})
 
 	rep, e, err := core.RunSystem(sys, prog)
-	if err != nil {
-		return rep, err
-	}
-	if e != nil {
+	if err != nil || e != nil {
+		// Even a failed run reports its counters: the recorded-schedule
+		// tooling labels persisted failures with them.
+		st := sys.Stats()
+		rep.Steps = st.Steps
+		rep.KillsDelivered = st.Delivered
+		if err != nil {
+			return rep, err
+		}
 		return rep, fmt.Errorf("chaos: scenario main died: %s", exc.Format(e))
 	}
 
@@ -275,6 +301,10 @@ func Run(cfg Config) (Report, error) {
 // does not depend on math/rand inside Lift closures.
 type miniRand struct{ s uint64 }
 
+// newRand seeds the PRNG. Seed 0 is a valid explicit seed: xorshift
+// cannot hold state 0 (it would be a fixed point), so 0 maps to a
+// fixed odd constant — deterministically, never to a random value, so
+// `-seed 0` reproduces like any other seed.
 func newRand(seed int64) *miniRand {
 	if seed == 0 {
 		seed = 0x9e3779b9

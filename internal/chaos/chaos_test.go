@@ -12,6 +12,13 @@ import (
 func TestChaosInvariantsHold(t *testing.T) {
 	for seed := int64(0); seed < 40; seed++ {
 		rep, err := chaos.Run(chaos.DefaultConfig(seed))
+		if err != nil || rep.Failed() {
+			// Persist the failing schedule so the exact interleaving can
+			// be replayed and shrunk offline.
+			if msg, perr := chaos.RecordFailure("testdata/failures", "killstorm", seed, 0); perr == nil {
+				t.Log(msg)
+			}
+		}
 		if err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}

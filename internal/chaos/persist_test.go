@@ -1,0 +1,52 @@
+package chaos
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"asyncexc/internal/sim"
+)
+
+// TestRecordFailurePersistsReplayableSchedule exercises the on-failure
+// hook end to end: persist a (deterministically re-recorded) round,
+// read the file back, and replay it without divergence.
+func TestRecordFailurePersistsReplayableSchedule(t *testing.T) {
+	dir := t.TempDir()
+	msg, err := RecordFailure(dir, "killstorm-strict", 7, 0)
+	if err != nil {
+		t.Fatalf("RecordFailure: %v", err)
+	}
+	path := filepath.Join(dir, "killstorm-strict-7.sched")
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("persisted schedule missing: %v", err)
+	}
+	if !strings.Contains(msg, path) || !strings.Contains(msg, "axsim replay") {
+		t.Fatalf("hook message lacks path or replay command: %q", msg)
+	}
+	l, err := sim.ReadFile(path)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	if len(l.Events) == 0 {
+		t.Fatal("persisted schedule is empty")
+	}
+	res, err := RunReplayed(l)
+	if err != nil {
+		t.Fatalf("RunReplayed: %v", err)
+	}
+	if d := res.Replayer.Diverged(); d != nil {
+		t.Fatalf("replay diverged: %v", d)
+	}
+	if res.SoakErr == nil {
+		t.Fatal("strict round should fail on replay (11 kills land at seed 7)")
+	}
+}
+
+// TestRecordFailureUnknownSoak rejects unregistered names.
+func TestRecordFailureUnknownSoak(t *testing.T) {
+	if _, err := RecordFailure(t.TempDir(), "no-such-soak", 1, 0); err == nil {
+		t.Fatal("expected error for unknown soak")
+	}
+}

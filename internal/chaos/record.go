@@ -1,0 +1,190 @@
+// Schedule record/replay glue for the soaks: a registry naming each
+// runnable soak round (so cmd/axsim and the failure-persistence hook
+// can re-run one by name), a recording wrapper, and the on-failure
+// persistence that drops a replayable .sched file and prints the
+// axsim command reproducing the run.
+package chaos
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"asyncexc/internal/core"
+	"asyncexc/internal/sim"
+)
+
+// RunSpec parameterises one soak round.
+type RunSpec struct {
+	// Seed drives the scenario (and, unless SchedSeed is set, the
+	// scheduler).
+	Seed int64
+	// Shards selects the engine (0/1 = serial).
+	Shards int
+	// SchedSeed, when non-zero, moves only the scheduler: the shrinker
+	// runs candidates at a neutral scheduler seed so surviving forced
+	// decisions are load-bearing (see Config.SchedSeed).
+	SchedSeed int64
+	// Src routes every scheduling decision (nil = live defaults).
+	Src core.SimSource
+}
+
+// Soak is one registered, schedule-drivable soak workload.
+type Soak struct {
+	// Name is the registry key (also the schedule log's header name).
+	Name string
+	// Desc is a one-line description for CLI listings.
+	Desc string
+	// Run executes one round per the spec, returning the invariant
+	// error (nil = round passed).
+	Run func(spec RunSpec) error
+}
+
+// Soaks lists the schedule-drivable workloads. killstorm-strict is the
+// injected-violation variant: its "invariant" (no chaos kill may land)
+// is deliberately false for almost every seed, giving the record →
+// replay → shrink pipeline a real, schedule-dependent failure to chew
+// on without planting a bug in the runtime.
+func Soaks() []Soak {
+	return []Soak{
+		{
+			Name: "killstorm",
+			Desc: "fault-injection soak: locked account, channel, pool, semaphore under random kills",
+			Run: func(spec RunSpec) error {
+				cfg := DefaultConfig(spec.Seed)
+				cfg.Shards = spec.Shards
+				cfg.Sim = spec.Src
+				cfg.SchedSeed = spec.SchedSeed
+				cfg.MaxSteps = 20_000_000
+				rep, err := Run(cfg)
+				if err != nil {
+					return err
+				}
+				if rep.Failed() {
+					return fmt.Errorf("chaos: invariants violated: %v", rep.Violations)
+				}
+				return nil
+			},
+		},
+		{
+			Name: "signalstorm",
+			Desc: "signal/kill-storm soak: non-lethal signals racing lethal exceptions",
+			Run: func(spec RunSpec) error {
+				cfg := DefaultStormConfig(spec.Seed)
+				cfg.Shards = spec.Shards
+				cfg.Sim = spec.Src
+				cfg.SchedSeed = spec.SchedSeed
+				cfg.MaxSteps = 20_000_000
+				rep, err := RunSignalStorm(cfg)
+				if err != nil {
+					return err
+				}
+				if rep.Failed() {
+					return fmt.Errorf("chaos: storm invariants violated: %v", rep.Violations)
+				}
+				return nil
+			},
+		},
+		{
+			Name: "killstorm-strict",
+			Desc: "killstorm with an injected too-strict invariant (no kill may land); for exercising replay/shrink",
+			Run: func(spec RunSpec) error {
+				cfg := DefaultConfig(spec.Seed)
+				cfg.Shards = spec.Shards
+				cfg.Sim = spec.Src
+				cfg.SchedSeed = spec.SchedSeed
+				cfg.MaxSteps = 20_000_000
+				rep, err := Run(cfg)
+				if err != nil {
+					return err
+				}
+				if rep.Failed() {
+					return fmt.Errorf("chaos: invariants violated: %v", rep.Violations)
+				}
+				if rep.KillsDelivered > 0 {
+					return fmt.Errorf("chaos: strict invariant violated: %d kill(s) delivered", rep.KillsDelivered)
+				}
+				return nil
+			},
+		},
+	}
+}
+
+// FindSoak looks a soak up by name.
+func FindSoak(name string) (Soak, bool) {
+	for _, s := range Soaks() {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Soak{}, false
+}
+
+// simHeader builds the schedule-log header for a soak round. All soaks
+// run the seeded random scheduler at a 3-step slice (see Run).
+func simHeader(name string, seed int64, shards int) sim.Header {
+	return sim.Header{Name: name, Seed: seed, Shards: shards, TimeSlice: 3, Random: true}
+}
+
+// RunRecorded runs one soak round with a recorder attached and returns
+// the captured schedule alongside the round's invariant error.
+func RunRecorded(s Soak, seed int64, shards int) (*sim.Log, error) {
+	rec := sim.NewRecorder(simHeader(s.Name, seed, shards))
+	err := s.Run(RunSpec{Seed: seed, Shards: shards, Src: rec})
+	return rec.Log, err
+}
+
+// ReplayResult is a replayed soak round: the replayer carries the
+// divergence state, SoakErr the round's invariant verdict.
+type ReplayResult struct {
+	Replayer *sim.Replayer
+	SoakErr  error
+}
+
+// RunReplayed re-runs a soak round forcing the recorded schedule.
+func RunReplayed(l *Log) (ReplayResult, error) {
+	s, ok := FindSoak(l.Header.Name)
+	if !ok {
+		return ReplayResult{}, fmt.Errorf("chaos: unknown soak %q in schedule log", l.Header.Name)
+	}
+	rep := sim.NewReplayer(l)
+	soakErr := s.Run(RunSpec{Seed: l.Header.Seed, Shards: l.Header.Shards, Src: rep})
+	return ReplayResult{Replayer: rep, SoakErr: soakErr}, nil
+}
+
+// Log re-exports sim.Log so soak tests can persist without importing
+// internal/sim directly.
+type Log = sim.Log
+
+// PersistFailure writes a failing soak round's recorded schedule under
+// dir (testdata/failures by convention) and returns the file path plus
+// the axsim command that replays it. The file name is
+// <soak>-<seed>.sched so reruns of the same failure overwrite rather
+// than accumulate.
+func PersistFailure(dir string, l *sim.Log) (path, replayCmd string, err error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", "", err
+	}
+	path = filepath.Join(dir, fmt.Sprintf("%s-%d.sched", l.Header.Name, l.Header.Seed))
+	if err := l.WriteFile(path); err != nil {
+		return "", "", err
+	}
+	return path, fmt.Sprintf("go run ./cmd/axsim replay -in %s", path), nil
+}
+
+// RecordFailure is the soak tests' on-failure hook: re-run the failed
+// (soak, seed, shards) round with a recorder, persist the schedule,
+// and return the replay command. The re-run is deterministic, so the
+// recorded schedule is the failing one.
+func RecordFailure(dir, soak string, seed int64, shards int) (string, error) {
+	s, ok := FindSoak(soak)
+	if !ok {
+		return "", fmt.Errorf("chaos: unknown soak %q", soak)
+	}
+	l, _ := RunRecorded(s, seed, shards)
+	path, cmd, err := PersistFailure(dir, l)
+	if err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("schedule persisted to %s; replay with: %s", path, cmd), nil
+}

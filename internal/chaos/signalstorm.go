@@ -55,6 +55,16 @@ type StormConfig struct {
 	// Observer, when non-nil, records the event stream for the
 	// masked-signal invariant check.
 	Observer *obs.Recorder
+	// Sim, when non-nil, routes every scheduling decision through the
+	// deterministic-simulation seam (record/replay, docs/SIMULATION.md).
+	Sim core.SimSource
+	// MaxSteps bounds the run (0 = unlimited), protecting replay of
+	// shrunk schedules from runaways.
+	MaxSteps uint64
+	// SchedSeed, when non-zero, seeds the scheduler independently of
+	// Seed (see chaos.Config.SchedSeed): the shrinking tooling's
+	// neutral-baseline knob.
+	SchedSeed int64
 }
 
 // DefaultStormConfig returns a moderate storm: enough signals that
@@ -101,9 +111,16 @@ func RunSignalStorm(cfg StormConfig) (StormReport, error) {
 	opts := core.DefaultOptions()
 	opts.RandomSched = true
 	opts.Seed = cfg.Seed
+	if cfg.SchedSeed != 0 {
+		opts.Seed = cfg.SchedSeed
+	}
 	opts.TimeSlice = 3
 	opts.Shards = cfg.Shards
 	opts.Observer = cfg.Observer
+	opts.Sim = cfg.Sim
+	if cfg.MaxSteps > 0 {
+		opts.MaxSteps = cfg.MaxSteps
+	}
 	sys := core.NewSystem(opts)
 
 	// One worker: WorkUnits bursts of unmasked redexes, each followed
@@ -198,10 +215,13 @@ func RunSignalStorm(cfg StormConfig) (StormReport, error) {
 
 	var rep StormReport
 	_, e, err := core.RunSystem(sys, prog)
-	if err != nil {
-		return rep, err
-	}
-	if e != nil {
+	if err != nil || e != nil {
+		st := sys.Stats()
+		rep.Steps = st.Steps
+		rep.KillsDelivered = st.Delivered
+		if err != nil {
+			return rep, err
+		}
 		return rep, fmt.Errorf("chaos: storm main died: %s", exc.Format(e))
 	}
 

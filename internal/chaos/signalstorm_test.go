@@ -37,6 +37,12 @@ func runStormSeeds(t *testing.T, seeds int, shards int) {
 		cfg.Observer = rec
 
 		rep, err := RunSignalStorm(cfg)
+		if err != nil || rep.Failed() {
+			// Persist the failing schedule for offline replay/shrinking.
+			if msg, perr := RecordFailure("testdata/failures", "signalstorm", seed, shards); perr == nil {
+				t.Log(msg)
+			}
+		}
 		if err != nil {
 			t.Fatalf("seed %d shards %d: %v", seed, shards, err)
 		}

@@ -380,6 +380,32 @@ func (n *Node) inject(f func(*sched.RT)) {
 	n.rt.External(f)
 }
 
+// injectFrame is inject for frame-driven work, labelled by (peer, seq)
+// so schedule record/replay can force the arrival order of concurrent
+// frames deterministically (docs/SIMULATION.md) instead of letting the
+// external-queue race decide.
+func (n *Node) injectFrame(l *link, seq uint64, f func(*sched.RT)) {
+	n.mu.Lock()
+	closed := n.closed
+	n.mu.Unlock()
+	if closed {
+		return
+	}
+	n.rt.ExternalLabeled(frameLabel(l.peer, seq), f)
+}
+
+// frameLabel derives a stable simulation label for a frame arrival:
+// FNV-64a over the peer id, folded with the link sequence number. The
+// low bit is forced so the label is never 0 (the "unlabelled" value).
+func frameLabel(peer NodeID, seq uint64) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(peer); i++ {
+		h ^= uint64(peer[i])
+		h *= 1099511628211
+	}
+	return (h ^ (seq << 1)) | 1
+}
+
 // linkDown removes a dead link and synthesizes the consequences: all
 // monitors held on that peer fire Down{NodeDown}, all pending
 // requests against it fail, and a KindLinkDown event is recorded.
@@ -547,7 +573,7 @@ func (n *Node) handleThrowTo(l *link, f frame) {
 	origin := string(l.peer)
 	wireSpan := f.span
 	n.Stats.RemoteThrows.Add(1)
-	n.inject(func(rt *sched.RT) {
+	n.injectFrame(l, f.seq, func(rt *sched.RT) {
 		rt.InterruptFromWire(tid, e, origin, wireSpan)
 	})
 }
@@ -589,7 +615,7 @@ func (n *Node) handleDown(l *link, f frame) {
 		return // demonitored, link-downed, or a duplicate that survived
 	}
 	d := Down{Ref: m.ref, Reason: DownReason(f.flag), Exc: f.exc}
-	n.inject(func(rt *sched.RT) {
+	n.injectFrame(l, f.seq, func(rt *sched.RT) {
 		rt.Spawn(core.Put(m.box, d).Node(), "cluster:down")
 	})
 }
@@ -619,7 +645,7 @@ func (n *Node) handleSpawn(l *link, f frame) {
 		return
 	}
 	service, ref := f.name, f.ref
-	n.inject(func(rt *sched.RT) {
+	n.injectFrame(l, f.seq, func(rt *sched.RT) {
 		tid := core.ThreadID(rt.Spawn(n.exportedBody(fn).Node(), "cluster:"+service))
 		n.exportTID(service, tid)
 		l.enqueue(frame{kind: fSpawnReply, ref: ref, flag: 1, tid: uint64(int64(tid))})

@@ -46,6 +46,10 @@ type RuntimeSchedule struct {
 	// cross-shard interleavings are nondeterministic, so each such run
 	// samples one more schedule from the semantics' set.
 	Shards int
+	// Sim, when non-nil, routes the run through the deterministic-
+	// simulation seam (sched.Options.Sim): internal/sim's mutation pass
+	// uses it to seed semantic bugs and verify this suite kills them.
+	Sim sched.SimSource
 }
 
 // RunRuntime compiles src and runs it on the real runtime under the
@@ -65,6 +69,7 @@ func RunRuntime(src, input string, sch RuntimeSchedule) (Outcome, error) {
 		RandomSched:    sch.Random,
 		Seed:           sch.Seed,
 		Shards:         sch.Shards,
+		Sim:            sch.Sim,
 	}
 	rt := sched.NewRT(opts)
 	rt.CloseInput()
@@ -120,20 +125,43 @@ func (v *Violation) Error() string {
 // Check verifies that every runtime schedule's outcome for src is in
 // the machine's outcome set.
 func Check(src, input string, schedules []RuntimeSchedule) error {
-	specRes, err := RunMachine(src, input)
+	prep, err := Prepare(src, input)
 	if err != nil {
 		return err
 	}
-	if specRes.Cutoff {
-		return fmt.Errorf("conformance: exploration of %q hit limits; shrink the program", src)
+	return prep.Check(schedules)
+}
+
+// Prepared caches a program's machine exploration so many runtime
+// schedules (internal/sim runs the corpus once per mutant) can be
+// checked without re-exploring the semantics each time.
+type Prepared struct {
+	Src   string
+	Input string
+	spec  machine.ExploreResult
+}
+
+// Prepare explores the machine's outcome set for src once.
+func Prepare(src, input string) (*Prepared, error) {
+	specRes, err := RunMachine(src, input)
+	if err != nil {
+		return nil, err
 	}
+	if specRes.Cutoff {
+		return nil, fmt.Errorf("conformance: exploration of %q hit limits; shrink the program", src)
+	}
+	return &Prepared{Src: src, Input: input, spec: specRes}, nil
+}
+
+// Check runs every schedule against the cached outcome set.
+func (p *Prepared) Check(schedules []RuntimeSchedule) error {
 	for _, sch := range schedules {
-		got, err := RunRuntime(src, input, sch)
+		got, err := RunRuntime(p.Src, p.Input, sch)
 		if err != nil {
-			return fmt.Errorf("runtime run of %q under %+v: %w", src, sch, err)
+			return fmt.Errorf("runtime run of %q under %+v: %w", p.Src, sch, err)
 		}
-		if _, ok := specRes.Outcomes[got.Key()]; !ok {
-			return &Violation{Src: src, Schedule: sch, Got: got, Allowed: specRes.OutcomeList()}
+		if _, ok := p.spec.Outcomes[got.Key()]; !ok {
+			return &Violation{Src: p.Src, Schedule: sch, Got: got, Allowed: p.spec.OutcomeList()}
 		}
 	}
 	return nil

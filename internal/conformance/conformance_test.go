@@ -4,119 +4,14 @@ import (
 	"testing"
 
 	"asyncexc/internal/conformance"
-	"asyncexc/internal/lambda"
 )
-
-// corpus is the differential-testing corpus: each program is explored
-// exhaustively by the machine and executed on the runtime under the
-// schedule battery; every runtime outcome must be allowed by the
-// semantics.
-var corpus = []struct {
-	name  string
-	src   string
-	input string
-}{
-	{"hello", `putChar 'h' >> putChar 'i'`, ""},
-	{"echo", `do { c <- getChar ; putChar c }`, "z"},
-	{"pure-result", `return (6 * 7)`, ""},
-	{"eval-raise", `putChar (raise #Boom)`, ""},
-	{"catch-sync", `catch (throw #Boom >>= \x -> return 0) (\e -> return 1)`, ""},
-	{"handle", `catch (return 1) (\e -> return 2)`, ""},
-	{"nested-catch", `catch (catch (throw #A) (\e -> throw #B)) (\e -> return 3)`, ""},
-	{"uncaught", `putChar 'a' >> throw #Boom`, ""},
-	{"mvar-handoff", `do { m <- newEmptyMVar ; forkIO (putMVar m 42) ; takeMVar m }`, ""},
-	{"mvar-two-phase", `do { m <- newEmptyMVar ; putMVar m 1 ; forkIO (putMVar m 2) ; a <- takeMVar m ; b <- takeMVar m ; return (a + b) }`, ""},
-	{"deadlock", `do { m <- newEmptyMVar ; takeMVar m }`, ""},
-	{"fork-output", `do { forkIO (putChar 'a') ; putChar 'b' ; sleep 1 ; return () }`, ""},
-	{"mask-return", `block (return 1) >>= \x -> return (x + 1)`, ""},
-	{"mask-throw", `catch (block (unblock (throw #X))) (\e -> return 9)`, ""},
-	{"my-thread-id", `myThreadId >>= \t -> return 5`, ""},
-	{"throwto-stuck", `
-		do { m <- newEmptyMVar ;
-		     done <- newEmptyMVar ;
-		     t <- forkIO (catch (takeMVar m >>= \x -> return ())
-		                        (\e -> putMVar done 7)) ;
-		     throwTo t #KillThread ;
-		     takeMVar done }`, ""},
-	{"throwto-dead", `do { t <- forkIO (return ()) ; sleep 5 ; throwTo t #X ; return 1 }`, ""},
-	{"masked-pair", `
-		do { m <- newEmptyMVar ;
-		     t <- forkIO (catch (block (putChar 'a' >> putChar 'b' >> putMVar m 0))
-		                        (\e -> putChar 'x' >> putMVar m 0)) ;
-		     throwTo t #KillThread ;
-		     takeMVar m }`, ""},
-	{"unsafe-lock", `
-		do { m <- newEmptyMVar ;
-		     putMVar m 100 ;
-		     t <- forkIO (do { a <- takeMVar m ;
-		                       b <- catch (return (a + 1))
-		                                  (\e -> putMVar m a >> throw e) ;
-		                       putMVar m b }) ;
-		     throwTo t #KillThread ;
-		     takeMVar m }`, ""},
-	{"safe-lock", `
-		do { m <- newEmptyMVar ;
-		     putMVar m 100 ;
-		     t <- forkIO (block (do { a <- takeMVar m ;
-		                              b <- catch (unblock (return (a + 1)))
-		                                         (\e -> putMVar m a >> throw e) ;
-		                              putMVar m b })) ;
-		     throwTo t #KillThread ;
-		     takeMVar m }`, ""},
-	{"self-throw", `catch (myThreadId >>= \t -> throwTo t #Me >> putChar 'a' >> putChar 'b') (\e -> putChar 'x')`, ""},
-	{"sleep-race", `do { forkIO (sleep 10 >> putChar 'a') ; putChar 'b' ; sleep 100 ; putChar 'c' }`, ""},
-	{"case-io", `case Just 3 of { Just x -> return (x * 2) ; Nothing -> throw #No }`, ""},
-	{"getchar-starves", `do { c <- getChar ; d <- getChar ; putChar d }`, "x"},
-	{"double-throwto", `
-		do { m <- newEmptyMVar ;
-		     t <- forkIO (catch (takeMVar m >>= \x -> return ())
-		                        (\e -> putMVar m 1)) ;
-		     throwTo t #A ;
-		     throwTo t #B ;
-		     takeMVar m }`, ""},
-	{"nested-masks", `
-		catch (block (block (unblock (block (throw #Deep))))) (\e -> return 4)`, ""},
-	{"interrupted-handler", `
-		do { m <- newEmptyMVar ;
-		     t <- forkIO (catch (takeMVar m >>= \x -> return ())
-		                        (\e -> putChar 'h' >> putMVar m 9)) ;
-		     throwTo t #A ;
-		     throwTo t #B ;
-		     sleep 5 ;
-		     return 0 }`, ""},
-	{"fork-in-block", `
-		do { m <- newEmptyMVar ;
-		     block (forkIO (putMVar m 3) >>= \t -> return ()) ;
-		     takeMVar m }`, ""},
-	{"throwto-self-masked", `
-		catch (myThreadId >>= \me ->
-		       block (throwTo me #Me >>= \_ -> putChar 'k' >>= \_ -> unblock (return 0)))
-		      (\e -> return 7)`, ""},
-	{"putchar-strict-raise", `putChar 'a' >> putChar (raise #Mid) >> putChar 'c'`, ""},
-	{"mvar-value-is-lazy", `
-		do { m <- newEmptyMVar ;
-		     putMVar m (raise #Latent) ;
-		     x <- takeMVar m ;
-		     return 5 }`, ""},
-	{"defs", `
-		def twice f x = f (f x) ;
-		def inc n = n + 1 ;
-		return (twice inc 40)`, ""},
-	{"prelude-either", lambda.Prelude + ` either (return 1) (return 2)`, ""},
-	{"prelude-finally", lambda.Prelude + ` finally (putChar 'a') (putChar 'b') >>= \_ -> return 0`, ""},
-	{"recursion", `
-		do { m <- newEmptyMVar ;
-		     forkIO (putMVar m 1 >> putMVar m 2) ;
-		     (rec loop -> \n -> if n == 0 then return 0
-		                        else takeMVar m >>= \v -> loop (n - 1) >>= \r -> return (v + r)) 2 }`, ""},
-}
 
 func TestRuntimeRefinesSemantics(t *testing.T) {
 	schedules := conformance.DefaultSchedules(25)
-	for _, p := range corpus {
+	for _, p := range conformance.Corpus() {
 		p := p
-		t.Run(p.name, func(t *testing.T) {
-			if err := conformance.Check(p.src, p.input, schedules); err != nil {
+		t.Run(p.Name, func(t *testing.T) {
+			if err := conformance.Check(p.Src, p.Input, schedules); err != nil {
 				t.Fatal(err)
 			}
 		})

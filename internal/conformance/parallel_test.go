@@ -35,10 +35,10 @@ func TestParallelRuntimeRefinesSemantics(t *testing.T) {
 	}
 	for _, shards := range []int{2, 4} {
 		schedules := parallelSchedules(shards, repeats)
-		for _, p := range corpus {
+		for _, p := range conformance.Corpus() {
 			p := p
-			t.Run(p.name, func(t *testing.T) {
-				if err := conformance.Check(p.src, p.input, schedules); err != nil {
+			t.Run(p.Name, func(t *testing.T) {
+				if err := conformance.Check(p.Src, p.Input, schedules); err != nil {
 					t.Fatal(err)
 				}
 			})

@@ -11,6 +11,11 @@ import (
 // re-exported for applications.
 type Options = sched.Options
 
+// SimSource is the deterministic-simulation decision seam re-exported
+// for callers wiring Options.Sim (see internal/sim and
+// docs/SIMULATION.md).
+type SimSource = sched.SimSource
+
 // DefaultOptions returns the paper defaults: preemptive scheduling
 // with 50-step slices, virtual clock, asynchronous throwTo, deadlock
 // detection enabled.

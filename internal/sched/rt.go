@@ -70,6 +70,13 @@ type Options struct {
 	// single-goroutine interpreter, which remains the default and the
 	// mode the machine/conformance suites check against.
 	Shards int
+	// Sim, when non-nil, routes every nondeterministic scheduling
+	// decision through the deterministic-simulation seam (see sim.go,
+	// internal/sim and docs/SIMULATION.md): decisions are observed
+	// (recording) or forced (replay), and with Shards > 1 the workers
+	// are replaced by a single-goroutine cooperative driver so the
+	// whole interleaving is deterministic. Requires the virtual clock.
+	Sim SimSource
 
 	// mailboxCap overrides the capacity of the per-shard cross-shard
 	// mailbox ring (default 1024). Unexported: only in-package stress
@@ -103,6 +110,12 @@ var (
 type RT struct {
 	opts Options
 
+	// simPick/simPerturb cache opts.Sim.Capabilities() so the hot
+	// paths can skip interface calls on seams the source never uses
+	// (a recorder neither forces picks nor perturbs seams).
+	simPick    bool
+	simPerturb bool
+
 	nextTID      ThreadID
 	nextMVarID   uint64
 	nextTimerSeq uint64
@@ -118,8 +131,15 @@ type RT struct {
 
 	rng *rand.Rand
 
-	events        chan func(*RT)
+	events        chan extEvent
 	outstandingIO int
+
+	// simExt holds externals drained from events but not yet applied:
+	// under simulation their application order is a recorded decision
+	// (PickExternal), so the drain buffers here first. simDrng is the
+	// simulation driver's own seeded decision stream (see simRng).
+	simExt  []extEvent
+	simDrng *simXorshift
 
 	stats Stats
 
@@ -211,9 +231,10 @@ func NewRT(opts Options) *RT {
 	rt := &RT{
 		opts:    opts,
 		threads: make(map[ThreadID]*Thread),
-		events:  make(chan func(*RT), opts.ExternalEvents),
+		events:  make(chan extEvent, opts.ExternalEvents),
 		rng:     rand.New(rand.NewSource(opts.Seed)),
 	}
+	rt.bindSimCaps()
 	rt.console = &console{rt: rt, in: []rune(opts.Stdin), mirror: opts.Stdout}
 	if opts.Shards > 1 {
 		rt.buildEngine()
@@ -271,24 +292,42 @@ func (rt *RT) MainThread() *Thread {
 	return rt.mainThread
 }
 
+// extEvent is one queued external callback. The label identifies the
+// event source for the deterministic-simulation log (0 = unlabeled):
+// replay uses it to restore the recorded application order when
+// several externals are buffered at once.
+type extEvent struct {
+	label uint64
+	f     func(*RT)
+}
+
 // External schedules f to run inside the scheduler loop. It is the
 // only safe way for other goroutines (I/O manager completions, signal
 // handlers, test drivers) to touch runtime state. It never blocks the
 // scheduler; it may block the caller when the queue is full. In
 // parallel mode the callback runs on shard 0.
 func (rt *RT) External(f func(*RT)) {
+	rt.ExternalLabeled(0, f)
+}
+
+// ExternalLabeled is External with a stable identifying label recorded
+// into simulation schedule logs (see docs/SIMULATION.md); cluster frame
+// dispatch labels injects by peer and sequence number so replay can
+// match arrival orders across runs.
+func (rt *RT) ExternalLabeled(label uint64, f func(*RT)) {
+	ev := extEvent{label: label, f: f}
 	if e := rt.eng; e != nil {
 		s0 := e.shards[0]
 		e.msgs.Add(1)
 		s0.extN.Add(1)
-		s0.events <- f
+		s0.events <- ev
 		if s0.idling.Load() {
 			s0.wake()
 		}
 		return
 	}
 	rt.extN.Add(1)
-	rt.events <- f
+	rt.events <- ev
 }
 
 // Spawn creates an unmasked thread running m with no parent and
@@ -378,6 +417,9 @@ func (rt *RT) enqueue(t *Thread) {
 // (the fair shuffle: a uniformly chosen queued thread is swapped to the
 // front and popped).
 func (rt *RT) nextRunnable() *Thread {
+	if s := rt.opts.Sim; s != nil {
+		return rt.nextRunnableSim(s)
+	}
 	for rt.runq.Len() > 0 {
 		if rt.opts.RandomSched {
 			rt.runq.swap(0, rt.rng.Intn(rt.runq.Len()))
@@ -400,11 +442,18 @@ func (rt *RT) RunMain(main Node) (Result, error) {
 	if rt.opts.Shards > 1 {
 		return rt.runParallel(main)
 	}
+	if rt.opts.Sim != nil && rt.opts.Clock == RealClock {
+		return Result{}, errSimRealClock
+	}
 	rt.realEpoch = time.Now()
 	rt.mainThread = rt.spawn(main, "main", Unmasked, 0)
 	for {
 		rt.obsFlush()
-		rt.drainExternal()
+		if rt.opts.Sim != nil {
+			rt.drainExternalSim(rt.opts.Sim)
+		} else {
+			rt.drainExternal()
+		}
 		if rt.opts.Clock == RealClock {
 			rt.syncRealClock()
 		}
@@ -415,6 +464,7 @@ func (rt *RT) RunMain(main Node) (Result, error) {
 				delete(rt.threads, id)
 			}
 			rt.obsFlush()
+			rt.simObserve(SimEvent{Kind: SimEnd, B: rt.stats.Steps})
 			return Result{Value: rt.mainThread.doneVal, Exc: rt.mainThread.doneExc}, nil
 		}
 		t := rt.kept
@@ -463,7 +513,10 @@ func (rt *RT) runSlice(t *Thread) error {
 			// enqueue/pop round trip (identical order: an empty queue
 			// would hand the same thread straight back). RandomSched is
 			// excluded so seeded runs draw exactly the same random
-			// numbers as the queue path.
+			// numbers as the queue path; under simulation that also
+			// keeps the bypass safe — round-robin picks emit no
+			// decision events, so the recorded stream is identical
+			// with or without it.
 			rt.kept = t
 		} else {
 			rt.enqueue(t)
@@ -490,10 +543,21 @@ func (rt *RT) step(t *Thread) {
 	// the install-race the conformance suite would otherwise find.
 	// It also subsumes rule (Receive)'s side condition M ≠ block N:
 	// a maskNode is never a delivery point.
-	if len(t.pending) > 0 && t.mask == Unmasked {
+	if rt.opts.Sim != nil && len(t.sigs) > 0 && len(t.pending) > 0 &&
+		t.mask == Unmasked && rt.simSignalFirst(t) {
+		// Mutation seam (IpSignalFirst): deliver a queued signal AHEAD
+		// of a pending exception — a seeded bug (exceptions must
+		// strictly win) the mutation-testing suite has to catch.
+		switch t.cur.(type) {
+		case primNode, retNode:
+			rt.deliverSignal(t)
+		}
+	}
+
+	if len(t.pending) > 0 && (t.mask == Unmasked || rt.simDeliverMasked(t)) {
 		switch t.cur.(type) {
 		case primNode, retNode, throwNode:
-			p := t.dequeuePending()
+			p := rt.simDequeuePending(t)
 			rt.noteDelivered(t, p, false)
 			t.cur = throwNode{p.e}
 		}
@@ -657,6 +721,11 @@ func (rt *RT) finish(t *Thread, v any, e exc.Exception) {
 // return v. Used by MVar handoff, timers, console input and await
 // completions.
 func (rt *RT) unparkWithValue(t *Thread, v any) {
+	if rt.opts.Sim != nil && rt.simDropUnpark(t) {
+		// Mutation seam (IpDropUnpark): lose the wakeup; the thread
+		// stays parked forever. Seeded bug for the mutation suite.
+		return
+	}
 	rt.obsUnpark(t)
 	t.status = statusRunnable
 	t.park = parkInfo{}
@@ -837,7 +906,7 @@ func (rt *RT) deliverLocal(t *Thread, p pendingExc) bool {
 		rt.wakeWaiter(p)
 		return true
 	}
-	if t.status == statusParked && t.mask.Interruptible() {
+	if t.status == statusParked && t.mask.Interruptible() && !rt.simNoInterrupt(t) {
 		rt.interruptStuck(t, p, true)
 		return true
 	}
@@ -850,6 +919,9 @@ func (rt *RT) deliverLocal(t *Thread, p pendingExc) bool {
 // an interruptible operation about to wait (§5.3, the in-step analogue
 // of rule Interrupt) from rule (Receive) at an unmasked redex boundary.
 func (rt *RT) noteDelivered(t *Thread, p pendingExc, interrupted bool) {
+	if rt.opts.Sim != nil {
+		rt.opts.Sim.Observe(SimEvent{Kind: SimDeliver, Shard: uint8(rt.shardID), A: SimHash(p.e.ExceptionName()), B: uint64(t.id)})
+	}
 	rt.stats.Delivered++
 	rt.wakeWaiter(p)
 	rt.trace(EvDeliver{Thread: t.id, Exc: p.e, Interrupted: interrupted, StepNo: rt.stats.Steps})
@@ -879,9 +951,11 @@ func (rt *RT) throwTo(from *Thread, tid ThreadID, e exc.Exception) (Node, bool) 
 	if target == from {
 		return rt.throwToSelf(from, e)
 	}
-	if target.status == statusParked && target.mask.Interruptible() {
+	if target.status == statusParked && target.mask.Interruptible() && !rt.simNoInterrupt(target) {
 		// Rule (Interrupt): stuck threads receive the exception at
-		// once, in any context.
+		// once, in any context. The simNoInterrupt mutation seam can
+		// suppress this rule (the exception queues instead) — a seeded
+		// bug the mutation-testing suite has to catch.
 		span, enqNS := rt.obsEnqueue(tid, from.id, e, uint8(from.mask), 0)
 		rt.interruptStuck(target, pendingExc{e: e, span: span, enqNS: enqNS}, false)
 		return retNode{UnitValue}, false
@@ -969,6 +1043,9 @@ func (rt *RT) throwToShard(from *Thread, tid ThreadID, e exc.Exception) (Node, b
 // noteDeliveredDirect records an (Interrupt)-path delivery that did not
 // go through the pending queue.
 func (rt *RT) noteDeliveredDirect(t *Thread, p pendingExc) {
+	if rt.opts.Sim != nil {
+		rt.opts.Sim.Observe(SimEvent{Kind: SimDeliver, Shard: uint8(rt.shardID), A: SimHash(p.e.ExceptionName()), B: uint64(t.id)})
+	}
 	rt.stats.Delivered++
 	rt.trace(EvDeliver{Thread: t.id, Exc: p.e, Interrupted: true, StepNo: rt.stats.Steps})
 	rt.obsDeliver(t, p, obs.FlagInterrupt)
@@ -990,9 +1067,9 @@ func (rt *RT) drainExternal() {
 	}
 	for {
 		select {
-		case f := <-rt.events:
+		case ev := <-rt.events:
 			rt.extN.Add(-1)
-			f(rt)
+			ev.f(rt)
 		default:
 			return
 		}
@@ -1018,16 +1095,24 @@ func (rt *RT) idle() error {
 			// Jump time forward (the fastest clock rule (Sleep)
 			// permits).
 			rt.trace(EvTimeAdvance{FromNS: rt.now, ToNS: at})
+			rt.simObserve(SimEvent{Kind: SimAdvance, B: uint64(at)})
 			rt.stats.TimeAdvances++
 			rt.now = at
 			rt.fireTimersUpTo(at)
 			return nil
 		}
 		if rt.outstandingIO > 0 || (len(rt.console.readers) > 0 && !rt.console.closed) {
-			// Block for an external completion or injected input.
-			f := <-rt.events
+			// Block for an external completion or injected input. Under
+			// simulation the event is only buffered: its application
+			// order is a recorded decision, taken by drainExternalSim at
+			// the top of the scheduler loop.
+			ev := <-rt.events
 			rt.extN.Add(-1)
-			f(rt)
+			if rt.opts.Sim != nil {
+				rt.simExt = append(rt.simExt, ev)
+				return nil
+			}
+			ev.f(rt)
 			return nil
 		}
 		return rt.deadlock()
@@ -1044,17 +1129,17 @@ func (rt *RT) idle() error {
 			if rt.outstandingIO == 0 && !(len(rt.console.readers) > 0 && !rt.console.closed) {
 				return rt.deadlock()
 			}
-			f := <-rt.events
+			ev := <-rt.events
 			rt.extN.Add(-1)
-			f(rt)
+			ev.f(rt)
 			return nil
 		}
 		timer := time.NewTimer(wait)
 		select {
-		case f := <-rt.events:
+		case ev := <-rt.events:
 			timer.Stop()
 			rt.extN.Add(-1)
-			f(rt)
+			ev.f(rt)
 		case <-timer.C:
 		}
 		return nil

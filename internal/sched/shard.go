@@ -309,6 +309,7 @@ func (rt *RT) buildEngine() {
 			rng:     rand.New(rand.NewSource(e.opts.Seed + int64(uint64(i)*0x9E3779B97F4A7C15))),
 		}
 		s.console = rt.console
+		s.bindSimCaps()
 		e.shards[i] = s
 	}
 	rt.opts = e.opts
@@ -331,6 +332,11 @@ func (rt *RT) buildEngine() {
 // built by NewRT.
 func (rt *RT) runParallel(main Node) (Result, error) {
 	e := rt.eng
+	if e.opts.Sim != nil {
+		// Deterministic simulation: no worker goroutines — a single
+		// cooperative driver interleaves the shards (sim.go).
+		return rt.runSimulated(main)
+	}
 	n := len(e.shards)
 	e.realEpoch = time.Now()
 	rt.realEpoch = e.realEpoch
@@ -427,9 +433,9 @@ func (rt *RT) publishStats() {
 func (rt *RT) drainExternalShard() {
 	for {
 		select {
-		case f := <-rt.events:
+		case ev := <-rt.events:
 			rt.extN.Add(-1)
-			f(rt)
+			ev.f(rt)
 			rt.eng.msgs.Add(-1)
 		default:
 			return
@@ -523,6 +529,13 @@ func (rt *RT) ownedState(t *Thread) (threadStatus, parkInfo, bool) {
 // applyMsg handles one mailbox message on the owning shard.
 func (rt *RT) applyMsg(m shardMsg) {
 	e := rt.eng
+	if s := rt.opts.Sim; s != nil {
+		var tid ThreadID
+		if m.t != nil {
+			tid = m.t.id
+		}
+		s.Observe(SimEvent{Kind: SimMsg, Shard: uint8(rt.shardID), A: uint32(m.kind), B: uint64(tid)})
+	}
 	switch m.kind {
 	case msgThrowTo:
 		if !rt.deliverLocal(m.t, pendingExc{e: m.e, waiter: m.waiter, waiterSeq: m.waiterSeq, span: m.span, enqNS: m.enqNS}) {
@@ -757,7 +770,7 @@ func (rt *RT) runSliceShard(t *Thread) {
 	}
 	if t.status == statusRunnable {
 		rt.stats.Preemptions++
-		if rt.qlen.Load() == 0 && !rt.opts.RandomSched {
+		if rt.qlen.Load() == 0 && !rt.opts.RandomSched && rt.opts.Sim == nil {
 			// Run-queue bypass: the shard's sole runnable thread stays
 			// in hand for the next slice instead of round-tripping
 			// through the locked queue. It remains the shard's thread

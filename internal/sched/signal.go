@@ -133,6 +133,9 @@ func (rt *RT) deliverSignal(t *Thread) {
 	copy(t.sigs, t.sigs[1:])
 	t.sigs[len(t.sigs)-1] = pendingSig{}
 	t.sigs = t.sigs[:len(t.sigs)-1]
+	if sim := rt.opts.Sim; sim != nil {
+		sim.Observe(SimEvent{Kind: SimSignal, Shard: uint8(rt.shardID), A: SimHash(s.sig.Name), B: uint64(t.id)})
+	}
 	h := t.sigHandlers[s.sig.Name]
 	if h == nil {
 		rt.stats.SignalsDropped++

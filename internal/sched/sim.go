@@ -1,0 +1,607 @@
+package sched
+
+import (
+	"errors"
+	"time"
+)
+
+// This file is the runtime half of the deterministic-simulation
+// subsystem (internal/sim, docs/SIMULATION.md): a seam through which
+// every scheduling decision the runtime makes — run-queue picks, shard
+// turns, steal victims, timer firings, external-event order — can be
+// observed (recording) or forced (replay), plus a small set of
+// interpose points the mutation-testing pass uses to seed semantic
+// bugs at the paper's delivery points.
+//
+// Two execution modes exist under Options.Sim:
+//
+//   - Serial (Shards <= 1): the ordinary interpreter loop runs, with
+//     each nondeterministic choice routed through the SimSource. A
+//     recording source returns -1 from every Pick ("runtime decides"),
+//     so a recorded run draws exactly the same seeded random numbers
+//     as an unrecorded one and is bit-for-bit identical to it.
+//   - Simulated parallel (Shards > 1): instead of spawning worker
+//     goroutines, runSimulated drives all shards from ONE goroutine,
+//     one bounded turn at a time. Shard state (run queues, mailboxes,
+//     ownership, the message protocol) is exactly the real engine's;
+//     only the interleaving is produced by the driver, which makes a
+//     seeded multi-shard chaos run fully deterministic and therefore
+//     recordable and replayable.
+//
+// The seam costs nothing when Options.Sim is nil: every hook is a
+// nil-check short-circuit (gated by the S2 recording-overhead table).
+
+// SimKind tags a SimEvent; the values are the on-disk record kinds of
+// internal/sim's schedule log and must not be renumbered.
+type SimKind uint8
+
+const (
+	// SimPickShard: the driver gave a turn to Shard; A is the bitmask
+	// of shards that were candidates. Emitted only when more than one
+	// shard was a candidate.
+	SimPickShard SimKind = 1
+	// SimPickRun: a random-scheduler run-queue pick on Shard; A is the
+	// queue length, B the chosen index.
+	SimPickRun SimKind = 2
+	// SimSteal: a steal attempt by Shard; A is the victim candidate
+	// bitmask, B packs (victim+1)<<48 | stolen thread id (0 = failed).
+	SimSteal SimKind = 3
+	// SimAdvance: the virtual clock jumped to B nanoseconds.
+	SimAdvance SimKind = 4
+	// SimExternal: an external event with label B was applied on Shard;
+	// A is how many events were buffered when it was chosen.
+	SimExternal SimKind = 5
+	// SimMsg: a cross-shard mailbox message was applied on Shard; A is
+	// the message kind, B the target thread id.
+	SimMsg SimKind = 6
+	// SimDeliver: an asynchronous exception was raised in thread B on
+	// Shard; A is an FNV-32a hash of the exception name.
+	SimDeliver SimKind = 7
+	// SimSignal: a non-lethal signal was delivered to thread B on
+	// Shard; A is an FNV-32a hash of the signal name.
+	SimSignal SimKind = 8
+	// SimEnd: the run completed; B is the total step count.
+	SimEnd SimKind = 9
+)
+
+// String renders a SimKind.
+func (k SimKind) String() string {
+	switch k {
+	case SimPickShard:
+		return "shard"
+	case SimPickRun:
+		return "pick"
+	case SimSteal:
+		return "steal"
+	case SimAdvance:
+		return "advance"
+	case SimExternal:
+		return "external"
+	case SimMsg:
+		return "msg"
+	case SimDeliver:
+		return "deliver"
+	case SimSignal:
+		return "signal"
+	case SimEnd:
+		return "end"
+	default:
+		return "?"
+	}
+}
+
+// SimEvent is one observed scheduling decision or delivery: a fixed,
+// pointer-free record (the obs.Event discipline) that doubles as the
+// schedule log's on-disk record shape.
+type SimEvent struct {
+	Kind  SimKind
+	Shard uint8
+	A     uint32
+	B     uint64
+}
+
+// InterposePoint names a semantic seam the mutation-testing pass can
+// perturb (see internal/sim's mutant catalogue).
+type InterposePoint uint8
+
+const (
+	// IpPendingIndex: which pending exception to dequeue at a delivery
+	// point. Return an index (0 = FIFO front, the correct behavior);
+	// -1 keeps the default.
+	IpPendingIndex InterposePoint = 1
+	// IpDeliverMasked: return 1 to deliver a pending exception at a
+	// masked redex (violates rule (Receive)'s side condition).
+	IpDeliverMasked InterposePoint = 2
+	// IpDropUnpark: return 1 to drop a wakeup (the unparked thread
+	// stays parked forever).
+	IpDropUnpark InterposePoint = 3
+	// IpNoInterrupt: return 1 to queue an exception for a stuck
+	// interruptible target instead of applying rule (Interrupt).
+	IpNoInterrupt InterposePoint = 4
+	// IpSignalFirst: return 1 to deliver a queued signal ahead of a
+	// pending exception (exceptions must strictly win).
+	IpSignalFirst InterposePoint = 5
+)
+
+// SimCaps advertises which decision seams a SimSource actually uses.
+// The scheduler caches the answer at startup and skips interface calls
+// on unused seams in its hot paths: a passive recorder pays only the
+// Observe appends, not a Pick* round trip per run-queue draw plus an
+// Interpose round trip per delivery and unpark.
+type SimCaps uint8
+
+const (
+	// SimCapPick: the source may force Pick* decisions (replayers).
+	SimCapPick SimCaps = 1 << iota
+	// SimCapInterpose: the source may perturb semantic seams (mutants).
+	SimCapInterpose
+
+	// SimCapAll is the safe default: consult every seam.
+	SimCapAll = SimCapPick | SimCapInterpose
+)
+
+// SimSource is the decision seam consulted when Options.Sim is set.
+// Pick methods may force a choice or return -1 to let the runtime use
+// its live (seeded) policy; Observe receives every decision actually
+// taken, in execution order. A recorder returns -1 everywhere and
+// appends in Observe; a replayer forces the logged values and uses
+// Observe to detect divergence. Interpose is the mutation seam: the
+// default (-1, or 0 for IpPendingIndex) is always the correct
+// semantics.
+//
+// All methods are called from the scheduler goroutine only (the serial
+// interpreter or the simulation driver): implementations need no
+// locking.
+type SimSource interface {
+	// PickShard chooses the next shard to run a turn; candidates is a
+	// bitmask of eligible shards. -1 = driver's seeded choice.
+	PickShard(candidates uint32) int
+	// PickRun chooses the run-queue index to pop on shard (random
+	// scheduler only). -1 = the runtime's seeded draw.
+	PickRun(shard, qlen int) int
+	// PickSteal chooses a steal victim for thief; candidates is a
+	// bitmask of shards with queued work. -1 = seeded choice, -2 = do
+	// not steal this turn.
+	PickSteal(thief int, candidates uint32) int
+	// PickExternal orders buffered external events; labels are the
+	// events' labels in arrival order. -1 = FIFO.
+	PickExternal(labels []uint64) int
+	// Observe receives every decision and delivery, in order.
+	Observe(ev SimEvent)
+	// Interpose perturbs a semantic seam (mutation testing); return -1
+	// for the correct behavior.
+	Interpose(pt InterposePoint, t *Thread) int
+	// Capabilities reports which seams the source uses; the scheduler
+	// never calls Pick* without SimCapPick or Interpose without
+	// SimCapInterpose. Observe is always called.
+	Capabilities() SimCaps
+}
+
+// DefaultSource is a SimSource that changes nothing: every Pick defers
+// to the runtime, Observe discards, Interpose keeps the correct
+// semantics. Embed it to implement only the methods a source cares
+// about.
+type DefaultSource struct{}
+
+// PickShard defers to the driver's seeded choice.
+func (DefaultSource) PickShard(uint32) int { return -1 }
+
+// PickRun defers to the runtime's seeded draw.
+func (DefaultSource) PickRun(int, int) int { return -1 }
+
+// PickSteal defers to the runtime's seeded choice.
+func (DefaultSource) PickSteal(int, uint32) int { return -1 }
+
+// PickExternal keeps arrival order.
+func (DefaultSource) PickExternal([]uint64) int { return -1 }
+
+// Observe discards the event.
+func (DefaultSource) Observe(SimEvent) {}
+
+// Interpose keeps the correct semantics.
+func (DefaultSource) Interpose(InterposePoint, *Thread) int { return -1 }
+
+// Capabilities claims every seam: the safe default. A source that
+// overrides a seam method but narrows its capabilities would silently
+// never be consulted, so only observe-only sources (recorders) should
+// override this.
+func (DefaultSource) Capabilities() SimCaps { return SimCapAll }
+
+// SimHash is the FNV-32a hash SimDeliver/SimSignal records carry for
+// exception and signal names (pointer-free, stable across runs).
+func SimHash(s string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h
+}
+
+// errSimRealClock rejects simulation under the real clock: wall time
+// is inherently nondeterministic, so recorded schedules could never
+// replay.
+var errSimRealClock = errors.New("sched: simulation mode requires the virtual clock")
+
+// simObserve forwards ev to the configured source, if any.
+func (rt *RT) simObserve(ev SimEvent) {
+	if s := rt.opts.Sim; s != nil {
+		s.Observe(ev)
+	}
+}
+
+// bindSimCaps caches the source's capability mask on this RT (shards
+// cache it too — see buildEngine).
+func (rt *RT) bindSimCaps() {
+	if s := rt.opts.Sim; s != nil {
+		caps := s.Capabilities()
+		rt.simPick = caps&SimCapPick != 0
+		rt.simPerturb = caps&SimCapInterpose != 0
+	}
+}
+
+// simDeliverMasked consults the IpDeliverMasked mutation seam.
+func (rt *RT) simDeliverMasked(t *Thread) bool {
+	return rt.simPerturb && rt.opts.Sim.Interpose(IpDeliverMasked, t) == 1
+}
+
+// simSignalFirst consults the IpSignalFirst mutation seam.
+func (rt *RT) simSignalFirst(t *Thread) bool {
+	return rt.simPerturb && rt.opts.Sim.Interpose(IpSignalFirst, t) == 1
+}
+
+// simNoInterrupt consults the IpNoInterrupt mutation seam.
+func (rt *RT) simNoInterrupt(t *Thread) bool {
+	return rt.simPerturb && rt.opts.Sim.Interpose(IpNoInterrupt, t) == 1
+}
+
+// simDropUnpark consults the IpDropUnpark mutation seam.
+func (rt *RT) simDropUnpark(t *Thread) bool {
+	return rt.simPerturb && rt.opts.Sim.Interpose(IpDropUnpark, t) == 1
+}
+
+// simDequeuePending dequeues the pending exception to deliver:
+// FIFO front, unless the IpPendingIndex mutation seam forces another
+// index.
+func (rt *RT) simDequeuePending(t *Thread) pendingExc {
+	if s := rt.opts.Sim; rt.simPerturb && s != nil && len(t.pending) > 1 {
+		if i := s.Interpose(IpPendingIndex, t); i > 0 && i < len(t.pending) {
+			return t.dequeuePendingAt(i)
+		}
+	}
+	return t.dequeuePending()
+}
+
+// nextRunnableSim is the serial nextRunnable with the pick routed
+// through the source: under RandomSched the source may force the
+// fair-shuffle index (replay), and every pick actually taken is
+// observed (recording). A -1 answer draws the runtime's own seeded
+// rng, exactly as the unrecorded scheduler would.
+func (rt *RT) nextRunnableSim(src SimSource) *Thread {
+	for rt.runq.Len() > 0 {
+		if rt.opts.RandomSched {
+			qlen := rt.runq.Len()
+			idx := -1
+			if rt.simPick {
+				idx = src.PickRun(0, qlen)
+			}
+			if idx < 0 || idx >= qlen {
+				idx = rt.rng.Intn(qlen)
+			}
+			rt.runq.swap(0, idx)
+			src.Observe(SimEvent{Kind: SimPickRun, A: uint32(qlen), B: uint64(idx)})
+		}
+		t := rt.runq.popFront()
+		if t.status == statusRunnable {
+			return t
+		}
+	}
+	return nil
+}
+
+// drainExternalSim drains queued external events into the hold-back
+// buffer and applies them in source-chosen order (replay forces the
+// recorded arrival order; recording keeps FIFO and logs the labels).
+func (rt *RT) drainExternalSim(src SimSource) {
+	// Fast path: nothing queued and nothing held back. The serial loop
+	// calls this every iteration, so the empty case must be an atomic
+	// load, not a channel select (mirrors drainExternal).
+	if rt.extN.Load() == 0 && len(rt.simExt) == 0 {
+		return
+	}
+	for {
+		for {
+			select {
+			case ev := <-rt.events:
+				rt.extN.Add(-1)
+				rt.simExt = append(rt.simExt, ev)
+				continue
+			default:
+			}
+			break
+		}
+		if len(rt.simExt) == 0 {
+			return
+		}
+		idx := 0
+		if rt.simPick && len(rt.simExt) > 1 {
+			labels := make([]uint64, len(rt.simExt))
+			for i := range rt.simExt {
+				labels[i] = rt.simExt[i].label
+			}
+			if p := src.PickExternal(labels); p >= 0 && p < len(rt.simExt) {
+				idx = p
+			}
+		}
+		n := len(rt.simExt)
+		ev := rt.simExt[idx]
+		copy(rt.simExt[idx:], rt.simExt[idx+1:])
+		rt.simExt[len(rt.simExt)-1] = extEvent{}
+		rt.simExt = rt.simExt[:len(rt.simExt)-1]
+		src.Observe(SimEvent{Kind: SimExternal, Shard: uint8(rt.shardID), A: uint32(n), B: ev.label})
+		ev.f(rt)
+		if rt.eng != nil {
+			rt.eng.msgs.Add(-1)
+		}
+	}
+}
+
+// runSimulated is RunMain for Options.Shards > 1 with a SimSource: the
+// cooperative simulation driver. All shards are driven from this one
+// goroutine, a turn at a time — drain externals and mailbox, pop (or
+// steal) one thread, run one slice — with every choice routed through
+// the source. The shard data structures and the cross-shard message
+// protocol are exactly the live engine's; only the interleaving comes
+// from the driver, so a seeded run is fully deterministic.
+func (rt *RT) runSimulated(main Node) (Result, error) {
+	e := rt.eng
+	src := e.opts.Sim
+	if e.opts.Clock == RealClock {
+		return Result{}, errSimRealClock
+	}
+	if len(e.shards) > 32 {
+		return Result{}, errors.New("sched: simulation mode supports at most 32 shards")
+	}
+	e.realEpoch = time.Now()
+	rt.realEpoch = e.realEpoch
+	e.mainThread = rt.spawn(main, "main", Unmasked, 0)
+	rt.mainThread = e.mainThread
+	cands := make([]int, 0, len(e.shards))
+	for !e.stopped.Load() {
+		// A shard is a candidate for a turn when it has work of its own
+		// (queued threads, mailbox messages, shard-0 externals) or could
+		// steal (someone has queued threads and it has none) — the same
+		// conditions that keep a live worker out of idleShard.
+		anyQ := false
+		for _, s := range e.shards {
+			if s.qlen.Load() > 0 {
+				anyQ = true
+				break
+			}
+		}
+		var mask uint32
+		cands = cands[:0]
+		for i, s := range e.shards {
+			q := s.qlen.Load() > 0
+			ready := q || s.mailN.Load() > 0 ||
+				(i == 0 && (s.extN.Load() > 0 || len(s.simExt) > 0)) ||
+				(anyQ && !q)
+			if ready {
+				mask |= 1 << uint(i)
+				cands = append(cands, i)
+			}
+		}
+		if len(cands) == 0 {
+			if err := rt.simQuiesce(); err != nil {
+				for _, s := range e.shards {
+					s.publishStats()
+					s.obsFlush()
+				}
+				e.table.clear()
+				return Result{}, err
+			}
+			continue
+		}
+		pick := cands[0]
+		if len(cands) > 1 {
+			pick = -1
+			if rt.simPick {
+				pick = src.PickShard(mask)
+			}
+			if pick < 0 || pick >= len(e.shards) || mask&(1<<uint(pick)) == 0 {
+				pick = cands[rt.simRng().Intn(len(cands))]
+			}
+			src.Observe(SimEvent{Kind: SimPickShard, Shard: uint8(pick), A: mask})
+		}
+		e.shards[pick].simTurn()
+	}
+	var steps uint64
+	for _, s := range e.shards {
+		s.publishStats()
+		s.obsFlush()
+		steps += s.statsSnap.Steps
+	}
+	e.table.clear()
+	if e.runErr != nil {
+		return Result{}, e.runErr
+	}
+	src.Observe(SimEvent{Kind: SimEnd, B: steps})
+	return e.result, nil
+}
+
+// simRng is the driver's own decision stream: shard 0's rng would also
+// be consumed by run-queue picks, so the driver derives a separate
+// seeded stream the first time it is needed.
+func (rt *RT) simRng() *simXorshift {
+	if rt.simDrng == nil {
+		s := uint64(rt.opts.Seed) ^ 0x736861726473696d
+		if s == 0 {
+			s = 0x9e3779b97f4a7c15
+		}
+		rt.simDrng = &simXorshift{s: s}
+	}
+	return rt.simDrng
+}
+
+// simXorshift is the driver's tiny seeded PRNG (xorshift64).
+type simXorshift struct{ s uint64 }
+
+// Intn returns a value in [0, n).
+func (r *simXorshift) Intn(n int) int {
+	r.s ^= r.s << 13
+	r.s ^= r.s >> 7
+	r.s ^= r.s << 17
+	return int(r.s % uint64(n))
+}
+
+// simTurn runs one bounded turn on this shard: apply pending externals
+// and mailbox messages, then run one time slice of local (or stolen)
+// work. Mirrors one workerLoop iteration.
+func (rt *RT) simTurn() {
+	src := rt.opts.Sim
+	if rt.shardID == 0 && (rt.extN.Load() > 0 || len(rt.simExt) > 0) {
+		rt.drainExternalSim(src)
+	}
+	if rt.mailN.Load() > 0 {
+		rt.processMailbox()
+	}
+	t := rt.popLocalSim(src)
+	if t == nil {
+		t = rt.stealSim(src)
+	}
+	if t == nil {
+		return
+	}
+	rt.runSliceShard(t)
+	rt.obsFlush()
+}
+
+// popLocalSim is popLocal with the random-scheduler pick routed through
+// the source (forced on replay, observed when recording).
+func (rt *RT) popLocalSim(src SimSource) *Thread {
+	if rt.qlen.Load() == 0 {
+		return nil
+	}
+	rt.smu.Lock()
+	for rt.runq.Len() > 0 {
+		if rt.opts.RandomSched {
+			qlen := rt.runq.Len()
+			idx := -1
+			if rt.simPick {
+				idx = src.PickRun(rt.shardID, qlen)
+			}
+			if idx < 0 || idx >= qlen {
+				idx = rt.rng.Intn(qlen)
+			}
+			rt.runq.swap(0, idx)
+			src.Observe(SimEvent{Kind: SimPickRun, Shard: uint8(rt.shardID), A: uint32(qlen), B: uint64(idx)})
+		}
+		t := rt.runq.popFront()
+		rt.qlen.Store(int32(rt.runq.Len()))
+		rt.eng.runnable.Add(-1)
+		if t.status == statusRunnable {
+			rt.smu.Unlock()
+			return t
+		}
+	}
+	rt.smu.Unlock()
+	return nil
+}
+
+// stealSim is steal for the simulation driver: the victim comes from
+// the source (or this shard's seeded rng), and the attempt — success
+// or pinned-tail failure — is observed.
+func (rt *RT) stealSim(src SimSource) *Thread {
+	e := rt.eng
+	var mask uint32
+	nc := 0
+	for i, s := range e.shards {
+		if s != rt && s.qlen.Load() > 0 {
+			mask |= 1 << uint(i)
+			nc++
+		}
+	}
+	if nc == 0 {
+		return nil
+	}
+	pick := -1
+	if rt.simPick {
+		pick = src.PickSteal(rt.shardID, mask)
+		if pick == -2 {
+			return nil
+		}
+	}
+	if pick < 0 || pick >= len(e.shards) || mask&(1<<uint(pick)) == 0 {
+		k := rt.rng.Intn(nc)
+		for i := range e.shards {
+			if mask&(1<<uint(i)) != 0 {
+				if k == 0 {
+					pick = i
+					break
+				}
+				k--
+			}
+		}
+	}
+	v := e.shards[pick]
+	v.smu.Lock()
+	t := v.runq.popBack()
+	if t != nil && t.pinned {
+		v.runq.pushBack(t)
+		t = nil
+	}
+	var tid uint64
+	if t != nil {
+		v.qlen.Store(int32(v.runq.Len()))
+		t.owner.Store(rt)
+		t.rt = rt
+		tid = uint64(t.id)
+	}
+	v.smu.Unlock()
+	src.Observe(SimEvent{Kind: SimSteal, Shard: uint8(rt.shardID), A: mask, B: uint64(pick+1)<<48 | tid})
+	if t == nil {
+		return nil
+	}
+	e.runnable.Add(-1)
+	rt.stats.Steals++
+	rt.trace(EvSteal{Thread: t.id, From: v.shardID, To: rt.shardID})
+	rt.obsSteal(t, v.shardID, rt.shardID)
+	return t
+}
+
+// simQuiesce handles the no-candidate state: advance the virtual clock
+// to the next timer, wait for an external completion, or declare
+// deadlock — the driver-side mirror of quiesceLocked.
+func (rt *RT) simQuiesce() error {
+	e := rt.eng
+	if e.outstandingIO.Load() == 0 {
+		if at, ok := e.earliestTimer(); ok {
+			from := e.now.Load()
+			e.now.Store(at)
+			rt.stats.TimeAdvances++
+			rt.trace(EvTimeAdvance{FromNS: from, ToNS: at})
+			rt.simObserve(SimEvent{Kind: SimAdvance, B: uint64(at)})
+			rt.fireAllTimers(at)
+			return nil
+		}
+	}
+	if e.outstandingIO.Load() > 0 || rt.console.waitingReaders() {
+		// Completions arrive from real goroutines (I/O manager, cluster
+		// links) as mailbox messages or external events; poll for one.
+		// The wait itself is not a scheduling decision and is not
+		// recorded — only the chosen application order is.
+		for !e.stopped.Load() {
+			for _, s := range e.shards {
+				if s.mailN.Load() > 0 || s.extN.Load() > 0 {
+					return nil
+				}
+			}
+			if e.outstandingIO.Load() == 0 && !rt.console.waitingReaders() {
+				return nil
+			}
+			time.Sleep(20 * time.Microsecond)
+		}
+		return nil
+	}
+	return rt.parallelDeadlock()
+}

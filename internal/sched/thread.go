@@ -266,8 +266,15 @@ func (t *Thread) top() frame {
 
 // dequeuePending removes and returns the first pending exception.
 func (t *Thread) dequeuePending() pendingExc {
-	p := t.pending[0]
-	copy(t.pending, t.pending[1:])
+	return t.dequeuePendingAt(0)
+}
+
+// dequeuePendingAt removes and returns the i-th pending exception.
+// Index 0 (FIFO front) is the correct semantics; other indices exist
+// only for the IpPendingIndex mutation seam (see sim.go).
+func (t *Thread) dequeuePendingAt(i int) pendingExc {
+	p := t.pending[i]
+	copy(t.pending[i:], t.pending[i+1:])
 	t.pending[len(t.pending)-1] = pendingExc{}
 	t.pending = t.pending[:len(t.pending)-1]
 	return p
@@ -282,7 +289,7 @@ func (t *Thread) raisePendingForPark() (Node, bool) {
 	if len(t.pending) == 0 || !t.mask.Interruptible() {
 		return nil, false
 	}
-	p := t.dequeuePending()
+	p := t.rt.simDequeuePending(t)
 	t.rt.noteDelivered(t, p, true)
 	return throwNode{p.e}, true
 }

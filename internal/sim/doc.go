@@ -1,0 +1,33 @@
+// Package sim is the deterministic-simulation subsystem built on the
+// scheduler's decision seam (sched.SimSource): every nondeterministic
+// runtime decision — which shard runs, which thread pops from a run
+// queue, which victim a steal targets, which buffered external event
+// applies first, when the virtual clock advances — flows through one
+// interface, and this package supplies the three implementations that
+// make schedules first-class values:
+//
+//   - Recorder appends every observed decision to a compact append-only
+//     Log (a pointer-free record stream in the style of internal/obs).
+//     Recording is purely observational: the recorder forces nothing,
+//     so a recorded run is bit-identical to an unrecorded run at the
+//     same seed.
+//
+//   - Replayer forces each decision from a Log and verifies the run
+//     re-emits exactly the recorded event stream. The first mismatch is
+//     a divergence, reported with its step index and both events; after
+//     divergence the replayer degrades to live defaults so the run can
+//     finish and be inspected.
+//
+//   - Shrink greedily minimises a failing schedule — smallest failing
+//     prefix, drop all steals, coalesce clock advances, then
+//     ddmin-style chunk removal — re-running the caller's failure
+//     predicate after every candidate, and returns the smallest log
+//     that still fails.
+//
+// The same seam doubles as a mutation-testing port: Catalogue lists
+// semantic mutations (deliver the wrong pending exception, deliver
+// inside a masked window, drop a wakeup, skip the Interrupt rule, let a
+// signal beat an exception) and RunMutation verifies the conformance
+// corpus plus targeted policy programs kill every one of them. See
+// docs/SIMULATION.md for the log format and replay guarantees.
+package sim

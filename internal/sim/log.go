@@ -1,0 +1,164 @@
+package sim
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"os"
+
+	"asyncexc/internal/sched"
+)
+
+// logMagic begins every serialised schedule log; the trailing digit is
+// the format version.
+const logMagic = "AXSCHED1"
+
+// recordSize is the fixed on-disk size of one SimEvent: kind u8,
+// shard u8, two zero pad bytes, A u32, B u64, all little-endian.
+const recordSize = 16
+
+// Header identifies the run a schedule log was recorded from; replay
+// needs the same workload, seed and shard count to stay aligned.
+type Header struct {
+	// Name is the registered workload (e.g. a chaos soak name).
+	Name string
+	// Seed is the scheduler/chaos seed the run used.
+	Seed int64
+	// Shards is the shard count (0 or 1 = serial engine).
+	Shards int
+	// TimeSlice is the preemption slice in steps (0 = default).
+	TimeSlice int
+	// Random records whether the seeded random scheduler was on.
+	Random bool
+}
+
+// Log is a recorded schedule: a header plus the ordered decision
+// stream. Logs are plain values; compare them with FirstDiff or by
+// Hash.
+type Log struct {
+	Header Header
+	Events []sched.SimEvent
+}
+
+// Encode serialises the log to the binary format.
+func (l *Log) Encode() []byte {
+	name := []byte(l.Header.Name)
+	buf := make([]byte, 0, len(logMagic)+2+len(name)+8+1+4+1+8+len(l.Events)*recordSize)
+	buf = append(buf, logMagic...)
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(name)))
+	buf = append(buf, name...)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(l.Header.Seed))
+	buf = append(buf, byte(l.Header.Shards))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(l.Header.TimeSlice))
+	var flags byte
+	if l.Header.Random {
+		flags |= 1
+	}
+	buf = append(buf, flags)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(l.Events)))
+	for _, ev := range l.Events {
+		buf = append(buf, byte(ev.Kind), ev.Shard, 0, 0)
+		buf = binary.LittleEndian.AppendUint32(buf, ev.A)
+		buf = binary.LittleEndian.AppendUint64(buf, ev.B)
+	}
+	return buf
+}
+
+// Decode parses a serialised schedule log.
+func Decode(data []byte) (*Log, error) {
+	if len(data) < len(logMagic)+2 || string(data[:len(logMagic)]) != logMagic {
+		return nil, fmt.Errorf("sim: not a schedule log (bad magic)")
+	}
+	p := len(logMagic)
+	nameLen := int(binary.LittleEndian.Uint16(data[p:]))
+	p += 2
+	if len(data) < p+nameLen+8+1+4+1+8 {
+		return nil, fmt.Errorf("sim: truncated log header")
+	}
+	var l Log
+	l.Header.Name = string(data[p : p+nameLen])
+	p += nameLen
+	l.Header.Seed = int64(binary.LittleEndian.Uint64(data[p:]))
+	p += 8
+	l.Header.Shards = int(data[p])
+	p++
+	l.Header.TimeSlice = int(binary.LittleEndian.Uint32(data[p:]))
+	p += 4
+	l.Header.Random = data[p]&1 != 0
+	p++
+	count := binary.LittleEndian.Uint64(data[p:])
+	p += 8
+	if uint64(len(data)-p) < count*recordSize {
+		return nil, fmt.Errorf("sim: truncated log: header claims %d events, body holds %d",
+			count, (len(data)-p)/recordSize)
+	}
+	l.Events = make([]sched.SimEvent, count)
+	for i := range l.Events {
+		l.Events[i] = sched.SimEvent{
+			Kind:  sched.SimKind(data[p]),
+			Shard: data[p+1],
+			A:     binary.LittleEndian.Uint32(data[p+4:]),
+			B:     binary.LittleEndian.Uint64(data[p+8:]),
+		}
+		p += recordSize
+	}
+	return &l, nil
+}
+
+// WriteFile serialises the log to path.
+func (l *Log) WriteFile(path string) error {
+	return os.WriteFile(path, l.Encode(), 0o644)
+}
+
+// ReadFile loads a serialised log from path.
+func ReadFile(path string) (*Log, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return Decode(data)
+}
+
+// Hash returns the SHA-256 of the serialised log, hex-encoded; two runs
+// produced the same schedule iff their hashes agree.
+func (l *Log) Hash() string {
+	sum := sha256.Sum256(l.Encode())
+	return hex.EncodeToString(sum[:])
+}
+
+// WriteText dumps the log human-readably, one decision per line.
+func (l *Log) WriteText(w io.Writer) error {
+	h := l.Header
+	if _, err := fmt.Fprintf(w, "schedule %q seed=%d shards=%d slice=%d random=%v events=%d\n",
+		h.Name, h.Seed, h.Shards, h.TimeSlice, h.Random, len(l.Events)); err != nil {
+		return err
+	}
+	for i, ev := range l.Events {
+		if _, err := fmt.Fprintf(w, "%6d  shard=%d %-9s a=%d b=%d\n",
+			i, ev.Shard, ev.Kind, ev.A, ev.B); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// FirstDiff returns the index of the first differing event between two
+// logs, or -1 when their event streams are identical. A log that is a
+// strict prefix of the other differs at the shorter length.
+func FirstDiff(a, b *Log) int {
+	n := len(a.Events)
+	if len(b.Events) < n {
+		n = len(b.Events)
+	}
+	for i := 0; i < n; i++ {
+		if a.Events[i] != b.Events[i] {
+			return i
+		}
+	}
+	if len(a.Events) != len(b.Events) {
+		return n
+	}
+	return -1
+}

@@ -1,0 +1,78 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"asyncexc/internal/sched"
+)
+
+func sampleLog() *Log {
+	return &Log{
+		Header: Header{Name: "killstorm", Seed: -7, Shards: 4, TimeSlice: 3, Random: true},
+		Events: []sched.SimEvent{
+			{Kind: sched.SimPickShard, Shard: 2, A: 0b1101},
+			{Kind: sched.SimPickRun, Shard: 2, A: 5, B: 3},
+			{Kind: sched.SimSteal, Shard: 1, A: 0b0100, B: 3<<48 | 17},
+			{Kind: sched.SimAdvance, B: 1_000_000},
+			{Kind: sched.SimDeliver, Shard: 0, A: sched.SimHash("Dyn:Chaos"), B: 9},
+			{Kind: sched.SimEnd, B: 123456},
+		},
+	}
+}
+
+func TestLogRoundTrip(t *testing.T) {
+	l := sampleLog()
+	got, err := Decode(l.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Header != l.Header {
+		t.Fatalf("header round-trip: got %+v want %+v", got.Header, l.Header)
+	}
+	if FirstDiff(l, got) != -1 {
+		t.Fatalf("events round-trip: first diff at %d", FirstDiff(l, got))
+	}
+	if l.Hash() != got.Hash() {
+		t.Fatal("hash changed across round-trip")
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	if _, err := Decode([]byte("not a schedule")); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	enc := sampleLog().Encode()
+	if _, err := Decode(enc[:len(enc)-4]); err == nil {
+		t.Fatal("truncated body accepted")
+	}
+}
+
+func TestFirstDiff(t *testing.T) {
+	a, b := sampleLog(), sampleLog()
+	if d := FirstDiff(a, b); d != -1 {
+		t.Fatalf("identical logs diff at %d", d)
+	}
+	b.Events[3].B++
+	if d := FirstDiff(a, b); d != 3 {
+		t.Fatalf("diff = %d, want 3", d)
+	}
+	c := sampleLog()
+	c.Events = c.Events[:4]
+	if d := FirstDiff(a, c); d != 4 {
+		t.Fatalf("prefix diff = %d, want 4", d)
+	}
+}
+
+func TestWriteText(t *testing.T) {
+	var sb strings.Builder
+	if err := sampleLog().WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{`schedule "killstorm" seed=-7 shards=4`, "steal", "advance", "deliver", "end"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("text dump missing %q:\n%s", want, out)
+		}
+	}
+}

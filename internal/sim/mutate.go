@@ -1,0 +1,385 @@
+package sim
+
+import (
+	"fmt"
+	"time"
+
+	"asyncexc/internal/conformance"
+	"asyncexc/internal/core"
+	"asyncexc/internal/exc"
+	"asyncexc/internal/sched"
+)
+
+// Mutant is one catalogued semantic mutation: a SimSource whose
+// Interpose answers break the paper's delivery rules in exactly one
+// way. The test suites must kill every mutant — a surviving mutant
+// means the corpus and invariants cannot see that class of bug.
+type Mutant struct {
+	// Name identifies the mutant in reports (e.g. "deliver-last").
+	Name string
+	// Desc says which rule the mutation breaks.
+	Desc string
+	// Source builds the mutated decision source. Mutant sources are
+	// stateless, but a fresh value per run keeps the contract simple.
+	Source func() sched.SimSource
+}
+
+// Catalogue returns the fixed mutant set. Each entry corresponds to a
+// real bug class in an asynchronous-exception runtime:
+//
+//   - deliver-last: pending exceptions form a FIFO (§4's in-flight
+//     queue); delivering the newest first reorders interrupts.
+//   - deliver-masked: rule (Receive) requires an unmasked redex;
+//     delivering inside Block breaks every §5.2 cleanup pattern.
+//   - drop-unpark: a lost wakeup — the taker of an MVar handoff stays
+//     parked although the value arrived.
+//   - no-interrupt: rule (Interrupt) skipped — throwTo to a stuck
+//     thread queues instead of waking it, so kills never land on
+//     blocked victims.
+//   - signal-first: a queued non-lethal signal beats a pending
+//     exception; exceptions must strictly win (docs/PROMISES.md).
+func Catalogue() []Mutant {
+	return []Mutant{
+		{"deliver-last", "deliver the newest pending exception instead of the FIFO front",
+			func() sched.SimSource { return mutDeliverLast{} }},
+		{"deliver-masked", "deliver a pending exception at a masked redex",
+			func() sched.SimSource { return mutDeliverMasked{} }},
+		{"drop-unpark", "drop thread wakeups (lost MVar handoff)",
+			func() sched.SimSource { return mutDropUnpark{} }},
+		{"no-interrupt", "queue exceptions for stuck threads instead of rule (Interrupt)",
+			func() sched.SimSource { return mutNoInterrupt{} }},
+		{"signal-first", "deliver a queued signal ahead of a pending exception",
+			func() sched.SimSource { return mutSignalFirst{} }},
+	}
+}
+
+type mutDeliverLast struct{ sched.DefaultSource }
+
+func (mutDeliverLast) Interpose(pt sched.InterposePoint, t *sched.Thread) int {
+	if pt == sched.IpPendingIndex {
+		return t.PendingCount() - 1
+	}
+	return -1
+}
+
+type mutDeliverMasked struct{ sched.DefaultSource }
+
+func (mutDeliverMasked) Interpose(pt sched.InterposePoint, t *sched.Thread) int {
+	if pt == sched.IpDeliverMasked {
+		return 1
+	}
+	return -1
+}
+
+type mutDropUnpark struct{ sched.DefaultSource }
+
+func (mutDropUnpark) Interpose(pt sched.InterposePoint, t *sched.Thread) int {
+	if pt == sched.IpDropUnpark {
+		return 1
+	}
+	return -1
+}
+
+type mutNoInterrupt struct{ sched.DefaultSource }
+
+func (mutNoInterrupt) Interpose(pt sched.InterposePoint, t *sched.Thread) int {
+	if pt == sched.IpNoInterrupt {
+		return 1
+	}
+	return -1
+}
+
+type mutSignalFirst struct{ sched.DefaultSource }
+
+func (mutSignalFirst) Interpose(pt sched.InterposePoint, t *sched.Thread) int {
+	if pt == sched.IpSignalFirst {
+		return 1
+	}
+	return -1
+}
+
+// MutantResult is one row of the kill matrix.
+type MutantResult struct {
+	Name string
+	// Killed reports whether any check failed under the mutant.
+	Killed bool
+	// KilledBy names the first check that failed ("policy/<name>" or
+	// "corpus/<program>").
+	KilledBy string
+}
+
+// MutationReport is the outcome of a mutation-testing pass.
+type MutationReport struct {
+	Results []MutantResult
+}
+
+// AllKilled reports whether every mutant was killed.
+func (r MutationReport) AllKilled() bool {
+	for _, m := range r.Results {
+		if !m.Killed {
+			return false
+		}
+	}
+	return true
+}
+
+// Survivors lists unkilled mutants.
+func (r MutationReport) Survivors() []string {
+	var out []string
+	for _, m := range r.Results {
+		if !m.Killed {
+			out = append(out, m.Name)
+		}
+	}
+	return out
+}
+
+// RunMutation executes the mutation-testing pass: first a control run
+// (the correct DefaultSource must pass every check — otherwise the
+// harness itself is broken and an error is returned), then each
+// catalogued mutant against the policy programs and the conformance
+// corpus until something kills it. quick trims the corpus and the
+// schedule battery for CI; the full pass runs everything.
+func RunMutation(quick bool) (MutationReport, error) {
+	programs := conformance.Corpus()
+	if quick {
+		keep := map[string]bool{
+			"mvar-handoff": true, "throwto-stuck": true, "masked-pair": true,
+			"safe-lock": true, "double-throwto": true, "interrupted-handler": true,
+			"unsafe-lock": true, "deadlock": true, "fork-output": true,
+			"throwto-self-masked": true,
+		}
+		var sel []conformance.Program
+		for _, p := range programs {
+			if keep[p.Name] {
+				sel = append(sel, p)
+			}
+		}
+		programs = sel
+	}
+
+	// Explore each program's outcome set once; every mutant run is then
+	// runtime-only.
+	prepared := make([]*conformance.Prepared, len(programs))
+	for i, p := range programs {
+		prep, err := conformance.Prepare(p.Src, p.Input)
+		if err != nil {
+			return MutationReport{}, fmt.Errorf("sim: preparing %q: %w", p.Name, err)
+		}
+		prepared[i] = prep
+	}
+
+	randomRuns := 3
+	if !quick {
+		randomRuns = 10
+	}
+	schedules := func(src sched.SimSource) []conformance.RuntimeSchedule {
+		out := []conformance.RuntimeSchedule{
+			{TimeSlice: 1, Sim: src},
+			{TimeSlice: 3, Sim: src},
+		}
+		for s := int64(0); s < int64(randomRuns); s++ {
+			out = append(out, conformance.RuntimeSchedule{Random: true, Seed: s, TimeSlice: 1, Sim: src})
+		}
+		return out
+	}
+
+	check := func(src sched.SimSource) (string, bool) {
+		for _, p := range policies() {
+			if err := p.run(src); err != nil {
+				return "policy/" + p.name, true
+			}
+		}
+		for i, prep := range prepared {
+			if err := prep.Check(schedules(src)); err != nil {
+				return "corpus/" + programs[i].Name, true
+			}
+		}
+		return "", false
+	}
+
+	// Control: the unmutated source must pass everything.
+	if by, failed := check(sched.DefaultSource{}); failed {
+		return MutationReport{}, fmt.Errorf("sim: control run failed check %s — harness is broken", by)
+	}
+
+	var rep MutationReport
+	for _, m := range Catalogue() {
+		by, killed := check(m.Source())
+		rep.Results = append(rep.Results, MutantResult{Name: m.Name, Killed: killed, KilledBy: by})
+	}
+	return rep, nil
+}
+
+// policy is a targeted Go-level program asserting one delivery-rule
+// consequence the lambda corpus cannot express (signals, exact
+// interleaving control). Each run is deterministic (serial round-robin,
+// virtual clock), so a failure under a mutant is a kill, not noise.
+type policy struct {
+	name string
+	run  func(src sched.SimSource) error
+}
+
+func policies() []policy {
+	return []policy{
+		{"delivery-order", policyDeliveryOrder},
+		{"masked-window", policyMaskedWindow},
+		{"stuck-interrupt", policyStuckInterrupt},
+		{"lost-wakeup", policyLostWakeup},
+		{"signal-loses", policySignalLoses},
+	}
+}
+
+func policyOpts(src sched.SimSource) core.Options {
+	opts := core.DefaultOptions()
+	opts.Sim = src
+	opts.MaxSteps = 1_000_000
+	// Detection-off mirrors the conformance runs: a mutant that wedges a
+	// policy surfaces as ErrDeadlock rather than relying on the
+	// detector's rescue path, which a dropped-wakeup mutant can defeat
+	// (the handoff committed, so the parked taker is on no MVar queue
+	// and rule (Interrupt) cannot reach it — an unrescuable zombie).
+	opts.DetectDeadlock = false
+	return opts
+}
+
+func dynTag(e core.Exception) string {
+	if d, ok := e.(exc.Dyn); ok {
+		return d.Tag
+	}
+	return e.ExceptionName()
+}
+
+// policyDeliveryOrder: two exceptions A then B are queued on a not-yet-
+// scheduled victim; the victim's first unmasked redex must receive A
+// (FIFO, §4). The victim catches inside Block so the handler runs
+// masked and reports which exception arrived first.
+func policyDeliveryOrder(src sched.SimSource) error {
+	prog := core.Bind(core.NewEmptyMVar[string](), func(res core.MVar[string]) core.IO[string] {
+		victim := core.Block(core.Bind(
+			core.Catch(core.Unblock(core.Return("none")),
+				func(e core.Exception) core.IO[string] { return core.Return(dynTag(e)) }),
+			func(s string) core.IO[string] {
+				return core.Then(core.Put(res, s), core.Return(s))
+			}))
+		return core.Bind(core.Fork(victim), func(tid core.ThreadID) core.IO[string] {
+			return core.Then(core.ThrowTo(tid, exc.Dyn{Tag: "A"}),
+				core.Then(core.ThrowTo(tid, exc.Dyn{Tag: "B"}),
+					core.Take(res)))
+		})
+	})
+	v, e, err := core.RunWith(policyOpts(src), prog)
+	if err != nil || e != nil {
+		return fmt.Errorf("delivery-order: run failed: v=%q e=%v err=%v", v, e, err)
+	}
+	if v != "A" {
+		return fmt.Errorf("delivery-order: first queued exception must deliver first, got %q", v)
+	}
+	return nil
+}
+
+// policyMaskedWindow: a victim publishes a value inside Block while an
+// exception is pending; rule (Receive)'s mask side condition says the
+// kill may only land after the Unblock.
+func policyMaskedWindow(src sched.SimSource) error {
+	prog := core.Bind(core.NewEmptyMVar[string](), func(res core.MVar[string]) core.IO[string] {
+		victim := core.Block(core.Then(core.Put(res, "survived"),
+			core.Unblock(core.Return(core.UnitValue))))
+		return core.Bind(core.Fork(victim), func(tid core.ThreadID) core.IO[string] {
+			return core.Then(core.ThrowTo(tid, exc.ThreadKilled{}), core.Take(res))
+		})
+	})
+	v, e, err := core.RunWith(policyOpts(src), prog)
+	if err != nil || e != nil {
+		return fmt.Errorf("masked-window: run failed: e=%v err=%v", e, err)
+	}
+	if v != "survived" {
+		return fmt.Errorf("masked-window: got %q", v)
+	}
+	return nil
+}
+
+// policyStuckInterrupt: throwTo at a thread parked on an empty MVar
+// must apply rule (Interrupt) — wake it with the exception raised at
+// the evaluation site — not queue the exception for later.
+func policyStuckInterrupt(src sched.SimSource) error {
+	prog := core.Bind(core.NewEmptyMVar[int](), func(m core.MVar[int]) core.IO[string] {
+		return core.Bind(core.NewEmptyMVar[string](), func(res core.MVar[string]) core.IO[string] {
+			victim := core.Bind(
+				core.Catch(core.Map(core.Take(m), func(int) string { return "took" }),
+					func(e core.Exception) core.IO[string] { return core.Return(e.ExceptionName()) }),
+				func(s string) core.IO[string] { return core.Then(core.Put(res, s), core.Return(s)) })
+			return core.Bind(core.Fork(victim), func(tid core.ThreadID) core.IO[string] {
+				return core.Then(core.Sleep(time.Millisecond),
+					core.Then(core.ThrowTo(tid, exc.ThreadKilled{}),
+						core.Take(res)))
+			})
+		})
+	})
+	v, e, err := core.RunWith(policyOpts(src), prog)
+	if err != nil || e != nil {
+		return fmt.Errorf("stuck-interrupt: run failed: e=%v err=%v", e, err)
+	}
+	if v != "ThreadKilled" {
+		return fmt.Errorf("stuck-interrupt: victim saw %q, want ThreadKilled", v)
+	}
+	return nil
+}
+
+// policyLostWakeup: the plain MVar handoff — a dropped unpark wedges
+// the taker even though the value arrived.
+func policyLostWakeup(src sched.SimSource) error {
+	prog := core.Bind(core.NewEmptyMVar[int](), func(m core.MVar[int]) core.IO[int] {
+		return core.Then(core.Void(core.Fork(core.Put(m, 42))), core.Take(m))
+	})
+	v, e, err := core.RunWith(policyOpts(src), prog)
+	if err != nil || e != nil {
+		return fmt.Errorf("lost-wakeup: run failed: e=%v err=%v", e, err)
+	}
+	if v != 42 {
+		return fmt.Errorf("lost-wakeup: got %d, want 42", v)
+	}
+	return nil
+}
+
+// policySignalLoses: a victim with an installed signal handler holds a
+// masked window while both a signal and an exception are queued; on
+// unmask the exception must win and the handler must never run on the
+// unwound stack. The victim spins (TryTake) rather than parks through
+// the window — a masked park is still interruptible, which would let
+// the exception land before the signal-ordering seam is ever reached.
+func policySignalLoses(src sched.SimSource) error {
+	opts := policyOpts(src)
+	prog := core.Bind(core.NewEmptyMVar[core.Unit](), func(hit core.MVar[core.Unit]) core.IO[bool] {
+		return core.Bind(core.NewEmptyMVar[core.Unit](), func(ready core.MVar[core.Unit]) core.IO[bool] {
+			return core.Bind(core.NewEmptyMVar[core.Unit](), func(goOn core.MVar[core.Unit]) core.IO[bool] {
+				handler := func(core.Signal) core.IO[core.Unit] {
+					return core.Void(core.TryPut(hit, core.UnitValue))
+				}
+				victim := core.Block(core.WithSignalHandler("ping", handler,
+					core.Then(core.Put(ready, core.UnitValue),
+						core.Then(core.IterateUntil(core.Map(core.TryTake(goOn),
+							func(m core.Maybe[core.Unit]) bool { return m.IsJust })),
+							core.Unblock(core.Return(core.UnitValue))))))
+				return core.Bind(core.Fork(victim), func(tid core.ThreadID) core.IO[bool] {
+					return core.Then(core.Take(ready),
+						core.Then(core.SignalTo(tid, core.Signal{Name: "ping"}),
+							core.Then(core.ThrowTo(tid, exc.ThreadKilled{}),
+								core.Then(core.Put(goOn, core.UnitValue),
+									core.Then(core.Sleep(time.Millisecond),
+										core.Map(core.TryTake(hit), func(m core.Maybe[core.Unit]) bool {
+											return m.IsJust
+										}))))))
+				})
+			})
+		})
+	})
+	ran, e, err := core.RunWith(opts, prog)
+	if err != nil || e != nil {
+		return fmt.Errorf("signal-loses: run failed: e=%v err=%v", e, err)
+	}
+	if ran {
+		return fmt.Errorf("signal-loses: signal handler ran although a lethal exception was pending")
+	}
+	return nil
+}

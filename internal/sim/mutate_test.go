@@ -1,0 +1,77 @@
+package sim
+
+import (
+	"testing"
+
+	"asyncexc/internal/sched"
+)
+
+// TestMutationQuickAllKilled is the CI mutation gate: every catalogued
+// semantic mutant must be killed by the policy programs or the
+// conformance corpus. A survivor means a whole bug class would pass
+// the suite unnoticed.
+func TestMutationQuickAllKilled(t *testing.T) {
+	rep, err := RunMutation(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rep.Results {
+		t.Logf("mutant %-16s killed=%v by=%s", r.Name, r.Killed, r.KilledBy)
+	}
+	if !rep.AllKilled() {
+		t.Fatalf("surviving mutants: %v", rep.Survivors())
+	}
+}
+
+// TestMutationFullAllKilled runs the full corpus and schedule battery;
+// skipped under -short (the quick gate covers CI).
+func TestMutationFullAllKilled(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full mutation pass skipped under -short")
+	}
+	rep, err := RunMutation(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.AllKilled() {
+		t.Fatalf("surviving mutants: %v", rep.Survivors())
+	}
+}
+
+// TestPoliciesKillTargets pins the designed kill matrix for the two
+// mutants only a policy can see: no-interrupt is invisible to the
+// corpus (queued exceptions still deliver eventually at slice 1) and
+// signal-first needs the signal machinery the lambda corpus lacks.
+func TestPoliciesKillTargets(t *testing.T) {
+	cases := []struct {
+		mutant string
+		policy string
+	}{
+		{"no-interrupt", "stuck-interrupt"},
+		{"signal-first", "signal-loses"},
+	}
+	byName := map[string]sched.SimSource{}
+	for _, m := range Catalogue() {
+		byName[m.Name] = m.Source()
+	}
+	pols := map[string]func(sched.SimSource) error{}
+	for _, p := range policies() {
+		pols[p.name] = p.run
+	}
+	for _, c := range cases {
+		src, ok := byName[c.mutant]
+		if !ok {
+			t.Fatalf("mutant %q not in catalogue", c.mutant)
+		}
+		run, ok := pols[c.policy]
+		if !ok {
+			t.Fatalf("policy %q not registered", c.policy)
+		}
+		if err := run(sched.DefaultSource{}); err != nil {
+			t.Fatalf("policy %s fails on the correct runtime: %v", c.policy, err)
+		}
+		if err := run(src); err == nil {
+			t.Fatalf("policy %s did not kill mutant %s", c.policy, c.mutant)
+		}
+	}
+}

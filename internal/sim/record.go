@@ -1,0 +1,35 @@
+package sim
+
+import "asyncexc/internal/sched"
+
+// Recorder captures a run's decision stream into a Log. All its pick
+// methods inherit DefaultSource's "runtime decides" answers, so
+// recording never perturbs the run: at the same seed a recorded run is
+// bit-identical to an unrecorded one, and the log is exactly what the
+// live heuristics chose.
+type Recorder struct {
+	sched.DefaultSource
+	Log *Log
+}
+
+// NewRecorder returns a recorder with an empty log under the given
+// header. The event slice is presized generously (1 MiB): a soak logs
+// tens of thousands of events, and growing there by append-doubling
+// both copies the log repeatedly and — on small heaps — advances the
+// GC pacer enough to show up as recording overhead.
+func NewRecorder(h Header) *Recorder {
+	return &Recorder{Log: &Log{
+		Header: h,
+		Events: make([]sched.SimEvent, 0, 1<<16),
+	}}
+}
+
+// Observe appends the decision to the log.
+func (r *Recorder) Observe(ev sched.SimEvent) {
+	r.Log.Events = append(r.Log.Events, ev)
+}
+
+// Capabilities reports the recorder as observe-only: it never forces a
+// pick or perturbs a seam, so the scheduler skips those interface
+// calls entirely — the recording overhead is the Observe appends alone.
+func (r *Recorder) Capabilities() sched.SimCaps { return 0 }

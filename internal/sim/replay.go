@@ -1,0 +1,265 @@
+package sim
+
+import (
+	"fmt"
+
+	"asyncexc/internal/sched"
+)
+
+// Divergence reports the first point where a replayed run stopped
+// matching its recorded schedule.
+type Divergence struct {
+	// Step is the index into the log of the first mismatch (== the
+	// number of events that replayed exactly).
+	Step int
+	// Want is the recorded event at Step; zero when the live run
+	// produced more events than the log holds.
+	Want sched.SimEvent
+	// Got is the event the live run produced; zero when the live run
+	// ended before consuming the whole log.
+	Got sched.SimEvent
+	// Reason is a one-line description.
+	Reason string
+}
+
+func (d *Divergence) Error() string {
+	return fmt.Sprintf("sim: replay diverged at step %d: %s (want %+v, got %+v)",
+		d.Step, d.Reason, d.Want, d.Got)
+}
+
+// Replayer forces every scheduler decision from a recorded log and
+// verifies the run re-emits the identical event stream. Queries peek
+// at the cursor: when the next recorded event matches the query's kind
+// (and shard, where relevant) the recorded choice is forced; Observe
+// then checks the emitted event against the record exactly and
+// advances. On the first mismatch the replayer marks the divergence
+// and degrades to live defaults (-1 everywhere) so the run can finish.
+type Replayer struct {
+	log    *Log
+	cursor int
+	div    *Divergence
+}
+
+// NewReplayer returns a strict replayer over the log.
+func NewReplayer(l *Log) *Replayer { return &Replayer{log: l} }
+
+// Diverged returns the divergence, or nil if the run matched the log
+// exactly so far.
+func (r *Replayer) Diverged() *Divergence { return r.div }
+
+// Steps returns how many recorded events have been consumed.
+func (r *Replayer) Steps() int { return r.cursor }
+
+// Done reports whether the whole log was consumed without divergence.
+func (r *Replayer) Done() bool { return r.div == nil && r.cursor == len(r.log.Events) }
+
+func (r *Replayer) peek() (sched.SimEvent, bool) {
+	if r.div != nil || r.cursor >= len(r.log.Events) {
+		return sched.SimEvent{}, false
+	}
+	return r.log.Events[r.cursor], true
+}
+
+// PickShard forces the recorded shard choice.
+func (r *Replayer) PickShard(candidates uint32) int {
+	if ev, ok := r.peek(); ok && ev.Kind == sched.SimPickShard {
+		return int(ev.Shard)
+	}
+	return -1
+}
+
+// PickRun forces the recorded run-queue index.
+func (r *Replayer) PickRun(shard, qlen int) int {
+	if ev, ok := r.peek(); ok && ev.Kind == sched.SimPickRun && int(ev.Shard) == shard {
+		return int(ev.B)
+	}
+	return -1
+}
+
+// PickSteal forces the recorded victim, or suppresses the steal when
+// the schedule has none here: forcing "no steal" (rather than falling
+// back to the live heuristic) is what keeps the replayed stream
+// aligned, since a spurious steal would emit an event the log does not
+// contain.
+func (r *Replayer) PickSteal(thief int, candidates uint32) int {
+	if r.div != nil {
+		return -1
+	}
+	if ev, ok := r.peek(); ok && ev.Kind == sched.SimSteal && int(ev.Shard) == thief {
+		return int(ev.B>>48) - 1
+	}
+	return -2
+}
+
+// PickExternal forces the buffered external event whose label the
+// schedule recorded.
+func (r *Replayer) PickExternal(labels []uint64) int {
+	if ev, ok := r.peek(); ok && ev.Kind == sched.SimExternal {
+		for i, l := range labels {
+			if l == ev.B {
+				return i
+			}
+		}
+	}
+	return -1
+}
+
+// Interpose is a no-op: replay reproduces schedules, not mutations.
+func (r *Replayer) Interpose(pt sched.InterposePoint, t *sched.Thread) int { return -1 }
+
+// Capabilities: replay forces picks but never perturbs seams.
+func (r *Replayer) Capabilities() sched.SimCaps { return sched.SimCapPick }
+
+// Observe verifies the emitted event against the recorded one and
+// advances the cursor; a mismatch (or a run emitting past the end of
+// the log) marks the divergence.
+func (r *Replayer) Observe(ev sched.SimEvent) {
+	if r.div != nil {
+		return
+	}
+	if r.cursor >= len(r.log.Events) {
+		r.div = &Divergence{Step: r.cursor, Got: ev,
+			Reason: "live run emitted more decisions than the log holds"}
+		return
+	}
+	want := r.log.Events[r.cursor]
+	if want != ev {
+		r.div = &Divergence{Step: r.cursor, Want: want, Got: ev,
+			Reason: "decision stream mismatch"}
+		return
+	}
+	r.cursor++
+}
+
+// LooseReplayer replays per-kind decision queues without verifying the
+// interleaved stream. The shrinker uses it: a shrunk log is no longer
+// a consistent recording (events were deleted), so strict alignment is
+// impossible, but forcing the surviving decisions in order per kind
+// still steers the run back toward the failure. Exhausted queues fall
+// back to live defaults; out-of-range forced values are clamped by the
+// runtime.
+type LooseReplayer struct {
+	qs map[sched.SimKind][]sched.SimEvent
+}
+
+// NewLooseReplayer splits the log into per-kind queues.
+func NewLooseReplayer(l *Log) *LooseReplayer {
+	qs := make(map[sched.SimKind][]sched.SimEvent)
+	for _, ev := range l.Events {
+		qs[ev.Kind] = append(qs[ev.Kind], ev)
+	}
+	return &LooseReplayer{qs: qs}
+}
+
+func (r *LooseReplayer) pop(k sched.SimKind) (sched.SimEvent, bool) {
+	q := r.qs[k]
+	if len(q) == 0 {
+		return sched.SimEvent{}, false
+	}
+	r.qs[k] = q[1:]
+	return q[0], true
+}
+
+// PickShard forces the next recorded shard choice, if any remain.
+func (r *LooseReplayer) PickShard(candidates uint32) int {
+	if ev, ok := r.pop(sched.SimPickShard); ok {
+		return int(ev.Shard)
+	}
+	return -1
+}
+
+// PickRun forces the next recorded run-queue index, if any remain.
+func (r *LooseReplayer) PickRun(shard, qlen int) int {
+	if ev, ok := r.pop(sched.SimPickRun); ok {
+		return int(ev.B)
+	}
+	return -1
+}
+
+// PickSteal forces the next recorded victim; with the steal queue
+// drained (e.g. the shrinker dropped all steals) it suppresses
+// stealing entirely.
+func (r *LooseReplayer) PickSteal(thief int, candidates uint32) int {
+	if ev, ok := r.pop(sched.SimSteal); ok {
+		if v := int(ev.B>>48) - 1; v >= 0 {
+			return v
+		}
+		return -2 // recorded failed attempt: skip
+	}
+	return -2
+}
+
+// PickExternal forces the next recorded external label, if present.
+func (r *LooseReplayer) PickExternal(labels []uint64) int {
+	if ev, ok := r.pop(sched.SimExternal); ok {
+		for i, l := range labels {
+			if l == ev.B {
+				return i
+			}
+		}
+	}
+	return -1
+}
+
+// Observe ignores the stream: loose replay does not verify.
+func (r *LooseReplayer) Observe(ev sched.SimEvent) {}
+
+// Interpose is a no-op.
+func (r *LooseReplayer) Interpose(pt sched.InterposePoint, t *sched.Thread) int { return -1 }
+
+// Capabilities: loose replay forces picks but never perturbs seams.
+func (r *LooseReplayer) Capabilities() sched.SimCaps { return sched.SimCapPick }
+
+// Chain composes two sources: queries ask a first and fall through to
+// b only on "runtime decides" (-1; an explicit -2 from a steal query
+// is a decision and is not overridden), Observe fans out to both, and
+// Interpose asks a then b. Chain(NewReplayer(l), NewRecorder(h))
+// re-records a replayed run, which is how replay fidelity is checked.
+func Chain(a, b sched.SimSource) sched.SimSource { return &chain{a: a, b: b} }
+
+type chain struct{ a, b sched.SimSource }
+
+func (c *chain) PickShard(candidates uint32) int {
+	if v := c.a.PickShard(candidates); v != -1 {
+		return v
+	}
+	return c.b.PickShard(candidates)
+}
+
+func (c *chain) PickRun(shard, qlen int) int {
+	if v := c.a.PickRun(shard, qlen); v != -1 {
+		return v
+	}
+	return c.b.PickRun(shard, qlen)
+}
+
+func (c *chain) PickSteal(thief int, candidates uint32) int {
+	if v := c.a.PickSteal(thief, candidates); v != -1 {
+		return v
+	}
+	return c.b.PickSteal(thief, candidates)
+}
+
+func (c *chain) PickExternal(labels []uint64) int {
+	if v := c.a.PickExternal(labels); v != -1 {
+		return v
+	}
+	return c.b.PickExternal(labels)
+}
+
+func (c *chain) Observe(ev sched.SimEvent) {
+	c.a.Observe(ev)
+	c.b.Observe(ev)
+}
+
+func (c *chain) Interpose(pt sched.InterposePoint, t *sched.Thread) int {
+	if v := c.a.Interpose(pt, t); v != -1 {
+		return v
+	}
+	return c.b.Interpose(pt, t)
+}
+
+// Capabilities is the union of both sources' seams.
+func (c *chain) Capabilities() sched.SimCaps {
+	return c.a.Capabilities() | c.b.Capabilities()
+}

@@ -1,0 +1,126 @@
+package sim
+
+import "asyncexc/internal/sched"
+
+// ShrinkOptions bounds the minimisation search.
+type ShrinkOptions struct {
+	// MaxTries caps how many candidate schedules the predicate is run
+	// on (0 = 512). Each try re-executes the workload, so this is the
+	// real budget.
+	MaxTries int
+}
+
+// ShrinkResult is a minimisation outcome.
+type ShrinkResult struct {
+	// Log is the smallest still-failing schedule found.
+	Log *Log
+	// Tries counts predicate evaluations spent.
+	Tries int
+	// From/To are the event counts before and after shrinking.
+	From, To int
+}
+
+// Shrink greedily minimises a failing schedule. stillFails must run
+// the workload under the candidate schedule (typically via
+// LooseReplayer) and report whether the original violation is
+// preserved; it is assumed true for the input log. The passes, in
+// order:
+//
+//  1. smallest failing prefix (binary search on the cut point);
+//  2. drop every steal decision (cross-shard noise rarely matters);
+//  3. coalesce runs of adjacent clock advances into the last one;
+//  4. ddmin-style chunk removal, halving chunk size down to one event.
+//
+// The search is deterministic and bounded by opts.MaxTries; scheduling
+// is not monotone, so the result is a local minimum, not a global one.
+func Shrink(l *Log, stillFails func(*Log) bool, opts ShrinkOptions) ShrinkResult {
+	budget := opts.MaxTries
+	if budget <= 0 {
+		budget = 512
+	}
+	res := ShrinkResult{Log: l, From: len(l.Events)}
+	try := func(c *Log) bool {
+		if res.Tries >= budget {
+			return false
+		}
+		res.Tries++
+		return stillFails(c)
+	}
+
+	cur := l
+
+	// Pass 1: smallest failing prefix. prefix(hi) fails, prefix(lo)
+	// does not (lo starts below any plausible failure; 0 events means
+	// pure live defaults, which the caller said passes).
+	lo, hi := 0, len(cur.Events)
+	for lo+1 < hi && res.Tries < budget {
+		mid := (lo + hi) / 2
+		if try(withEvents(cur, cur.Events[:mid])) {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	cur = withEvents(cur, cur.Events[:hi])
+
+	// Pass 2: drop all steals at once.
+	if c := withEvents(cur, dropKind(cur.Events, sched.SimSteal)); len(c.Events) < len(cur.Events) && try(c) {
+		cur = c
+	}
+
+	// Pass 3: coalesce adjacent clock advances (keep the last of each
+	// run — it carries the furthest target time).
+	if c := withEvents(cur, coalesceAdvances(cur.Events)); len(c.Events) < len(cur.Events) && try(c) {
+		cur = c
+	}
+
+	// Pass 4: ddmin-lite — delete chunks, halving the chunk size.
+	for chunk := len(cur.Events) / 2; chunk >= 1; chunk /= 2 {
+		for start := 0; start < len(cur.Events) && res.Tries < budget; {
+			end := start + chunk
+			if end > len(cur.Events) {
+				end = len(cur.Events)
+			}
+			events := make([]sched.SimEvent, 0, len(cur.Events)-(end-start))
+			events = append(events, cur.Events[:start]...)
+			events = append(events, cur.Events[end:]...)
+			if c := withEvents(cur, events); try(c) {
+				cur = c // deletion kept the failure; retry same offset
+			} else {
+				start = end
+			}
+		}
+		if res.Tries >= budget {
+			break
+		}
+	}
+
+	res.Log = cur
+	res.To = len(cur.Events)
+	return res
+}
+
+func withEvents(l *Log, events []sched.SimEvent) *Log {
+	return &Log{Header: l.Header, Events: events}
+}
+
+func dropKind(events []sched.SimEvent, k sched.SimKind) []sched.SimEvent {
+	out := make([]sched.SimEvent, 0, len(events))
+	for _, ev := range events {
+		if ev.Kind != k {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+func coalesceAdvances(events []sched.SimEvent) []sched.SimEvent {
+	out := make([]sched.SimEvent, 0, len(events))
+	for i, ev := range events {
+		if ev.Kind == sched.SimAdvance && i+1 < len(events) && events[i+1].Kind == sched.SimAdvance {
+			continue
+		}
+		out = append(out, ev)
+	}
+	return out
+}
